@@ -1,0 +1,72 @@
+// Ablation (Section 6.2): computing adj(p) — the paper's pruned DFS over
+// per-axis nearest points versus naive enumeration of the full offset
+// block. Google-benchmark micro-benchmark across dimensions; the naive
+// 3^d walk is capped at d = 12 (3^20 ≈ 3.5e9 cells would take minutes).
+
+#include <benchmark/benchmark.h>
+
+#include "rl0/geom/point.h"
+#include "rl0/grid/random_grid.h"
+#include "rl0/util/rng.h"
+
+namespace {
+
+rl0::Point RandomPoint(size_t dim, rl0::Xoshiro256pp* rng) {
+  rl0::Point p(dim);
+  for (size_t j = 0; j < dim; ++j) p[j] = 100.0 * rng->NextDouble();
+  return p;
+}
+
+void BM_AdjDfs(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  // Section 4 regime: side = d·α with α = 1.
+  rl0::RandomGrid grid(dim, static_cast<double>(dim), 42);
+  rl0::Xoshiro256pp rng(dim);
+  std::vector<rl0::Point> points;
+  for (int i = 0; i < 64; ++i) points.push_back(RandomPoint(dim, &rng));
+  std::vector<uint64_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    grid.AdjacentCells(points[i++ % points.size()], 1.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["cells"] = static_cast<double>(out.size());
+}
+BENCHMARK(BM_AdjDfs)->Arg(2)->Arg(5)->Arg(8)->Arg(12)->Arg(20)->Arg(35);
+
+void BM_AdjNaive(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  rl0::RandomGrid grid(dim, static_cast<double>(dim), 42);
+  rl0::Xoshiro256pp rng(dim);
+  std::vector<rl0::Point> points;
+  for (int i = 0; i < 64; ++i) points.push_back(RandomPoint(dim, &rng));
+  std::vector<uint64_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    grid.AdjacentCellsNaive(points[i++ % points.size()], 1.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["cells"] = static_cast<double>(out.size());
+}
+BENCHMARK(BM_AdjNaive)->Arg(2)->Arg(5)->Arg(8)->Arg(12);
+
+// The paper's literal Algorithm 6 (three moves per axis), valid in the
+// side ≥ α regime — compare constant factors against the generalized DFS.
+void BM_AdjPaperDfs(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  rl0::RandomGrid grid(dim, static_cast<double>(dim), 42);
+  rl0::Xoshiro256pp rng(dim);
+  std::vector<rl0::Point> points;
+  for (int i = 0; i < 64; ++i) points.push_back(RandomPoint(dim, &rng));
+  std::vector<uint64_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    grid.AdjacentCellsPaperDfs(points[i++ % points.size()], 1.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AdjPaperDfs)->Arg(2)->Arg(5)->Arg(8)->Arg(12)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

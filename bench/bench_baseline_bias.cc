@@ -1,0 +1,65 @@
+// Ablation (paper introduction): why standard distinct sampling fails on
+// near-duplicate data. On the power-law datasets the classical min-rank
+// ℓ0-sampler returns a uniform random *point* among distinct points, so
+// the heaviest group (with ~n duplicates out of ~n·H_n points) is sampled
+// ~22% of the time instead of 1/n. The robust sampler stays uniform.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "rl0/baseline/standard_l0.h"
+
+int main() {
+  using namespace rl0;
+  using namespace rl0::bench;
+  std::printf("== Ablation: standard vs robust sampler bias ==\n");
+
+  const DatasetSpec& spec = SpecForFigure(9);  // Rand5-pl
+  const NoisyDataset data = Materialize(spec);
+  const RepresentativeStream reps = ExtractRepresentatives(data);
+  const uint64_t runs = EnvRuns(8000);
+
+  SampleDistribution robust(data.num_groups);
+  SampleDistribution standard(data.num_groups);
+  uint64_t empty_runs = 0;
+  for (uint64_t run = 0; run < runs; ++run) {
+    auto sampler =
+        RobustL0SamplerIW::Create(PaperSamplerOptions(data, 600 + run))
+            .value();
+    for (const Point& p : reps.points) sampler.Insert(p);
+    Xoshiro256pp rng(SplitMix64(run * 13 + 1));
+    const auto sample = sampler.Sample(&rng);
+    if (sample.has_value()) {
+      robust.Record(reps.group_of[sample->stream_index]);
+    } else {
+      ++empty_runs;
+    }
+
+    StandardL0Sampler classic(run * 17 + 3);
+    for (size_t i = 0; i < data.points.size(); ++i) {
+      classic.Insert(data.points[i]);
+    }
+    const auto biased = classic.Sample();
+    if (biased.has_value()) {
+      standard.Record(data.group_of[biased->stream_index]);
+    }
+  }
+
+  std::printf("dataset %s: %zu groups, %zu points, runs=%llu\n",
+              spec.name.c_str(), data.num_groups, data.size(),
+              static_cast<unsigned long long>(runs));
+  std::printf("%-22s %12s %12s %8s\n", "sampler", "stdDevNm", "maxDevNm",
+              "zeros");
+  std::printf("%-22s %12.4f %12.4f %8zu\n", "robust (Algorithm 1)",
+              robust.StdDevNm(), robust.MaxDevNm(), robust.ZeroGroups());
+  std::printf("%-22s %12.4f %12.4f %8zu\n", "standard min-rank l0",
+              standard.StdDevNm(), standard.MaxDevNm(),
+              standard.ZeroGroups());
+  std::printf("(robust empty runs: %llu)\n",
+              static_cast<unsigned long long>(empty_runs));
+  std::printf(
+      "\nexpected shape: the standard sampler's maxDevNm is >= an order of\n"
+      "magnitude above the robust sampler's (it tracks group sizes, which\n"
+      "are power-law); the robust sampler sits near the noise floor.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation (Section 5): robust F0 estimation built on the ℓ0-samplers.
+//   (a) Infinite window: relative error and space vs ε on a noisy stream
+//       whose robust F0 is known by construction.
+//   (b) Sliding window: FM vs HyperLogLog combiners vs copy count.
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+#include "rl0/core/f0_iw.h"
+#include "rl0/core/f0_sw.h"
+
+namespace {
+
+rl0::NoisyDataset F0Stream(size_t groups, uint64_t seed) {
+  const rl0::BaseDataset base = rl0::RandomUniform(groups, 4, seed, "F0");
+  rl0::NearDupOptions nd;
+  nd.max_dups = 10;
+  nd.seed = seed + 1;
+  return rl0::MakeNearDuplicates(base, nd);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rl0;
+  std::printf("== Ablation: F0 estimation (Section 5) ==\n\n");
+
+  std::printf("-- infinite window: error vs epsilon (truth = 2000) --\n");
+  std::printf("%8s %8s %12s %12s %12s\n", "epsilon", "copies", "estimate",
+              "rel.err", "words");
+  const NoisyDataset data = F0Stream(2000, 5);
+  for (double epsilon : {0.4, 0.2, 0.1}) {
+    F0Options opts;
+    opts.sampler.dim = data.dim;
+    opts.sampler.alpha = data.alpha;
+    opts.sampler.seed = 17;
+    opts.sampler.side_mode = GridSideMode::kHighDim;
+    opts.epsilon = epsilon;
+    opts.copies = 9;
+    auto est = F0EstimatorIW::Create(opts).value();
+    for (const Point& p : data.points) est.Insert(p);
+    const double estimate = est.Estimate();
+    std::printf("%8.2f %8zu %12.0f %12.4f %12zu\n", epsilon, opts.copies,
+                estimate, std::abs(estimate - 2000.0) / 2000.0,
+                est.SpaceWords());
+  }
+
+  std::printf(
+      "\n-- sliding window: combiners vs copies (truth = 256 alive) --\n");
+  std::printf("%8s %6s %14s %14s\n", "copies", "reps", "FM estimate",
+              "HLL estimate");
+  for (size_t copies : {8u, 16u, 32u}) {
+    double estimates[2];
+    for (int which = 0; which < 2; ++which) {
+      F0SwOptions opts;
+      opts.sampler.dim = 1;
+      opts.sampler.alpha = 1.0;
+      opts.sampler.seed = 23 + which;
+      opts.window = 4096;
+      opts.copies = copies;
+      opts.repetitions = 3;
+      opts.combiner = which == 0 ? F0SwCombiner::kFlajoletMartin
+                                 : F0SwCombiner::kHyperLogLog;
+      auto est = F0EstimatorSW::Create(opts).value();
+      // 512 groups streamed; the last 256 stay in the window.
+      int stamp = 0;
+      for (int i = 0; i < 512; ++i) {
+        est.Insert(Point{10.0 * i}, stamp);
+        stamp += 4096 / 256;
+      }
+      estimates[which] = est.Estimate(stamp);
+    }
+    std::printf("%8zu %6d %14.0f %14.0f\n", copies, 3, estimates[0],
+                estimates[1]);
+  }
+  std::printf(
+      "\nexpected shape: IW error falls as epsilon shrinks while space\n"
+      "rises ~1/eps^2; both SW combiners land within a small constant\n"
+      "factor of 256, tightening with more copies.\n");
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Reproduces paper Figure 5: the empirical sampling distribution of
+// Algorithm 1 on the rand5 dataset (see bench/harness.h for methodology).
+
+#include "fig_main.h"
+
+int main() { return rl0::bench::RunFigure(5); }

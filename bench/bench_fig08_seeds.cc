@@ -1,0 +1,6 @@
+// Reproduces paper Figure 8: the empirical sampling distribution of
+// Algorithm 1 on the seeds dataset (see bench/harness.h for methodology).
+
+#include "fig_main.h"
+
+int main() { return rl0::bench::RunFigure(8); }

@@ -1,0 +1,6 @@
+// Reproduces paper Figure 9: the empirical sampling distribution of
+// Algorithm 1 on the rand5_pl dataset (see bench/harness.h for methodology).
+
+#include "fig_main.h"
+
+int main() { return rl0::bench::RunFigure(9); }

@@ -1,0 +1,6 @@
+// Reproduces paper Figure 12: the empirical sampling distribution of
+// Algorithm 1 on the seeds_pl dataset (see bench/harness.h for methodology).
+
+#include "fig_main.h"
+
+int main() { return rl0::bench::RunFigure(12); }

@@ -1,0 +1,35 @@
+// Reproduces paper Figure 14: peak space usage (pSpace, in words) of
+// Algorithm 1 on the eight evaluation datasets, under the documented
+// accounting model (util/space.h): points cost dim+2 words, associative
+// entries 3 words.
+//
+// Expected shape (paper): a few hundred to a few thousand words; the
+// dimension of the points is the dominant factor (Rand20 > Rand5), while
+// stream length only enters logarithmically through the accept cap.
+
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace rl0::bench;
+  const int seeds = EnvRepeats(10);
+  std::printf("== Figure 14: pSpace (peak words) ==\n");
+  std::printf("seeds averaged per dataset: %d\n", seeds);
+  std::printf("%-10s %8s %6s %12s %16s\n", "dataset", "stream", "dim",
+              "peak words", "naive words");
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const rl0::NoisyDataset data = Materialize(spec);
+    const double words = RunPeakSpace(data, seeds, 77);
+    // Naive alternative: store every representative seen so far.
+    const double naive = static_cast<double>(data.num_groups) *
+                         static_cast<double>(rl0::PointWords(data.dim));
+    std::printf("%-10s %8zu %6zu %12.0f %16.0f\n", spec.name.c_str(),
+                data.size(), data.dim, words, naive);
+  }
+  std::printf(
+      "\npaper expectation: space scales with point dimension and stays\n"
+      "logarithmic in the stream length (compare against the naive\n"
+      "store-all-representatives column).\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces paper Figure 15: maxDevNm and stdDevNm of the empirical
+// sampling distribution for all eight datasets, in one table. Shares the
+// machinery of Figures 5-12 at a reduced default run count (RL0_RUNS
+// overrides); the sampling noise floor sqrt((n-1)/runs) is printed so the
+// paper's thresholds can be judged at any run count.
+
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace rl0::bench;
+  std::printf("== Figure 15: maxDevNm and stdDevNm across datasets ==\n");
+  std::printf("%-10s %8s %10s %10s %12s %8s\n", "dataset", "runs",
+              "stdDevNm", "maxDevNm", "noisefloor", "zeros");
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const rl0::NoisyDataset data = Materialize(spec);
+    const uint64_t runs = EnvRuns(spec.default_runs / 2);
+    const DistributionResult r = RunDistribution(data, runs, 20'000);
+    std::printf("%-10s %8llu %10.4f %10.4f %12.4f %8zu\n", spec.name.c_str(),
+                static_cast<unsigned long long>(r.runs),
+                r.distribution.StdDevNm(), r.distribution.MaxDevNm(),
+                rl0::SampleDistribution::StdDevNoiseFloor(data.num_groups,
+                                                          r.runs),
+                r.distribution.ZeroGroups());
+  }
+  std::printf(
+      "\npaper expectation (at 200k-500k runs): stdDevNm <= ~0.1 and\n"
+      "maxDevNm <= ~0.2 for every dataset. At reduced run counts the\n"
+      "measured deviation approaches the printed noise floor, which is\n"
+      "the value a perfectly uniform sampler would measure.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation (Section 3 / Theorem 3.1): general, non-well-separated data.
+// On chains of overlapping clusters the minimum-cardinality partition is
+// ambiguous; the theorem promises Pr[sample ∈ Ball(p, α)] = Θ(1/F0) for
+// every point p. We measure the min/max ball-hit probability across all
+// points, normalized by the greedy-partition group count.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "rl0/baseline/exact_partition.h"
+
+int main() {
+  using namespace rl0;
+  using namespace rl0::bench;
+  std::printf("== Ablation: general datasets (Theorem 3.1) ==\n");
+  std::printf("%8s %8s %8s %14s %14s %10s\n", "points", "n_gdy", "runs",
+              "min ball-prob", "max ball-prob", "target");
+  for (size_t n : {40u, 80u, 160u}) {
+    const BaseDataset data = OverlappingChains(n, 2, 1.0, 13 + n);
+    const size_t n_gdy = GreedyPartition(data.points, 1.0).num_groups;
+    const uint64_t runs = EnvRuns(4000);
+    std::vector<uint64_t> hits(n, 0);
+    for (uint64_t run = 0; run < runs; ++run) {
+      SamplerOptions opts;
+      opts.dim = 2;
+      opts.alpha = 1.0;
+      opts.seed = 1000 * n + run;
+      opts.side_mode = GridSideMode::kConstantDim;  // Section 3 regime
+      opts.expected_stream_length = n;
+      auto sampler = RobustL0SamplerIW::Create(opts).value();
+      for (const Point& p : data.points) sampler.Insert(p);
+      Xoshiro256pp rng(SplitMix64(77 * n + run));
+      const auto sample = sampler.Sample(&rng);
+      if (!sample.has_value()) continue;
+      for (size_t i = 0; i < n; ++i) {
+        if (WithinDistance(data.points[i], sample->point, 1.0)) ++hits[i];
+      }
+    }
+    const double lo = static_cast<double>(
+                          *std::min_element(hits.begin(), hits.end())) /
+                      static_cast<double>(runs);
+    const double hi = static_cast<double>(
+                          *std::max_element(hits.begin(), hits.end())) /
+                      static_cast<double>(runs);
+    std::printf("%8zu %8zu %8llu %14.4f %14.4f %10.4f\n", n, n_gdy,
+                static_cast<unsigned long long>(runs), lo, hi,
+                1.0 / static_cast<double>(n_gdy));
+  }
+  std::printf(
+      "\nexpected shape: min and max ball-hit probabilities bracket the\n"
+      "1/n_gdy target within a constant factor (Theorem 3.1's Theta(1/n)\n"
+      "— the max can exceed 1/n because a ball may intersect several\n"
+      "greedy groups).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation (Theorem 2.7): the hierarchical sliding-window sampler.
+//   (a) Space vs window size: O(log w · log m) — quadrupling w adds ~2
+//       levels, far from quadrupling space.
+//   (b) Amortized per-item time vs window size.
+//   (c) The within-window sampling profile: uniform up to the boundary-
+//       group recency bias documented in DESIGN.md §3 (the newest ~log w
+//       positions are oversampled up to ~2.5x; the Θ(1/n) band holds).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "rl0/core/sw_sampler.h"
+
+int main() {
+  using namespace rl0;
+  using namespace rl0::bench;
+
+  std::printf("== Ablation: sliding-window sampler (Theorem 2.7) ==\n\n");
+
+  // (a) + (b): space and time vs window size.
+  std::printf("-- space/time vs window --\n");
+  std::printf("%8s %8s %12s %12s %12s\n", "window", "levels", "peak words",
+              "naive words", "ns/item");
+  for (int64_t window : {64, 256, 1024, 4096, 16384}) {
+    SamplerOptions opts;
+    opts.dim = 1;
+    opts.alpha = 1.0;
+    opts.seed = 11;
+    opts.accept_cap = 16;
+    opts.expected_stream_length = 1 << 16;
+    auto sampler = RobustL0SamplerSW::Create(opts, window).value();
+    const int n = 40000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i) {
+      sampler.Insert(Point{10.0 * i}, i);
+    }
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    std::printf("%8lld %8zu %12zu %12llu %12.0f\n",
+                static_cast<long long>(window), sampler.num_levels(),
+                sampler.PeakSpaceWords(),
+                static_cast<unsigned long long>(window) * PointWords(1),
+                seconds * 1e9 / n);
+  }
+
+  // (c): sampling profile across window positions.
+  std::printf("\n-- within-window sampling profile (window=64) --\n");
+  const int window = 64, stream_len = 300;
+  const uint64_t runs = EnvRuns(20000);
+  std::vector<uint64_t> counts(window, 0);
+  for (uint64_t run = 0; run < runs; ++run) {
+    SamplerOptions opts;
+    opts.dim = 1;
+    opts.alpha = 1.0;
+    opts.seed = 10000 + run;
+    opts.accept_cap = 10;
+    opts.expected_stream_length = 1 << 16;
+    auto sampler = RobustL0SamplerSW::Create(opts, window).value();
+    for (int i = 0; i < stream_len; ++i) {
+      sampler.Insert(Point{10.0 * i}, i);
+    }
+    Xoshiro256pp rng(SplitMix64(90000 + run));
+    const auto sample = sampler.Sample(stream_len - 1, &rng);
+    if (!sample.has_value()) continue;
+    const int pos = static_cast<int>(sample->point[0] / 10.0 + 0.5);
+    ++counts[pos - (stream_len - window)];
+  }
+  const double expected = static_cast<double>(runs) / window;
+  std::printf("position (0=oldest alive) : sampled/expected ratio\n");
+  for (int i = 0; i < window; i += 8) {
+    std::printf("  pos %2d-%2d:", i, i + 7);
+    for (int j = i; j < i + 8; ++j) {
+      std::printf(" %.2f", static_cast<double>(counts[j]) / expected);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: ~1.0 across most of the window, ramping up over\n"
+      "the newest ~log2(w) positions (boundary-group bias, DESIGN.md §3);\n"
+      "all positions within the Theta(1/n) band [0.25, 4].\n");
+  return 0;
+}

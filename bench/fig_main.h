@@ -1,0 +1,25 @@
+// Shared entry point for the Figure 5-12 distribution benchmarks.
+
+#ifndef RL0_BENCH_FIG_MAIN_H_
+#define RL0_BENCH_FIG_MAIN_H_
+
+#include "harness.h"
+
+namespace rl0 {
+namespace bench {
+
+/// Runs the empirical-sampling-distribution experiment for the given paper
+/// figure (5..12) and prints the report. Returns the process exit code.
+inline int RunFigure(int figure) {
+  const DatasetSpec& spec = SpecForFigure(figure);
+  const NoisyDataset data = Materialize(spec);
+  const uint64_t runs = EnvRuns(spec.default_runs);
+  const DistributionResult result = RunDistribution(data, runs, 10'000);
+  PrintDistributionReport(spec, data, result);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace rl0
+
+#endif  // RL0_BENCH_FIG_MAIN_H_

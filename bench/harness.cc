@@ -1,0 +1,206 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+namespace bench {
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  static const std::vector<DatasetSpec>* specs = [] {
+    auto* v = new std::vector<DatasetSpec>;
+    const auto add = [&](std::string name, int figure, uint64_t paper_runs,
+                         uint64_t default_runs,
+                         std::function<BaseDataset()> base,
+                         DupDistribution distribution) {
+      v->push_back(DatasetSpec{std::move(name), figure, paper_runs,
+                               default_runs, std::move(base), distribution});
+    };
+    add("Rand5", 5, 200000, 30000, [] { return Rand5(); },
+        DupDistribution::kUniform);
+    add("Rand20", 6, 200000, 30000, [] { return Rand20(); },
+        DupDistribution::kUniform);
+    add("Yacht", 7, 500000, 40000, [] { return YachtLike(); },
+        DupDistribution::kUniform);
+    add("Seeds", 8, 500000, 40000, [] { return SeedsLike(); },
+        DupDistribution::kUniform);
+    add("Rand5-pl", 9, 200000, 30000, [] { return Rand5(); },
+        DupDistribution::kPowerLaw);
+    add("Rand20-pl", 10, 200000, 30000, [] { return Rand20(); },
+        DupDistribution::kPowerLaw);
+    add("Yacht-pl", 11, 500000, 40000, [] { return YachtLike(); },
+        DupDistribution::kPowerLaw);
+    add("Seeds-pl", 12, 500000, 40000, [] { return SeedsLike(); },
+        DupDistribution::kPowerLaw);
+    return v;
+  }();
+  return *specs;
+}
+
+const DatasetSpec& SpecForFigure(int figure) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.figure == figure) return spec;
+  }
+  RL0_CHECK(false);
+  return PaperDatasets()[0];
+}
+
+NoisyDataset Materialize(const DatasetSpec& spec, uint64_t seed) {
+  NearDupOptions opts;
+  opts.distribution = spec.distribution;
+  opts.max_dups = 100;  // paper: k_i uniform in {1..100}
+  opts.seed = seed;
+  return MakeNearDuplicates(spec.base(), opts);
+}
+
+SamplerOptions PaperSamplerOptions(const NoisyDataset& data, uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.seed = seed;
+  opts.side_mode = GridSideMode::kHighDim;
+  opts.hash_family = HashFamily::kMix64;
+  opts.kappa0 = 4.0;
+  opts.expected_stream_length = std::max<uint64_t>(data.size(), 4);
+  return opts;
+}
+
+DistributionResult RunDistribution(const NoisyDataset& data, uint64_t runs,
+                                   uint64_t seed_base) {
+  const RepresentativeStream reps = ExtractRepresentatives(data);
+  DistributionResult result;
+  result.distribution = SampleDistribution(data.num_groups);
+  result.runs = runs;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t run = 0; run < runs; ++run) {
+    auto sampler =
+        RobustL0SamplerIW::Create(PaperSamplerOptions(data, seed_base + run))
+            .value();
+    for (const Point& p : reps.points) sampler.Insert(p);
+    Xoshiro256pp rng(SplitMix64(seed_base * 31 + run));
+    const auto sample = sampler.Sample(&rng);
+    if (!sample.has_value()) {
+      ++result.empty_runs;
+      continue;
+    }
+    result.distribution.Record(reps.group_of[sample->stream_index]);
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+void PrintDistributionReport(const DatasetSpec& spec,
+                             const NoisyDataset& data,
+                             const DistributionResult& result) {
+  const SampleDistribution& dist = result.distribution;
+  std::printf("== Figure %d: empirical sampling distribution on %s ==\n",
+              spec.figure, spec.name.c_str());
+  std::printf("dataset\tgroups=%zu\tstream=%zu\tdim=%zu\talpha=%.6g\n",
+              data.num_groups, data.size(), data.dim, data.alpha);
+  std::printf(
+      "runs\t%llu (paper: %llu; set RL0_RUNS to scale)\tempty_runs\t%llu\n",
+      static_cast<unsigned long long>(result.runs),
+      static_cast<unsigned long long>(spec.paper_runs),
+      static_cast<unsigned long long>(result.empty_runs));
+
+  const double expected = static_cast<double>(dist.total()) /
+                          static_cast<double>(dist.num_groups());
+  std::printf("per-group count\texpected=%.1f\tmin=%llu\tmax=%llu\n",
+              expected, static_cast<unsigned long long>(dist.MinCount()),
+              static_cast<unsigned long long>(dist.MaxCount()));
+
+  // Histogram of per-group counts in 10 buckets across [min, max] — the
+  // textual analogue of the paper's per-group bar plots.
+  const uint64_t lo = dist.MinCount(), hi = std::max(dist.MaxCount(), lo + 1);
+  std::vector<int> buckets(10, 0);
+  for (uint64_t c : dist.counts()) {
+    size_t b = static_cast<size_t>((c - lo) * 10 / (hi - lo + 1));
+    if (b > 9) b = 9;
+    ++buckets[b];
+  }
+  std::printf("count histogram (10 buckets over [%llu, %llu]):\n",
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    std::printf("  [%5.0f-%5.0f) %4d |",
+                lo + b * (hi - lo + 1) / 10.0,
+                lo + (b + 1) * (hi - lo + 1) / 10.0, buckets[b]);
+    for (int s = 0; s < buckets[b] * 60 / std::max(1, static_cast<int>(
+                                                          data.num_groups));
+         ++s) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+
+  const double floor =
+      SampleDistribution::StdDevNoiseFloor(dist.num_groups(), dist.total());
+  std::printf("stdDevNm\t%.4f\t(noise floor at these runs: %.4f)\n",
+              dist.StdDevNm(), floor);
+  std::printf("maxDevNm\t%.4f\n", dist.MaxDevNm());
+  std::printf("zero-sampled groups\t%zu\n", dist.ZeroGroups());
+  std::printf(
+      "paper expectation: stdDevNm <= ~0.1, maxDevNm <= ~0.2 at %llu runs\n",
+      static_cast<unsigned long long>(spec.paper_runs));
+  std::printf("experiment wall time: %.2fs\n\n", result.seconds);
+}
+
+TimingResult RunTiming(const NoisyDataset& data, int repeats,
+                       uint64_t seed_base) {
+  TimingResult result;
+  result.stream_length = data.size();
+  result.repeats = repeats;
+  double total_seconds = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    auto sampler =
+        RobustL0SamplerIW::Create(PaperSamplerOptions(data, seed_base + rep))
+            .value();
+    const auto start = std::chrono::steady_clock::now();
+    for (const Point& p : data.points) sampler.Insert(p);
+    total_seconds += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    // Keep the sampler's final state observable so the loop cannot be
+    // optimized away.
+    if (sampler.accept_size() == 0) std::printf("(empty accept set)\n");
+  }
+  result.ns_per_item = total_seconds * 1e9 /
+                       (static_cast<double>(data.size()) * repeats);
+  return result;
+}
+
+double RunPeakSpace(const NoisyDataset& data, int seeds,
+                    uint64_t seed_base) {
+  double total = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    auto sampler =
+        RobustL0SamplerIW::Create(PaperSamplerOptions(data, seed_base + s))
+            .value();
+    for (const Point& p : data.points) sampler.Insert(p);
+    total += static_cast<double>(sampler.PeakSpaceWords());
+  }
+  return total / seeds;
+}
+
+uint64_t EnvRuns(uint64_t default_runs) {
+  const char* env = std::getenv("RL0_RUNS");
+  if (env == nullptr) return default_runs;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<uint64_t>(v) : default_runs;
+}
+
+int EnvRepeats(int default_repeats) {
+  const char* env = std::getenv("RL0_REPEATS");
+  if (env == nullptr) return default_repeats;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_repeats;
+}
+
+}  // namespace bench
+}  // namespace rl0

@@ -1,0 +1,101 @@
+#include "rl0/baseline/exact_partition.h"
+
+#include <numeric>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+namespace {
+
+/// Plain union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace
+
+Partition NaturalPartition(const std::vector<Point>& points, double alpha) {
+  RL0_CHECK(alpha > 0.0);
+  const size_t n = points.size();
+  UnionFind uf(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (WithinDistance(points[i], points[j], alpha)) uf.Union(i, j);
+    }
+  }
+  Partition part;
+  part.group_of.assign(n, 0);
+  std::vector<int64_t> root_to_group(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = uf.Find(i);
+    if (root_to_group[root] < 0) {
+      root_to_group[root] = static_cast<int64_t>(part.num_groups++);
+      part.representative_of.push_back(i);
+    }
+    part.group_of[i] = static_cast<uint32_t>(root_to_group[root]);
+  }
+  return part;
+}
+
+Partition GreedyPartition(const std::vector<Point>& points, double alpha) {
+  RL0_CHECK(alpha > 0.0);
+  const size_t n = points.size();
+  Partition part;
+  part.group_of.assign(n, 0);
+  std::vector<bool> assigned(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (assigned[i]) continue;
+    const uint32_t g = static_cast<uint32_t>(part.num_groups++);
+    part.representative_of.push_back(i);
+    // Carve out Ball(points[i], alpha) ∩ S among unassigned points.
+    for (size_t j = i; j < n; ++j) {
+      if (!assigned[j] && WithinDistance(points[i], points[j], alpha)) {
+        assigned[j] = true;
+        part.group_of[j] = g;
+      }
+    }
+  }
+  return part;
+}
+
+size_t ExactF0WellSeparated(const std::vector<Point>& points, double alpha) {
+  return NaturalPartition(points, alpha).num_groups;
+}
+
+bool IsSparse(const std::vector<Point>& points, double alpha, double beta) {
+  RL0_CHECK(beta >= alpha);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d = Distance(points[i], points[j]);
+      if (d > alpha && d <= beta) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rl0

@@ -1,0 +1,50 @@
+// Offline partitioning baselines (ground truth for F0 and Section 3).
+//
+// NaturalPartition computes the connected components of the "distance ≤ α"
+// graph — for a well-separated dataset this *is* the natural partition of
+// Definition 1.3. GreedyPartition implements Definition 3.2: repeatedly
+// pick the next unassigned point p (in the given order) and carve out
+// Ball(p, α) ∩ S. Lemma 3.3 proves |greedy| = Θ(|minimum partition|);
+// tests verify n_greedy ≤ n_natural on well-separated data and the Θ(1)
+// spread across random orders on general data.
+//
+// Both are quadratic-time reference implementations intended for test- and
+// bench-sized inputs, not for streams.
+
+#ifndef RL0_BASELINE_EXACT_PARTITION_H_
+#define RL0_BASELINE_EXACT_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rl0/geom/point.h"
+
+namespace rl0 {
+
+/// A partition of point indices into groups.
+struct Partition {
+  /// group id per point index.
+  std::vector<uint32_t> group_of;
+  /// Number of groups.
+  size_t num_groups = 0;
+  /// Index of the first point of each group (by the order partitioning ran).
+  std::vector<size_t> representative_of;
+};
+
+/// Connected components of the distance-≤-alpha graph (union-find).
+/// Equals the natural partition for well-separated data.
+Partition NaturalPartition(const std::vector<Point>& points, double alpha);
+
+/// Definition 3.2 greedy partition, processing points in index order.
+Partition GreedyPartition(const std::vector<Point>& points, double alpha);
+
+/// Exact robust F0 of a well-separated dataset (== NaturalPartition size).
+size_t ExactF0WellSeparated(const std::vector<Point>& points, double alpha);
+
+/// True iff the dataset is (alpha, beta)-sparse: every pairwise distance is
+/// either ≤ alpha or > beta.
+bool IsSparse(const std::vector<Point>& points, double alpha, double beta);
+
+}  // namespace rl0
+
+#endif  // RL0_BASELINE_EXACT_PARTITION_H_

@@ -1,0 +1,71 @@
+#include "rl0/baseline/naive_robust.h"
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+NaiveRobustSampler::NaiveRobustSampler(double alpha) : alpha_(alpha) {
+  RL0_CHECK(alpha > 0.0);
+}
+
+void NaiveRobustSampler::Insert(const Point& p) {
+  const uint64_t index = points_processed_++;
+  for (const SampleItem& rep : reps_) {
+    if (WithinDistance(rep.point, p, alpha_)) return;
+  }
+  reps_.push_back(SampleItem{p, index});
+}
+
+std::optional<SampleItem> NaiveRobustSampler::Sample(
+    Xoshiro256pp* rng) const {
+  if (reps_.empty()) return std::nullopt;
+  return reps_[rng->NextBounded(reps_.size())];
+}
+
+NaiveWindowSampler::NaiveWindowSampler(double alpha, int64_t window)
+    : alpha_(alpha), window_(window) {
+  RL0_CHECK(alpha > 0.0);
+  RL0_CHECK(window > 0);
+}
+
+void NaiveWindowSampler::Insert(const Point& p, int64_t stamp) {
+  RL0_DCHECK(buffer_.empty() || stamp >= buffer_.back().stamp);
+  buffer_.push_back(Stored{p, stamp, points_processed_++});
+  // Evict points that can never again be inside a queried window. Queries
+  // use `now` ≥ the newest stamp, so anything older than newest - window
+  // is dead.
+  const int64_t horizon = stamp - window_;
+  while (!buffer_.empty() && buffer_.front().stamp <= horizon) {
+    buffer_.pop_front();
+  }
+}
+
+std::vector<SampleItem> NaiveWindowSampler::AliveRepresentatives(
+    int64_t now) const {
+  std::vector<SampleItem> reps;
+  for (const Stored& s : buffer_) {
+    if (s.stamp <= now - window_ || s.stamp > now) continue;
+    bool known = false;
+    for (const SampleItem& rep : reps) {
+      if (WithinDistance(rep.point, s.point, alpha_)) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) reps.push_back(SampleItem{s.point, s.stream_index});
+  }
+  return reps;
+}
+
+std::optional<SampleItem> NaiveWindowSampler::Sample(
+    int64_t now, Xoshiro256pp* rng) const {
+  const std::vector<SampleItem> reps = AliveRepresentatives(now);
+  if (reps.empty()) return std::nullopt;
+  return reps[rng->NextBounded(reps.size())];
+}
+
+size_t NaiveWindowSampler::GroupsAlive(int64_t now) const {
+  return AliveRepresentatives(now).size();
+}
+
+}  // namespace rl0

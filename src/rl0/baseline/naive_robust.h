@@ -1,0 +1,85 @@
+// Exact (Ω(n)-space) robust samplers — ground truth references.
+//
+// NaiveRobustSampler stores the first point of every group (found by a
+// linear scan over stored representatives) and samples uniformly among
+// them. It is exactly uniform over groups of a well-separated dataset and
+// provides the accuracy reference for RobustL0SamplerIW at a Θ(n) space
+// cost the paper's algorithm avoids.
+//
+// NaiveWindowSampler keeps every point of the current window and derives
+// the group representatives on demand — the sliding-window ground truth.
+
+#ifndef RL0_BASELINE_NAIVE_ROBUST_H_
+#define RL0_BASELINE_NAIVE_ROBUST_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "rl0/core/sample.h"
+#include "rl0/geom/point.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+/// Exact robust ℓ0-sampler for the infinite window (Θ(n) space).
+class NaiveRobustSampler {
+ public:
+  /// Creates a sampler with near-duplicate threshold `alpha`.
+  explicit NaiveRobustSampler(double alpha);
+
+  /// Processes the next stream point.
+  void Insert(const Point& p);
+
+  /// A uniformly random group representative.
+  std::optional<SampleItem> Sample(Xoshiro256pp* rng) const;
+
+  /// Current number of groups seen.
+  size_t num_groups() const { return reps_.size(); }
+
+  /// The representatives in arrival order.
+  const std::vector<SampleItem>& representatives() const { return reps_; }
+
+ private:
+  double alpha_;
+  uint64_t points_processed_ = 0;
+  std::vector<SampleItem> reps_;
+};
+
+/// Exact robust ℓ0-sampler for sliding windows (stores the whole window).
+class NaiveWindowSampler {
+ public:
+  /// `window` is the width (points for sequence-based stamps, time units
+  /// for time-based stamps); `alpha` the near-duplicate threshold.
+  NaiveWindowSampler(double alpha, int64_t window);
+
+  /// Processes a stamped point; stamps must be non-decreasing.
+  void Insert(const Point& p, int64_t stamp);
+
+  /// Uniform sample over groups with a point alive at `now`
+  /// (stamps in (now - window, now]). Representative = first alive point
+  /// of each group.
+  std::optional<SampleItem> Sample(int64_t now, Xoshiro256pp* rng) const;
+
+  /// Number of groups alive at `now`.
+  size_t GroupsAlive(int64_t now) const;
+
+ private:
+  struct Stored {
+    Point point;
+    int64_t stamp;
+    uint64_t stream_index;
+  };
+
+  std::vector<SampleItem> AliveRepresentatives(int64_t now) const;
+
+  double alpha_;
+  int64_t window_;
+  uint64_t points_processed_ = 0;
+  std::deque<Stored> buffer_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_BASELINE_NAIVE_ROBUST_H_

@@ -1,0 +1,43 @@
+#include "rl0/baseline/standard_l0.h"
+
+#include <cstring>
+#include <limits>
+
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+StandardL0Sampler::StandardL0Sampler(uint64_t seed)
+    : seed_(SplitMix64(seed ^ 0x4C304D696EULL)),
+      best_rank_(std::numeric_limits<uint64_t>::max()) {}
+
+uint64_t StandardL0Sampler::HashPoint(const Point& p) const {
+  // Hash the exact bit pattern of the coordinates: identical points (true
+  // duplicates) collide, near-duplicates do not — the crux of the baseline.
+  uint64_t h = seed_;
+  for (double c : p.coords()) {
+    uint64_t bits;
+    std::memcpy(&bits, &c, sizeof(bits));
+    h = SplitMix64(h ^ bits);
+  }
+  return h;
+}
+
+void StandardL0Sampler::Insert(const Point& p) {
+  const uint64_t index = points_processed_++;
+  const uint64_t rank = HashPoint(p);
+  // Ties (true duplicates) keep the first arrival; distinct items get
+  // distinct ranks with probability 1 - 2^-64 per pair.
+  if (rank < best_rank_) {
+    best_rank_ = rank;
+    best_ = SampleItem{p, index};
+    has_sample_ = true;
+  }
+}
+
+std::optional<SampleItem> StandardL0Sampler::Sample() const {
+  if (!has_sample_) return std::nullopt;
+  return best_;
+}
+
+}  // namespace rl0

@@ -1,0 +1,50 @@
+// The classical (noiseless) ℓ0-sampler baseline.
+//
+// The folklore min-rank sampler: assign every *distinct item* a random rank
+// via a hash of its exact representation and keep the item with the minimum
+// rank. On clean data this returns a uniform distinct element in O(1)
+// words. On noisy data each near-duplicate hashes to a different rank, so
+// the sampler returns a uniform random *point* among distinct points —
+// i.e. it is biased toward groups with many near-duplicates, which is
+// exactly the failure mode the paper's introduction motivates against
+// (and bench_baseline_bias demonstrates).
+
+#ifndef RL0_BASELINE_STANDARD_L0_H_
+#define RL0_BASELINE_STANDARD_L0_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "rl0/core/sample.h"
+#include "rl0/geom/point.h"
+
+namespace rl0 {
+
+/// Min-rank ℓ0-sampler over exact point identities.
+class StandardL0Sampler {
+ public:
+  /// Creates a sampler with hash randomness derived from `seed`.
+  explicit StandardL0Sampler(uint64_t seed);
+
+  /// Processes the next stream point.
+  void Insert(const Point& p);
+
+  /// The current sample (the minimum-rank distinct item), if any.
+  std::optional<SampleItem> Sample() const;
+
+  /// Points processed so far.
+  uint64_t points_processed() const { return points_processed_; }
+
+ private:
+  uint64_t HashPoint(const Point& p) const;
+
+  uint64_t seed_;
+  uint64_t best_rank_;
+  bool has_sample_ = false;
+  SampleItem best_;
+  uint64_t points_processed_ = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_BASELINE_STANDARD_L0_H_

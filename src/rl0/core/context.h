@@ -1,0 +1,45 @@
+// Shared immutable state for a family of sampler instances.
+//
+// The hierarchical sliding-window sampler (Algorithm 3) runs many
+// fixed-rate instances (Algorithm 2) that must share one random grid and
+// one nested cell hash — levels differ only in the sampling level ℓ fed to
+// CellHasher::SampledAtLevel. SamplerContext bundles that shared state.
+
+#ifndef RL0_CORE_CONTEXT_H_
+#define RL0_CORE_CONTEXT_H_
+
+#include "rl0/core/options.h"
+#include "rl0/grid/random_grid.h"
+#include "rl0/hashing/cell_hasher.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+/// Immutable per-sampler-family state: options, grid, hash.
+struct SamplerContext {
+  explicit SamplerContext(const SamplerOptions& opts)
+      : options(opts),
+        grid(opts.dim, opts.GridSide(), SplitMix64(opts.seed ^ 0x6772696400ULL),
+             opts.metric),
+        hasher(opts.hash_family, SplitMix64(opts.seed ^ 0x68617368ULL),
+               opts.kwise_k) {}
+
+  SamplerOptions options;
+  RandomGrid grid;
+  CellHasher hasher;
+};
+
+/// A stream point with everything the per-level samplers need, computed
+/// once per arrival (the adjacency DFS dominates per-point cost and must
+/// not be repeated at every level).
+struct PreparedPoint {
+  const Point* point = nullptr;
+  int64_t stamp = 0;
+  uint64_t stream_index = 0;
+  uint64_t cell_key = 0;
+  const std::vector<uint64_t>* adj_keys = nullptr;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_CONTEXT_H_

@@ -1,0 +1,81 @@
+#include "rl0/core/f0_iw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+Status F0Options::Validate() const {
+  Status s = sampler.Validate();
+  if (!s.ok()) return s;
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (kappa_b <= 0.0) {
+    return Status::InvalidArgument("kappa_b must be positive");
+  }
+  if (copies < 1) {
+    return Status::InvalidArgument("copies must be >= 1");
+  }
+  return Status::OK();
+}
+
+size_t F0Options::PerCopyCap() const {
+  return std::max<size_t>(
+      8, static_cast<size_t>(std::ceil(kappa_b / (epsilon * epsilon))));
+}
+
+Result<F0EstimatorIW> F0EstimatorIW::Create(const F0Options& options) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  std::vector<RobustL0SamplerIW> samplers;
+  samplers.reserve(options.copies);
+  for (size_t i = 0; i < options.copies; ++i) {
+    SamplerOptions per_copy = options.sampler;
+    // Section 5: replace the κ0·log m threshold with κB/ε².
+    per_copy.accept_cap = options.PerCopyCap();
+    // Independent randomness per copy, derived from the master seed.
+    per_copy.seed = SplitMix64(options.sampler.seed + 0x46300000ULL + i);
+    Result<RobustL0SamplerIW> sampler = RobustL0SamplerIW::Create(per_copy);
+    if (!sampler.ok()) return sampler.status();
+    samplers.push_back(std::move(sampler).value());
+  }
+  return F0EstimatorIW(std::move(samplers));
+}
+
+F0EstimatorIW::F0EstimatorIW(std::vector<RobustL0SamplerIW> samplers)
+    : samplers_(std::move(samplers)) {}
+
+void F0EstimatorIW::Insert(const Point& p) {
+  for (RobustL0SamplerIW& sampler : samplers_) sampler.Insert(p);
+}
+
+std::vector<double> F0EstimatorIW::CopyEstimates() const {
+  std::vector<double> estimates;
+  estimates.reserve(samplers_.size());
+  for (const RobustL0SamplerIW& sampler : samplers_) {
+    estimates.push_back(static_cast<double>(sampler.accept_size()) *
+                        static_cast<double>(sampler.rate_reciprocal()));
+  }
+  return estimates;
+}
+
+double F0EstimatorIW::Estimate() const {
+  std::vector<double> estimates = CopyEstimates();
+  if (estimates.empty()) return 0.0;
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + estimates.size() / 2, estimates.end());
+  return estimates[estimates.size() / 2];
+}
+
+size_t F0EstimatorIW::SpaceWords() const {
+  size_t words = 0;
+  for (const RobustL0SamplerIW& sampler : samplers_) {
+    words += sampler.SpaceWords();
+  }
+  return words;
+}
+
+}  // namespace rl0

@@ -1,0 +1,102 @@
+// Robust F0 estimation over sliding windows (paper Section 5).
+//
+// Flajolet–Martin style: run r = Θ(1/ε²) independent copies of the
+// hierarchical sliding-window sampler. In each copy the deepest level ℓ
+// with a non-expired accepted group plays the role of the FM "maximum bit
+// position" — a group's representative survives at level ℓ with
+// probability 2^-ℓ, so over n window groups the deepest occupied level
+// concentrates around log2 n. Averaging the per-copy levels to ℓ̄ and
+// returning φ·2^ℓ̄ (φ the FM bias-correction constant) gives a constant-
+// factor F0 estimate, sharpened by the averaging; an outer median over
+// independent repetitions boosts the success probability. A HyperLogLog-
+// style harmonic-mean combiner is provided as an alternative (the paper
+// notes the same plug-in applies).
+
+#ifndef RL0_CORE_F0_SW_H_
+#define RL0_CORE_F0_SW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rl0/core/options.h"
+#include "rl0/core/sw_sampler.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// How per-copy level statistics are combined into one estimate.
+enum class F0SwCombiner {
+  /// φ · 2^(mean level) — the Flajolet–Martin combiner of Section 5.
+  kFlajoletMartin,
+  /// φ · r / Σ 2^(-level_i) — a HyperLogLog-style harmonic mean (no
+  /// classical r² factor: every copy sees the whole stream rather than a
+  /// 1/r slice, so the harmonic mean already estimates 0.77351·n).
+  kHyperLogLog,
+};
+
+/// Options for the sliding-window F0 estimator.
+struct F0SwOptions {
+  /// Base sampler configuration (alpha, dim, seed, grid/hash settings).
+  SamplerOptions sampler;
+  /// Window width (same stamp semantics as RobustL0SamplerSW).
+  int64_t window = 1024;
+  /// Number of independent sampler copies per repetition (Θ(1/ε²)).
+  size_t copies = 16;
+  /// Outer repetitions; the median across them is returned (odd values
+  /// recommended; 1 disables boosting).
+  size_t repetitions = 1;
+  /// Combiner for the per-copy statistics.
+  F0SwCombiner combiner = F0SwCombiner::kFlajoletMartin;
+  /// FM bias correction: estimate = phi · 2^(mean level). The classical
+  /// value 1/0.77351 corrects E[max level] ≈ log2(0.77351·n).
+  double phi = 1.0 / 0.77351;
+
+  /// Checks the options for consistency.
+  Status Validate() const;
+};
+
+/// Constant-factor / (1+ε) robust F0 estimator for sliding windows.
+class F0EstimatorSW {
+ public:
+  /// Validates options and constructs the estimator.
+  static Result<F0EstimatorSW> Create(const F0SwOptions& options);
+
+  /// Feeds a point with an explicit stamp (time-based windows).
+  void Insert(const Point& p, int64_t stamp);
+
+  /// Feeds a point stamped with its arrival index (sequence-based).
+  void Insert(const Point& p);
+
+  /// Estimates the number of groups alive in the window at `now`.
+  /// Expires internal state, hence non-const. Returns 0 for an empty
+  /// window.
+  double Estimate(int64_t now);
+
+  /// Estimate at the stamp of the most recent insertion.
+  double EstimateLatest();
+
+  /// Total space in words across all copies.
+  size_t SpaceWords() const;
+
+  /// Number of copies per repetition / repetitions (introspection).
+  size_t copies() const { return copies_; }
+  size_t repetitions() const { return repetitions_; }
+
+ private:
+  F0EstimatorSW(std::vector<RobustL0SamplerSW> samplers, size_t copies,
+                size_t repetitions, F0SwCombiner combiner, double phi);
+
+  double CombineRepetition(size_t rep, int64_t now);
+
+  std::vector<RobustL0SamplerSW> samplers_;  // repetitions × copies
+  size_t copies_;
+  size_t repetitions_;
+  F0SwCombiner combiner_;
+  double phi_;
+  int64_t latest_stamp_ = 0;
+  uint64_t points_processed_ = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_F0_SW_H_

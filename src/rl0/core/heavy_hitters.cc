@@ -1,0 +1,134 @@
+#include "rl0/core/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+#include "rl0/util/space.h"
+
+namespace rl0 {
+
+namespace {
+constexpr uint64_t kNoEntry = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+Status HeavyHittersOptions::Validate() const {
+  if (dim < 1) return Status::InvalidArgument("dim must be >= 1");
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("alpha must be positive and finite");
+  }
+  if (capacity < 1) return Status::InvalidArgument("capacity must be >= 1");
+  return Status::OK();
+}
+
+Result<RobustHeavyHitters> RobustHeavyHitters::Create(
+    const HeavyHittersOptions& options) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  return RobustHeavyHitters(options);
+}
+
+RobustHeavyHitters::RobustHeavyHitters(const HeavyHittersOptions& options)
+    : options_(options),
+      // The grid only accelerates candidate lookup here (no subsampling),
+      // so cells of side α keep |adj| small while covering every possible
+      // representative within α.
+      grid_(options.dim, options.alpha,
+            SplitMix64(options.seed ^ 0x6868677269ULL), options.metric) {}
+
+uint64_t RobustHeavyHitters::FindGroup(const Point& p) const {
+  grid_.AdjacentCells(p, options_.alpha, &adj_scratch_);
+  for (uint64_t key : adj_scratch_) {
+    auto [it, end] = cell_to_entry_.equal_range(key);
+    for (; it != end; ++it) {
+      const Counter& counter = entries_.at(it->second);
+      if (MetricWithinDistance(counter.entry.representative, p,
+                               options_.alpha, options_.metric)) {
+        return it->second;
+      }
+    }
+  }
+  return kNoEntry;
+}
+
+void RobustHeavyHitters::Insert(const Point& p) {
+  RL0_DCHECK(p.dim() == options_.dim);
+  const uint64_t stream_index = points_processed_++;
+
+  const uint64_t found = FindGroup(p);
+  if (found != kNoEntry) {
+    Counter& counter = entries_.at(found);
+    by_count_.erase(counter.by_count_it);
+    ++counter.entry.count;
+    counter.by_count_it = by_count_.emplace(counter.entry.count, found);
+    return;
+  }
+
+  if (entries_.size() < options_.capacity) {
+    // Free counter available.
+    const uint64_t id = next_id_++;
+    Counter counter;
+    counter.entry.representative = p;
+    counter.entry.stream_index = stream_index;
+    counter.entry.count = 1;
+    counter.entry.error = 0;
+    counter.cell_key = grid_.CellKeyOf(p);
+    counter.by_count_it = by_count_.emplace(uint64_t{1}, id);
+    cell_to_entry_.emplace(counter.cell_key, id);
+    entries_.emplace(id, std::move(counter));
+    return;
+  }
+
+  // SpaceSaving takeover: the minimum counter is reassigned to the new
+  // group, inheriting its count as the error bound.
+  const auto min_it = by_count_.begin();
+  const uint64_t victim_id = min_it->second;
+  Counter& counter = entries_.at(victim_id);
+  // Re-index the cell.
+  auto [cit, cend] = cell_to_entry_.equal_range(counter.cell_key);
+  for (; cit != cend; ++cit) {
+    if (cit->second == victim_id) {
+      cell_to_entry_.erase(cit);
+      break;
+    }
+  }
+  by_count_.erase(min_it);
+  const uint64_t inherited = counter.entry.count;
+  counter.entry.representative = p;
+  counter.entry.stream_index = stream_index;
+  counter.entry.count = inherited + 1;
+  counter.entry.error = inherited;
+  counter.cell_key = grid_.CellKeyOf(p);
+  counter.by_count_it = by_count_.emplace(counter.entry.count, victim_id);
+  cell_to_entry_.emplace(counter.cell_key, victim_id);
+}
+
+std::vector<RobustHeavyHitters::Entry> RobustHeavyHitters::TopK(
+    size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, counter] : entries_) out.push_back(counter.entry);
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.stream_index < b.stream_index;  // deterministic tie-break
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<uint64_t> RobustHeavyHitters::EstimateCount(const Point& p) const {
+  const uint64_t found = FindGroup(p);
+  if (found == kNoEntry) {
+    return Status::NotFound("no tracked group within alpha of the point");
+  }
+  return entries_.at(found).entry.count;
+}
+
+size_t RobustHeavyHitters::SpaceWords() const {
+  return entries_.size() * (PointWords(options_.dim) + 3 * kMapEntryWords) +
+         4;
+}
+
+}  // namespace rl0

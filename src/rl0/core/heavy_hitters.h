@@ -1,0 +1,120 @@
+// Robust heavy hitters: frequent *entities* on streams with
+// near-duplicates.
+//
+// The paper's noisy-data model (and its companion work on distributed
+// noisy streams, reference [36]) motivates more statistics than sampling:
+// "which entities appear most often?" is the dedup-analytics complement of
+// distinct sampling. This module runs the SpaceSaving algorithm
+// (Metwally-Agrawal-El Abbadi) over *groups* instead of exact items, using
+// the same grid + candidate-lookup substrate as the samplers: an arriving
+// point is charged to the tracked group whose representative lies within
+// α of it; a new group either occupies a free counter or inherits the
+// minimum counter (SpaceSaving eviction).
+//
+// Guarantees (well-separated data, m points, c counters): every tracked
+// count overestimates its group's true count by at most m/c (the standard
+// SpaceSaving bound, with group identity resolved greedily as in
+// Section 3), so every group with true count > m/c is tracked. Space is
+// Θ(c) points.
+
+#ifndef RL0_CORE_HEAVY_HITTERS_H_
+#define RL0_CORE_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "rl0/core/sample.h"
+#include "rl0/geom/metric.h"
+#include "rl0/geom/point.h"
+#include "rl0/grid/random_grid.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// Configuration for RobustHeavyHitters.
+struct HeavyHittersOptions {
+  /// Dimension of the points. Required, ≥ 1.
+  size_t dim = 0;
+  /// Near-duplicate threshold α. Required, > 0.
+  double alpha = 0.0;
+  /// Distance function (default Euclidean).
+  Metric metric = Metric::kL2;
+  /// Number of counters c: guarantees error ≤ m/c. Required, ≥ 1.
+  size_t capacity = 64;
+  /// Seed for the grid shift.
+  uint64_t seed = 0;
+
+  /// Checks the options for consistency.
+  Status Validate() const;
+};
+
+/// SpaceSaving over near-duplicate groups.
+class RobustHeavyHitters {
+ public:
+  /// A tracked group.
+  struct Entry {
+    /// The group's representative (first point charged to the counter
+    /// after its last reset).
+    Point representative;
+    /// Arrival index of the representative.
+    uint64_t stream_index = 0;
+    /// Estimated count (upper bound on the group's true count).
+    uint64_t count = 0;
+    /// Maximum possible overestimate (count inherited at takeover).
+    uint64_t error = 0;
+  };
+
+  /// Validates `options` and constructs the sketch.
+  static Result<RobustHeavyHitters> Create(const HeavyHittersOptions& options);
+
+  /// Charges the next stream point to its group.
+  void Insert(const Point& p);
+
+  /// The tracked groups with the `k` largest estimated counts,
+  /// descending (all tracked groups if k ≥ capacity).
+  std::vector<Entry> TopK(size_t k) const;
+
+  /// Estimated count of the group containing `p`, if tracked.
+  /// kNotFound when no tracked representative is within α of p.
+  Result<uint64_t> EstimateCount(const Point& p) const;
+
+  /// Points processed so far.
+  uint64_t points_processed() const { return points_processed_; }
+
+  /// Number of occupied counters (≤ capacity).
+  size_t tracked_groups() const { return entries_.size(); }
+
+  /// Space in words under the util/space.h accounting model.
+  size_t SpaceWords() const;
+
+  /// The options in force.
+  const HeavyHittersOptions& options() const { return options_; }
+
+ private:
+  explicit RobustHeavyHitters(const HeavyHittersOptions& options);
+
+  uint64_t FindGroup(const Point& p) const;
+
+  HeavyHittersOptions options_;
+  RandomGrid grid_;
+  uint64_t points_processed_ = 0;
+  uint64_t next_id_ = 0;
+
+  struct Counter {
+    Entry entry;
+    uint64_t cell_key = 0;
+    std::multimap<uint64_t, uint64_t>::iterator by_count_it;
+  };
+  std::unordered_map<uint64_t, Counter> entries_;
+  std::unordered_multimap<uint64_t, uint64_t> cell_to_entry_;
+  /// count -> id, for O(log c) minimum eviction and count updates.
+  std::multimap<uint64_t, uint64_t> by_count_;
+
+  mutable std::vector<uint64_t> adj_scratch_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_HEAVY_HITTERS_H_

@@ -1,0 +1,355 @@
+#include "rl0/core/iw_sampler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+namespace {
+constexpr uint64_t kNoRep = std::numeric_limits<uint64_t>::max();
+// Scalar bookkeeping charged once per sampler (level, counters, caps, ...).
+constexpr size_t kSamplerScalarWords = 8;
+}  // namespace
+
+Result<RobustL0SamplerIW> RobustL0SamplerIW::Create(
+    const SamplerOptions& options) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  return RobustL0SamplerIW(options, options.GridSide());
+}
+
+RobustL0SamplerIW::RobustL0SamplerIW(const SamplerOptions& options,
+                                     double side)
+    : options_(options),
+      grid_(options.dim, side, SplitMix64(options.seed ^ 0x6772696400ULL),
+            options.metric),
+      hasher_(options.hash_family, SplitMix64(options.seed ^ 0x68617368ULL),
+              options.kwise_k),
+      reservoir_rng_(SplitMix64(options.seed ^ 0x7265737600ULL)),
+      accept_cap_(options.EffectiveAcceptCap()) {
+  meter_.Add(kSamplerScalarWords);
+}
+
+size_t RobustL0SamplerIW::RepWords() const {
+  size_t words = PointWords(options_.dim) + 2 * kMapEntryWords;
+  if (options_.random_representative) words += PointWords(options_.dim);
+  return words;
+}
+
+uint64_t RobustL0SamplerIW::FindCandidate(
+    const Point& p, const std::vector<uint64_t>& adj_keys) const {
+  // A representative u with d(u, p) ≤ α satisfies d(p, cell(u)) ≤ α, so
+  // cell(u) is one of the adj(p) keys: the scan below is complete.
+  for (uint64_t key : adj_keys) {
+    auto [it, end] = cell_to_rep_.equal_range(key);
+    for (; it != end; ++it) {
+      const Rep& rep = reps_.at(it->second);
+      if (MetricWithinDistance(rep.point, p, options_.alpha,
+                               options_.metric)) {
+        return it->second;
+      }
+    }
+  }
+  return kNoRep;
+}
+
+void RobustL0SamplerIW::Insert(const Point& p) {
+  RL0_DCHECK(p.dim() == options_.dim);
+  const uint64_t stream_index = points_processed_++;
+
+  grid_.AdjacentCells(p, options_.alpha, &adj_scratch_);
+  const uint64_t candidate = FindCandidate(p, adj_scratch_);
+  if (candidate != kNoRep) {
+    // p is not the first point of its (candidate) group: skip it, but keep
+    // the reservoir of the group fresh (Section 2.3 variant).
+    if (options_.random_representative) {
+      Rep& rep = reps_.at(candidate);
+      ++rep.group_count;
+      if (reservoir_rng_.NextBounded(rep.group_count) == 0) {
+        rep.sample_point = p;
+        rep.sample_index = stream_index;
+      }
+    }
+    return;
+  }
+
+  // p is the first point of a group not yet judged.
+  const uint64_t cell_key = grid_.CellKeyOf(p);
+  const bool accepted = hasher_.SampledAtLevel(cell_key, level_);
+  bool rejected = false;
+  if (!accepted) {
+    for (uint64_t key : adj_scratch_) {
+      if (hasher_.SampledAtLevel(key, level_)) {
+        rejected = true;
+        break;
+      }
+    }
+    if (!rejected) return;  // Group is ignored: no sampled cell nearby.
+  }
+
+  const uint64_t id = next_rep_id_++;
+  Rep rep;
+  rep.point = p;
+  rep.stream_index = stream_index;
+  rep.cell_key = cell_key;
+  rep.accepted = accepted;
+  rep.sample_point = p;
+  rep.sample_index = stream_index;
+  rep.group_count = 1;
+  reps_.emplace(id, std::move(rep));
+  cell_to_rep_.emplace(cell_key, id);
+  if (accepted) ++accept_size_;
+  meter_.Add(RepWords());
+
+  // Halve the sample rate until the accept cap is restored (the paper
+  // doubles once per arrival; a loop maintains the invariant strictly and
+  // coincides with the paper's behaviour whenever one halving suffices).
+  while (accept_size_ > accept_cap_ && level_ < CellHasher::kMaxLevel) {
+    ++level_;
+    Refilter();
+  }
+}
+
+void RobustL0SamplerIW::Refilter() {
+  // Nestedness (Fact 1(b)): sampled cells at the new level are a subset of
+  // those at the previous level, so representatives only move
+  // accepted -> {accepted, rejected, dropped} or rejected -> {rejected,
+  // dropped}; no representative is (re)admitted.
+  std::vector<uint64_t> to_remove;
+  std::vector<uint64_t> adj;
+  for (auto& [id, rep] : reps_) {
+    if (hasher_.SampledAtLevel(rep.cell_key, level_)) {
+      RL0_DCHECK(rep.accepted);
+      continue;
+    }
+    grid_.AdjacentCells(rep.point, options_.alpha, &adj);
+    bool near_sampled = false;
+    for (uint64_t key : adj) {
+      if (hasher_.SampledAtLevel(key, level_)) {
+        near_sampled = true;
+        break;
+      }
+    }
+    if (near_sampled) {
+      if (rep.accepted) {
+        rep.accepted = false;
+        --accept_size_;
+      }
+    } else {
+      to_remove.push_back(id);
+    }
+  }
+  for (uint64_t id : to_remove) {
+    auto it = reps_.find(id);
+    RL0_DCHECK(it != reps_.end());
+    if (it->second.accepted) --accept_size_;
+    auto [mit, mend] = cell_to_rep_.equal_range(it->second.cell_key);
+    for (; mit != mend; ++mit) {
+      if (mit->second == id) {
+        cell_to_rep_.erase(mit);
+        break;
+      }
+    }
+    reps_.erase(it);
+    meter_.Remove(RepWords());
+  }
+}
+
+std::vector<uint64_t> RobustL0SamplerIW::SortedAcceptedIds() const {
+  // Deterministic (content-defined) order: queries answer identically for
+  // identical state, independent of hash-map iteration order — this is
+  // what makes snapshot/restore behaviour reproducible.
+  std::vector<uint64_t> ids;
+  ids.reserve(accept_size_);
+  for (const auto& [id, rep] : reps_) {
+    if (rep.accepted) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::optional<SampleItem> RobustL0SamplerIW::Sample(Xoshiro256pp* rng) const {
+  if (accept_size_ == 0) return std::nullopt;
+  const std::vector<uint64_t> ids = SortedAcceptedIds();
+  RL0_DCHECK(ids.size() == accept_size_);
+  const Rep& rep = reps_.at(ids[rng->NextBounded(ids.size())]);
+  if (options_.random_representative) {
+    return SampleItem{rep.sample_point, rep.sample_index};
+  }
+  return SampleItem{rep.point, rep.stream_index};
+}
+
+std::optional<SampleItem> RobustL0SamplerIW::Sample(uint64_t query_seed) const {
+  Xoshiro256pp rng(query_seed);
+  return Sample(&rng);
+}
+
+Result<std::vector<SampleItem>> RobustL0SamplerIW::SampleK(
+    size_t count, Xoshiro256pp* rng) const {
+  if (count > accept_size_) {
+    return Status::FailedPrecondition(
+        "fewer accepted groups than requested samples");
+  }
+  std::vector<uint64_t> accepted = SortedAcceptedIds();
+  // Partial Fisher–Yates: the first `count` entries become a uniform
+  // without-replacement sample.
+  std::vector<SampleItem> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + rng->NextBounded(accepted.size() - i);
+    std::swap(accepted[i], accepted[j]);
+    const Rep& rep = reps_.at(accepted[i]);
+    if (options_.random_representative) {
+      out.push_back(SampleItem{rep.sample_point, rep.sample_index});
+    } else {
+      out.push_back(SampleItem{rep.point, rep.stream_index});
+    }
+  }
+  return out;
+}
+
+Status RobustL0SamplerIW::AbsorbFrom(const RobustL0SamplerIW& other) {
+  const SamplerOptions& a = options_;
+  const SamplerOptions& b = other.options_;
+  if (a.dim != b.dim || a.alpha != b.alpha || a.metric != b.metric ||
+      a.seed != b.seed || a.hash_family != b.hash_family ||
+      a.side_mode != b.side_mode || a.custom_side != b.custom_side ||
+      a.kwise_k != b.kwise_k) {
+    return Status::InvalidArgument(
+        "AbsorbFrom requires identical sampler options (shared grid/hash)");
+  }
+
+  // Raise this sampler to the coarser of the two rates first; nestedness
+  // makes the refilter consistent with all past decisions.
+  if (other.level_ > level_) {
+    level_ = other.level_;
+    Refilter();
+  }
+
+  // Re-judge the other partition's representatives at the unified rate and
+  // install the ones that are not already covered. Processing in stream
+  // order keeps the earlier-representative-wins rule deterministic.
+  std::vector<const Rep*> incoming;
+  incoming.reserve(other.reps_.size());
+  for (const auto& [id, rep] : other.reps_) incoming.push_back(&rep);
+  std::sort(incoming.begin(), incoming.end(),
+            [](const Rep* x, const Rep* y) {
+              return x->stream_index < y->stream_index;
+            });
+
+  std::vector<uint64_t> adj;
+  for (const Rep* rep : incoming) {
+    const bool accepted = hasher_.SampledAtLevel(rep->cell_key, level_);
+    bool rejected = false;
+    if (!accepted) {
+      grid_.AdjacentCells(rep->point, options_.alpha, &adj);
+      for (uint64_t key : adj) {
+        if (hasher_.SampledAtLevel(key, level_)) {
+          rejected = true;
+          break;
+        }
+      }
+      if (!rejected) continue;  // dropped at the unified rate
+    }
+    grid_.AdjacentCells(rep->point, options_.alpha, &adj_scratch_);
+    const uint64_t existing = FindCandidate(rep->point, adj_scratch_);
+    if (existing != kNoRep) {
+      Rep& ours = reps_.at(existing);
+      // Same group seen by both partitions: the earlier representative
+      // wins; pool the reservoir state so the kept entry still samples
+      // uniformly over the union of observed group points.
+      if (options_.random_representative) {
+        const uint64_t total = ours.group_count + rep->group_count;
+        if (reservoir_rng_.NextBounded(total) < rep->group_count) {
+          ours.sample_point = rep->sample_point;
+          ours.sample_index = rep->sample_index;
+        }
+        ours.group_count = total;
+      }
+      if (rep->stream_index < ours.stream_index) {
+        const bool was_accepted = ours.accepted;
+        ours.point = rep->point;
+        ours.stream_index = rep->stream_index;
+        // Re-index the cell and re-judge acceptance for the new rep point.
+        auto [mit, mend] = cell_to_rep_.equal_range(ours.cell_key);
+        for (; mit != mend; ++mit) {
+          if (mit->second == existing) {
+            cell_to_rep_.erase(mit);
+            break;
+          }
+        }
+        ours.cell_key = rep->cell_key;
+        cell_to_rep_.emplace(ours.cell_key, existing);
+        ours.accepted = hasher_.SampledAtLevel(ours.cell_key, level_);
+        if (was_accepted != ours.accepted) {
+          accept_size_ += ours.accepted ? 1 : -1;
+        }
+        if (!ours.accepted) {
+          // Keep Definition 2.2: the entry stays only if some cell within
+          // α of the (new) representative is sampled; otherwise the group
+          // is ignored at this rate and the entry is dropped.
+          grid_.AdjacentCells(ours.point, options_.alpha, &adj);
+          bool near_sampled = false;
+          for (uint64_t key : adj) {
+            near_sampled =
+                near_sampled || hasher_.SampledAtLevel(key, level_);
+          }
+          if (!near_sampled) {
+            auto [rit, rend] = cell_to_rep_.equal_range(ours.cell_key);
+            for (; rit != rend; ++rit) {
+              if (rit->second == existing) {
+                cell_to_rep_.erase(rit);
+                break;
+              }
+            }
+            reps_.erase(existing);
+            meter_.Remove(RepWords());
+          }
+        }
+      }
+      continue;
+    }
+    const uint64_t id = next_rep_id_++;
+    Rep copy = *rep;
+    copy.accepted = accepted;
+    cell_to_rep_.emplace(copy.cell_key, id);
+    if (accepted) ++accept_size_;
+    reps_.emplace(id, std::move(copy));
+    meter_.Add(RepWords());
+  }
+
+  points_processed_ += other.points_processed_;
+  while (accept_size_ > accept_cap_ && level_ < CellHasher::kMaxLevel) {
+    ++level_;
+    Refilter();
+  }
+  return Status::OK();
+}
+
+std::vector<SampleItem> RobustL0SamplerIW::AcceptedRepresentatives() const {
+  std::vector<SampleItem> out;
+  for (const auto& [id, rep] : reps_) {
+    if (rep.accepted) out.push_back(SampleItem{rep.point, rep.stream_index});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SampleItem& a, const SampleItem& b) {
+              return a.stream_index < b.stream_index;
+            });
+  return out;
+}
+
+std::vector<SampleItem> RobustL0SamplerIW::RejectedRepresentatives() const {
+  std::vector<SampleItem> out;
+  for (const auto& [id, rep] : reps_) {
+    if (!rep.accepted) out.push_back(SampleItem{rep.point, rep.stream_index});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SampleItem& a, const SampleItem& b) {
+              return a.stream_index < b.stream_index;
+            });
+  return out;
+}
+
+}  // namespace rl0

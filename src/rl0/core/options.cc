@@ -1,0 +1,56 @@
+#include "rl0/core/options.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl0/util/bits.h"
+
+namespace rl0 {
+
+double SamplerOptions::GridSide() const {
+  switch (side_mode) {
+    case GridSideMode::kConstantDim:
+      return alpha / 2.0;
+    case GridSideMode::kHighDim:
+      return static_cast<double>(dim) * alpha;
+    case GridSideMode::kCustom:
+      return custom_side;
+  }
+  return 0.0;
+}
+
+size_t SamplerOptions::EffectiveAcceptCap() const {
+  if (accept_cap != 0) return accept_cap;
+  const uint64_t m = std::max<uint64_t>(expected_stream_length, 4);
+  const double log_m = static_cast<double>(CeilLog2(m));
+  const size_t base = static_cast<size_t>(std::ceil(kappa0 * log_m));
+  return std::max<size_t>(base, 8) * std::max<size_t>(k, 1);
+}
+
+Status SamplerOptions::Validate() const {
+  if (dim < 1) {
+    return Status::InvalidArgument("dim must be >= 1");
+  }
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("alpha must be positive and finite");
+  }
+  if (side_mode == GridSideMode::kCustom &&
+      (!(custom_side > 0.0) || !std::isfinite(custom_side))) {
+    return Status::InvalidArgument("custom_side must be positive and finite");
+  }
+  if (kappa0 <= 0.0) {
+    return Status::InvalidArgument("kappa0 must be positive");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (hash_family == HashFamily::kKWisePoly && kwise_k < 2) {
+    return Status::InvalidArgument("kwise_k must be >= 2 for kKWisePoly");
+  }
+  if (expected_stream_length < 1) {
+    return Status::InvalidArgument("expected_stream_length must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace rl0

@@ -1,0 +1,23 @@
+// Result types returned by the samplers.
+
+#ifndef RL0_CORE_SAMPLE_H_
+#define RL0_CORE_SAMPLE_H_
+
+#include <cstdint>
+
+#include "rl0/geom/point.h"
+
+namespace rl0 {
+
+/// A sampled stream item: the point plus its position in the stream.
+/// The position lets callers map the sample back to ground truth (e.g. the
+/// generating group) without relying on floating-point equality.
+struct SampleItem {
+  Point point;
+  /// 0-based index of this point's arrival in the stream.
+  uint64_t stream_index = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_SAMPLE_H_

@@ -1,0 +1,64 @@
+#include "rl0/core/sharded_pool.h"
+
+#include <thread>
+
+namespace rl0 {
+
+Result<ShardedSamplerPool> ShardedSamplerPool::Create(
+    const SamplerOptions& options, size_t shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  std::vector<RobustL0SamplerIW> samplers;
+  samplers.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    // Identical options (and seed!) on purpose: AbsorbFrom requires the
+    // shared grid/hash randomness of mergeable sketches.
+    Result<RobustL0SamplerIW> sampler = RobustL0SamplerIW::Create(options);
+    if (!sampler.ok()) return sampler.status();
+    samplers.push_back(std::move(sampler).value());
+  }
+  return ShardedSamplerPool(std::move(samplers));
+}
+
+void ShardedSamplerPool::ConsumeParallel(const std::vector<Point>& points) {
+  const size_t shards = shards_.size();
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    workers.emplace_back([this, &points, s, shards] {
+      RobustL0SamplerIW& sampler = shards_[s];
+      for (size_t i = s; i < points.size(); i += shards) {
+        sampler.Insert(points[i]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+Result<RobustL0SamplerIW> ShardedSamplerPool::Merged() const {
+  RobustL0SamplerIW merged = shards_[0];
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    Status status = merged.AbsorbFrom(shards_[s]);
+    if (!status.ok()) return status;
+  }
+  return merged;
+}
+
+uint64_t ShardedSamplerPool::points_processed() const {
+  uint64_t total = 0;
+  for (const RobustL0SamplerIW& sampler : shards_) {
+    total += sampler.points_processed();
+  }
+  return total;
+}
+
+size_t ShardedSamplerPool::SpaceWords() const {
+  size_t total = 0;
+  for (const RobustL0SamplerIW& sampler : shards_) {
+    total += sampler.SpaceWords();
+  }
+  return total;
+}
+
+}  // namespace rl0

@@ -1,0 +1,65 @@
+// Thread-parallel ingestion via sharded samplers.
+//
+// The samplers are single-writer streaming structures. The standard way to
+// use many cores — and the pattern behind the distributed setting of
+// AbsorbFrom — is sharding: partition the stream across S samplers created
+// with identical options (shared grid/hash randomness), feed each shard
+// from its own thread, and merge on query. ShardedSamplerPool packages
+// that pattern: deterministic round-robin partitioning, one worker thread
+// per shard, and a Merged() view built with RobustL0SamplerIW::AbsorbFrom.
+//
+// Concurrency contract: each shard is only ever touched by one thread at a
+// time; ConsumeParallel joins all workers before returning; Merged() must
+// not run concurrently with insertion.
+
+#ifndef RL0_CORE_SHARDED_POOL_H_
+#define RL0_CORE_SHARDED_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rl0/core/iw_sampler.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// A pool of identically-seeded samplers fed in parallel.
+class ShardedSamplerPool {
+ public:
+  /// Creates `shards` samplers with identical options. Requires
+  /// shards ≥ 1.
+  static Result<ShardedSamplerPool> Create(const SamplerOptions& options,
+                                           size_t shards);
+
+  /// Number of shards.
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Direct access to a shard (external feeding; one thread per shard).
+  RobustL0SamplerIW& shard(size_t i) { return shards_[i]; }
+  const RobustL0SamplerIW& shard(size_t i) const { return shards_[i]; }
+
+  /// Feeds `points` with one worker thread per shard: shard s receives
+  /// the points whose index ≡ s (mod num_shards), in stream order.
+  /// Deterministic: the partition does not depend on thread scheduling.
+  void ConsumeParallel(const std::vector<Point>& points);
+
+  /// A merged sampler over the union of all shards' streams
+  /// (copy of shard 0 absorbing the rest; see AbsorbFrom's guarantee).
+  Result<RobustL0SamplerIW> Merged() const;
+
+  /// Total points across shards.
+  uint64_t points_processed() const;
+
+  /// Total space across shards.
+  size_t SpaceWords() const;
+
+ private:
+  explicit ShardedSamplerPool(std::vector<RobustL0SamplerIW> shards)
+      : shards_(std::move(shards)) {}
+
+  std::vector<RobustL0SamplerIW> shards_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_SHARDED_POOL_H_

@@ -1,0 +1,370 @@
+#include "rl0/core/snapshot.h"
+
+#include <cstring>
+
+#include "rl0/util/serialize.h"
+
+namespace rl0 {
+
+namespace {
+constexpr char kMagic[8] = {'R', 'L', '0', 'S', 'N', 'A', 'P', '\0'};
+constexpr char kMagicSW[8] = {'R', 'L', '0', 'S', 'N', 'P', 'W', '\0'};
+constexpr uint32_t kVersion = 1;
+
+/// FNV-1a over the payload, finalized with SplitMix64 — detects any
+/// corruption of the blob, not just fields covered by structural checks.
+uint64_t Checksum(const std::string& data, size_t length) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < length; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(h);
+}
+
+void PutPoint(BinaryWriter* writer, const Point& p) {
+  for (double c : p.coords()) writer->PutDouble(c);
+}
+
+Status GetPoint(BinaryReader* reader, size_t dim, Point* out) {
+  *out = Point(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    Status s = reader->GetDouble(&(*out)[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+void PutOptions(BinaryWriter* writer, const SamplerOptions& opts) {
+  writer->PutU64(opts.dim);
+  writer->PutDouble(opts.alpha);
+  writer->PutU8(static_cast<uint8_t>(opts.metric));
+  writer->PutU64(opts.seed);
+  writer->PutU8(static_cast<uint8_t>(opts.side_mode));
+  writer->PutDouble(opts.custom_side);
+  writer->PutU8(static_cast<uint8_t>(opts.hash_family));
+  writer->PutU32(opts.kwise_k);
+  writer->PutDouble(opts.kappa0);
+  writer->PutU64(opts.expected_stream_length);
+  writer->PutU64(opts.accept_cap);
+  writer->PutU64(opts.k);
+  writer->PutU8(opts.random_representative ? 1 : 0);
+}
+
+Status GetOptions(BinaryReader* reader, SamplerOptions* opts) {
+  uint8_t metric = 0, side_mode = 0, hash_family = 0, reservoir = 0;
+  uint64_t dim = 0, accept_cap = 0, sample_k = 0;
+  if (Status st = reader->GetU64(&dim); !st.ok()) return st;
+  if (Status st = reader->GetDouble(&opts->alpha); !st.ok()) return st;
+  if (Status st = reader->GetU8(&metric); !st.ok()) return st;
+  if (Status st = reader->GetU64(&opts->seed); !st.ok()) return st;
+  if (Status st = reader->GetU8(&side_mode); !st.ok()) return st;
+  if (Status st = reader->GetDouble(&opts->custom_side); !st.ok()) return st;
+  if (Status st = reader->GetU8(&hash_family); !st.ok()) return st;
+  if (Status st = reader->GetU32(&opts->kwise_k); !st.ok()) return st;
+  if (Status st = reader->GetDouble(&opts->kappa0); !st.ok()) return st;
+  if (Status st = reader->GetU64(&opts->expected_stream_length); !st.ok()) {
+    return st;
+  }
+  if (Status st = reader->GetU64(&accept_cap); !st.ok()) return st;
+  if (Status st = reader->GetU64(&sample_k); !st.ok()) return st;
+  if (Status st = reader->GetU8(&reservoir); !st.ok()) return st;
+  opts->dim = static_cast<size_t>(dim);
+  if (metric > static_cast<uint8_t>(Metric::kLinf)) {
+    return Status::InvalidArgument("bad metric in snapshot");
+  }
+  opts->metric = static_cast<Metric>(metric);
+  if (side_mode > static_cast<uint8_t>(GridSideMode::kCustom)) {
+    return Status::InvalidArgument("bad side mode in snapshot");
+  }
+  opts->side_mode = static_cast<GridSideMode>(side_mode);
+  if (hash_family > static_cast<uint8_t>(HashFamily::kKWisePoly)) {
+    return Status::InvalidArgument("bad hash family in snapshot");
+  }
+  opts->hash_family = static_cast<HashFamily>(hash_family);
+  opts->accept_cap = static_cast<size_t>(accept_cap);
+  opts->k = static_cast<size_t>(sample_k);
+  opts->random_representative = reservoir != 0;
+  return Status::OK();
+}
+
+/// Verifies the trailing checksum and returns the payload prefix.
+Result<std::string> CheckedPayload(const std::string& snapshot) {
+  if (snapshot.size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("snapshot too small");
+  }
+  const size_t payload_size = snapshot.size() - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, snapshot.data() + payload_size,
+              sizeof(stored_checksum));
+  if (Checksum(snapshot, payload_size) != stored_checksum) {
+    return Status::InvalidArgument("snapshot checksum mismatch");
+  }
+  return snapshot.substr(0, payload_size);
+}
+
+}  // namespace
+
+Status SnapshotSampler(const RobustL0SamplerIW& sampler, std::string* out) {
+  out->clear();
+  BinaryWriter writer(out);
+  writer.PutBytes(kMagic, sizeof(kMagic));
+  writer.PutU32(kVersion);
+  PutOptions(&writer, sampler.options_);
+  writer.PutU32(sampler.level_);
+  writer.PutU64(sampler.points_processed_);
+  writer.PutU64(sampler.next_rep_id_);
+
+  writer.PutU64(sampler.reps_.size());
+  for (const auto& [id, rep] : sampler.reps_) {
+    writer.PutU64(id);
+    writer.PutU64(rep.stream_index);
+    writer.PutU64(rep.cell_key);
+    writer.PutU8(rep.accepted ? 1 : 0);
+    writer.PutU64(rep.group_count);
+    writer.PutU64(rep.sample_index);
+    PutPoint(&writer, rep.point);
+    PutPoint(&writer, rep.sample_point);
+  }
+  writer.PutU64(Checksum(*out, out->size()));
+  return Status::OK();
+}
+
+Result<RobustL0SamplerIW> RestoreSampler(const std::string& snapshot) {
+  Result<std::string> payload_result = CheckedPayload(snapshot);
+  if (!payload_result.ok()) return payload_result.status();
+  const std::string payload = std::move(payload_result).value();
+  BinaryReader reader(payload);
+  char magic[8];
+  Status s = reader.GetBytes(magic, sizeof(magic));
+  if (!s.ok()) return s;
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an rl0 snapshot");
+  }
+  uint32_t version = 0;
+  if (Status st = reader.GetU32(&version); !st.ok()) return st;
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+
+  SamplerOptions opts;
+  if (Status st = GetOptions(&reader, &opts); !st.ok()) return st;
+
+  Result<RobustL0SamplerIW> created = RobustL0SamplerIW::Create(opts);
+  if (!created.ok()) return created.status();
+  RobustL0SamplerIW sampler = std::move(created).value();
+
+  uint32_t level = 0;
+  if (Status st = reader.GetU32(&level); !st.ok()) return st;
+  if (level > CellHasher::kMaxLevel) {
+    return Status::InvalidArgument("bad level in snapshot");
+  }
+  sampler.level_ = level;
+  if (Status st = reader.GetU64(&sampler.points_processed_); !st.ok()) {
+    return st;
+  }
+  if (Status st = reader.GetU64(&sampler.next_rep_id_); !st.ok()) return st;
+
+  uint64_t rep_count = 0;
+  if (Status st = reader.GetU64(&rep_count); !st.ok()) return st;
+  // Defensive bound: a snapshot cannot legitimately hold more
+  // representatives than bytes.
+  if (rep_count > snapshot.size()) {
+    return Status::InvalidArgument("bad representative count in snapshot");
+  }
+  size_t accept_size = 0;
+  for (uint64_t i = 0; i < rep_count; ++i) {
+    uint64_t id = 0;
+    RobustL0SamplerIW::Rep rep;
+    uint8_t accepted = 0;
+    if (Status st = reader.GetU64(&id); !st.ok()) return st;
+    if (Status st = reader.GetU64(&rep.stream_index); !st.ok()) return st;
+    if (Status st = reader.GetU64(&rep.cell_key); !st.ok()) return st;
+    if (Status st = reader.GetU8(&accepted); !st.ok()) return st;
+    if (Status st = reader.GetU64(&rep.group_count); !st.ok()) return st;
+    if (Status st = reader.GetU64(&rep.sample_index); !st.ok()) return st;
+    if (Status st = GetPoint(&reader, opts.dim, &rep.point); !st.ok()) {
+      return st;
+    }
+    if (Status st = GetPoint(&reader, opts.dim, &rep.sample_point);
+        !st.ok()) {
+      return st;
+    }
+    rep.accepted = accepted != 0;
+    // Integrity: the stored cell key must match the deterministic grid.
+    if (sampler.grid_.CellKeyOf(rep.point) != rep.cell_key) {
+      return Status::InvalidArgument("cell key mismatch in snapshot");
+    }
+    accept_size += rep.accepted;
+    sampler.cell_to_rep_.emplace(rep.cell_key, id);
+    sampler.reps_.emplace(id, std::move(rep));
+    sampler.meter_.Add(sampler.RepWords());
+  }
+  sampler.accept_size_ = accept_size;
+  if (Status st = reader.ExpectEnd(); !st.ok()) return st;
+
+  // Reservoir coin stream restarts from a seed derived from the restore
+  // point (see header: statistically equivalent, not bit-identical).
+  sampler.reservoir_rng_ = Xoshiro256pp(
+      SplitMix64(opts.seed ^ (sampler.points_processed_ * 0x9E3779B9ULL) ^
+                 0x524553544FULL));
+  return sampler;
+}
+
+Status SnapshotSamplerSW(const RobustL0SamplerSW& sampler, std::string* out) {
+  out->clear();
+  BinaryWriter writer(out);
+  writer.PutBytes(kMagicSW, sizeof(kMagicSW));
+  writer.PutU32(kVersion);
+  PutOptions(&writer, sampler.ctx_->options);
+  writer.PutI64(sampler.window_);
+  writer.PutU64(*sampler.id_counter_);
+  writer.PutU64(sampler.points_processed_);
+  writer.PutI64(sampler.latest_stamp_);
+  writer.PutU64(sampler.error_count_);
+  writer.PutU64(sampler.stuck_split_count_);
+
+  writer.PutU64(sampler.levels_.size());
+  std::vector<GroupRecord> groups;
+  for (const auto& level : sampler.levels_) {
+    groups.clear();
+    level->SnapshotGroups(&groups);
+    writer.PutU64(groups.size());
+    for (const GroupRecord& g : groups) {
+      writer.PutU64(g.id);
+      writer.PutU64(g.rep_index);
+      writer.PutU64(g.rep_cell);
+      writer.PutU8(g.accepted ? 1 : 0);
+      PutPoint(&writer, g.rep);
+      PutPoint(&writer, g.latest);
+      writer.PutI64(g.latest_stamp);
+      writer.PutU64(g.latest_index);
+      const auto& candidates = g.reservoir.candidates();
+      writer.PutU64(candidates.size());
+      for (const auto& candidate : candidates) {
+        writer.PutU64(candidate.priority);
+        writer.PutI64(candidate.stamp);
+        writer.PutU64(candidate.item.stream_index);
+        PutPoint(&writer, candidate.item.point);
+      }
+    }
+  }
+  writer.PutU64(Checksum(*out, out->size()));
+  return Status::OK();
+}
+
+Result<RobustL0SamplerSW> RestoreSamplerSW(const std::string& snapshot) {
+  Result<std::string> payload_result = CheckedPayload(snapshot);
+  if (!payload_result.ok()) return payload_result.status();
+  const std::string payload = std::move(payload_result).value();
+  BinaryReader reader(payload);
+  char magic[8];
+  if (Status st = reader.GetBytes(magic, sizeof(magic)); !st.ok()) return st;
+  if (std::memcmp(magic, kMagicSW, sizeof(kMagicSW)) != 0) {
+    return Status::InvalidArgument("not an rl0 sliding-window snapshot");
+  }
+  uint32_t version = 0;
+  if (Status st = reader.GetU32(&version); !st.ok()) return st;
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+
+  SamplerOptions opts;
+  if (Status st = GetOptions(&reader, &opts); !st.ok()) return st;
+  int64_t window = 0;
+  if (Status st = reader.GetI64(&window); !st.ok()) return st;
+
+  Result<RobustL0SamplerSW> created = RobustL0SamplerSW::Create(opts, window);
+  if (!created.ok()) return created.status();
+  RobustL0SamplerSW sampler = std::move(created).value();
+
+  if (Status st = reader.GetU64(sampler.id_counter_.get()); !st.ok()) {
+    return st;
+  }
+  if (Status st = reader.GetU64(&sampler.points_processed_); !st.ok()) {
+    return st;
+  }
+  if (Status st = reader.GetI64(&sampler.latest_stamp_); !st.ok()) return st;
+  if (Status st = reader.GetU64(&sampler.error_count_); !st.ok()) return st;
+  if (Status st = reader.GetU64(&sampler.stuck_split_count_); !st.ok()) {
+    return st;
+  }
+
+  uint64_t level_count = 0;
+  if (Status st = reader.GetU64(&level_count); !st.ok()) return st;
+  if (level_count != sampler.levels_.size()) {
+    return Status::InvalidArgument("level count mismatch in snapshot");
+  }
+  for (size_t l = 0; l < level_count; ++l) {
+    uint64_t group_count = 0;
+    if (Status st = reader.GetU64(&group_count); !st.ok()) return st;
+    if (group_count > snapshot.size()) {
+      return Status::InvalidArgument("bad group count in snapshot");
+    }
+    std::vector<GroupRecord> groups;
+    groups.reserve(group_count);
+    for (uint64_t i = 0; i < group_count; ++i) {
+      GroupRecord g;
+      uint8_t accepted = 0;
+      if (Status st = reader.GetU64(&g.id); !st.ok()) return st;
+      if (Status st = reader.GetU64(&g.rep_index); !st.ok()) return st;
+      if (Status st = reader.GetU64(&g.rep_cell); !st.ok()) return st;
+      if (Status st = reader.GetU8(&accepted); !st.ok()) return st;
+      if (Status st = GetPoint(&reader, opts.dim, &g.rep); !st.ok()) {
+        return st;
+      }
+      if (Status st = GetPoint(&reader, opts.dim, &g.latest); !st.ok()) {
+        return st;
+      }
+      if (Status st = reader.GetI64(&g.latest_stamp); !st.ok()) return st;
+      if (Status st = reader.GetU64(&g.latest_index); !st.ok()) return st;
+      g.accepted = accepted != 0;
+      // Integrity: the cell key and the acceptance bit must be consistent
+      // with the deterministic grid and hash at this level.
+      if (sampler.ctx_->grid.CellKeyOf(g.rep) != g.rep_cell) {
+        return Status::InvalidArgument("cell key mismatch in snapshot");
+      }
+      if (g.accepted && !sampler.ctx_->hasher.SampledAtLevel(
+                            g.rep_cell, static_cast<uint32_t>(l))) {
+        return Status::InvalidArgument(
+            "acceptance bit inconsistent with hash in snapshot");
+      }
+      uint64_t candidate_count = 0;
+      if (Status st = reader.GetU64(&candidate_count); !st.ok()) return st;
+      if (candidate_count > snapshot.size()) {
+        return Status::InvalidArgument("bad reservoir size in snapshot");
+      }
+      std::deque<WindowedReservoir::Candidate> candidates;
+      for (uint64_t c = 0; c < candidate_count; ++c) {
+        WindowedReservoir::Candidate candidate;
+        if (Status st = reader.GetU64(&candidate.priority); !st.ok()) {
+          return st;
+        }
+        if (Status st = reader.GetI64(&candidate.stamp); !st.ok()) return st;
+        if (Status st = reader.GetU64(&candidate.item.stream_index);
+            !st.ok()) {
+          return st;
+        }
+        if (Status st = GetPoint(&reader, opts.dim, &candidate.item.point);
+            !st.ok()) {
+          return st;
+        }
+        candidates.push_back(std::move(candidate));
+      }
+      g.reservoir.RestoreState(
+          window, opts.seed ^ g.id ^ (sampler.points_processed_ << 20),
+          std::move(candidates));
+      groups.push_back(std::move(g));
+    }
+    sampler.levels_[l]->MergeFrom(std::move(groups));
+  }
+  if (Status st = reader.ExpectEnd(); !st.ok()) return st;
+  sampler.meter_.Set(sampler.SpaceWords());
+  return sampler;
+}
+
+}  // namespace rl0

@@ -1,0 +1,285 @@
+#include "rl0/core/sw_fixed_sampler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+namespace {
+constexpr uint64_t kNoGroup = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+SwFixedRateSampler::SwFixedRateSampler(const SamplerContext* ctx,
+                                       uint32_t level, int64_t window,
+                                       uint64_t* id_counter)
+    : ctx_(ctx), level_(level), window_(window), id_counter_(id_counter) {
+  RL0_CHECK(ctx != nullptr);
+  RL0_CHECK(window > 0);
+  RL0_CHECK(level <= CellHasher::kMaxLevel);
+  if (id_counter_ == nullptr) id_counter_ = &owned_id_counter_;
+}
+
+Result<std::unique_ptr<SwFixedRateSampler>>
+SwFixedRateSampler::CreateStandalone(const SamplerOptions& options,
+                                     uint32_t level, int64_t window) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  if (level > CellHasher::kMaxLevel) {
+    return Status::InvalidArgument("level exceeds CellHasher::kMaxLevel");
+  }
+  auto ctx = std::make_unique<SamplerContext>(options);
+  auto sampler = std::make_unique<SwFixedRateSampler>(ctx.get(), level,
+                                                      window, nullptr);
+  sampler->owned_ctx_ = std::move(ctx);
+  return sampler;
+}
+
+size_t SwFixedRateSampler::GroupWords() const {
+  // Representative + latest point, two index entries (cell multimap and
+  // stamp map) and the group map entry itself.
+  return 2 * PointWords(ctx_->options.dim) + 3 * kMapEntryWords;
+}
+
+void SwFixedRateSampler::IndexGroup(const GroupRecord& g) {
+  cell_to_group_.emplace(g.rep_cell, g.id);
+  by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
+}
+
+void SwFixedRateSampler::UnindexGroup(const GroupRecord& g) {
+  auto [it, end] = cell_to_group_.equal_range(g.rep_cell);
+  for (; it != end; ++it) {
+    if (it->second == g.id) {
+      cell_to_group_.erase(it);
+      break;
+    }
+  }
+  by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
+}
+
+uint64_t SwFixedRateSampler::FindCandidate(
+    const Point& p, const std::vector<uint64_t>& adj_keys) const {
+  // A representative u with d(u, p) ≤ α has cell(u) ∈ adj(p).
+  for (uint64_t key : adj_keys) {
+    auto [it, end] = cell_to_group_.equal_range(key);
+    for (; it != end; ++it) {
+      const GroupRecord& g = groups_.at(it->second);
+      if (MetricWithinDistance(g.rep, p, ctx_->options.alpha,
+                               ctx_->options.metric)) {
+        return it->second;
+      }
+    }
+  }
+  return kNoGroup;
+}
+
+InsertOutcome SwFixedRateSampler::InsertPrepared(const PreparedPoint& p) {
+  Expire(p.stamp);
+
+  const uint64_t candidate = FindCandidate(*p.point, *p.adj_keys);
+  if (candidate != kNoGroup) {
+    // Same group as a tracked representative: refresh its latest point
+    // (Algorithm 2 line 6: A ← (u,p) ∪ A \ (u,·)).
+    GroupRecord& g = groups_.at(candidate);
+    by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
+    g.latest = *p.point;
+    g.latest_stamp = p.stamp;
+    g.latest_index = p.stream_index;
+    by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
+    if (ctx_->options.random_representative) {
+      g.reservoir.Insert(*p.point, p.stamp, p.stream_index);
+    }
+    return g.accepted ? InsertOutcome::kAccepted : InsertOutcome::kRejected;
+  }
+
+  // First point of a group in this window: judge it by its own cell first
+  // (accept), then by the neighborhood (reject), else ignore.
+  const bool accepted = ctx_->hasher.SampledAtLevel(p.cell_key, level_);
+  bool rejected = false;
+  if (!accepted) {
+    for (uint64_t key : *p.adj_keys) {
+      if (ctx_->hasher.SampledAtLevel(key, level_)) {
+        rejected = true;
+        break;
+      }
+    }
+    if (!rejected) return InsertOutcome::kIgnored;
+  }
+
+  GroupRecord g;
+  g.id = (*id_counter_)++;
+  g.rep = *p.point;
+  g.rep_index = p.stream_index;
+  g.rep_cell = p.cell_key;
+  g.accepted = accepted;
+  g.latest = *p.point;
+  g.latest_stamp = p.stamp;
+  g.latest_index = p.stream_index;
+  if (ctx_->options.random_representative) {
+    g.reservoir = WindowedReservoir(window_, ctx_->options.seed ^ g.id);
+    g.reservoir.Insert(*p.point, p.stamp, p.stream_index);
+  }
+  if (accepted) ++accept_size_;
+  IndexGroup(g);
+  groups_.emplace(g.id, std::move(g));
+  return accepted ? InsertOutcome::kAccepted : InsertOutcome::kRejected;
+}
+
+bool SwFixedRateSampler::Insert(const Point& p, int64_t stamp) {
+  RL0_DCHECK(p.dim() == ctx_->options.dim);
+  ctx_->grid.AdjacentCells(p, ctx_->options.alpha, &adj_scratch_);
+  PreparedPoint prep;
+  prep.point = &p;
+  prep.stamp = stamp;
+  prep.stream_index = static_cast<uint64_t>(stamp);
+  prep.cell_key = ctx_->grid.CellKeyOf(p);
+  prep.adj_keys = &adj_scratch_;
+  return Insert(prep);
+}
+
+void SwFixedRateSampler::Expire(int64_t now) {
+  const int64_t horizon = now - window_;
+  while (!by_stamp_.empty()) {
+    const auto it = by_stamp_.begin();
+    if (it->first.first > horizon) break;
+    const uint64_t id = it->second;
+    auto git = groups_.find(id);
+    RL0_DCHECK(git != groups_.end());
+    if (git->second.accepted) --accept_size_;
+    UnindexGroup(git->second);
+    groups_.erase(git);
+  }
+}
+
+void SwFixedRateSampler::Reset() {
+  groups_.clear();
+  cell_to_group_.clear();
+  by_stamp_.clear();
+  accept_size_ = 0;
+}
+
+std::optional<SampleItem> SwFixedRateSampler::Sample(int64_t now,
+                                                     Xoshiro256pp* rng) {
+  Expire(now);
+  if (accept_size_ == 0) return std::nullopt;
+  uint64_t target = rng->NextBounded(accept_size_);
+  for (auto& [id, g] : groups_) {
+    if (!g.accepted) continue;
+    if (target == 0) {
+      if (ctx_->options.random_representative) {
+        // Reservoir holds ≥ 1 unexpired item: the group's latest point is
+        // alive (otherwise Expire would have dropped the group).
+        const auto item = g.reservoir.Sample(now);
+        RL0_DCHECK(item.has_value());
+        if (item.has_value()) return item;
+      }
+      return SampleItem{g.latest, g.latest_index};
+    }
+    --target;
+  }
+  RL0_CHECK(false);  // accept_size_ out of sync.
+  return std::nullopt;
+}
+
+void SwFixedRateSampler::AcceptedGroupSamples(int64_t now,
+                                              std::vector<SampleItem>* out) {
+  for (auto& [id, g] : groups_) {
+    if (!g.accepted) continue;
+    if (ctx_->options.random_representative) {
+      const auto item = g.reservoir.Sample(now);
+      if (item.has_value()) {
+        out->push_back(*item);
+        continue;
+      }
+    }
+    out->push_back(SampleItem{g.latest, g.latest_index});
+  }
+}
+
+void SwFixedRateSampler::AcceptedLatestPoints(
+    std::vector<SampleItem>* out) const {
+  for (const auto& [id, g] : groups_) {
+    if (g.accepted) out->push_back(SampleItem{g.latest, g.latest_index});
+  }
+}
+
+void SwFixedRateSampler::SnapshotGroups(std::vector<GroupRecord>* out) const {
+  for (const auto& [id, g] : groups_) out->push_back(g);
+}
+
+bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
+  promoted->clear();
+  // t = the arrival index of the last accepted representative whose cell
+  // is sampled at level ℓ+1 (Algorithm 4 line 2).
+  uint64_t t = 0;
+  bool found = false;
+  for (const auto& [id, g] : groups_) {
+    if (!g.accepted) continue;
+    if (!ctx_->hasher.SampledAtLevel(g.rep_cell, level_ + 1)) continue;
+    if (!found || g.rep_index > t) {
+      t = g.rep_index;
+      found = true;
+    }
+  }
+  if (!found) return false;
+
+  // Partition groups: representatives arriving ≤ t are promoted (re-judged
+  // at level ℓ+1 per Definition 2.2), the rest stay at level ℓ.
+  std::vector<uint64_t> to_remove;
+  std::vector<uint64_t> adj;
+  for (auto& [id, g] : groups_) {
+    if (g.rep_index > t) continue;
+    to_remove.push_back(id);
+    GroupRecord moved = g;
+    if (ctx_->hasher.SampledAtLevel(moved.rep_cell, level_ + 1)) {
+      moved.accepted = true;  // nestedness: it was accepted at ℓ already
+      promoted->push_back(std::move(moved));
+      continue;
+    }
+    // Own cell unsampled at ℓ+1: rejected if a nearby cell is sampled,
+    // dropped otherwise.
+    ctx_->grid.AdjacentCells(moved.rep, ctx_->options.alpha, &adj);
+    bool near_sampled = false;
+    for (uint64_t key : adj) {
+      if (ctx_->hasher.SampledAtLevel(key, level_ + 1)) {
+        near_sampled = true;
+        break;
+      }
+    }
+    if (near_sampled) {
+      moved.accepted = false;
+      promoted->push_back(std::move(moved));
+    }
+    // else: the group is dropped entirely at the higher level.
+  }
+  for (uint64_t id : to_remove) {
+    auto it = groups_.find(id);
+    if (it->second.accepted) --accept_size_;
+    UnindexGroup(it->second);
+    groups_.erase(it);
+  }
+  return true;
+}
+
+void SwFixedRateSampler::MergeFrom(std::vector<GroupRecord>&& incoming) {
+  for (GroupRecord& g : incoming) {
+    if (g.accepted) ++accept_size_;
+    IndexGroup(g);
+    const uint64_t id = g.id;
+    groups_.emplace(id, std::move(g));
+  }
+}
+
+size_t SwFixedRateSampler::SpaceWords() const {
+  size_t words = groups_.size() * GroupWords() + 4 /* scalars */;
+  if (ctx_->options.random_representative) {
+    for (const auto& [id, g] : groups_) {
+      words += g.reservoir.SpaceWords(ctx_->options.dim);
+    }
+  }
+  return words;
+}
+
+}  // namespace rl0

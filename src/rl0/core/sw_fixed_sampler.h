@@ -1,0 +1,178 @@
+// Sliding-window robust sampling at a fixed rate 1/R (paper Algorithm 2).
+//
+// For every *candidate* group (a group whose representative lies in a
+// sampled cell or within α of one) the structure keeps a key-value pair
+// (representative u, latest point p): u decides accept/reject, p tracks
+// liveness. When the latest point of a group expires — no newer point of
+// the group arrived within the window — the group is dropped; the next
+// point of the group to arrive (if any) becomes its new representative.
+// This realizes the representative-point semantics of the paper's
+// Observation 1 / Figure 2: the representative of a group in the current
+// window is the latest point p of the group such that the window ending
+// right before p contains no other point of the group.
+//
+// The structure works for both sequence-based windows (stamp = arrival
+// index) and time-based windows (stamp = arrival time); only the meaning
+// of the stamp differs.
+//
+// Used standalone (with a fixed rate it stores up to Θ(w/R) groups) and as
+// the per-level building block of the space-efficient Algorithm 3, which
+// additionally needs Reset (pruning), SplitPromote and MergeFrom
+// (Algorithms 4 and 5).
+
+#ifndef RL0_CORE_SW_FIXED_SAMPLER_H_
+#define RL0_CORE_SW_FIXED_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rl0/core/context.h"
+#include "rl0/core/sample.h"
+#include "rl0/core/windowed_reservoir.h"
+#include "rl0/util/space.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// One tracked candidate group (public so the hierarchy can move groups
+/// between levels during split/merge).
+struct GroupRecord {
+  uint64_t id = 0;
+  /// The representative (first point of the group in the current window).
+  Point rep;
+  uint64_t rep_index = 0;
+  uint64_t rep_cell = 0;
+  /// Accepted (rep's cell sampled) vs rejected (only a nearby cell is).
+  bool accepted = false;
+  /// The latest point of the group and its stamp — liveness tracking.
+  Point latest;
+  int64_t latest_stamp = 0;
+  uint64_t latest_index = 0;
+  /// Section 2.3 variant: uniform sample over the group's window points
+  /// (populated only when options.random_representative is set).
+  WindowedReservoir reservoir;
+};
+
+/// What happened to a point fed to a level (drives Algorithm 3's
+/// feed-top-down loop: only *accepted* records stop the descent, per the
+/// paper's "accept it at the highest level ℓ in which the point falls into
+/// Sacc_ℓ" — rejected records are bookkeeping that must not block lower
+/// levels, or Lemma 2.10's non-emptiness guarantee would break).
+enum class InsertOutcome {
+  /// The group is not a candidate at this level; no trace left.
+  kIgnored,
+  /// The point became (or refreshed) a *rejected* representative/pair.
+  kRejected,
+  /// The point became (or refreshed) an *accepted* representative/pair.
+  kAccepted,
+};
+
+/// Fixed-rate sliding-window sampler (Algorithm 2).
+class SwFixedRateSampler {
+ public:
+  /// Non-owning constructor: `ctx` must outlive the sampler; `id_counter`
+  /// issues group ids unique across all levels of a hierarchy.
+  SwFixedRateSampler(const SamplerContext* ctx, uint32_t level,
+                     int64_t window, uint64_t* id_counter);
+
+  /// Standalone factory owning its context (single-level use, tests).
+  static Result<std::unique_ptr<SwFixedRateSampler>> CreateStandalone(
+      const SamplerOptions& options, uint32_t level, int64_t window);
+
+  /// Feeds a prepared point. Expires dead groups first. Reports whether
+  /// the point was recorded, and into which class (see InsertOutcome).
+  InsertOutcome InsertPrepared(const PreparedPoint& p);
+
+  /// Feeds a prepared point; true iff it was recorded at all (updated an
+  /// existing pair or became a new accepted/rejected representative).
+  bool Insert(const PreparedPoint& p) {
+    return InsertPrepared(p) != InsertOutcome::kIgnored;
+  }
+
+  /// Convenience overload computing cell/adjacency internally.
+  bool Insert(const Point& p, int64_t stamp);
+
+  /// Drops groups whose latest point left the window at time `now`
+  /// (latest_stamp ≤ now − window).
+  void Expire(int64_t now);
+
+  /// Clears all tracked groups (the hierarchy's pruning step).
+  void Reset();
+
+  /// Uniform sample over the *latest points* of accepted groups alive at
+  /// `now` (values of A restricted to Sacc). With the Section 2.3
+  /// random-representative option, a uniform point of the group's window
+  /// instead. Expires first.
+  std::optional<SampleItem> Sample(int64_t now, Xoshiro256pp* rng);
+
+  /// Number of accepted groups |Sacc|.
+  size_t accept_size() const { return accept_size_; }
+  /// Number of rejected groups |Srej|.
+  size_t reject_size() const { return groups_.size() - accept_size_; }
+  /// Total tracked groups (|A|).
+  size_t group_count() const { return groups_.size(); }
+  /// This instance's level ℓ (rate 1/2^ℓ).
+  uint32_t level() const { return level_; }
+  /// The window width.
+  int64_t window() const { return window_; }
+  /// The shared context (introspection for tests).
+  const SamplerContext& context() const { return *ctx_; }
+
+  /// Appends the latest points of accepted groups to `out` (A(Sacc)).
+  void AcceptedLatestPoints(std::vector<SampleItem>* out) const;
+
+  /// Appends one sample item per accepted group: the group's windowed-
+  /// reservoir sample (random_representative mode) or its latest point.
+  /// Expires the reservoirs at `now` first.
+  void AcceptedGroupSamples(int64_t now, std::vector<SampleItem>* out);
+
+  /// Appends copies of all group records to `out` (introspection).
+  void SnapshotGroups(std::vector<GroupRecord>* out) const;
+
+  /// Algorithm 4 (Split), promotion half. Finds the last accepted
+  /// representative sampled at level ℓ+1; moves every group whose
+  /// representative arrived before or at it into `promoted`, re-judged at
+  /// level ℓ+1 (accept / reject / drop, per Definition 2.2); keeps the
+  /// remaining groups at level ℓ. Returns false (and promotes nothing) if
+  /// no accepted representative is sampled at level ℓ+1 — the caller must
+  /// abandon the cascade (see DESIGN.md §3).
+  bool SplitPromote(std::vector<GroupRecord>* promoted);
+
+  /// Algorithm 5 (Merge): adopts `groups` (already at this level's rate).
+  void MergeFrom(std::vector<GroupRecord>&& groups);
+
+  /// Space in words under the util/space.h accounting model.
+  size_t SpaceWords() const;
+
+ private:
+  void IndexGroup(const GroupRecord& g);
+  void UnindexGroup(const GroupRecord& g);
+  uint64_t FindCandidate(const Point& p,
+                         const std::vector<uint64_t>& adj_keys) const;
+  size_t GroupWords() const;
+
+  const SamplerContext* ctx_;
+  std::unique_ptr<SamplerContext> owned_ctx_;  // standalone mode only
+  uint32_t level_;
+  int64_t window_;
+  uint64_t* id_counter_;
+  uint64_t owned_id_counter_ = 0;  // standalone mode only
+
+  size_t accept_size_ = 0;
+  std::unordered_map<uint64_t, GroupRecord> groups_;
+  std::unordered_multimap<uint64_t, uint64_t> cell_to_group_;
+  /// Groups ordered by latest stamp for O(log) expiry.
+  std::map<std::pair<int64_t, uint64_t>, uint64_t> by_stamp_;
+
+  mutable std::vector<uint64_t> adj_scratch_;
+
+  friend class RobustL0SamplerSW;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_SW_FIXED_SAMPLER_H_

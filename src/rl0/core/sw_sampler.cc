@@ -1,0 +1,182 @@
+#include "rl0/core/sw_sampler.h"
+
+#include <cmath>
+
+#include "rl0/util/bits.h"
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+Result<RobustL0SamplerSW> RobustL0SamplerSW::Create(
+    const SamplerOptions& options, int64_t window) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  const uint32_t levels =
+      CeilLog2(static_cast<uint64_t>(window)) + 1;  // L+1 instances
+  if (levels > CellHasher::kMaxLevel) {
+    return Status::InvalidArgument("window too large for hash levels");
+  }
+  return RobustL0SamplerSW(options, window);
+}
+
+RobustL0SamplerSW::RobustL0SamplerSW(const SamplerOptions& options,
+                                     int64_t window)
+    : ctx_(std::make_unique<SamplerContext>(options)),
+      id_counter_(std::make_unique<uint64_t>(0)),
+      window_(window),
+      accept_cap_(options.EffectiveAcceptCap()) {
+  const uint32_t L = CeilLog2(static_cast<uint64_t>(window));
+  levels_.reserve(L + 1);
+  for (uint32_t l = 0; l <= L; ++l) {
+    levels_.push_back(std::make_unique<SwFixedRateSampler>(
+        ctx_.get(), l, window, id_counter_.get()));
+  }
+  meter_.Set(SpaceWords());
+}
+
+void RobustL0SamplerSW::Insert(const Point& p, int64_t stamp) {
+  RL0_DCHECK(p.dim() == ctx_->options.dim);
+  RL0_DCHECK(points_processed_ == 0 || stamp >= latest_stamp_);
+  latest_stamp_ = stamp;
+
+  PreparedPoint prep;
+  prep.point = &p;
+  prep.stamp = stamp;
+  prep.stream_index = points_processed_++;
+  prep.cell_key = ctx_->grid.CellKeyOf(p);
+  ctx_->grid.AdjacentCells(p, ctx_->options.alpha, &adj_scratch_);
+  prep.adj_keys = &adj_scratch_;
+
+  // Algorithm 3 lines 5-18: feed top-down and stop at the highest level
+  // that records p in its *accept* set ("accept it at the highest level ℓ
+  // in which the point falls into Sacc_ℓ"), pruning everything below it.
+  // Rejected records at upper levels are retained (they block later points
+  // of the same group from masquerading as new representatives there) but
+  // must not stop the descent: the newest point has to end up accepted at
+  // some level, or Lemma 2.10's non-emptiness guarantee would fail.
+  for (size_t l = levels_.size(); l-- > 0;) {
+    if (levels_[l]->InsertPrepared(prep) != InsertOutcome::kAccepted) {
+      continue;
+    }
+    for (size_t j = 0; j < l; ++j) levels_[j]->Reset();
+    if (levels_[l]->accept_size() > accept_cap_) Cascade(l);
+    break;
+    // Level 0 samples every cell and has no tracked rejected groups, so
+    // the loop always accepts somewhere.
+  }
+  meter_.Set(SpaceWords());
+}
+
+void RobustL0SamplerSW::Insert(const Point& p) {
+  Insert(p, static_cast<int64_t>(points_processed_));
+}
+
+void RobustL0SamplerSW::Cascade(size_t start_level) {
+  size_t j = start_level;
+  while (levels_[j]->accept_size() > accept_cap_) {
+    if (j + 1 >= levels_.size()) {
+      // Algorithm 3 line 17: the cascade ran past the top level. With
+      // κ0 large enough this has probability ≤ 1/m² (Lemma 2.8); we
+      // record the event and leave the top level over-full rather than
+      // fail the stream.
+      ++error_count_;
+      return;
+    }
+    std::vector<GroupRecord> promoted;
+    if (!levels_[j]->SplitPromote(&promoted)) {
+      // No accepted representative survives the next rate: nothing can be
+      // promoted this round (DESIGN.md §3). The cap is restored on a later
+      // arrival with fresh representatives.
+      ++stuck_split_count_;
+      return;
+    }
+    levels_[j + 1]->MergeFrom(std::move(promoted));
+    ++j;
+  }
+}
+
+void RobustL0SamplerSW::ExpireAll(int64_t now) {
+  for (auto& level : levels_) level->Expire(now);
+}
+
+std::vector<SampleItem> RobustL0SamplerSW::BuildQueryPool(int64_t now,
+                                                          Xoshiro256pp* rng) {
+  ExpireAll(now);
+  // c = deepest level with a non-empty accept set (Algorithm 3 line 20).
+  int c = -1;
+  for (size_t l = levels_.size(); l-- > 0;) {
+    if (levels_[l]->accept_size() > 0) {
+      c = static_cast<int>(l);
+      break;
+    }
+  }
+  std::vector<SampleItem> pool;
+  if (c < 0) return pool;
+
+  // Unify the per-level rates: keep a level-ℓ group with probability
+  // R_ℓ/R_c = 2^(ℓ-c), so that every surviving group was selected with
+  // probability exactly 1/R_c (Algorithm 3 lines 21-22).
+  std::vector<SampleItem> level_points;
+  for (int l = 0; l <= c; ++l) {
+    level_points.clear();
+    levels_[l]->AcceptedGroupSamples(now, &level_points);
+    if (l == c) {
+      pool.insert(pool.end(), level_points.begin(), level_points.end());
+      continue;
+    }
+    const double keep = std::pow(2.0, static_cast<double>(l - c));
+    for (const SampleItem& item : level_points) {
+      if (rng->NextBernoulli(keep)) pool.push_back(item);
+    }
+  }
+  RL0_DCHECK(!pool.empty());  // level c contributes with probability 1
+  return pool;
+}
+
+std::optional<SampleItem> RobustL0SamplerSW::Sample(int64_t now,
+                                                    Xoshiro256pp* rng) {
+  const std::vector<SampleItem> pool = BuildQueryPool(now, rng);
+  if (pool.empty()) return std::nullopt;
+  return pool[rng->NextBounded(pool.size())];
+}
+
+Result<std::vector<SampleItem>> RobustL0SamplerSW::SampleK(
+    size_t count, int64_t now, Xoshiro256pp* rng) {
+  std::vector<SampleItem> pool = BuildQueryPool(now, rng);
+  if (pool.size() < count) {
+    return Status::FailedPrecondition(
+        "fewer unified window groups than requested samples");
+  }
+  // Every pool entry belongs to a distinct group (each group is
+  // accept-tracked at exactly one level), so a partial Fisher–Yates over
+  // the pool is a without-replacement group sample.
+  std::vector<SampleItem> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + rng->NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+std::optional<SampleItem> RobustL0SamplerSW::SampleLatest(Xoshiro256pp* rng) {
+  return Sample(latest_stamp_, rng);
+}
+
+std::optional<uint32_t> RobustL0SamplerSW::DeepestNonEmptyLevel(int64_t now) {
+  ExpireAll(now);
+  for (size_t l = levels_.size(); l-- > 0;) {
+    if (levels_[l]->accept_size() > 0) return static_cast<uint32_t>(l);
+  }
+  return std::nullopt;
+}
+
+size_t RobustL0SamplerSW::SpaceWords() const {
+  size_t words = 8;  // scalars
+  for (const auto& level : levels_) words += level->SpaceWords();
+  return words;
+}
+
+}  // namespace rl0

@@ -1,0 +1,146 @@
+// Space-efficient robust ℓ0-sampling over sliding windows (Algorithm 3),
+// the paper's main technical contribution.
+//
+// The structure runs L+1 = ⌈log2 w⌉+1 instances of the fixed-rate
+// Algorithm 2 with sample rates 1, 1/2, ..., 1/2^L over a dynamic
+// partition of the window into subwindows: level ℓ covers an older slice
+// of the window at a coarser rate. An arriving point is fed top-down
+// (level L first) and is *recorded* at the highest level that either
+// already tracks its group or samples/rejects it as a new representative;
+// all lower levels are then pruned (their state describes a stream suffix
+// that the recording level now owns). Because level 0 samples every cell,
+// every point is recorded somewhere, and the newest stream suffix is
+// always tracked at rate 1 — that is what guarantees a sample exists
+// whenever the window is non-empty (Lemma 2.10).
+//
+// When a level's accept set outgrows κ0·log m, the level is Split
+// (Algorithm 4): groups up to the last representative that survives the
+// next level's rate are promoted (re-filtered at half the rate, keeping
+// Definition 2.2's accept/reject semantics), the rest stay; the promoted
+// part Merges (Algorithm 5) into the level above, possibly cascading. A
+// cascade past level L is the paper's "error" event (Lemma 2.8: happens
+// with probability ≤ 1/m² per step for large enough κ0); it is surfaced
+// through error_count() rather than aborting.
+//
+// At query time the per-level samples are unified: each accepted group of
+// level ℓ enters the candidate set with probability R_ℓ/R_c (c = deepest
+// non-empty level), so every group in the window is present with equal
+// probability 1/R_c, and a uniform candidate is returned.
+
+#ifndef RL0_CORE_SW_SAMPLER_H_
+#define RL0_CORE_SW_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rl0/core/context.h"
+#include "rl0/core/sample.h"
+#include "rl0/core/sw_fixed_sampler.h"
+#include "rl0/util/space.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// Hierarchical sliding-window robust ℓ0-sampler (Algorithms 3–5).
+///
+/// Works for sequence-based windows (stamp = arrival index; use the
+/// single-argument Insert) and time-based windows (stamp = arrival time,
+/// non-decreasing). Movable, not copyable.
+class RobustL0SamplerSW {
+ public:
+  /// Validates options and creates a sampler for windows of width
+  /// `window` (points or time units, depending on stamp semantics).
+  static Result<RobustL0SamplerSW> Create(const SamplerOptions& options,
+                                          int64_t window);
+
+  /// Feeds a point with an explicit stamp (time-based windows).
+  /// Stamps must be non-decreasing.
+  void Insert(const Point& p, int64_t stamp);
+
+  /// Feeds a point stamped with its arrival index (sequence-based windows).
+  void Insert(const Point& p);
+
+  /// Returns a robust ℓ0-sample of the window at time `now`: a group alive
+  /// in (now-window, now] chosen uniformly, represented by its latest
+  /// point — or, with options.random_representative, by a uniformly
+  /// random point of the group's window (Section 2.3 variant, implemented
+  /// with per-group windowed reservoirs; within-group uniformity is exact
+  /// for the fixed-rate Algorithm 2 and Θ(1)-approximate here, because a
+  /// pruned-and-re-established group restarts its reservoir). Returns
+  /// nullopt iff the window is empty. Expires state, hence non-const.
+  std::optional<SampleItem> Sample(int64_t now, Xoshiro256pp* rng);
+
+  /// Sample at the stamp of the most recent insertion.
+  std::optional<SampleItem> SampleLatest(Xoshiro256pp* rng);
+
+  /// Samples `count` distinct window groups without replacement
+  /// (Section 2.3; set options.k ≥ count so the per-level caps are scaled
+  /// accordingly). Fails with kFailedPrecondition when fewer than `count`
+  /// groups survive the query-time rate unification — the unified pool is
+  /// itself a random 1/R_c-rate subset, so callers may simply retry with
+  /// fresh query randomness (each query redraws the pool).
+  Result<std::vector<SampleItem>> SampleK(size_t count, int64_t now,
+                                          Xoshiro256pp* rng);
+
+  /// Deepest level with a non-empty accept set at `now` (the FM-style
+  /// statistic used by the sliding-window F0 estimator, Section 5).
+  /// nullopt iff the window is empty.
+  std::optional<uint32_t> DeepestNonEmptyLevel(int64_t now);
+
+  /// Number of levels (L+1 with L = ⌈log2 window⌉).
+  size_t num_levels() const { return levels_.size(); }
+  /// Read access to a level (tests/instrumentation).
+  const SwFixedRateSampler& level(size_t i) const { return *levels_[i]; }
+  /// The window width.
+  int64_t window() const { return window_; }
+  /// Points processed so far.
+  uint64_t points_processed() const { return points_processed_; }
+  /// Stamp of the most recent insertion.
+  int64_t latest_stamp() const { return latest_stamp_; }
+  /// Number of Algorithm-3 "error" events (cascade past the top level).
+  uint64_t error_count() const { return error_count_; }
+  /// Number of abandoned cascades (no promotable representative; see
+  /// DESIGN.md §3 resolution 1).
+  uint64_t stuck_split_count() const { return stuck_split_count_; }
+  /// The accept cap κ0·k·log m in force.
+  size_t accept_cap() const { return accept_cap_; }
+
+  /// Current space in words (sum over levels plus scalars).
+  size_t SpaceWords() const;
+  /// Peak space in words since construction.
+  size_t PeakSpaceWords() const { return meter_.peak(); }
+
+  /// The options in force.
+  const SamplerOptions& options() const { return ctx_->options; }
+
+ private:
+  friend Status SnapshotSamplerSW(const RobustL0SamplerSW& sampler,
+                                  std::string* out);
+  friend Result<RobustL0SamplerSW> RestoreSamplerSW(
+      const std::string& snapshot);
+
+  RobustL0SamplerSW(const SamplerOptions& options, int64_t window);
+
+  void Cascade(size_t start_level);
+  void ExpireAll(int64_t now);
+  /// Collects the rate-unified candidate pool (Algorithm 3 lines 19-22).
+  std::vector<SampleItem> BuildQueryPool(int64_t now, Xoshiro256pp* rng);
+
+  std::unique_ptr<SamplerContext> ctx_;
+  std::unique_ptr<uint64_t> id_counter_;
+  std::vector<std::unique_ptr<SwFixedRateSampler>> levels_;
+  int64_t window_;
+  size_t accept_cap_;
+  uint64_t points_processed_ = 0;
+  int64_t latest_stamp_ = 0;
+  uint64_t error_count_ = 0;
+  uint64_t stuck_split_count_ = 0;
+  SpaceMeter meter_;
+  std::vector<uint64_t> adj_scratch_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_SW_SAMPLER_H_

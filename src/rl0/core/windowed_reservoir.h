@@ -1,0 +1,103 @@
+// Uniform random sampling from the live suffix of a stream — the
+// sliding-window replacement for reservoir sampling that Section 2.3 of
+// the paper calls for ("replace Reservoir sampling with a random sampling
+// algorithm for sliding windows, e.g. [Braverman-Ostrovsky-Zaniolo]").
+//
+// Priority sampling: every arriving item draws a fresh uniform 64-bit
+// priority; the sample for any window is the minimum-priority unexpired
+// item, which is uniform over the window's items. Maintaining the sample
+// takes the classic sliding-window-minimum structure: a deque of
+// candidates with increasing stamps and strictly increasing priorities —
+// a new arrival evicts every candidate with a larger priority (they can
+// never be a window minimum again while the newer item is alive), and the
+// front expires as the window slides. The candidate set is the sequence
+// of suffix minima, of expected size O(log w).
+
+#ifndef RL0_CORE_WINDOWED_RESERVOIR_H_
+#define RL0_CORE_WINDOWED_RESERVOIR_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "rl0/core/sample.h"
+#include "rl0/geom/point.h"
+#include "rl0/util/rng.h"
+#include "rl0/util/space.h"
+
+namespace rl0 {
+
+/// Uniform sampler over the unexpired items of a stamped stream.
+/// Copyable (state moves with its owning group during split/merge).
+class WindowedReservoir {
+ public:
+  /// A stored suffix-minimum candidate (public for checkpointing).
+  struct Candidate {
+    uint64_t priority;
+    int64_t stamp;
+    SampleItem item;
+  };
+
+  WindowedReservoir() : window_(1) {}
+
+  /// Creates a reservoir for windows of width `window`; priorities are
+  /// drawn from a generator seeded with `seed`.
+  WindowedReservoir(int64_t window, uint64_t seed)
+      : window_(window), rng_(SplitMix64(seed ^ 0x57524553ULL)) {}
+
+  /// Feeds an item; stamps must be non-decreasing.
+  void Insert(const Point& p, int64_t stamp, uint64_t stream_index) {
+    Expire(stamp);
+    const uint64_t priority = rng_();
+    while (!candidates_.empty() && candidates_.back().priority >= priority) {
+      candidates_.pop_back();
+    }
+    candidates_.push_back(Candidate{priority, stamp, {p, stream_index}});
+  }
+
+  /// Drops candidates that left the window at time `now`.
+  void Expire(int64_t now) {
+    const int64_t horizon = now - window_;
+    while (!candidates_.empty() && candidates_.front().stamp <= horizon) {
+      candidates_.pop_front();
+    }
+  }
+
+  /// A uniformly random unexpired item, or nullopt for an empty window.
+  std::optional<SampleItem> Sample(int64_t now) {
+    Expire(now);
+    if (candidates_.empty()) return std::nullopt;
+    return candidates_.front().item;
+  }
+
+  /// Current number of stored candidates (expected O(log w)).
+  size_t size() const { return candidates_.size(); }
+
+  /// Space in words for items of dimension `dim`.
+  size_t SpaceWords(size_t dim) const {
+    return candidates_.size() * (PointWords(dim) + 2) + 2;
+  }
+
+  /// The stored candidates, oldest first (checkpointing support).
+  const std::deque<Candidate>& candidates() const { return candidates_; }
+
+  /// Rebuilds a reservoir from checkpointed parts. The priority generator
+  /// is re-seeded from `reseed`; see core/snapshot.h for the (statistical,
+  /// not bit-exact) equivalence contract. Candidates must be ordered by
+  /// stamp with strictly increasing priorities.
+  void RestoreState(int64_t window, uint64_t reseed,
+                    std::deque<Candidate> candidates) {
+    window_ = window;
+    rng_ = Xoshiro256pp(SplitMix64(reseed ^ 0x57524553ULL));
+    candidates_ = std::move(candidates);
+  }
+
+ private:
+  int64_t window_;
+  Xoshiro256pp rng_{0};
+  std::deque<Candidate> candidates_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_WINDOWED_RESERVOIR_H_

@@ -1,0 +1,54 @@
+#include "rl0/geom/jl_projection.h"
+
+#include <cmath>
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+Result<JlProjection> JlProjection::Create(size_t input_dim,
+                                          size_t output_dim, uint64_t seed) {
+  if (input_dim < 1) {
+    return Status::InvalidArgument("input_dim must be >= 1");
+  }
+  if (output_dim < 1) {
+    return Status::InvalidArgument("output_dim must be >= 1");
+  }
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x4A4C50524FULL));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(output_dim));
+  std::vector<double> matrix(input_dim * output_dim);
+  for (double& entry : matrix) entry = scale * rng.NextGaussian();
+  return JlProjection(input_dim, output_dim, std::move(matrix));
+}
+
+size_t JlProjection::DimensionFor(uint64_t num_points, double epsilon) {
+  RL0_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  const double m = static_cast<double>(num_points < 2 ? 2 : num_points);
+  return static_cast<size_t>(
+      std::ceil(8.0 * std::log(m) / (epsilon * epsilon)));
+}
+
+Point JlProjection::Apply(const Point& p) const {
+  RL0_DCHECK(p.dim() == input_dim_);
+  Point out(output_dim_);
+  for (size_t row = 0; row < output_dim_; ++row) {
+    double acc = 0.0;
+    const double* matrix_row = matrix_.data() + row * input_dim_;
+    for (size_t col = 0; col < input_dim_; ++col) {
+      acc += matrix_row[col] * p[col];
+    }
+    out[row] = acc;
+  }
+  return out;
+}
+
+std::vector<Point> JlProjection::ApplyAll(
+    const std::vector<Point>& points) const {
+  std::vector<Point> out;
+  out.reserve(points.size());
+  for (const Point& p : points) out.push_back(Apply(p));
+  return out;
+}
+
+}  // namespace rl0

@@ -1,0 +1,62 @@
+// Johnson–Lindenstrauss random projection (paper Section 4, Remark 2).
+//
+// Theorem 4.1 needs (α, β)-sparsity with β > d^1.5·α; the paper remarks
+// that JL dimension reduction weakens the requirement to
+// β ≥ c·log^1.5(m)·α: project the stream to k = O(log m / ε²) dimensions
+// — pairwise distances are preserved within (1±ε) with high probability —
+// and run the sampler in the projected space with rescaled thresholds.
+//
+// This is the dense Gaussian construction: a k×d matrix of i.i.d.
+// N(0, 1/k) entries, fixed per instance by the seed, applied per point in
+// O(k·d). Near-duplicates stay near (distance ≤ (1+ε)·α) and separated
+// groups stay separated (distance ≥ (1−ε)·β), so running the sampler with
+// threshold (1+ε)·α in the projected space preserves the group structure.
+
+#ifndef RL0_GEOM_JL_PROJECTION_H_
+#define RL0_GEOM_JL_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rl0/geom/point.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// A fixed random linear map R^input_dim -> R^output_dim.
+class JlProjection {
+ public:
+  /// Creates a projection with N(0, 1/output_dim) entries derived from
+  /// `seed`. Requires 1 ≤ output_dim and 1 ≤ input_dim.
+  static Result<JlProjection> Create(size_t input_dim, size_t output_dim,
+                                     uint64_t seed);
+
+  /// The standard dimension bound k = ⌈8·ln(m)/ε²⌉ preserving all pairwise
+  /// distances of m points within (1±ε) with high probability.
+  static size_t DimensionFor(uint64_t num_points, double epsilon);
+
+  /// Projects `p` (dimension input_dim) to output_dim dimensions.
+  Point Apply(const Point& p) const;
+
+  /// Projects every point of `points`.
+  std::vector<Point> ApplyAll(const std::vector<Point>& points) const;
+
+  size_t input_dim() const { return input_dim_; }
+  size_t output_dim() const { return output_dim_; }
+
+ private:
+  JlProjection(size_t input_dim, size_t output_dim,
+               std::vector<double> matrix)
+      : input_dim_(input_dim),
+        output_dim_(output_dim),
+        matrix_(std::move(matrix)) {}
+
+  size_t input_dim_;
+  size_t output_dim_;
+  /// Row-major output_dim × input_dim.
+  std::vector<double> matrix_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_GEOM_JL_PROJECTION_H_

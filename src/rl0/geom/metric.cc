@@ -1,0 +1,49 @@
+#include "rl0/geom/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kL1:
+      return "l1";
+    case Metric::kLinf:
+      return "linf";
+  }
+  return "unknown";
+}
+
+double MetricDistance(const Point& a, const Point& b, Metric metric) {
+  RL0_DCHECK(a.dim() == b.dim());
+  switch (metric) {
+    case Metric::kL2:
+      return Distance(a, b);
+    case Metric::kL1: {
+      double s = 0.0;
+      for (size_t i = 0; i < a.dim(); ++i) s += std::abs(a[i] - b[i]);
+      return s;
+    }
+    case Metric::kLinf: {
+      double m = 0.0;
+      for (size_t i = 0; i < a.dim(); ++i) {
+        m = std::max(m, std::abs(a[i] - b[i]));
+      }
+      return m;
+    }
+  }
+  return 0.0;
+}
+
+bool MetricWithinDistance(const Point& a, const Point& b, double radius,
+                          Metric metric) {
+  if (metric == Metric::kL2) return WithinDistance(a, b, radius);
+  return MetricDistance(a, b, metric) <= radius;
+}
+
+}  // namespace rl0

@@ -1,0 +1,79 @@
+#include "rl0/geom/point.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+Point Point::operator+(const Point& other) const {
+  RL0_DCHECK(dim() == other.dim());
+  Point out(*this);
+  for (size_t i = 0; i < coords_.size(); ++i) out.coords_[i] += other[i];
+  return out;
+}
+
+Point Point::operator-(const Point& other) const {
+  RL0_DCHECK(dim() == other.dim());
+  Point out(*this);
+  for (size_t i = 0; i < coords_.size(); ++i) out.coords_[i] -= other[i];
+  return out;
+}
+
+Point Point::operator*(double scale) const {
+  Point out(*this);
+  for (double& c : out.coords_) c *= scale;
+  return out;
+}
+
+double Point::Norm() const {
+  double s = 0.0;
+  for (double c : coords_) s += c * c;
+  return std::sqrt(s);
+}
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", coords_[i]);
+    if (i) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  RL0_DCHECK(a.dim() == b.dim());
+  double s = 0.0;
+  const size_t d = a.dim();
+  for (size_t i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+bool WithinDistance(const Point& a, const Point& b, double radius) {
+  return SquaredDistance(a, b) <= radius * radius;
+}
+
+double MinPairwiseDistance(const std::vector<Point>& points) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d2 = SquaredDistance(points[i], points[j]);
+      if (d2 < best * best) best = std::sqrt(d2);
+    }
+  }
+  return best;
+}
+
+}  // namespace rl0

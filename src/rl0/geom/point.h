@@ -1,0 +1,77 @@
+// Points in d-dimensional Euclidean space and distance primitives.
+//
+// The paper's data model is points in R^d with the Euclidean metric; more
+// complex objects (documents, images) are assumed to have been mapped to
+// feature vectors upstream. Point is a thin wrapper over a dense coordinate
+// vector with value semantics.
+
+#ifndef RL0_GEOM_POINT_H_
+#define RL0_GEOM_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rl0 {
+
+/// A point in R^d (dense coordinates, value semantics).
+class Point {
+ public:
+  /// Empty (dimension-0) point.
+  Point() = default;
+
+  /// A point with `dim` coordinates, all zero.
+  explicit Point(size_t dim) : coords_(dim, 0.0) {}
+
+  /// A point from explicit coordinates.
+  Point(std::initializer_list<double> coords) : coords_(coords) {}
+
+  /// A point adopting the given coordinate vector.
+  explicit Point(std::vector<double> coords) : coords_(std::move(coords)) {}
+
+  /// Number of coordinates.
+  size_t dim() const { return coords_.size(); }
+
+  /// Coordinate access (unchecked in release builds).
+  double operator[](size_t i) const { return coords_[i]; }
+  double& operator[](size_t i) { return coords_[i]; }
+
+  /// The underlying coordinate vector.
+  const std::vector<double>& coords() const { return coords_; }
+
+  /// Exact coordinate-wise equality (used by tests and exact baselines).
+  bool operator==(const Point& other) const { return coords_ == other.coords_; }
+
+  /// Component-wise sum / difference / scaling (used by generators).
+  Point operator+(const Point& other) const;
+  Point operator-(const Point& other) const;
+  Point operator*(double scale) const;
+
+  /// Euclidean norm of the point seen as a vector.
+  double Norm() const;
+
+  /// "(x1, x2, ..., xd)" with 6 significant digits, for logs.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> coords_;
+};
+
+/// Squared Euclidean distance between a and b. Requires equal dimensions.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Euclidean distance between a and b. Requires equal dimensions.
+double Distance(const Point& a, const Point& b);
+
+/// True iff d(a, b) ≤ radius, computed without a square root.
+bool WithinDistance(const Point& a, const Point& b, double radius);
+
+/// Minimum pairwise Euclidean distance over a set (O(n²); generator-side
+/// preprocessing only). Returns +inf for fewer than two points.
+double MinPairwiseDistance(const std::vector<Point>& points);
+
+}  // namespace rl0
+
+#endif  // RL0_GEOM_POINT_H_

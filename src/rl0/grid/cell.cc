@@ -1,0 +1,24 @@
+#include "rl0/grid/cell.h"
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+uint64_t CellKeyOf(const CellCoord& coord) {
+  // Sequential SplitMix64 combine; seeded by the dimension so that e.g.
+  // the 1-d cell (5) and the 2-d cell (5, 0) get unrelated keys.
+  uint64_t h = SplitMix64(0x5274D1E5ULL + coord.size());
+  for (int64_t c : coord) {
+    h = SplitMix64(h ^ SplitMix64(static_cast<uint64_t>(c)));
+  }
+  return h;
+}
+
+uint64_t RowMajorCellId2D(int64_t row, int64_t col, int64_t columns) {
+  RL0_CHECK(row >= 0 && col >= 0 && columns > 0 && col < columns);
+  return static_cast<uint64_t>(row) * static_cast<uint64_t>(columns) +
+         static_cast<uint64_t>(col);
+}
+
+}  // namespace rl0

@@ -1,0 +1,34 @@
+// Grid cell coordinates and 64-bit cell keys.
+//
+// A cell of the random grid is identified by its integer coordinate vector
+// (c1, ..., cd). The paper (Section 2.1) numbers cells of the bounded grid
+// row-major; to support unbounded coordinates and any dimension we instead
+// map the coordinate vector to a 64-bit key with a fixed (unseeded) strong
+// mixing combine. The sampling hash h (CellHasher, which *is* seeded) is
+// applied on top of this key, so the composition plays the role of the
+// paper's hash on cell IDs. Key collisions would merge two distant cells
+// with probability ~ (#cells)^2 / 2^64 — negligible at streaming scales and
+// harmless to correctness of group assignment (which is distance-checked).
+
+#ifndef RL0_GRID_CELL_H_
+#define RL0_GRID_CELL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rl0 {
+
+/// Integer coordinates of a grid cell.
+using CellCoord = std::vector<int64_t>;
+
+/// Maps a coordinate vector to a 64-bit cell key (fixed mixing combine).
+uint64_t CellKeyOf(const CellCoord& coord);
+
+/// Row-major cell ID for a bounded 2-d grid with `columns` columns, exactly
+/// as in the paper's Section 2.1 ((i-1)·Δ + j). Provided for tests and for
+/// fidelity demonstrations; requires non-negative coordinates.
+uint64_t RowMajorCellId2D(int64_t row, int64_t col, int64_t columns);
+
+}  // namespace rl0
+
+#endif  // RL0_GRID_CELL_H_

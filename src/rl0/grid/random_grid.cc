@@ -1,0 +1,212 @@
+#include "rl0/grid/random_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+namespace {
+thread_local uint64_t g_dfs_nodes = 0;
+}  // namespace
+
+RandomGrid::RandomGrid(size_t dim, double side, uint64_t seed, Metric metric)
+    : dim_(dim), side_(side), metric_(metric) {
+  RL0_CHECK(dim >= 1);
+  RL0_CHECK(side > 0.0);
+  Xoshiro256pp rng(SplitMix64(seed ^ 0xC3115A11D5EEDULL));
+  offset_.resize(dim);
+  for (double& o : offset_) o = rng.NextDouble() * side;
+}
+
+double RandomGrid::Accumulate(double acc, double axis_distance) const {
+  switch (metric_) {
+    case Metric::kL2:
+      return acc + axis_distance * axis_distance;
+    case Metric::kL1:
+      return acc + axis_distance;
+    case Metric::kLinf:
+      return std::max(acc, axis_distance);
+  }
+  return acc;
+}
+
+CellCoord RandomGrid::CellCoordOf(const Point& p) const {
+  RL0_DCHECK(p.dim() == dim_);
+  CellCoord coord(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    coord[i] = static_cast<int64_t>(std::floor((p[i] - offset_[i]) / side_));
+  }
+  return coord;
+}
+
+uint64_t RandomGrid::CellKeyOf(const Point& p) const {
+  return ::rl0::CellKeyOf(CellCoordOf(p));
+}
+
+double RandomGrid::DistanceToCell(const Point& p,
+                                  const CellCoord& coord) const {
+  RL0_DCHECK(p.dim() == dim_ && coord.size() == dim_);
+  double acc = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    const double lo = offset_[i] + static_cast<double>(coord[i]) * side_;
+    const double hi = lo + side_;
+    double d = 0.0;
+    if (p[i] < lo) {
+      d = lo - p[i];
+    } else if (p[i] > hi) {
+      d = p[i] - hi;
+    }
+    acc = Accumulate(acc, d);
+  }
+  return metric_ == Metric::kL2 ? std::sqrt(acc) : acc;
+}
+
+// Depth-first search over per-axis cell offsets. `scaled[i]` is the
+// fractional position of p inside its cell on axis i (in [0, side)).
+// For an axis offset o, the per-axis distance from p to the offset cell is
+//   o == 0 : 0
+//   o  > 0 : o*side - scaled[i]          (move up to the cell's low face)
+//   o  < 0 : scaled[i] + (|o|-1)*side    (move down to the cell's high face)
+// Offsets are explored in order of increasing distance (0, -1, +1, -2, ...)
+// so each direction can stop at the first pruned offset. The accumulator
+// `acc` folds per-axis distances under the grid's metric (Accumulate);
+// `budget` is α² for L2 and α otherwise. Pruning is exact because every
+// Minkowski accumulator is monotone in each axis distance.
+void RandomGrid::DfsSearch(const Point& p, const CellCoord& base,
+                           const std::vector<double>& scaled, double budget,
+                           size_t axis, double acc, CellCoord* current,
+                           std::vector<CellCoord>* out) const {
+  ++g_dfs_nodes;
+  if (axis == dim_) {
+    out->push_back(*current);
+    return;
+  }
+  const double frac = scaled[axis];
+  // Offset 0 first: zero added distance.
+  (*current)[axis] = base[axis];
+  DfsSearch(p, base, scaled, budget, axis + 1, acc, current, out);
+  // Negative offsets: distance grows with |o|; stop at the first prune.
+  for (int64_t o = -1;; --o) {
+    const double d =
+        frac + (static_cast<double>(-o) - 1.0) * side_;
+    const double next = Accumulate(acc, d);
+    if (next > budget) break;
+    (*current)[axis] = base[axis] + o;
+    DfsSearch(p, base, scaled, budget, axis + 1, next, current, out);
+  }
+  // Positive offsets.
+  for (int64_t o = 1;; ++o) {
+    const double d = static_cast<double>(o) * side_ - frac;
+    const double next = Accumulate(acc, d);
+    if (next > budget) break;
+    (*current)[axis] = base[axis] + o;
+    DfsSearch(p, base, scaled, budget, axis + 1, next, current, out);
+  }
+  (*current)[axis] = base[axis];
+}
+
+void RandomGrid::AdjacentCellCoords(const Point& p, double alpha,
+                                    std::vector<CellCoord>* out) const {
+  RL0_DCHECK(p.dim() == dim_);
+  RL0_DCHECK(alpha > 0.0);
+  out->clear();
+  g_dfs_nodes = 0;
+  const CellCoord base = CellCoordOf(p);
+  std::vector<double> scaled(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    const double lo = offset_[i] + static_cast<double>(base[i]) * side_;
+    scaled[i] = p[i] - lo;  // in [0, side)
+  }
+  CellCoord current = base;
+  const double budget = metric_ == Metric::kL2 ? alpha * alpha : alpha;
+  DfsSearch(p, base, scaled, budget, 0, 0.0, &current, out);
+}
+
+void RandomGrid::AdjacentCells(const Point& p, double alpha,
+                               std::vector<uint64_t>* out) const {
+  std::vector<CellCoord> coords;
+  AdjacentCellCoords(p, alpha, &coords);
+  out->clear();
+  out->reserve(coords.size());
+  for (const CellCoord& c : coords) out->push_back(::rl0::CellKeyOf(c));
+  std::sort(out->begin(), out->end());
+}
+
+void RandomGrid::AdjacentCellsNaive(const Point& p, double alpha,
+                                    std::vector<uint64_t>* out) const {
+  RL0_DCHECK(p.dim() == dim_);
+  out->clear();
+  const CellCoord base = CellCoordOf(p);
+  const int64_t r = static_cast<int64_t>(std::floor(alpha / side_)) + 1;
+  CellCoord current(dim_);
+  const double alpha_sq = alpha * alpha;
+  // Odometer enumeration of the full (2r+1)^d block.
+  std::vector<int64_t> off(dim_, -r);
+  const double budget = metric_ == Metric::kL2 ? alpha_sq : alpha;
+  for (;;) {
+    for (size_t i = 0; i < dim_; ++i) current[i] = base[i] + off[i];
+    // Exact box distance (not the incremental DFS formula) as a cross-check.
+    double acc = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      const double lo = offset_[i] + static_cast<double>(current[i]) * side_;
+      const double hi = lo + side_;
+      double d = 0.0;
+      if (p[i] < lo) d = lo - p[i];
+      if (p[i] > hi) d = p[i] - hi;
+      acc = Accumulate(acc, d);
+    }
+    if (acc <= budget) out->push_back(::rl0::CellKeyOf(current));
+    size_t axis = 0;
+    while (axis < dim_ && ++off[axis] > r) {
+      off[axis] = -r;
+      ++axis;
+    }
+    if (axis == dim_) break;
+  }
+  std::sort(out->begin(), out->end());
+}
+
+void RandomGrid::AdjacentCellsPaperDfs(const Point& p, double alpha,
+                                       std::vector<uint64_t>* out) const {
+  RL0_DCHECK(p.dim() == dim_);
+  out->clear();
+  // Work in grid units (side rescaled to 1), exactly as Section 6.2.
+  std::vector<double> x(dim_);
+  for (size_t i = 0; i < dim_; ++i) x[i] = (p[i] - offset_[i]) / side_;
+  const double alpha_scaled = alpha / side_;
+  const double alpha_sq = alpha_scaled * alpha_scaled;
+
+  std::vector<double> y(dim_, 0.0);
+  CellCoord cell(dim_);
+  // Recursive lambda implementing Algorithm 6 (SearchAdj).
+  auto search = [&](auto&& self, size_t i, double s) -> void {
+    if (s > alpha_sq) return;
+    if (i == dim_) {
+      // q' = q + 0.01 (q - p): nudge off the boundary, then take floor.
+      for (size_t j = 0; j < dim_; ++j) {
+        const double qj = y[j] + 0.01 * (y[j] - x[j]);
+        cell[j] = static_cast<int64_t>(std::floor(qj));
+      }
+      out->push_back(::rl0::CellKeyOf(cell));
+      return;
+    }
+    const double fl = std::floor(x[i]);
+    const double ce = std::ceil(x[i]);
+    y[i] = fl;
+    self(self, i + 1, s + (fl - x[i]) * (fl - x[i]));
+    y[i] = x[i];
+    self(self, i + 1, s);
+    y[i] = ce;
+    self(self, i + 1, s + (ce - x[i]) * (ce - x[i]));
+  };
+  search(search, 0, 0.0);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+uint64_t RandomGrid::last_dfs_nodes() { return g_dfs_nodes; }
+
+}  // namespace rl0

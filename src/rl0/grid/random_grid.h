@@ -1,0 +1,110 @@
+// The randomly shifted grid over R^d and the adj(p) neighborhood search.
+//
+// Section 2.1 of the paper posts a random grid of side α/2 (constant d) or
+// d·α (high d, Section 4) over the space. For a point p,
+//
+//   cell(p) = the cell containing p,
+//   adj(p)  = { cells C : d(p, C) ≤ α },
+//
+// where d(p, C) is the minimum distance from p to the (closed) cell box.
+// adj(p) is computed with the paper's DFS over per-coordinate nearest
+// points (Algorithms 6–7): for each axis the point either stays, moves to
+// the lower cell boundary, or to the upper one; the search prunes as soon
+// as the accumulated squared movement exceeds α². We generalize the
+// per-axis moves to offsets -r..+r with r = ⌊α/side⌋ + 1 so the search is
+// exact in the constant-d regime too (side = α/2 ⇒ cells two away can
+// still be within α; the paper's |adj(p)| ≤ 25 bound in 2-d corresponds to
+// the 5×5 block). With r = 1 the search degenerates to exactly the paper's
+// Algorithm 6.
+
+#ifndef RL0_GRID_RANDOM_GRID_H_
+#define RL0_GRID_RANDOM_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rl0/geom/metric.h"
+#include "rl0/geom/point.h"
+#include "rl0/grid/cell.h"
+
+namespace rl0 {
+
+/// A randomly shifted axis-aligned grid with cubic cells.
+///
+/// Immutable after construction; all methods are const and thread-safe.
+class RandomGrid {
+ public:
+  /// Creates a grid over R^dim with the given cell side length; the offset
+  /// is drawn uniformly from [0, side)^dim using `seed`. The metric
+  /// governs DistanceToCell and the adjacency searches (the DFS pruning is
+  /// exact for all Minkowski metrics; default L2 per the paper).
+  /// Requires dim >= 1 and side > 0.
+  RandomGrid(size_t dim, double side, uint64_t seed,
+             Metric metric = Metric::kL2);
+
+  /// Dimension of the underlying space.
+  size_t dim() const { return dim_; }
+
+  /// Cell side length.
+  double side() const { return side_; }
+
+  /// The random offset (for tests).
+  const std::vector<double>& offset() const { return offset_; }
+
+  /// The metric in force.
+  Metric metric() const { return metric_; }
+
+  /// Integer coordinates of the cell containing p. Requires p.dim()==dim().
+  CellCoord CellCoordOf(const Point& p) const;
+
+  /// 64-bit key of the cell containing p.
+  uint64_t CellKeyOf(const Point& p) const;
+
+  /// Minimum Euclidean distance from p to the closed box of cell `coord`.
+  double DistanceToCell(const Point& p, const CellCoord& coord) const;
+
+  /// Computes adj(p) = keys of all cells within distance `alpha` of p,
+  /// including cell(p) itself, via the pruned DFS described above.
+  /// Results are appended to `out` (cleared first). Deterministic order.
+  void AdjacentCells(const Point& p, double alpha,
+                     std::vector<uint64_t>* out) const;
+
+  /// As AdjacentCells but returns coordinates (used by tests/baselines).
+  void AdjacentCellCoords(const Point& p, double alpha,
+                          std::vector<CellCoord>* out) const;
+
+  /// Reference implementation: full enumeration of the (2r+1)^d block with
+  /// a distance filter. Exponential in d — tests and benchmarks only.
+  void AdjacentCellsNaive(const Point& p, double alpha,
+                          std::vector<uint64_t>* out) const;
+
+  /// Literal transcription of the paper's Algorithm 6/7 (per-axis moves to
+  /// ⌊x⌋/stay/⌈x⌉ in grid units, boundary nudge by 0.01·(q-p)). Exact only
+  /// when side ≥ alpha (the high-dimension regime it was designed for).
+  /// Exposed for fidelity tests against AdjacentCells.
+  void AdjacentCellsPaperDfs(const Point& p, double alpha,
+                             std::vector<uint64_t>* out) const;
+
+  /// Number of DFS nodes visited by the last AdjacentCells call on this
+  /// thread — instrumentation for the Section 6.2 pruning benchmark.
+  static uint64_t last_dfs_nodes();
+
+ private:
+  void DfsSearch(const Point& p, const CellCoord& base,
+                 const std::vector<double>& scaled, double budget,
+                 size_t axis, double acc, CellCoord* current,
+                 std::vector<CellCoord>* out) const;
+
+  /// Folds one per-axis box distance into the running accumulator
+  /// (L2: sum of squares; L1: sum; L∞: max).
+  double Accumulate(double acc, double axis_distance) const;
+
+  size_t dim_;
+  double side_;
+  Metric metric_;
+  std::vector<double> offset_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_GRID_RANDOM_GRID_H_

@@ -1,0 +1,45 @@
+#include "rl0/hashing/kwise_hash.h"
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+uint64_t Mod61(__uint128_t x) {
+  // Fold twice: x = hi*2^61 + lo ≡ hi + lo (mod 2^61-1).
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + (hi & kMersenne61) + static_cast<uint64_t>(hi >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+uint64_t MulMod61(uint64_t a, uint64_t b) {
+  return Mod61(static_cast<__uint128_t>(a) * b);
+}
+
+KWisePolyHash::KWisePolyHash(uint32_t k, uint64_t seed) {
+  RL0_CHECK(k >= 2);
+  coeffs_.resize(k);
+  SplitMix64Sequence seq(seed);
+  for (uint32_t i = 0; i < k; ++i) {
+    // Rejection-sample a uniform value in [0, p); acceptance probability
+    // is ~1 - 2^-3, so the loop terminates immediately in practice.
+    uint64_t v = seq.Next() & ((uint64_t{1} << 61) - 1);
+    while (v >= kMersenne61) v = seq.Next() & ((uint64_t{1} << 61) - 1);
+    coeffs_[i] = v;
+  }
+}
+
+uint64_t KWisePolyHash::operator()(uint64_t x) const {
+  const uint64_t xr = x % kMersenne61;
+  // Horner's rule from the highest coefficient down.
+  uint64_t acc = coeffs_.back();
+  for (size_t i = coeffs_.size() - 1; i-- > 0;) {
+    acc = Mod61(static_cast<__uint128_t>(acc) * xr + coeffs_[i]);
+  }
+  return acc;
+}
+
+}  // namespace rl0

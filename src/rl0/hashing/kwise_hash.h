@@ -1,0 +1,49 @@
+// k-wise independent hashing over the Mersenne prime field GF(2^61 - 1).
+//
+// The paper's analysis assumes fully random hash functions and notes
+// (Section 1, Preliminaries) that Θ(log m)-wise independence suffices via
+// Chernoff–Hoeffding bounds for limited independence [Schmidt–Siegel–
+// Srinivasan]. A degree-(k-1) polynomial with independent uniform
+// coefficients over a prime field is the textbook k-wise independent
+// family; we use p = 2^61 - 1 so that modular reduction is a shift-add and
+// products fit in 128-bit arithmetic.
+
+#ifndef RL0_HASHING_KWISE_HASH_H_
+#define RL0_HASHING_KWISE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rl0 {
+
+/// The Mersenne prime 2^61 - 1 used as the field modulus.
+inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// Reduces x (< 2^122) modulo 2^61 - 1.
+uint64_t Mod61(__uint128_t x);
+
+/// Modular multiplication in GF(2^61 - 1).
+uint64_t MulMod61(uint64_t a, uint64_t b);
+
+/// A k-wise independent hash function h: [2^61-1] -> [2^61-1], evaluated as
+/// a random polynomial of degree k-1 via Horner's rule (O(k) per call).
+class KWisePolyHash {
+ public:
+  /// Creates a hash with `k` independent coefficients derived from `seed`.
+  /// Requires k >= 2 (pairwise independence at minimum).
+  KWisePolyHash(uint32_t k, uint64_t seed);
+
+  /// Evaluates the polynomial at `x` (reduced mod 2^61-1 first).
+  /// The result is uniform in [0, 2^61-1) over the choice of coefficients.
+  uint64_t operator()(uint64_t x) const;
+
+  /// The independence parameter k.
+  uint32_t k() const { return static_cast<uint32_t>(coeffs_.size()); }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // coeffs_[0] + coeffs_[1]*x + ...
+};
+
+}  // namespace rl0
+
+#endif  // RL0_HASHING_KWISE_HASH_H_

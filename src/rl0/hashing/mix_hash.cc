@@ -1,0 +1,18 @@
+#include "rl0/hashing/mix_hash.h"
+
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+MixHash::MixHash(uint64_t seed) {
+  SplitMix64Sequence seq(seed);
+  key0_ = seq.Next();
+  key1_ = seq.Next();
+}
+
+uint64_t MixHash::operator()(uint64_t x) const {
+  // Two keyed SplitMix64 finalizer rounds; each round has full avalanche.
+  return SplitMix64(SplitMix64(x ^ key0_) ^ key1_);
+}
+
+}  // namespace rl0

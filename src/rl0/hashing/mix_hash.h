@@ -1,0 +1,32 @@
+// Fast seeded 64-bit mixing hash (heuristic full randomness).
+//
+// The paper's experiments (Section 6) assume, as is standard in practice,
+// that a good mixing function behaves like a fully random hash. MixHash is
+// two rounds of the SplitMix64 finalizer keyed by a seed; it is the default
+// cell hash in benchmarks, while KWisePolyHash backs the theory-faithful
+// configuration.
+
+#ifndef RL0_HASHING_MIX_HASH_H_
+#define RL0_HASHING_MIX_HASH_H_
+
+#include <cstdint>
+
+namespace rl0 {
+
+/// A seeded 64-bit mixing hash with full 64-bit output.
+class MixHash {
+ public:
+  /// Creates a hash keyed by `seed`.
+  explicit MixHash(uint64_t seed);
+
+  /// Hashes `x` to a 64-bit value.
+  uint64_t operator()(uint64_t x) const;
+
+ private:
+  uint64_t key0_;
+  uint64_t key1_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_HASHING_MIX_HASH_H_

@@ -1,0 +1,78 @@
+#include "rl0/metrics/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+SampleDistribution::SampleDistribution(size_t num_groups)
+    : counts_(num_groups, 0) {
+  RL0_CHECK(num_groups >= 1);
+}
+
+void SampleDistribution::Record(uint32_t group) {
+  RL0_CHECK(group < counts_.size());
+  ++counts_[group];
+  ++total_;
+}
+
+uint64_t SampleDistribution::MinCount() const {
+  return *std::min_element(counts_.begin(), counts_.end());
+}
+
+uint64_t SampleDistribution::MaxCount() const {
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+size_t SampleDistribution::ZeroGroups() const {
+  size_t zeros = 0;
+  for (uint64_t c : counts_) zeros += (c == 0);
+  return zeros;
+}
+
+double SampleDistribution::StdDevNm() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(counts_.size());
+  const double f_star = 1.0 / n;
+  double sum_sq = 0.0;
+  for (uint64_t c : counts_) {
+    const double f = static_cast<double>(c) / static_cast<double>(total_);
+    sum_sq += (f - f_star) * (f - f_star);
+  }
+  return std::sqrt(sum_sq / n) / f_star;
+}
+
+double SampleDistribution::MaxDevNm() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(counts_.size());
+  const double f_star = 1.0 / n;
+  double max_dev = 0.0;
+  for (uint64_t c : counts_) {
+    const double f = static_cast<double>(c) / static_cast<double>(total_);
+    max_dev = std::max(max_dev, std::abs(f - f_star));
+  }
+  return max_dev / f_star;
+}
+
+double SampleDistribution::ChiSquare() const {
+  if (total_ == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total_) / static_cast<double>(counts_.size());
+  double chi = 0.0;
+  for (uint64_t c : counts_) {
+    const double diff = static_cast<double>(c) - expected;
+    chi += diff * diff / expected;
+  }
+  return chi;
+}
+
+double SampleDistribution::StdDevNoiseFloor(size_t num_groups,
+                                            uint64_t runs) {
+  if (runs == 0) return 0.0;
+  return std::sqrt(static_cast<double>(num_groups - 1) /
+                   static_cast<double>(runs));
+}
+
+}  // namespace rl0

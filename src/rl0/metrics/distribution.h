@@ -1,0 +1,65 @@
+// Accuracy measurements for the sampling experiments (Section 6.1).
+//
+// The paper evaluates an ℓ0-sampler by running it many times, counting how
+// often each group is returned, and reporting
+//   stdDevNm = stddev of the empirical per-group frequencies f_i,
+//              normalized by the target f* = 1/F0, and
+//   maxDevNm = max_i |f_i − f*| / f*.
+// Both follow the methodology of Cormode & Firmani's ℓ0-sampler survey.
+
+#ifndef RL0_METRICS_DISTRIBUTION_H_
+#define RL0_METRICS_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rl0 {
+
+/// Accumulates per-group sample counts and computes the paper's metrics.
+class SampleDistribution {
+ public:
+  /// Creates a distribution over `num_groups` groups.
+  explicit SampleDistribution(size_t num_groups);
+
+  /// Records one returned sample from `group`.
+  void Record(uint32_t group);
+
+  /// Number of recorded samples.
+  uint64_t total() const { return total_; }
+
+  /// Number of groups.
+  size_t num_groups() const { return counts_.size(); }
+
+  /// Raw counts.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Count of the least / most frequently sampled group.
+  uint64_t MinCount() const;
+  uint64_t MaxCount() const;
+
+  /// Number of groups never sampled.
+  size_t ZeroGroups() const;
+
+  /// stdDevNm: stddev of empirical frequencies normalized by f* = 1/n.
+  double StdDevNm() const;
+
+  /// maxDevNm: max_i |f_i − f*| / f*.
+  double MaxDevNm() const;
+
+  /// Pearson chi-square statistic against the uniform distribution
+  /// (degrees of freedom = num_groups − 1).
+  double ChiSquare() const;
+
+  /// The sampling-noise floor for stdDevNm at this run count: even a
+  /// perfectly uniform sampler measures stdDevNm ≈ sqrt((n−1)/runs).
+  static double StdDevNoiseFloor(size_t num_groups, uint64_t runs);
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_METRICS_DISTRIBUTION_H_

@@ -1,0 +1,91 @@
+#include "rl0/stream/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace rl0 {
+
+namespace {
+
+/// Splits a CSV line on commas and/or whitespace into coordinate tokens.
+Status ParseLine(const std::string& line, size_t line_number,
+                 std::vector<double>* coords) {
+  coords->clear();
+  size_t pos = 0;
+  while (pos < line.size()) {
+    // Skip separators.
+    while (pos < line.size() &&
+           (line[pos] == ',' || line[pos] == ' ' || line[pos] == '\t' ||
+            line[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= line.size()) break;
+    size_t end = pos;
+    while (end < line.size() && line[end] != ',' && line[end] != ' ' &&
+           line[end] != '\t' && line[end] != '\r') {
+      ++end;
+    }
+    const std::string token = line.substr(pos, end - pos);
+    char* parse_end = nullptr;
+    const double value = std::strtod(token.c_str(), &parse_end);
+    if (parse_end == token.c_str() || *parse_end != '\0') {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": bad number '" + token + "'");
+    }
+    coords->push_back(value);
+    pos = end;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Point>> ParseCsvPoints(std::istream& in) {
+  std::vector<Point> points;
+  std::string line;
+  std::vector<double> coords;
+  size_t line_number = 0;
+  size_t dim = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    Status s = ParseLine(line, line_number, &coords);
+    if (!s.ok()) return s;
+    if (coords.empty()) continue;
+    if (dim == 0) {
+      dim = coords.size();
+    } else if (coords.size() != dim) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(dim) + " coordinates, got " +
+          std::to_string(coords.size()));
+    }
+    points.push_back(Point(coords));
+  }
+  return points;
+}
+
+Result<std::vector<Point>> ReadCsvPoints(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return ParseCsvPoints(in);
+}
+
+void WriteCsvPoints(const std::vector<Point>& points, std::ostream& out) {
+  char buf[40];
+  for (const Point& p : points) {
+    for (size_t i = 0; i < p.dim(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.17g", p[i]);
+      if (i) out << ',';
+      out << buf;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace rl0

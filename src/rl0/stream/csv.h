@@ -1,0 +1,31 @@
+// CSV point streams: the interchange format of the command-line tool.
+//
+// One point per line, coordinates separated by commas (or whitespace);
+// blank lines and lines starting with '#' are skipped. All points must
+// share one dimension. Parsing is strict and reports 1-based line numbers
+// in error messages.
+
+#ifndef RL0_STREAM_CSV_H_
+#define RL0_STREAM_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rl0/geom/point.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// Parses points from CSV text.
+Result<std::vector<Point>> ParseCsvPoints(std::istream& in);
+
+/// Reads points from a CSV file.
+Result<std::vector<Point>> ReadCsvPoints(const std::string& path);
+
+/// Writes points as CSV ("%.17g" coordinates, comma-separated).
+void WriteCsvPoints(const std::vector<Point>& points, std::ostream& out);
+
+}  // namespace rl0
+
+#endif  // RL0_STREAM_CSV_H_

@@ -1,0 +1,35 @@
+#include "rl0/stream/dataset.h"
+
+namespace rl0 {
+
+Status NoisyDataset::Validate() const {
+  if (points.size() != group_of.size()) {
+    return Status::Internal("points/group_of size mismatch");
+  }
+  if (!(alpha > 0.0)) {
+    return Status::Internal("alpha must be positive");
+  }
+  for (const Point& p : points) {
+    if (p.dim() != dim) return Status::Internal("point dimension mismatch");
+  }
+  for (uint32_t g : group_of) {
+    if (g >= num_groups) return Status::Internal("group label out of range");
+  }
+  return Status::OK();
+}
+
+RepresentativeStream ExtractRepresentatives(const NoisyDataset& dataset) {
+  RepresentativeStream out;
+  std::vector<bool> seen(dataset.num_groups, false);
+  for (size_t i = 0; i < dataset.points.size(); ++i) {
+    const uint32_t g = dataset.group_of[i];
+    if (seen[g]) continue;
+    seen[g] = true;
+    out.points.push_back(dataset.points[i]);
+    out.stream_index.push_back(i);
+    out.group_of.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace rl0

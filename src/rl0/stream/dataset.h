@@ -1,0 +1,71 @@
+// Dataset containers used by the experiment pipeline.
+//
+// A BaseDataset holds the "clean" points (one per real-world entity); a
+// NoisyDataset is the stream actually fed to the samplers — every point is
+// tagged with the ground-truth group it was generated from, which the
+// benchmarks use to build empirical sampling distributions. Ground truth
+// never leaks into the samplers themselves.
+
+#ifndef RL0_STREAM_DATASET_H_
+#define RL0_STREAM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rl0/geom/point.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// A clean dataset: one point per entity.
+struct BaseDataset {
+  std::string name;
+  size_t dim = 0;
+  std::vector<Point> points;
+};
+
+/// A noisy stream: points in arrival order with ground-truth group labels.
+struct NoisyDataset {
+  std::string name;
+  size_t dim = 0;
+  /// Distance threshold α under which the stream was generated (intra-group
+  /// distances are < alpha, inter-group distances are > beta).
+  double alpha = 0.0;
+  /// Inter-group separation lower bound β implied by the generation.
+  double beta = 0.0;
+  /// Number of groups (== number of base points).
+  size_t num_groups = 0;
+  /// The stream.
+  std::vector<Point> points;
+  /// Ground truth: group id of points[i].
+  std::vector<uint32_t> group_of;
+
+  /// Stream length m.
+  size_t size() const { return points.size(); }
+
+  /// Sanity-checks internal consistency (sizes, label range).
+  Status Validate() const;
+};
+
+/// The subsequence of first-per-group points of `dataset`, preserving
+/// arrival order, with original stream indices.
+///
+/// For the fixed-representative Algorithm 1, the evolution of
+/// (Sacc, Srej, R) depends only on these points — every non-first point of
+/// a candidate group is skipped, and non-first points of non-candidate
+/// groups are ignored — so distribution experiments can replay just the
+/// representatives (a ~50x speedup). Equivalence is asserted by
+/// iw_sampler_test.ReplayEquivalence.
+struct RepresentativeStream {
+  std::vector<Point> points;
+  std::vector<uint64_t> stream_index;  // position in the full stream
+  std::vector<uint32_t> group_of;
+};
+
+/// Extracts the representative stream of `dataset`.
+RepresentativeStream ExtractRepresentatives(const NoisyDataset& dataset);
+
+}  // namespace rl0
+
+#endif  // RL0_STREAM_DATASET_H_

@@ -1,0 +1,164 @@
+#include "rl0/stream/generators.h"
+
+#include <cmath>
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+BaseDataset RandomUniform(size_t n, size_t dim, uint64_t seed,
+                          const std::string& name) {
+  BaseDataset out;
+  out.name = name;
+  out.dim = dim;
+  out.points.reserve(n);
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x52616E64ULL));
+  for (size_t i = 0; i < n; ++i) {
+    Point p(dim);
+    for (size_t j = 0; j < dim; ++j) p[j] = rng.NextDouble();
+    out.points.push_back(std::move(p));
+  }
+  return out;
+}
+
+BaseDataset Rand5(uint64_t seed) { return RandomUniform(500, 5, seed, "Rand5"); }
+
+BaseDataset Rand20(uint64_t seed) {
+  return RandomUniform(500, 20, seed, "Rand20");
+}
+
+BaseDataset YachtLike(uint64_t seed) {
+  // 308 points in R^7. The original columns mix a handful of discrete hull
+  // design values with continuous measurements of very different scales;
+  // we mimic that: coordinates 0-4 take values from small discrete grids,
+  // coordinate 5 is a continuous operating parameter, coordinate 6 is a
+  // heavy-tailed response variable.
+  BaseDataset out;
+  out.name = "Yacht";
+  out.dim = 7;
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x59616368ULL));
+  const double grids[5][6] = {
+      {-5.0, -2.3, 0.0, 2.3, 5.0, 0.0},       // longitudinal position
+      {0.53, 0.57, 0.6, 0.565, 0.546, 0.574}, // prismatic coefficient
+      {4.34, 4.77, 5.1, 5.14, 4.78, 4.97},    // length-displacement
+      {2.81, 3.32, 3.75, 3.51, 3.15, 3.99},   // beam-draught
+      {2.73, 3.15, 3.51, 3.32, 2.76, 3.64},   // length-beam
+  };
+  out.points.reserve(308);
+  for (size_t i = 0; i < 308; ++i) {
+    Point p(7);
+    for (size_t j = 0; j < 5; ++j) {
+      p[j] = grids[j][rng.NextBounded(6)] + 0.01 * rng.NextGaussian();
+    }
+    p[5] = 0.125 + 0.025 * static_cast<double>(rng.NextBounded(14));
+    const double froude = p[5];
+    p[6] = std::exp(8.0 * froude) * (0.5 + rng.NextDouble());
+    out.points.push_back(std::move(p));
+  }
+  return out;
+}
+
+BaseDataset SeedsLike(uint64_t seed) {
+  // 210 points in R^8: three clusters of 70 ("Kama", "Rosa", "Canadian"),
+  // Gaussian around variety-specific means with per-coordinate spreads
+  // loosely matching the original measurement ranges.
+  BaseDataset out;
+  out.name = "Seeds";
+  out.dim = 8;
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x53656564ULL));
+  const double means[3][8] = {
+      {14.3, 14.3, 0.880, 5.51, 3.24, 2.67, 5.09, 1.0},
+      {18.3, 16.1, 0.884, 6.15, 3.68, 3.60, 6.02, 2.0},
+      {11.9, 13.2, 0.849, 5.23, 2.85, 4.79, 5.12, 3.0},
+  };
+  const double spread[8] = {0.9, 0.5, 0.015, 0.2, 0.15, 1.0, 0.2, 0.05};
+  out.points.reserve(210);
+  for (size_t variety = 0; variety < 3; ++variety) {
+    for (size_t i = 0; i < 70; ++i) {
+      Point p(8);
+      for (size_t j = 0; j < 8; ++j) {
+        p[j] = means[variety][j] + spread[j] * rng.NextGaussian();
+      }
+      out.points.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+BaseDataset SeparatedCenters(size_t n, size_t dim, double beta,
+                             uint64_t seed) {
+  RL0_CHECK(beta > 0.0 && dim >= 1 && n >= 1);
+  // Distinct lattice points scaled by (1+ε)·β: minimum pairwise distance of
+  // distinct lattice points is one lattice step, so scaled distance > β.
+  BaseDataset out;
+  out.name = "SeparatedCenters";
+  out.dim = dim;
+  const double step = beta * 1.125;
+  const uint64_t span =
+      std::max<uint64_t>(4, static_cast<uint64_t>(
+                                std::ceil(std::pow(4.0 * n, 1.0 / dim))));
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x536570ULL));
+  std::vector<uint64_t> used;
+  out.points.reserve(n);
+  while (out.points.size() < n) {
+    std::vector<int64_t> coord(dim);
+    uint64_t code = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      coord[j] = static_cast<int64_t>(rng.NextBounded(span));
+      code = code * span + static_cast<uint64_t>(coord[j]);
+    }
+    bool dup = false;
+    for (uint64_t c : used) {
+      if (c == code) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    used.push_back(code);
+    Point p(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      p[j] = static_cast<double>(coord[j]) * step;
+    }
+    out.points.push_back(std::move(p));
+  }
+  return out;
+}
+
+BaseDataset OverlappingChains(size_t n, size_t dim, double alpha,
+                              uint64_t seed) {
+  RL0_CHECK(dim >= 1 && alpha > 0.0);
+  // Chains of anchors spaced 1.4·α apart along axis 0: consecutive anchors
+  // are farther than α but closer than 2α, so the dataset violates
+  // well-separation and admits multiple minimum-cardinality partitions.
+  BaseDataset out;
+  out.name = "OverlappingChains";
+  out.dim = dim;
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x436861696EULL));
+  const size_t chain_len = 8;
+  const double spacing = 1.4 * alpha;
+  const double chain_gap = 10.0 * alpha * static_cast<double>(chain_len);
+  size_t produced = 0;
+  size_t chain = 0;
+  while (produced < n) {
+    Point base(dim);
+    base[0] = static_cast<double>(chain) * chain_gap;
+    for (size_t j = 1; j < dim; ++j) {
+      base[j] = chain_gap * rng.NextDouble();
+    }
+    for (size_t i = 0; i < chain_len && produced < n; ++i, ++produced) {
+      Point p = base;
+      p[0] += spacing * static_cast<double>(i);
+      // Small jitter keeps points in general position.
+      for (size_t j = 0; j < dim; ++j) {
+        p[j] += 0.05 * alpha * (rng.NextDouble() - 0.5);
+      }
+      out.points.push_back(std::move(p));
+    }
+    ++chain;
+  }
+  return out;
+}
+
+}  // namespace rl0

@@ -1,0 +1,99 @@
+#include "rl0/stream/neardup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+double RescaleToUnitMinDistance(std::vector<Point>* points) {
+  RL0_CHECK(points->size() >= 2);
+  const double min_dist = MinPairwiseDistance(*points);
+  RL0_CHECK(min_dist > 0.0 && std::isfinite(min_dist));
+  const double scale = 1.0 / min_dist;
+  for (Point& p : *points) p = p * scale;
+  return scale;
+}
+
+NoisyDataset MakeNearDuplicates(const BaseDataset& base,
+                                const NearDupOptions& options) {
+  RL0_CHECK(base.dim >= 1);
+  const size_t n = base.points.size();
+  const size_t d = base.dim;
+  Xoshiro256pp rng(SplitMix64(options.seed ^ 0x4E6F697365ULL));
+
+  NoisyDataset out;
+  out.name = base.name;
+  if (options.distribution == DupDistribution::kPowerLaw) out.name += "-pl";
+  out.dim = d;
+  out.num_groups = n;
+
+  // Step 1: rescale to unit minimum pairwise distance.
+  std::vector<Point> centers = base.points;
+  RescaleToUnitMinDistance(&centers);
+
+  const double d15 = std::pow(static_cast<double>(d), 1.5);
+  const double max_noise = options.noise_scale / d15;
+  // Intra-group distances are < 2·max_noise; inter-group > 1 − 2·max_noise.
+  out.alpha = 2.0 * max_noise;
+  out.beta = 1.0 - 2.0 * max_noise;
+
+  // Step 2: decide duplicate counts.
+  std::vector<uint32_t> dup_count(n);
+  if (options.distribution == DupDistribution::kUniform) {
+    for (size_t i = 0; i < n; ++i) {
+      dup_count[i] =
+          1 + static_cast<uint32_t>(rng.NextBounded(options.max_dups));
+    }
+  } else {
+    // Random ordering, then k = ⌈n / rank⌉ (rank is 1-based).
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    for (size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (size_t rank = 1; rank <= n; ++rank) {
+      dup_count[order[rank - 1]] = static_cast<uint32_t>(
+          std::ceil(static_cast<double>(n) / static_cast<double>(rank)));
+    }
+  }
+
+  // Step 3: emit the original point plus its near-duplicates.
+  for (size_t i = 0; i < n; ++i) {
+    out.points.push_back(centers[i]);
+    out.group_of.push_back(static_cast<uint32_t>(i));
+    for (uint32_t c = 0; c < dup_count[i]; ++c) {
+      Point z(d);
+      double norm_sq = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        z[j] = rng.NextDouble();
+        norm_sq += z[j] * z[j];
+      }
+      const double norm = std::sqrt(norm_sq);
+      // Draw the target length from (0, max_noise); resample the direction
+      // in the measure-zero case of an all-zero z.
+      if (norm == 0.0) {
+        --c;
+        continue;
+      }
+      const double len = rng.NextDouble() * max_noise;
+      out.points.push_back(centers[i] + z * (len / norm));
+      out.group_of.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Step 4: shuffle the stream.
+  if (options.shuffle) {
+    for (size_t i = out.points.size(); i > 1; --i) {
+      const size_t j = rng.NextBounded(i);
+      std::swap(out.points[i - 1], out.points[j]);
+      std::swap(out.group_of[i - 1], out.group_of[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rl0

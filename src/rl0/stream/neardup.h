@@ -1,0 +1,58 @@
+// Near-duplicate stream synthesis (Section 6.1 of the paper).
+//
+// Given a base dataset, the paper generates a noisy stream as follows:
+//   1. rescale so the minimum pairwise distance is 1;
+//   2. for each base point x_i, add k_i near-duplicates, where k_i is
+//      uniform in {1..100} (first transformation) or ⌈n·i^{-1}⌉ after a
+//      random ordering (second, power-law transformation);
+//   3. each near-duplicate is x_i + ẑ where z is uniform in (0,1)^d
+//      rescaled to a length drawn uniformly from (0, 1/(2·d^1.5));
+//   4. shuffle the stream randomly.
+// The resulting dataset is (α, β)-sparse with α = d^{-1.5} (intra-group
+// distances < α) and β = 1 − α (inter-group distances > β), which is the
+// regime of the paper's Section 4 grid (side d·α).
+
+#ifndef RL0_STREAM_NEARDUP_H_
+#define RL0_STREAM_NEARDUP_H_
+
+#include <cstdint>
+
+#include "rl0/stream/dataset.h"
+
+namespace rl0 {
+
+/// How many near-duplicates each base point receives.
+enum class DupDistribution {
+  /// k_i uniform in {1, ..., max_dups} (paper's first transformation).
+  kUniform,
+  /// k_i = ⌈n / rank(i)⌉ under a random ordering (power-law, second
+  /// transformation; the "-pl" datasets).
+  kPowerLaw,
+};
+
+/// Options for the near-duplicate transformation.
+struct NearDupOptions {
+  DupDistribution distribution = DupDistribution::kUniform;
+  /// Upper bound for kUniform (paper: 100).
+  uint32_t max_dups = 100;
+  /// Noise length upper bound as a fraction of 1/d^1.5 (paper: 1/2, i.e.
+  /// lengths uniform in (0, 1/(2 d^1.5))).
+  double noise_scale = 0.5;
+  /// Shuffle the final stream (paper shuffles; disable for replay tests).
+  bool shuffle = true;
+  uint64_t seed = 0;
+};
+
+/// Rescales `points` in place so the minimum pairwise distance is 1.
+/// Returns the scale factor applied. Requires at least 2 distinct points.
+double RescaleToUnitMinDistance(std::vector<Point>* points);
+
+/// Applies the Section 6.1 transformation to `base`, producing the noisy
+/// stream with ground-truth group labels. The dataset name is suffixed
+/// with "-pl" for the power-law distribution, matching the paper.
+NoisyDataset MakeNearDuplicates(const BaseDataset& base,
+                                const NearDupOptions& options);
+
+}  // namespace rl0
+
+#endif  // RL0_STREAM_NEARDUP_H_

@@ -1,0 +1,47 @@
+#include "rl0/stream/window_stream.h"
+
+#include <algorithm>
+
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+std::vector<StampedPoint> SequenceStamped(const NoisyDataset& dataset) {
+  std::vector<StampedPoint> out;
+  out.reserve(dataset.points.size());
+  for (size_t i = 0; i < dataset.points.size(); ++i) {
+    out.push_back(StampedPoint{dataset.points[i], static_cast<int64_t>(i),
+                               dataset.group_of[i], i});
+  }
+  return out;
+}
+
+std::vector<StampedPoint> TimeStamped(const NoisyDataset& dataset,
+                                      uint32_t max_gap, uint64_t seed) {
+  std::vector<StampedPoint> out;
+  out.reserve(dataset.points.size());
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x54696D65ULL));
+  int64_t now = 0;
+  for (size_t i = 0; i < dataset.points.size(); ++i) {
+    now += 1 + static_cast<int64_t>(rng.NextBounded(std::max(1u, max_gap)));
+    out.push_back(
+        StampedPoint{dataset.points[i], now, dataset.group_of[i], i});
+  }
+  return out;
+}
+
+std::vector<uint32_t> GroupsInWindow(const std::vector<StampedPoint>& stream,
+                                     size_t upto_index, int64_t window,
+                                     int64_t now) {
+  std::vector<uint32_t> groups;
+  for (size_t i = 0; i <= upto_index && i < stream.size(); ++i) {
+    if (stream[i].stamp > now - window && stream[i].stamp <= now) {
+      groups.push_back(stream[i].group);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+}  // namespace rl0

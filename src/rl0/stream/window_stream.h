@@ -1,0 +1,47 @@
+// Timestamped streams for the sliding-window models.
+//
+// The paper's two window models differ only in what "expired" means:
+// sequence-based windows keep the last w *points*, time-based windows keep
+// the points of the last w *time steps*. We represent both with a single
+// stamped-point stream: the stamp is the arrival index for sequence-based
+// windows, or an arbitrary non-decreasing time for time-based windows.
+
+#ifndef RL0_STREAM_WINDOW_STREAM_H_
+#define RL0_STREAM_WINDOW_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rl0/stream/dataset.h"
+
+namespace rl0 {
+
+/// A stream point with its stamp (arrival index or arrival time).
+struct StampedPoint {
+  Point point;
+  int64_t stamp = 0;
+  /// Ground-truth group (benchmark-side only).
+  uint32_t group = 0;
+  /// Position in the stream (benchmark-side only).
+  uint64_t stream_index = 0;
+};
+
+/// Converts a noisy dataset into a sequence-stamped stream
+/// (stamp = arrival index).
+std::vector<StampedPoint> SequenceStamped(const NoisyDataset& dataset);
+
+/// Converts a noisy dataset into a time-stamped stream with inter-arrival
+/// gaps drawn uniformly from {1, ..., max_gap}; stamps are non-decreasing.
+std::vector<StampedPoint> TimeStamped(const NoisyDataset& dataset,
+                                      uint32_t max_gap, uint64_t seed);
+
+/// Ground truth for a window: the set of distinct groups with at least one
+/// point alive in (now - w, now] ... i.e. stamps in [now - w + 1, now].
+/// Returns the sorted group ids.
+std::vector<uint32_t> GroupsInWindow(const std::vector<StampedPoint>& stream,
+                                     size_t upto_index, int64_t window,
+                                     int64_t now);
+
+}  // namespace rl0
+
+#endif  // RL0_STREAM_WINDOW_STREAM_H_

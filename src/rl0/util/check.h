@@ -1,0 +1,44 @@
+// Lightweight assertion macros for internal invariants.
+//
+// These are *internal* sanity checks (programming errors), not error
+// handling for user input: fallible operations return rl0::Status instead
+// (see util/status.h). RL0_CHECK stays on in release builds because the
+// data-structure invariants it guards (e.g. the nested-hash property) are
+// cheap to test and catastrophic to violate silently.
+
+#ifndef RL0_UTIL_CHECK_H_
+#define RL0_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rl0 {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "RL0_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rl0
+
+/// Aborts the process with a diagnostic if `cond` does not hold.
+#define RL0_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::rl0::internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                           \
+  } while (0)
+
+/// RL0_DCHECK compiles away in NDEBUG builds; use it on hot paths.
+#ifdef NDEBUG
+#define RL0_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define RL0_DCHECK(cond) RL0_CHECK(cond)
+#endif
+
+#endif  // RL0_UTIL_CHECK_H_

@@ -1,0 +1,85 @@
+// Minimal bounds-checked binary (de)serialization helpers.
+//
+// Fixed-width little-endian encoding; doubles as IEEE-754 bit patterns.
+// Writers append to a std::string; readers return Status on truncated or
+// malformed input instead of crashing (snapshots may come from disk).
+
+#ifndef RL0_UTIL_SERIALIZE_H_
+#define RL0_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "rl0/util/status.h"
+
+namespace rl0 {
+
+/// Appends fixed-width values to a byte buffer.
+class BinaryWriter {
+ public:
+  /// Creates a writer appending to `out` (not owned; must outlive).
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  void PutBytes(const void* data, size_t n) { PutRaw(data, n); }
+
+ private:
+  void PutRaw(const void* data, size_t n) {
+    out_->append(static_cast<const char*>(data), n);
+  }
+
+  std::string* out_;
+};
+
+/// Consumes fixed-width values from a byte buffer with bounds checks.
+class BinaryReader {
+ public:
+  /// Creates a reader over `data` (not owned; must outlive).
+  explicit BinaryReader(const std::string& data) : data_(data) {}
+
+  Status GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+
+  Status GetBytes(void* out, size_t n) { return GetRaw(out, n); }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// OK iff every byte was consumed (trailing garbage check).
+  Status ExpectEnd() const {
+    if (pos_ != data_.size()) {
+      return Status::InvalidArgument("trailing bytes in snapshot");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status GetRaw(void* out, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::InvalidArgument("snapshot truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_UTIL_SERIALIZE_H_

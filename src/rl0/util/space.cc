@@ -1,0 +1,22 @@
+#include "rl0/util/space.h"
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+void SpaceMeter::Add(size_t words) {
+  current_ += words;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void SpaceMeter::Remove(size_t words) {
+  RL0_DCHECK(words <= current_);
+  current_ -= (words <= current_) ? words : current_;
+}
+
+void SpaceMeter::Set(size_t words) {
+  current_ = words;
+  if (current_ > peak_) peak_ = current_;
+}
+
+}  // namespace rl0

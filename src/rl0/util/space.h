@@ -1,0 +1,65 @@
+// Space accounting in machine words.
+//
+// The paper reports space ("pSpace") in *words*. To reproduce Figure 14 we
+// give every streaming structure a SpaceWords() method computed from a
+// documented, deterministic accounting model:
+//
+//   * a stored point of dimension d costs d words (its coordinates) plus
+//     kPointHeaderWords of bookkeeping;
+//   * a hash-map entry costs kMapEntryWords on top of its payload;
+//   * scalar fields (counters, rates, iterators) cost one word each and are
+//     bundled into the per-structure constants below.
+//
+// This intentionally counts the information-theoretic content of the
+// structures (what the paper's analysis bounds), not allocator slack.
+// SpaceMeter tracks the running and peak totals.
+
+#ifndef RL0_UTIL_SPACE_H_
+#define RL0_UTIL_SPACE_H_
+
+#include <cstddef>
+
+namespace rl0 {
+
+/// Bookkeeping words charged per stored point (cell key + flags).
+inline constexpr size_t kPointHeaderWords = 2;
+
+/// Overhead words charged per associative-container entry.
+inline constexpr size_t kMapEntryWords = 3;
+
+/// Words charged for one stored point of dimension `dim`.
+inline constexpr size_t PointWords(size_t dim) {
+  return dim + kPointHeaderWords;
+}
+
+/// Tracks current and peak space of a streaming structure.
+class SpaceMeter {
+ public:
+  SpaceMeter() = default;
+
+  /// Adds `words` to the current usage, updating the peak.
+  void Add(size_t words);
+
+  /// Removes `words` from the current usage.
+  void Remove(size_t words);
+
+  /// Replaces the current usage (used after wholesale rebuilds).
+  void Set(size_t words);
+
+  /// Current words in use.
+  size_t current() const { return current_; }
+
+  /// Peak words observed since construction (or ResetPeak()).
+  size_t peak() const { return peak_; }
+
+  /// Resets the peak to the current usage.
+  void ResetPeak() { peak_ = current_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_UTIL_SPACE_H_

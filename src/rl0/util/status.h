@@ -1,0 +1,122 @@
+// Status / Result<T>: exception-free error handling in the RocksDB style.
+//
+// Fallible public operations return Status (or Result<T> when they produce
+// a value). Hot-path operations that cannot fail return void/values
+// directly. Statuses carry a code and a human-readable message.
+
+#ifndef RL0_UTIL_STATUS_H_
+#define RL0_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+/// Error category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed an unusable option/parameter.
+  kFailedPrecondition = 2,///< Operation not valid in the current state.
+  kNotFound = 3,          ///< Requested item does not exist.
+  kResourceExhausted = 4, ///< A capacity bound was exceeded (paper: "error").
+  kInternal = 5,          ///< Invariant violation that was recoverable.
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, mirroring absl/RocksDB conventions.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The (possibly empty) error message.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose; mirrors StatusOr).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  /// Constructs from a non-OK status.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    RL0_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status; OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    RL0_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    RL0_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    RL0_CHECK(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Returns the value or `fallback` if an error is stored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_UTIL_STATUS_H_

@@ -1,0 +1,204 @@
+// Tests for the baselines: the classical min-rank ℓ0-sampler (and its bias
+// on noisy data — the paper's motivating failure), the exact naive robust
+// samplers, and the offline partitioners.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "rl0/baseline/exact_partition.h"
+#include "rl0/baseline/naive_robust.h"
+#include "rl0/baseline/standard_l0.h"
+#include "rl0/metrics/distribution.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace rl0 {
+namespace {
+
+TEST(StandardL0Test, EmptyIsNullopt) {
+  StandardL0Sampler sampler(1);
+  EXPECT_FALSE(sampler.Sample().has_value());
+}
+
+TEST(StandardL0Test, UniformOverDistinctItems) {
+  // Three distinct items with repetitions: each item sampled ~1/3 across
+  // seeds (true duplicates collapse via identical hashing).
+  SampleDistribution dist(3);
+  const std::vector<Point> items{Point{0.0}, Point{1.0}, Point{2.0}};
+  for (int seed = 0; seed < 9000; ++seed) {
+    StandardL0Sampler sampler(static_cast<uint64_t>(seed));
+    for (int rep = 0; rep < 5; ++rep) {
+      for (size_t i = 0; i < items.size(); ++i) sampler.Insert(items[i]);
+    }
+    const auto sample = sampler.Sample();
+    ASSERT_TRUE(sample.has_value());
+    dist.Record(static_cast<uint32_t>(sample->point[0] + 0.5));
+  }
+  EXPECT_LT(dist.MaxDevNm(), 0.1);
+}
+
+TEST(StandardL0Test, TrueDuplicatesKeepFirstArrival) {
+  StandardL0Sampler sampler(7);
+  sampler.Insert(Point{5.0});
+  sampler.Insert(Point{5.0});
+  const auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->stream_index, 0u);
+}
+
+TEST(StandardL0Test, BiasedTowardLargeGroupsOnNoisyData) {
+  // The paper's motivation: group A has 50 near-duplicates, group B has 1
+  // point. The classical sampler returns group A ~50/51 of the time; a
+  // robust sampler must return each with probability 1/2.
+  int group_a = 0;
+  const int runs = 4000;
+  Xoshiro256pp noise(11);
+  for (int seed = 0; seed < runs; ++seed) {
+    StandardL0Sampler sampler(static_cast<uint64_t>(seed));
+    for (int i = 0; i < 50; ++i) {
+      sampler.Insert(Point{0.2 * noise.NextDouble()});
+    }
+    sampler.Insert(Point{100.0});
+    const auto sample = sampler.Sample();
+    ASSERT_TRUE(sample.has_value());
+    group_a += sample->point[0] < 50.0;
+  }
+  const double frac_a = static_cast<double>(group_a) / runs;
+  EXPECT_GT(frac_a, 0.9);  // heavily biased, as the paper argues
+}
+
+TEST(NaiveRobustTest, CountsGroupsExactly) {
+  NaiveRobustSampler sampler(1.0);
+  sampler.Insert(Point{0.0});
+  sampler.Insert(Point{0.5});   // same group
+  sampler.Insert(Point{10.0});  // new group
+  sampler.Insert(Point{10.9});  // same as previous (d=0.9 ≤ 1)
+  sampler.Insert(Point{20.0});  // new group
+  EXPECT_EQ(sampler.num_groups(), 3u);
+}
+
+TEST(NaiveRobustTest, RepresentativesAreFirstPoints) {
+  NaiveRobustSampler sampler(1.0);
+  sampler.Insert(Point{0.0});
+  sampler.Insert(Point{0.5});
+  sampler.Insert(Point{10.0});
+  ASSERT_EQ(sampler.representatives().size(), 2u);
+  EXPECT_EQ(sampler.representatives()[0].stream_index, 0u);
+  EXPECT_EQ(sampler.representatives()[1].stream_index, 2u);
+}
+
+TEST(NaiveRobustTest, UniformOverGroups) {
+  NaiveRobustSampler sampler(1.0);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    sampler.Insert(Point{10.0 * i});
+    sampler.Insert(Point{10.0 * i + 0.3});
+  }
+  SampleDistribution dist(n);
+  Xoshiro256pp rng(13);
+  for (int q = 0; q < 20000; ++q) {
+    const auto sample = sampler.Sample(&rng);
+    ASSERT_TRUE(sample.has_value());
+    dist.Record(static_cast<uint32_t>(sample->point[0] / 10.0 + 0.5));
+  }
+  EXPECT_LT(dist.MaxDevNm(), 0.12);
+}
+
+TEST(NaiveWindowTest, TracksAliveGroups) {
+  // Window 5 at time `now` covers stamps in (now-5, now].
+  NaiveWindowSampler sampler(1.0, 5);
+  sampler.Insert(Point{0.0}, 0);
+  sampler.Insert(Point{10.0}, 2);
+  sampler.Insert(Point{20.0}, 4);
+  EXPECT_EQ(sampler.GroupsAlive(4), 3u);   // covers stamps 0, 2, 4
+  EXPECT_EQ(sampler.GroupsAlive(6), 2u);   // stamp 0 expired (0 ≤ 6-5)
+  EXPECT_EQ(sampler.GroupsAlive(8), 1u);   // only stamp 4 (4 > 8-5)
+  EXPECT_EQ(sampler.GroupsAlive(9), 0u);   // stamp 4 expired (4 ≤ 9-5)
+}
+
+TEST(NaiveWindowTest, SampleRespectsWindow) {
+  NaiveWindowSampler sampler(1.0, 3);
+  sampler.Insert(Point{0.0}, 0);
+  sampler.Insert(Point{10.0}, 5);
+  Xoshiro256pp rng(17);
+  const auto sample = sampler.Sample(5, &rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->point, Point({10.0}));
+  EXPECT_FALSE(sampler.Sample(20, &rng).has_value());
+}
+
+TEST(NaturalPartitionTest, WellSeparatedClusters) {
+  std::vector<Point> pts{Point{0.0},  Point{0.4}, Point{0.8},
+                         Point{10.0}, Point{10.3}, Point{20.0}};
+  const Partition part = NaturalPartition(pts, 1.0);
+  EXPECT_EQ(part.num_groups, 3u);
+  EXPECT_EQ(part.group_of[0], part.group_of[1]);
+  EXPECT_EQ(part.group_of[1], part.group_of[2]);
+  EXPECT_EQ(part.group_of[3], part.group_of[4]);
+  EXPECT_NE(part.group_of[0], part.group_of[3]);
+  EXPECT_NE(part.group_of[3], part.group_of[5]);
+}
+
+TEST(NaturalPartitionTest, ChainsMergeTransitively) {
+  // Connected components: 0 - 0.9 - 1.8 chain is one component even though
+  // endpoints are 1.8 apart (> alpha).
+  std::vector<Point> pts{Point{0.0}, Point{0.9}, Point{1.8}};
+  EXPECT_EQ(NaturalPartition(pts, 1.0).num_groups, 1u);
+}
+
+TEST(NaturalPartitionTest, MatchesGeneratorGroundTruth) {
+  const BaseDataset base = RandomUniform(40, 3, 19);
+  NearDupOptions opts;
+  opts.seed = 20;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  const Partition part = NaturalPartition(noisy.points, noisy.alpha);
+  EXPECT_EQ(part.num_groups, noisy.num_groups);
+  // The partition must refine the ground-truth labels bijectively.
+  std::map<uint32_t, uint32_t> mapping;
+  for (size_t i = 0; i < noisy.points.size(); ++i) {
+    const auto [it, inserted] =
+        mapping.emplace(part.group_of[i], noisy.group_of[i]);
+    EXPECT_EQ(it->second, noisy.group_of[i]);
+  }
+}
+
+TEST(GreedyPartitionTest, BallCarvingSemantics) {
+  // Greedy from the left: Ball(0, 1) grabs {0, 0.9}; 1.8 starts its own.
+  std::vector<Point> pts{Point{0.0}, Point{0.9}, Point{1.8}};
+  const Partition part = GreedyPartition(pts, 1.0);
+  EXPECT_EQ(part.num_groups, 2u);
+  EXPECT_EQ(part.group_of[0], part.group_of[1]);
+  EXPECT_NE(part.group_of[0], part.group_of[2]);
+  EXPECT_EQ(part.representative_of[0], 0u);
+  EXPECT_EQ(part.representative_of[1], 2u);
+}
+
+TEST(GreedyPartitionTest, EqualsNaturalOnWellSeparatedData) {
+  const BaseDataset base = RandomUniform(30, 4, 21);
+  NearDupOptions opts;
+  opts.seed = 22;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  EXPECT_EQ(GreedyPartition(noisy.points, noisy.alpha).num_groups,
+            NaturalPartition(noisy.points, noisy.alpha).num_groups);
+}
+
+TEST(IsSparseTest, DetectsGapViolations) {
+  std::vector<Point> sparse{Point{0.0}, Point{0.5}, Point{10.0}};
+  EXPECT_TRUE(IsSparse(sparse, 1.0, 2.0));
+  std::vector<Point> dense{Point{0.0}, Point{1.5}};  // 1.5 ∈ (1, 2]
+  EXPECT_FALSE(IsSparse(dense, 1.0, 2.0));
+}
+
+TEST(ExactF0Test, MatchesPartitionCount) {
+  const BaseDataset base = RandomUniform(25, 2, 23);
+  NearDupOptions opts;
+  opts.seed = 24;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  EXPECT_EQ(ExactF0WellSeparated(noisy.points, noisy.alpha), 25u);
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,88 @@
+// Tests for the CSV point-stream reader/writer (rl0/stream/csv.h).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rl0/stream/csv.h"
+
+namespace rl0 {
+namespace {
+
+TEST(CsvTest, ParsesCommaSeparated) {
+  std::istringstream in("1.5,2.5\n-3,4e2\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points.value().size(), 2u);
+  EXPECT_EQ(points.value()[0], Point({1.5, 2.5}));
+  EXPECT_EQ(points.value()[1], Point({-3.0, 400.0}));
+}
+
+TEST(CsvTest, ParsesWhitespaceSeparated) {
+  std::istringstream in("1 2 3\n4\t5\t6\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points.value().size(), 2u);
+  EXPECT_EQ(points.value()[0].dim(), 3u);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header comment\n\n1,2\n\n# trailing\n3,4\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points.value().size(), 2u);
+}
+
+TEST(CsvTest, RejectsBadNumbersWithLineInfo) {
+  std::istringstream in("1,2\n3,abc\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_FALSE(points.ok());
+  EXPECT_NE(points.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(points.status().message().find("abc"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsInconsistentDimensions) {
+  std::istringstream in("1,2\n3,4,5\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_FALSE(points.ok());
+  EXPECT_NE(points.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyInputIsEmptyVector) {
+  std::istringstream in("");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_TRUE(points.ok());
+  EXPECT_TRUE(points.value().empty());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  const auto points = ReadCsvPoints("/nonexistent/path/points.csv");
+  ASSERT_FALSE(points.ok());
+  EXPECT_EQ(points.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, WriteReadRoundTripIsExact) {
+  std::vector<Point> points{Point{0.1, -2.000000000000004},
+                            Point{1e-300, 12345.6789},
+                            Point{3.14159265358979312, 0.0}};
+  std::ostringstream out;
+  WriteCsvPoints(points, out);
+  std::istringstream in(out.str());
+  const auto parsed = ParseCsvPoints(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i], points[i]) << i;  // %.17g is lossless
+  }
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  std::istringstream in("1,2\r\n3,4\r\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points.value().size(), 2u);
+  EXPECT_EQ(points.value()[0], Point({1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace rl0

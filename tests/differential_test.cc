@@ -1,0 +1,140 @@
+// Differential tests: the streaming sampler checked against the exact
+// Ω(n)-space baselines across randomized configurations. Where the
+// baseline computes ground truth, the sampler's observable state must be
+// consistent with it — for any dimension, duplicate pattern, arrival
+// order and seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "rl0/baseline/exact_partition.h"
+#include "rl0/baseline/naive_robust.h"
+#include "rl0/core/f0_iw.h"
+#include "rl0/core/heavy_hitters.h"
+#include "rl0/core/iw_sampler.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace rl0 {
+namespace {
+
+using Config = std::tuple<size_t /*dim*/, size_t /*groups*/,
+                          uint64_t /*seed*/>;
+
+class DifferentialSweep : public ::testing::TestWithParam<Config> {
+ protected:
+  NoisyDataset MakeData() const {
+    const auto [dim, groups, seed] = GetParam();
+    const BaseDataset base = RandomUniform(groups, dim, seed * 3 + 1);
+    NearDupOptions nd;
+    nd.max_dups = 4;
+    nd.seed = seed * 3 + 2;
+    return MakeNearDuplicates(base, nd);
+  }
+
+  SamplerOptions MakeOptions(const NoisyDataset& data) const {
+    const auto [dim, groups, seed] = GetParam();
+    SamplerOptions opts;
+    opts.dim = dim;
+    opts.alpha = data.alpha;
+    opts.seed = seed * 3 + 3;
+    opts.accept_cap = 10;
+    opts.expected_stream_length = data.points.size();
+    return opts;
+  }
+};
+
+TEST_P(DifferentialSweep, AcceptedRepsAreNaiveReps) {
+  const NoisyDataset data = MakeData();
+  auto sampler = RobustL0SamplerIW::Create(MakeOptions(data)).value();
+  NaiveRobustSampler naive(data.alpha);
+  for (const Point& p : data.points) {
+    sampler.Insert(p);
+    naive.Insert(p);
+  }
+  std::set<uint64_t> naive_indices;
+  for (const SampleItem& rep : naive.representatives()) {
+    naive_indices.insert(rep.stream_index);
+  }
+  for (const SampleItem& item : sampler.AcceptedRepresentatives()) {
+    EXPECT_TRUE(naive_indices.count(item.stream_index))
+        << "accepted rep at stream position " << item.stream_index
+        << " is not a naive first-point";
+  }
+}
+
+TEST_P(DifferentialSweep, NaiveGroupCountMatchesGroundTruth) {
+  const NoisyDataset data = MakeData();
+  NaiveRobustSampler naive(data.alpha);
+  for (const Point& p : data.points) naive.Insert(p);
+  EXPECT_EQ(naive.num_groups(), data.num_groups);
+  EXPECT_EQ(NaturalPartition(data.points, data.alpha).num_groups,
+            data.num_groups);
+}
+
+TEST_P(DifferentialSweep, SampleIsAStreamPointOfASampledGroup) {
+  const NoisyDataset data = MakeData();
+  auto sampler = RobustL0SamplerIW::Create(MakeOptions(data)).value();
+  for (const Point& p : data.points) sampler.Insert(p);
+  Xoshiro256pp rng(std::get<2>(GetParam()));
+  for (int q = 0; q < 20; ++q) {
+    const auto sample = sampler.Sample(&rng);
+    if (!sample.has_value()) continue;  // rare legitimate failure
+    ASSERT_LT(sample->stream_index, data.points.size());
+    EXPECT_EQ(sample->point, data.points[sample->stream_index]);
+  }
+}
+
+TEST_P(DifferentialSweep, F0EstimateBracketsExactCount) {
+  const NoisyDataset data = MakeData();
+  F0Options opts;
+  opts.sampler = MakeOptions(data);
+  opts.sampler.accept_cap = 0;  // derive from epsilon instead
+  opts.epsilon = 0.3;
+  opts.copies = 5;
+  auto est = F0EstimatorIW::Create(opts).value();
+  for (const Point& p : data.points) est.Insert(p);
+  const double truth = static_cast<double>(data.num_groups);
+  EXPECT_GT(est.Estimate(), 0.5 * truth);
+  EXPECT_LT(est.Estimate(), 1.5 * truth);
+}
+
+TEST_P(DifferentialSweep, HeavyHitterCountsBracketTruth) {
+  const NoisyDataset data = MakeData();
+  HeavyHittersOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.capacity = 2 * data.num_groups;  // exact regime
+  opts.seed = std::get<2>(GetParam());
+  auto hh = RobustHeavyHitters::Create(opts).value();
+  for (const Point& p : data.points) hh.Insert(p);
+  std::vector<uint64_t> truth(data.num_groups, 0);
+  for (uint32_t g : data.group_of) ++truth[g];
+  uint64_t tracked_total = 0;
+  for (const auto& entry : hh.TopK(opts.capacity)) {
+    EXPECT_EQ(entry.error, 0u);  // never evicted under 2n capacity
+    EXPECT_EQ(entry.count, truth[data.group_of[entry.stream_index]]);
+    tracked_total += entry.count;
+  }
+  EXPECT_EQ(tracked_total, data.points.size());
+}
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  return "d" + std::to_string(std::get<0>(info.param)) + "_n" +
+         std::to_string(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialSweep,
+    ::testing::Combine(::testing::Values<size_t>(2, 6, 15),
+                       ::testing::Values<size_t>(25, 60),
+                       ::testing::Values<uint64_t>(1, 2)),
+    ConfigName);
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,250 @@
+// Tests for the Section 5 F0 estimators (infinite window and sliding
+// window): accuracy against exact group counts, option validation, and
+// median boosting behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rl0/core/f0_iw.h"
+#include "rl0/core/f0_sw.h"
+
+namespace rl0 {
+namespace {
+
+SamplerOptions BaseOptions(size_t dim, double alpha, uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = dim;
+  opts.alpha = alpha;
+  opts.seed = seed;
+  opts.expected_stream_length = 1 << 16;
+  return opts;
+}
+
+Point Isolated(int i) { return Point{10.0 * static_cast<double>(i)}; }
+
+TEST(F0OptionsTest, Validation) {
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 1);
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.epsilon = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.epsilon = 1.5;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.epsilon = 0.2;
+  opts.copies = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.copies = 3;
+  opts.kappa_b = -1;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(F0OptionsTest, PerCopyCapScalesWithEpsilon) {
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 1);
+  opts.kappa_b = 12.0;
+  opts.epsilon = 0.1;
+  EXPECT_EQ(opts.PerCopyCap(), 1200u);
+  opts.epsilon = 0.5;
+  EXPECT_EQ(opts.PerCopyCap(), 48u);
+}
+
+TEST(F0IwTest, ZeroBeforeInsertions) {
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 2);
+  auto est = F0EstimatorIW::Create(opts).value();
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+}
+
+TEST(F0IwTest, ExactWhileUnderCap) {
+  // With fewer groups than the per-copy cap, R stays 1 and the estimate is
+  // exactly the group count.
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 3);
+  opts.epsilon = 0.3;
+  auto est = F0EstimatorIW::Create(opts).value();
+  for (int i = 0; i < 40; ++i) {
+    est.Insert(Isolated(i));
+    est.Insert(Isolated(i) + Point{0.3});  // near-duplicate, same group
+  }
+  EXPECT_DOUBLE_EQ(est.Estimate(), 40.0);
+}
+
+TEST(F0IwTest, ApproximatesLargeGroupCounts) {
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 4);
+  opts.epsilon = 0.15;
+  opts.copies = 9;
+  auto est = F0EstimatorIW::Create(opts).value();
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) est.Insert(Isolated(i));
+  const double estimate = est.Estimate();
+  EXPECT_GT(estimate, n * 0.80);
+  EXPECT_LT(estimate, n * 1.20);
+}
+
+TEST(F0IwTest, RobustToNearDuplicateInflation) {
+  // 200 groups, each with 30 near-duplicates: a noiseless distinct counter
+  // would report ~6200; the robust estimator must stay near 200.
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 5);
+  opts.epsilon = 0.2;
+  auto est = F0EstimatorIW::Create(opts).value();
+  Xoshiro256pp rng(6);
+  for (int i = 0; i < 200; ++i) {
+    for (int c = 0; c < 31; ++c) {
+      est.Insert(Isolated(i) + Point{0.4 * (rng.NextDouble() - 0.5)});
+    }
+  }
+  const double estimate = est.Estimate();
+  EXPECT_GT(estimate, 200 * 0.75);
+  EXPECT_LT(estimate, 200 * 1.25);
+}
+
+TEST(F0IwTest, CopyEstimatesExposeSpread) {
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 7);
+  opts.epsilon = 0.3;
+  opts.copies = 5;
+  auto est = F0EstimatorIW::Create(opts).value();
+  for (int i = 0; i < 1000; ++i) est.Insert(Isolated(i));
+  const std::vector<double> copies = est.CopyEstimates();
+  EXPECT_EQ(copies.size(), 5u);
+  for (double c : copies) {
+    EXPECT_GT(c, 100.0);
+    EXPECT_LT(c, 10000.0);
+  }
+}
+
+TEST(F0IwTest, MedianRobustToOneBadCopy) {
+  // Median of {a, b, c} ignores one outlier by construction; sanity-check
+  // via the public API: estimates across copies differ yet the median is
+  // within the band of the middle copies.
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 8);
+  opts.epsilon = 0.25;
+  opts.copies = 7;
+  auto est = F0EstimatorIW::Create(opts).value();
+  for (int i = 0; i < 2000; ++i) est.Insert(Isolated(i));
+  std::vector<double> copies = est.CopyEstimates();
+  std::sort(copies.begin(), copies.end());
+  EXPECT_EQ(est.Estimate(), copies[copies.size() / 2]);
+}
+
+TEST(F0IwTest, SpaceScalesWithCopies) {
+  F0Options opts;
+  opts.sampler = BaseOptions(1, 1.0, 9);
+  opts.copies = 2;
+  auto small = F0EstimatorIW::Create(opts).value();
+  opts.copies = 8;
+  auto large = F0EstimatorIW::Create(opts).value();
+  for (int i = 0; i < 100; ++i) {
+    small.Insert(Isolated(i));
+    large.Insert(Isolated(i));
+  }
+  EXPECT_GT(large.SpaceWords(), 3 * small.SpaceWords());
+}
+
+// -------------------------------------------------------------- F0 / SW
+
+TEST(F0SwOptionsTest, Validation) {
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 10);
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.window = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.window = 64;
+  opts.copies = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.copies = 4;
+  opts.repetitions = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.repetitions = 1;
+  opts.phi = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(F0SwTest, ZeroOnEmptyWindow) {
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 11);
+  opts.window = 64;
+  opts.copies = 4;
+  auto est = F0EstimatorSW::Create(opts).value();
+  EXPECT_DOUBLE_EQ(est.Estimate(0), 0.0);
+  est.Insert(Isolated(0), 0);
+  EXPECT_GT(est.EstimateLatest(), 0.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(1000), 0.0);  // window slid past the point
+}
+
+class F0SwAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(F0SwAccuracy, TracksWindowGroupCountWithinConstantFactor) {
+  // The FM-style combiner promises a constant-factor estimate; with 24
+  // copies the factor should be comfortably within [1/3, 3].
+  const int alive = GetParam();
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 12 + static_cast<uint64_t>(alive));
+  opts.window = 4096;
+  opts.copies = 24;
+  auto est = F0EstimatorSW::Create(opts).value();
+  // `alive` groups in the window; stream twice as long so old groups
+  // expire.
+  int stamp = 0;
+  for (int i = 0; i < 2 * alive; ++i) {
+    est.Insert(Isolated(i), stamp);
+    stamp += 4096 / (alive);  // the last `alive` points stay in window
+  }
+  const double truth = alive;
+  const double estimate = est.Estimate(stamp);
+  EXPECT_GT(estimate, truth / 3.0) << "alive=" << alive;
+  EXPECT_LT(estimate, truth * 3.0) << "alive=" << alive;
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, F0SwAccuracy,
+                         ::testing::Values(16, 64, 256));
+
+TEST(F0SwTest, HyperLogLogCombinerAlsoTracks) {
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 13);
+  opts.window = 4096;
+  opts.copies = 24;
+  opts.combiner = F0SwCombiner::kHyperLogLog;
+  auto est = F0EstimatorSW::Create(opts).value();
+  const int n = 128;
+  for (int i = 0; i < n; ++i) est.Insert(Isolated(i), i);
+  const double estimate = est.Estimate(n - 1);
+  EXPECT_GT(estimate, n / 3.0);
+  EXPECT_LT(estimate, n * 3.0);
+}
+
+TEST(F0SwTest, SlidesWithTheWindow) {
+  // After the window slides to cover only 8 of the original 512 groups,
+  // the estimate must drop accordingly.
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 14);
+  opts.window = 64;
+  opts.copies = 16;
+  auto est = F0EstimatorSW::Create(opts).value();
+  for (int i = 0; i < 512; ++i) est.Insert(Isolated(i), i * 8);
+  // now = last stamp: window covers stamps (last-64, last] = 8 points.
+  const double few = est.EstimateLatest();
+  EXPECT_LT(few, 40.0);
+  EXPECT_GT(few, 1.0);
+}
+
+TEST(F0SwTest, RepetitionMedianIsExposed) {
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 15);
+  opts.window = 256;
+  opts.copies = 8;
+  opts.repetitions = 3;
+  auto est = F0EstimatorSW::Create(opts).value();
+  EXPECT_EQ(est.copies(), 8u);
+  EXPECT_EQ(est.repetitions(), 3u);
+  for (int i = 0; i < 100; ++i) est.Insert(Isolated(i), i);
+  EXPECT_GT(est.EstimateLatest(), 0.0);
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,196 @@
+// Failure-path and edge-case tests: option validation errors, empty
+// structures, degenerate geometries, and the documented corner behaviours
+// (Algorithm 3 "error" accounting, k-sampling preconditions).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rl0/core/f0_iw.h"
+#include "rl0/core/f0_sw.h"
+#include "rl0/core/iw_sampler.h"
+#include "rl0/core/sw_fixed_sampler.h"
+#include "rl0/core/sw_sampler.h"
+
+namespace rl0 {
+namespace {
+
+SamplerOptions GoodOptions() {
+  SamplerOptions opts;
+  opts.dim = 2;
+  opts.alpha = 1.0;
+  opts.seed = 1;
+  return opts;
+}
+
+TEST(OptionsValidationTest, RejectsEachBadField) {
+  {
+    SamplerOptions o = GoodOptions();
+    o.dim = 0;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    SamplerOptions o = GoodOptions();
+    o.alpha = 0.0;
+    EXPECT_FALSE(o.Validate().ok());
+    o.alpha = -1.0;
+    EXPECT_FALSE(o.Validate().ok());
+    o.alpha = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(o.Validate().ok());
+    o.alpha = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    SamplerOptions o = GoodOptions();
+    o.side_mode = GridSideMode::kCustom;
+    o.custom_side = 0.0;
+    EXPECT_FALSE(o.Validate().ok());
+    o.custom_side = 0.5;
+    EXPECT_TRUE(o.Validate().ok());
+  }
+  {
+    SamplerOptions o = GoodOptions();
+    o.kappa0 = 0.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    SamplerOptions o = GoodOptions();
+    o.k = 0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    SamplerOptions o = GoodOptions();
+    o.hash_family = HashFamily::kKWisePoly;
+    o.kwise_k = 1;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    SamplerOptions o = GoodOptions();
+    o.expected_stream_length = 0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+}
+
+TEST(OptionsValidationTest, ErrorMessagesNameTheField) {
+  SamplerOptions o = GoodOptions();
+  o.alpha = -2.0;
+  EXPECT_NE(o.Validate().message().find("alpha"), std::string::npos);
+  o = GoodOptions();
+  o.dim = 0;
+  EXPECT_NE(o.Validate().message().find("dim"), std::string::npos);
+}
+
+TEST(CustomSideModeTest, UsedVerbatim) {
+  SamplerOptions o = GoodOptions();
+  o.side_mode = GridSideMode::kCustom;
+  o.custom_side = 0.77;
+  auto sampler = RobustL0SamplerIW::Create(o).value();
+  EXPECT_DOUBLE_EQ(sampler.grid().side(), 0.77);
+}
+
+TEST(IwFailureTest, SampleOnEmptyAndSampleKZero) {
+  auto sampler = RobustL0SamplerIW::Create(GoodOptions()).value();
+  Xoshiro256pp rng(2);
+  EXPECT_FALSE(sampler.Sample(&rng).has_value());
+  // k=0 from an empty sampler is trivially satisfiable.
+  const auto empty = sampler.SampleK(0, &rng);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(IwFailureTest, SampleKTooManyIsFailedPrecondition) {
+  auto sampler = RobustL0SamplerIW::Create(GoodOptions()).value();
+  sampler.Insert(Point{0.0, 0.0});
+  Xoshiro256pp rng(3);
+  const auto r = sampler.SampleK(2, &rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(r.status().message().empty());
+}
+
+TEST(SwFailureTest, CreateRejectsBadWindows) {
+  EXPECT_FALSE(RobustL0SamplerSW::Create(GoodOptions(), 0).ok());
+  EXPECT_FALSE(RobustL0SamplerSW::Create(GoodOptions(), -1).ok());
+  // Window so large the level count would exceed the hash's usable bits.
+  EXPECT_FALSE(
+      RobustL0SamplerSW::Create(GoodOptions(),
+                                int64_t{1} << 62)
+          .ok());
+}
+
+TEST(SwFailureTest, StandaloneFixedRateRejectsBadLevel) {
+  const auto r =
+      SwFixedRateSampler::CreateStandalone(GoodOptions(), 61, 100);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SwFailureTest, ErrorAndStuckCountersStartAtZero) {
+  auto sampler = RobustL0SamplerSW::Create(GoodOptions(), 64).value();
+  EXPECT_EQ(sampler.error_count(), 0u);
+  EXPECT_EQ(sampler.stuck_split_count(), 0u);
+}
+
+TEST(SwFailureTest, TinyWindowTinyCapSurvives) {
+  SamplerOptions o = GoodOptions();
+  o.dim = 1;
+  o.accept_cap = 1;
+  auto sampler = RobustL0SamplerSW::Create(o, 2).value();
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 300; ++i) {
+    sampler.Insert(Point{10.0 * i}, i);
+    ASSERT_TRUE(sampler.Sample(i, &rng).has_value());
+  }
+}
+
+TEST(F0FailureTest, CreatePropagatesSamplerErrors) {
+  F0Options opts;
+  opts.sampler = GoodOptions();
+  opts.sampler.alpha = -1.0;
+  EXPECT_FALSE(F0EstimatorIW::Create(opts).ok());
+  F0SwOptions sw;
+  sw.sampler = GoodOptions();
+  sw.sampler.dim = 0;
+  EXPECT_FALSE(F0EstimatorSW::Create(sw).ok());
+}
+
+TEST(DegenerateGeometryTest, IdenticalPointsOneGroup) {
+  auto sampler = RobustL0SamplerIW::Create(GoodOptions()).value();
+  for (int i = 0; i < 50; ++i) sampler.Insert(Point{1.0, 1.0});
+  EXPECT_EQ(sampler.accept_size() + sampler.reject_size(), 1u);
+}
+
+TEST(DegenerateGeometryTest, VeryLargeCoordinates) {
+  auto sampler = RobustL0SamplerIW::Create(GoodOptions()).value();
+  sampler.Insert(Point{1e12, -1e12});
+  sampler.Insert(Point{1e12 + 0.5, -1e12});  // same group
+  sampler.Insert(Point{-1e12, 1e12});        // different group
+  EXPECT_EQ(sampler.accept_size() + sampler.reject_size(), 2u);
+}
+
+TEST(DegenerateGeometryTest, NegativeCoordinatesAcrossCellBoundaries) {
+  auto sampler = RobustL0SamplerIW::Create(GoodOptions()).value();
+  sampler.Insert(Point{-0.25, -0.25});
+  sampler.Insert(Point{0.25, 0.25});  // distance ~0.7 ≤ 1: same group
+  EXPECT_EQ(sampler.accept_size() + sampler.reject_size(), 1u);
+}
+
+TEST(DegenerateGeometryTest, TinyAlpha) {
+  SamplerOptions o = GoodOptions();
+  o.alpha = 1e-9;
+  auto sampler = RobustL0SamplerIW::Create(o).value();
+  sampler.Insert(Point{0.0, 0.0});
+  sampler.Insert(Point{1e-10, 0.0});  // within alpha
+  sampler.Insert(Point{1e-6, 0.0});   // outside alpha
+  EXPECT_EQ(sampler.accept_size() + sampler.reject_size(), 2u);
+}
+
+TEST(ResultContractTest, ValueOrOnCreateFailure) {
+  SamplerOptions bad;
+  const auto result = RobustL0SamplerIW::Create(bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rl0

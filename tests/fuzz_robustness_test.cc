@@ -1,0 +1,172 @@
+// Fuzz-style robustness tests: malformed external inputs (CSV text,
+// snapshot blobs) must produce clean Status errors — never crashes or
+// silent corruption — and extreme numeric inputs must not break the
+// samplers' invariants.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "rl0/core/iw_sampler.h"
+#include "rl0/core/snapshot.h"
+#include "rl0/stream/csv.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+std::string RandomBytes(size_t n, Xoshiro256pp* rng) {
+  std::string out(n, '\0');
+  for (char& c : out) c = static_cast<char>((*rng)() & 0xFF);
+  return out;
+}
+
+TEST(FuzzTest, CsvParserNeverCrashesOnRandomBytes) {
+  Xoshiro256pp rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string garbage = RandomBytes(rng.NextBounded(200), &rng);
+    std::istringstream in(garbage);
+    const auto result = ParseCsvPoints(in);
+    // Either parses (random bytes can form numbers) or errors — both fine.
+    if (result.ok()) {
+      for (const Point& p : result.value()) EXPECT_GE(p.dim(), 1u);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(FuzzTest, CsvParserNeverCrashesOnPrintableGarbage) {
+  Xoshiro256pp rng(2);
+  const std::string alphabet = "0123456789.,-+eE #\nNaN()abc";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    for (size_t i = 0; i < rng.NextBounded(120); ++i) {
+      text += alphabet[rng.NextBounded(alphabet.size())];
+    }
+    std::istringstream in(text);
+    (void)ParseCsvPoints(in);  // must not crash
+  }
+}
+
+TEST(FuzzTest, SnapshotRestoreNeverCrashesOnRandomBytes) {
+  Xoshiro256pp rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string garbage = RandomBytes(rng.NextBounded(400), &rng);
+    const auto result = RestoreSampler(garbage);
+    EXPECT_FALSE(result.ok());  // random bytes can't pass the checksum
+  }
+}
+
+TEST(FuzzTest, SnapshotRestoreNeverCrashesOnMutations) {
+  SamplerOptions opts;
+  opts.dim = 2;
+  opts.alpha = 1.0;
+  opts.seed = 4;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  for (int i = 0; i < 30; ++i) {
+    sampler.Insert(Point{10.0 * i, -5.0 * i});
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+
+  Xoshiro256pp rng(5);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string mutated = blob;
+    // 1-4 random byte mutations.
+    const size_t mutations = 1 + rng.NextBounded(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng() & 0xFF);
+    }
+    const auto result = RestoreSampler(mutated);
+    // The checksum rejects any actual change; mutations that happen to
+    // rewrite a byte to its original value still restore fine.
+    if (mutated == blob) {
+      EXPECT_TRUE(result.ok());
+    } else {
+      EXPECT_FALSE(result.ok());
+    }
+  }
+}
+
+TEST(FuzzTest, SnapshotRestoreNeverCrashesOnTruncations) {
+  SamplerOptions opts;
+  opts.dim = 3;
+  opts.alpha = 0.5;
+  opts.seed = 6;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  for (int i = 0; i < 10; ++i) {
+    sampler.Insert(Point{5.0 * i, 0.0, 1.0});
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(RestoreSampler(blob.substr(0, len)).ok()) << len;
+  }
+}
+
+TEST(FuzzTest, ExtremeCoordinatesKeepInvariants) {
+  Xoshiro256pp rng(7);
+  SamplerOptions opts;
+  opts.dim = 2;
+  opts.alpha = 1.0;
+  opts.seed = 8;
+  opts.accept_cap = 10;
+  opts.expected_stream_length = 4096;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  const double magnitudes[] = {1e-9, 1.0, 1e3, 1e9, 1e12};
+  for (int i = 0; i < 2000; ++i) {
+    const double mag = magnitudes[rng.NextBounded(5)];
+    Point p{mag * (rng.NextDouble() * 2 - 1), mag * (rng.NextDouble() * 2 - 1)};
+    sampler.Insert(p);
+    ASSERT_LE(sampler.accept_size(), 10u);
+    ASSERT_GE(sampler.accept_size(), 1u);
+  }
+  Xoshiro256pp qrng(9);
+  EXPECT_TRUE(sampler.Sample(&qrng).has_value());
+}
+
+TEST(FuzzTest, RandomStreamsNeverViolateDefinition22) {
+  Xoshiro256pp rng(10);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    SamplerOptions opts;
+    opts.dim = 2;
+    opts.alpha = 1.0;
+    opts.seed = 100 + seed;
+    opts.accept_cap = 8;
+    opts.expected_stream_length = 1024;
+    auto sampler = RobustL0SamplerIW::Create(opts).value();
+    // Clustered random walk: a mix of near-duplicates and far jumps.
+    Point current{0.0, 0.0};
+    for (int i = 0; i < 500; ++i) {
+      if (rng.NextBernoulli(0.7)) {
+        current[0] += 0.3 * (rng.NextDouble() - 0.5);
+        current[1] += 0.3 * (rng.NextDouble() - 0.5);
+      } else {
+        current[0] = 1e4 * (rng.NextDouble() - 0.5);
+        current[1] = 1e4 * (rng.NextDouble() - 0.5);
+      }
+      sampler.Insert(current);
+    }
+    std::vector<uint64_t> adj;
+    for (const SampleItem& item : sampler.AcceptedRepresentatives()) {
+      ASSERT_TRUE(sampler.hasher().SampledAtLevel(
+          sampler.grid().CellKeyOf(item.point), sampler.level()));
+    }
+    for (const SampleItem& item : sampler.RejectedRepresentatives()) {
+      ASSERT_FALSE(sampler.hasher().SampledAtLevel(
+          sampler.grid().CellKeyOf(item.point), sampler.level()));
+      sampler.grid().AdjacentCells(item.point, opts.alpha, &adj);
+      bool near = false;
+      for (uint64_t key : adj) {
+        near = near || sampler.hasher().SampledAtLevel(key, sampler.level());
+      }
+      ASSERT_TRUE(near);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,112 @@
+// Unit tests for rl0/geom: Point arithmetic and distance primitives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rl0/geom/point.h"
+
+namespace rl0 {
+namespace {
+
+TEST(PointTest, ConstructionAndAccess) {
+  Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dim(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 3.0);
+  p[1] = 7.0;
+  EXPECT_DOUBLE_EQ(p[1], 7.0);
+}
+
+TEST(PointTest, ZeroInitialized) {
+  Point p(4);
+  EXPECT_EQ(p.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, FromVector) {
+  std::vector<double> v{1.5, -2.5};
+  Point p(v);
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_DOUBLE_EQ(p[1], -2.5);
+  EXPECT_EQ(p.coords(), v);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ(Point({1.0, 2.0}), Point({1.0, 2.0}));
+  EXPECT_FALSE(Point({1.0, 2.0}) == Point({1.0, 2.1}));
+  EXPECT_FALSE(Point({1.0}) == Point({1.0, 0.0}));
+}
+
+TEST(PointTest, Arithmetic) {
+  Point a{1.0, 2.0};
+  Point b{0.5, -1.0};
+  Point sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 1.5);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  Point diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], 0.5);
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+  Point scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+}
+
+TEST(PointTest, Norm) {
+  EXPECT_DOUBLE_EQ(Point({3.0, 4.0}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Point(7).Norm(), 0.0);
+}
+
+TEST(PointTest, ToStringContainsCoords) {
+  const std::string s = Point({1.5, -2.0}).ToString();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("-2"), std::string::npos);
+}
+
+TEST(DistanceTest, KnownValues) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(DistanceTest, SymmetricAndNonNegative) {
+  Point a{1.0, -2.0, 0.5};
+  Point b{-0.5, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+  EXPECT_GE(Distance(a, b), 0.0);
+}
+
+TEST(DistanceTest, TriangleInequality) {
+  Point a{0.0, 0.0};
+  Point b{1.0, 1.0};
+  Point c{2.0, 0.0};
+  EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-12);
+}
+
+TEST(WithinDistanceTest, InclusiveBoundary) {
+  Point a{0.0};
+  Point b{1.0};
+  EXPECT_TRUE(WithinDistance(a, b, 1.0));   // exactly at radius
+  EXPECT_TRUE(WithinDistance(a, b, 1.5));
+  EXPECT_FALSE(WithinDistance(a, b, 0.999));
+}
+
+TEST(MinPairwiseDistanceTest, BasicAndDegenerate) {
+  std::vector<Point> pts{Point{0.0, 0.0}, Point{0.0, 3.0}, Point{4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(pts), 3.0);
+  std::vector<Point> one{Point{1.0}};
+  EXPECT_TRUE(std::isinf(MinPairwiseDistance(one)));
+  std::vector<Point> none;
+  EXPECT_TRUE(std::isinf(MinPairwiseDistance(none)));
+}
+
+TEST(MinPairwiseDistanceTest, DuplicatePointsGiveZero) {
+  std::vector<Point> pts{Point{1.0, 1.0}, Point{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(pts), 0.0);
+}
+
+}  // namespace
+}  // namespace rl0

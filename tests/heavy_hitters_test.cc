@@ -1,0 +1,207 @@
+// Tests for RobustHeavyHitters: SpaceSaving over near-duplicate groups.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rl0/core/heavy_hitters.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+#include "rl0/util/rng.h"
+#include "rl0/util/space.h"
+
+namespace rl0 {
+namespace {
+
+HeavyHittersOptions BaseOptions(size_t capacity, uint64_t seed = 1) {
+  HeavyHittersOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.capacity = capacity;
+  opts.seed = seed;
+  return opts;
+}
+
+Point G(int group, double jitter = 0.0) {
+  return Point{10.0 * group + jitter};
+}
+
+TEST(HeavyHittersTest, CreateValidates) {
+  HeavyHittersOptions bad;
+  EXPECT_FALSE(RobustHeavyHitters::Create(bad).ok());
+  bad = BaseOptions(4);
+  bad.alpha = -1;
+  EXPECT_FALSE(RobustHeavyHitters::Create(bad).ok());
+  bad = BaseOptions(0);
+  EXPECT_FALSE(RobustHeavyHitters::Create(bad).ok());
+  EXPECT_TRUE(RobustHeavyHitters::Create(BaseOptions(4)).ok());
+}
+
+TEST(HeavyHittersTest, ExactCountsUnderCapacity) {
+  auto hh = RobustHeavyHitters::Create(BaseOptions(10)).value();
+  // Group 0: 5 points (with jitter), group 1: 3, group 2: 1.
+  for (int i = 0; i < 5; ++i) hh.Insert(G(0, 0.05 * i));
+  for (int i = 0; i < 3; ++i) hh.Insert(G(1, -0.07 * i));
+  hh.Insert(G(2));
+  EXPECT_EQ(hh.tracked_groups(), 3u);
+  const auto top = hh.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].count, 3u);
+  EXPECT_EQ(top[2].count, 1u);
+}
+
+TEST(HeavyHittersTest, NearDuplicatesChargeOneCounter) {
+  auto hh = RobustHeavyHitters::Create(BaseOptions(10)).value();
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 100; ++i) {
+    hh.Insert(G(7, 0.4 * (rng.NextDouble() - 0.5)));
+  }
+  EXPECT_EQ(hh.tracked_groups(), 1u);
+  EXPECT_EQ(hh.TopK(1)[0].count, 100u);
+}
+
+TEST(HeavyHittersTest, EstimateCountFindsTrackedGroups) {
+  auto hh = RobustHeavyHitters::Create(BaseOptions(10)).value();
+  for (int i = 0; i < 4; ++i) hh.Insert(G(1, 0.1 * i));
+  const auto hit = hh.EstimateCount(G(1, 0.33));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), 4u);
+  const auto miss = hh.EstimateCount(G(9));
+  EXPECT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HeavyHittersTest, SpaceSavingTakeoverInheritsError) {
+  auto hh = RobustHeavyHitters::Create(BaseOptions(2)).value();
+  hh.Insert(G(0));
+  hh.Insert(G(0, 0.1));
+  hh.Insert(G(1));  // counters full: {G0: 2, G1: 1}
+  hh.Insert(G(2));  // takeover of G1's counter: count 2, error 1
+  const auto top = hh.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].count, 2u);
+  EXPECT_EQ(top[1].count, 2u);
+  // One entry must carry the inherited error.
+  EXPECT_EQ(top[0].error + top[1].error, 1u);
+}
+
+TEST(HeavyHittersTest, OverestimateBoundedByNOverC) {
+  // SpaceSaving guarantee: estimated count ≤ true count + m/c.
+  const size_t capacity = 16;
+  auto hh = RobustHeavyHitters::Create(BaseOptions(capacity, 5)).value();
+  Xoshiro256pp rng(7);
+  std::map<int, uint64_t> truth;
+  uint64_t m = 0;
+  // Zipf-ish stream over 60 groups.
+  for (int i = 0; i < 6000; ++i) {
+    const int group = static_cast<int>(rng.NextBounded(60));
+    const int heavy = (i % 3 == 0) ? group % 5 : group;  // skew to 0..4
+    hh.Insert(G(heavy, 0.3 * (rng.NextDouble() - 0.5)));
+    ++truth[heavy];
+    ++m;
+  }
+  for (const auto& entry : hh.TopK(capacity)) {
+    const int group = static_cast<int>(entry.representative[0] / 10.0 + 0.5);
+    const uint64_t true_count = truth[group];
+    EXPECT_LE(entry.count, true_count + m / capacity + 1)
+        << "group " << group;
+    EXPECT_GE(entry.count, true_count) << "group " << group;  // upper bound
+  }
+}
+
+TEST(HeavyHittersTest, HeavyGroupsAlwaysTracked) {
+  // Any group with true count > m/c must be tracked at the end.
+  const size_t capacity = 20;
+  auto hh = RobustHeavyHitters::Create(BaseOptions(capacity, 9)).value();
+  Xoshiro256pp rng(11);
+  // 3 heavy groups (1000 each) + 3000 singleton groups, interleaved.
+  uint64_t m = 0;
+  int next_singleton = 100;
+  for (int round = 0; round < 1000; ++round) {
+    for (int h = 0; h < 3; ++h) {
+      hh.Insert(G(h, 0.3 * (rng.NextDouble() - 0.5)));
+      ++m;
+    }
+    for (int s = 0; s < 3; ++s) {
+      hh.Insert(G(next_singleton++));
+      ++m;
+    }
+  }
+  for (int h = 0; h < 3; ++h) {
+    const auto estimate = hh.EstimateCount(G(h));
+    ASSERT_TRUE(estimate.ok()) << "heavy group " << h << " evicted";
+    EXPECT_GE(estimate.value(), 1000u);
+    EXPECT_LE(estimate.value(), 1000u + m / capacity + 1);
+  }
+}
+
+TEST(HeavyHittersTest, PowerLawPipelineRecall) {
+  // End-to-end: on a power-law near-duplicate stream, the top-5 true
+  // groups must all be reported in the sketch's top-10.
+  const BaseDataset base = RandomUniform(150, 4, 13);
+  NearDupOptions nd;
+  nd.distribution = DupDistribution::kPowerLaw;
+  nd.seed = 15;
+  const NoisyDataset data = MakeNearDuplicates(base, nd);
+  HeavyHittersOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.capacity = 48;
+  opts.seed = 17;
+  auto hh = RobustHeavyHitters::Create(opts).value();
+  for (const Point& p : data.points) hh.Insert(p);
+
+  std::map<uint32_t, uint64_t> truth;
+  for (uint32_t g : data.group_of) ++truth[g];
+  std::vector<std::pair<uint64_t, uint32_t>> by_count;
+  for (const auto& [g, c] : truth) by_count.push_back({c, g});
+  std::sort(by_count.rbegin(), by_count.rend());
+
+  const auto top = hh.TopK(10);
+  for (int h = 0; h < 5; ++h) {
+    const uint32_t heavy_group = by_count[h].second;
+    bool found = false;
+    for (const auto& entry : top) {
+      found = found || data.group_of[entry.stream_index] == heavy_group;
+    }
+    EXPECT_TRUE(found) << "true top-" << h << " group missing from top-10";
+  }
+}
+
+TEST(HeavyHittersTest, TopKOrderingAndTruncation) {
+  auto hh = RobustHeavyHitters::Create(BaseOptions(10)).value();
+  for (int g = 0; g < 6; ++g) {
+    for (int c = 0; c <= g; ++c) hh.Insert(G(g, 0.01 * c));
+  }
+  const auto top3 = hh.TopK(3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].count, 6u);
+  EXPECT_EQ(top3[1].count, 5u);
+  EXPECT_EQ(top3[2].count, 4u);
+  EXPECT_EQ(hh.TopK(100).size(), 6u);
+}
+
+TEST(HeavyHittersTest, SpaceBoundedByCapacity) {
+  auto hh = RobustHeavyHitters::Create(BaseOptions(8)).value();
+  for (int i = 0; i < 5000; ++i) hh.Insert(G(i));  // all distinct groups
+  EXPECT_EQ(hh.tracked_groups(), 8u);
+  EXPECT_LE(hh.SpaceWords(), 8 * (PointWords(1) + 3 * kMapEntryWords) + 4);
+  EXPECT_EQ(hh.points_processed(), 5000u);
+}
+
+TEST(HeavyHittersTest, MetricOptionRespected) {
+  HeavyHittersOptions opts = BaseOptions(4);
+  opts.dim = 2;
+  opts.metric = Metric::kLinf;
+  auto hh = RobustHeavyHitters::Create(opts).value();
+  hh.Insert(Point{0.0, 0.0});
+  hh.Insert(Point{0.9, 0.9});  // L∞ distance 0.9 ≤ 1: same group
+  EXPECT_EQ(hh.tracked_groups(), 1u);
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,227 @@
+// End-to-end integration tests: the full Section 6 pipeline (base dataset
+// → near-duplicate transformation → sampler → distribution metrics) on
+// scaled-down versions of the paper's eight datasets, robust-vs-standard
+// sampler comparison, F0-vs-exact agreement, and IW/SW cross-checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "rl0/baseline/exact_partition.h"
+#include "rl0/baseline/naive_robust.h"
+#include "rl0/baseline/standard_l0.h"
+#include "rl0/core/f0_iw.h"
+#include "rl0/core/iw_sampler.h"
+#include "rl0/core/sw_sampler.h"
+#include "rl0/metrics/distribution.h"
+#include "rl0/stream/dataset.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace rl0 {
+namespace {
+
+struct PipelineCase {
+  std::string name;
+  size_t base_n;
+  size_t dim;
+  DupDistribution distribution;
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+NoisyDataset MakeCase(const PipelineCase& pc, uint64_t seed) {
+  const BaseDataset base = RandomUniform(pc.base_n, pc.dim, seed, pc.name);
+  NearDupOptions nd;
+  nd.distribution = pc.distribution;
+  nd.max_dups = 15;  // scaled down from the paper's 100 for test speed
+  nd.seed = seed + 1;
+  return MakeNearDuplicates(base, nd);
+}
+
+SamplerOptions PipelineOptions(const NoisyDataset& data, uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.seed = seed;
+  opts.side_mode = GridSideMode::kHighDim;
+  opts.accept_cap = 12;
+  opts.expected_stream_length = data.points.size();
+  return opts;
+}
+
+TEST_P(PipelineTest, EndToEndUniformSampling) {
+  const PipelineCase pc = GetParam();
+  const NoisyDataset data = MakeCase(pc, 101);
+  ASSERT_TRUE(data.Validate().ok());
+  const RepresentativeStream reps = ExtractRepresentatives(data);
+
+  SampleDistribution dist(data.num_groups);
+  const int runs = 6000;
+  int empty_runs = 0;
+  for (int run = 0; run < runs; ++run) {
+    auto sampler =
+        RobustL0SamplerIW::Create(PipelineOptions(data, 500 + run)).value();
+    for (const Point& p : reps.points) sampler.Insert(p);
+    Xoshiro256pp rng(80000 + run);
+    const auto sample = sampler.Sample(&rng);
+    if (!sample.has_value()) {
+      ++empty_runs;  // legitimate low-probability failure after halving
+      continue;
+    }
+    dist.Record(reps.group_of[sample->stream_index]);
+  }
+  EXPECT_LT(empty_runs, runs / 200) << pc.name;
+  const double floor =
+      SampleDistribution::StdDevNoiseFloor(data.num_groups, runs);
+  EXPECT_LT(dist.StdDevNm(), std::max(0.1, 2.0 * floor)) << pc.name;
+  EXPECT_EQ(dist.ZeroGroups(), 0u) << pc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, PipelineTest,
+    ::testing::Values(
+        PipelineCase{"MiniRand5", 60, 5, DupDistribution::kUniform},
+        PipelineCase{"MiniRand20", 60, 20, DupDistribution::kUniform},
+        PipelineCase{"MiniYacht", 50, 7, DupDistribution::kUniform},
+        PipelineCase{"MiniSeeds", 40, 8, DupDistribution::kUniform},
+        PipelineCase{"MiniRand5pl", 60, 5, DupDistribution::kPowerLaw},
+        PipelineCase{"MiniRand20pl", 60, 20, DupDistribution::kPowerLaw},
+        PipelineCase{"MiniYachtpl", 50, 7, DupDistribution::kPowerLaw},
+        PipelineCase{"MiniSeedspl", 40, 8, DupDistribution::kPowerLaw}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(IntegrationTest, RobustBeatsStandardOnPowerLawData) {
+  // Power-law duplicates: the standard sampler's max deviation from
+  // uniform must be far above the robust sampler's.
+  PipelineCase pc{"BiasCase", 50, 5, DupDistribution::kPowerLaw};
+  const NoisyDataset data = MakeCase(pc, 201);
+  const RepresentativeStream reps = ExtractRepresentatives(data);
+
+  SampleDistribution robust(data.num_groups);
+  SampleDistribution standard(data.num_groups);
+  const int runs = 4000;
+  for (int run = 0; run < runs; ++run) {
+    auto sampler =
+        RobustL0SamplerIW::Create(PipelineOptions(data, 900 + run)).value();
+    for (const Point& p : reps.points) sampler.Insert(p);
+    Xoshiro256pp rng(60000 + run);
+    const auto sample = sampler.Sample(&rng);
+    ASSERT_TRUE(sample.has_value());
+    robust.Record(reps.group_of[sample->stream_index]);
+
+    StandardL0Sampler classic(3000 + static_cast<uint64_t>(run));
+    for (const Point& p : data.points) classic.Insert(p);
+    const auto biased = classic.Sample();
+    ASSERT_TRUE(biased.has_value());
+    standard.Record(data.group_of[biased->stream_index]);
+  }
+  // The heaviest power-law group holds ~n of ~n·H_n points: the standard
+  // sampler hits it ~n/(n·H_n) ≈ 22% of the time instead of 2%.
+  EXPECT_GT(standard.MaxDevNm(), 4.0);
+  EXPECT_LT(robust.MaxDevNm(), 1.0);
+  EXPECT_GT(standard.StdDevNm(), 4 * robust.StdDevNm());
+}
+
+TEST(IntegrationTest, F0MatchesExactPartitionOnPipelineData) {
+  PipelineCase pc{"F0Case", 120, 6, DupDistribution::kUniform};
+  const NoisyDataset data = MakeCase(pc, 301);
+  const size_t exact = NaturalPartition(data.points, data.alpha).num_groups;
+  ASSERT_EQ(exact, data.num_groups);
+
+  F0Options opts;
+  opts.sampler.dim = data.dim;
+  opts.sampler.alpha = data.alpha;
+  opts.sampler.seed = 303;
+  opts.sampler.side_mode = GridSideMode::kHighDim;
+  opts.epsilon = 0.25;
+  opts.copies = 7;
+  auto est = F0EstimatorIW::Create(opts).value();
+  for (const Point& p : data.points) est.Insert(p);
+  EXPECT_NEAR(est.Estimate(), static_cast<double>(exact),
+              0.3 * static_cast<double>(exact));
+}
+
+TEST(IntegrationTest, IwAndNaiveAgreeOnGroupUniverse) {
+  // The IW sampler's *accepted* representatives must be a subset of the
+  // exact sampler's representatives (the same first-point-of-group
+  // definition; rejected entries may hold later points of groups whose
+  // first point was ignored — see iw_sampler_test for the argument).
+  PipelineCase pc{"Universe", 80, 4, DupDistribution::kUniform};
+  const NoisyDataset data = MakeCase(pc, 401);
+  auto sampler =
+      RobustL0SamplerIW::Create(PipelineOptions(data, 403)).value();
+  NaiveRobustSampler naive(data.alpha);
+  for (const Point& p : data.points) {
+    sampler.Insert(p);
+    naive.Insert(p);
+  }
+  EXPECT_EQ(naive.num_groups(), data.num_groups);
+  for (const SampleItem& item : sampler.AcceptedRepresentatives()) {
+    bool found = false;
+    for (const SampleItem& rep : naive.representatives()) {
+      found = found || rep.stream_index == item.stream_index;
+    }
+    EXPECT_TRUE(found) << "index " << item.stream_index;
+  }
+}
+
+TEST(IntegrationTest, SlidingWindowOverNoisyStream) {
+  // Run the hierarchy over a real noisy stream (sequence window = 1/4 of
+  // the stream) and verify every query returns a point of an alive group.
+  PipelineCase pc{"SWCase", 60, 3, DupDistribution::kUniform};
+  const NoisyDataset data = MakeCase(pc, 501);
+  const int64_t window = static_cast<int64_t>(data.points.size() / 4);
+  SamplerOptions opts = PipelineOptions(data, 503);
+  auto sampler = RobustL0SamplerSW::Create(opts, window).value();
+  Xoshiro256pp rng(505);
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    sampler.Insert(data.points[i]);
+    if (i % 97 == 0 && i > 0) {
+      const auto sample = sampler.SampleLatest(&rng);
+      ASSERT_TRUE(sample.has_value());
+      // The group of the returned point must have an unexpired member.
+      const uint32_t g = [&] {
+        for (size_t j = 0; j < data.points.size(); ++j) {
+          if (WithinDistance(data.points[j], sample->point, data.alpha)) {
+            return data.group_of[j];
+          }
+        }
+        return uint32_t{0xFFFFFFFF};
+      }();
+      ASSERT_NE(g, 0xFFFFFFFFu);
+      bool alive = false;
+      const size_t lo = (i + 1 >= static_cast<size_t>(window))
+                            ? i + 1 - static_cast<size_t>(window)
+                            : 0;
+      for (size_t j = lo; j <= i; ++j) {
+        alive = alive || data.group_of[j] == g;
+      }
+      EXPECT_TRUE(alive) << "i=" << i;
+    }
+  }
+}
+
+TEST(IntegrationTest, KSamplesCoverDistinctGroupsOnPipelineData) {
+  PipelineCase pc{"KSample", 100, 4, DupDistribution::kUniform};
+  const NoisyDataset data = MakeCase(pc, 601);
+  SamplerOptions opts = PipelineOptions(data, 603);
+  opts.k = 8;
+  opts.accept_cap = 0;  // derive from k: κ0·k·log m
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  for (const Point& p : data.points) sampler.Insert(p);
+  Xoshiro256pp rng(605);
+  const auto result = sampler.SampleK(8, &rng);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < result.value().size(); ++i) {
+    for (size_t j = i + 1; j < result.value().size(); ++j) {
+      EXPECT_NE(data.group_of[result.value()[i].stream_index],
+                data.group_of[result.value()[j].stream_index]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rl0

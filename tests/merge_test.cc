@@ -1,0 +1,229 @@
+// Tests for RobustL0SamplerIW::AbsorbFrom — merging samplers over
+// partitioned streams (the distributed setting of the related work).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "rl0/core/iw_sampler.h"
+#include "rl0/metrics/distribution.h"
+#include "rl0/stream/dataset.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace rl0 {
+namespace {
+
+SamplerOptions MergeOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.expected_stream_length = 1 << 14;
+  return opts;
+}
+
+Point G(int group, double jitter = 0.0) {
+  return Point{10.0 * group + jitter};
+}
+
+TEST(MergeTest, RequiresIdenticalOptions) {
+  auto a = RobustL0SamplerIW::Create(MergeOptions(1)).value();
+  auto b = RobustL0SamplerIW::Create(MergeOptions(2)).value();  // seed!
+  EXPECT_EQ(a.AbsorbFrom(b).code(), StatusCode::kInvalidArgument);
+  SamplerOptions different_alpha = MergeOptions(1);
+  different_alpha.alpha = 2.0;
+  auto c = RobustL0SamplerIW::Create(different_alpha).value();
+  EXPECT_FALSE(a.AbsorbFrom(c).ok());
+  auto d = RobustL0SamplerIW::Create(MergeOptions(1)).value();
+  EXPECT_TRUE(a.AbsorbFrom(d).ok());
+}
+
+TEST(MergeTest, DisjointGroupsUnion) {
+  auto a = RobustL0SamplerIW::Create(MergeOptions(3)).value();
+  auto b = RobustL0SamplerIW::Create(MergeOptions(3)).value();
+  for (int g = 0; g < 10; ++g) a.Insert(G(g));
+  for (int g = 10; g < 25; ++g) b.Insert(G(g));
+  ASSERT_TRUE(a.AbsorbFrom(b).ok());
+  // Default cap is large: rate stays 1 and all 25 groups are accepted.
+  EXPECT_EQ(a.accept_size(), 25u);
+  EXPECT_EQ(a.points_processed(), 25u);
+}
+
+TEST(MergeTest, SharedGroupsDeduplicated) {
+  auto a = RobustL0SamplerIW::Create(MergeOptions(4)).value();
+  auto b = RobustL0SamplerIW::Create(MergeOptions(4)).value();
+  for (int g = 0; g < 12; ++g) {
+    a.Insert(G(g, 0.1));
+    b.Insert(G(g, -0.2));  // the same 12 groups, different points
+  }
+  ASSERT_TRUE(a.AbsorbFrom(b).ok());
+  EXPECT_EQ(a.accept_size() + a.reject_size(), 12u);
+}
+
+TEST(MergeTest, MergeMatchesSingleStreamState) {
+  // Feeding stream halves to two samplers and merging must yield the same
+  // accepted-group set as one sampler over the concatenated stream,
+  // whenever each group appears in only one partition (so representative
+  // choice is unambiguous).
+  const BaseDataset base = RandomUniform(100, 1, 5);
+  NearDupOptions nd;
+  nd.max_dups = 4;
+  nd.seed = 6;
+  nd.shuffle = false;  // groups emitted contiguously: clean partition
+  const NoisyDataset data = MakeNearDuplicates(base, nd);
+  const size_t half = data.points.size() / 2;
+  // Snap the boundary to a group boundary.
+  size_t cut = half;
+  while (cut < data.points.size() &&
+         data.group_of[cut] == data.group_of[cut - 1]) {
+    ++cut;
+  }
+
+  SamplerOptions opts = MergeOptions(7);
+  opts.alpha = data.alpha;
+  opts.accept_cap = 16;
+  auto whole = RobustL0SamplerIW::Create(opts).value();
+  for (const Point& p : data.points) whole.Insert(p);
+
+  auto left = RobustL0SamplerIW::Create(opts).value();
+  auto right = RobustL0SamplerIW::Create(opts).value();
+  for (size_t i = 0; i < cut; ++i) left.Insert(data.points[i]);
+  for (size_t i = cut; i < data.points.size(); ++i) {
+    right.Insert(data.points[i]);
+  }
+  ASSERT_TRUE(left.AbsorbFrom(right).ok());
+
+  // The merged level may lag the single-stream level (the single stream
+  // doubled under the *combined* candidate load); unify for comparison.
+  const auto accepted_groups = [&](const RobustL0SamplerIW& sampler,
+                                   uint32_t at_level) {
+    std::set<std::vector<double>> out;
+    for (const SampleItem& item : sampler.AcceptedRepresentatives()) {
+      if (sampler.hasher().SampledAtLevel(
+              sampler.grid().CellKeyOf(item.point), at_level)) {
+        out.insert(item.point.coords());
+      }
+    }
+    return out;
+  };
+  const uint32_t level = std::max(whole.level(), left.level());
+  EXPECT_EQ(accepted_groups(whole, level), accepted_groups(left, level));
+}
+
+TEST(MergeTest, EarlierRepresentativeWins) {
+  auto a = RobustL0SamplerIW::Create(MergeOptions(8)).value();
+  auto b = RobustL0SamplerIW::Create(MergeOptions(8)).value();
+  // Same group: b saw it first (stream_index 0 vs 5).
+  for (int i = 0; i < 5; ++i) a.Insert(G(100 + i));
+  a.Insert(G(0, 0.3));   // a's rep for group 0, index 5
+  b.Insert(G(0, -0.4));  // b's rep for group 0, index 0
+  ASSERT_TRUE(a.AbsorbFrom(b).ok());
+  // Find group 0's stored representative.
+  std::vector<SampleItem> stored = a.AcceptedRepresentatives();
+  const auto rejected = a.RejectedRepresentatives();
+  stored.insert(stored.end(), rejected.begin(), rejected.end());
+  bool found = false;
+  for (const SampleItem& item : stored) {
+    if (item.point[0] < 5.0) {
+      EXPECT_DOUBLE_EQ(item.point[0], -0.4);  // b's earlier point
+      EXPECT_EQ(item.stream_index, 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MergeTest, CapEnforcedAfterMerge) {
+  SamplerOptions opts = MergeOptions(9);
+  opts.accept_cap = 8;
+  auto a = RobustL0SamplerIW::Create(opts).value();
+  auto b = RobustL0SamplerIW::Create(opts).value();
+  for (int g = 0; g < 300; ++g) a.Insert(G(g));
+  for (int g = 300; g < 600; ++g) b.Insert(G(g));
+  ASSERT_TRUE(a.AbsorbFrom(b).ok());
+  EXPECT_LE(a.accept_size(), 8u);
+  EXPECT_GE(a.accept_size(), 1u);
+}
+
+TEST(MergeTest, MergedSamplingStaysNearUniform) {
+  // 40 groups split across two partitions (20 exclusive to each, all seen
+  // by neither both): merged samplers across seeds must sample all 40
+  // groups with Θ(1/40) frequency.
+  const int groups = 40;
+  SampleDistribution dist(groups);
+  const int runs = 8000;
+  int empty_runs = 0;
+  for (int run = 0; run < runs; ++run) {
+    SamplerOptions opts = MergeOptions(1000 + run);
+    opts.accept_cap = 10;
+    auto a = RobustL0SamplerIW::Create(opts).value();
+    auto b = RobustL0SamplerIW::Create(opts).value();
+    for (int g = 0; g < groups / 2; ++g) a.Insert(G(g));
+    for (int g = groups / 2; g < groups; ++g) b.Insert(G(g));
+    ASSERT_TRUE(a.AbsorbFrom(b).ok());
+    Xoshiro256pp rng(5000 + run);
+    const auto sample = a.Sample(&rng);
+    if (!sample.has_value()) {
+      ++empty_runs;
+      continue;
+    }
+    const int g = static_cast<int>(sample->point[0] / 10.0 + 0.5);
+    ASSERT_GE(g, 0);
+    ASSERT_LT(g, groups);
+    dist.Record(static_cast<uint32_t>(g));
+  }
+  EXPECT_LT(empty_runs, runs / 100);
+  EXPECT_EQ(dist.ZeroGroups(), 0u);
+  EXPECT_LT(dist.MaxDevNm(), 0.4);
+}
+
+TEST(MergeTest, ReservoirStatePooled) {
+  SamplerOptions opts = MergeOptions(10);
+  opts.random_representative = true;
+  auto a = RobustL0SamplerIW::Create(opts).value();
+  auto b = RobustL0SamplerIW::Create(opts).value();
+  // Group 0: 3 points in a, 5 points in b.
+  for (int i = 0; i < 3; ++i) a.Insert(G(0, 0.05 * i));
+  for (int i = 0; i < 5; ++i) b.Insert(G(0, -0.05 * i));
+  ASSERT_TRUE(a.AbsorbFrom(b).ok());
+  // After pooling, the group's reservoir weight must cover all 8 points:
+  // across many query draws both partitions' points must appear.
+  // (The pooled count is internal; verify behaviourally via sampling.)
+  int saw_a = 0, saw_b = 0;
+  for (int q = 0; q < 400; ++q) {
+    // Re-merge fresh sampler pairs (sharing a per-iteration seed) so the
+    // pooled reservoir choice is redrawn each time.
+    SamplerOptions per_run = opts;
+    per_run.seed = 100 + static_cast<uint64_t>(q);
+    auto a2 = RobustL0SamplerIW::Create(per_run).value();
+    auto b2 = RobustL0SamplerIW::Create(per_run).value();
+    for (int i = 0; i < 3; ++i) a2.Insert(G(0, 0.05 * (i + 1)));
+    for (int i = 0; i < 5; ++i) b2.Insert(G(0, -0.05 * (i + 1)));
+    ASSERT_TRUE(a2.AbsorbFrom(b2).ok());
+    Xoshiro256pp rng(900 + q);
+    const auto sample = a2.Sample(&rng);
+    ASSERT_TRUE(sample.has_value());
+    saw_a += sample->point[0] > 0.0;
+    saw_b += sample->point[0] < 0.0;
+  }
+  // Expected split ~3:5 over a's and b's points; require both present in
+  // roughly that proportion.
+  EXPECT_GT(saw_a, 400 * 3 / 8 / 2);
+  EXPECT_GT(saw_b, 400 * 5 / 8 / 2);
+}
+
+TEST(MergeTest, SelfAbsorbIsIdempotentOnGroups) {
+  auto a = RobustL0SamplerIW::Create(MergeOptions(11)).value();
+  for (int g = 0; g < 15; ++g) a.Insert(G(g));
+  auto b = RobustL0SamplerIW::Create(MergeOptions(11)).value();
+  for (int g = 0; g < 15; ++g) b.Insert(G(g, 0.2));
+  const size_t before = a.accept_size() + a.reject_size();
+  ASSERT_TRUE(a.AbsorbFrom(b).ok());
+  EXPECT_EQ(a.accept_size() + a.reject_size(), before);
+}
+
+}  // namespace
+}  // namespace rl0

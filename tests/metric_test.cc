@@ -1,0 +1,159 @@
+// Tests for the Minkowski metric generalization (paper Section 7 future
+// work): distances, metric-aware grid adjacency (DFS == naive for L1/L∞),
+// and end-to-end sampling where groups are defined by L1/L∞ balls.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "rl0/core/iw_sampler.h"
+#include "rl0/geom/metric.h"
+#include "rl0/grid/random_grid.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+TEST(MetricTest, KnownDistances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(MetricDistance(a, b, Metric::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(MetricDistance(a, b, Metric::kL1), 7.0);
+  EXPECT_DOUBLE_EQ(MetricDistance(a, b, Metric::kLinf), 4.0);
+}
+
+TEST(MetricTest, OrderingL1GeL2GeLinf) {
+  Xoshiro256pp rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point a(4), b(4);
+    for (size_t j = 0; j < 4; ++j) {
+      a[j] = rng.NextDouble() * 10 - 5;
+      b[j] = rng.NextDouble() * 10 - 5;
+    }
+    const double l1 = MetricDistance(a, b, Metric::kL1);
+    const double l2 = MetricDistance(a, b, Metric::kL2);
+    const double linf = MetricDistance(a, b, Metric::kLinf);
+    EXPECT_GE(l1, l2 - 1e-12);
+    EXPECT_GE(l2, linf - 1e-12);
+  }
+}
+
+TEST(MetricTest, WithinDistanceInclusive) {
+  const Point a{0.0};
+  const Point b{2.0};
+  for (Metric m : {Metric::kL2, Metric::kL1, Metric::kLinf}) {
+    EXPECT_TRUE(MetricWithinDistance(a, b, 2.0, m)) << MetricName(m);
+    EXPECT_FALSE(MetricWithinDistance(a, b, 1.999, m)) << MetricName(m);
+  }
+}
+
+TEST(MetricTest, Names) {
+  EXPECT_STREQ(MetricName(Metric::kL2), "l2");
+  EXPECT_STREQ(MetricName(Metric::kL1), "l1");
+  EXPECT_STREQ(MetricName(Metric::kLinf), "linf");
+}
+
+class MetricAdjacency
+    : public ::testing::TestWithParam<std::tuple<Metric, int, double>> {};
+
+TEST_P(MetricAdjacency, DfsMatchesNaive) {
+  const auto [metric, dim, side] = GetParam();
+  RandomGrid grid(static_cast<size_t>(dim), side, 17 + dim, metric);
+  Xoshiro256pp rng(23 * dim);
+  for (int trial = 0; trial < 40; ++trial) {
+    Point p(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      p[static_cast<size_t>(j)] = 20.0 * (rng.NextDouble() - 0.5);
+    }
+    std::vector<uint64_t> dfs, naive;
+    grid.AdjacentCells(p, 1.0, &dfs);
+    grid.AdjacentCellsNaive(p, 1.0, &naive);
+    EXPECT_EQ(dfs, naive) << MetricName(metric) << " dim=" << dim
+                          << " side=" << side << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricAdjacency,
+    ::testing::Values(std::make_tuple(Metric::kL1, 2, 0.5),
+                      std::make_tuple(Metric::kL1, 3, 1.5),
+                      std::make_tuple(Metric::kL1, 5, 5.0),
+                      std::make_tuple(Metric::kLinf, 2, 0.5),
+                      std::make_tuple(Metric::kLinf, 3, 1.5),
+                      std::make_tuple(Metric::kLinf, 5, 5.0)),
+    [](const auto& info) {
+      return std::string(MetricName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+TEST(MetricAdjacencyTest, LinfBallIsLargerThanL2Ball) {
+  // adj sets grow with the metric's ball: L∞ ⊇ L2 ⊇ L1 at equal radius.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RandomGrid l1(3, 0.8, seed, Metric::kL1);
+    RandomGrid l2(3, 0.8, seed, Metric::kL2);
+    RandomGrid linf(3, 0.8, seed, Metric::kLinf);
+    // Same seed => same offsets => comparable cell sets.
+    const Point p{0.3, 0.4, 0.5};
+    std::vector<uint64_t> a1, a2, ainf;
+    l1.AdjacentCells(p, 1.0, &a1);
+    l2.AdjacentCells(p, 1.0, &a2);
+    linf.AdjacentCells(p, 1.0, &ainf);
+    EXPECT_LE(a1.size(), a2.size());
+    EXPECT_LE(a2.size(), ainf.size());
+    for (uint64_t key : a1) {
+      EXPECT_TRUE(std::find(a2.begin(), a2.end(), key) != a2.end());
+    }
+    for (uint64_t key : a2) {
+      EXPECT_TRUE(std::find(ainf.begin(), ainf.end(), key) != ainf.end());
+    }
+  }
+}
+
+TEST(MetricSamplerTest, LinfGroupsResolvedCorrectly) {
+  // Two points at L∞ distance 0.9 (L2 distance ~1.27): with α=1 they are
+  // one group under L∞ but two groups under L2.
+  for (Metric metric : {Metric::kL2, Metric::kLinf}) {
+    SamplerOptions opts;
+    opts.dim = 2;
+    opts.alpha = 1.0;
+    opts.seed = 7;
+    opts.metric = metric;
+    opts.expected_stream_length = 100;
+    auto sampler = RobustL0SamplerIW::Create(opts).value();
+    sampler.Insert(Point{0.0, 0.0});
+    sampler.Insert(Point{0.9, 0.9});
+    const size_t groups = sampler.accept_size() + sampler.reject_size();
+    if (metric == Metric::kLinf) {
+      EXPECT_EQ(groups, 1u);
+    } else {
+      EXPECT_EQ(groups, 2u);
+    }
+  }
+}
+
+TEST(MetricSamplerTest, L1EndToEndUniformity) {
+  // 30 well-separated (under L1) groups; sampler with L1 metric must
+  // resolve exactly 30 candidates and sample them all.
+  SamplerOptions opts;
+  opts.dim = 2;
+  opts.alpha = 1.0;
+  opts.seed = 9;
+  opts.metric = Metric::kL1;
+  opts.accept_cap = 1000;  // no halving: every group accepted
+  opts.expected_stream_length = 1000;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  Xoshiro256pp rng(11);
+  for (int g = 0; g < 30; ++g) {
+    const double cx = 10.0 * g;
+    // Points within L1 distance 1 of each other around the center.
+    sampler.Insert(Point{cx, 0.0});
+    sampler.Insert(Point{cx + 0.3, 0.2});
+    sampler.Insert(Point{cx - 0.2, -0.25});
+  }
+  EXPECT_EQ(sampler.accept_size(), 30u);
+}
+
+}  // namespace
+}  // namespace rl0

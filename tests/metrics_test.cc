@@ -1,0 +1,94 @@
+// Tests for the Section 6.1 accuracy metrics (stdDevNm, maxDevNm, chi2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl0/metrics/distribution.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+TEST(SampleDistributionTest, EmptyIsZero) {
+  SampleDistribution dist(5);
+  EXPECT_EQ(dist.total(), 0u);
+  EXPECT_DOUBLE_EQ(dist.StdDevNm(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.MaxDevNm(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.ChiSquare(), 0.0);
+  EXPECT_EQ(dist.ZeroGroups(), 5u);
+}
+
+TEST(SampleDistributionTest, PerfectlyUniformIsZeroDeviation) {
+  SampleDistribution dist(4);
+  for (uint32_t g = 0; g < 4; ++g) {
+    for (int i = 0; i < 25; ++i) dist.Record(g);
+  }
+  EXPECT_EQ(dist.total(), 100u);
+  EXPECT_DOUBLE_EQ(dist.StdDevNm(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.MaxDevNm(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.ChiSquare(), 0.0);
+  EXPECT_EQ(dist.MinCount(), 25u);
+  EXPECT_EQ(dist.MaxCount(), 25u);
+}
+
+TEST(SampleDistributionTest, HandComputedSkew) {
+  // n=2 groups, counts (3, 1): f = (0.75, 0.25), f* = 0.5.
+  // stdDevNm = sqrt(((0.25)^2 + (0.25)^2)/2) / 0.5 = 0.5.
+  // maxDevNm = 0.25/0.5 = 0.5.
+  // chi2 = ((3-2)^2 + (1-2)^2)/2 = 1.
+  SampleDistribution dist(2);
+  dist.Record(0);
+  dist.Record(0);
+  dist.Record(0);
+  dist.Record(1);
+  EXPECT_NEAR(dist.StdDevNm(), 0.5, 1e-12);
+  EXPECT_NEAR(dist.MaxDevNm(), 0.5, 1e-12);
+  EXPECT_NEAR(dist.ChiSquare(), 1.0, 1e-12);
+}
+
+TEST(SampleDistributionTest, DegenerateAllOneGroup) {
+  SampleDistribution dist(4);
+  for (int i = 0; i < 100; ++i) dist.Record(2);
+  // f = (0,0,1,0), f* = 0.25: maxDev = 0.75/0.25 = 3.
+  EXPECT_NEAR(dist.MaxDevNm(), 3.0, 1e-12);
+  EXPECT_EQ(dist.ZeroGroups(), 3u);
+  EXPECT_EQ(dist.MinCount(), 0u);
+  EXPECT_EQ(dist.MaxCount(), 100u);
+}
+
+TEST(SampleDistributionTest, NoiseFloorFormula) {
+  EXPECT_NEAR(SampleDistribution::StdDevNoiseFloor(500, 200000),
+              std::sqrt(499.0 / 200000.0), 1e-12);
+  EXPECT_DOUBLE_EQ(SampleDistribution::StdDevNoiseFloor(10, 0), 0.0);
+}
+
+TEST(SampleDistributionTest, UniformSamplerMeetsNoiseFloor) {
+  // A truly uniform sampler's measured stdDevNm should land near the
+  // noise floor (within a factor ~1.5 at these counts).
+  const size_t n = 50;
+  const uint64_t runs = 40000;
+  SampleDistribution dist(n);
+  Xoshiro256pp rng(3);
+  for (uint64_t i = 0; i < runs; ++i) {
+    dist.Record(static_cast<uint32_t>(rng.NextBounded(n)));
+  }
+  const double floor = SampleDistribution::StdDevNoiseFloor(n, runs);
+  EXPECT_LT(dist.StdDevNm(), 1.5 * floor);
+  EXPECT_GT(dist.StdDevNm(), 0.4 * floor);
+}
+
+TEST(SampleDistributionTest, ChiSquareNearDofForUniform) {
+  // For a uniform sampler, E[chi2] = n-1.
+  const size_t n = 100;
+  SampleDistribution dist(n);
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    dist.Record(static_cast<uint32_t>(rng.NextBounded(n)));
+  }
+  EXPECT_GT(dist.ChiSquare(), 50.0);
+  EXPECT_LT(dist.ChiSquare(), 160.0);
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,218 @@
+// Property-style sweeps (TEST_P) asserting algorithm invariants across
+// dimensions, grid regimes, hash families, duplicate distributions and
+// seeds. These are the "never violated, whatever the configuration"
+// guarantees: cap maintenance, non-empty accept set, Definition 2.2
+// consistency, representative separation, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "rl0/core/iw_sampler.h"
+#include "rl0/core/sw_sampler.h"
+#include "rl0/stream/dataset.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace rl0 {
+namespace {
+
+using IwConfig = std::tuple<size_t /*dim*/, DupDistribution, HashFamily,
+                            uint64_t /*seed*/>;
+
+class IwInvariantSweep : public ::testing::TestWithParam<IwConfig> {
+ protected:
+  NoisyDataset MakeData() const {
+    const auto [dim, distribution, family, seed] = GetParam();
+    (void)family;
+    const BaseDataset base = RandomUniform(70, dim, seed * 7 + 1);
+    NearDupOptions nd;
+    nd.distribution = distribution;
+    nd.max_dups = 8;
+    nd.seed = seed * 7 + 2;
+    return MakeNearDuplicates(base, nd);
+  }
+
+  SamplerOptions MakeOptions(const NoisyDataset& data) const {
+    const auto [dim, distribution, family, seed] = GetParam();
+    (void)distribution;
+    SamplerOptions opts;
+    opts.dim = dim;
+    opts.alpha = data.alpha;
+    opts.seed = seed * 7 + 3;
+    opts.side_mode = GridSideMode::kHighDim;
+    opts.hash_family = family;
+    opts.kwise_k = 16;
+    opts.accept_cap = 10;
+    opts.expected_stream_length = data.points.size();
+    return opts;
+  }
+};
+
+TEST_P(IwInvariantSweep, CapAndNonEmptinessHoldThroughout) {
+  const NoisyDataset data = MakeData();
+  auto sampler = RobustL0SamplerIW::Create(MakeOptions(data)).value();
+  for (const Point& p : data.points) {
+    sampler.Insert(p);
+    ASSERT_LE(sampler.accept_size(), 10u);
+    ASSERT_GE(sampler.accept_size(), 1u);
+  }
+}
+
+TEST_P(IwInvariantSweep, Definition22ConsistencyAtEnd) {
+  const NoisyDataset data = MakeData();
+  const SamplerOptions opts = MakeOptions(data);
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  for (const Point& p : data.points) sampler.Insert(p);
+  std::vector<uint64_t> adj;
+  for (const SampleItem& item : sampler.AcceptedRepresentatives()) {
+    ASSERT_TRUE(sampler.hasher().SampledAtLevel(
+        sampler.grid().CellKeyOf(item.point), sampler.level()));
+  }
+  for (const SampleItem& item : sampler.RejectedRepresentatives()) {
+    ASSERT_FALSE(sampler.hasher().SampledAtLevel(
+        sampler.grid().CellKeyOf(item.point), sampler.level()));
+    sampler.grid().AdjacentCells(item.point, opts.alpha, &adj);
+    bool near = false;
+    for (uint64_t key : adj) {
+      near = near || sampler.hasher().SampledAtLevel(key, sampler.level());
+    }
+    ASSERT_TRUE(near);
+  }
+}
+
+TEST_P(IwInvariantSweep, RepresentativesPairwiseSeparated) {
+  const NoisyDataset data = MakeData();
+  auto sampler = RobustL0SamplerIW::Create(MakeOptions(data)).value();
+  for (const Point& p : data.points) sampler.Insert(p);
+  std::vector<SampleItem> reps = sampler.AcceptedRepresentatives();
+  const auto rej = sampler.RejectedRepresentatives();
+  reps.insert(reps.end(), rej.begin(), rej.end());
+  for (size_t i = 0; i < reps.size(); ++i) {
+    for (size_t j = i + 1; j < reps.size(); ++j) {
+      ASSERT_GT(Distance(reps[i].point, reps[j].point), data.alpha);
+    }
+  }
+}
+
+TEST_P(IwInvariantSweep, DeterministicReplay) {
+  const NoisyDataset data = MakeData();
+  const SamplerOptions opts = MakeOptions(data);
+  auto a = RobustL0SamplerIW::Create(opts).value();
+  auto b = RobustL0SamplerIW::Create(opts).value();
+  for (const Point& p : data.points) {
+    a.Insert(p);
+    b.Insert(p);
+  }
+  ASSERT_EQ(a.level(), b.level());
+  ASSERT_EQ(a.accept_size(), b.accept_size());
+  ASSERT_EQ(a.reject_size(), b.reject_size());
+  ASSERT_EQ(a.SpaceWords(), b.SpaceWords());
+}
+
+TEST_P(IwInvariantSweep, SampleBelongsToStream) {
+  const NoisyDataset data = MakeData();
+  auto sampler = RobustL0SamplerIW::Create(MakeOptions(data)).value();
+  for (const Point& p : data.points) sampler.Insert(p);
+  Xoshiro256pp rng(99);
+  const auto sample = sampler.Sample(&rng);
+  ASSERT_TRUE(sample.has_value());
+  ASSERT_LT(sample->stream_index, data.points.size());
+  ASSERT_EQ(sample->point, data.points[sample->stream_index]);
+}
+
+std::string IwConfigName(
+    const ::testing::TestParamInfo<IwConfig>& info) {
+  const auto [dim, distribution, family, seed] = info.param;
+  std::string name = "d" + std::to_string(dim);
+  name += distribution == DupDistribution::kUniform ? "_uni" : "_pl";
+  name += family == HashFamily::kMix64 ? "_mix" : "_kwise";
+  name += "_s" + std::to_string(seed);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IwInvariantSweep,
+    ::testing::Combine(::testing::Values<size_t>(2, 5, 12),
+                       ::testing::Values(DupDistribution::kUniform,
+                                         DupDistribution::kPowerLaw),
+                       ::testing::Values(HashFamily::kMix64,
+                                         HashFamily::kKWisePoly),
+                       ::testing::Values<uint64_t>(1, 2)),
+    IwConfigName);
+
+// ------------------------------------------------------- sliding window
+
+using SwConfig = std::tuple<int64_t /*window*/, uint64_t /*seed*/>;
+
+class SwInvariantSweep : public ::testing::TestWithParam<SwConfig> {};
+
+TEST_P(SwInvariantSweep, AlwaysSampleableAndAliveWithinWindow) {
+  const auto [window, seed] = GetParam();
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.accept_cap = 8;
+  opts.expected_stream_length = 1 << 16;
+  auto sampler = RobustL0SamplerSW::Create(opts, window).value();
+  Xoshiro256pp rng(seed + 100);
+  const int groups = 150;
+  for (int i = 0; i < 600; ++i) {
+    const int g = static_cast<int>(rng.NextBounded(groups));
+    sampler.Insert(Point{10.0 * g + 0.2 * rng.NextDouble()}, i);
+    Xoshiro256pp qrng(seed * 1000 + static_cast<uint64_t>(i));
+    const auto sample = sampler.Sample(i, &qrng);
+    ASSERT_TRUE(sample.has_value()) << "i=" << i;
+    // Returned latest point must carry an in-window stream index.
+    ASSERT_LE(sample->stream_index, static_cast<uint64_t>(i));
+    ASSERT_GT(static_cast<int64_t>(sample->stream_index),
+              static_cast<int64_t>(i) - window);
+  }
+}
+
+TEST_P(SwInvariantSweep, LevelRatesAreNested) {
+  const auto [window, seed] = GetParam();
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.accept_cap = 6;
+  opts.expected_stream_length = 1 << 16;
+  auto sampler = RobustL0SamplerSW::Create(opts, window).value();
+  for (int i = 0; i < 500; ++i) {
+    sampler.Insert(Point{10.0 * i}, i);
+  }
+  // Every accepted representative at level ℓ must have its cell sampled at
+  // exactly its level (and by nestedness at all lower levels).
+  for (size_t l = 0; l < sampler.num_levels(); ++l) {
+    std::vector<GroupRecord> groups;
+    sampler.level(l).SnapshotGroups(&groups);
+    const SamplerContext& ctx = sampler.level(l).context();
+    for (const GroupRecord& g : groups) {
+      if (g.accepted) {
+        ASSERT_TRUE(ctx.hasher.SampledAtLevel(g.rep_cell,
+                                              static_cast<uint32_t>(l)));
+        for (size_t lower = 0; lower < l; ++lower) {
+          ASSERT_TRUE(ctx.hasher.SampledAtLevel(
+              g.rep_cell, static_cast<uint32_t>(lower)));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwInvariantSweep,
+    ::testing::Combine(::testing::Values<int64_t>(1, 7, 32, 100, 512),
+                       ::testing::Values<uint64_t>(3, 4)),
+    [](const ::testing::TestParamInfo<SwConfig>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace rl0

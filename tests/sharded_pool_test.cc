@@ -1,0 +1,136 @@
+// Tests for ShardedSamplerPool: thread-parallel sharded ingestion plus
+// merge-on-query.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rl0/baseline/naive_robust.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/metrics/distribution.h"
+#include "rl0/stream/dataset.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace rl0 {
+namespace {
+
+SamplerOptions PoolOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = 2;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.expected_stream_length = 1 << 14;
+  return opts;
+}
+
+NoisyDataset PoolData(uint64_t seed, size_t groups = 120) {
+  const BaseDataset base = RandomUniform(groups, 2, seed);
+  NearDupOptions nd;
+  nd.max_dups = 5;
+  nd.seed = seed + 1;
+  NoisyDataset data = MakeNearDuplicates(base, nd);
+  for (Point& p : data.points) p = p * (1.0 / data.alpha);
+  data.alpha = 1.0;
+  return data;
+}
+
+TEST(ShardedPoolTest, CreateValidates) {
+  EXPECT_FALSE(ShardedSamplerPool::Create(PoolOptions(1), 0).ok());
+  SamplerOptions bad;
+  EXPECT_FALSE(ShardedSamplerPool::Create(bad, 4).ok());
+  EXPECT_TRUE(ShardedSamplerPool::Create(PoolOptions(1), 4).ok());
+}
+
+TEST(ShardedPoolTest, ParallelConsumeCountsEveryPoint) {
+  const NoisyDataset data = PoolData(3);
+  auto pool = ShardedSamplerPool::Create(PoolOptions(5), 4).value();
+  pool.ConsumeParallel(data.points);
+  EXPECT_EQ(pool.points_processed(), data.points.size());
+  // Round-robin split: shard sizes differ by at most one.
+  for (size_t s = 0; s < 4; ++s) {
+    const uint64_t count = pool.shard(s).points_processed();
+    EXPECT_GE(count, data.points.size() / 4);
+    EXPECT_LE(count, data.points.size() / 4 + 1);
+  }
+}
+
+TEST(ShardedPoolTest, MergedCoversAllGroupsAtRateOne) {
+  const NoisyDataset data = PoolData(7, 40);
+  SamplerOptions opts = PoolOptions(9);
+  opts.accept_cap = 1000;  // R stays 1: merged must hold every group
+  auto pool = ShardedSamplerPool::Create(opts, 3).value();
+  pool.ConsumeParallel(data.points);
+  auto merged = pool.Merged().value();
+  EXPECT_EQ(merged.accept_size(), 40u);
+  EXPECT_EQ(merged.points_processed(), data.points.size());
+}
+
+TEST(ShardedPoolTest, DeterministicAcrossRuns) {
+  // The round-robin partition is scheduling-independent, so two pools over
+  // the same input must merge to identical state.
+  const NoisyDataset data = PoolData(11);
+  SamplerOptions opts = PoolOptions(13);
+  opts.accept_cap = 12;
+  auto a = ShardedSamplerPool::Create(opts, 4).value();
+  auto b = ShardedSamplerPool::Create(opts, 4).value();
+  a.ConsumeParallel(data.points);
+  b.ConsumeParallel(data.points);
+  auto merged_a = a.Merged().value();
+  auto merged_b = b.Merged().value();
+  EXPECT_EQ(merged_a.level(), merged_b.level());
+  EXPECT_EQ(merged_a.accept_size(), merged_b.accept_size());
+  EXPECT_EQ(merged_a.reject_size(), merged_b.reject_size());
+  const auto sa = merged_a.Sample(uint64_t{99});
+  const auto sb = merged_b.Sample(uint64_t{99});
+  ASSERT_TRUE(sa.has_value() && sb.has_value());
+  EXPECT_EQ(sa->point, sb->point);
+}
+
+TEST(ShardedPoolTest, MergedSamplingNearUniform) {
+  const size_t groups = 30;
+  SampleDistribution dist(groups);
+  const int runs = 4000;
+  int empty_runs = 0;
+  for (int run = 0; run < runs; ++run) {
+    SamplerOptions opts = PoolOptions(1000 + run);
+    opts.dim = 1;
+    opts.accept_cap = 10;
+    auto pool = ShardedSamplerPool::Create(opts, 3).value();
+    std::vector<Point> points;
+    for (size_t g = 0; g < groups; ++g) {
+      points.push_back(Point{10.0 * static_cast<double>(g)});
+      points.push_back(Point{10.0 * static_cast<double>(g) + 0.3});
+    }
+    pool.ConsumeParallel(points);
+    auto merged = pool.Merged().value();
+    Xoshiro256pp rng(5000 + run);
+    const auto sample = merged.Sample(&rng);
+    if (!sample.has_value()) {
+      ++empty_runs;
+      continue;
+    }
+    dist.Record(static_cast<uint32_t>(sample->point[0] / 10.0 + 0.5));
+  }
+  EXPECT_LT(empty_runs, runs / 100);
+  EXPECT_EQ(dist.ZeroGroups(), 0u);
+  EXPECT_LT(dist.MaxDevNm(), 0.5);
+}
+
+TEST(ShardedPoolTest, SingleShardDegeneratesToPlainSampler) {
+  const NoisyDataset data = PoolData(15, 25);
+  SamplerOptions opts = PoolOptions(17);
+  opts.accept_cap = 12;
+  auto pool = ShardedSamplerPool::Create(opts, 1).value();
+  pool.ConsumeParallel(data.points);
+  auto plain = RobustL0SamplerIW::Create(opts).value();
+  for (const Point& p : data.points) plain.Insert(p);
+  auto merged = pool.Merged().value();
+  EXPECT_EQ(merged.accept_size(), plain.accept_size());
+  EXPECT_EQ(merged.reject_size(), plain.reject_size());
+  EXPECT_EQ(merged.level(), plain.level());
+}
+
+}  // namespace
+}  // namespace rl0

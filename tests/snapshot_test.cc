@@ -1,0 +1,324 @@
+// Tests for sampler checkpoint/restore (core/snapshot.h) and the binary
+// serialization helpers (util/serialize.h).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rl0/core/snapshot.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+#include "rl0/util/serialize.h"
+
+namespace rl0 {
+namespace {
+
+TEST(BinarySerializeTest, RoundTripsAllTypes) {
+  std::string buf;
+  BinaryWriter writer(&buf);
+  writer.PutU8(7);
+  writer.PutU32(123456);
+  writer.PutU64(0xDEADBEEFCAFEULL);
+  writer.PutI64(-42);
+  writer.PutDouble(3.14159);
+
+  BinaryReader reader(buf);
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  ASSERT_TRUE(reader.GetU8(&u8).ok());
+  ASSERT_TRUE(reader.GetU32(&u32).ok());
+  ASSERT_TRUE(reader.GetU64(&u64).ok());
+  ASSERT_TRUE(reader.GetI64(&i64).ok());
+  ASSERT_TRUE(reader.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+}
+
+TEST(BinarySerializeTest, TruncationDetected) {
+  std::string buf;
+  BinaryWriter writer(&buf);
+  writer.PutU32(1);
+  BinaryReader reader(buf);
+  uint64_t v;
+  EXPECT_FALSE(reader.GetU64(&v).ok());
+}
+
+TEST(BinarySerializeTest, TrailingBytesDetected) {
+  std::string buf;
+  BinaryWriter writer(&buf);
+  writer.PutU32(1);
+  writer.PutU8(9);
+  BinaryReader reader(buf);
+  uint32_t v;
+  ASSERT_TRUE(reader.GetU32(&v).ok());
+  EXPECT_FALSE(reader.ExpectEnd().ok());
+  EXPECT_EQ(reader.remaining(), 1u);
+}
+
+// ------------------------------------------------------------ snapshots
+
+SamplerOptions SnapOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = 3;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.accept_cap = 12;
+  opts.expected_stream_length = 1 << 14;
+  return opts;
+}
+
+NoisyDataset SnapData(uint64_t seed) {
+  const BaseDataset base = RandomUniform(120, 3, seed);
+  NearDupOptions nd;
+  nd.max_dups = 6;
+  nd.seed = seed + 1;
+  return MakeNearDuplicates(base, nd);
+}
+
+TEST(SnapshotTest, RoundTripPreservesState) {
+  const NoisyDataset data = SnapData(5);
+  auto original = RobustL0SamplerIW::Create([&] {
+                    SamplerOptions o = SnapOptions(7);
+                    o.alpha = data.alpha;
+                    return o;
+                  }())
+                      .value();
+  for (const Point& p : data.points) original.Insert(p);
+
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(original, &blob).ok());
+  auto restored_result = RestoreSampler(blob);
+  ASSERT_TRUE(restored_result.ok()) << restored_result.status().ToString();
+  RobustL0SamplerIW restored = std::move(restored_result).value();
+
+  EXPECT_EQ(restored.level(), original.level());
+  EXPECT_EQ(restored.accept_size(), original.accept_size());
+  EXPECT_EQ(restored.reject_size(), original.reject_size());
+  EXPECT_EQ(restored.points_processed(), original.points_processed());
+  EXPECT_EQ(restored.SpaceWords(), original.SpaceWords());
+
+  // Identical query behaviour for the same query seed.
+  const auto a = original.Sample(uint64_t{99});
+  const auto b = restored.Sample(uint64_t{99});
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->stream_index, b->stream_index);
+}
+
+TEST(SnapshotTest, RestoredSamplerContinuesTheStream) {
+  // Process half the stream, snapshot, restore, process the rest: the
+  // final state must be identical to an uninterrupted run.
+  const NoisyDataset data = SnapData(11);
+  SamplerOptions opts = SnapOptions(13);
+  opts.alpha = data.alpha;
+
+  auto uninterrupted = RobustL0SamplerIW::Create(opts).value();
+  for (const Point& p : data.points) uninterrupted.Insert(p);
+
+  auto first_half = RobustL0SamplerIW::Create(opts).value();
+  const size_t half = data.points.size() / 2;
+  for (size_t i = 0; i < half; ++i) first_half.Insert(data.points[i]);
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(first_half, &blob).ok());
+  auto resumed = RestoreSampler(blob).value();
+  for (size_t i = half; i < data.points.size(); ++i) {
+    resumed.Insert(data.points[i]);
+  }
+
+  EXPECT_EQ(resumed.level(), uninterrupted.level());
+  EXPECT_EQ(resumed.accept_size(), uninterrupted.accept_size());
+  EXPECT_EQ(resumed.reject_size(), uninterrupted.reject_size());
+  const auto a = uninterrupted.Sample(uint64_t{7});
+  const auto b = resumed.Sample(uint64_t{7});
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->stream_index, b->stream_index);
+}
+
+TEST(SnapshotTest, PreservesAllOptionFields) {
+  SamplerOptions opts = SnapOptions(17);
+  opts.metric = Metric::kLinf;
+  opts.hash_family = HashFamily::kKWisePoly;
+  opts.kwise_k = 16;
+  opts.k = 3;
+  opts.random_representative = true;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  sampler.Insert(Point{0.0, 0.0, 0.0});
+
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+  auto restored = RestoreSampler(blob).value();
+  EXPECT_EQ(restored.options().metric, Metric::kLinf);
+  EXPECT_EQ(restored.options().hash_family, HashFamily::kKWisePoly);
+  EXPECT_EQ(restored.options().kwise_k, 16u);
+  EXPECT_EQ(restored.options().k, 3u);
+  EXPECT_TRUE(restored.options().random_representative);
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  EXPECT_FALSE(RestoreSampler("").ok());
+  EXPECT_FALSE(RestoreSampler("not a snapshot at all").ok());
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  auto sampler = RobustL0SamplerIW::Create(SnapOptions(19)).value();
+  for (int i = 0; i < 20; ++i) {
+    sampler.Insert(Point{10.0 * i, 0.0, 0.0});
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+  for (size_t cut : {blob.size() - 1, blob.size() / 2, size_t{9}}) {
+    EXPECT_FALSE(RestoreSampler(blob.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(SnapshotTest, RejectsCorruptedPayload) {
+  auto sampler = RobustL0SamplerIW::Create(SnapOptions(23)).value();
+  sampler.Insert(Point{1.0, 2.0, 3.0});
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+  // Flip a byte inside a stored coordinate: the cell-key integrity check
+  // must reject the snapshot (the point no longer matches its cell).
+  std::string corrupted = blob;
+  corrupted[corrupted.size() - 5] ^= 0xFF;
+  EXPECT_FALSE(RestoreSampler(corrupted).ok());
+}
+
+TEST(SnapshotTest, RejectsVersionMismatch) {
+  auto sampler = RobustL0SamplerIW::Create(SnapOptions(29)).value();
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+  blob[8] = 99;  // version field follows the 8-byte magic
+  EXPECT_FALSE(RestoreSampler(blob).ok());
+}
+
+TEST(SnapshotTest, EmptySamplerRoundTrips) {
+  auto sampler = RobustL0SamplerIW::Create(SnapOptions(31)).value();
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+  auto restored = RestoreSampler(blob).value();
+  EXPECT_EQ(restored.accept_size(), 0u);
+  EXPECT_EQ(restored.points_processed(), 0u);
+  Xoshiro256pp rng(1);
+  EXPECT_FALSE(restored.Sample(&rng).has_value());
+}
+
+// ----------------------------------------------- sliding-window snapshots
+
+SamplerOptions SwSnapOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.accept_cap = 8;
+  opts.expected_stream_length = 1 << 14;
+  return opts;
+}
+
+TEST(SwSnapshotTest, RoundTripPreservesLevels) {
+  auto original = RobustL0SamplerSW::Create(SwSnapOptions(41), 64).value();
+  for (int i = 0; i < 500; ++i) {
+    original.Insert(Point{10.0 * (i % 150)}, i);
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSamplerSW(original, &blob).ok());
+  auto restored_result = RestoreSamplerSW(blob);
+  ASSERT_TRUE(restored_result.ok()) << restored_result.status().ToString();
+  RobustL0SamplerSW restored = std::move(restored_result).value();
+
+  EXPECT_EQ(restored.points_processed(), original.points_processed());
+  EXPECT_EQ(restored.latest_stamp(), original.latest_stamp());
+  ASSERT_EQ(restored.num_levels(), original.num_levels());
+  for (size_t l = 0; l < original.num_levels(); ++l) {
+    EXPECT_EQ(restored.level(l).accept_size(),
+              original.level(l).accept_size())
+        << "level " << l;
+    EXPECT_EQ(restored.level(l).group_count(),
+              original.level(l).group_count())
+        << "level " << l;
+  }
+  EXPECT_EQ(restored.SpaceWords(), original.SpaceWords());
+}
+
+TEST(SwSnapshotTest, RestoredSamplerContinuesTheStream) {
+  auto uninterrupted =
+      RobustL0SamplerSW::Create(SwSnapOptions(43), 32).value();
+  auto first_half = RobustL0SamplerSW::Create(SwSnapOptions(43), 32).value();
+  for (int i = 0; i < 200; ++i) {
+    uninterrupted.Insert(Point{10.0 * (i % 80)}, i);
+    first_half.Insert(Point{10.0 * (i % 80)}, i);
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSamplerSW(first_half, &blob).ok());
+  auto resumed = RestoreSamplerSW(blob).value();
+  for (int i = 200; i < 400; ++i) {
+    uninterrupted.Insert(Point{10.0 * (i % 80)}, i);
+    resumed.Insert(Point{10.0 * (i % 80)}, i);
+  }
+  for (size_t l = 0; l < uninterrupted.num_levels(); ++l) {
+    EXPECT_EQ(resumed.level(l).accept_size(),
+              uninterrupted.level(l).accept_size())
+        << "level " << l;
+    EXPECT_EQ(resumed.level(l).group_count(),
+              uninterrupted.level(l).group_count())
+        << "level " << l;
+  }
+  // Both must keep yielding valid window samples.
+  Xoshiro256pp rng(45);
+  const auto sample = resumed.Sample(399, &rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_GT(static_cast<int64_t>(sample->stream_index), 399 - 32);
+}
+
+TEST(SwSnapshotTest, ReservoirModeRoundTrips) {
+  SamplerOptions opts = SwSnapOptions(47);
+  opts.random_representative = true;
+  auto original = RobustL0SamplerSW::Create(opts, 16).value();
+  for (int i = 0; i < 100; ++i) {
+    original.Insert(Point{0.05 * (i % 5)}, i);  // one group, many members
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSamplerSW(original, &blob).ok());
+  auto restored = RestoreSamplerSW(blob).value();
+  Xoshiro256pp rng(49);
+  const auto sample = restored.Sample(99, &rng);
+  ASSERT_TRUE(sample.has_value());
+  // Reservoir sample must be an in-window member of the group.
+  EXPECT_GT(static_cast<int64_t>(sample->stream_index), 99 - 16);
+}
+
+TEST(SwSnapshotTest, RejectsCrossTypeAndGarbage) {
+  // An IW snapshot must not restore as a SW sampler and vice versa.
+  auto iw = RobustL0SamplerIW::Create(SnapOptions(51)).value();
+  iw.Insert(Point{0.0, 0.0, 0.0});
+  std::string iw_blob;
+  ASSERT_TRUE(SnapshotSampler(iw, &iw_blob).ok());
+  EXPECT_FALSE(RestoreSamplerSW(iw_blob).ok());
+
+  auto sw = RobustL0SamplerSW::Create(SwSnapOptions(53), 8).value();
+  sw.Insert(Point{0.0}, 0);
+  std::string sw_blob;
+  ASSERT_TRUE(SnapshotSamplerSW(sw, &sw_blob).ok());
+  EXPECT_FALSE(RestoreSampler(sw_blob).ok());
+  EXPECT_FALSE(RestoreSamplerSW("garbage").ok());
+}
+
+TEST(SwSnapshotTest, RejectsTruncationsAndMutations) {
+  auto sw = RobustL0SamplerSW::Create(SwSnapOptions(55), 16).value();
+  for (int i = 0; i < 50; ++i) sw.Insert(Point{10.0 * i}, i);
+  std::string blob;
+  ASSERT_TRUE(SnapshotSamplerSW(sw, &blob).ok());
+  EXPECT_FALSE(RestoreSamplerSW(blob.substr(0, blob.size() / 2)).ok());
+  std::string mutated = blob;
+  mutated[blob.size() / 3] ^= 0x5A;
+  EXPECT_FALSE(RestoreSamplerSW(mutated).ok());
+}
+
+}  // namespace
+}  // namespace rl0

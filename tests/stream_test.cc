@@ -1,0 +1,278 @@
+// Tests for the stream substrate: base dataset generators, the Section 6.1
+// near-duplicate transformations, representative extraction, and the
+// window stream helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rl0/baseline/exact_partition.h"
+#include "rl0/stream/dataset.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+#include "rl0/stream/window_stream.h"
+
+namespace rl0 {
+namespace {
+
+TEST(GeneratorsTest, RandomUniformShapeAndRange) {
+  const BaseDataset data = RandomUniform(100, 7, 42);
+  EXPECT_EQ(data.points.size(), 100u);
+  EXPECT_EQ(data.dim, 7u);
+  for (const Point& p : data.points) {
+    ASSERT_EQ(p.dim(), 7u);
+    for (size_t j = 0; j < 7; ++j) {
+      EXPECT_GE(p[j], 0.0);
+      EXPECT_LT(p[j], 1.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, PaperDatasetShapes) {
+  EXPECT_EQ(Rand5().points.size(), 500u);
+  EXPECT_EQ(Rand5().dim, 5u);
+  EXPECT_EQ(Rand20().points.size(), 500u);
+  EXPECT_EQ(Rand20().dim, 20u);
+  EXPECT_EQ(YachtLike().points.size(), 308u);
+  EXPECT_EQ(YachtLike().dim, 7u);
+  EXPECT_EQ(SeedsLike().points.size(), 210u);
+  EXPECT_EQ(SeedsLike().dim, 8u);
+}
+
+TEST(GeneratorsTest, DeterministicPerSeed) {
+  const BaseDataset a = Rand5(9), b = Rand5(9), c = Rand5(10);
+  EXPECT_EQ(a.points[0], b.points[0]);
+  EXPECT_FALSE(a.points[0] == c.points[0]);
+}
+
+TEST(GeneratorsTest, BasePointsAreDistinct) {
+  for (const BaseDataset& data :
+       {Rand5(), Rand20(), YachtLike(), SeedsLike()}) {
+    EXPECT_GT(MinPairwiseDistance(data.points), 0.0) << data.name;
+  }
+}
+
+TEST(GeneratorsTest, SeparatedCentersRespectBeta) {
+  const BaseDataset data = SeparatedCenters(60, 3, 5.0, 11);
+  EXPECT_EQ(data.points.size(), 60u);
+  EXPECT_GT(MinPairwiseDistance(data.points), 5.0);
+}
+
+TEST(GeneratorsTest, OverlappingChainsViolateWellSeparation) {
+  const BaseDataset data = OverlappingChains(64, 2, 1.0, 12);
+  EXPECT_EQ(data.points.size(), 64u);
+  // Sparse with alpha=1, beta=2 would mean no pair in (1, 2]; chains space
+  // consecutive points ~1.4 apart, so sparsity must fail.
+  EXPECT_FALSE(IsSparse(data.points, 1.0, 2.0));
+}
+
+TEST(RescaleTest, UnitMinDistance) {
+  std::vector<Point> pts{Point{0.0, 0.0}, Point{0.0, 0.25}, Point{2.0, 0.0}};
+  const double scale = RescaleToUnitMinDistance(&pts);
+  EXPECT_DOUBLE_EQ(scale, 4.0);
+  EXPECT_NEAR(MinPairwiseDistance(pts), 1.0, 1e-12);
+}
+
+class NearDupTransformTest
+    : public ::testing::TestWithParam<DupDistribution> {};
+
+TEST_P(NearDupTransformTest, LabelsAndGeometryConsistent) {
+  const BaseDataset base = RandomUniform(80, 4, 21);
+  NearDupOptions opts;
+  opts.distribution = GetParam();
+  opts.max_dups = 20;
+  opts.seed = 31;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  ASSERT_TRUE(noisy.Validate().ok());
+  EXPECT_EQ(noisy.num_groups, 80u);
+  EXPECT_GE(noisy.points.size(), 2 * 80u);  // every point gets ≥1 duplicate
+
+  // Geometry: α = d^{-1.5}; every point is within α/2 of its group center
+  // (center itself included), so intra-group distances are < α and
+  // inter-group distances are > β.
+  const double d15 = std::pow(4.0, 1.5);
+  EXPECT_NEAR(noisy.alpha, 1.0 / d15, 1e-12);
+  EXPECT_NEAR(noisy.beta, 1.0 - 1.0 / d15, 1e-12);
+  // Spot-check sparsity on a subsample (full check is quadratic).
+  for (size_t i = 0; i < noisy.points.size(); i += 7) {
+    for (size_t j = i + 1; j < noisy.points.size(); j += 13) {
+      const double dist = Distance(noisy.points[i], noisy.points[j]);
+      if (noisy.group_of[i] == noisy.group_of[j]) {
+        EXPECT_LT(dist, noisy.alpha);
+      } else {
+        EXPECT_GT(dist, noisy.beta);
+      }
+    }
+  }
+}
+
+TEST_P(NearDupTransformTest, EveryGroupRepresented) {
+  const BaseDataset base = RandomUniform(50, 3, 22);
+  NearDupOptions opts;
+  opts.distribution = GetParam();
+  opts.seed = 23;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  std::set<uint32_t> groups(noisy.group_of.begin(), noisy.group_of.end());
+  EXPECT_EQ(groups.size(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothDistributions, NearDupTransformTest,
+                         ::testing::Values(DupDistribution::kUniform,
+                                           DupDistribution::kPowerLaw),
+                         [](const auto& info) {
+                           return info.param == DupDistribution::kUniform
+                                      ? "Uniform"
+                                      : "PowerLaw";
+                         });
+
+TEST(NearDupTest, UniformDupCountsWithinRange) {
+  const BaseDataset base = RandomUniform(60, 2, 24);
+  NearDupOptions opts;
+  opts.max_dups = 10;
+  opts.seed = 25;
+  opts.shuffle = false;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  std::vector<int> counts(60, 0);
+  for (uint32_t g : noisy.group_of) ++counts[g];
+  for (int c : counts) {
+    EXPECT_GE(c, 2);       // original + at least 1 duplicate
+    EXPECT_LE(c, 11);      // original + at most max_dups
+  }
+}
+
+TEST(NearDupTest, PowerLawTotalMatchesHarmonicSum) {
+  const size_t n = 100;
+  const BaseDataset base = RandomUniform(n, 2, 26);
+  NearDupOptions opts;
+  opts.distribution = DupDistribution::kPowerLaw;
+  opts.seed = 27;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  size_t expected = n;  // originals
+  for (size_t rank = 1; rank <= n; ++rank) {
+    expected += static_cast<size_t>(
+        std::ceil(static_cast<double>(n) / static_cast<double>(rank)));
+  }
+  EXPECT_EQ(noisy.points.size(), expected);
+}
+
+TEST(NearDupTest, PowerLawHasHeavyAndLightGroups) {
+  const size_t n = 100;
+  const BaseDataset base = RandomUniform(n, 2, 28);
+  NearDupOptions opts;
+  opts.distribution = DupDistribution::kPowerLaw;
+  opts.seed = 29;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  std::vector<int> counts(n, 0);
+  for (uint32_t g : noisy.group_of) ++counts[g];
+  EXPECT_EQ(*std::max_element(counts.begin(), counts.end()), 101);
+  EXPECT_EQ(*std::min_element(counts.begin(), counts.end()), 2);
+}
+
+TEST(NearDupTest, ShuffleKeepsMultisetOfLabels) {
+  const BaseDataset base = RandomUniform(40, 2, 30);
+  NearDupOptions with;
+  with.seed = 31;
+  NearDupOptions without = with;
+  without.shuffle = false;
+  const NoisyDataset a = MakeNearDuplicates(base, with);
+  const NoisyDataset b = MakeNearDuplicates(base, without);
+  EXPECT_EQ(a.points.size(), b.points.size());
+  std::vector<uint32_t> la = a.group_of, lb = b.group_of;
+  std::sort(la.begin(), la.end());
+  std::sort(lb.begin(), lb.end());
+  EXPECT_EQ(la, lb);
+  EXPECT_NE(a.group_of, b.group_of);  // order actually changed
+}
+
+TEST(NearDupTest, NoShuffleEmitsGroupsInOrder) {
+  const BaseDataset base = RandomUniform(10, 2, 32);
+  NearDupOptions opts;
+  opts.shuffle = false;
+  opts.seed = 33;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  EXPECT_TRUE(std::is_sorted(noisy.group_of.begin(), noisy.group_of.end()));
+}
+
+TEST(DatasetTest, ValidateCatchesCorruption) {
+  const BaseDataset base = RandomUniform(10, 2, 34);
+  NearDupOptions opts;
+  opts.seed = 35;
+  NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  EXPECT_TRUE(noisy.Validate().ok());
+  NoisyDataset bad_label = noisy;
+  bad_label.group_of[0] = 1000;
+  EXPECT_FALSE(bad_label.Validate().ok());
+  NoisyDataset bad_sizes = noisy;
+  bad_sizes.group_of.pop_back();
+  EXPECT_FALSE(bad_sizes.Validate().ok());
+  NoisyDataset bad_alpha = noisy;
+  bad_alpha.alpha = 0.0;
+  EXPECT_FALSE(bad_alpha.Validate().ok());
+}
+
+TEST(RepresentativeStreamTest, FirstPerGroupInOrder) {
+  const BaseDataset base = RandomUniform(30, 2, 36);
+  NearDupOptions opts;
+  opts.seed = 37;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  const RepresentativeStream reps = ExtractRepresentatives(noisy);
+  EXPECT_EQ(reps.points.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(reps.stream_index.begin(),
+                             reps.stream_index.end()));
+  // Each listed index is the first occurrence of its group.
+  for (size_t r = 0; r < reps.points.size(); ++r) {
+    const uint32_t g = reps.group_of[r];
+    for (size_t i = 0; i < reps.stream_index[r]; ++i) {
+      EXPECT_NE(noisy.group_of[i], g);
+    }
+    EXPECT_EQ(noisy.group_of[reps.stream_index[r]], g);
+  }
+}
+
+TEST(WindowStreamTest, SequenceStampsAreIndices) {
+  const BaseDataset base = RandomUniform(10, 2, 38);
+  NearDupOptions opts;
+  opts.seed = 39;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  const auto stream = SequenceStamped(noisy);
+  ASSERT_EQ(stream.size(), noisy.points.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].stamp, static_cast<int64_t>(i));
+    EXPECT_EQ(stream[i].stream_index, i);
+    EXPECT_EQ(stream[i].group, noisy.group_of[i]);
+  }
+}
+
+TEST(WindowStreamTest, TimeStampsNonDecreasingWithBoundedGaps) {
+  const BaseDataset base = RandomUniform(10, 2, 40);
+  NearDupOptions opts;
+  opts.seed = 41;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  const auto stream = TimeStamped(noisy, 5, 42);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    const int64_t gap = stream[i].stamp - stream[i - 1].stamp;
+    EXPECT_GE(gap, 1);
+    EXPECT_LE(gap, 5);
+  }
+}
+
+TEST(WindowStreamTest, GroupsInWindowGroundTruth) {
+  NoisyDataset tiny;
+  tiny.dim = 1;
+  tiny.alpha = 0.5;
+  tiny.num_groups = 3;
+  tiny.points = {Point{0.0}, Point{10.0}, Point{20.0}, Point{0.1}};
+  tiny.group_of = {0, 1, 2, 0};
+  const auto stream = SequenceStamped(tiny);
+  // Window of width 2 at now=3 covers stamps {2, 3}: groups 2 and 0.
+  const auto groups = GroupsInWindow(stream, 3, 2, 3);
+  EXPECT_EQ(groups, (std::vector<uint32_t>{0, 2}));
+  // Window of width 4 at now=3 covers all stamps 0..3.
+  const auto all = GroupsInWindow(stream, 3, 4, 3);
+  EXPECT_EQ(all, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,314 @@
+// Tests for SwFixedRateSampler (paper Algorithm 2): representative-point
+// semantics over sliding windows (Observation 1 / Figure 2), expiry,
+// fixed-rate sampling, and the Split/Merge support used by Algorithm 3.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rl0/core/sw_fixed_sampler.h"
+
+namespace rl0 {
+namespace {
+
+SamplerOptions BaseOptions(size_t dim, double alpha, uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = dim;
+  opts.alpha = alpha;
+  opts.seed = seed;
+  opts.expected_stream_length = 1 << 16;
+  return opts;
+}
+
+TEST(SwFixedTest, CreateStandaloneValidates) {
+  SamplerOptions bad;
+  EXPECT_FALSE(SwFixedRateSampler::CreateStandalone(bad, 0, 10).ok());
+  EXPECT_FALSE(
+      SwFixedRateSampler::CreateStandalone(BaseOptions(2, 1.0, 1), 0, 0)
+          .ok());
+  EXPECT_FALSE(
+      SwFixedRateSampler::CreateStandalone(BaseOptions(2, 1.0, 1), 63, 10)
+          .ok());
+  EXPECT_TRUE(
+      SwFixedRateSampler::CreateStandalone(BaseOptions(2, 1.0, 1), 3, 10)
+          .ok());
+}
+
+TEST(SwFixedTest, LevelZeroAcceptsEveryGroup) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 2), 0, 100)
+          .value();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(sampler->Insert(Point{10.0 * i}, i));
+  }
+  EXPECT_EQ(sampler->accept_size(), 10u);
+  EXPECT_EQ(sampler->reject_size(), 0u);
+}
+
+TEST(SwFixedTest, SameGroupUpdatesLatestNotCount) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 3), 0, 100)
+          .value();
+  EXPECT_TRUE(sampler->Insert(Point{0.0}, 0));
+  EXPECT_TRUE(sampler->Insert(Point{0.5}, 1));
+  EXPECT_TRUE(sampler->Insert(Point{-0.3}, 2));
+  EXPECT_EQ(sampler->group_count(), 1u);
+  std::vector<GroupRecord> groups;
+  sampler->SnapshotGroups(&groups);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].rep, Point({0.0}));        // representative unchanged
+  EXPECT_EQ(groups[0].latest, Point({-0.3}));    // latest point updated
+  EXPECT_EQ(groups[0].latest_stamp, 2);
+}
+
+TEST(SwFixedTest, ExpiryDropsDeadGroups) {
+  // Window 5: a group whose latest point has stamp ≤ now-5 disappears.
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 4), 0, 5)
+          .value();
+  sampler->Insert(Point{0.0}, 0);
+  sampler->Insert(Point{100.0}, 3);
+  EXPECT_EQ(sampler->group_count(), 2u);
+  sampler->Expire(5);  // horizon 0: group at stamp 0 dies
+  EXPECT_EQ(sampler->group_count(), 1u);
+  sampler->Expire(8);  // horizon 3: group at stamp 3 dies
+  EXPECT_EQ(sampler->group_count(), 0u);
+  EXPECT_EQ(sampler->accept_size(), 0u);
+}
+
+TEST(SwFixedTest, FreshPointsKeepGroupAlive) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 5), 0, 5)
+          .value();
+  // Same group refreshed every 3 stamps: never expires.
+  for (int t = 0; t <= 30; t += 3) {
+    sampler->Insert(Point{0.1 * (t % 5)}, t);
+    EXPECT_EQ(sampler->group_count(), 1u) << "t=" << t;
+  }
+}
+
+TEST(SwFixedTest, RepresentativeSemanticsFigure2) {
+  // Figure 2 of the paper: the representative of a group in the current
+  // window is the latest point p such that the window right before p
+  // (inclusive) has no other group point. Window 5, group points at
+  // stamps 0, 3, 9:
+  //  - at stamp 3 the representative is still the point from stamp 0;
+  //  - by stamp 9 the stamp-3 point has expired (9-5=4 ≥ 3), so the
+  //    stamp-9 point becomes the new representative.
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 6), 0, 5)
+          .value();
+  sampler->Insert(Point{0.0}, 0);
+  sampler->Insert(Point{0.2}, 3);
+  std::vector<GroupRecord> groups;
+  sampler->SnapshotGroups(&groups);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].rep, Point({0.0}));
+  sampler->Insert(Point{0.4}, 9);
+  groups.clear();
+  sampler->SnapshotGroups(&groups);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].rep, Point({0.4}));
+  EXPECT_EQ(groups[0].latest, Point({0.4}));
+}
+
+TEST(SwFixedTest, InsertReportsRecordedOnlyForCandidates) {
+  // At a high level (tiny sample rate), most new groups are not recorded.
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 7), 10, 1000)
+          .value();
+  int recorded = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    recorded += sampler->Insert(Point{10.0 * i}, i);
+  }
+  // Rate 2^-10 per cell; with the 1-d side=α/2 grid a group touches ≤ 4
+  // candidate cells, so recorded counts stay far below n.
+  EXPECT_LT(recorded, n / 4);
+  EXPECT_EQ(static_cast<size_t>(recorded), sampler->group_count());
+}
+
+TEST(SwFixedTest, AcceptProbabilityMatchesRate) {
+  // Observation 1(2): each window group enters Sacc with probability 1/R.
+  const uint32_t level = 2;  // R = 4
+  const int n_groups = 400;
+  int accepted_total = 0;
+  const int seeds = 60;
+  for (int seed = 0; seed < seeds; ++seed) {
+    auto sampler = SwFixedRateSampler::CreateStandalone(
+                       BaseOptions(1, 1.0, 100 + seed), level, 1 << 20)
+                       .value();
+    for (int i = 0; i < n_groups; ++i) {
+      sampler->Insert(Point{10.0 * i}, i);
+    }
+    accepted_total += static_cast<int>(sampler->accept_size());
+  }
+  const double rate = static_cast<double>(accepted_total) /
+                      static_cast<double>(n_groups * seeds);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(SwFixedTest, SampleReturnsLatestPointOfAcceptedGroup) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 8), 0, 100)
+          .value();
+  sampler->Insert(Point{0.0}, 0);
+  sampler->Insert(Point{0.4}, 7);  // same group, newer
+  Xoshiro256pp rng(9);
+  const auto sample = sampler->Sample(8, &rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->point, Point({0.4}));
+}
+
+TEST(SwFixedTest, SampleEmptyWindowIsNullopt) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 10), 0, 5)
+          .value();
+  sampler->Insert(Point{0.0}, 0);
+  Xoshiro256pp rng(11);
+  EXPECT_TRUE(sampler->Sample(3, &rng).has_value());
+  EXPECT_FALSE(sampler->Sample(50, &rng).has_value());
+}
+
+TEST(SwFixedTest, ResetClearsEverything) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 12), 0, 100)
+          .value();
+  for (int i = 0; i < 5; ++i) sampler->Insert(Point{10.0 * i}, i);
+  EXPECT_GT(sampler->group_count(), 0u);
+  sampler->Reset();
+  EXPECT_EQ(sampler->group_count(), 0u);
+  EXPECT_EQ(sampler->accept_size(), 0u);
+  EXPECT_EQ(sampler->SpaceWords(), 4u);  // scalars only
+}
+
+TEST(SwFixedTest, SplitPromoteRespectsDefinition22) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 13), 0, 1 << 20)
+          .value();
+  const int n = 200;
+  for (int i = 0; i < n; ++i) sampler->Insert(Point{10.0 * i}, i);
+  ASSERT_EQ(sampler->accept_size(), static_cast<size_t>(n));
+
+  std::vector<GroupRecord> promoted;
+  ASSERT_TRUE(sampler->SplitPromote(&promoted));
+  ASSERT_FALSE(promoted.empty());
+
+  const SamplerContext& ctx = sampler->context();
+  // t = max rep_index among promoted accepted groups; all kept groups come
+  // strictly after t.
+  uint64_t t = 0;
+  for (const GroupRecord& g : promoted) {
+    if (g.accepted) t = std::max(t, g.rep_index);
+  }
+  std::vector<GroupRecord> kept;
+  sampler->SnapshotGroups(&kept);
+  for (const GroupRecord& g : kept) {
+    EXPECT_GT(g.rep_index, t);
+  }
+  // Promoted groups satisfy Definition 2.2 at level 1.
+  std::vector<uint64_t> adj;
+  for (const GroupRecord& g : promoted) {
+    const bool own_sampled = ctx.hasher.SampledAtLevel(g.rep_cell, 1);
+    EXPECT_EQ(g.accepted, own_sampled);
+    if (!own_sampled) {
+      ctx.grid.AdjacentCells(g.rep, ctx.options.alpha, &adj);
+      bool near = false;
+      for (uint64_t key : adj) near = near || ctx.hasher.SampledAtLevel(key, 1);
+      EXPECT_TRUE(near);
+    }
+  }
+  // Promotion must drop roughly half the accepted groups (rate halves),
+  // so the promoted accepted count is well below t+1 groups.
+  size_t promoted_accepted = 0;
+  for (const GroupRecord& g : promoted) promoted_accepted += g.accepted;
+  EXPECT_LT(promoted_accepted, static_cast<size_t>(t) + 1);
+  EXPECT_GT(promoted_accepted, 0u);
+}
+
+TEST(SwFixedTest, SplitPromoteFailsWhenNothingSampledAtNextLevel) {
+  // A single group: if its cell is not sampled at level+1, there is no
+  // promotable representative and SplitPromote must report failure.
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    auto sampler = SwFixedRateSampler::CreateStandalone(
+                       BaseOptions(1, 1.0, seed), 0, 1 << 20)
+                       .value();
+    sampler->Insert(Point{0.0}, 0);
+    const SamplerContext& ctx = sampler->context();
+    std::vector<GroupRecord> groups;
+    sampler->SnapshotGroups(&groups);
+    ASSERT_EQ(groups.size(), 1u);
+    const bool promotable = ctx.hasher.SampledAtLevel(groups[0].rep_cell, 1);
+    std::vector<GroupRecord> promoted;
+    EXPECT_EQ(sampler->SplitPromote(&promoted), promotable);
+    if (!promotable) {
+      EXPECT_TRUE(promoted.empty());
+      EXPECT_EQ(sampler->group_count(), 1u);  // untouched
+    }
+  }
+}
+
+TEST(SwFixedTest, MergeFromCombinesCounts) {
+  SamplerOptions opts = BaseOptions(1, 1.0, 14);
+  auto a = SwFixedRateSampler::CreateStandalone(opts, 0, 1000).value();
+  for (int i = 0; i < 6; ++i) a->Insert(Point{10.0 * i}, i);
+  std::vector<GroupRecord> donated;
+  a->SnapshotGroups(&donated);
+  const size_t donated_accept =
+      static_cast<size_t>(std::count_if(donated.begin(), donated.end(),
+                                        [](const GroupRecord& g) {
+                                          return g.accepted;
+                                        }));
+
+  auto b = SwFixedRateSampler::CreateStandalone(opts, 0, 1000).value();
+  for (int i = 0; i < 4; ++i) b->Insert(Point{1000.0 + 10.0 * i}, 10 + i);
+  const size_t b_groups = b->group_count();
+  const size_t b_accept = b->accept_size();
+
+  // Give each donated record a unique id range to avoid collisions with
+  // b's ids (the hierarchy uses a shared counter for this purpose).
+  for (size_t i = 0; i < donated.size(); ++i) donated[i].id = 10000 + i;
+  b->MergeFrom(std::move(donated));
+  EXPECT_EQ(b->group_count(), b_groups + 6);
+  EXPECT_EQ(b->accept_size(), b_accept + donated_accept);
+
+  // Expiry still works across merged groups (window 1000, stamps ≤ 13:
+  // everything is dead by now = 2000).
+  b->Expire(2000);
+  EXPECT_EQ(b->group_count(), 0u);
+}
+
+TEST(SwFixedTest, SpaceWordsTracksGroups) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(3, 1.0, 15), 0, 100)
+          .value();
+  const size_t empty = sampler->SpaceWords();
+  sampler->Insert(Point{0.0, 0.0, 0.0}, 0);
+  const size_t one = sampler->SpaceWords();
+  sampler->Insert(Point{50.0, 0.0, 0.0}, 1);
+  const size_t two = sampler->SpaceWords();
+  EXPECT_GT(one, empty);
+  EXPECT_EQ(two - one, one - empty);  // linear in group count
+}
+
+TEST(SwFixedTest, TimeBasedStampsWithGaps) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1, 1.0, 16), 0, 10)
+          .value();
+  sampler->Insert(Point{0.0}, 100);
+  sampler->Insert(Point{50.0}, 105);
+  EXPECT_EQ(sampler->group_count(), 2u);
+  sampler->Insert(Point{90.0}, 112);  // horizon 102: first group dies
+  EXPECT_EQ(sampler->group_count(), 2u);
+  std::vector<GroupRecord> groups;
+  sampler->SnapshotGroups(&groups);
+  for (const GroupRecord& g : groups) {
+    EXPECT_NE(g.rep, Point({0.0}));
+  }
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,142 @@
+// Structural invariants of the Algorithm 2/3 bookkeeping that the other
+// suites exercise only implicitly: the key-value store A holds exactly one
+// pair per candidate group with its value inside the window, subwindow
+// Fact 3 (each non-empty level ends with an accepted latest point... as
+// maintained by the split rule), and the split threshold restoration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "rl0/core/sw_fixed_sampler.h"
+#include "rl0/core/sw_sampler.h"
+
+namespace rl0 {
+namespace {
+
+SamplerOptions BaseOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.expected_stream_length = 1 << 16;
+  return opts;
+}
+
+TEST(SwInvariantsTest, OnePairPerGroupValuesInWindow) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(1), 0, 20).value();
+  Xoshiro256pp rng(2);
+  for (int t = 0; t < 400; ++t) {
+    // 30 groups revisited with jitter.
+    const int g = static_cast<int>(rng.NextBounded(30));
+    sampler->Insert(Point{10.0 * g + 0.3 * (rng.NextDouble() - 0.5)}, t);
+
+    std::vector<GroupRecord> groups;
+    sampler->SnapshotGroups(&groups);
+    // (a) all latest stamps inside the window (t-20, t];
+    // (b) representatives pairwise > alpha apart (one pair per group);
+    // (c) latest point within alpha of its representative.
+    for (size_t i = 0; i < groups.size(); ++i) {
+      ASSERT_GT(groups[i].latest_stamp, t - 20);
+      ASSERT_LE(groups[i].latest_stamp, t);
+      ASSERT_LE(Distance(groups[i].rep, groups[i].latest), 1.0 + 1e-12);
+      for (size_t j = i + 1; j < groups.size(); ++j) {
+        ASSERT_GT(Distance(groups[i].rep, groups[j].rep), 1.0);
+      }
+    }
+  }
+}
+
+TEST(SwInvariantsTest, RepIndexNeverAfterLatestIndex) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(3), 1, 50).value();
+  Xoshiro256pp rng(4);
+  for (int t = 0; t < 500; ++t) {
+    const int g = static_cast<int>(rng.NextBounded(40));
+    PreparedPoint prep;
+    Point p{10.0 * g + 0.2 * (rng.NextDouble() - 0.5)};
+    std::vector<uint64_t> adj;
+    sampler->context().grid.AdjacentCells(p, 1.0, &adj);
+    prep.point = &p;
+    prep.stamp = t;
+    prep.stream_index = static_cast<uint64_t>(t);
+    prep.cell_key = sampler->context().grid.CellKeyOf(p);
+    prep.adj_keys = &adj;
+    sampler->InsertPrepared(prep);
+
+    std::vector<GroupRecord> groups;
+    sampler->SnapshotGroups(&groups);
+    for (const GroupRecord& g2 : groups) {
+      ASSERT_LE(g2.rep_index, g2.latest_index);
+    }
+  }
+}
+
+TEST(SwInvariantsTest, HierarchyGroupsPartitionAcrossLevels) {
+  // A group representative tracked as *accepted* must appear at exactly
+  // one level (rejected bookkeeping entries may shadow it above).
+  SamplerOptions opts = BaseOptions(5);
+  opts.accept_cap = 8;
+  auto sampler = RobustL0SamplerSW::Create(opts, 128).value();
+  Xoshiro256pp rng(6);
+  for (int t = 0; t < 1500; ++t) {
+    const int g = static_cast<int>(rng.NextBounded(300));
+    sampler.Insert(Point{10.0 * g + 0.2 * (rng.NextDouble() - 0.5)}, t);
+    if (t % 100 != 99) continue;
+    std::set<int> accepted_groups;
+    for (size_t l = 0; l < sampler.num_levels(); ++l) {
+      std::vector<GroupRecord> groups;
+      sampler.level(l).SnapshotGroups(&groups);
+      for (const GroupRecord& record : groups) {
+        if (!record.accepted) continue;
+        const int group = static_cast<int>(record.rep[0] / 10.0 + 0.5);
+        ASSERT_TRUE(accepted_groups.insert(group).second)
+            << "group " << group << " accepted at two levels, t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SwInvariantsTest, SplitRestoresCapAtThisLevel) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(7), 0, 1 << 20)
+          .value();
+  for (int i = 0; i < 100; ++i) sampler->Insert(Point{10.0 * i}, i);
+  const size_t before = sampler->accept_size();
+  std::vector<GroupRecord> promoted;
+  ASSERT_TRUE(sampler->SplitPromote(&promoted));
+  // Accounting: every previously accepted group is now kept, promoted as
+  // accepted, or was demoted/dropped by the rate halving.
+  size_t promoted_accepted = 0;
+  for (const GroupRecord& g : promoted) promoted_accepted += g.accepted;
+  EXPECT_LT(sampler->accept_size(), before);
+  EXPECT_GT(promoted_accepted, 0u);
+  EXPECT_LE(sampler->accept_size() + promoted_accepted, before);
+  // The kept suffix is all unsampled at the next level (that is what
+  // makes the split threshold effective).
+  std::vector<GroupRecord> kept;
+  sampler->SnapshotGroups(&kept);
+  for (const GroupRecord& g : kept) {
+    if (g.accepted) {
+      EXPECT_FALSE(sampler->context().hasher.SampledAtLevel(g.rep_cell, 1));
+    }
+  }
+}
+
+TEST(SwInvariantsTest, ExpireIsIdempotent) {
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(9), 0, 10).value();
+  for (int t = 0; t < 30; ++t) sampler->Insert(Point{10.0 * t}, t);
+  sampler->Expire(35);
+  const size_t after_first = sampler->group_count();
+  sampler->Expire(35);
+  EXPECT_EQ(sampler->group_count(), after_first);
+  sampler->Expire(30);  // earlier horizon: no effect either
+  EXPECT_EQ(sampler->group_count(), after_first);
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,257 @@
+// Unit tests for rl0/util: Status/Result, RNG, bits, space accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rl0/util/bits.h"
+#include "rl0/util/rng.h"
+#include "rl0/util/space.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad alpha").message(), "bad alpha");
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  const std::string s = Status::InvalidArgument("alpha").ToString();
+  EXPECT_NE(s.find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::string> r(std::string("ab"));
+  r.value() += "c";
+  EXPECT_EQ(r.value(), "abc");
+}
+
+// ------------------------------------------------------------------- RNG
+
+TEST(SplitMix64Test, DeterministicAndAvalanching) {
+  EXPECT_EQ(SplitMix64(123), SplitMix64(123));
+  EXPECT_NE(SplitMix64(123), SplitMix64(124));
+  // Flipping one input bit flips roughly half the output bits.
+  int flipped = __builtin_popcountll(SplitMix64(0) ^ SplitMix64(1));
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(SplitMix64SequenceTest, MatchesRepeatedCalls) {
+  SplitMix64Sequence a(9), b(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256ppTest, DeterministicPerSeed) {
+  Xoshiro256pp a(7), b(7), c(8);
+  EXPECT_EQ(a(), b());
+  Xoshiro256pp a2(7);
+  a2();
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Xoshiro256ppTest, NextDoubleInUnitInterval) {
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256ppTest, NextBoundedStaysInRangeAndCoversAll) {
+  Xoshiro256pp rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256ppTest, NextBoundedOneAlwaysZero) {
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Xoshiro256ppTest, BernoulliEdgeCases) {
+  Xoshiro256pp rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro256ppTest, BernoulliFrequencyMatchesP) {
+  Xoshiro256pp rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256ppTest, BoundedIsApproximatelyUniform) {
+  Xoshiro256pp rng(6);
+  const uint64_t buckets = 10;
+  const int n = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(buckets)];
+  for (uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], n / static_cast<int>(buckets), 500);
+  }
+}
+
+TEST(Xoshiro256ppTest, GaussianMomentsRoughlyStandard) {
+  Xoshiro256pp rng(7);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+// ------------------------------------------------------------------ bits
+
+TEST(BitsTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+  EXPECT_EQ(CeilLog2(uint64_t{1} << 62), 62u);
+}
+
+TEST(BitsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+}
+
+TEST(BitsTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_FALSE(IsPow2(65));
+}
+
+// ----------------------------------------------------------------- space
+
+TEST(SpaceMeterTest, TracksCurrentAndPeak) {
+  SpaceMeter m;
+  EXPECT_EQ(m.current(), 0u);
+  m.Add(10);
+  m.Add(5);
+  EXPECT_EQ(m.current(), 15u);
+  EXPECT_EQ(m.peak(), 15u);
+  m.Remove(12);
+  EXPECT_EQ(m.current(), 3u);
+  EXPECT_EQ(m.peak(), 15u);
+  m.Add(1);
+  EXPECT_EQ(m.peak(), 15u);
+}
+
+TEST(SpaceMeterTest, SetUpdatesPeak) {
+  SpaceMeter m;
+  m.Set(7);
+  EXPECT_EQ(m.current(), 7u);
+  EXPECT_EQ(m.peak(), 7u);
+  m.Set(3);
+  EXPECT_EQ(m.current(), 3u);
+  EXPECT_EQ(m.peak(), 7u);
+  m.ResetPeak();
+  EXPECT_EQ(m.peak(), 3u);
+}
+
+TEST(SpaceModelTest, PointWordsIncludesHeader) {
+  EXPECT_EQ(PointWords(5), 5 + kPointHeaderWords);
+  EXPECT_EQ(PointWords(0), kPointHeaderWords);
+}
+
+}  // namespace
+}  // namespace rl0

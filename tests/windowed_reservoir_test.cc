@@ -1,0 +1,203 @@
+// Tests for WindowedReservoir (sliding-window uniform sampling, the
+// Section 2.3 reservoir replacement) and for the random-representative
+// mode of the sliding-window samplers built on it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rl0/core/sw_fixed_sampler.h"
+#include "rl0/core/sw_sampler.h"
+#include "rl0/core/windowed_reservoir.h"
+#include "rl0/metrics/distribution.h"
+
+namespace rl0 {
+namespace {
+
+TEST(WindowedReservoirTest, EmptyIsNullopt) {
+  WindowedReservoir res(10, 1);
+  EXPECT_FALSE(res.Sample(0).has_value());
+  EXPECT_EQ(res.size(), 0u);
+}
+
+TEST(WindowedReservoirTest, SingleItemIsReturned) {
+  WindowedReservoir res(10, 2);
+  res.Insert(Point{5.0}, 3, 42);
+  const auto s = res.Sample(3);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->point, Point({5.0}));
+  EXPECT_EQ(s->stream_index, 42u);
+}
+
+TEST(WindowedReservoirTest, ExpiryRespectsWindow) {
+  WindowedReservoir res(5, 3);
+  res.Insert(Point{1.0}, 0, 0);
+  EXPECT_TRUE(res.Sample(4).has_value());
+  EXPECT_FALSE(res.Sample(5).has_value());  // 0 <= 5-5: expired
+}
+
+TEST(WindowedReservoirTest, SampleIsAlwaysUnexpired) {
+  WindowedReservoir res(8, 4);
+  for (int t = 0; t < 200; ++t) {
+    res.Insert(Point{static_cast<double>(t)}, t, static_cast<uint64_t>(t));
+    const auto s = res.Sample(t);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_GT(s->point[0], static_cast<double>(t - 8));
+    EXPECT_LE(s->point[0], static_cast<double>(t));
+  }
+}
+
+TEST(WindowedReservoirTest, CandidateSetStaysLogarithmic) {
+  WindowedReservoir res(1 << 14, 5);
+  size_t max_size = 0;
+  for (int t = 0; t < (1 << 14); ++t) {
+    res.Insert(Point{0.0}, t, static_cast<uint64_t>(t));
+    max_size = std::max(max_size, res.size());
+  }
+  // Expected suffix-minima count is H_n ≈ ln(16384) ≈ 9.7; allow slack.
+  EXPECT_LE(max_size, 40u);
+}
+
+TEST(WindowedReservoirTest, UniformOverWindowItems) {
+  // Window of 10 items: each must be sampled ~1/10 across seeds.
+  const int window = 10;
+  SampleDistribution dist(window);
+  const int runs = 30000;
+  for (int run = 0; run < runs; ++run) {
+    WindowedReservoir res(window, 100 + run);
+    for (int t = 0; t < 25; ++t) {  // 25 items; last 10 alive
+      res.Insert(Point{static_cast<double>(t)}, t,
+                 static_cast<uint64_t>(t));
+    }
+    const auto s = res.Sample(24);
+    ASSERT_TRUE(s.has_value());
+    const int offset = static_cast<int>(s->point[0]) - 15;
+    ASSERT_GE(offset, 0);
+    ASSERT_LT(offset, window);
+    dist.Record(static_cast<uint32_t>(offset));
+  }
+  EXPECT_LT(dist.MaxDevNm(), 0.1);
+}
+
+TEST(WindowedReservoirTest, DeterministicPerSeed) {
+  WindowedReservoir a(16, 9), b(16, 9);
+  for (int t = 0; t < 50; ++t) {
+    a.Insert(Point{1.0 * t}, t, static_cast<uint64_t>(t));
+    b.Insert(Point{1.0 * t}, t, static_cast<uint64_t>(t));
+  }
+  EXPECT_EQ(a.Sample(49)->stream_index, b.Sample(49)->stream_index);
+}
+
+// ------------------------------------------- random-representative mode
+
+SamplerOptions ReservoirOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.random_representative = true;
+  opts.expected_stream_length = 1 << 14;
+  return opts;
+}
+
+TEST(SwReservoirModeTest, FixedRateReturnsUniformGroupPoint) {
+  // One group with points at stamps 0..9 (all alive, window 100): the
+  // returned point must be ~uniform over the 10 member points.
+  SampleDistribution dist(10);
+  const int runs = 20000;
+  for (int run = 0; run < runs; ++run) {
+    auto sampler = SwFixedRateSampler::CreateStandalone(
+                       ReservoirOptions(500 + run), 0, 100)
+                       .value();
+    for (int t = 0; t < 10; ++t) {
+      sampler->Insert(Point{0.05 * t}, t);
+    }
+    Xoshiro256pp rng(run);
+    const auto s = sampler->Sample(9, &rng);
+    ASSERT_TRUE(s.has_value());
+    dist.Record(static_cast<uint32_t>(s->stream_index));
+  }
+  EXPECT_EQ(dist.ZeroGroups(), 0u);
+  EXPECT_LT(dist.MaxDevNm(), 0.15);
+}
+
+TEST(SwReservoirModeTest, OnlyUnexpiredPointsReturned) {
+  // Group points at stamps 0, 2, 40; window 10: at now=45 only the stamp-
+  // 40 point is alive and must always be the sample.
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    auto sampler = SwFixedRateSampler::CreateStandalone(
+                       ReservoirOptions(seed), 0, 10)
+                       .value();
+    sampler->Insert(Point{0.0}, 0);
+    sampler->Insert(Point{0.1}, 2);
+    sampler->Insert(Point{0.2}, 40);
+    Xoshiro256pp rng(seed);
+    const auto s = sampler->Sample(45, &rng);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->point, Point({0.2}));
+  }
+}
+
+TEST(SwReservoirModeTest, HierarchySamplesGroupMembersWithinConstantFactor) {
+  // The hierarchical sampler with random_representative: one recurring
+  // group (6 live members) among isolated groups. In the hierarchy a
+  // group's reservoir restarts whenever a prune drops the group and a
+  // later member re-establishes it, so older members are somewhat
+  // under-represented: the guarantee is a Θ(1) share per member (exact
+  // uniformity holds for the fixed-rate Algorithm 2, tested above).
+  std::vector<uint64_t> member_counts(6, 0);
+  const int runs = 12000;
+  for (int run = 0; run < runs; ++run) {
+    auto sampler =
+        RobustL0SamplerSW::Create(ReservoirOptions(3000 + run), 32).value();
+    // Interleave: recurring group member every 5th point, stamps 0..29.
+    int member = 0;
+    for (int t = 0; t < 30; ++t) {
+      if (t % 5 == 0) {
+        sampler.Insert(Point{0.05 * member}, t);
+        ++member;
+      } else {
+        sampler.Insert(Point{1000.0 + 10.0 * t}, t);
+      }
+    }
+    Xoshiro256pp rng(7000 + run);
+    const auto s = sampler.Sample(29, &rng);
+    ASSERT_TRUE(s.has_value());
+    if (s->point[0] < 1.0) {  // recurring group sampled
+      const int idx = static_cast<int>(s->point[0] / 0.05 + 0.5);
+      ASSERT_LT(idx, 6);
+      ++member_counts[idx];
+    }
+  }
+  uint64_t total = 0;
+  for (uint64_t c : member_counts) total += c;
+  ASSERT_GT(total, 500u);  // the group is sampled often enough to judge
+  for (uint64_t c : member_counts) {
+    const double share = static_cast<double>(c) / static_cast<double>(total);
+    EXPECT_GT(share, 1.0 / 6.0 / 3.0);
+    EXPECT_LT(share, 1.0 / 6.0 * 2.5);
+  }
+}
+
+TEST(SwReservoirModeTest, SpaceAccountsForReservoirs) {
+  auto plain = SwFixedRateSampler::CreateStandalone(
+                   [] {
+                     SamplerOptions o = ReservoirOptions(1);
+                     o.random_representative = false;
+                     return o;
+                   }(),
+                   0, 1000)
+                   .value();
+  auto reservoir =
+      SwFixedRateSampler::CreateStandalone(ReservoirOptions(1), 0, 1000)
+          .value();
+  for (int t = 0; t < 200; ++t) {
+    plain->Insert(Point{0.001 * t}, t);
+    reservoir->Insert(Point{0.001 * t}, t);
+  }
+  EXPECT_GT(reservoir->SpaceWords(), plain->SpaceWords());
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,319 @@
+// rl0_cli — robust distinct sampling from the command line.
+//
+// Subcommands:
+//   sample    draw robust ℓ0-samples from a CSV point stream
+//   count     estimate the robust number of distinct entities (F0)
+//   stats     exact group statistics of a (small) CSV stream
+//   generate  emit one of the paper's synthetic noisy datasets as CSV
+//
+// Run `rl0_cli help` (or any subcommand with --help) for usage. The tool
+// reads CSV point streams (one point per line; see rl0/stream/csv.h) from
+// a file or stdin ("-").
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rl0/baseline/exact_partition.h"
+#include "rl0/core/f0_iw.h"
+#include "rl0/core/iw_sampler.h"
+#include "rl0/core/sw_sampler.h"
+#include "rl0/stream/csv.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace {
+
+using rl0::Point;
+
+constexpr const char* kUsage = R"(rl0_cli — robust distinct sampling on noisy point streams
+
+usage: rl0_cli <command> [options] [file.csv | -]
+
+commands:
+  sample    --alpha A [--k N] [--window W] [--metric l2|l1|linf]
+            [--reservoir] [--seed S] [--queries Q]
+            Draw Q robust l0-samples (default 1). With --window W, sample
+            from the last W points instead of the whole stream.
+  count     --alpha A [--epsilon E] [--seed S]
+            (1+E)-approximate the number of distinct entities.
+  stats     --alpha A
+            Exact group partition statistics (quadratic; small inputs).
+  generate  --dataset rand5|rand20|yacht|seeds [--powerlaw] [--seed S]
+            Print one of the paper's noisy evaluation streams as CSV.
+  help      Show this message.
+
+Input '-' (or no file) reads CSV points from stdin: one point per line,
+coordinates separated by commas or whitespace; '#' starts a comment.
+)";
+
+struct Args {
+  std::string command;
+  std::string file = "-";
+  double alpha = 0.0;
+  double epsilon = 0.2;
+  std::string metric = "l2";
+  std::string dataset;
+  bool powerlaw = false;
+  bool reservoir = false;
+  uint64_t seed = 0;
+  size_t k = 1;
+  int64_t window = 0;
+  int queries = 1;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rl0_cli: %s\n", message.c_str());
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
+  if (argc < 2) {
+    *error = "missing command (try `rl0_cli help`)";
+    return false;
+  }
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    const auto next_str = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--alpha") {
+      if (!next(&args->alpha)) {
+        *error = "--alpha needs a value";
+        return false;
+      }
+    } else if (arg == "--epsilon") {
+      if (!next(&args->epsilon)) {
+        *error = "--epsilon needs a value";
+        return false;
+      }
+    } else if (arg == "--seed") {
+      double v;
+      if (!next(&v)) {
+        *error = "--seed needs a value";
+        return false;
+      }
+      args->seed = static_cast<uint64_t>(v);
+    } else if (arg == "--k") {
+      double v;
+      if (!next(&v)) {
+        *error = "--k needs a value";
+        return false;
+      }
+      args->k = static_cast<size_t>(v);
+    } else if (arg == "--window") {
+      double v;
+      if (!next(&v)) {
+        *error = "--window needs a value";
+        return false;
+      }
+      args->window = static_cast<int64_t>(v);
+    } else if (arg == "--queries") {
+      double v;
+      if (!next(&v)) {
+        *error = "--queries needs a value";
+        return false;
+      }
+      args->queries = static_cast<int>(v);
+    } else if (arg == "--metric") {
+      if (!next_str(&args->metric)) {
+        *error = "--metric needs a value";
+        return false;
+      }
+    } else if (arg == "--dataset") {
+      if (!next_str(&args->dataset)) {
+        *error = "--dataset needs a value";
+        return false;
+      }
+    } else if (arg == "--powerlaw") {
+      args->powerlaw = true;
+    } else if (arg == "--reservoir") {
+      args->reservoir = true;
+    } else if (arg == "--help") {
+      args->command = "help";
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      *error = "unknown option '" + arg + "'";
+      return false;
+    } else {
+      args->file = arg;
+    }
+  }
+  return true;
+}
+
+rl0::Result<std::vector<Point>> LoadPoints(const Args& args) {
+  if (args.file == "-") return rl0::ParseCsvPoints(std::cin);
+  return rl0::ReadCsvPoints(args.file);
+}
+
+rl0::Result<rl0::Metric> ParseMetric(const std::string& name) {
+  if (name == "l2") return rl0::Metric::kL2;
+  if (name == "l1") return rl0::Metric::kL1;
+  if (name == "linf") return rl0::Metric::kLinf;
+  return rl0::Status::InvalidArgument("unknown metric '" + name + "'");
+}
+
+int RunSample(const Args& args) {
+  if (args.alpha <= 0.0) return Fail("sample requires --alpha > 0");
+  const auto metric = ParseMetric(args.metric);
+  if (!metric.ok()) return Fail(metric.status().ToString());
+  const auto points = LoadPoints(args);
+  if (!points.ok()) return Fail(points.status().ToString());
+  if (points.value().empty()) return Fail("no points in input");
+
+  rl0::SamplerOptions opts;
+  opts.dim = points.value()[0].dim();
+  opts.alpha = args.alpha;
+  opts.metric = metric.value();
+  opts.seed = args.seed;
+  opts.k = args.k;
+  opts.random_representative = args.reservoir;
+  opts.expected_stream_length = points.value().size();
+
+  rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
+  if (args.window > 0) {
+    auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
+    if (!sampler.ok()) return Fail(sampler.status().ToString());
+    rl0::RobustL0SamplerSW sw = std::move(sampler).value();
+    for (const Point& p : points.value()) sw.Insert(p);
+    for (int q = 0; q < args.queries; ++q) {
+      const auto sample = sw.SampleLatest(&rng);
+      if (!sample.has_value()) return Fail("window is empty");
+      std::printf("%s  # stream position %llu\n",
+                  sample->point.ToString().c_str(),
+                  static_cast<unsigned long long>(sample->stream_index));
+    }
+    std::fprintf(stderr, "[window=%lld, space=%zu words]\n",
+                 static_cast<long long>(args.window), sw.SpaceWords());
+    return 0;
+  }
+
+  auto sampler = rl0::RobustL0SamplerIW::Create(opts);
+  if (!sampler.ok()) return Fail(sampler.status().ToString());
+  rl0::RobustL0SamplerIW iw = std::move(sampler).value();
+  for (const Point& p : points.value()) iw.Insert(p);
+  for (int q = 0; q < args.queries; ++q) {
+    if (args.k > 1) {
+      const auto samples = iw.SampleK(args.k, &rng);
+      if (!samples.ok()) return Fail(samples.status().ToString());
+      for (const auto& s : samples.value()) {
+        std::printf("%s  # stream position %llu\n",
+                    s.point.ToString().c_str(),
+                    static_cast<unsigned long long>(s.stream_index));
+      }
+    } else {
+      const auto sample = iw.Sample(&rng);
+      if (!sample.has_value()) return Fail("no sample available");
+      std::printf("%s  # stream position %llu\n",
+                  sample->point.ToString().c_str(),
+                  static_cast<unsigned long long>(sample->stream_index));
+    }
+  }
+  std::fprintf(stderr, "[groups accepted=%zu rejected=%zu R=%llu "
+               "space=%zu words]\n",
+               iw.accept_size(), iw.reject_size(),
+               static_cast<unsigned long long>(iw.rate_reciprocal()),
+               iw.SpaceWords());
+  return 0;
+}
+
+int RunCount(const Args& args) {
+  if (args.alpha <= 0.0) return Fail("count requires --alpha > 0");
+  const auto points = LoadPoints(args);
+  if (!points.ok()) return Fail(points.status().ToString());
+  if (points.value().empty()) return Fail("no points in input");
+
+  rl0::F0Options opts;
+  opts.sampler.dim = points.value()[0].dim();
+  opts.sampler.alpha = args.alpha;
+  opts.sampler.seed = args.seed;
+  opts.sampler.expected_stream_length = points.value().size();
+  opts.epsilon = args.epsilon;
+  auto est = rl0::F0EstimatorIW::Create(opts);
+  if (!est.ok()) return Fail(est.status().ToString());
+  rl0::F0EstimatorIW estimator = std::move(est).value();
+  for (const Point& p : points.value()) estimator.Insert(p);
+  std::printf("%.0f\n", estimator.Estimate());
+  std::fprintf(stderr,
+               "[distinct entities, (1+%.2f)-approx; %zu points scanned; "
+               "space=%zu words]\n",
+               args.epsilon, points.value().size(), estimator.SpaceWords());
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  if (args.alpha <= 0.0) return Fail("stats requires --alpha > 0");
+  const auto points = LoadPoints(args);
+  if (!points.ok()) return Fail(points.status().ToString());
+  const std::vector<Point>& pts = points.value();
+  if (pts.empty()) return Fail("no points in input");
+  const rl0::Partition natural = rl0::NaturalPartition(pts, args.alpha);
+  const rl0::Partition greedy = rl0::GreedyPartition(pts, args.alpha);
+  std::vector<size_t> sizes(natural.num_groups, 0);
+  for (uint32_t g : natural.group_of) ++sizes[g];
+  size_t max_size = 0;
+  for (size_t s : sizes) max_size = std::max(max_size, s);
+  std::printf("points\t%zu\n", pts.size());
+  std::printf("dim\t%zu\n", pts[0].dim());
+  std::printf("alpha\t%g\n", args.alpha);
+  std::printf("groups (connected components)\t%zu\n", natural.num_groups);
+  std::printf("groups (greedy ball carving)\t%zu\n", greedy.num_groups);
+  std::printf("largest group\t%zu\n", max_size);
+  std::printf("mean group size\t%.2f\n",
+              static_cast<double>(pts.size()) /
+                  static_cast<double>(natural.num_groups));
+  return 0;
+}
+
+int RunGenerate(const Args& args) {
+  rl0::BaseDataset base;
+  if (args.dataset == "rand5") {
+    base = rl0::Rand5(args.seed + 1);
+  } else if (args.dataset == "rand20") {
+    base = rl0::Rand20(args.seed + 2);
+  } else if (args.dataset == "yacht") {
+    base = rl0::YachtLike(args.seed + 3);
+  } else if (args.dataset == "seeds") {
+    base = rl0::SeedsLike(args.seed + 4);
+  } else {
+    return Fail("--dataset must be rand5|rand20|yacht|seeds");
+  }
+  rl0::NearDupOptions nd;
+  nd.distribution = args.powerlaw ? rl0::DupDistribution::kPowerLaw
+                                  : rl0::DupDistribution::kUniform;
+  nd.seed = args.seed;
+  const rl0::NoisyDataset noisy = rl0::MakeNearDuplicates(base, nd);
+  std::printf("# %s: %zu points, %zu groups, alpha=%.17g\n",
+              noisy.name.c_str(), noisy.size(), noisy.num_groups,
+              noisy.alpha);
+  rl0::WriteCsvPoints(noisy.points, std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string error;
+  if (!ParseArgs(argc, argv, &args, &error)) return Fail(error);
+  if (args.command == "help" || args.command == "--help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (args.command == "sample") return RunSample(args);
+  if (args.command == "count") return RunCount(args);
+  if (args.command == "stats") return RunStats(args);
+  if (args.command == "generate") return RunGenerate(args);
+  return Fail("unknown command '" + args.command + "' (try `rl0_cli help`)");
+}
