@@ -1,0 +1,149 @@
+// Ingestion-throughput benchmark for the arena/flat-index refactor.
+//
+// Measures points/sec over paper-style noisy streams across dims
+// {2, 5, 20} for three ingestion paths:
+//
+//   legacy  — LegacyL0SamplerIW: the pre-refactor map-based layout
+//             (unordered_map + unordered_multimap, heap Point per rep),
+//             point-at-a-time;
+//   arena   — RobustL0SamplerIW::Insert: the RepTable/PointStore layout,
+//             point-at-a-time;
+//   batch   — RobustL0SamplerIW::InsertBatch: same layout, contiguous
+//             chunk ingestion (the preferred path).
+//
+// All three make bit-identical sampling decisions (pinned by
+// tests/ingest_determinism_test.cc), so the comparison is pure layout.
+//
+// Output: a human-readable table on stderr and a JSON document on stdout
+// (pipe to BENCH_ingest.json to track the trajectory across PRs):
+//   RL0_REPEATS  overrides the per-path repeat count (default 3).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "rl0/baseline/legacy_iw_sampler.h"
+#include "rl0/core/iw_sampler.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace {
+
+using rl0::LegacyL0SamplerIW;
+using rl0::NoisyDataset;
+using rl0::Point;
+using rl0::RobustL0SamplerIW;
+using rl0::SamplerOptions;
+
+struct PathResult {
+  double points_per_sec = 0.0;
+  size_t accept_size = 0;  // keeps the work observable
+};
+
+template <typename MakeSampler, typename Feed>
+double TimeOnce(const NoisyDataset& data, int rep, MakeSampler make_sampler,
+                Feed feed) {
+  auto sampler = make_sampler(rep);
+  const auto start = std::chrono::steady_clock::now();
+  feed(&sampler);
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  // Keep the final state observable so the loop cannot be optimized away.
+  if (sampler.accept_size() == data.size()) {
+    std::fprintf(stderr, "(full accept)\n");  // keep stdout JSON-clean
+  }
+  return static_cast<double>(data.size()) / seconds;
+}
+
+NoisyDataset IngestStream(size_t dim, uint64_t seed) {
+  const rl0::BaseDataset base = rl0::RandomUniform(
+      1000, dim, seed, "Ingest" + std::to_string(dim));
+  rl0::NearDupOptions nd;
+  nd.max_dups = 100;  // paper-scale duplication: ~50k-point streams
+  nd.seed = seed + 1;
+  return rl0::MakeNearDuplicates(base, nd);
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = rl0::bench::EnvRepeats(3);
+  const uint64_t seed = 20180618;  // the paper's PODS year + month + day
+
+  std::printf("{\n  \"bench\": \"ingest\",\n  \"repeats\": %d,\n"
+              "  \"workloads\": [\n", repeats);
+  std::fprintf(stderr,
+               "%-10s %8s %9s | %12s %12s %12s | %8s %8s\n", "workload",
+               "dim", "points", "legacy p/s", "arena p/s", "batch p/s",
+               "arena x", "batch x");
+
+  bool first = true;
+  for (size_t dim : {2, 5, 20}) {
+    const NoisyDataset data = IngestStream(dim, 77 + dim);
+    const SamplerOptions opts = rl0::bench::PaperSamplerOptions(data, seed);
+
+    // Interleave the three paths across repeats (best-of): a CPU hiccup
+    // hits one repeat of one path, not a whole path's measurement.
+    PathResult legacy, arena, batch;
+    for (int rep = 0; rep < repeats; ++rep) {
+      legacy.points_per_sec = std::max(
+          legacy.points_per_sec,
+          TimeOnce(
+              data, rep,
+              [&](int r) {
+                SamplerOptions o = opts;
+                o.seed = seed + r;
+                return LegacyL0SamplerIW::Create(o).value();
+              },
+              [&](LegacyL0SamplerIW* s) {
+                for (const Point& p : data.points) s->Insert(p);
+              }));
+      arena.points_per_sec = std::max(
+          arena.points_per_sec,
+          TimeOnce(
+              data, rep,
+              [&](int r) {
+                SamplerOptions o = opts;
+                o.seed = seed + r;
+                return RobustL0SamplerIW::Create(o).value();
+              },
+              [&](RobustL0SamplerIW* s) {
+                for (const Point& p : data.points) s->Insert(p);
+              }));
+      batch.points_per_sec = std::max(
+          batch.points_per_sec,
+          TimeOnce(
+              data, rep,
+              [&](int r) {
+                SamplerOptions o = opts;
+                o.seed = seed + r;
+                return RobustL0SamplerIW::Create(o).value();
+              },
+              [&](RobustL0SamplerIW* s) { s->InsertBatch(data.points); }));
+    }
+
+    const double arena_x = arena.points_per_sec / legacy.points_per_sec;
+    const double batch_x = batch.points_per_sec / legacy.points_per_sec;
+    std::fprintf(stderr,
+                 "%-10s %8zu %9zu | %12.0f %12.0f %12.0f | %7.2fx %7.2fx\n",
+                 data.name.c_str(), dim, data.size(), legacy.points_per_sec,
+                 arena.points_per_sec, batch.points_per_sec, arena_x,
+                 batch_x);
+    std::printf(
+        "%s    {\"workload\": \"%s\", \"dim\": %zu, \"points\": %zu,\n"
+        "     \"legacy_points_per_sec\": %.0f,\n"
+        "     \"arena_points_per_sec\": %.0f,\n"
+        "     \"batch_points_per_sec\": %.0f,\n"
+        "     \"arena_speedup\": %.3f, \"batch_speedup\": %.3f}",
+        first ? "" : ",\n", data.name.c_str(), dim, data.size(),
+        legacy.points_per_sec, arena.points_per_sec, batch.points_per_sec,
+        arena_x, batch_x);
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -80,7 +80,7 @@ DistributionResult RunDistribution(const NoisyDataset& data, uint64_t runs,
     auto sampler =
         RobustL0SamplerIW::Create(PaperSamplerOptions(data, seed_base + run))
             .value();
-    for (const Point& p : reps.points) sampler.Insert(p);
+    sampler.InsertBatch(reps.points);
     Xoshiro256pp rng(SplitMix64(seed_base * 31 + run));
     const auto sample = sampler.Sample(&rng);
     if (!sample.has_value()) {
@@ -162,7 +162,7 @@ TimingResult RunTiming(const NoisyDataset& data, int repeats,
         RobustL0SamplerIW::Create(PaperSamplerOptions(data, seed_base + rep))
             .value();
     const auto start = std::chrono::steady_clock::now();
-    for (const Point& p : data.points) sampler.Insert(p);
+    sampler.InsertBatch(data.points);
     total_seconds += std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -182,7 +182,7 @@ double RunPeakSpace(const NoisyDataset& data, int seeds,
     auto sampler =
         RobustL0SamplerIW::Create(PaperSamplerOptions(data, seed_base + s))
             .value();
-    for (const Point& p : data.points) sampler.Insert(p);
+    sampler.InsertBatch(data.points);
     total += static_cast<double>(sampler.PeakSpaceWords());
   }
   return total / seeds;

@@ -87,7 +87,7 @@ int main() {
   f0.sampler.seed = 99;
   f0.epsilon = 0.2;
   auto estimator = rl0::F0EstimatorIW::Create(f0).value();
-  for (const rl0::Point& p : stream.points) estimator.Insert(p);
+  estimator.InsertBatch(stream.points);  // chunked ingestion path
   std::printf("\nrobust F0 estimate: %.0f (truth: %zu; naive distinct count "
               "would report ~%zu)\n",
               estimator.Estimate(), stream.num_groups, stream.size());

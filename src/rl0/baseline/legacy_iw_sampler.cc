@@ -1,0 +1,163 @@
+#include "rl0/baseline/legacy_iw_sampler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rl0/util/check.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+
+namespace {
+constexpr uint64_t kNoRep = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+Result<LegacyL0SamplerIW> LegacyL0SamplerIW::Create(
+    const SamplerOptions& options) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  if (options.random_representative) {
+    return Status::InvalidArgument(
+        "LegacyL0SamplerIW does not implement the reservoir variant");
+  }
+  return LegacyL0SamplerIW(options, options.GridSide());
+}
+
+LegacyL0SamplerIW::LegacyL0SamplerIW(const SamplerOptions& options,
+                                     double side)
+    : options_(options),
+      grid_(options.dim, side, SplitMix64(options.seed ^ 0x6772696400ULL),
+            options.metric),
+      hasher_(options.hash_family, SplitMix64(options.seed ^ 0x68617368ULL),
+              options.kwise_k),
+      accept_cap_(options.EffectiveAcceptCap()) {}
+
+// The seed's adjacency path, faithfully: materialize the coordinate
+// vectors of adj(p) through the DFS, then hash each one — the per-cell
+// heap allocations this PR's key-folding AdjacentCells eliminated.
+void LegacyL0SamplerIW::LegacyAdjacentCells(
+    const Point& p, std::vector<uint64_t>* out) const {
+  std::vector<CellCoord> coords;
+  grid_.AdjacentCellCoords(p, options_.alpha, &coords);
+  out->clear();
+  out->reserve(coords.size());
+  for (const CellCoord& c : coords) out->push_back(::rl0::CellKeyOf(c));
+  std::sort(out->begin(), out->end());
+}
+
+uint64_t LegacyL0SamplerIW::FindCandidate(
+    const Point& p, const std::vector<uint64_t>& adj_keys) const {
+  for (uint64_t key : adj_keys) {
+    auto [it, end] = cell_to_rep_.equal_range(key);
+    for (; it != end; ++it) {
+      const Rep& rep = reps_.at(it->second);
+      if (MetricWithinDistance(rep.point, p, options_.alpha,
+                               options_.metric)) {
+        return it->second;
+      }
+    }
+  }
+  return kNoRep;
+}
+
+void LegacyL0SamplerIW::Insert(const Point& p) {
+  RL0_DCHECK(p.dim() == options_.dim);
+  const uint64_t stream_index = points_processed_++;
+
+  LegacyAdjacentCells(p, &adj_scratch_);
+  if (FindCandidate(p, adj_scratch_) != kNoRep) return;
+
+  const uint64_t cell_key = ::rl0::CellKeyOf(grid_.CellCoordOf(p));
+  const bool accepted = hasher_.SampledAtLevel(cell_key, level_);
+  bool rejected = false;
+  if (!accepted) {
+    for (uint64_t key : adj_scratch_) {
+      if (hasher_.SampledAtLevel(key, level_)) {
+        rejected = true;
+        break;
+      }
+    }
+    if (!rejected) return;
+  }
+
+  const uint64_t id = next_rep_id_++;
+  Rep rep;
+  rep.point = p;
+  rep.stream_index = stream_index;
+  rep.cell_key = cell_key;
+  rep.accepted = accepted;
+  reps_.emplace(id, std::move(rep));
+  cell_to_rep_.emplace(cell_key, id);
+  if (accepted) ++accept_size_;
+
+  while (accept_size_ > accept_cap_ && level_ < CellHasher::kMaxLevel) {
+    ++level_;
+    Refilter();
+  }
+}
+
+void LegacyL0SamplerIW::Refilter() {
+  std::vector<uint64_t> to_remove;
+  std::vector<uint64_t> adj;
+  for (auto& [id, rep] : reps_) {
+    if (hasher_.SampledAtLevel(rep.cell_key, level_)) {
+      RL0_DCHECK(rep.accepted);
+      continue;
+    }
+    LegacyAdjacentCells(rep.point, &adj);
+    bool near_sampled = false;
+    for (uint64_t key : adj) {
+      if (hasher_.SampledAtLevel(key, level_)) {
+        near_sampled = true;
+        break;
+      }
+    }
+    if (near_sampled) {
+      if (rep.accepted) {
+        rep.accepted = false;
+        --accept_size_;
+      }
+    } else {
+      to_remove.push_back(id);
+    }
+  }
+  for (uint64_t id : to_remove) {
+    auto it = reps_.find(id);
+    RL0_DCHECK(it != reps_.end());
+    if (it->second.accepted) --accept_size_;
+    auto [mit, mend] = cell_to_rep_.equal_range(it->second.cell_key);
+    for (; mit != mend; ++mit) {
+      if (mit->second == id) {
+        cell_to_rep_.erase(mit);
+        break;
+      }
+    }
+    reps_.erase(it);
+  }
+}
+
+std::vector<SampleItem> LegacyL0SamplerIW::AcceptedRepresentatives() const {
+  std::vector<SampleItem> out;
+  for (const auto& [id, rep] : reps_) {
+    if (rep.accepted) out.push_back(SampleItem{rep.point, rep.stream_index});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SampleItem& a, const SampleItem& b) {
+              return a.stream_index < b.stream_index;
+            });
+  return out;
+}
+
+std::vector<SampleItem> LegacyL0SamplerIW::RejectedRepresentatives() const {
+  std::vector<SampleItem> out;
+  for (const auto& [id, rep] : reps_) {
+    if (!rep.accepted) out.push_back(SampleItem{rep.point, rep.stream_index});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SampleItem& a, const SampleItem& b) {
+              return a.stream_index < b.stream_index;
+            });
+  return out;
+}
+
+}  // namespace rl0

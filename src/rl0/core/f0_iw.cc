@@ -52,6 +52,10 @@ void F0EstimatorIW::Insert(const Point& p) {
   for (RobustL0SamplerIW& sampler : samplers_) sampler.Insert(p);
 }
 
+void F0EstimatorIW::InsertBatch(Span<const Point> points) {
+  for (RobustL0SamplerIW& sampler : samplers_) sampler.InsertBatch(points);
+}
+
 std::vector<double> F0EstimatorIW::CopyEstimates() const {
   std::vector<double> estimates;
   estimates.reserve(samplers_.size());

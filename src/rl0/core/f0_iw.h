@@ -16,6 +16,7 @@
 
 #include "rl0/core/iw_sampler.h"
 #include "rl0/core/options.h"
+#include "rl0/util/span.h"
 #include "rl0/util/status.h"
 
 namespace rl0 {
@@ -46,6 +47,11 @@ class F0EstimatorIW {
 
   /// Processes the next stream point.
   void Insert(const Point& p);
+
+  /// Processes a contiguous chunk of stream points: each copy consumes
+  /// the whole chunk in one pass (better cache behaviour than
+  /// interleaving the copies point by point).
+  void InsertBatch(Span<const Point> points);
 
   /// The median-of-copies estimate of the number of groups F0(S, α).
   /// Returns 0 before any insertion.

@@ -1,14 +1,12 @@
 #include "rl0/core/iw_sampler.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "rl0/util/check.h"
 
 namespace rl0 {
 
 namespace {
-constexpr uint64_t kNoRep = std::numeric_limits<uint64_t>::max();
 // Scalar bookkeeping charged once per sampler (level, counters, caps, ...).
 constexpr size_t kSamplerScalarWords = 8;
 }  // namespace
@@ -28,48 +26,70 @@ RobustL0SamplerIW::RobustL0SamplerIW(const SamplerOptions& options,
       hasher_(options.hash_family, SplitMix64(options.seed ^ 0x68617368ULL),
               options.kwise_k),
       reservoir_rng_(SplitMix64(options.seed ^ 0x7265737600ULL)),
-      accept_cap_(options.EffectiveAcceptCap()) {
+      accept_cap_(options.EffectiveAcceptCap()),
+      reps_(options.dim, options.random_representative) {
   meter_.Add(kSamplerScalarWords);
 }
 
 size_t RobustL0SamplerIW::RepWords() const {
-  size_t words = PointWords(options_.dim) + 2 * kMapEntryWords;
-  if (options_.random_representative) words += PointWords(options_.dim);
+  size_t words = RepArenaWords(options_.dim);
+  if (options_.random_representative) {
+    words += ReservoirRepExtraWords(options_.dim);
+  }
   return words;
 }
 
-uint64_t RobustL0SamplerIW::FindCandidate(
-    const Point& p, const std::vector<uint64_t>& adj_keys) const {
+uint32_t RobustL0SamplerIW::FindCandidate(
+    PointView p, const std::vector<uint64_t>& adj_keys) const {
   // A representative u with d(u, p) ≤ α satisfies d(p, cell(u)) ≤ α, so
   // cell(u) is one of the adj(p) keys: the scan below is complete.
   for (uint64_t key : adj_keys) {
-    auto [it, end] = cell_to_rep_.equal_range(key);
-    for (; it != end; ++it) {
-      const Rep& rep = reps_.at(it->second);
-      if (MetricWithinDistance(rep.point, p, options_.alpha,
+    for (uint32_t slot = reps_.CellHead(key); slot != RepTable::kNpos;
+         slot = reps_.NextInCell(slot)) {
+      if (MetricWithinDistance(reps_.point(slot), p, options_.alpha,
                                options_.metric)) {
-        return it->second;
+        return slot;
       }
     }
   }
-  return kNoRep;
+  return RepTable::kNpos;
 }
 
 void RobustL0SamplerIW::Insert(const Point& p) {
+  InsertView(p, points_processed_);
+  ++points_processed_;
+}
+
+void RobustL0SamplerIW::InsertBatch(Span<const Point> points) {
+  for (const Point& p : points) {
+    InsertView(p, points_processed_);
+    ++points_processed_;
+  }
+}
+
+void RobustL0SamplerIW::InsertStrided(Span<const Point> points, size_t start,
+                                      size_t stride, uint64_t index_base) {
+  RL0_CHECK(stride >= 1);
+  for (size_t i = start; i < points.size(); i += stride) {
+    InsertView(points[i], index_base + static_cast<uint64_t>(i));
+    ++points_processed_;
+  }
+}
+
+void RobustL0SamplerIW::InsertView(PointView p, uint64_t stream_index) {
   RL0_DCHECK(p.dim() == options_.dim);
-  const uint64_t stream_index = points_processed_++;
 
   grid_.AdjacentCells(p, options_.alpha, &adj_scratch_);
-  const uint64_t candidate = FindCandidate(p, adj_scratch_);
-  if (candidate != kNoRep) {
+  const uint32_t candidate = FindCandidate(p, adj_scratch_);
+  if (candidate != RepTable::kNpos) {
     // p is not the first point of its (candidate) group: skip it, but keep
     // the reservoir of the group fresh (Section 2.3 variant).
     if (options_.random_representative) {
-      Rep& rep = reps_.at(candidate);
-      ++rep.group_count;
-      if (reservoir_rng_.NextBounded(rep.group_count) == 0) {
-        rep.sample_point = p;
-        rep.sample_index = stream_index;
+      const uint64_t count = reps_.group_count(candidate) + 1;
+      reps_.set_group_count(candidate, count);
+      if (reservoir_rng_.NextBounded(count) == 0) {
+        reps_.set_sample_point(candidate, p);
+        reps_.set_sample_index(candidate, stream_index);
       }
     }
     return;
@@ -89,17 +109,7 @@ void RobustL0SamplerIW::Insert(const Point& p) {
     if (!rejected) return;  // Group is ignored: no sampled cell nearby.
   }
 
-  const uint64_t id = next_rep_id_++;
-  Rep rep;
-  rep.point = p;
-  rep.stream_index = stream_index;
-  rep.cell_key = cell_key;
-  rep.accepted = accepted;
-  rep.sample_point = p;
-  rep.sample_index = stream_index;
-  rep.group_count = 1;
-  reps_.emplace(id, std::move(rep));
-  cell_to_rep_.emplace(cell_key, id);
+  reps_.Add(p, next_rep_id_++, stream_index, cell_key, accepted);
   if (accepted) ++accept_size_;
   meter_.Add(RepWords());
 
@@ -117,14 +127,16 @@ void RobustL0SamplerIW::Refilter() {
   // those at the previous level, so representatives only move
   // accepted -> {accepted, rejected, dropped} or rejected -> {rejected,
   // dropped}; no representative is (re)admitted.
-  std::vector<uint64_t> to_remove;
+  std::vector<uint32_t> to_remove;
   std::vector<uint64_t> adj;
-  for (auto& [id, rep] : reps_) {
-    if (hasher_.SampledAtLevel(rep.cell_key, level_)) {
-      RL0_DCHECK(rep.accepted);
+  const size_t slots = reps_.slot_count();
+  for (uint32_t slot = 0; slot < slots; ++slot) {
+    if (!reps_.IsLive(slot)) continue;
+    if (hasher_.SampledAtLevel(reps_.cell_key(slot), level_)) {
+      RL0_DCHECK(reps_.accepted(slot));
       continue;
     }
-    grid_.AdjacentCells(rep.point, options_.alpha, &adj);
+    grid_.AdjacentCells(reps_.point(slot), options_.alpha, &adj);
     bool near_sampled = false;
     for (uint64_t key : adj) {
       if (hasher_.SampledAtLevel(key, level_)) {
@@ -133,52 +145,47 @@ void RobustL0SamplerIW::Refilter() {
       }
     }
     if (near_sampled) {
-      if (rep.accepted) {
-        rep.accepted = false;
+      if (reps_.accepted(slot)) {
+        reps_.set_accepted(slot, false);
         --accept_size_;
       }
     } else {
-      to_remove.push_back(id);
+      to_remove.push_back(slot);
     }
   }
-  for (uint64_t id : to_remove) {
-    auto it = reps_.find(id);
-    RL0_DCHECK(it != reps_.end());
-    if (it->second.accepted) --accept_size_;
-    auto [mit, mend] = cell_to_rep_.equal_range(it->second.cell_key);
-    for (; mit != mend; ++mit) {
-      if (mit->second == id) {
-        cell_to_rep_.erase(mit);
-        break;
-      }
-    }
-    reps_.erase(it);
+  for (uint32_t slot : to_remove) {
+    if (reps_.accepted(slot)) --accept_size_;
+    reps_.Remove(slot);
     meter_.Remove(RepWords());
   }
 }
 
-std::vector<uint64_t> RobustL0SamplerIW::SortedAcceptedIds() const {
+std::vector<uint32_t> RobustL0SamplerIW::SortedAcceptedSlots() const {
   // Deterministic (content-defined) order: queries answer identically for
-  // identical state, independent of hash-map iteration order — this is
-  // what makes snapshot/restore behaviour reproducible.
-  std::vector<uint64_t> ids;
-  ids.reserve(accept_size_);
-  for (const auto& [id, rep] : reps_) {
-    if (rep.accepted) ids.push_back(id);
+  // identical state, independent of slot recycling — this is what makes
+  // snapshot/restore behaviour reproducible.
+  std::vector<uint32_t> slots;
+  slots.reserve(accept_size_);
+  const size_t n = reps_.slot_count();
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    if (reps_.IsLive(slot) && reps_.accepted(slot)) slots.push_back(slot);
   }
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  std::sort(slots.begin(), slots.end(), [this](uint32_t a, uint32_t b) {
+    return reps_.id(a) < reps_.id(b);
+  });
+  return slots;
 }
 
 std::optional<SampleItem> RobustL0SamplerIW::Sample(Xoshiro256pp* rng) const {
   if (accept_size_ == 0) return std::nullopt;
-  const std::vector<uint64_t> ids = SortedAcceptedIds();
-  RL0_DCHECK(ids.size() == accept_size_);
-  const Rep& rep = reps_.at(ids[rng->NextBounded(ids.size())]);
+  const std::vector<uint32_t> slots = SortedAcceptedSlots();
+  RL0_DCHECK(slots.size() == accept_size_);
+  const uint32_t slot = slots[rng->NextBounded(slots.size())];
   if (options_.random_representative) {
-    return SampleItem{rep.sample_point, rep.sample_index};
+    return SampleItem{reps_.sample_point(slot).Materialize(),
+                      reps_.sample_index(slot)};
   }
-  return SampleItem{rep.point, rep.stream_index};
+  return SampleItem{reps_.point(slot).Materialize(), reps_.stream_index(slot)};
 }
 
 std::optional<SampleItem> RobustL0SamplerIW::Sample(uint64_t query_seed) const {
@@ -192,7 +199,7 @@ Result<std::vector<SampleItem>> RobustL0SamplerIW::SampleK(
     return Status::FailedPrecondition(
         "fewer accepted groups than requested samples");
   }
-  std::vector<uint64_t> accepted = SortedAcceptedIds();
+  std::vector<uint32_t> accepted = SortedAcceptedSlots();
   // Partial Fisher–Yates: the first `count` entries become a uniform
   // without-replacement sample.
   std::vector<SampleItem> out;
@@ -200,11 +207,13 @@ Result<std::vector<SampleItem>> RobustL0SamplerIW::SampleK(
   for (size_t i = 0; i < count; ++i) {
     const size_t j = i + rng->NextBounded(accepted.size() - i);
     std::swap(accepted[i], accepted[j]);
-    const Rep& rep = reps_.at(accepted[i]);
+    const uint32_t slot = accepted[i];
     if (options_.random_representative) {
-      out.push_back(SampleItem{rep.sample_point, rep.sample_index});
+      out.push_back(SampleItem{reps_.sample_point(slot).Materialize(),
+                               reps_.sample_index(slot)});
     } else {
-      out.push_back(SampleItem{rep.point, rep.stream_index});
+      out.push_back(SampleItem{reps_.point(slot).Materialize(),
+                               reps_.stream_index(slot)});
     }
   }
   return out;
@@ -230,21 +239,31 @@ Status RobustL0SamplerIW::AbsorbFrom(const RobustL0SamplerIW& other) {
 
   // Re-judge the other partition's representatives at the unified rate and
   // install the ones that are not already covered. Processing in stream
-  // order keeps the earlier-representative-wins rule deterministic.
-  std::vector<const Rep*> incoming;
-  incoming.reserve(other.reps_.size());
-  for (const auto& [id, rep] : other.reps_) incoming.push_back(&rep);
+  // order keeps the earlier-representative-wins rule deterministic (with
+  // ties broken by rep id, for partitions fed by local arrival index).
+  std::vector<uint32_t> incoming;
+  incoming.reserve(other.reps_.live());
+  const size_t other_slots = other.reps_.slot_count();
+  for (uint32_t slot = 0; slot < other_slots; ++slot) {
+    if (other.reps_.IsLive(slot)) incoming.push_back(slot);
+  }
   std::sort(incoming.begin(), incoming.end(),
-            [](const Rep* x, const Rep* y) {
-              return x->stream_index < y->stream_index;
+            [&other](uint32_t x, uint32_t y) {
+              const uint64_t sx = other.reps_.stream_index(x);
+              const uint64_t sy = other.reps_.stream_index(y);
+              if (sx != sy) return sx < sy;
+              return other.reps_.id(x) < other.reps_.id(y);
             });
 
   std::vector<uint64_t> adj;
-  for (const Rep* rep : incoming) {
-    const bool accepted = hasher_.SampledAtLevel(rep->cell_key, level_);
+  for (uint32_t in : incoming) {
+    const PointView in_point = other.reps_.point(in);
+    const uint64_t in_cell = other.reps_.cell_key(in);
+    const uint64_t in_index = other.reps_.stream_index(in);
+    const bool accepted = hasher_.SampledAtLevel(in_cell, level_);
     bool rejected = false;
     if (!accepted) {
-      grid_.AdjacentCells(rep->point, options_.alpha, &adj);
+      grid_.AdjacentCells(in_point, options_.alpha, &adj);
       for (uint64_t key : adj) {
         if (hasher_.SampledAtLevel(key, level_)) {
           rejected = true;
@@ -253,70 +272,58 @@ Status RobustL0SamplerIW::AbsorbFrom(const RobustL0SamplerIW& other) {
       }
       if (!rejected) continue;  // dropped at the unified rate
     }
-    grid_.AdjacentCells(rep->point, options_.alpha, &adj_scratch_);
-    const uint64_t existing = FindCandidate(rep->point, adj_scratch_);
-    if (existing != kNoRep) {
-      Rep& ours = reps_.at(existing);
+    grid_.AdjacentCells(in_point, options_.alpha, &adj_scratch_);
+    const uint32_t existing = FindCandidate(in_point, adj_scratch_);
+    if (existing != RepTable::kNpos) {
       // Same group seen by both partitions: the earlier representative
       // wins; pool the reservoir state so the kept entry still samples
       // uniformly over the union of observed group points.
       if (options_.random_representative) {
-        const uint64_t total = ours.group_count + rep->group_count;
-        if (reservoir_rng_.NextBounded(total) < rep->group_count) {
-          ours.sample_point = rep->sample_point;
-          ours.sample_index = rep->sample_index;
+        const uint64_t total =
+            reps_.group_count(existing) + other.reps_.group_count(in);
+        if (reservoir_rng_.NextBounded(total) <
+            other.reps_.group_count(in)) {
+          reps_.set_sample_point(existing, other.reps_.sample_point(in));
+          reps_.set_sample_index(existing, other.reps_.sample_index(in));
         }
-        ours.group_count = total;
+        reps_.set_group_count(existing, total);
       }
-      if (rep->stream_index < ours.stream_index) {
-        const bool was_accepted = ours.accepted;
-        ours.point = rep->point;
-        ours.stream_index = rep->stream_index;
+      if (in_index < reps_.stream_index(existing)) {
+        const bool was_accepted = reps_.accepted(existing);
+        reps_.set_point(existing, in_point);
+        reps_.set_stream_index(existing, in_index);
         // Re-index the cell and re-judge acceptance for the new rep point.
-        auto [mit, mend] = cell_to_rep_.equal_range(ours.cell_key);
-        for (; mit != mend; ++mit) {
-          if (mit->second == existing) {
-            cell_to_rep_.erase(mit);
-            break;
-          }
+        reps_.RekeyCell(existing, in_cell);
+        const bool now_accepted = hasher_.SampledAtLevel(in_cell, level_);
+        reps_.set_accepted(existing, now_accepted);
+        if (was_accepted != now_accepted) {
+          accept_size_ += now_accepted ? 1 : -1;
         }
-        ours.cell_key = rep->cell_key;
-        cell_to_rep_.emplace(ours.cell_key, existing);
-        ours.accepted = hasher_.SampledAtLevel(ours.cell_key, level_);
-        if (was_accepted != ours.accepted) {
-          accept_size_ += ours.accepted ? 1 : -1;
-        }
-        if (!ours.accepted) {
+        if (!now_accepted) {
           // Keep Definition 2.2: the entry stays only if some cell within
           // α of the (new) representative is sampled; otherwise the group
           // is ignored at this rate and the entry is dropped.
-          grid_.AdjacentCells(ours.point, options_.alpha, &adj);
+          grid_.AdjacentCells(reps_.point(existing), options_.alpha, &adj);
           bool near_sampled = false;
           for (uint64_t key : adj) {
-            near_sampled =
-                near_sampled || hasher_.SampledAtLevel(key, level_);
+            near_sampled = near_sampled || hasher_.SampledAtLevel(key, level_);
           }
           if (!near_sampled) {
-            auto [rit, rend] = cell_to_rep_.equal_range(ours.cell_key);
-            for (; rit != rend; ++rit) {
-              if (rit->second == existing) {
-                cell_to_rep_.erase(rit);
-                break;
-              }
-            }
-            reps_.erase(existing);
+            reps_.Remove(existing);
             meter_.Remove(RepWords());
           }
         }
       }
       continue;
     }
-    const uint64_t id = next_rep_id_++;
-    Rep copy = *rep;
-    copy.accepted = accepted;
-    cell_to_rep_.emplace(copy.cell_key, id);
+    const uint32_t slot =
+        reps_.Add(in_point, next_rep_id_++, in_index, in_cell, accepted);
+    if (options_.random_representative) {
+      reps_.set_sample_point(slot, other.reps_.sample_point(in));
+      reps_.set_sample_index(slot, other.reps_.sample_index(in));
+      reps_.set_group_count(slot, other.reps_.group_count(in));
+    }
     if (accepted) ++accept_size_;
-    reps_.emplace(id, std::move(copy));
     meter_.Add(RepWords());
   }
 
@@ -330,8 +337,11 @@ Status RobustL0SamplerIW::AbsorbFrom(const RobustL0SamplerIW& other) {
 
 std::vector<SampleItem> RobustL0SamplerIW::AcceptedRepresentatives() const {
   std::vector<SampleItem> out;
-  for (const auto& [id, rep] : reps_) {
-    if (rep.accepted) out.push_back(SampleItem{rep.point, rep.stream_index});
+  const size_t n = reps_.slot_count();
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    if (!reps_.IsLive(slot) || !reps_.accepted(slot)) continue;
+    out.push_back(
+        SampleItem{reps_.point(slot).Materialize(), reps_.stream_index(slot)});
   }
   std::sort(out.begin(), out.end(),
             [](const SampleItem& a, const SampleItem& b) {
@@ -342,8 +352,11 @@ std::vector<SampleItem> RobustL0SamplerIW::AcceptedRepresentatives() const {
 
 std::vector<SampleItem> RobustL0SamplerIW::RejectedRepresentatives() const {
   std::vector<SampleItem> out;
-  for (const auto& [id, rep] : reps_) {
-    if (!rep.accepted) out.push_back(SampleItem{rep.point, rep.stream_index});
+  const size_t n = reps_.slot_count();
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    if (!reps_.IsLive(slot) || reps_.accepted(slot)) continue;
+    out.push_back(
+        SampleItem{reps_.point(slot).Materialize(), reps_.stream_index(slot)});
   }
   std::sort(out.begin(), out.end(),
             [](const SampleItem& a, const SampleItem& b) {

@@ -22,31 +22,40 @@
 // group is uniform among all groups (Theorem 2.4); for general datasets
 // the guarantee degrades gracefully to Θ(1/F0(S,α)) per α-ball
 // (Theorem 3.1).
+//
+// Storage: representatives live in a RepTable — coordinates in a flat
+// PointStore arena, scalar fields in parallel columns, cell membership in
+// an open-addressing CellIndex (see core/rep_table.h). The refactor is
+// decision-preserving: for a fixed seed the accept/reject trajectory is
+// identical to the reference map-based implementation
+// (baseline/legacy_iw_sampler.h), which the differential tests pin.
 
 #ifndef RL0_CORE_IW_SAMPLER_H_
 #define RL0_CORE_IW_SAMPLER_H_
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "rl0/core/options.h"
+#include "rl0/core/rep_table.h"
 #include "rl0/core/sample.h"
 #include "rl0/geom/point.h"
 #include "rl0/grid/random_grid.h"
 #include "rl0/hashing/cell_hasher.h"
 #include "rl0/util/rng.h"
 #include "rl0/util/space.h"
+#include "rl0/util/span.h"
 #include "rl0/util/status.h"
 
 namespace rl0 {
 
 /// Infinite-window robust ℓ0-sampler (paper Algorithm 1).
 ///
-/// Single-threaded streaming structure: Insert points one at a time, query
-/// with Sample()/SampleK() at any moment. All randomness derives from
-/// options.seed; query-time randomness comes from the caller's generator.
+/// Single-threaded streaming structure: Insert points one at a time (or in
+/// contiguous batches), query with Sample()/SampleK() at any moment. All
+/// randomness derives from options.seed; query-time randomness comes from
+/// the caller's generator.
 class RobustL0SamplerIW {
  public:
   /// Validates `options` and constructs a sampler.
@@ -54,6 +63,22 @@ class RobustL0SamplerIW {
 
   /// Processes the next stream point. Requires p.dim() == options.dim.
   void Insert(const Point& p);
+
+  /// Processes a contiguous chunk of stream points in arrival order —
+  /// the preferred ingestion path: one virtual-call-free loop over
+  /// cache-resident input. Equivalent to calling Insert per point.
+  void InsertBatch(Span<const Point> points);
+
+  /// Processes the strided subsequence points[start], points[start+stride],
+  /// ... of a shared stream, stamping each with its *global* position
+  /// `index_base + i` (i = position in `points`). This is the
+  /// sharded-ingestion path: shard s of S consumes (start=s, stride=S)
+  /// and the global stream indices make the shards' states mergeable
+  /// without index collisions; `index_base` is the number of stream
+  /// points consumed before this span, so chunked feeding keeps indices
+  /// globally unique (see ShardedSamplerPool::ConsumeParallel).
+  void InsertStrided(Span<const Point> points, size_t start, size_t stride,
+                     uint64_t index_base = 0);
 
   /// Returns a robust ℓ0-sample: a uniformly random element of Sacc
   /// (with the reservoir variant enabled, a uniformly random point of a
@@ -86,13 +111,15 @@ class RobustL0SamplerIW {
   /// by one partition (no sampled cell near its local first point) the
   /// other partition's representative stands in, which relaxes uniformity
   /// to the Θ(1/n) of Theorem 3.1. SampleItem::stream_index values refer
-  /// to positions in the originating partition after a merge.
+  /// to positions in the originating partition after a merge; feed the
+  /// partitions with InsertStrided to make them global stream positions
+  /// (then earlier-representative-wins resolves by true arrival order).
   Status AbsorbFrom(const RobustL0SamplerIW& other);
 
   /// Number of accepted representatives |Sacc|.
   size_t accept_size() const { return accept_size_; }
   /// Number of rejected representatives |Srej|.
-  size_t reject_size() const { return reps_.size() - accept_size_; }
+  size_t reject_size() const { return reps_.live() - accept_size_; }
   /// Current level ℓ (sample rate 1/R with R = 2^ℓ).
   uint32_t level() const { return level_; }
   /// Current R = 2^level.
@@ -111,6 +138,8 @@ class RobustL0SamplerIW {
   const RandomGrid& grid() const { return grid_; }
   /// The cell hasher (introspection for tests).
   const CellHasher& hasher() const { return hasher_; }
+  /// The representative table (introspection for tests).
+  const RepTable& rep_table() const { return reps_; }
 
   /// Accepted representatives in insertion order (tests/baselines).
   std::vector<SampleItem> AcceptedRepresentatives() const;
@@ -123,27 +152,18 @@ class RobustL0SamplerIW {
   friend Result<RobustL0SamplerIW> RestoreSampler(
       const std::string& snapshot);
 
-  struct Rep {
-    Point point;            // the group's fixed representative (first point)
-    uint64_t stream_index;  // arrival index of the representative
-    uint64_t cell_key;      // cell(point)
-    bool accepted;          // in Sacc (true) or Srej (false)
-    // Reservoir variant state (Section 2.3): a uniform random point of the
-    // group seen so far and the group's point count.
-    Point sample_point;
-    uint64_t sample_index;
-    uint64_t group_count;
-  };
-
   RobustL0SamplerIW(const SamplerOptions& options, double side);
 
-  /// Finds a stored representative within α of p, or UINT64_MAX.
-  uint64_t FindCandidate(const Point& p,
+  /// Core of Insert: judges one point carrying an explicit stream index.
+  void InsertView(PointView p, uint64_t stream_index);
+
+  /// Finds a stored representative within α of p, or RepTable::kNpos.
+  uint32_t FindCandidate(PointView p,
                          const std::vector<uint64_t>& adj_keys) const;
 
-  /// Ids of accepted representatives in ascending order (deterministic
-  /// query iteration).
-  std::vector<uint64_t> SortedAcceptedIds() const;
+  /// Live slots of accepted representatives ordered by rep id (ascending
+  /// — deterministic, content-defined query iteration).
+  std::vector<uint32_t> SortedAcceptedSlots() const;
 
   /// Re-filters Sacc/Srej after the level was raised.
   void Refilter();
@@ -160,10 +180,7 @@ class RobustL0SamplerIW {
   uint64_t points_processed_ = 0;
   uint64_t next_rep_id_ = 0;
 
-  // id -> representative; cell key -> ids of representatives in that cell
-  // (general datasets can place several representatives in one cell).
-  std::unordered_map<uint64_t, Rep> reps_;
-  std::unordered_multimap<uint64_t, uint64_t> cell_to_rep_;
+  RepTable reps_;
 
   SpaceMeter meter_;
   // Scratch buffer reused across Insert calls to avoid per-point allocation.

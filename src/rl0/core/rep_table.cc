@@ -1,0 +1,187 @@
+#include "rl0/core/rep_table.h"
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+namespace {
+constexpr size_t kInitialBuckets = 16;  // power of two
+}  // namespace
+
+CellIndex::CellIndex() : buckets_(kInitialBuckets), shift_(64 - 4) {}
+
+uint32_t CellIndex::Find(uint64_t key) const {
+  const size_t mask = buckets_.size() - 1;
+  size_t i = BucketFor(key);
+  for (;;) {
+    const Bucket& b = buckets_[i];
+    if (b.state == kEmpty) return kNpos;
+    if (b.state == kFull && b.key == key) return b.head;
+    i = (i + 1) & mask;
+  }
+}
+
+void CellIndex::SetHead(uint64_t key, uint32_t head) {
+  (void)Upsert(key, head);
+}
+
+uint32_t CellIndex::Upsert(uint64_t key, uint32_t head) {
+  RL0_DCHECK(head != kNpos);
+  if ((used_ + 1) * 10 >= buckets_.size() * 7) Grow();
+  const size_t mask = buckets_.size() - 1;
+  size_t i = BucketFor(key);
+  size_t insert_at = buckets_.size();  // first tombstone seen, if any
+  for (;;) {
+    Bucket& b = buckets_[i];
+    if (b.state == kFull && b.key == key) {
+      const uint32_t prev = b.head;
+      b.head = head;
+      return prev;
+    }
+    if (b.state == kTombstone && insert_at == buckets_.size()) insert_at = i;
+    if (b.state == kEmpty) {
+      if (insert_at == buckets_.size()) {
+        insert_at = i;
+        ++used_;  // consuming a fresh empty bucket
+      }
+      Bucket& dst = buckets_[insert_at];
+      dst.key = key;
+      dst.head = head;
+      dst.state = kFull;
+      ++live_;
+      return kNpos;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void CellIndex::Erase(uint64_t key) {
+  const size_t mask = buckets_.size() - 1;
+  size_t i = BucketFor(key);
+  for (;;) {
+    Bucket& b = buckets_[i];
+    if (b.state == kEmpty) return;
+    if (b.state == kFull && b.key == key) {
+      b.state = kTombstone;
+      --live_;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void CellIndex::Grow() {
+  // The 70% trigger counts tombstones; under heavy rep churn (refilters,
+  // window expiry) most of `used_` can be dead. Double only when live
+  // keys genuinely crowd the table (≥ 35%); otherwise rehash at the same
+  // size to clear tombstones, so the bucket array tracks the *live*
+  // population — the bound kCellIndexEntryWords models — not the
+  // cumulative insertion count.
+  std::vector<Bucket> old = std::move(buckets_);
+  const bool double_size = (live_ + 1) * 20 >= old.size() * 7;
+  buckets_.assign(double_size ? old.size() * 2 : old.size(), Bucket{});
+  if (double_size) --shift_;
+  live_ = 0;
+  used_ = 0;
+  const size_t mask = buckets_.size() - 1;
+  for (const Bucket& b : old) {
+    if (b.state != kFull) continue;
+    size_t i = BucketFor(b.key);
+    while (buckets_[i].state == kFull) i = (i + 1) & mask;
+    buckets_[i] = b;
+    ++live_;
+    ++used_;
+  }
+}
+
+RepTable::RepTable(size_t dim, bool with_reservoir)
+    : dim_(dim), with_reservoir_(with_reservoir), store_(dim) {}
+
+uint32_t RepTable::Add(PointView point, uint64_t id, uint64_t stream_index,
+                       uint64_t cell_key, bool accepted) {
+  RL0_DCHECK(point.dim() == dim_);
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    point_[slot] = store_.Add(point);
+    if (with_reservoir_) sample_point_[slot] = store_.Add(point);
+  } else {
+    RL0_CHECK(flags_.size() < kNpos);
+    slot = static_cast<uint32_t>(flags_.size());
+    id_.push_back(0);
+    stream_index_.push_back(0);
+    cell_key_.push_back(0);
+    point_.push_back(store_.Add(point));
+    flags_.push_back(0);
+    next_in_cell_.push_back(kNpos);
+    if (with_reservoir_) {
+      sample_point_.push_back(store_.Add(point));
+      sample_index_.push_back(0);
+      group_count_.push_back(0);
+    }
+  }
+  id_[slot] = id;
+  stream_index_[slot] = stream_index;
+  cell_key_[slot] = cell_key;
+  flags_[slot] = kLiveFlag | (accepted ? kAcceptedFlag : 0);
+  if (with_reservoir_) {
+    sample_index_[slot] = stream_index;
+    group_count_[slot] = 1;
+  }
+  Link(slot);
+  ++live_;
+  return slot;
+}
+
+void RepTable::Remove(uint32_t slot) {
+  RL0_DCHECK(IsLive(slot));
+  Unlink(slot);
+  store_.Release(point_[slot]);
+  if (with_reservoir_) store_.Release(sample_point_[slot]);
+  flags_[slot] = 0;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+void RepTable::set_accepted(uint32_t slot, bool accepted) {
+  if (accepted) {
+    flags_[slot] |= kAcceptedFlag;
+  } else {
+    flags_[slot] &= static_cast<uint8_t>(~kAcceptedFlag);
+  }
+}
+
+void RepTable::RekeyCell(uint32_t slot, uint64_t new_cell_key) {
+  Unlink(slot);
+  cell_key_[slot] = new_cell_key;
+  Link(slot);
+}
+
+void RepTable::Link(uint32_t slot) {
+  next_in_cell_[slot] = index_.Upsert(cell_key_[slot], slot);
+}
+
+void RepTable::Unlink(uint32_t slot) {
+  const uint64_t key = cell_key_[slot];
+  const uint32_t head = index_.Find(key);
+  RL0_DCHECK(head != kNpos);
+  if (head == slot) {
+    const uint32_t next = next_in_cell_[slot];
+    if (next == kNpos) {
+      index_.Erase(key);
+    } else {
+      index_.SetHead(key, next);
+    }
+  } else {
+    uint32_t prev = head;
+    while (next_in_cell_[prev] != slot) {
+      prev = next_in_cell_[prev];
+      RL0_DCHECK(prev != kNpos);
+    }
+    next_in_cell_[prev] = next_in_cell_[slot];
+  }
+  next_in_cell_[slot] = kNpos;
+}
+
+}  // namespace rl0

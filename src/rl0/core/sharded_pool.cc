@@ -21,19 +21,22 @@ Result<ShardedSamplerPool> ShardedSamplerPool::Create(
   return ShardedSamplerPool(std::move(samplers));
 }
 
-void ShardedSamplerPool::ConsumeParallel(const std::vector<Point>& points) {
+void ShardedSamplerPool::ConsumeParallel(Span<const Point> points) {
   const size_t shards = shards_.size();
   std::vector<std::thread> workers;
   workers.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
-    workers.emplace_back([this, &points, s, shards] {
-      RobustL0SamplerIW& sampler = shards_[s];
-      for (size_t i = s; i < points.size(); i += shards) {
-        sampler.Insert(points[i]);
-      }
+    workers.emplace_back([this, points, s, shards] {
+      // The whole span is handed to the shard once; InsertStrided walks
+      // the shard's residue class in one tight loop and stamps each point
+      // with its *global* stream position, so Merged() resolves duplicate
+      // groups by true arrival order (and stream indices stay unique
+      // across shards).
+      shards_[s].InsertStrided(points, s, shards, consumed_);
     });
   }
   for (std::thread& worker : workers) worker.join();
+  consumed_ += points.size();
 }
 
 Result<RobustL0SamplerIW> ShardedSamplerPool::Merged() const {

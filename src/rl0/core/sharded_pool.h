@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "rl0/core/iw_sampler.h"
+#include "rl0/util/span.h"
 #include "rl0/util/status.h"
 
 namespace rl0 {
@@ -39,9 +40,18 @@ class ShardedSamplerPool {
   const RobustL0SamplerIW& shard(size_t i) const { return shards_[i]; }
 
   /// Feeds `points` with one worker thread per shard: shard s receives
-  /// the points whose index ≡ s (mod num_shards), in stream order.
+  /// the points at *chunk-relative* positions ≡ s (mod num_shards), in
+  /// stream order, via the strided batch path
+  /// (RobustL0SamplerIW::InsertStrided). Each point is stamped with its
+  /// global stream position (consumed-so-far + chunk position), so
+  /// chunked feeding keeps indices globally unique and a later Merged()
+  /// resolves groups judged by several shards deterministically by true
+  /// arrival order. Note that across chunks a given global residue class
+  /// may land on different shards (the partition restarts per chunk);
+  /// only the global indices, not the shard assignment, are stable.
   /// Deterministic: the partition does not depend on thread scheduling.
-  void ConsumeParallel(const std::vector<Point>& points);
+  /// (std::vector<Point> converts implicitly.)
+  void ConsumeParallel(Span<const Point> points);
 
   /// A merged sampler over the union of all shards' streams
   /// (copy of shard 0 absorbing the rest; see AbsorbFrom's guarantee).
@@ -58,6 +68,8 @@ class ShardedSamplerPool {
       : shards_(std::move(shards)) {}
 
   std::vector<RobustL0SamplerIW> shards_;
+  /// Stream points consumed so far (the index base of the next chunk).
+  uint64_t consumed_ = 0;
 };
 
 }  // namespace rl0

@@ -22,8 +22,8 @@ uint64_t Checksum(const std::string& data, size_t length) {
   return SplitMix64(h);
 }
 
-void PutPoint(BinaryWriter* writer, const Point& p) {
-  for (double c : p.coords()) writer->PutDouble(c);
+void PutPoint(BinaryWriter* writer, PointView p) {
+  for (size_t i = 0; i < p.dim(); ++i) writer->PutDouble(p[i]);
 }
 
 Status GetPoint(BinaryReader* reader, size_t dim, Point* out) {
@@ -119,16 +119,24 @@ Status SnapshotSampler(const RobustL0SamplerIW& sampler, std::string* out) {
   writer.PutU64(sampler.points_processed_);
   writer.PutU64(sampler.next_rep_id_);
 
-  writer.PutU64(sampler.reps_.size());
-  for (const auto& [id, rep] : sampler.reps_) {
-    writer.PutU64(id);
-    writer.PutU64(rep.stream_index);
-    writer.PutU64(rep.cell_key);
-    writer.PutU8(rep.accepted ? 1 : 0);
-    writer.PutU64(rep.group_count);
-    writer.PutU64(rep.sample_index);
-    PutPoint(&writer, rep.point);
-    PutPoint(&writer, rep.sample_point);
+  const RepTable& reps = sampler.reps_;
+  const bool reservoir_mode = sampler.options_.random_representative;
+  writer.PutU64(reps.live());
+  const size_t slots = reps.slot_count();
+  for (uint32_t slot = 0; slot < slots; ++slot) {
+    if (!reps.IsLive(slot)) continue;
+    writer.PutU64(reps.id(slot));
+    writer.PutU64(reps.stream_index(slot));
+    writer.PutU64(reps.cell_key(slot));
+    writer.PutU8(reps.accepted(slot) ? 1 : 0);
+    // The reservoir columns exist only in reservoir mode; the format keeps
+    // them unconditionally (degenerate values otherwise) for stability.
+    writer.PutU64(reservoir_mode ? reps.group_count(slot) : 1);
+    writer.PutU64(reservoir_mode ? reps.sample_index(slot)
+                                 : reps.stream_index(slot));
+    PutPoint(&writer, reps.point(slot));
+    PutPoint(&writer, reservoir_mode ? reps.sample_point(slot)
+                                     : reps.point(slot));
   }
   writer.PutU64(Checksum(*out, out->size()));
   return Status::OK();
@@ -178,30 +186,32 @@ Result<RobustL0SamplerIW> RestoreSampler(const std::string& snapshot) {
   }
   size_t accept_size = 0;
   for (uint64_t i = 0; i < rep_count; ++i) {
-    uint64_t id = 0;
-    RobustL0SamplerIW::Rep rep;
+    uint64_t id = 0, stream_index = 0, cell_key = 0;
+    uint64_t group_count = 0, sample_index = 0;
     uint8_t accepted = 0;
+    Point point, sample_point;
     if (Status st = reader.GetU64(&id); !st.ok()) return st;
-    if (Status st = reader.GetU64(&rep.stream_index); !st.ok()) return st;
-    if (Status st = reader.GetU64(&rep.cell_key); !st.ok()) return st;
+    if (Status st = reader.GetU64(&stream_index); !st.ok()) return st;
+    if (Status st = reader.GetU64(&cell_key); !st.ok()) return st;
     if (Status st = reader.GetU8(&accepted); !st.ok()) return st;
-    if (Status st = reader.GetU64(&rep.group_count); !st.ok()) return st;
-    if (Status st = reader.GetU64(&rep.sample_index); !st.ok()) return st;
-    if (Status st = GetPoint(&reader, opts.dim, &rep.point); !st.ok()) {
+    if (Status st = reader.GetU64(&group_count); !st.ok()) return st;
+    if (Status st = reader.GetU64(&sample_index); !st.ok()) return st;
+    if (Status st = GetPoint(&reader, opts.dim, &point); !st.ok()) return st;
+    if (Status st = GetPoint(&reader, opts.dim, &sample_point); !st.ok()) {
       return st;
     }
-    if (Status st = GetPoint(&reader, opts.dim, &rep.sample_point);
-        !st.ok()) {
-      return st;
-    }
-    rep.accepted = accepted != 0;
     // Integrity: the stored cell key must match the deterministic grid.
-    if (sampler.grid_.CellKeyOf(rep.point) != rep.cell_key) {
+    if (sampler.grid_.CellKeyOf(point) != cell_key) {
       return Status::InvalidArgument("cell key mismatch in snapshot");
     }
-    accept_size += rep.accepted;
-    sampler.cell_to_rep_.emplace(rep.cell_key, id);
-    sampler.reps_.emplace(id, std::move(rep));
+    accept_size += accepted != 0;
+    const uint32_t slot = sampler.reps_.Add(point, id, stream_index,
+                                            cell_key, accepted != 0);
+    if (opts.random_representative) {
+      sampler.reps_.set_sample_point(slot, sample_point);
+      sampler.reps_.set_sample_index(slot, sample_index);
+      sampler.reps_.set_group_count(slot, group_count);
+    }
     sampler.meter_.Add(sampler.RepWords());
   }
   sampler.accept_size_ = accept_size;
@@ -243,13 +253,12 @@ Status SnapshotSamplerSW(const RobustL0SamplerSW& sampler, std::string* out) {
       PutPoint(&writer, g.latest);
       writer.PutI64(g.latest_stamp);
       writer.PutU64(g.latest_index);
-      const auto& candidates = g.reservoir.candidates();
-      writer.PutU64(candidates.size());
-      for (const auto& candidate : candidates) {
+      writer.PutU64(g.reservoir.size());
+      for (const auto& candidate : g.reservoir) {
         writer.PutU64(candidate.priority);
         writer.PutI64(candidate.stamp);
-        writer.PutU64(candidate.item.stream_index);
-        PutPoint(&writer, candidate.item.point);
+        writer.PutU64(candidate.stream_index);
+        PutPoint(&writer, candidate.point);
       }
     }
   }
@@ -338,26 +347,22 @@ Result<RobustL0SamplerSW> RestoreSamplerSW(const std::string& snapshot) {
       if (candidate_count > snapshot.size()) {
         return Status::InvalidArgument("bad reservoir size in snapshot");
       }
-      std::deque<WindowedReservoir::Candidate> candidates;
+      g.reservoir.reserve(candidate_count);
       for (uint64_t c = 0; c < candidate_count; ++c) {
-        WindowedReservoir::Candidate candidate;
+        WindowedReservoir::RestoredCandidate candidate;
         if (Status st = reader.GetU64(&candidate.priority); !st.ok()) {
           return st;
         }
         if (Status st = reader.GetI64(&candidate.stamp); !st.ok()) return st;
-        if (Status st = reader.GetU64(&candidate.item.stream_index);
+        if (Status st = reader.GetU64(&candidate.stream_index); !st.ok()) {
+          return st;
+        }
+        if (Status st = GetPoint(&reader, opts.dim, &candidate.point);
             !st.ok()) {
           return st;
         }
-        if (Status st = GetPoint(&reader, opts.dim, &candidate.item.point);
-            !st.ok()) {
-          return st;
-        }
-        candidates.push_back(std::move(candidate));
+        g.reservoir.push_back(std::move(candidate));
       }
-      g.reservoir.RestoreState(
-          window, opts.seed ^ g.id ^ (sampler.points_processed_ << 20),
-          std::move(candidates));
       groups.push_back(std::move(g));
     }
     sampler.levels_[l]->MergeFrom(std::move(groups));

@@ -13,12 +13,18 @@ constexpr uint64_t kNoGroup = std::numeric_limits<uint64_t>::max();
 
 SwFixedRateSampler::SwFixedRateSampler(const SamplerContext* ctx,
                                        uint32_t level, int64_t window,
-                                       uint64_t* id_counter)
-    : ctx_(ctx), level_(level), window_(window), id_counter_(id_counter) {
+                                       uint64_t* id_counter,
+                                       PointStore* store)
+    : ctx_(ctx), store_(store), level_(level), window_(window),
+      id_counter_(id_counter) {
   RL0_CHECK(ctx != nullptr);
   RL0_CHECK(window > 0);
   RL0_CHECK(level <= CellHasher::kMaxLevel);
   if (id_counter_ == nullptr) id_counter_ = &owned_id_counter_;
+  if (store_ == nullptr) {
+    owned_store_ = std::make_unique<PointStore>(ctx_->options.dim);
+    store_ = owned_store_.get();
+  }
 }
 
 Result<std::unique_ptr<SwFixedRateSampler>>
@@ -38,17 +44,17 @@ SwFixedRateSampler::CreateStandalone(const SamplerOptions& options,
 }
 
 size_t SwFixedRateSampler::GroupWords() const {
-  // Representative + latest point, two index entries (cell multimap and
-  // stamp map) and the group map entry itself.
-  return 2 * PointWords(ctx_->options.dim) + 3 * kMapEntryWords;
+  // Arena layout: two flat points + StoredGroup header + the three index
+  // entries (see GroupArenaWords in util/space.h).
+  return GroupArenaWords(ctx_->options.dim);
 }
 
-void SwFixedRateSampler::IndexGroup(const GroupRecord& g) {
+void SwFixedRateSampler::IndexGroup(const StoredGroup& g) {
   cell_to_group_.emplace(g.rep_cell, g.id);
   by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
 }
 
-void SwFixedRateSampler::UnindexGroup(const GroupRecord& g) {
+void SwFixedRateSampler::UnindexGroup(const StoredGroup& g) {
   auto [it, end] = cell_to_group_.equal_range(g.rep_cell);
   for (; it != end; ++it) {
     if (it->second == g.id) {
@@ -59,14 +65,66 @@ void SwFixedRateSampler::UnindexGroup(const GroupRecord& g) {
   by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
 }
 
+void SwFixedRateSampler::ReleaseGroup(StoredGroup* g) {
+  store_->Release(g->rep);
+  store_->Release(g->latest);
+  g->reservoir.ReleaseAll();
+}
+
+GroupRecord SwFixedRateSampler::Materialize(const StoredGroup& g) const {
+  GroupRecord out;
+  out.id = g.id;
+  out.rep = store_->View(g.rep).Materialize();
+  out.rep_index = g.rep_index;
+  out.rep_cell = g.rep_cell;
+  out.accepted = g.accepted;
+  out.latest = store_->View(g.latest).Materialize();
+  out.latest_stamp = g.latest_stamp;
+  out.latest_index = g.latest_index;
+  if (ctx_->options.random_representative) {
+    out.reservoir.reserve(g.reservoir.size());
+    for (const WindowedReservoir::Candidate& c : g.reservoir.candidates()) {
+      out.reservoir.push_back(WindowedReservoir::RestoredCandidate{
+          c.priority, c.stamp, g.reservoir.CandidatePoint(c),
+          c.stream_index});
+    }
+  }
+  return out;
+}
+
+void SwFixedRateSampler::Adopt(GroupRecord&& in) {
+  StoredGroup g;
+  g.id = in.id;
+  g.rep = store_->Add(in.rep);
+  g.rep_index = in.rep_index;
+  g.rep_cell = in.rep_cell;
+  g.accepted = in.accepted;
+  g.latest = store_->Add(in.latest);
+  g.latest_stamp = in.latest_stamp;
+  g.latest_index = in.latest_index;
+  if (ctx_->options.random_representative) {
+    // Fresh coin stream, salted per adoption so a group promoted several
+    // times never replays a prior priority sequence (statistically
+    // equivalent; see core/snapshot.h).
+    const uint64_t reseed =
+        ctx_->options.seed ^ (g.id * 0x9E3779B97F4A7C15ULL) ^
+        SplitMix64(++reseed_epoch_);
+    g.reservoir.RestoreState(window_, reseed, store_, in.reservoir);
+  }
+  if (g.accepted) ++accept_size_;
+  IndexGroup(g);
+  const uint64_t id = g.id;
+  groups_.emplace(id, std::move(g));
+}
+
 uint64_t SwFixedRateSampler::FindCandidate(
-    const Point& p, const std::vector<uint64_t>& adj_keys) const {
+    PointView p, const std::vector<uint64_t>& adj_keys) const {
   // A representative u with d(u, p) ≤ α has cell(u) ∈ adj(p).
   for (uint64_t key : adj_keys) {
     auto [it, end] = cell_to_group_.equal_range(key);
     for (; it != end; ++it) {
-      const GroupRecord& g = groups_.at(it->second);
-      if (MetricWithinDistance(g.rep, p, ctx_->options.alpha,
+      const StoredGroup& g = groups_.at(it->second);
+      if (MetricWithinDistance(store_->View(g.rep), p, ctx_->options.alpha,
                                ctx_->options.metric)) {
         return it->second;
       }
@@ -82,9 +140,9 @@ InsertOutcome SwFixedRateSampler::InsertPrepared(const PreparedPoint& p) {
   if (candidate != kNoGroup) {
     // Same group as a tracked representative: refresh its latest point
     // (Algorithm 2 line 6: A ← (u,p) ∪ A \ (u,·)).
-    GroupRecord& g = groups_.at(candidate);
+    StoredGroup& g = groups_.at(candidate);
     by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
-    g.latest = *p.point;
+    store_->Write(g.latest, *p.point);
     g.latest_stamp = p.stamp;
     g.latest_index = p.stream_index;
     by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
@@ -108,22 +166,24 @@ InsertOutcome SwFixedRateSampler::InsertPrepared(const PreparedPoint& p) {
     if (!rejected) return InsertOutcome::kIgnored;
   }
 
-  GroupRecord g;
+  StoredGroup g;
   g.id = (*id_counter_)++;
-  g.rep = *p.point;
+  g.rep = store_->Add(*p.point);
   g.rep_index = p.stream_index;
   g.rep_cell = p.cell_key;
   g.accepted = accepted;
-  g.latest = *p.point;
+  g.latest = store_->Add(*p.point);
   g.latest_stamp = p.stamp;
   g.latest_index = p.stream_index;
   if (ctx_->options.random_representative) {
-    g.reservoir = WindowedReservoir(window_, ctx_->options.seed ^ g.id);
+    g.reservoir =
+        WindowedReservoir(window_, ctx_->options.seed ^ g.id, store_);
     g.reservoir.Insert(*p.point, p.stamp, p.stream_index);
   }
   if (accepted) ++accept_size_;
   IndexGroup(g);
-  groups_.emplace(g.id, std::move(g));
+  const uint64_t id = g.id;
+  groups_.emplace(id, std::move(g));
   return accepted ? InsertOutcome::kAccepted : InsertOutcome::kRejected;
 }
 
@@ -149,11 +209,13 @@ void SwFixedRateSampler::Expire(int64_t now) {
     RL0_DCHECK(git != groups_.end());
     if (git->second.accepted) --accept_size_;
     UnindexGroup(git->second);
+    ReleaseGroup(&git->second);
     groups_.erase(git);
   }
 }
 
 void SwFixedRateSampler::Reset() {
+  for (auto& [id, g] : groups_) ReleaseGroup(&g);
   groups_.clear();
   cell_to_group_.clear();
   by_stamp_.clear();
@@ -175,7 +237,8 @@ std::optional<SampleItem> SwFixedRateSampler::Sample(int64_t now,
         RL0_DCHECK(item.has_value());
         if (item.has_value()) return item;
       }
-      return SampleItem{g.latest, g.latest_index};
+      return SampleItem{store_->View(g.latest).Materialize(),
+                        g.latest_index};
     }
     --target;
   }
@@ -194,19 +257,23 @@ void SwFixedRateSampler::AcceptedGroupSamples(int64_t now,
         continue;
       }
     }
-    out->push_back(SampleItem{g.latest, g.latest_index});
+    out->push_back(
+        SampleItem{store_->View(g.latest).Materialize(), g.latest_index});
   }
 }
 
 void SwFixedRateSampler::AcceptedLatestPoints(
     std::vector<SampleItem>* out) const {
   for (const auto& [id, g] : groups_) {
-    if (g.accepted) out->push_back(SampleItem{g.latest, g.latest_index});
+    if (g.accepted) {
+      out->push_back(
+          SampleItem{store_->View(g.latest).Materialize(), g.latest_index});
+    }
   }
 }
 
 void SwFixedRateSampler::SnapshotGroups(std::vector<GroupRecord>* out) const {
-  for (const auto& [id, g] : groups_) out->push_back(g);
+  for (const auto& [id, g] : groups_) out->push_back(Materialize(g));
 }
 
 bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
@@ -232,15 +299,15 @@ bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
   for (auto& [id, g] : groups_) {
     if (g.rep_index > t) continue;
     to_remove.push_back(id);
-    GroupRecord moved = g;
-    if (ctx_->hasher.SampledAtLevel(moved.rep_cell, level_ + 1)) {
+    if (ctx_->hasher.SampledAtLevel(g.rep_cell, level_ + 1)) {
+      GroupRecord moved = Materialize(g);
       moved.accepted = true;  // nestedness: it was accepted at ℓ already
       promoted->push_back(std::move(moved));
       continue;
     }
     // Own cell unsampled at ℓ+1: rejected if a nearby cell is sampled,
     // dropped otherwise.
-    ctx_->grid.AdjacentCells(moved.rep, ctx_->options.alpha, &adj);
+    ctx_->grid.AdjacentCells(store_->View(g.rep), ctx_->options.alpha, &adj);
     bool near_sampled = false;
     for (uint64_t key : adj) {
       if (ctx_->hasher.SampledAtLevel(key, level_ + 1)) {
@@ -249,6 +316,7 @@ bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
       }
     }
     if (near_sampled) {
+      GroupRecord moved = Materialize(g);
       moved.accepted = false;
       promoted->push_back(std::move(moved));
     }
@@ -258,18 +326,14 @@ bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
     auto it = groups_.find(id);
     if (it->second.accepted) --accept_size_;
     UnindexGroup(it->second);
+    ReleaseGroup(&it->second);
     groups_.erase(it);
   }
   return true;
 }
 
 void SwFixedRateSampler::MergeFrom(std::vector<GroupRecord>&& incoming) {
-  for (GroupRecord& g : incoming) {
-    if (g.accepted) ++accept_size_;
-    IndexGroup(g);
-    const uint64_t id = g.id;
-    groups_.emplace(id, std::move(g));
-  }
+  for (GroupRecord& g : incoming) Adopt(std::move(g));
 }
 
 size_t SwFixedRateSampler::SpaceWords() const {

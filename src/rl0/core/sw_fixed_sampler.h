@@ -15,6 +15,13 @@
 // index) and time-based windows (stamp = arrival time); only the meaning
 // of the stamp differs.
 //
+// Storage: group coordinates (representative, latest point, reservoir
+// candidates) live in a PointStore arena shared across all levels of a
+// hierarchy — one flat buffer per sampler family instead of a heap
+// vector per stored point. GroupRecord is the *materialized* exchange
+// format (owning Points) used by SplitPromote/MergeFrom/SnapshotGroups;
+// the in-table representation is arena-backed and private.
+//
 // Used standalone (with a fixed rate it stores up to Θ(w/R) groups) and as
 // the per-level building block of the space-efficient Algorithm 3, which
 // additionally needs Reset (pruning), SplitPromote and MergeFrom
@@ -33,13 +40,15 @@
 #include "rl0/core/context.h"
 #include "rl0/core/sample.h"
 #include "rl0/core/windowed_reservoir.h"
+#include "rl0/geom/point_store.h"
 #include "rl0/util/space.h"
 #include "rl0/util/status.h"
 
 namespace rl0 {
 
-/// One tracked candidate group (public so the hierarchy can move groups
-/// between levels during split/merge).
+/// One tracked candidate group, materialized with owning Points (the
+/// exchange format for split/merge between levels, snapshotting and
+/// tests; in-table storage is arena-backed).
 struct GroupRecord {
   uint64_t id = 0;
   /// The representative (first point of the group in the current window).
@@ -52,9 +61,9 @@ struct GroupRecord {
   Point latest;
   int64_t latest_stamp = 0;
   uint64_t latest_index = 0;
-  /// Section 2.3 variant: uniform sample over the group's window points
+  /// Section 2.3 variant: the group's windowed-reservoir candidates
   /// (populated only when options.random_representative is set).
-  WindowedReservoir reservoir;
+  std::vector<WindowedReservoir::RestoredCandidate> reservoir;
 };
 
 /// What happened to a point fed to a level (drives Algorithm 3's
@@ -74,12 +83,15 @@ enum class InsertOutcome {
 /// Fixed-rate sliding-window sampler (Algorithm 2).
 class SwFixedRateSampler {
  public:
-  /// Non-owning constructor: `ctx` must outlive the sampler; `id_counter`
-  /// issues group ids unique across all levels of a hierarchy.
+  /// Non-owning constructor: `ctx` and `store` must outlive the sampler;
+  /// `id_counter` issues group ids unique across all levels of a
+  /// hierarchy. A null `store` gives the sampler a private arena.
   SwFixedRateSampler(const SamplerContext* ctx, uint32_t level,
-                     int64_t window, uint64_t* id_counter);
+                     int64_t window, uint64_t* id_counter,
+                     PointStore* store = nullptr);
 
-  /// Standalone factory owning its context (single-level use, tests).
+  /// Standalone factory owning its context and arena (single-level use,
+  /// tests).
   static Result<std::unique_ptr<SwFixedRateSampler>> CreateStandalone(
       const SamplerOptions& options, uint32_t level, int64_t window);
 
@@ -130,7 +142,8 @@ class SwFixedRateSampler {
   /// Expires the reservoirs at `now` first.
   void AcceptedGroupSamples(int64_t now, std::vector<SampleItem>* out);
 
-  /// Appends copies of all group records to `out` (introspection).
+  /// Appends materialized copies of all group records to `out`
+  /// (introspection, checkpointing).
   void SnapshotGroups(std::vector<GroupRecord>* out) const;
 
   /// Algorithm 4 (Split), promotion half. Finds the last accepted
@@ -143,27 +156,50 @@ class SwFixedRateSampler {
   bool SplitPromote(std::vector<GroupRecord>* promoted);
 
   /// Algorithm 5 (Merge): adopts `groups` (already at this level's rate).
+  /// Reservoir coin streams restart from a derived seed (see
+  /// core/snapshot.h for the statistical-equivalence contract).
   void MergeFrom(std::vector<GroupRecord>&& groups);
 
   /// Space in words under the util/space.h accounting model.
   size_t SpaceWords() const;
 
  private:
-  void IndexGroup(const GroupRecord& g);
-  void UnindexGroup(const GroupRecord& g);
-  uint64_t FindCandidate(const Point& p,
+  /// In-table group state: all coordinates arena-backed.
+  struct StoredGroup {
+    uint64_t id = 0;
+    PointRef rep;
+    uint64_t rep_index = 0;
+    uint64_t rep_cell = 0;
+    bool accepted = false;
+    PointRef latest;
+    int64_t latest_stamp = 0;
+    uint64_t latest_index = 0;
+    WindowedReservoir reservoir;
+  };
+
+  void IndexGroup(const StoredGroup& g);
+  void UnindexGroup(const StoredGroup& g);
+  /// Frees the group's arena slots (call before dropping the record).
+  void ReleaseGroup(StoredGroup* g);
+  GroupRecord Materialize(const StoredGroup& g) const;
+  /// Installs a materialized record (allocating arena slots).
+  void Adopt(GroupRecord&& g);
+  uint64_t FindCandidate(PointView p,
                          const std::vector<uint64_t>& adj_keys) const;
   size_t GroupWords() const;
 
   const SamplerContext* ctx_;
   std::unique_ptr<SamplerContext> owned_ctx_;  // standalone mode only
+  PointStore* store_;
+  std::unique_ptr<PointStore> owned_store_;  // standalone mode only
   uint32_t level_;
   int64_t window_;
   uint64_t* id_counter_;
   uint64_t owned_id_counter_ = 0;  // standalone mode only
+  uint64_t reseed_epoch_ = 0;      // salts reservoir reseeds on adoption
 
   size_t accept_size_ = 0;
-  std::unordered_map<uint64_t, GroupRecord> groups_;
+  std::unordered_map<uint64_t, StoredGroup> groups_;
   std::unordered_multimap<uint64_t, uint64_t> cell_to_group_;
   /// Groups ordered by latest stamp for O(log) expiry.
   std::map<std::pair<int64_t, uint64_t>, uint64_t> by_stamp_;

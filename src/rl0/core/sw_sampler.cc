@@ -24,13 +24,14 @@ RobustL0SamplerSW::RobustL0SamplerSW(const SamplerOptions& options,
                                      int64_t window)
     : ctx_(std::make_unique<SamplerContext>(options)),
       id_counter_(std::make_unique<uint64_t>(0)),
+      store_(std::make_unique<PointStore>(options.dim)),
       window_(window),
       accept_cap_(options.EffectiveAcceptCap()) {
   const uint32_t L = CeilLog2(static_cast<uint64_t>(window));
   levels_.reserve(L + 1);
   for (uint32_t l = 0; l <= L; ++l) {
     levels_.push_back(std::make_unique<SwFixedRateSampler>(
-        ctx_.get(), l, window, id_counter_.get()));
+        ctx_.get(), l, window, id_counter_.get(), store_.get()));
   }
   meter_.Set(SpaceWords());
 }
@@ -70,6 +71,12 @@ void RobustL0SamplerSW::Insert(const Point& p, int64_t stamp) {
 
 void RobustL0SamplerSW::Insert(const Point& p) {
   Insert(p, static_cast<int64_t>(points_processed_));
+}
+
+void RobustL0SamplerSW::InsertBatch(Span<const Point> points) {
+  for (const Point& p : points) {
+    Insert(p, static_cast<int64_t>(points_processed_));
+  }
 }
 
 void RobustL0SamplerSW::Cascade(size_t start_level) {

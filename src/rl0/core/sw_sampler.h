@@ -38,7 +38,9 @@
 #include "rl0/core/context.h"
 #include "rl0/core/sample.h"
 #include "rl0/core/sw_fixed_sampler.h"
+#include "rl0/geom/point_store.h"
 #include "rl0/util/space.h"
+#include "rl0/util/span.h"
 #include "rl0/util/status.h"
 
 namespace rl0 {
@@ -61,6 +63,10 @@ class RobustL0SamplerSW {
 
   /// Feeds a point stamped with its arrival index (sequence-based windows).
   void Insert(const Point& p);
+
+  /// Feeds a contiguous chunk of points in arrival order, each stamped
+  /// with its arrival index. Equivalent to calling Insert per point.
+  void InsertBatch(Span<const Point> points);
 
   /// Returns a robust ℓ0-sample of the window at time `now`: a group alive
   /// in (now-window, now] chosen uniformly, represented by its latest
@@ -130,6 +136,8 @@ class RobustL0SamplerSW {
 
   std::unique_ptr<SamplerContext> ctx_;
   std::unique_ptr<uint64_t> id_counter_;
+  /// One arena for every level's points (stable address: levels hold it).
+  std::unique_ptr<PointStore> store_;
   std::vector<std::unique_ptr<SwFixedRateSampler>> levels_;
   int64_t window_;
   size_t accept_cap_;

@@ -19,7 +19,7 @@ const char* MetricName(Metric metric) {
   return "unknown";
 }
 
-double MetricDistance(const Point& a, const Point& b, Metric metric) {
+double MetricDistance(PointView a, PointView b, Metric metric) {
   RL0_DCHECK(a.dim() == b.dim());
   switch (metric) {
     case Metric::kL2:
@@ -40,7 +40,7 @@ double MetricDistance(const Point& a, const Point& b, Metric metric) {
   return 0.0;
 }
 
-bool MetricWithinDistance(const Point& a, const Point& b, double radius,
+bool MetricWithinDistance(PointView a, PointView b, double radius,
                           Metric metric) {
   if (metric == Metric::kL2) return WithinDistance(a, b, radius);
   return MetricDistance(a, b, metric) <= radius;

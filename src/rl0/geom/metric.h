@@ -25,10 +25,12 @@ enum class Metric {
 const char* MetricName(Metric metric);
 
 /// Distance between a and b under `metric`. Requires equal dimensions.
-double MetricDistance(const Point& a, const Point& b, Metric metric);
+/// View-based: owning Points convert implicitly, arena-backed points pass
+/// their PointStore views straight through (no materialization).
+double MetricDistance(PointView a, PointView b, Metric metric);
 
 /// True iff the `metric` distance between a and b is ≤ radius.
-bool MetricWithinDistance(const Point& a, const Point& b, double radius,
+bool MetricWithinDistance(PointView a, PointView b, double radius,
                           Metric metric);
 
 }  // namespace rl0

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "rl0/util/check.h"
@@ -46,22 +47,32 @@ std::string Point::ToString() const {
   return out;
 }
 
-double SquaredDistance(const Point& a, const Point& b) {
+bool PointView::operator==(PointView other) const {
+  if (dim_ != other.dim_) return false;
+  for (size_t i = 0; i < dim_; ++i) {
+    if (data_[i] != other.data_[i]) return false;
+  }
+  return true;
+}
+
+double SquaredDistance(PointView a, PointView b) {
   RL0_DCHECK(a.dim() == b.dim());
   double s = 0.0;
   const size_t d = a.dim();
+  const double* pa = a.data();
+  const double* pb = b.data();
   for (size_t i = 0; i < d; ++i) {
-    const double diff = a[i] - b[i];
+    const double diff = pa[i] - pb[i];
     s += diff * diff;
   }
   return s;
 }
 
-double Distance(const Point& a, const Point& b) {
+double Distance(PointView a, PointView b) {
   return std::sqrt(SquaredDistance(a, b));
 }
 
-bool WithinDistance(const Point& a, const Point& b, double radius) {
+bool WithinDistance(PointView a, PointView b, double radius) {
   return SquaredDistance(a, b) <= radius * radius;
 }
 

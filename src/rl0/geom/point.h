@@ -2,8 +2,20 @@
 //
 // The paper's data model is points in R^d with the Euclidean metric; more
 // complex objects (documents, images) are assumed to have been mapped to
-// feature vectors upstream. Point is a thin wrapper over a dense coordinate
-// vector with value semantics.
+// feature vectors upstream. Two representations share one set of
+// primitives:
+//
+//   * Point      — an owning, value-semantics coordinate vector. The API
+//                  boundary type (stream elements, returned samples).
+//   * PointView  — a non-owning {pointer, dim} view over contiguous
+//                  coordinates. The hot-path type: the samplers keep their
+//                  stored points in a PointStore arena (one flat double
+//                  buffer, see point_store.h) and hand out views, so the
+//                  distance loops below run over cache-resident memory
+//                  with no per-point indirection.
+//
+// Point converts implicitly to PointView, so every distance primitive is
+// written once, against views.
 
 #ifndef RL0_GEOM_POINT_H_
 #define RL0_GEOM_POINT_H_
@@ -31,6 +43,9 @@ class Point {
   /// A point adopting the given coordinate vector.
   explicit Point(std::vector<double> coords) : coords_(std::move(coords)) {}
 
+  /// A point copying `dim` contiguous coordinates starting at `data`.
+  Point(const double* data, size_t dim) : coords_(data, data + dim) {}
+
   /// Number of coordinates.
   size_t dim() const { return coords_.size(); }
 
@@ -41,8 +56,12 @@ class Point {
   /// The underlying coordinate vector.
   const std::vector<double>& coords() const { return coords_; }
 
+  /// Contiguous coordinate storage.
+  const double* data() const { return coords_.data(); }
+
   /// Exact coordinate-wise equality (used by tests and exact baselines).
   bool operator==(const Point& other) const { return coords_ == other.coords_; }
+  bool operator!=(const Point& other) const { return !(*this == other); }
 
   /// Component-wise sum / difference / scaling (used by generators).
   Point operator+(const Point& other) const;
@@ -59,14 +78,46 @@ class Point {
   std::vector<double> coords_;
 };
 
+/// A non-owning view of `dim` contiguous coordinates. Trivially copyable;
+/// valid only while the owning storage (a Point or a PointStore buffer) is
+/// alive and unmodified. Appending to a PointStore may reallocate its
+/// buffer, so views must not be held across arena growth.
+class PointView {
+ public:
+  constexpr PointView() = default;
+  constexpr PointView(const double* data, size_t dim)
+      : data_(data), dim_(dim) {}
+
+  /// Implicit: lets owning Points flow into the view-based primitives.
+  PointView(const Point& p) : data_(p.data()), dim_(p.dim()) {}
+
+  size_t dim() const { return dim_; }
+  double operator[](size_t i) const { return data_[i]; }
+  const double* data() const { return data_; }
+
+  /// Deep copy into an owning Point.
+  Point Materialize() const { return Point(data_, dim_); }
+
+  /// Exact coordinate-wise equality.
+  bool operator==(PointView other) const;
+  bool operator!=(PointView other) const { return !(*this == other); }
+
+  /// "(x1, x2, ..., xd)" with 6 significant digits, for logs.
+  std::string ToString() const { return Materialize().ToString(); }
+
+ private:
+  const double* data_ = nullptr;
+  size_t dim_ = 0;
+};
+
 /// Squared Euclidean distance between a and b. Requires equal dimensions.
-double SquaredDistance(const Point& a, const Point& b);
+double SquaredDistance(PointView a, PointView b);
 
 /// Euclidean distance between a and b. Requires equal dimensions.
-double Distance(const Point& a, const Point& b);
+double Distance(PointView a, PointView b);
 
 /// True iff d(a, b) ≤ radius, computed without a square root.
-bool WithinDistance(const Point& a, const Point& b, double radius);
+bool WithinDistance(PointView a, PointView b, double radius);
 
 /// Minimum pairwise Euclidean distance over a set (O(n²); generator-side
 /// preprocessing only). Returns +inf for fewer than two points.

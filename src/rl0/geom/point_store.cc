@@ -1,0 +1,46 @@
+#include "rl0/geom/point_store.h"
+
+#include <cstring>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+PointStore::PointStore(size_t dim) : dim_(dim) { RL0_CHECK(dim >= 1); }
+
+PointRef PointStore::Allocate() {
+  PointRef ref;
+  ref.dim = static_cast<uint32_t>(dim_);
+  if (!free_offsets_.empty()) {
+    ref.offset = free_offsets_.back();
+    free_offsets_.pop_back();
+  } else {
+    ref.offset = coords_.size();
+    coords_.resize(coords_.size() + dim_);
+  }
+  ++live_;
+  return ref;
+}
+
+PointRef PointStore::Add(PointView p) {
+  RL0_DCHECK(p.dim() == dim_);
+  const PointRef ref = Allocate();
+  Write(ref, p);
+  return ref;
+}
+
+void PointStore::Write(PointRef ref, PointView p) {
+  RL0_DCHECK(ref.valid());
+  RL0_DCHECK(p.dim() == dim_ && ref.dim == dim_);
+  RL0_DCHECK(ref.offset + dim_ <= coords_.size());
+  std::memcpy(coords_.data() + ref.offset, p.data(), dim_ * sizeof(double));
+}
+
+void PointStore::Release(PointRef ref) {
+  RL0_DCHECK(ref.valid());
+  RL0_DCHECK(live_ > 0);
+  free_offsets_.push_back(ref.offset);
+  --live_;
+}
+
+}  // namespace rl0

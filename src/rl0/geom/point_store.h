@@ -1,0 +1,93 @@
+// Contiguous arena storage for same-dimension points.
+//
+// The samplers store thousands of representatives whose lifetimes churn
+// with rate halvings and window expiry. Keeping each as a heap-allocated
+// std::vector<double> puts every distance computation behind a pointer
+// chase and scatters the working set across the allocator. PointStore
+// instead keeps all stored points of one sampler family in a single flat
+// double buffer: a stored point is addressed by a PointRef {offset, dim}
+// and read through a PointView over the buffer. Slots are fixed-size
+// (every point in a store shares the store's dimension), so released slots
+// are recycled through a free list and the buffer only grows to the peak
+// live population — mirroring the paper's space bounds.
+//
+// Views are invalidated by Add/Allocate (the buffer may grow); re-resolve
+// a PointRef through View() after any allocation. Writes through Write()
+// never move the buffer.
+
+#ifndef RL0_GEOM_POINT_STORE_H_
+#define RL0_GEOM_POINT_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rl0/geom/point.h"
+
+namespace rl0 {
+
+/// Handle to a point stored in a PointStore: the offset of its first
+/// coordinate in the store's flat buffer plus its dimension.
+struct PointRef {
+  static constexpr uint64_t kNullOffset = ~uint64_t{0};
+
+  uint64_t offset = kNullOffset;
+  uint32_t dim = 0;
+
+  bool valid() const { return offset != kNullOffset; }
+
+  bool operator==(const PointRef& other) const {
+    return offset == other.offset && dim == other.dim;
+  }
+  bool operator!=(const PointRef& other) const { return !(*this == other); }
+};
+
+/// A flat arena of fixed-dimension points with slot recycling.
+/// Copyable (copies the buffer and free list); moving is cheap.
+class PointStore {
+ public:
+  /// A store for points of dimension `dim` (≥ 1).
+  explicit PointStore(size_t dim);
+
+  /// The fixed dimension of every stored point.
+  size_t dim() const { return dim_; }
+
+  /// Allocates a slot and copies `p` into it. Requires p.dim() == dim().
+  /// Invalidates outstanding PointViews (the buffer may grow).
+  PointRef Add(PointView p);
+
+  /// Allocates an uninitialized slot (fill it with Write). Invalidates
+  /// outstanding PointViews.
+  PointRef Allocate();
+
+  /// Overwrites the slot at `ref` with `p`. Never moves the buffer.
+  void Write(PointRef ref, PointView p);
+
+  /// A view of the stored point. Valid until the next Add/Allocate.
+  PointView View(PointRef ref) const {
+    return PointView(coords_.data() + ref.offset, ref.dim);
+  }
+
+  /// Returns the slot at `ref` to the free list. The ref (and any copies
+  /// of it) must not be used afterwards.
+  void Release(PointRef ref);
+
+  /// Number of live (allocated, unreleased) points.
+  size_t live() const { return live_; }
+
+  /// Total slots ever carved out of the buffer (live + free).
+  size_t capacity_slots() const { return coords_.size() / dim_; }
+
+  /// Live coordinate payload in doubles (== machine words).
+  size_t PayloadWords() const { return live_ * dim_; }
+
+ private:
+  size_t dim_;
+  std::vector<double> coords_;
+  std::vector<uint64_t> free_offsets_;
+  size_t live_ = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_GEOM_POINT_STORE_H_

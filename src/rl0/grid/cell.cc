@@ -8,10 +8,8 @@ namespace rl0 {
 uint64_t CellKeyOf(const CellCoord& coord) {
   // Sequential SplitMix64 combine; seeded by the dimension so that e.g.
   // the 1-d cell (5) and the 2-d cell (5, 0) get unrelated keys.
-  uint64_t h = SplitMix64(0x5274D1E5ULL + coord.size());
-  for (int64_t c : coord) {
-    h = SplitMix64(h ^ SplitMix64(static_cast<uint64_t>(c)));
-  }
+  uint64_t h = CellKeySeed(coord.size());
+  for (int64_t c : coord) h = CellKeyCombine(h, c);
   return h;
 }
 

@@ -13,13 +13,27 @@
 #ifndef RL0_GRID_CELL_H_
 #define RL0_GRID_CELL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "rl0/util/rng.h"
 
 namespace rl0 {
 
 /// Integer coordinates of a grid cell.
 using CellCoord = std::vector<int64_t>;
+
+/// The cell-key fold, exposed axis by axis so hot paths (the adjacency
+/// DFS) can thread partial hashes down the search tree instead of
+/// materializing coordinate vectors: a d-dim key is
+///   CellKeyCombine(...CellKeyCombine(CellKeySeed(d), c1)..., cd).
+inline uint64_t CellKeySeed(size_t dim) {
+  return SplitMix64(0x5274D1E5ULL + dim);
+}
+inline uint64_t CellKeyCombine(uint64_t h, int64_t coord) {
+  return SplitMix64(h ^ SplitMix64(static_cast<uint64_t>(coord)));
+}
 
 /// Maps a coordinate vector to a 64-bit cell key (fixed mixing combine).
 uint64_t CellKeyOf(const CellCoord& coord);

@@ -33,7 +33,7 @@ double RandomGrid::Accumulate(double acc, double axis_distance) const {
   return acc;
 }
 
-CellCoord RandomGrid::CellCoordOf(const Point& p) const {
+CellCoord RandomGrid::CellCoordOf(PointView p) const {
   RL0_DCHECK(p.dim() == dim_);
   CellCoord coord(dim_);
   for (size_t i = 0; i < dim_; ++i) {
@@ -42,11 +42,18 @@ CellCoord RandomGrid::CellCoordOf(const Point& p) const {
   return coord;
 }
 
-uint64_t RandomGrid::CellKeyOf(const Point& p) const {
-  return ::rl0::CellKeyOf(CellCoordOf(p));
+uint64_t RandomGrid::CellKeyOf(PointView p) const {
+  RL0_DCHECK(p.dim() == dim_);
+  // Allocation-free fold, identical to CellKeyOf(CellCoordOf(p)).
+  uint64_t h = CellKeySeed(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    h = CellKeyCombine(h, static_cast<int64_t>(
+                              std::floor((p[i] - offset_[i]) / side_)));
+  }
+  return h;
 }
 
-double RandomGrid::DistanceToCell(const Point& p,
+double RandomGrid::DistanceToCell(PointView p,
                                   const CellCoord& coord) const {
   RL0_DCHECK(p.dim() == dim_ && coord.size() == dim_);
   double acc = 0.0;
@@ -75,7 +82,7 @@ double RandomGrid::DistanceToCell(const Point& p,
 // `acc` folds per-axis distances under the grid's metric (Accumulate);
 // `budget` is α² for L2 and α otherwise. Pruning is exact because every
 // Minkowski accumulator is monotone in each axis distance.
-void RandomGrid::DfsSearch(const Point& p, const CellCoord& base,
+void RandomGrid::DfsSearch(PointView p, const CellCoord& base,
                            const std::vector<double>& scaled, double budget,
                            size_t axis, double acc, CellCoord* current,
                            std::vector<CellCoord>* out) const {
@@ -108,7 +115,7 @@ void RandomGrid::DfsSearch(const Point& p, const CellCoord& base,
   (*current)[axis] = base[axis];
 }
 
-void RandomGrid::AdjacentCellCoords(const Point& p, double alpha,
+void RandomGrid::AdjacentCellCoords(PointView p, double alpha,
                                     std::vector<CellCoord>* out) const {
   RL0_DCHECK(p.dim() == dim_);
   RL0_DCHECK(alpha > 0.0);
@@ -125,17 +132,62 @@ void RandomGrid::AdjacentCellCoords(const Point& p, double alpha,
   DfsSearch(p, base, scaled, budget, 0, 0.0, &current, out);
 }
 
-void RandomGrid::AdjacentCells(const Point& p, double alpha,
+// Hot-path adjacency: identical output to the coordinate DFS (the same
+// per-axis moves and pruning), but no CellCoord materialization — the
+// per-axis scratch lives in thread-local buffers and the cell keys are
+// folded incrementally along the search path (DfsKeys).
+void RandomGrid::AdjacentCells(PointView p, double alpha,
                                std::vector<uint64_t>* out) const {
-  std::vector<CellCoord> coords;
-  AdjacentCellCoords(p, alpha, &coords);
+  RL0_DCHECK(p.dim() == dim_);
+  RL0_DCHECK(alpha > 0.0);
   out->clear();
-  out->reserve(coords.size());
-  for (const CellCoord& c : coords) out->push_back(::rl0::CellKeyOf(c));
+  g_dfs_nodes = 0;
+  thread_local std::vector<int64_t> base;
+  thread_local std::vector<double> scaled;
+  base.resize(dim_);
+  scaled.resize(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    base[i] = static_cast<int64_t>(std::floor((p[i] - offset_[i]) / side_));
+    const double lo = offset_[i] + static_cast<double>(base[i]) * side_;
+    scaled[i] = p[i] - lo;  // in [0, side)
+  }
+  const double budget = metric_ == Metric::kL2 ? alpha * alpha : alpha;
+  DfsKeys(base.data(), scaled.data(), budget, 0, 0.0, CellKeySeed(dim_),
+          out);
   std::sort(out->begin(), out->end());
 }
 
-void RandomGrid::AdjacentCellsNaive(const Point& p, double alpha,
+void RandomGrid::DfsKeys(const int64_t* base, const double* scaled,
+                         double budget, size_t axis, double acc,
+                         uint64_t hash, std::vector<uint64_t>* out) const {
+  ++g_dfs_nodes;
+  if (axis == dim_) {
+    out->push_back(hash);
+    return;
+  }
+  const double frac = scaled[axis];
+  // Offset 0 first: zero added distance.
+  DfsKeys(base, scaled, budget, axis + 1, acc,
+          CellKeyCombine(hash, base[axis]), out);
+  // Negative offsets: distance grows with |o|; stop at the first prune.
+  for (int64_t o = -1;; --o) {
+    const double d = frac + (static_cast<double>(-o) - 1.0) * side_;
+    const double next = Accumulate(acc, d);
+    if (next > budget) break;
+    DfsKeys(base, scaled, budget, axis + 1, next,
+            CellKeyCombine(hash, base[axis] + o), out);
+  }
+  // Positive offsets.
+  for (int64_t o = 1;; ++o) {
+    const double d = static_cast<double>(o) * side_ - frac;
+    const double next = Accumulate(acc, d);
+    if (next > budget) break;
+    DfsKeys(base, scaled, budget, axis + 1, next,
+            CellKeyCombine(hash, base[axis] + o), out);
+  }
+}
+
+void RandomGrid::AdjacentCellsNaive(PointView p, double alpha,
                                     std::vector<uint64_t>* out) const {
   RL0_DCHECK(p.dim() == dim_);
   out->clear();
@@ -169,7 +221,7 @@ void RandomGrid::AdjacentCellsNaive(const Point& p, double alpha,
   std::sort(out->begin(), out->end());
 }
 
-void RandomGrid::AdjacentCellsPaperDfs(const Point& p, double alpha,
+void RandomGrid::AdjacentCellsPaperDfs(PointView p, double alpha,
                                        std::vector<uint64_t>* out) const {
   RL0_DCHECK(p.dim() == dim_);
   out->clear();

@@ -55,34 +55,34 @@ class RandomGrid {
   Metric metric() const { return metric_; }
 
   /// Integer coordinates of the cell containing p. Requires p.dim()==dim().
-  CellCoord CellCoordOf(const Point& p) const;
+  CellCoord CellCoordOf(PointView p) const;
 
   /// 64-bit key of the cell containing p.
-  uint64_t CellKeyOf(const Point& p) const;
+  uint64_t CellKeyOf(PointView p) const;
 
   /// Minimum Euclidean distance from p to the closed box of cell `coord`.
-  double DistanceToCell(const Point& p, const CellCoord& coord) const;
+  double DistanceToCell(PointView p, const CellCoord& coord) const;
 
   /// Computes adj(p) = keys of all cells within distance `alpha` of p,
   /// including cell(p) itself, via the pruned DFS described above.
   /// Results are appended to `out` (cleared first). Deterministic order.
-  void AdjacentCells(const Point& p, double alpha,
+  void AdjacentCells(PointView p, double alpha,
                      std::vector<uint64_t>* out) const;
 
   /// As AdjacentCells but returns coordinates (used by tests/baselines).
-  void AdjacentCellCoords(const Point& p, double alpha,
+  void AdjacentCellCoords(PointView p, double alpha,
                           std::vector<CellCoord>* out) const;
 
   /// Reference implementation: full enumeration of the (2r+1)^d block with
   /// a distance filter. Exponential in d — tests and benchmarks only.
-  void AdjacentCellsNaive(const Point& p, double alpha,
+  void AdjacentCellsNaive(PointView p, double alpha,
                           std::vector<uint64_t>* out) const;
 
   /// Literal transcription of the paper's Algorithm 6/7 (per-axis moves to
   /// ⌊x⌋/stay/⌈x⌉ in grid units, boundary nudge by 0.01·(q-p)). Exact only
   /// when side ≥ alpha (the high-dimension regime it was designed for).
   /// Exposed for fidelity tests against AdjacentCells.
-  void AdjacentCellsPaperDfs(const Point& p, double alpha,
+  void AdjacentCellsPaperDfs(PointView p, double alpha,
                              std::vector<uint64_t>* out) const;
 
   /// Number of DFS nodes visited by the last AdjacentCells call on this
@@ -90,10 +90,19 @@ class RandomGrid {
   static uint64_t last_dfs_nodes();
 
  private:
-  void DfsSearch(const Point& p, const CellCoord& base,
+  void DfsSearch(PointView p, const CellCoord& base,
                  const std::vector<double>& scaled, double budget,
                  size_t axis, double acc, CellCoord* current,
                  std::vector<CellCoord>* out) const;
+
+  /// Allocation-free variant of the DFS used by the ingestion hot path:
+  /// instead of materializing CellCoord vectors it threads the partial
+  /// cell-key hash (CellKeySeed/CellKeyCombine fold) down the search tree
+  /// and emits finished 64-bit keys directly. Produces exactly the keys
+  /// of DfsSearch + CellKeyOf.
+  void DfsKeys(const int64_t* base, const double* scaled, double budget,
+               size_t axis, double acc, uint64_t hash,
+               std::vector<uint64_t>* out) const;
 
   /// Folds one per-axis box distance into the running accumulator
   /// (L2: sum of squares; L1: sum; L∞: max).

@@ -3,20 +3,26 @@
 #ifndef RL0_UTIL_BITS_H_
 #define RL0_UTIL_BITS_H_
 
-#include <bit>
 #include <cstdint>
 
 namespace rl0 {
 
+/// Number of leading zero bits of x (64 for x == 0). C++17-compatible
+/// stand-in for C++20's std::countl_zero.
+inline uint32_t CountLeadingZeros(uint64_t x) {
+  if (x == 0) return 64;
+  return static_cast<uint32_t>(__builtin_clzll(x));
+}
+
 /// Returns ⌈log2(x)⌉ for x ≥ 1 (0 for x == 1).
 inline uint32_t CeilLog2(uint64_t x) {
   if (x <= 1) return 0;
-  return 64 - static_cast<uint32_t>(std::countl_zero(x - 1));
+  return 64 - CountLeadingZeros(x - 1);
 }
 
 /// Returns ⌊log2(x)⌋ for x ≥ 1.
 inline uint32_t FloorLog2(uint64_t x) {
-  return 63 - static_cast<uint32_t>(std::countl_zero(x | 1));
+  return 63 - CountLeadingZeros(x | 1);
 }
 
 /// Returns the smallest power of two ≥ x (x ≥ 1).

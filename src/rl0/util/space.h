@@ -32,6 +32,44 @@ inline constexpr size_t PointWords(size_t dim) {
   return dim + kPointHeaderWords;
 }
 
+// --------------------------------------------------------------------------
+// Arena (structure-of-arrays) accounting: RobustL0SamplerIW keeps its
+// representatives in a RepTable — parallel columns over contiguous
+// vectors, points in a PointStore arena — indexed by an open-addressing
+// CellIndex. The words charged per representative follow that layout
+// exactly (see core/rep_table.h):
+
+/// Fixed SoA columns per representative: id, stream_index, cell_key,
+/// point arena offset, and the packed flags+next-in-cell-chain word.
+inline constexpr size_t kRepHeaderWords = 5;
+
+/// One CellIndex bucket (cell key + chain head) amortized per rep.
+inline constexpr size_t kCellIndexEntryWords = 2;
+
+/// Words charged for one arena-backed representative of dimension `dim`:
+/// the flat coordinates plus the SoA header plus its index share.
+inline constexpr size_t RepArenaWords(size_t dim) {
+  return dim + kRepHeaderWords + kCellIndexEntryWords;
+}
+
+/// Extra words per representative in the Section 2.3 reservoir variant:
+/// the group-sample point (arena slot) plus sample_index and group_count.
+inline constexpr size_t ReservoirRepExtraWords(size_t dim) {
+  return dim + 2;
+}
+
+/// Fixed per-group fields of the sliding-window samplers' StoredGroup:
+/// id, rep_index, rep_cell, latest_stamp, latest_index, the accepted
+/// flag, and the two PointRef columns (rep, latest).
+inline constexpr size_t kGroupHeaderWords = 8;
+
+/// Words charged for one arena-backed sliding-window group of dimension
+/// `dim`: two flat points (representative + latest) plus the group header
+/// plus its three index entries (group map, cell multimap, stamp map).
+inline constexpr size_t GroupArenaWords(size_t dim) {
+  return 2 * dim + kGroupHeaderWords + 3 * kMapEntryWords;
+}
+
 /// Tracks current and peak space of a streaming structure.
 class SpaceMeter {
  public:

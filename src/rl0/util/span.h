@@ -1,0 +1,48 @@
+// A minimal C++17 stand-in for std::span<const T> (C++20).
+//
+// The batch ingestion APIs (InsertBatch) take contiguous chunks of stream
+// points without owning them; Span is the thinnest possible carrier for
+// that contract. Construction from std::vector and from pointer+size
+// covers every call site in the library.
+
+#ifndef RL0_UTIL_SPAN_H_
+#define RL0_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace rl0 {
+
+/// A non-owning view of `size` contiguous const T.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<std::remove_cv_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// The subspan [offset, offset + count); count is clamped to the end.
+  Span subspan(size_t offset, size_t count) const {
+    if (offset > size_) offset = size_;
+    if (count > size_ - offset) count = size_ - offset;
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_UTIL_SPAN_H_

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rl0/baseline/exact_partition.h"
+#include "rl0/baseline/legacy_iw_sampler.h"
 #include "rl0/baseline/naive_robust.h"
 #include "rl0/core/f0_iw.h"
 #include "rl0/core/heavy_hitters.h"
@@ -87,6 +88,37 @@ TEST_P(DifferentialSweep, SampleIsAStreamPointOfASampledGroup) {
     ASSERT_LT(sample->stream_index, data.points.size());
     EXPECT_EQ(sample->point, data.points[sample->stream_index]);
   }
+}
+
+// The tentpole refactor guarantee: the arena/flat-index sampler makes
+// bit-identical accept/reject decisions to the pre-refactor map-based
+// implementation (LegacyL0SamplerIW) for any fixed seed — same stored
+// representatives, same stream positions, same final rate level.
+TEST_P(DifferentialSweep, ArenaSamplerMatchesLegacyDecisions) {
+  const NoisyDataset data = MakeData();
+  const SamplerOptions opts = MakeOptions(data);
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  auto legacy = LegacyL0SamplerIW::Create(opts).value();
+  for (const Point& p : data.points) {
+    sampler.Insert(p);
+    legacy.Insert(p);
+  }
+  EXPECT_EQ(sampler.level(), legacy.level());
+  EXPECT_EQ(sampler.accept_size(), legacy.accept_size());
+  EXPECT_EQ(sampler.reject_size(), legacy.reject_size());
+
+  const auto expect_same = [](const std::vector<SampleItem>& got,
+                              const std::vector<SampleItem>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].stream_index, want[i].stream_index);
+      EXPECT_EQ(got[i].point, want[i].point);
+    }
+  };
+  expect_same(sampler.AcceptedRepresentatives(),
+              legacy.AcceptedRepresentatives());
+  expect_same(sampler.RejectedRepresentatives(),
+              legacy.RejectedRepresentatives());
 }
 
 TEST_P(DifferentialSweep, F0EstimateBracketsExactCount) {

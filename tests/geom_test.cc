@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "rl0/geom/point.h"
+#include "rl0/geom/point_store.h"
 
 namespace rl0 {
 namespace {
@@ -106,6 +107,78 @@ TEST(MinPairwiseDistanceTest, BasicAndDegenerate) {
 TEST(MinPairwiseDistanceTest, DuplicatePointsGiveZero) {
   std::vector<Point> pts{Point{1.0, 1.0}, Point{1.0, 1.0}};
   EXPECT_DOUBLE_EQ(MinPairwiseDistance(pts), 0.0);
+}
+
+// -------------------------------------------------- PointView / PointStore
+
+TEST(PointViewTest, ViewsPointWithoutCopying) {
+  Point p{1.0, 2.0, 3.0};
+  PointView v = p;  // implicit conversion
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_EQ(v.data(), p.data());
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_EQ(v.Materialize(), p);
+}
+
+TEST(PointViewTest, EqualityIsCoordinateWise) {
+  Point a{1.0, 2.0};
+  Point b{1.0, 2.0};
+  Point c{1.0, 2.5};
+  EXPECT_EQ(PointView(a), PointView(b));
+  EXPECT_NE(PointView(a), PointView(c));
+  EXPECT_NE(PointView(a), PointView(a.data(), 1));  // dim mismatch
+}
+
+TEST(PointViewTest, DistancePrimitivesAcceptMixedRepresentations) {
+  Point a{0.0, 0.0};
+  const double raw[2] = {3.0, 4.0};
+  PointView b(raw, 2);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(b, a), 5.0);
+  EXPECT_TRUE(WithinDistance(a, b, 5.0));
+  EXPECT_FALSE(WithinDistance(a, b, 4.9));
+}
+
+TEST(PointStoreTest, AddViewRoundTrips) {
+  PointStore store(3);
+  const PointRef ref = store.Add(Point{1.0, 2.0, 3.0});
+  ASSERT_TRUE(ref.valid());
+  EXPECT_EQ(ref.dim, 3u);
+  EXPECT_EQ(store.View(ref).Materialize(), Point({1.0, 2.0, 3.0}));
+  EXPECT_EQ(store.live(), 1u);
+  EXPECT_EQ(store.PayloadWords(), 3u);
+}
+
+TEST(PointStoreTest, SlotsAreContiguousAndRecycled) {
+  PointStore store(2);
+  const PointRef a = store.Add(Point{1.0, 1.0});
+  const PointRef b = store.Add(Point{2.0, 2.0});
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(b.offset, 2u);  // flat buffer: consecutive slots
+  store.Release(a);
+  EXPECT_EQ(store.live(), 1u);
+  const PointRef c = store.Add(Point{3.0, 3.0});
+  EXPECT_EQ(c.offset, a.offset);  // freed slot reused, no growth
+  EXPECT_EQ(store.capacity_slots(), 2u);
+  EXPECT_EQ(store.View(b).Materialize(), Point({2.0, 2.0}));
+  EXPECT_EQ(store.View(c).Materialize(), Point({3.0, 3.0}));
+}
+
+TEST(PointStoreTest, WriteOverwritesInPlace) {
+  PointStore store(2);
+  const PointRef ref = store.Add(Point{1.0, 1.0});
+  store.Write(ref, Point{9.0, 8.0});
+  EXPECT_EQ(store.View(ref).Materialize(), Point({9.0, 8.0}));
+  EXPECT_EQ(store.live(), 1u);
+}
+
+TEST(PointStoreTest, CopyIsIndependent) {
+  PointStore store(1);
+  const PointRef ref = store.Add(Point{1.0});
+  PointStore copy = store;
+  copy.Write(ref, Point{5.0});
+  EXPECT_EQ(store.View(ref).Materialize(), Point({1.0}));
+  EXPECT_EQ(copy.View(ref).Materialize(), Point({5.0}));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "rl0/core/iw_sampler.h"
 #include "rl0/util/bits.h"
 #include "rl0/util/rng.h"
 #include "rl0/util/space.h"
@@ -251,6 +252,65 @@ TEST(SpaceMeterTest, SetUpdatesPeak) {
 TEST(SpaceModelTest, PointWordsIncludesHeader) {
   EXPECT_EQ(PointWords(5), 5 + kPointHeaderWords);
   EXPECT_EQ(PointWords(0), kPointHeaderWords);
+}
+
+// ------------------------------------------- arena (SoA) rep accounting
+
+TEST(SpaceModelTest, RepArenaWordsMatchesSoALayout) {
+  // One arena-backed representative stores, per util/space.h:
+  //   dim coordinate words in the PointStore buffer,
+  //   kRepHeaderWords of SoA columns (id, stream_index, cell_key, point
+  //   ref, packed flags + next-in-cell), and
+  //   kCellIndexEntryWords for its CellIndex bucket share (key + head).
+  EXPECT_EQ(RepArenaWords(5), 5 + kRepHeaderWords + kCellIndexEntryWords);
+  EXPECT_EQ(RepArenaWords(20), 20 + kRepHeaderWords + kCellIndexEntryWords);
+  // The flat layout must never charge more than the map-based model it
+  // replaced (PointWords + two associative entries per rep).
+  for (size_t dim : {1u, 2u, 5u, 20u, 64u}) {
+    EXPECT_LE(RepArenaWords(dim), PointWords(dim) + 2 * kMapEntryWords);
+  }
+}
+
+TEST(SpaceModelTest, ReservoirRepExtraWordsMatchesColumns) {
+  // The Section 2.3 variant adds, per rep: the group-sample coordinates
+  // (dim words) plus the sample_index and group_count columns.
+  EXPECT_EQ(ReservoirRepExtraWords(5), 5 + 2);
+  EXPECT_EQ(ReservoirRepExtraWords(1), 1 + 2);
+}
+
+TEST(SpaceModelTest, SamplerChargesExactlyRepArenaWordsPerRep) {
+  // End to end: every stored representative of RobustL0SamplerIW costs
+  // exactly RepArenaWords(dim) on top of the sampler scalars. Isolated
+  // points far apart, rate pinned to 1, so each insert stores one rep.
+  const size_t dim = 4;
+  SamplerOptions opts;
+  opts.dim = dim;
+  opts.alpha = 1.0;
+  opts.seed = 5;
+  opts.side_mode = GridSideMode::kCustom;
+  opts.custom_side = 4.0;
+  opts.accept_cap = 1 << 20;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  const size_t empty = sampler.SpaceWords();
+  for (int i = 1; i <= 5; ++i) {
+    Point p(dim);
+    p[0] = 100.0 * i;
+    sampler.Insert(p);
+    EXPECT_EQ(sampler.SpaceWords(), empty + i * RepArenaWords(dim));
+  }
+}
+
+TEST(SpaceMeterTest, ArenaRepChargesAreLinearInLiveReps) {
+  // Simulates the sampler's metering discipline: Add(RepArenaWords) per
+  // stored rep, Remove on refilter-drop — current() must track the live
+  // rep population exactly.
+  const size_t dim = 7;
+  SpaceMeter m;
+  for (int i = 0; i < 10; ++i) m.Add(RepArenaWords(dim));
+  EXPECT_EQ(m.current(), 10 * RepArenaWords(dim));
+  for (int i = 0; i < 4; ++i) m.Remove(RepArenaWords(dim));
+  EXPECT_EQ(m.current(), 6 * RepArenaWords(dim));
+  EXPECT_EQ(m.peak(), 10 * RepArenaWords(dim));
 }
 
 }  // namespace

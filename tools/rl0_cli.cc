@@ -186,7 +186,7 @@ int RunSample(const Args& args) {
     auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
     if (!sampler.ok()) return Fail(sampler.status().ToString());
     rl0::RobustL0SamplerSW sw = std::move(sampler).value();
-    for (const Point& p : points.value()) sw.Insert(p);
+    sw.InsertBatch(points.value());
     for (int q = 0; q < args.queries; ++q) {
       const auto sample = sw.SampleLatest(&rng);
       if (!sample.has_value()) return Fail("window is empty");
@@ -202,7 +202,7 @@ int RunSample(const Args& args) {
   auto sampler = rl0::RobustL0SamplerIW::Create(opts);
   if (!sampler.ok()) return Fail(sampler.status().ToString());
   rl0::RobustL0SamplerIW iw = std::move(sampler).value();
-  for (const Point& p : points.value()) iw.Insert(p);
+  iw.InsertBatch(points.value());
   for (int q = 0; q < args.queries; ++q) {
     if (args.k > 1) {
       const auto samples = iw.SampleK(args.k, &rng);
@@ -243,7 +243,7 @@ int RunCount(const Args& args) {
   auto est = rl0::F0EstimatorIW::Create(opts);
   if (!est.ok()) return Fail(est.status().ToString());
   rl0::F0EstimatorIW estimator = std::move(est).value();
-  for (const Point& p : points.value()) estimator.Insert(p);
+  estimator.InsertBatch(points.value());
   std::printf("%.0f\n", estimator.Estimate());
   std::fprintf(stderr,
                "[distinct entities, (1+%.2f)-approx; %zu points scanned; "
