@@ -9,7 +9,11 @@
 //   arena   — RobustL0SamplerIW::Insert: the RepTable/PointStore layout,
 //             point-at-a-time;
 //   batch   — RobustL0SamplerIW::InsertBatch: same layout, contiguous
-//             chunk ingestion (the preferred path).
+//             chunk ingestion (the preferred single-thread path);
+//   pool    — ShardedSamplerPool (4 shards) fed in 4096-point chunks
+//             through the persistent IngestPool pipeline (the preferred
+//             multi-shard path; see bench_pipeline for the sweep against
+//             per-call spawn/join).
 //
 // All three make bit-identical sampling decisions (pinned by
 // tests/ingest_determinism_test.cc), so the comparison is pure layout.
@@ -27,6 +31,7 @@
 #include "harness.h"
 #include "rl0/baseline/legacy_iw_sampler.h"
 #include "rl0/core/iw_sampler.h"
+#include "rl0/core/sharded_pool.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
 
@@ -34,6 +39,7 @@ namespace {
 
 using rl0::LegacyL0SamplerIW;
 using rl0::NoisyDataset;
+using rl0::ShardedSamplerPool;
 using rl0::Point;
 using rl0::RobustL0SamplerIW;
 using rl0::SamplerOptions;
@@ -42,6 +48,10 @@ struct PathResult {
   double points_per_sec = 0.0;
   size_t accept_size = 0;  // keeps the work observable
 };
+
+size_t ObservableState(const LegacyL0SamplerIW& s) { return s.accept_size(); }
+size_t ObservableState(const RobustL0SamplerIW& s) { return s.accept_size(); }
+size_t ObservableState(const ShardedSamplerPool& s) { return s.SpaceWords(); }
 
 template <typename MakeSampler, typename Feed>
 double TimeOnce(const NoisyDataset& data, int rep, MakeSampler make_sampler,
@@ -53,7 +63,7 @@ double TimeOnce(const NoisyDataset& data, int rep, MakeSampler make_sampler,
                              std::chrono::steady_clock::now() - start)
                              .count();
   // Keep the final state observable so the loop cannot be optimized away.
-  if (sampler.accept_size() == data.size()) {
+  if (ObservableState(sampler) == data.size()) {
     std::fprintf(stderr, "(full accept)\n");  // keep stdout JSON-clean
   }
   return static_cast<double>(data.size()) / seconds;
@@ -77,9 +87,9 @@ int main() {
   std::printf("{\n  \"bench\": \"ingest\",\n  \"repeats\": %d,\n"
               "  \"workloads\": [\n", repeats);
   std::fprintf(stderr,
-               "%-10s %8s %9s | %12s %12s %12s | %8s %8s\n", "workload",
-               "dim", "points", "legacy p/s", "arena p/s", "batch p/s",
-               "arena x", "batch x");
+               "%-10s %8s %9s | %12s %12s %12s %12s | %8s %8s %8s\n",
+               "workload", "dim", "points", "legacy p/s", "arena p/s",
+               "batch p/s", "pool p/s", "arena x", "batch x", "pool x");
 
   bool first = true;
   for (size_t dim : {2, 5, 20}) {
@@ -88,7 +98,7 @@ int main() {
 
     // Interleave the three paths across repeats (best-of): a CPU hiccup
     // hits one repeat of one path, not a whole path's measurement.
-    PathResult legacy, arena, batch;
+    PathResult legacy, arena, batch, pool;
     for (int rep = 0; rep < repeats; ++rep) {
       legacy.points_per_sec = std::max(
           legacy.points_per_sec,
@@ -124,24 +134,44 @@ int main() {
                 return RobustL0SamplerIW::Create(o).value();
               },
               [&](RobustL0SamplerIW* s) { s->InsertBatch(data.points); }));
+      pool.points_per_sec = std::max(
+          pool.points_per_sec,
+          TimeOnce(
+              data, rep,
+              [&](int r) {
+                SamplerOptions o = opts;
+                o.seed = seed + r;
+                return ShardedSamplerPool::Create(o, 4).value();
+              },
+              [&](ShardedSamplerPool* s) {
+                const rl0::Span<const rl0::Point> all(data.points);
+                for (size_t off = 0; off < all.size(); off += 4096) {
+                  s->FeedBorrowed(all.subspan(off, 4096));
+                }
+                s->Drain();
+              }));
     }
 
     const double arena_x = arena.points_per_sec / legacy.points_per_sec;
     const double batch_x = batch.points_per_sec / legacy.points_per_sec;
+    const double pool_x = pool.points_per_sec / legacy.points_per_sec;
     std::fprintf(stderr,
-                 "%-10s %8zu %9zu | %12.0f %12.0f %12.0f | %7.2fx %7.2fx\n",
+                 "%-10s %8zu %9zu | %12.0f %12.0f %12.0f %12.0f | "
+                 "%7.2fx %7.2fx %7.2fx\n",
                  data.name.c_str(), dim, data.size(), legacy.points_per_sec,
-                 arena.points_per_sec, batch.points_per_sec, arena_x,
-                 batch_x);
+                 arena.points_per_sec, batch.points_per_sec,
+                 pool.points_per_sec, arena_x, batch_x, pool_x);
     std::printf(
         "%s    {\"workload\": \"%s\", \"dim\": %zu, \"points\": %zu,\n"
         "     \"legacy_points_per_sec\": %.0f,\n"
         "     \"arena_points_per_sec\": %.0f,\n"
         "     \"batch_points_per_sec\": %.0f,\n"
-        "     \"arena_speedup\": %.3f, \"batch_speedup\": %.3f}",
+        "     \"pool_points_per_sec\": %.0f,\n"
+        "     \"arena_speedup\": %.3f, \"batch_speedup\": %.3f, "
+        "\"pool_speedup\": %.3f}",
         first ? "" : ",\n", data.name.c_str(), dim, data.size(),
         legacy.points_per_sec, arena.points_per_sec, batch.points_per_sec,
-        arena_x, batch_x);
+        pool.points_per_sec, arena_x, batch_x, pool_x);
     first = false;
   }
   std::printf("\n  ]\n}\n");

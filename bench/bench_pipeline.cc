@@ -1,0 +1,132 @@
+// Sharded-ingestion throughput: persistent pipeline vs per-call
+// spawn/join.
+//
+// The stream arrives in chunks (the streaming reality the pipeline was
+// built for). Two ways to push a chunked stream through S shards:
+//
+//   spawnjoin — ShardedSamplerPool::ConsumeParallelSpawnJoin per chunk:
+//               the pre-pipeline path; every chunk pays S thread spawns
+//               and a full join barrier.
+//   pipeline  — ShardedSamplerPool::FeedBorrowed per chunk + one final
+//               Drain: persistent IngestPool workers, bounded queues,
+//               no per-chunk thread churn or barrier.
+//
+// Sweeps shard counts {2, 4, 8} x chunk sizes {512, 2048, 8192} over a
+// paper-style ~50k-point noisy stream (dim 5). Both paths make
+// decision-preserving merges (tests/pipeline_determinism_test.cc); the
+// comparison is pure ingestion machinery.
+//
+// Output: a human-readable table on stderr and ONE LINE of JSON on
+// stdout. The convention for tracking the trajectory across PRs is to
+// append:   ./build/bench_pipeline >> BENCH_pipeline.json
+// (one JSON document per line, newest last). RL0_REPEATS overrides the
+// per-path repeat count (default 3, best-of).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace {
+
+using rl0::NoisyDataset;
+using rl0::Point;
+using rl0::SamplerOptions;
+using rl0::ShardedSamplerPool;
+using rl0::Span;
+
+NoisyDataset PipelineStream(uint64_t seed) {
+  const rl0::BaseDataset base = rl0::RandomUniform(1000, 5, seed, "Pipe5");
+  rl0::NearDupOptions nd;
+  nd.max_dups = 100;  // paper-scale duplication: ~50k-point stream
+  nd.seed = seed + 1;
+  return rl0::MakeNearDuplicates(base, nd);
+}
+
+template <typename FeedChunked>
+double BestOf(int repeats, const NoisyDataset& data, FeedChunked feed) {
+  double best = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const uint64_t processed = feed(rep);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (processed != data.size()) {
+      std::fprintf(stderr, "(count mismatch: %llu)\n",
+                   static_cast<unsigned long long>(processed));
+    }
+    best = std::max(best, static_cast<double>(data.size()) / seconds);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = rl0::bench::EnvRepeats(3);
+  const uint64_t seed = 20180618;
+  const NoisyDataset data = PipelineStream(91);
+  const SamplerOptions opts = rl0::bench::PaperSamplerOptions(data, seed);
+  const Span<const Point> all(data.points);
+
+  std::fprintf(stderr, "%6s %7s %9s | %14s %14s | %8s\n", "shards",
+               "chunk", "points", "spawnjoin p/s", "pipeline p/s",
+               "speedup");
+  std::printf("{\"bench\": \"pipeline\", \"repeats\": %d, \"points\": %zu, "
+              "\"dim\": 5, \"rows\": [",
+              repeats, data.size());
+
+  bool first = true;
+  for (size_t shards : {2, 4, 8}) {
+    for (size_t chunk : {512, 2048, 8192}) {
+      // Interleave the two paths across repeats (best-of): a CPU hiccup
+      // hits one repeat of one path, not a whole measurement.
+      double spawnjoin = 0.0, pipeline = 0.0;
+      for (int rep = 0; rep < repeats; ++rep) {
+        spawnjoin = std::max(
+            spawnjoin,
+            BestOf(1, data, [&](int r) -> uint64_t {
+              SamplerOptions o = opts;
+              o.seed = seed + static_cast<uint64_t>(rep * 17 + r);
+              auto pool = ShardedSamplerPool::Create(o, shards).value();
+              for (size_t off = 0; off < all.size(); off += chunk) {
+                pool.ConsumeParallelSpawnJoin(all.subspan(off, chunk));
+              }
+              return pool.points_processed();
+            }));
+        pipeline = std::max(
+            pipeline,
+            BestOf(1, data, [&](int r) -> uint64_t {
+              SamplerOptions o = opts;
+              o.seed = seed + static_cast<uint64_t>(rep * 17 + r);
+              auto pool = ShardedSamplerPool::Create(o, shards).value();
+              for (size_t off = 0; off < all.size(); off += chunk) {
+                pool.FeedBorrowed(all.subspan(off, chunk));
+              }
+              pool.Drain();
+              return pool.points_processed();
+            }));
+      }
+      const double speedup = pipeline / spawnjoin;
+      std::fprintf(stderr, "%6zu %7zu %9zu | %14.0f %14.0f | %7.2fx\n",
+                   shards, chunk, data.size(), spawnjoin, pipeline,
+                   speedup);
+      std::printf("%s{\"shards\": %zu, \"chunk\": %zu, "
+                  "\"spawnjoin_points_per_sec\": %.0f, "
+                  "\"pipeline_points_per_sec\": %.0f, "
+                  "\"pipeline_speedup\": %.3f}",
+                  first ? "" : ", ", shards, chunk, spawnjoin, pipeline,
+                  speedup);
+      first = false;
+    }
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -2,25 +2,27 @@
 // tracking frequent entities — the "production" features around the core
 // sampler.
 //
-// Scenario: a deduplicating ingestion pipeline processes a feed in two
-// shards; each shard periodically checkpoints its sampler so a crash
-// never loses the stream summary; at query time the shards are merged for
-// global answers, and a heavy-hitters sketch reports the most re-posted
-// entities.
+// Scenario: a deduplicating ingestion pipeline processes a feed through a
+// two-shard ShardedSamplerPool — persistent worker threads, bounded chunk
+// queues, backpressure (see core/ingest_pool.h). The stream arrives in
+// chunks; mid-stream the pool is drained and shard 0 is checkpointed so a
+// crash never loses the stream summary. At query time the shards are
+// merged for global answers, and a heavy-hitters sketch reports the most
+// re-posted entities.
 //
-// Build & run:  cmake --build build && ./build/examples/checkpointed_pipeline
+// Build & run:  cmake --build build && ./build/checkpointed_pipeline
 
 #include <cstdio>
 #include <string>
 
 #include "rl0/core/heavy_hitters.h"
-#include "rl0/core/iw_sampler.h"
+#include "rl0/core/sharded_pool.h"
 #include "rl0/core/snapshot.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
 
 int main() {
-  // A power-law duplicated feed, split across two shards round-robin.
+  // A power-law duplicated feed, processed in two pipeline shards.
   const rl0::BaseDataset base = rl0::RandomUniform(300, 4, 21, "Feed");
   rl0::NearDupOptions nd;
   nd.distribution = rl0::DupDistribution::kPowerLaw;
@@ -35,8 +37,9 @@ int main() {
   opts.seed = 99;  // MUST be shared across shards for mergeability
   opts.expected_stream_length = feed.size();
 
-  auto shard_a = rl0::RobustL0SamplerIW::Create(opts).value();
-  auto shard_b = rl0::RobustL0SamplerIW::Create(opts).value();
+  // The pool partitions by global stream position: shard s consumes the
+  // posts at positions ≡ s (mod 2), whatever the chunking below.
+  auto pool = rl0::ShardedSamplerPool::Create(opts, 2).value();
 
   rl0::HeavyHittersOptions hh_opts;
   hh_opts.dim = feed.dim;
@@ -44,30 +47,43 @@ int main() {
   hh_opts.capacity = 32;
   hh_opts.seed = 7;
   auto hot = rl0::RobustHeavyHitters::Create(hh_opts).value();
+  for (const rl0::Point& p : feed.points) hot.Insert(p);
 
-  std::string checkpoint_a;
-  for (size_t i = 0; i < feed.points.size(); ++i) {
-    (i % 2 == 0 ? shard_a : shard_b).Insert(feed.points[i]);
-    hot.Insert(feed.points[i]);
-    // Periodic checkpoint of shard A...
-    if (i == feed.points.size() / 2) {
-      if (!rl0::SnapshotSampler(shard_a, &checkpoint_a).ok()) return 1;
-      std::printf("checkpointed shard A at post %zu (%zu bytes)\n", i,
-                  checkpoint_a.size());
+  // Stream the feed through the pipeline in chunks; checkpoint shard 0
+  // at the halfway drain.
+  const rl0::Span<const rl0::Point> all(feed.points);
+  const size_t half = all.size() / 2;
+  const size_t chunk = 64;
+  std::string checkpoint;
+  size_t checkpointed_at = 0;
+  for (size_t offset = 0; offset < all.size(); offset += chunk) {
+    pool.FeedBorrowed(all.subspan(offset, chunk));
+    if (checkpoint.empty() && offset + chunk >= half) {
+      // Drain() is the barrier that makes shard state readable while the
+      // stream keeps flowing afterwards.
+      pool.Drain();
+      if (!rl0::SnapshotSampler(pool.shard(0), &checkpoint).ok()) return 1;
+      checkpointed_at = offset + chunk;
+      std::printf("checkpointed shard 0 at post %zu (%zu bytes)\n",
+                  checkpointed_at, checkpoint.size());
     }
   }
+  pool.Drain();
 
-  // ... simulate a crash of shard A right before the end: restore and
-  // replay only its tail.
-  auto restored = rl0::RestoreSampler(checkpoint_a).value();
-  for (size_t i = feed.points.size() / 2 + 1; i < feed.points.size(); ++i) {
-    if (i % 2 == 0) restored.Insert(feed.points[i]);
-  }
-  std::printf("restored shard A: %llu posts processed (crash survived)\n",
+  // ... simulate a crash of shard 0: restore the checkpoint and replay
+  // only its residue class of the tail (positions ≡ 0 mod 2 — the same
+  // partition the pool used, so the replay is exactly the lost stream).
+  auto restored = rl0::RestoreSampler(checkpoint).value();
+  restored.InsertStrided(all.subspan(checkpointed_at,
+                                     all.size() - checkpointed_at),
+                         /*start=*/checkpointed_at % 2 == 0 ? 0 : 1,
+                         /*stride=*/2, /*index_base=*/checkpointed_at);
+  std::printf("restored shard 0: %llu posts processed (crash survived)\n",
               static_cast<unsigned long long>(restored.points_processed()));
 
-  // Merge the shards for a global distinct sample.
-  if (!restored.AbsorbFrom(shard_b).ok()) return 1;
+  // Merge the restored shard with the surviving shard 1 for a global
+  // distinct sample.
+  if (!restored.AbsorbFrom(pool.shard(1)).ok()) return 1;
   rl0::Xoshiro256pp rng(2025);
   std::printf("\nthree uniform samples over ALL distinct entities:\n");
   for (int q = 0; q < 3; ++q) {

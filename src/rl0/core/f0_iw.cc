@@ -46,7 +46,8 @@ Result<F0EstimatorIW> F0EstimatorIW::Create(const F0Options& options) {
 }
 
 F0EstimatorIW::F0EstimatorIW(std::vector<RobustL0SamplerIW> samplers)
-    : samplers_(std::move(samplers)) {}
+    : samplers_(std::move(samplers)),
+      pipeline_mu_(std::make_unique<std::mutex>()) {}
 
 void F0EstimatorIW::Insert(const Point& p) {
   for (RobustL0SamplerIW& sampler : samplers_) sampler.Insert(p);
@@ -54,6 +55,40 @@ void F0EstimatorIW::Insert(const Point& p) {
 
 void F0EstimatorIW::InsertBatch(Span<const Point> points) {
   for (RobustL0SamplerIW& sampler : samplers_) sampler.InsertBatch(points);
+}
+
+IngestPool* F0EstimatorIW::EnsurePipeline() {
+  std::lock_guard<std::mutex> lock(*pipeline_mu_);
+  if (pipeline_) return pipeline_.get();
+  std::vector<IngestPool::Sink> sinks;
+  sinks.reserve(samplers_.size());
+  for (RobustL0SamplerIW& sampler : samplers_) {
+    RobustL0SamplerIW* copy = &sampler;
+    // Unlike the sharded pool's strided lanes, every copy consumes the
+    // whole stream: the copies differ by seed, not by partition.
+    sinks.push_back([copy](Span<const Point> chunk, uint64_t /*base*/) {
+      copy->InsertBatch(chunk);
+    });
+  }
+  pipeline_ = std::make_unique<IngestPool>(std::move(sinks));
+  return pipeline_.get();
+}
+
+void F0EstimatorIW::Feed(Span<const Point> points) {
+  EnsurePipeline()->Feed(points);
+}
+
+void F0EstimatorIW::FeedOwned(std::vector<Point> points) {
+  EnsurePipeline()->FeedOwned(std::move(points));
+}
+
+void F0EstimatorIW::Drain() {
+  IngestPool* pipeline;
+  {
+    std::lock_guard<std::mutex> lock(*pipeline_mu_);
+    pipeline = pipeline_.get();
+  }
+  if (pipeline != nullptr) pipeline->Drain();
 }
 
 std::vector<double> F0EstimatorIW::CopyEstimates() const {

@@ -12,8 +12,11 @@
 #define RL0_CORE_F0_IW_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "rl0/core/ingest_pool.h"
 #include "rl0/core/iw_sampler.h"
 #include "rl0/core/options.h"
 #include "rl0/util/span.h"
@@ -53,8 +56,23 @@ class F0EstimatorIW {
   /// interleaving the copies point by point).
   void InsertBatch(Span<const Point> points);
 
+  /// Streams a chunk through the persistent ingestion pipeline: every
+  /// copy is a pipeline lane with its own worker thread, so the copies
+  /// consume the chunk in parallel instead of sequentially. Copies the
+  /// chunk once (shared across lanes); safe from any number of threads.
+  /// Workers start lazily on the first Feed. Do not mix with the serial
+  /// Insert/InsertBatch calls without an intervening Drain().
+  void Feed(Span<const Point> points);
+
+  /// As Feed but adopts the vector — no copy.
+  void FeedOwned(std::vector<Point> points);
+
+  /// Blocks until everything fed before this call is consumed by every
+  /// copy. Required before Estimate()/CopyEstimates() after feeding.
+  void Drain();
+
   /// The median-of-copies estimate of the number of groups F0(S, α).
-  /// Returns 0 before any insertion.
+  /// Returns 0 before any insertion. Requires a drained pipeline.
   double Estimate() const;
 
   /// Per-copy estimates |Sacc|·R (introspection).
@@ -69,7 +87,17 @@ class F0EstimatorIW {
  private:
   explicit F0EstimatorIW(std::vector<RobustL0SamplerIW> samplers);
 
+  /// Starts the per-copy pipeline workers on the first Feed (estimators
+  /// that only ever InsertBatch never spawn threads). Guarded by
+  /// pipeline_mu_, so concurrent first Feeds are safe. Sink addresses
+  /// stay valid across moves of the estimator: samplers_ never resizes,
+  /// and its heap buffer moves with the object.
+  IngestPool* EnsurePipeline();
+
   std::vector<RobustL0SamplerIW> samplers_;
+  /// Heap-allocated so the estimator stays movable.
+  std::unique_ptr<std::mutex> pipeline_mu_;
+  std::unique_ptr<IngestPool> pipeline_;
 };
 
 }  // namespace rl0

@@ -112,7 +112,7 @@ class RobustHeavyHitters {
   /// count -> id, for O(log c) minimum eviction and count updates.
   std::multimap<uint64_t, uint64_t> by_count_;
 
-  mutable std::vector<uint64_t> adj_scratch_;
+  mutable AdjKeyVec adj_scratch_;
 };
 
 }  // namespace rl0

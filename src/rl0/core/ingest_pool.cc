@@ -1,0 +1,147 @@
+#include "rl0/core/ingest_pool.h"
+
+#include <utility>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+IngestPool::IngestPool(std::vector<Sink> sinks, const Options& options)
+    : queue_capacity_(options.queue_capacity < 1 ? 1
+                                                 : options.queue_capacity),
+      fed_(options.index_base) {
+  RL0_CHECK(!sinks.empty());
+  lanes_.reserve(sinks.size());
+  for (Sink& sink : sinks) {
+    lanes_.push_back(std::make_unique<Lane>(queue_capacity_,
+                                            std::move(sink)));
+  }
+  for (std::unique_ptr<Lane>& lane : lanes_) {
+    lane->worker = std::thread([this, raw = lane.get()] { WorkerLoop(raw); });
+  }
+}
+
+IngestPool::IngestPool(std::vector<Sink> sinks)
+    : IngestPool(std::move(sinks), Options()) {}
+
+IngestPool::~IngestPool() { Stop(); }
+
+void IngestPool::WorkerLoop(Lane* lane) {
+  Chunk chunk;
+  while (lane->queue.Pop(&chunk)) {
+    {
+      std::lock_guard<std::mutex> proc(lane->proc_mu);
+      lane->sink(Span<const Point>(chunk.data, chunk.size),
+                 chunk.index_base);
+    }
+    chunk.owner.reset();  // release chunk storage before signalling
+    {
+      std::lock_guard<std::mutex> done(lane->done_mu);
+      ++lane->completed;
+    }
+    lane->done_cv.notify_all();
+  }
+}
+
+void IngestPool::FeedChunk(Chunk chunk) {
+  if (chunk.size == 0) return;
+  // One critical section assigns the index base AND enqueues everywhere:
+  // every lane sees the same chunk order, and bases are dense and unique
+  // even under concurrent producers. Push may block here (backpressure);
+  // that also throttles other producers, which is the intent — the
+  // workers drain the queues without ever taking feed_mu_, so the pool
+  // always makes progress.
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  if (stopped_) return;
+  chunk.index_base = fed_;
+  fed_ += chunk.size;
+  ++chunks_fed_;
+  for (std::unique_ptr<Lane>& lane : lanes_) {
+    lane->queue.Push(chunk);
+  }
+}
+
+void IngestPool::Feed(Span<const Point> points) {
+  if (points.empty()) return;
+  auto storage = std::make_shared<const std::vector<Point>>(points.begin(),
+                                                            points.end());
+  Chunk chunk;
+  chunk.data = storage->data();
+  chunk.size = storage->size();
+  chunk.owner = std::move(storage);
+  FeedChunk(std::move(chunk));
+}
+
+void IngestPool::FeedOwned(std::vector<Point> points) {
+  if (points.empty()) return;
+  auto storage =
+      std::make_shared<const std::vector<Point>>(std::move(points));
+  Chunk chunk;
+  chunk.data = storage->data();
+  chunk.size = storage->size();
+  chunk.owner = std::move(storage);
+  FeedChunk(std::move(chunk));
+}
+
+void IngestPool::FeedBorrowed(Span<const Point> points) {
+  if (points.empty()) return;
+  Chunk chunk;
+  chunk.data = points.data();
+  chunk.size = points.size();
+  FeedChunk(std::move(chunk));
+}
+
+void IngestPool::Drain() {
+  uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(feed_mu_);
+    target = chunks_fed_;
+  }
+  for (std::unique_ptr<Lane>& lane : lanes_) {
+    std::unique_lock<std::mutex> done(lane->done_mu);
+    lane->done_cv.wait(done,
+                       [&] { return lane->completed >= target; });
+  }
+}
+
+void IngestPool::QuiescedRun(const std::function<void()>& fn) {
+  // Lock every lane's processing mutex, always in lane order (workers
+  // only ever hold their own, so this cannot deadlock). With all of them
+  // held, every worker sits between chunks and lane state is stable.
+  std::vector<std::unique_lock<std::mutex>> paused;
+  paused.reserve(lanes_.size());
+  for (std::unique_ptr<Lane>& lane : lanes_) {
+    paused.emplace_back(lane->proc_mu);
+  }
+  fn();
+}
+
+void IngestPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(feed_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Close() leaves queued chunks poppable: workers finish the backlog,
+  // then their Pop returns false and the loop exits.
+  for (std::unique_ptr<Lane>& lane : lanes_) {
+    lane->queue.Close();
+  }
+  for (std::unique_ptr<Lane>& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+}
+
+uint64_t IngestPool::AdvanceIndexBase(uint64_t n) {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  const uint64_t base = fed_;
+  fed_ += n;
+  return base;
+}
+
+uint64_t IngestPool::points_fed() const {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  return fed_;
+}
+
+}  // namespace rl0

@@ -1,0 +1,163 @@
+// Persistent worker-pool ingestion pipeline.
+//
+// PR 1 made batch ingestion fast inside one sampler; this is the layer
+// that keeps many samplers fed from a live stream. An IngestPool owns one
+// long-lived worker thread per *lane* (a lane is one shard of a
+// ShardedSamplerPool, or one copy of an F0 estimator). Producers hand the
+// pool stream chunks via Feed; every chunk is stamped with its global
+// stream index base and broadcast to each lane's bounded queue, where the
+// lane's worker consumes it through a caller-supplied sink (for sharded
+// ingestion, the strided walk of the lane's residue class). This replaces
+// the spawn/join threads that ShardedSamplerPool::ConsumeParallel used to
+// create per call — thread startup is paid once per pool, not once per
+// chunk, and chunks pipeline through the lanes instead of barriering at
+// every call.
+//
+// Determinism contract: chunk index bases are assigned atomically with
+// enqueue order under one feed lock, so every lane observes the same
+// chunk sequence and every point carries the same global stream index no
+// matter how many producers feed or how the scheduler runs the lanes.
+// Sinks that partition by *global* index (see ShardedSamplerPool::Feed)
+// therefore process bit-identical per-lane streams for any chunking.
+//
+// Backpressure: each lane queue holds at most Options::queue_capacity
+// chunks; Feed blocks while any lane is full, so a slow lane throttles
+// the producers instead of queueing unboundedly.
+//
+// Barriers: Drain() blocks until everything fed *before the call* has
+// been consumed by every lane — after it returns (and with no concurrent
+// feeders), lane state may be read directly. QuiescedRun(fn) runs fn
+// while every worker is paused between chunks, which is what makes
+// merge/snapshot safe *concurrently* with ongoing feeding.
+
+#ifndef RL0_CORE_INGEST_POOL_H_
+#define RL0_CORE_INGEST_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rl0/geom/point.h"
+#include "rl0/util/bounded_queue.h"
+#include "rl0/util/span.h"
+
+namespace rl0 {
+
+/// A pool of persistent worker threads feeding per-lane samplers from a
+/// shared chunked stream.
+class IngestPool {
+ public:
+  /// Consumes one stream chunk on a lane's worker thread. `index_base` is
+  /// the global stream position of chunk[0].
+  using Sink = std::function<void(Span<const Point> chunk,
+                                  uint64_t index_base)>;
+
+  struct Options {
+    /// Chunks buffered per lane before Feed blocks (backpressure window).
+    size_t queue_capacity = 4;
+    /// Global index of the first point fed through this pool (continues a
+    /// stream that was partially consumed through another path).
+    uint64_t index_base = 0;
+  };
+
+  /// Starts one worker thread per sink. Requires at least one sink.
+  IngestPool(std::vector<Sink> sinks, const Options& options);
+  explicit IngestPool(std::vector<Sink> sinks);
+
+  /// Stops the pipeline (drains queued chunks, joins workers).
+  ~IngestPool();
+
+  IngestPool(const IngestPool&) = delete;
+  IngestPool& operator=(const IngestPool&) = delete;
+
+  /// Enqueues a copy of `points` for every lane. Safe from any thread;
+  /// blocks while a lane queue is full. No-op on an empty span.
+  void Feed(Span<const Point> points);
+
+  /// As Feed but adopts the vector — no copy.
+  void FeedOwned(std::vector<Point> points);
+
+  /// As Feed but zero-copy: the caller guarantees `points` stays valid
+  /// until the next Drain() (or Stop()) returns.
+  void FeedBorrowed(Span<const Point> points);
+
+  /// Blocks until every chunk fed before this call has been consumed by
+  /// every lane. Safe from any thread, including concurrently with Feed
+  /// (chunks fed after the call may still be in flight when it returns).
+  void Drain();
+
+  /// Runs `fn` while every worker is paused between chunks. Each lane has
+  /// consumed a prefix of the fed chunk sequence (lanes may be at
+  /// different prefixes); combine with a preceding Drain for a barrier on
+  /// everything fed so far. Safe concurrently with Feed. `fn` must only
+  /// READ lane state — in particular it must not call Feed, Drain,
+  /// AdvanceIndexBase or points_fed on this pool: with the workers
+  /// paused, a backpressured producer can be blocked holding the feed
+  /// lock, and taking it from `fn` would deadlock.
+  void QuiescedRun(const std::function<void()>& fn);
+
+  /// Drains, closes the queues and joins the workers. Idempotent; called
+  /// by the destructor. After Stop the pool no longer accepts Feeds.
+  void Stop();
+
+  /// Reserves the next `n` global stream indices without enqueuing
+  /// anything — lets a non-pipelined ingestion path (the legacy spawn/join
+  /// walk) interleave with pipelined feeding under one index space.
+  /// Returns the base of the reserved range.
+  uint64_t AdvanceIndexBase(uint64_t n);
+
+  /// Points fed (or index-reserved) so far.
+  uint64_t points_fed() const;
+
+  /// Number of lanes.
+  size_t num_lanes() const { return lanes_.size(); }
+
+  /// Per-lane queue capacity.
+  size_t queue_capacity() const { return queue_capacity_; }
+
+ private:
+  struct Chunk {
+    /// Keeps copied/adopted storage alive; null for borrowed chunks.
+    std::shared_ptr<const std::vector<Point>> owner;
+    const Point* data = nullptr;
+    size_t size = 0;
+    uint64_t index_base = 0;
+  };
+
+  struct Lane {
+    explicit Lane(size_t queue_capacity, Sink lane_sink)
+        : queue(queue_capacity), sink(std::move(lane_sink)) {}
+
+    BoundedQueue<Chunk> queue;
+    Sink sink;
+    std::thread worker;
+    /// Held by the worker while a chunk is inside the sink (QuiescedRun
+    /// acquires all lanes' mutexes to pause the pool between chunks).
+    std::mutex proc_mu;
+    /// Guards `completed`; signalled after every consumed chunk.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    uint64_t completed = 0;
+  };
+
+  void FeedChunk(Chunk chunk);
+  void WorkerLoop(Lane* lane);
+
+  const size_t queue_capacity_;
+  /// Serializes index-base assignment with enqueue order (the determinism
+  /// contract) and guards fed_/chunks_fed_.
+  mutable std::mutex feed_mu_;
+  uint64_t fed_ = 0;
+  uint64_t chunks_fed_ = 0;
+  bool stopped_ = false;
+  /// Stable addresses: workers hold Lane* across the pool's lifetime.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_INGEST_POOL_H_

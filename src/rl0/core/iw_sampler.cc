@@ -39,8 +39,8 @@ size_t RobustL0SamplerIW::RepWords() const {
   return words;
 }
 
-uint32_t RobustL0SamplerIW::FindCandidate(
-    PointView p, const std::vector<uint64_t>& adj_keys) const {
+uint32_t RobustL0SamplerIW::FindCandidate(PointView p,
+                                          const AdjKeyVec& adj_keys) const {
   // A representative u with d(u, p) ≤ α satisfies d(p, cell(u)) ≤ α, so
   // cell(u) is one of the adj(p) keys: the scan below is complete.
   for (uint64_t key : adj_keys) {
@@ -128,7 +128,7 @@ void RobustL0SamplerIW::Refilter() {
   // accepted -> {accepted, rejected, dropped} or rejected -> {rejected,
   // dropped}; no representative is (re)admitted.
   std::vector<uint32_t> to_remove;
-  std::vector<uint64_t> adj;
+  AdjKeyVec adj;
   const size_t slots = reps_.slot_count();
   for (uint32_t slot = 0; slot < slots; ++slot) {
     if (!reps_.IsLive(slot)) continue;
@@ -255,16 +255,18 @@ Status RobustL0SamplerIW::AbsorbFrom(const RobustL0SamplerIW& other) {
               return other.reps_.id(x) < other.reps_.id(y);
             });
 
-  std::vector<uint64_t> adj;
+  AdjKeyVec adj;
   for (uint32_t in : incoming) {
     const PointView in_point = other.reps_.point(in);
     const uint64_t in_cell = other.reps_.cell_key(in);
     const uint64_t in_index = other.reps_.stream_index(in);
+    // One adjacency search serves both the rate check below and the
+    // candidate lookup after it.
+    grid_.AdjacentCells(in_point, options_.alpha, &adj_scratch_);
     const bool accepted = hasher_.SampledAtLevel(in_cell, level_);
     bool rejected = false;
     if (!accepted) {
-      grid_.AdjacentCells(in_point, options_.alpha, &adj);
-      for (uint64_t key : adj) {
+      for (uint64_t key : adj_scratch_) {
         if (hasher_.SampledAtLevel(key, level_)) {
           rejected = true;
           break;
@@ -272,7 +274,6 @@ Status RobustL0SamplerIW::AbsorbFrom(const RobustL0SamplerIW& other) {
       }
       if (!rejected) continue;  // dropped at the unified rate
     }
-    grid_.AdjacentCells(in_point, options_.alpha, &adj_scratch_);
     const uint32_t existing = FindCandidate(in_point, adj_scratch_);
     if (existing != RepTable::kNpos) {
       // Same group seen by both partitions: the earlier representative

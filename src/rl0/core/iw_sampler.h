@@ -158,8 +158,7 @@ class RobustL0SamplerIW {
   void InsertView(PointView p, uint64_t stream_index);
 
   /// Finds a stored representative within α of p, or RepTable::kNpos.
-  uint32_t FindCandidate(PointView p,
-                         const std::vector<uint64_t>& adj_keys) const;
+  uint32_t FindCandidate(PointView p, const AdjKeyVec& adj_keys) const;
 
   /// Live slots of accepted representatives ordered by rep id (ascending
   /// — deterministic, content-defined query iteration).
@@ -183,8 +182,9 @@ class RobustL0SamplerIW {
   RepTable reps_;
 
   SpaceMeter meter_;
-  // Scratch buffer reused across Insert calls to avoid per-point allocation.
-  mutable std::vector<uint64_t> adj_scratch_;
+  // Adjacency scratch with inline capacity: the per-point key buffer
+  // lives on the sampler itself, never the heap (ROADMAP item).
+  mutable AdjKeyVec adj_scratch_;
 };
 
 }  // namespace rl0

@@ -1,11 +1,13 @@
 #include "rl0/core/sharded_pool.h"
 
 #include <thread>
+#include <utility>
 
 namespace rl0 {
 
 Result<ShardedSamplerPool> ShardedSamplerPool::Create(
-    const SamplerOptions& options, size_t shards) {
+    const SamplerOptions& options, size_t shards,
+    const IngestPool::Options& pipeline_options) {
   if (shards < 1) {
     return Status::InvalidArgument("shards must be >= 1");
   }
@@ -18,25 +20,73 @@ Result<ShardedSamplerPool> ShardedSamplerPool::Create(
     if (!sampler.ok()) return sampler.status();
     samplers.push_back(std::move(sampler).value());
   }
-  return ShardedSamplerPool(std::move(samplers));
+  return ShardedSamplerPool(std::move(samplers), pipeline_options);
 }
 
+ShardedSamplerPool::ShardedSamplerPool(
+    std::vector<RobustL0SamplerIW> shards,
+    const IngestPool::Options& pipeline_options)
+    : shards_(std::move(shards)), pipeline_options_(pipeline_options) {
+  StartPipeline();
+}
+
+void ShardedSamplerPool::StartPipeline() {
+  const size_t shards = shards_.size();
+  std::vector<IngestPool::Sink> sinks;
+  sinks.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    RobustL0SamplerIW* shard = &shards_[s];
+    sinks.push_back([shard, s, shards](Span<const Point> chunk,
+                                       uint64_t index_base) {
+      // Global-residue partition: this shard owns the points at global
+      // stream positions ≡ s (mod shards). The first such position inside
+      // the chunk is the smallest i with (index_base + i) % shards == s,
+      // so per-shard input streams — and decisions — are invariant under
+      // re-chunking of the feed.
+      const size_t start = static_cast<size_t>(
+          (s + shards - static_cast<size_t>(index_base % shards)) % shards);
+      shard->InsertStrided(chunk, start, shards, index_base);
+    });
+  }
+  pipeline_ = std::make_unique<IngestPool>(std::move(sinks),
+                                           pipeline_options_);
+}
+
+void ShardedSamplerPool::Feed(Span<const Point> points) {
+  pipeline_->Feed(points);
+}
+
+void ShardedSamplerPool::FeedOwned(std::vector<Point> points) {
+  pipeline_->FeedOwned(std::move(points));
+}
+
+void ShardedSamplerPool::FeedBorrowed(Span<const Point> points) {
+  pipeline_->FeedBorrowed(points);
+}
+
+void ShardedSamplerPool::Drain() { pipeline_->Drain(); }
+
 void ShardedSamplerPool::ConsumeParallel(Span<const Point> points) {
+  // The span outlives the call because Drain is the last thing we do.
+  FeedBorrowed(points);
+  Drain();
+}
+
+void ShardedSamplerPool::ConsumeParallelSpawnJoin(Span<const Point> points) {
+  // Pre-pipeline behaviour: per-call thread spawn/join, chunk-relative
+  // residue classes. Quiesce the pipeline first and reserve this chunk's
+  // index range so both paths share one global index space.
+  pipeline_->Drain();
+  const uint64_t index_base = pipeline_->AdvanceIndexBase(points.size());
   const size_t shards = shards_.size();
   std::vector<std::thread> workers;
   workers.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
-    workers.emplace_back([this, points, s, shards] {
-      // The whole span is handed to the shard once; InsertStrided walks
-      // the shard's residue class in one tight loop and stamps each point
-      // with its *global* stream position, so Merged() resolves duplicate
-      // groups by true arrival order (and stream indices stay unique
-      // across shards).
-      shards_[s].InsertStrided(points, s, shards, consumed_);
+    workers.emplace_back([this, points, s, shards, index_base] {
+      shards_[s].InsertStrided(points, s, shards, index_base);
     });
   }
   for (std::thread& worker : workers) worker.join();
-  consumed_ += points.size();
 }
 
 Result<RobustL0SamplerIW> ShardedSamplerPool::Merged() const {
@@ -48,12 +98,23 @@ Result<RobustL0SamplerIW> ShardedSamplerPool::Merged() const {
   return merged;
 }
 
+Result<RobustL0SamplerIW> ShardedSamplerPool::MergedQuiesced() {
+  Result<RobustL0SamplerIW> merged =
+      Status::Internal("quiesced merge did not run");
+  pipeline_->QuiescedRun([this, &merged] { merged = Merged(); });
+  return merged;
+}
+
 uint64_t ShardedSamplerPool::points_processed() const {
   uint64_t total = 0;
   for (const RobustL0SamplerIW& sampler : shards_) {
     total += sampler.points_processed();
   }
   return total;
+}
+
+uint64_t ShardedSamplerPool::points_fed() const {
+  return pipeline_->points_fed();
 }
 
 size_t ShardedSamplerPool::SpaceWords() const {

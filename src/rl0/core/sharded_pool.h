@@ -5,71 +5,123 @@
 // AbsorbFrom — is sharding: partition the stream across S samplers created
 // with identical options (shared grid/hash randomness), feed each shard
 // from its own thread, and merge on query. ShardedSamplerPool packages
-// that pattern: deterministic round-robin partitioning, one worker thread
-// per shard, and a Merged() view built with RobustL0SamplerIW::AbsorbFrom.
+// that pattern on top of a persistent IngestPool: one long-lived worker
+// per shard, bounded per-shard chunk queues with backpressure, and a
+// Merged() view built with RobustL0SamplerIW::AbsorbFrom.
 //
-// Concurrency contract: each shard is only ever touched by one thread at a
-// time; ConsumeParallel joins all workers before returning; Merged() must
-// not run concurrently with insertion.
+// Partition: shard s receives the points at *global* stream positions
+// ≡ s (mod S), in stream order, via the strided batch path
+// (RobustL0SamplerIW::InsertStrided). Because the residue class is taken
+// over global indices, each shard's input subsequence — and therefore its
+// entire decision trajectory — is independent of how the stream was cut
+// into Feed chunks. A later Merged() resolves groups judged by several
+// shards deterministically by true arrival order.
+//
+// Concurrency contract: Feed/FeedOwned/FeedBorrowed are safe from any
+// number of threads; each shard is only ever touched by its own worker.
+// Drain() is the barrier: after it returns (with no concurrent feeders),
+// Merged(), shard() and points_processed() read quiescent state.
+// MergedQuiesced() is the exception that needs no barrier — it pauses the
+// workers between chunks, so it is safe concurrently with ongoing
+// feeding (each shard then contributes a prefix of its stream).
 
 #ifndef RL0_CORE_SHARDED_POOL_H_
 #define RL0_CORE_SHARDED_POOL_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "rl0/core/ingest_pool.h"
 #include "rl0/core/iw_sampler.h"
 #include "rl0/util/span.h"
 #include "rl0/util/status.h"
 
 namespace rl0 {
 
-/// A pool of identically-seeded samplers fed in parallel.
+/// A pool of identically-seeded samplers fed in parallel by a persistent
+/// worker pipeline.
 class ShardedSamplerPool {
  public:
-  /// Creates `shards` samplers with identical options. Requires
-  /// shards ≥ 1.
-  static Result<ShardedSamplerPool> Create(const SamplerOptions& options,
-                                           size_t shards);
+  /// Creates `shards` samplers with identical options and starts the
+  /// persistent worker threads (idle until fed). Requires shards ≥ 1.
+  static Result<ShardedSamplerPool> Create(
+      const SamplerOptions& options, size_t shards,
+      const IngestPool::Options& pipeline_options = IngestPool::Options());
 
   /// Number of shards.
   size_t num_shards() const { return shards_.size(); }
 
-  /// Direct access to a shard (external feeding; one thread per shard).
+  /// Direct access to a shard. Requires a quiescent pipeline (after
+  /// Drain, or before any feeding).
   RobustL0SamplerIW& shard(size_t i) { return shards_[i]; }
   const RobustL0SamplerIW& shard(size_t i) const { return shards_[i]; }
 
-  /// Feeds `points` with one worker thread per shard: shard s receives
-  /// the points at *chunk-relative* positions ≡ s (mod num_shards), in
-  /// stream order, via the strided batch path
-  /// (RobustL0SamplerIW::InsertStrided). Each point is stamped with its
-  /// global stream position (consumed-so-far + chunk position), so
-  /// chunked feeding keeps indices globally unique and a later Merged()
-  /// resolves groups judged by several shards deterministically by true
-  /// arrival order. Note that across chunks a given global residue class
-  /// may land on different shards (the partition restarts per chunk);
-  /// only the global indices, not the shard assignment, are stable.
-  /// Deterministic: the partition does not depend on thread scheduling.
+  /// Streams `points` into the pipeline as one chunk (copied; the pool
+  /// has its own lifetime for the data). Returns as soon as the chunk is
+  /// queued on every shard — call Drain() before querying.
   /// (std::vector<Point> converts implicitly.)
+  void Feed(Span<const Point> points);
+
+  /// As Feed but adopts the vector — no copy.
+  void FeedOwned(std::vector<Point> points);
+
+  /// As Feed but zero-copy: `points` must stay valid until the next
+  /// Drain() returns.
+  void FeedBorrowed(Span<const Point> points);
+
+  /// Blocks until everything fed before this call is consumed by every
+  /// shard. Safe from any thread, also concurrently with feeding.
+  void Drain();
+
+  /// Feeds `points` and drains: the pipelined equivalent of the original
+  /// blocking call. Deterministic: the global-residue partition does not
+  /// depend on thread scheduling or chunk boundaries.
   void ConsumeParallel(Span<const Point> points);
 
-  /// A merged sampler over the union of all shards' streams
-  /// (copy of shard 0 absorbing the rest; see AbsorbFrom's guarantee).
+  /// The pre-pipeline implementation: spawns one thread per shard, feeds
+  /// the chunk with chunk-relative striding, joins all workers before
+  /// returning. Kept as the bench_pipeline baseline and for differential
+  /// testing; shares the pipeline's global index space, so the two paths
+  /// may be interleaved (ConsumeParallelSpawnJoin drains first).
+  void ConsumeParallelSpawnJoin(Span<const Point> points);
+
+  /// A merged sampler over the union of all shards' streams (copy of
+  /// shard 0 absorbing the rest; see AbsorbFrom's guarantee). Requires a
+  /// quiescent pipeline (after Drain).
   Result<RobustL0SamplerIW> Merged() const;
 
-  /// Total points across shards.
+  /// As Merged(), but safe concurrently with ongoing feeding: pauses the
+  /// workers between chunks and merges each shard's current prefix. The
+  /// result is a valid sampler over the subset of the stream processed at
+  /// the pause point. Do not call the feed-side APIs (Feed*/Drain/
+  /// points_fed) from the same thread while it runs — see
+  /// IngestPool::QuiescedRun's deadlock caveat.
+  Result<RobustL0SamplerIW> MergedQuiesced();
+
+  /// Total points across shards. Requires a quiescent pipeline.
   uint64_t points_processed() const;
 
-  /// Total space across shards.
+  /// Points handed to the pool so far (fed or consumed; any thread).
+  uint64_t points_fed() const;
+
+  /// Total space across shards. Requires a quiescent pipeline.
   size_t SpaceWords() const;
 
  private:
-  explicit ShardedSamplerPool(std::vector<RobustL0SamplerIW> shards)
-      : shards_(std::move(shards)) {}
+  ShardedSamplerPool(std::vector<RobustL0SamplerIW> shards,
+                     const IngestPool::Options& pipeline_options);
+
+  /// Starts the persistent workers. Called from the constructor — the
+  /// pipeline exists before the pool is visible to any other thread, so
+  /// concurrent Feeds never race on its creation. The sinks capture
+  /// addresses of shards_ elements: stable across moves of the pool (the
+  /// vector's heap buffer moves with it) because shards_ never resizes.
+  void StartPipeline();
 
   std::vector<RobustL0SamplerIW> shards_;
-  /// Stream points consumed so far (the index base of the next chunk).
-  uint64_t consumed_ = 0;
+  IngestPool::Options pipeline_options_;
+  std::unique_ptr<IngestPool> pipeline_;
 };
 
 }  // namespace rl0

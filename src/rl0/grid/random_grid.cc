@@ -136,8 +136,9 @@ void RandomGrid::AdjacentCellCoords(PointView p, double alpha,
 // per-axis moves and pruning), but no CellCoord materialization — the
 // per-axis scratch lives in thread-local buffers and the cell keys are
 // folded incrementally along the search path (DfsKeys).
-void RandomGrid::AdjacentCells(PointView p, double alpha,
-                               std::vector<uint64_t>* out) const {
+template <typename KeyVec>
+void RandomGrid::AdjacentCellsImpl(PointView p, double alpha,
+                                   KeyVec* out) const {
   RL0_DCHECK(p.dim() == dim_);
   RL0_DCHECK(alpha > 0.0);
   out->clear();
@@ -157,9 +158,20 @@ void RandomGrid::AdjacentCells(PointView p, double alpha,
   std::sort(out->begin(), out->end());
 }
 
+void RandomGrid::AdjacentCells(PointView p, double alpha,
+                               std::vector<uint64_t>* out) const {
+  AdjacentCellsImpl(p, alpha, out);
+}
+
+void RandomGrid::AdjacentCells(PointView p, double alpha,
+                               AdjKeyVec* out) const {
+  AdjacentCellsImpl(p, alpha, out);
+}
+
+template <typename KeyVec>
 void RandomGrid::DfsKeys(const int64_t* base, const double* scaled,
                          double budget, size_t axis, double acc,
-                         uint64_t hash, std::vector<uint64_t>* out) const {
+                         uint64_t hash, KeyVec* out) const {
   ++g_dfs_nodes;
   if (axis == dim_) {
     out->push_back(hash);

@@ -26,8 +26,15 @@
 #include "rl0/geom/metric.h"
 #include "rl0/geom/point.h"
 #include "rl0/grid/cell.h"
+#include "rl0/util/small_vector.h"
 
 namespace rl0 {
+
+/// Adjacency key buffer with inline storage. 32 covers the paper's 2-d
+/// worst case (|adj(p)| ≤ 25, the 5×5 block) and the high-dimension
+/// regime's typical handful of keys, so the ingestion hot path never
+/// allocates for adjacency results.
+using AdjKeyVec = SmallVector<uint64_t, 32>;
 
 /// A randomly shifted axis-aligned grid with cubic cells.
 ///
@@ -69,6 +76,10 @@ class RandomGrid {
   void AdjacentCells(PointView p, double alpha,
                      std::vector<uint64_t>* out) const;
 
+  /// As above into an inline-capacity buffer — the allocation-free form
+  /// the sampler hot paths use. Identical keys and order.
+  void AdjacentCells(PointView p, double alpha, AdjKeyVec* out) const;
+
   /// As AdjacentCells but returns coordinates (used by tests/baselines).
   void AdjacentCellCoords(PointView p, double alpha,
                           std::vector<CellCoord>* out) const;
@@ -99,10 +110,15 @@ class RandomGrid {
   /// instead of materializing CellCoord vectors it threads the partial
   /// cell-key hash (CellKeySeed/CellKeyCombine fold) down the search tree
   /// and emits finished 64-bit keys directly. Produces exactly the keys
-  /// of DfsSearch + CellKeyOf.
+  /// of DfsSearch + CellKeyOf. KeyVec is std::vector<uint64_t> or
+  /// AdjKeyVec (both instantiated in random_grid.cc).
+  template <typename KeyVec>
   void DfsKeys(const int64_t* base, const double* scaled, double budget,
-               size_t axis, double acc, uint64_t hash,
-               std::vector<uint64_t>* out) const;
+               size_t axis, double acc, uint64_t hash, KeyVec* out) const;
+
+  /// Shared body of the two AdjacentCells overloads.
+  template <typename KeyVec>
+  void AdjacentCellsImpl(PointView p, double alpha, KeyVec* out) const;
 
   /// Folds one per-axis box distance into the running accumulator
   /// (L2: sum of squares; L1: sum; L∞: max).

@@ -1,0 +1,107 @@
+// A bounded blocking queue: multiple producers, one (or more) consumers.
+//
+// The ingestion pipeline's backpressure primitive. Producers Push stream
+// chunks and block while the queue is at capacity — a slow worker lane
+// therefore throttles the feeders instead of letting queued chunks grow
+// without bound. Consumers Pop in FIFO order and block while the queue is
+// empty. Close() wakes everyone: pending Pops drain the remaining items
+// and then return false, further Pushes are rejected.
+//
+// Plain mutex + condition variables on purpose: the queue hands over
+// whole chunks (thousands of points), so per-operation overhead is
+// irrelevant next to the work a chunk represents, and the lock gives the
+// pipeline's Drain/snapshot barriers simple happens-before edges that
+// ThreadSanitizer can verify.
+
+#ifndef RL0_UTIL_BOUNDED_QUEUE_H_
+#define RL0_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace rl0 {
+
+/// A FIFO of at most `capacity` items with blocking Push/Pop and Close.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`, blocking while the queue is full. Returns false iff
+  /// the queue was closed (the item is dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Push. Returns false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues into `*out`, blocking while the queue is empty and open.
+  /// Returns false iff the queue is closed and fully drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: wakes all waiters; queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,103 @@
+// A vector with inline storage for the first N elements.
+//
+// The adjacency searches of the ingestion hot path produce a handful of
+// 64-bit cell keys per point (|adj(p)| ≤ 25 in the paper's 2-d regime,
+// typically ≪ that under the high-dimension grid). Storing them in a
+// std::vector means a heap allocation per buffer — and the refilter /
+// merge paths create such buffers afresh. SmallVector keeps the first
+// `InlineCapacity` elements in the object itself and only touches the
+// heap when a buffer outgrows that, which in practice never happens on
+// the adjacency path.
+//
+// Restricted to trivially copyable T: the samplers only need it for
+// scalar keys, and the restriction makes growth a memcpy with no
+// element-lifetime bookkeeping.
+
+#ifndef RL0_UTIL_SMALL_VECTOR_H_
+#define RL0_UTIL_SMALL_VECTOR_H_
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace rl0 {
+
+/// A dynamically sized array of trivially copyable T with the first
+/// `InlineCapacity` elements stored inline.
+template <typename T, size_t InlineCapacity>
+class SmallVector {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "SmallVector requires trivially copyable elements");
+  static_assert(InlineCapacity >= 1, "inline capacity must be positive");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { *this = other; }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(T));
+    size_ = other.size_;
+    return *this;
+  }
+
+  ~SmallVector() {
+    if (heap_ != nullptr) delete[] heap_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Elements currently storable without reallocation.
+  size_t capacity() const { return capacity_; }
+  /// True while the elements live in the inline buffer (introspection).
+  bool is_inline() const { return heap_ == nullptr; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      // Copy first: `value` may alias an element of this vector, and
+      // reserve() frees the old buffer (std::vector allows the pattern
+      // v.push_back(v[0]); so must we).
+      const T copy = value;
+      reserve(capacity_ * 2);
+      data()[size_++] = copy;
+      return;
+    }
+    data()[size_++] = value;
+  }
+
+  /// Ensures room for `n` elements (never shrinks; keeps contents).
+  void reserve(size_t n) {
+    if (n <= capacity_) return;
+    T* grown = new T[n];
+    std::memcpy(grown, data(), size_ * sizeof(T));
+    if (heap_ != nullptr) delete[] heap_;
+    heap_ = grown;
+    capacity_ = n;
+  }
+
+ private:
+  T inline_[InlineCapacity];
+  T* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = InlineCapacity;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_UTIL_SMALL_VECTOR_H_

@@ -1,0 +1,205 @@
+// Concurrency stress for the persistent ingestion pipeline. Run under
+// ThreadSanitizer in CI (see .github/workflows/ci.yml, job `tsan`): the
+// assertions here check exactly-once accounting; TSan checks the
+// happens-before edges of the queue handoffs, the Drain barrier and the
+// quiesced merge/snapshot path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rl0/core/ingest_pool.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/core/snapshot.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+#include "rl0/util/bounded_queue.h"
+
+namespace rl0 {
+namespace {
+
+NoisyDataset StressData(uint64_t seed, size_t groups) {
+  const BaseDataset base = RandomUniform(groups, 3, seed, "Stress");
+  NearDupOptions nd;
+  nd.max_dups = 12;
+  nd.seed = seed + 1;
+  return MakeNearDuplicates(base, nd);
+}
+
+SamplerOptions StressOptions(const NoisyDataset& data, uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.seed = seed;
+  opts.side_mode = GridSideMode::kHighDim;
+  opts.expected_stream_length = data.size();
+  return opts;
+}
+
+TEST(PipelineStressTest, MultiProducerFeedCountsEveryPointExactlyOnce) {
+  const NoisyDataset data = StressData(61, 80);
+  SamplerOptions opts = StressOptions(data, 62);
+  opts.accept_cap = 1 << 20;  // rate 1: merged must cover every group
+  IngestPool::Options pipeline;
+  pipeline.queue_capacity = 2;  // small window: exercise backpressure
+  auto pool = ShardedSamplerPool::Create(opts, 4, pipeline).value();
+
+  const size_t producers = 4;
+  const Span<const Point> all(data.points);
+  const size_t slice = all.size() / producers;
+  std::vector<std::thread> feeders;
+  for (size_t t = 0; t < producers; ++t) {
+    const size_t begin = t * slice;
+    const size_t count = t + 1 == producers ? all.size() - begin : slice;
+    feeders.emplace_back([&pool, all, begin, count] {
+      // Many small chunks per producer: chunk interleaving across
+      // producers is scheduler-dependent, totals must not be.
+      const size_t chunk = 37;
+      for (size_t offset = 0; offset < count; offset += chunk) {
+        const size_t n = offset + chunk > count ? count - offset : chunk;
+        pool.Feed(all.subspan(begin + offset, n));
+      }
+    });
+  }
+  for (std::thread& f : feeders) f.join();
+  pool.Drain();
+
+  EXPECT_EQ(pool.points_fed(), data.points.size());
+  EXPECT_EQ(pool.points_processed(), data.points.size());
+  // Chunk order is nondeterministic, but at rate 1 the merged accept set
+  // still holds exactly one representative per group.
+  auto merged = pool.Merged().value();
+  EXPECT_EQ(merged.level(), 0u);
+  EXPECT_EQ(merged.accept_size(), data.num_groups);
+}
+
+TEST(PipelineStressTest, ConcurrentDrainAndQuiescedSnapshot) {
+  const NoisyDataset data = StressData(71, 60);
+  SamplerOptions opts = StressOptions(data, 72);
+  auto pool = ShardedSamplerPool::Create(opts, 3).value();
+
+  std::atomic<bool> feeding{true};
+  const Span<const Point> all(data.points);
+
+  std::vector<std::thread> feeders;
+  for (size_t t = 0; t < 2; ++t) {
+    const size_t begin = t * (all.size() / 2);
+    const size_t count = t == 0 ? all.size() / 2 : all.size() - begin;
+    feeders.emplace_back([&pool, all, begin, count] {
+      const size_t chunk = 53;
+      for (size_t offset = 0; offset < count; offset += chunk) {
+        const size_t n = offset + chunk > count ? count - offset : chunk;
+        pool.Feed(all.subspan(begin + offset, n));
+      }
+    });
+  }
+
+  // Drainers: Drain is a barrier on everything fed before the call and
+  // must be safe from any number of threads, concurrently with feeding.
+  std::vector<std::thread> drainers;
+  for (int t = 0; t < 2; ++t) {
+    drainers.emplace_back([&pool, &feeding] {
+      while (feeding.load(std::memory_order_relaxed)) {
+        pool.Drain();
+      }
+    });
+  }
+
+  // Snapshotter: MergedQuiesced pauses the workers between chunks, so a
+  // consistent (prefix-per-shard) merged sampler can be checkpointed
+  // while the stream is still flowing.
+  std::thread snapshotter([&pool, &feeding] {
+    int round_trips = 0;
+    while (feeding.load(std::memory_order_relaxed) || round_trips == 0) {
+      auto merged = pool.MergedQuiesced();
+      ASSERT_TRUE(merged.ok());
+      std::string blob;
+      ASSERT_TRUE(SnapshotSampler(merged.value(), &blob).ok());
+      auto restored = RestoreSampler(blob);
+      ASSERT_TRUE(restored.ok());
+      EXPECT_EQ(restored.value().accept_size(), merged.value().accept_size());
+      ++round_trips;
+    }
+    EXPECT_GT(round_trips, 0);
+  });
+
+  for (std::thread& f : feeders) f.join();
+  feeding.store(false, std::memory_order_relaxed);
+  for (std::thread& d : drainers) d.join();
+  snapshotter.join();
+
+  pool.Drain();
+  EXPECT_EQ(pool.points_processed(), data.points.size());
+}
+
+TEST(PipelineStressTest, StopWithBacklogProcessesEverything) {
+  // Destroying the pool (Stop) must consume the queued backlog, not drop
+  // it: feeding then immediately destructing loses nothing.
+  const NoisyDataset data = StressData(81, 40);
+  SamplerOptions opts = StressOptions(data, 82);
+  uint64_t processed = 0;
+  {
+    IngestPool::Options pipeline;
+    pipeline.queue_capacity = 2;
+    auto pool = ShardedSamplerPool::Create(opts, 2, pipeline).value();
+    const Span<const Point> all(data.points);
+    const size_t chunk = 64;
+    for (size_t offset = 0; offset < all.size(); offset += chunk) {
+      pool.Feed(all.subspan(offset, chunk));
+    }
+    pool.Drain();
+    processed = pool.points_processed();
+  }  // ~ShardedSamplerPool -> IngestPool::Stop
+  EXPECT_EQ(processed, data.points.size());
+}
+
+TEST(PipelineStressTest, BoundedQueueMultiProducerExactlyOnce) {
+  BoundedQueue<int> queue(3);
+  const int producers = 4;
+  const int per_producer = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < producers; ++t) {
+    workers.emplace_back([&queue, t] {
+      for (int i = 0; i < per_producer; ++i) {
+        ASSERT_TRUE(queue.Push(t * per_producer + i));
+      }
+    });
+  }
+  std::vector<char> seen(producers * per_producer, 0);
+  std::thread consumer([&queue, &seen] {
+    int item;
+    while (queue.Pop(&item)) {
+      ASSERT_GE(item, 0);
+      ASSERT_LT(item, static_cast<int>(seen.size()));
+      seen[item] += 1;
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  queue.Close();
+  consumer.join();
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "item " << i;
+  }
+}
+
+TEST(PipelineStressTest, BoundedQueueCloseDrainsThenStops) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));
+  EXPECT_FALSE(queue.TryPush(4));
+  int item = 0;
+  EXPECT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(item, 1);
+  EXPECT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(item, 2);
+  EXPECT_FALSE(queue.Pop(&item));  // closed and drained
+}
+
+}  // namespace
+}  // namespace rl0

@@ -1,0 +1,210 @@
+// Statistical accuracy of the sampler and the F0 estimator against the
+// exact offline baselines, at paper scale (a ≥50k-point noisy stream).
+//
+// Ground truth comes from baseline/exact_partition over the (rescaled)
+// base points: NaturalPartition gives the group of every base entity and
+// ExactF0WellSeparated the true robust F0; the generator's per-point
+// labels lift that partition to the full noisy stream. Everything is
+// seeded — the thresholds below are deterministic for this binary, and
+// generous enough (p ≈ 0.001 for the chi-squared) that they are not
+// knife-edge.
+//
+// The uniformity experiment replays the representative stream (the
+// first-arrival point of each group): for the fixed-representative
+// Algorithm 1 this provably reproduces the sampling distribution of the
+// full stream (iw_sampler_test.ReplayEquivalence) at ~250x less work,
+// which is what makes 2000 independent sampler instances affordable in a
+// unit test. The F0 and coverage checks feed the full 50k-point stream
+// through the persistent ingestion pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rl0/baseline/exact_partition.h"
+#include "rl0/core/f0_iw.h"
+#include "rl0/core/iw_sampler.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/stream/dataset.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+constexpr size_t kGroups = 200;
+constexpr uint64_t kDataSeed = 20180611;  // fixed: thresholds are pinned
+
+/// The shared ≥50k-point workload plus exact_partition ground truth.
+struct GroundTruth {
+  NoisyDataset data;
+  /// Rescaled base points (same geometry MakeNearDuplicates used).
+  std::vector<Point> base_points;
+  /// NaturalPartition of the base points at the stream's alpha.
+  Partition partition;
+  /// partition.group_of ∘ data.group_of: exact group of every stream point.
+  std::vector<uint32_t> group_of_point;
+};
+
+const GroundTruth& SharedGroundTruth() {
+  static const GroundTruth* truth = [] {
+    auto* t = new GroundTruth();
+    BaseDataset base = RandomUniform(kGroups, 3, kDataSeed, "Stat");
+    NearDupOptions nd;
+    nd.max_dups = 550;  // E[n] ≈ 55k: comfortably ≥ 50k for this seed
+    nd.seed = kDataSeed + 1;
+    t->data = MakeNearDuplicates(base, nd);
+
+    // Reproduce the generator's rescaled base geometry and partition it
+    // exactly. On this well-separated instance (min pairwise distance 1,
+    // alpha = d^{-1.5} < 1) every base point is its own group.
+    t->base_points = base.points;
+    RescaleToUnitMinDistance(&t->base_points);
+    t->partition = NaturalPartition(t->base_points, t->data.alpha);
+
+    t->group_of_point.reserve(t->data.size());
+    for (uint32_t label : t->data.group_of) {
+      t->group_of_point.push_back(t->partition.group_of[label]);
+    }
+    return t;
+  }();
+  return *truth;
+}
+
+SamplerOptions StatOptions(const NoisyDataset& data, uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.seed = seed;
+  opts.side_mode = GridSideMode::kHighDim;
+  opts.expected_stream_length = data.size();
+  return opts;
+}
+
+double ChiSquaredUniform(const std::vector<uint64_t>& counts,
+                         uint64_t total) {
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double stat = 0.0;
+  for (uint64_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+// Critical value of chi-squared with df = kGroups - 1 = 199 at
+// p ≈ 0.001 is ≈ 267 (Wilson–Hilferty); 275 adds margin. A uniform
+// sampler lands near df = 199 in expectation.
+constexpr double kChiSquaredThreshold = 275.0;
+
+TEST(StatisticalAccuracyTest, WorkloadIsPaperScaleAndWellSeparated) {
+  const GroundTruth& t = SharedGroundTruth();
+  ASSERT_GE(t.data.size(), 50000u) << "raise max_dups or change the seed";
+  EXPECT_EQ(t.data.num_groups, kGroups);
+  // exact_partition agrees with the generator: one group per base point,
+  // and the greedy partition (Definition 3.2) finds the same count.
+  EXPECT_EQ(t.partition.num_groups, kGroups);
+  EXPECT_EQ(ExactF0WellSeparated(t.base_points, t.data.alpha), kGroups);
+  EXPECT_EQ(GreedyPartition(t.base_points, t.data.alpha).num_groups,
+            kGroups);
+}
+
+TEST(StatisticalAccuracyTest, SampledGroupsUniformChiSquared) {
+  const GroundTruth& t = SharedGroundTruth();
+  const RepresentativeStream reps = ExtractRepresentatives(t.data);
+  ASSERT_EQ(reps.points.size(), kGroups);
+
+  const uint64_t runs = 2000;
+  uint64_t empty_runs = 0;
+  std::vector<uint64_t> counts(kGroups, 0);
+  for (uint64_t run = 0; run < runs; ++run) {
+    // Natural accept cap: the rate rises above 1, so uniformity is the
+    // Theorem 2.4 statement about the sketch randomness, not the trivial
+    // keep-everything regime.
+    auto sampler =
+        RobustL0SamplerIW::Create(StatOptions(t.data, 40000 + run)).value();
+    sampler.InsertBatch(reps.points);
+    EXPECT_GT(sampler.level(), 0u);
+    const auto sample = sampler.Sample(SplitMix64(90000 + run));
+    if (!sample.has_value()) {
+      ++empty_runs;
+      continue;
+    }
+    // The replayed stream's indices are 0..G-1 over the representatives;
+    // lift to the exact partition's group id.
+    ASSERT_LT(sample->stream_index, reps.group_of.size());
+    const uint32_t base_label = reps.group_of[sample->stream_index];
+    ++counts[t.partition.group_of[base_label]];
+  }
+
+  // Empty accept sets happen with probability ≤ 1/m per run.
+  EXPECT_LE(empty_runs, runs / 100);
+  const double stat = ChiSquaredUniform(counts, runs - empty_runs);
+  EXPECT_LT(stat, kChiSquaredThreshold)
+      << "sampled groups deviate from uniform (df=199, p<0.001)";
+}
+
+TEST(StatisticalAccuracyTest, ChiSquaredDetectsBiasedSampling) {
+  // Power check for the statistic itself: a sampler that favours one
+  // group 3x must land far beyond the threshold at this run count.
+  std::vector<uint64_t> counts(kGroups, 10);
+  counts[0] = 30;
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_GT(ChiSquaredUniform(counts, total), kChiSquaredThreshold / 10);
+  // And an exactly uniform table scores 0.
+  EXPECT_EQ(ChiSquaredUniform(std::vector<uint64_t>(kGroups, 10),
+                              10 * kGroups),
+            0.0);
+}
+
+TEST(StatisticalAccuracyTest, F0EstimateWithinEpsilonEnvelope) {
+  const GroundTruth& t = SharedGroundTruth();
+  const double epsilon = 0.2;
+  const double truth = static_cast<double>(kGroups);
+  // Three independent seeds, each a median over copies: with the paper's
+  // constant-δ per-copy guarantee boosted by the median, all three must
+  // land in the (1±ε) envelope (seeds pinned, deterministic).
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    F0Options opts;
+    opts.sampler = StatOptions(t.data, 7000 + seed);
+    opts.epsilon = epsilon;
+    opts.copies = 7;
+    auto estimator = F0EstimatorIW::Create(opts).value();
+    // Feed the full ≥50k stream through the persistent pipeline, copies
+    // in parallel, in streaming-sized chunks.
+    const Span<const Point> all(t.data.points);
+    const size_t chunk = 4096;
+    for (size_t offset = 0; offset < all.size(); offset += chunk) {
+      estimator.Feed(all.subspan(offset, chunk));
+    }
+    estimator.Drain();
+    const double estimate = estimator.Estimate();
+    EXPECT_GE(estimate, (1.0 - epsilon) * truth) << "seed " << seed;
+    EXPECT_LE(estimate, (1.0 + epsilon) * truth) << "seed " << seed;
+  }
+}
+
+TEST(StatisticalAccuracyTest, PipelineAtRateOneCoversExactF0) {
+  const GroundTruth& t = SharedGroundTruth();
+  SamplerOptions opts = StatOptions(t.data, 611);
+  opts.accept_cap = 1 << 20;  // rate 1: Sacc holds every group
+  auto pool = ShardedSamplerPool::Create(opts, 8).value();
+  const Span<const Point> all(t.data.points);
+  const size_t chunk = 2048;
+  for (size_t offset = 0; offset < all.size(); offset += chunk) {
+    pool.FeedBorrowed(all.subspan(offset, chunk));
+  }
+  pool.Drain();
+  EXPECT_EQ(pool.points_processed(), t.data.size());
+  auto merged = pool.Merged().value();
+  EXPECT_EQ(merged.accept_size(),
+            ExactF0WellSeparated(t.base_points, t.data.alpha));
+}
+
+}  // namespace
+}  // namespace rl0

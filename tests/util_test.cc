@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <string>
@@ -10,6 +11,7 @@
 #include "rl0/core/iw_sampler.h"
 #include "rl0/util/bits.h"
 #include "rl0/util/rng.h"
+#include "rl0/util/small_vector.h"
 #include "rl0/util/space.h"
 #include "rl0/util/status.h"
 
@@ -219,6 +221,81 @@ TEST(BitsTest, IsPow2) {
   EXPECT_FALSE(IsPow2(0));
   EXPECT_FALSE(IsPow2(3));
   EXPECT_FALSE(IsPow2(65));
+}
+
+// ---------------------------------------------------------- small vector
+
+TEST(SmallVectorTest, StaysInlineUpToCapacity) {
+  SmallVector<uint64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVectorTest, SpillsToHeapAndKeepsContents) {
+  SmallVector<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, ClearKeepsStorageAndReusesIt) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  const size_t grown = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), grown);  // no shrink: scratch-buffer semantics
+  v.push_back(42);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVectorTest, IteratorsAndAlgorithms) {
+  SmallVector<uint64_t, 8> v;
+  for (uint64_t x : {5u, 1u, 4u, 2u, 3u}) v.push_back(x);
+  std::sort(v.begin(), v.end());
+  const std::vector<uint64_t> got(v.begin(), v.end());
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(SmallVectorTest, CopyPreservesInlineAndHeapStates) {
+  SmallVector<int, 3> inline_v;
+  inline_v.push_back(7);
+  SmallVector<int, 3> inline_copy(inline_v);
+  EXPECT_TRUE(inline_copy.is_inline());
+  ASSERT_EQ(inline_copy.size(), 1u);
+  EXPECT_EQ(inline_copy[0], 7);
+
+  SmallVector<int, 3> heap_v;
+  for (int i = 0; i < 9; ++i) heap_v.push_back(i);
+  SmallVector<int, 3> heap_copy;
+  heap_copy = heap_v;
+  ASSERT_EQ(heap_copy.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(heap_copy[i], i);
+  // Deep copy: mutating the source must not leak through.
+  heap_v[0] = 100;
+  EXPECT_EQ(heap_copy[0], 0);
+}
+
+TEST(SmallVectorTest, AdjacencyBufferMatchesVectorOutput) {
+  // The grid's two AdjacentCells overloads must emit identical keys —
+  // this is what makes the SmallVector swap decision-preserving.
+  RandomGrid grid(3, 0.5, 99);
+  Point p{0.3, 1.4, -0.7};
+  std::vector<uint64_t> vec_keys;
+  AdjKeyVec small_keys;
+  grid.AdjacentCells(p, 1.0, &vec_keys);
+  grid.AdjacentCells(p, 1.0, &small_keys);
+  ASSERT_EQ(small_keys.size(), vec_keys.size());
+  for (size_t i = 0; i < vec_keys.size(); ++i) {
+    EXPECT_EQ(small_keys[i], vec_keys[i]);
+  }
 }
 
 // ----------------------------------------------------------------- space

@@ -20,6 +20,7 @@
 #include "rl0/baseline/exact_partition.h"
 #include "rl0/core/f0_iw.h"
 #include "rl0/core/iw_sampler.h"
+#include "rl0/core/sharded_pool.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/stream/csv.h"
 #include "rl0/stream/generators.h"
@@ -35,11 +36,14 @@ usage: rl0_cli <command> [options] [file.csv | -]
 
 commands:
   sample    --alpha A [--k N] [--window W] [--metric l2|l1|linf]
-            [--reservoir] [--seed S] [--queries Q]
+            [--reservoir] [--seed S] [--queries Q] [--shards S]
             Draw Q robust l0-samples (default 1). With --window W, sample
-            from the last W points instead of the whole stream.
-  count     --alpha A [--epsilon E] [--seed S]
-            (1+E)-approximate the number of distinct entities.
+            from the last W points instead of the whole stream. With
+            --shards S > 1, ingest through the persistent S-worker
+            pipeline and sample from the merged shards.
+  count     --alpha A [--epsilon E] [--seed S] [--parallel]
+            (1+E)-approximate the number of distinct entities. With
+            --parallel, the estimator copies ingest on pipeline workers.
   stats     --alpha A
             Exact group partition statistics (quadratic; small inputs).
   generate  --dataset rand5|rand20|yacht|seeds [--powerlaw] [--seed S]
@@ -59,8 +63,10 @@ struct Args {
   std::string dataset;
   bool powerlaw = false;
   bool reservoir = false;
+  bool parallel = false;
   uint64_t seed = 0;
   size_t k = 1;
+  size_t shards = 1;
   int64_t window = 0;
   int queries = 1;
 };
@@ -136,6 +142,15 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
         *error = "--dataset needs a value";
         return false;
       }
+    } else if (arg == "--shards") {
+      double v;
+      if (!next(&v)) {
+        *error = "--shards needs a value";
+        return false;
+      }
+      args->shards = static_cast<size_t>(v);
+    } else if (arg == "--parallel") {
+      args->parallel = true;
     } else if (arg == "--powerlaw") {
       args->powerlaw = true;
     } else if (arg == "--reservoir") {
@@ -183,6 +198,10 @@ int RunSample(const Args& args) {
 
   rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
   if (args.window > 0) {
+    if (args.shards > 1) {
+      return Fail("--shards is not supported with --window (the sliding-"
+                  "window sampler has no sharded pipeline yet)");
+    }
     auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
     if (!sampler.ok()) return Fail(sampler.status().ToString());
     rl0::RobustL0SamplerSW sw = std::move(sampler).value();
@@ -199,10 +218,33 @@ int RunSample(const Args& args) {
     return 0;
   }
 
-  auto sampler = rl0::RobustL0SamplerIW::Create(opts);
+  // Build the queried sampler: either one sampler fed directly, or the
+  // merge of a persistent sharded pipeline's worker lanes.
+  rl0::Result<rl0::RobustL0SamplerIW> sampler =
+      rl0::Status::Internal("unreachable");
+  if (args.shards > 1) {
+    auto pool = rl0::ShardedSamplerPool::Create(opts, args.shards);
+    if (!pool.ok()) return Fail(pool.status().ToString());
+    rl0::ShardedSamplerPool pipeline = std::move(pool).value();
+    const rl0::Span<const Point> all(points.value());
+    const size_t chunk = 4096;
+    for (size_t offset = 0; offset < all.size(); offset += chunk) {
+      pipeline.FeedBorrowed(all.subspan(offset, chunk));
+    }
+    pipeline.Drain();
+    sampler = pipeline.Merged();
+    if (sampler.ok()) {
+      std::fprintf(stderr, "[pipeline: %zu shards, %llu points]\n",
+                   pipeline.num_shards(),
+                   static_cast<unsigned long long>(
+                       pipeline.points_processed()));
+    }
+  } else {
+    sampler = rl0::RobustL0SamplerIW::Create(opts);
+    if (sampler.ok()) sampler.value().InsertBatch(points.value());
+  }
   if (!sampler.ok()) return Fail(sampler.status().ToString());
   rl0::RobustL0SamplerIW iw = std::move(sampler).value();
-  iw.InsertBatch(points.value());
   for (int q = 0; q < args.queries; ++q) {
     if (args.k > 1) {
       const auto samples = iw.SampleK(args.k, &rng);
@@ -243,7 +285,17 @@ int RunCount(const Args& args) {
   auto est = rl0::F0EstimatorIW::Create(opts);
   if (!est.ok()) return Fail(est.status().ToString());
   rl0::F0EstimatorIW estimator = std::move(est).value();
-  estimator.InsertBatch(points.value());
+  if (args.parallel) {
+    // Every estimator copy is a pipeline lane with its own worker.
+    const rl0::Span<const Point> all(points.value());
+    const size_t chunk = 4096;
+    for (size_t offset = 0; offset < all.size(); offset += chunk) {
+      estimator.Feed(all.subspan(offset, chunk));
+    }
+    estimator.Drain();
+  } else {
+    estimator.InsertBatch(points.value());
+  }
   std::printf("%.0f\n", estimator.Estimate());
   std::fprintf(stderr,
                "[distinct entities, (1+%.2f)-approx; %zu points scanned; "
