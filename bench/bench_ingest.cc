@@ -13,7 +13,10 @@
 //   pool    — ShardedSamplerPool (4 shards) fed in 4096-point chunks
 //             through the persistent IngestPool pipeline (the preferred
 //             multi-shard path; see bench_pipeline for the sweep against
-//             per-call spawn/join).
+//             per-call spawn/join);
+//   swpool  — ShardedSwSamplerPool (4 lanes, window 8192) fed the same
+//             chunks: the sliding-window mode of the pipeline (see
+//             bench_window for the flat-vs-legacy window index sweep).
 //
 // All three make bit-identical sampling decisions (pinned by
 // tests/ingest_determinism_test.cc), so the comparison is pure layout.
@@ -40,6 +43,7 @@ namespace {
 using rl0::LegacyL0SamplerIW;
 using rl0::NoisyDataset;
 using rl0::ShardedSamplerPool;
+using rl0::ShardedSwSamplerPool;
 using rl0::Point;
 using rl0::RobustL0SamplerIW;
 using rl0::SamplerOptions;
@@ -52,6 +56,7 @@ struct PathResult {
 size_t ObservableState(const LegacyL0SamplerIW& s) { return s.accept_size(); }
 size_t ObservableState(const RobustL0SamplerIW& s) { return s.accept_size(); }
 size_t ObservableState(const ShardedSamplerPool& s) { return s.SpaceWords(); }
+size_t ObservableState(const ShardedSwSamplerPool& s) { return s.SpaceWords(); }
 
 template <typename MakeSampler, typename Feed>
 double TimeOnce(const NoisyDataset& data, int rep, MakeSampler make_sampler,
@@ -87,9 +92,10 @@ int main() {
   std::printf("{\n  \"bench\": \"ingest\",\n  \"repeats\": %d,\n"
               "  \"workloads\": [\n", repeats);
   std::fprintf(stderr,
-               "%-10s %8s %9s | %12s %12s %12s %12s | %8s %8s %8s\n",
+               "%-10s %8s %9s | %12s %12s %12s %12s %12s | %8s %8s %8s\n",
                "workload", "dim", "points", "legacy p/s", "arena p/s",
-               "batch p/s", "pool p/s", "arena x", "batch x", "pool x");
+               "batch p/s", "pool p/s", "swpool p/s", "arena x", "batch x",
+               "pool x");
 
   bool first = true;
   for (size_t dim : {2, 5, 20}) {
@@ -98,7 +104,7 @@ int main() {
 
     // Interleave the three paths across repeats (best-of): a CPU hiccup
     // hits one repeat of one path, not a whole path's measurement.
-    PathResult legacy, arena, batch, pool;
+    PathResult legacy, arena, batch, pool, swpool;
     for (int rep = 0; rep < repeats; ++rep) {
       legacy.points_per_sec = std::max(
           legacy.points_per_sec,
@@ -150,28 +156,47 @@ int main() {
                 }
                 s->Drain();
               }));
+      swpool.points_per_sec = std::max(
+          swpool.points_per_sec,
+          TimeOnce(
+              data, rep,
+              [&](int r) {
+                SamplerOptions o = opts;
+                o.seed = seed + r;
+                return ShardedSwSamplerPool::Create(o, 8192, 4).value();
+              },
+              [&](ShardedSwSamplerPool* s) {
+                const rl0::Span<const rl0::Point> all(data.points);
+                for (size_t off = 0; off < all.size(); off += 4096) {
+                  s->FeedBorrowed(all.subspan(off, 4096));
+                }
+                s->Drain();
+              }));
     }
 
     const double arena_x = arena.points_per_sec / legacy.points_per_sec;
     const double batch_x = batch.points_per_sec / legacy.points_per_sec;
     const double pool_x = pool.points_per_sec / legacy.points_per_sec;
     std::fprintf(stderr,
-                 "%-10s %8zu %9zu | %12.0f %12.0f %12.0f %12.0f | "
+                 "%-10s %8zu %9zu | %12.0f %12.0f %12.0f %12.0f %12.0f | "
                  "%7.2fx %7.2fx %7.2fx\n",
                  data.name.c_str(), dim, data.size(), legacy.points_per_sec,
                  arena.points_per_sec, batch.points_per_sec,
-                 pool.points_per_sec, arena_x, batch_x, pool_x);
+                 pool.points_per_sec, swpool.points_per_sec, arena_x,
+                 batch_x, pool_x);
     std::printf(
         "%s    {\"workload\": \"%s\", \"dim\": %zu, \"points\": %zu,\n"
         "     \"legacy_points_per_sec\": %.0f,\n"
         "     \"arena_points_per_sec\": %.0f,\n"
         "     \"batch_points_per_sec\": %.0f,\n"
         "     \"pool_points_per_sec\": %.0f,\n"
+        "     \"sw_pool_points_per_sec\": %.0f,\n"
         "     \"arena_speedup\": %.3f, \"batch_speedup\": %.3f, "
         "\"pool_speedup\": %.3f}",
         first ? "" : ",\n", data.name.c_str(), dim, data.size(),
         legacy.points_per_sec, arena.points_per_sec, batch.points_per_sec,
-        pool.points_per_sec, arena_x, batch_x, pool_x);
+        pool.points_per_sec, swpool.points_per_sec, arena_x, batch_x,
+        pool_x);
     first = false;
   }
   std::printf("\n  ]\n}\n");

@@ -1,0 +1,151 @@
+// Sliding-window ingestion throughput: flat group index vs the legacy
+// node-based index, and windowed pipeline scaling.
+//
+// Three ingestion paths over a paper-style ~50k-point noisy stream with
+// a window of 8192 positions:
+//
+//   legacy — LegacySwSampler: the pre-refactor hierarchy (unordered_map
+//            groups, unordered_multimap cell index, std::map expiry
+//            order; split promotion through materialized GroupRecords),
+//            point-at-a-time;
+//   flat   — RobustL0SamplerSW: the SwGroupTable layout (flat slot
+//            columns, open-addressing cell index, intrusive stamp list,
+//            arena-internal PromoteInto), point-at-a-time;
+//   pool S — ShardedSwSamplerPool with S ∈ {1, 2, 4, 8} persistent lanes
+//            fed 2048-point borrowed chunks + one final Drain.
+//
+// legacy and flat make bit-identical sampling decisions (pinned by
+// tests/sw_pipeline_determinism_test.cc), so that column pair is pure
+// layout; the pool rows show windowed pipeline scaling.
+//
+// Output: a human-readable table on stderr and ONE LINE of JSON on
+// stdout. Append per PR:   ./build/bench_window >> BENCH_window.json
+// (one JSON document per line, newest last). RL0_REPEATS overrides the
+// per-path repeat count (default 3, best-of).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "rl0/baseline/legacy_sw_sampler.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/core/sw_sampler.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace {
+
+using rl0::LegacySwSampler;
+using rl0::NoisyDataset;
+using rl0::Point;
+using rl0::RobustL0SamplerSW;
+using rl0::SamplerOptions;
+using rl0::ShardedSwSamplerPool;
+using rl0::Span;
+
+constexpr int64_t kWindow = 8192;
+
+NoisyDataset WindowStream(size_t dim, uint64_t seed) {
+  const rl0::BaseDataset base = rl0::RandomUniform(
+      1000, dim, seed, "Window" + std::to_string(dim));
+  rl0::NearDupOptions nd;
+  nd.max_dups = 100;  // paper-scale duplication: ~50k-point stream
+  nd.seed = seed + 1;
+  return rl0::MakeNearDuplicates(base, nd);
+}
+
+template <typename Run>
+double BestOf(int repeats, size_t points, Run run) {
+  double best = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const size_t observable = run(rep);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (observable == 0) {
+      std::fprintf(stderr, "(empty sampler)\n");  // keep stdout clean
+    }
+    best = std::max(best, static_cast<double>(points) / seconds);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = rl0::bench::EnvRepeats(3);
+  const uint64_t seed = 20180618;
+
+  // Pool rows only show lane parallelism when cores are available; the
+  // core count is recorded so the JSONL trajectory stays interpretable
+  // across machines (a 1-core container measures pipeline overhead).
+  std::printf("{\"bench\": \"window\", \"repeats\": %d, \"window\": %lld, "
+              "\"cores\": %u, \"rows\": [",
+              repeats, static_cast<long long>(kWindow),
+              std::thread::hardware_concurrency());
+  std::fprintf(stderr,
+               "%-10s %4s %8s | %12s %12s %8s | %10s %10s %10s %10s\n",
+               "workload", "dim", "points", "legacy p/s", "flat p/s",
+               "flat x", "pool1 p/s", "pool2 p/s", "pool4 p/s",
+               "pool8 p/s");
+
+  bool first = true;
+  for (size_t dim : {2, 5}) {
+    const NoisyDataset data = WindowStream(dim, 77 + dim);
+    const SamplerOptions opts = rl0::bench::PaperSamplerOptions(data, seed);
+
+    const double legacy = BestOf(repeats, data.size(), [&](int rep) {
+      SamplerOptions o = opts;
+      o.seed = seed + rep;
+      auto sampler = LegacySwSampler::Create(o, kWindow).value();
+      for (const Point& p : data.points) sampler.Insert(p);
+      return sampler.SpaceWords();
+    });
+    const double flat = BestOf(repeats, data.size(), [&](int rep) {
+      SamplerOptions o = opts;
+      o.seed = seed + rep;
+      auto sampler = RobustL0SamplerSW::Create(o, kWindow).value();
+      for (const Point& p : data.points) sampler.Insert(p);
+      return sampler.SpaceWords();
+    });
+    double pool_rate[4] = {0, 0, 0, 0};
+    const size_t lane_counts[4] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+      pool_rate[i] = BestOf(repeats, data.size(), [&](int rep) {
+        SamplerOptions o = opts;
+        o.seed = seed + rep;
+        auto pool =
+            ShardedSwSamplerPool::Create(o, kWindow, lane_counts[i]).value();
+        const Span<const Point> all(data.points);
+        for (size_t off = 0; off < all.size(); off += 2048) {
+          pool.FeedBorrowed(all.subspan(off, 2048));
+        }
+        pool.Drain();
+        return pool.SpaceWords();
+      });
+    }
+
+    const double flat_x = flat / legacy;
+    std::fprintf(stderr,
+                 "%-10s %4zu %8zu | %12.0f %12.0f %7.2fx | %10.0f %10.0f "
+                 "%10.0f %10.0f\n",
+                 data.name.c_str(), dim, data.size(), legacy, flat, flat_x,
+                 pool_rate[0], pool_rate[1], pool_rate[2], pool_rate[3]);
+    std::printf(
+        "%s{\"workload\": \"%s\", \"dim\": %zu, \"points\": %zu, "
+        "\"legacy_points_per_sec\": %.0f, \"flat_points_per_sec\": %.0f, "
+        "\"flat_speedup\": %.3f, \"pool1_points_per_sec\": %.0f, "
+        "\"pool2_points_per_sec\": %.0f, \"pool4_points_per_sec\": %.0f, "
+        "\"pool8_points_per_sec\": %.0f}",
+        first ? "" : ", ", data.name.c_str(), dim, data.size(), legacy, flat,
+        flat_x, pool_rate[0], pool_rate[1], pool_rate[2], pool_rate[3]);
+    first = false;
+  }
+  std::printf("]}\n");
+  return 0;
+}

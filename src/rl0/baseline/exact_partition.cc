@@ -87,6 +87,29 @@ size_t ExactF0WellSeparated(const std::vector<Point>& points, double alpha) {
   return NaturalPartition(points, alpha).num_groups;
 }
 
+WindowedGroupTruth ExactWindowGroups(const std::vector<Point>& points,
+                                     double alpha, int64_t window,
+                                     int64_t now) {
+  const Partition part = NaturalPartition(points, alpha);
+  WindowedGroupTruth truth;
+  truth.group_of = part.group_of;
+  truth.num_groups = part.num_groups;
+  truth.latest_in_window.assign(part.num_groups,
+                                WindowedGroupTruth::kNoIndex);
+  const int64_t lo = now - window;  // exclusive
+  const int64_t hi = now;           // inclusive
+  for (size_t i = 0; i < points.size(); ++i) {
+    const int64_t stamp = static_cast<int64_t>(i);
+    if (stamp <= lo || stamp > hi) continue;
+    size_t& latest = truth.latest_in_window[part.group_of[i]];
+    if (latest == WindowedGroupTruth::kNoIndex || i > latest) latest = i;
+  }
+  for (uint32_t g = 0; g < truth.num_groups; ++g) {
+    if (truth.IsLive(g)) truth.live_groups.push_back(g);
+  }
+  return truth;
+}
+
 bool IsSparse(const std::vector<Point>& points, double alpha, double beta) {
   RL0_CHECK(beta >= alpha);
   for (size_t i = 0; i < points.size(); ++i) {

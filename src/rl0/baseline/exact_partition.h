@@ -41,6 +41,34 @@ Partition GreedyPartition(const std::vector<Point>& points, double alpha);
 /// Exact robust F0 of a well-separated dataset (== NaturalPartition size).
 size_t ExactF0WellSeparated(const std::vector<Point>& points, double alpha);
 
+/// Ground truth for sequence-stamped sliding windows (point i carries
+/// stamp i; the window at `now` covers stream indices in
+/// (now − window, now]): the natural partition of the whole stream plus
+/// the window's live-group view.
+struct WindowedGroupTruth {
+  static constexpr size_t kNoIndex = ~size_t{0};
+
+  /// NaturalPartition group id per stream index (whole stream).
+  std::vector<uint32_t> group_of;
+  /// Number of groups of the whole stream.
+  size_t num_groups = 0;
+  /// Per group id: the latest stream index inside the window, or
+  /// kNoIndex for groups with no point in the window (expired).
+  std::vector<size_t> latest_in_window;
+  /// Group ids with at least one point in the window, ascending.
+  std::vector<uint32_t> live_groups;
+
+  bool IsLive(uint32_t group) const {
+    return latest_in_window[group] != kNoIndex;
+  }
+};
+
+/// Computes the exact windowed partition view at time `now` (quadratic in
+/// |points| through NaturalPartition; test/bench sized inputs only).
+WindowedGroupTruth ExactWindowGroups(const std::vector<Point>& points,
+                                     double alpha, int64_t window,
+                                     int64_t now);
+
 /// True iff the dataset is (alpha, beta)-sparse: every pairwise distance is
 /// either ≤ alpha or > beta.
 bool IsSparse(const std::vector<Point>& points, double alpha, double beta);

@@ -1,0 +1,457 @@
+// Pre-refactor sliding-window sampler implementation, kept byte-for-byte
+// equivalent in behaviour to the seed code (see header).
+
+#include "rl0/baseline/legacy_sw_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rl0/util/bits.h"
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+namespace {
+constexpr uint64_t kNoGroup = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+LegacySwFixedRateSampler::LegacySwFixedRateSampler(const SamplerContext* ctx,
+                                                   uint32_t level,
+                                                   int64_t window,
+                                                   uint64_t* id_counter,
+                                                   PointStore* store)
+    : ctx_(ctx), store_(store), level_(level), window_(window),
+      id_counter_(id_counter) {
+  RL0_CHECK(ctx != nullptr);
+  RL0_CHECK(window > 0);
+  RL0_CHECK(level <= CellHasher::kMaxLevel);
+  if (id_counter_ == nullptr) id_counter_ = &owned_id_counter_;
+  if (store_ == nullptr) {
+    owned_store_ = std::make_unique<PointStore>(ctx_->options.dim);
+    store_ = owned_store_.get();
+  }
+}
+
+Result<std::unique_ptr<LegacySwFixedRateSampler>>
+LegacySwFixedRateSampler::CreateStandalone(const SamplerOptions& options,
+                                           uint32_t level, int64_t window) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  if (level > CellHasher::kMaxLevel) {
+    return Status::InvalidArgument("level exceeds CellHasher::kMaxLevel");
+  }
+  auto ctx = std::make_unique<SamplerContext>(options);
+  auto sampler = std::make_unique<LegacySwFixedRateSampler>(
+      ctx.get(), level, window, nullptr);
+  sampler->owned_ctx_ = std::move(ctx);
+  return sampler;
+}
+
+size_t LegacySwFixedRateSampler::GroupWords() const {
+  return GroupArenaWords(ctx_->options.dim);
+}
+
+void LegacySwFixedRateSampler::IndexGroup(const StoredGroup& g) {
+  cell_to_group_.emplace(g.rep_cell, g.id);
+  by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
+}
+
+void LegacySwFixedRateSampler::UnindexGroup(const StoredGroup& g) {
+  auto [it, end] = cell_to_group_.equal_range(g.rep_cell);
+  for (; it != end; ++it) {
+    if (it->second == g.id) {
+      cell_to_group_.erase(it);
+      break;
+    }
+  }
+  by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
+}
+
+void LegacySwFixedRateSampler::ReleaseGroup(StoredGroup* g) {
+  store_->Release(g->rep);
+  store_->Release(g->latest);
+  g->reservoir.ReleaseAll();
+}
+
+GroupRecord LegacySwFixedRateSampler::Materialize(
+    const StoredGroup& g) const {
+  GroupRecord out;
+  out.id = g.id;
+  out.rep = store_->View(g.rep).Materialize();
+  out.rep_index = g.rep_index;
+  out.rep_cell = g.rep_cell;
+  out.accepted = g.accepted;
+  out.latest = store_->View(g.latest).Materialize();
+  out.latest_stamp = g.latest_stamp;
+  out.latest_index = g.latest_index;
+  if (ctx_->options.random_representative) {
+    out.reservoir.reserve(g.reservoir.size());
+    for (const WindowedReservoir::Candidate& c : g.reservoir.candidates()) {
+      out.reservoir.push_back(WindowedReservoir::RestoredCandidate{
+          c.priority, c.stamp, g.reservoir.CandidatePoint(c),
+          c.stream_index});
+    }
+  }
+  return out;
+}
+
+void LegacySwFixedRateSampler::Adopt(GroupRecord&& in) {
+  StoredGroup g;
+  g.id = in.id;
+  g.rep = store_->Add(in.rep);
+  g.rep_index = in.rep_index;
+  g.rep_cell = in.rep_cell;
+  g.accepted = in.accepted;
+  g.latest = store_->Add(in.latest);
+  g.latest_stamp = in.latest_stamp;
+  g.latest_index = in.latest_index;
+  if (ctx_->options.random_representative) {
+    const uint64_t reseed =
+        ctx_->options.seed ^ (g.id * 0x9E3779B97F4A7C15ULL) ^
+        SplitMix64(++reseed_epoch_);
+    g.reservoir.RestoreState(window_, reseed, store_, in.reservoir);
+  }
+  if (g.accepted) ++accept_size_;
+  IndexGroup(g);
+  const uint64_t id = g.id;
+  groups_.emplace(id, std::move(g));
+}
+
+uint64_t LegacySwFixedRateSampler::FindCandidate(
+    PointView p, const std::vector<uint64_t>& adj_keys) const {
+  for (uint64_t key : adj_keys) {
+    auto [it, end] = cell_to_group_.equal_range(key);
+    for (; it != end; ++it) {
+      const StoredGroup& g = groups_.at(it->second);
+      if (MetricWithinDistance(store_->View(g.rep), p, ctx_->options.alpha,
+                               ctx_->options.metric)) {
+        return it->second;
+      }
+    }
+  }
+  return kNoGroup;
+}
+
+InsertOutcome LegacySwFixedRateSampler::InsertPrepared(
+    const PreparedPoint& p) {
+  Expire(p.stamp);
+
+  const uint64_t candidate = FindCandidate(*p.point, *p.adj_keys);
+  if (candidate != kNoGroup) {
+    StoredGroup& g = groups_.at(candidate);
+    by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
+    store_->Write(g.latest, *p.point);
+    g.latest_stamp = p.stamp;
+    g.latest_index = p.stream_index;
+    by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
+    if (ctx_->options.random_representative) {
+      g.reservoir.Insert(*p.point, p.stamp, p.stream_index);
+    }
+    return g.accepted ? InsertOutcome::kAccepted : InsertOutcome::kRejected;
+  }
+
+  const bool accepted = ctx_->hasher.SampledAtLevel(p.cell_key, level_);
+  bool rejected = false;
+  if (!accepted) {
+    for (uint64_t key : *p.adj_keys) {
+      if (ctx_->hasher.SampledAtLevel(key, level_)) {
+        rejected = true;
+        break;
+      }
+    }
+    if (!rejected) return InsertOutcome::kIgnored;
+  }
+
+  StoredGroup g;
+  g.id = (*id_counter_)++;
+  g.rep = store_->Add(*p.point);
+  g.rep_index = p.stream_index;
+  g.rep_cell = p.cell_key;
+  g.accepted = accepted;
+  g.latest = store_->Add(*p.point);
+  g.latest_stamp = p.stamp;
+  g.latest_index = p.stream_index;
+  if (ctx_->options.random_representative) {
+    g.reservoir =
+        WindowedReservoir(window_, ctx_->options.seed ^ g.id, store_);
+    g.reservoir.Insert(*p.point, p.stamp, p.stream_index);
+  }
+  if (accepted) ++accept_size_;
+  IndexGroup(g);
+  const uint64_t id = g.id;
+  groups_.emplace(id, std::move(g));
+  return accepted ? InsertOutcome::kAccepted : InsertOutcome::kRejected;
+}
+
+bool LegacySwFixedRateSampler::Insert(const Point& p, int64_t stamp) {
+  RL0_DCHECK(p.dim() == ctx_->options.dim);
+  ctx_->grid.AdjacentCells(p, ctx_->options.alpha, &adj_scratch_);
+  PreparedPoint prep;
+  prep.point = &p;
+  prep.stamp = stamp;
+  prep.stream_index = static_cast<uint64_t>(stamp);
+  prep.cell_key = ctx_->grid.CellKeyOf(p);
+  prep.adj_keys = &adj_scratch_;
+  return Insert(prep);
+}
+
+void LegacySwFixedRateSampler::Expire(int64_t now) {
+  const int64_t horizon = now - window_;
+  while (!by_stamp_.empty()) {
+    const auto it = by_stamp_.begin();
+    if (it->first.first > horizon) break;
+    const uint64_t id = it->second;
+    auto git = groups_.find(id);
+    RL0_DCHECK(git != groups_.end());
+    if (git->second.accepted) --accept_size_;
+    UnindexGroup(git->second);
+    ReleaseGroup(&git->second);
+    groups_.erase(git);
+  }
+}
+
+void LegacySwFixedRateSampler::Reset() {
+  for (auto& [id, g] : groups_) ReleaseGroup(&g);
+  groups_.clear();
+  cell_to_group_.clear();
+  by_stamp_.clear();
+  accept_size_ = 0;
+}
+
+std::optional<SampleItem> LegacySwFixedRateSampler::Sample(
+    int64_t now, Xoshiro256pp* rng) {
+  Expire(now);
+  if (accept_size_ == 0) return std::nullopt;
+  uint64_t target = rng->NextBounded(accept_size_);
+  for (auto& [id, g] : groups_) {
+    if (!g.accepted) continue;
+    if (target == 0) {
+      if (ctx_->options.random_representative) {
+        const auto item = g.reservoir.Sample(now);
+        RL0_DCHECK(item.has_value());
+        if (item.has_value()) return item;
+      }
+      return SampleItem{store_->View(g.latest).Materialize(),
+                        g.latest_index};
+    }
+    --target;
+  }
+  RL0_CHECK(false);
+  return std::nullopt;
+}
+
+void LegacySwFixedRateSampler::AcceptedGroupSamples(
+    int64_t now, std::vector<SampleItem>* out) {
+  for (auto& [id, g] : groups_) {
+    if (!g.accepted) continue;
+    if (ctx_->options.random_representative) {
+      const auto item = g.reservoir.Sample(now);
+      if (item.has_value()) {
+        out->push_back(*item);
+        continue;
+      }
+    }
+    out->push_back(
+        SampleItem{store_->View(g.latest).Materialize(), g.latest_index});
+  }
+}
+
+void LegacySwFixedRateSampler::AcceptedLatestPoints(
+    std::vector<SampleItem>* out) const {
+  for (const auto& [id, g] : groups_) {
+    if (g.accepted) {
+      out->push_back(
+          SampleItem{store_->View(g.latest).Materialize(), g.latest_index});
+    }
+  }
+}
+
+void LegacySwFixedRateSampler::SnapshotGroups(
+    std::vector<GroupRecord>* out) const {
+  for (const auto& [id, g] : groups_) out->push_back(Materialize(g));
+}
+
+bool LegacySwFixedRateSampler::SplitPromote(
+    std::vector<GroupRecord>* promoted) {
+  promoted->clear();
+  uint64_t t = 0;
+  bool found = false;
+  for (const auto& [id, g] : groups_) {
+    if (!g.accepted) continue;
+    if (!ctx_->hasher.SampledAtLevel(g.rep_cell, level_ + 1)) continue;
+    if (!found || g.rep_index > t) {
+      t = g.rep_index;
+      found = true;
+    }
+  }
+  if (!found) return false;
+
+  std::vector<uint64_t> to_remove;
+  std::vector<uint64_t> adj;
+  for (auto& [id, g] : groups_) {
+    if (g.rep_index > t) continue;
+    to_remove.push_back(id);
+    if (ctx_->hasher.SampledAtLevel(g.rep_cell, level_ + 1)) {
+      GroupRecord moved = Materialize(g);
+      moved.accepted = true;
+      promoted->push_back(std::move(moved));
+      continue;
+    }
+    ctx_->grid.AdjacentCells(store_->View(g.rep), ctx_->options.alpha, &adj);
+    bool near_sampled = false;
+    for (uint64_t key : adj) {
+      if (ctx_->hasher.SampledAtLevel(key, level_ + 1)) {
+        near_sampled = true;
+        break;
+      }
+    }
+    if (near_sampled) {
+      GroupRecord moved = Materialize(g);
+      moved.accepted = false;
+      promoted->push_back(std::move(moved));
+    }
+  }
+  for (uint64_t id : to_remove) {
+    auto it = groups_.find(id);
+    if (it->second.accepted) --accept_size_;
+    UnindexGroup(it->second);
+    ReleaseGroup(&it->second);
+    groups_.erase(it);
+  }
+  return true;
+}
+
+void LegacySwFixedRateSampler::MergeFrom(
+    std::vector<GroupRecord>&& incoming) {
+  for (GroupRecord& g : incoming) Adopt(std::move(g));
+}
+
+size_t LegacySwFixedRateSampler::SpaceWords() const {
+  size_t words = groups_.size() * GroupWords() + 4 /* scalars */;
+  if (ctx_->options.random_representative) {
+    for (const auto& [id, g] : groups_) {
+      words += g.reservoir.SpaceWords(ctx_->options.dim);
+    }
+  }
+  return words;
+}
+
+Result<LegacySwSampler> LegacySwSampler::Create(
+    const SamplerOptions& options, int64_t window) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  const uint32_t levels = CeilLog2(static_cast<uint64_t>(window)) + 1;
+  if (levels > CellHasher::kMaxLevel) {
+    return Status::InvalidArgument("window too large for hash levels");
+  }
+  return LegacySwSampler(options, window);
+}
+
+LegacySwSampler::LegacySwSampler(const SamplerOptions& options,
+                                 int64_t window)
+    : ctx_(std::make_unique<SamplerContext>(options)),
+      id_counter_(std::make_unique<uint64_t>(0)),
+      store_(std::make_unique<PointStore>(options.dim)),
+      window_(window),
+      accept_cap_(options.EffectiveAcceptCap()) {
+  const uint32_t L = CeilLog2(static_cast<uint64_t>(window));
+  levels_.reserve(L + 1);
+  for (uint32_t l = 0; l <= L; ++l) {
+    levels_.push_back(std::make_unique<LegacySwFixedRateSampler>(
+        ctx_.get(), l, window, id_counter_.get(), store_.get()));
+  }
+}
+
+void LegacySwSampler::Insert(const Point& p, int64_t stamp) {
+  RL0_DCHECK(p.dim() == ctx_->options.dim);
+  RL0_DCHECK(points_processed_ == 0 || stamp >= latest_stamp_);
+  latest_stamp_ = stamp;
+
+  PreparedPoint prep;
+  prep.point = &p;
+  prep.stamp = stamp;
+  prep.stream_index = points_processed_++;
+  prep.cell_key = ctx_->grid.CellKeyOf(p);
+  ctx_->grid.AdjacentCells(p, ctx_->options.alpha, &adj_scratch_);
+  prep.adj_keys = &adj_scratch_;
+
+  for (size_t l = levels_.size(); l-- > 0;) {
+    if (levels_[l]->InsertPrepared(prep) != InsertOutcome::kAccepted) {
+      continue;
+    }
+    for (size_t j = 0; j < l; ++j) levels_[j]->Reset();
+    if (levels_[l]->accept_size() > accept_cap_) Cascade(l);
+    break;
+  }
+}
+
+void LegacySwSampler::Insert(const Point& p) {
+  Insert(p, static_cast<int64_t>(points_processed_));
+}
+
+void LegacySwSampler::InsertBatch(Span<const Point> points) {
+  for (const Point& p : points) {
+    Insert(p, static_cast<int64_t>(points_processed_));
+  }
+}
+
+void LegacySwSampler::Cascade(size_t start_level) {
+  size_t j = start_level;
+  while (levels_[j]->accept_size() > accept_cap_) {
+    if (j + 1 >= levels_.size()) {
+      ++error_count_;
+      return;
+    }
+    std::vector<GroupRecord> promoted;
+    if (!levels_[j]->SplitPromote(&promoted)) {
+      ++stuck_split_count_;
+      return;
+    }
+    levels_[j + 1]->MergeFrom(std::move(promoted));
+    ++j;
+  }
+}
+
+void LegacySwSampler::ExpireAll(int64_t now) {
+  for (auto& level : levels_) level->Expire(now);
+}
+
+std::optional<SampleItem> LegacySwSampler::Sample(int64_t now,
+                                                  Xoshiro256pp* rng) {
+  ExpireAll(now);
+  int c = -1;
+  for (size_t l = levels_.size(); l-- > 0;) {
+    if (levels_[l]->accept_size() > 0) {
+      c = static_cast<int>(l);
+      break;
+    }
+  }
+  if (c < 0) return std::nullopt;
+  std::vector<SampleItem> pool;
+  std::vector<SampleItem> level_points;
+  for (int l = 0; l <= c; ++l) {
+    level_points.clear();
+    levels_[l]->AcceptedGroupSamples(now, &level_points);
+    if (l == c) {
+      pool.insert(pool.end(), level_points.begin(), level_points.end());
+      continue;
+    }
+    const double keep = std::pow(2.0, static_cast<double>(l - c));
+    for (const SampleItem& item : level_points) {
+      if (rng->NextBernoulli(keep)) pool.push_back(item);
+    }
+  }
+  if (pool.empty()) return std::nullopt;
+  return pool[rng->NextBounded(pool.size())];
+}
+
+size_t LegacySwSampler::SpaceWords() const {
+  size_t words = 8;
+  for (const auto& level : levels_) words += level->SpaceWords();
+  return words;
+}
+
+}  // namespace rl0

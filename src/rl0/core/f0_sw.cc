@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rl0/util/check.h"
 #include "rl0/util/rng.h"
 
 namespace rl0 {
@@ -43,16 +44,72 @@ F0EstimatorSW::F0EstimatorSW(std::vector<RobustL0SamplerSW> samplers,
       copies_(copies),
       repetitions_(repetitions),
       combiner_(combiner),
-      phi_(phi) {}
+      phi_(phi),
+      pipeline_mu_(std::make_unique<std::mutex>()) {}
 
 void F0EstimatorSW::Insert(const Point& p, int64_t stamp) {
   latest_stamp_ = stamp;
   ++points_processed_;
+  {
+    // Keep the pipeline's index space in step with serially inserted
+    // points, so a later Feed never reuses a stream position.
+    std::lock_guard<std::mutex> lock(*pipeline_mu_);
+    if (pipeline_) pipeline_->AdvanceIndexBase(1);
+  }
   for (RobustL0SamplerSW& sampler : samplers_) sampler.Insert(p, stamp);
 }
 
 void F0EstimatorSW::Insert(const Point& p) {
   Insert(p, static_cast<int64_t>(points_processed_));
+}
+
+IngestPool* F0EstimatorSW::EnsurePipeline() {
+  std::lock_guard<std::mutex> lock(*pipeline_mu_);
+  if (pipeline_) return pipeline_.get();
+  // The feed path derives stamps from global stream positions, so it
+  // only composes with sequence-stamped serial inserts (stamp = arrival
+  // index). A time-based estimator (explicit stamps) must stay on the
+  // serial Insert path — fail loudly instead of silently regressing the
+  // stamp sequence.
+  RL0_CHECK(points_processed_ == 0 ||
+            latest_stamp_ + 1 == static_cast<int64_t>(points_processed_));
+  std::vector<IngestPool::Sink> sinks;
+  sinks.reserve(samplers_.size());
+  for (RobustL0SamplerSW& sampler : samplers_) {
+    RobustL0SamplerSW* copy = &sampler;
+    // Every copy consumes the whole stream (the copies differ by seed,
+    // not by partition), with stamps derived from the chunk's global
+    // index base — the same stamps the serial Insert path assigns.
+    sinks.push_back([copy](Span<const Point> chunk, uint64_t base) {
+      copy->InsertStrided(chunk, 0, 1, base);
+    });
+  }
+  IngestPool::Options options;
+  // Continue the stamp sequence where serial inserts left off.
+  options.index_base = points_processed_;
+  pipeline_ = std::make_unique<IngestPool>(std::move(sinks), options);
+  return pipeline_.get();
+}
+
+void F0EstimatorSW::Feed(Span<const Point> points) {
+  EnsurePipeline()->Feed(points);
+}
+
+void F0EstimatorSW::FeedOwned(std::vector<Point> points) {
+  EnsurePipeline()->FeedOwned(std::move(points));
+}
+
+void F0EstimatorSW::Drain() {
+  IngestPool* pipeline;
+  {
+    std::lock_guard<std::mutex> lock(*pipeline_mu_);
+    pipeline = pipeline_.get();
+  }
+  if (pipeline == nullptr) return;
+  pipeline->Drain();
+  // Sync the watermark so EstimateLatest() sees the fed stream's end.
+  points_processed_ = pipeline->points_fed();
+  latest_stamp_ = static_cast<int64_t>(points_processed_) - 1;
 }
 
 double F0EstimatorSW::CombineRepetition(size_t rep, int64_t now) {

@@ -16,10 +16,14 @@
 #define RL0_CORE_F0_SW_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "rl0/core/ingest_pool.h"
 #include "rl0/core/options.h"
 #include "rl0/core/sw_sampler.h"
+#include "rl0/util/span.h"
 #include "rl0/util/status.h"
 
 namespace rl0 {
@@ -67,6 +71,26 @@ class F0EstimatorSW {
   /// Feeds a point stamped with its arrival index (sequence-based).
   void Insert(const Point& p);
 
+  /// Streams a chunk through the persistent ingestion pipeline: every
+  /// copy is a pipeline lane with its own worker thread, each consuming
+  /// the whole chunk with sequence stamps derived from the chunk's global
+  /// index base (bit-identical to the serial Insert path). Copies the
+  /// chunk once (shared across lanes); safe from any number of threads.
+  /// Workers start lazily on the first Feed, continuing the stamp
+  /// sequence after any serial inserts (sequence-stamped estimators
+  /// only: the first Feed of a time-based estimator — explicit stamps —
+  /// CHECK-fails rather than regress the stamp sequence). Do not mix
+  /// with the serial Insert calls without an intervening Drain().
+  void Feed(Span<const Point> points);
+
+  /// As Feed but adopts the vector — no copy.
+  void FeedOwned(std::vector<Point> points);
+
+  /// Blocks until everything fed before this call is consumed by every
+  /// copy, then syncs the stamp watermark. Required before
+  /// Estimate()/EstimateLatest() after feeding.
+  void Drain();
+
   /// Estimates the number of groups alive in the window at `now`.
   /// Expires internal state, hence non-const. Returns 0 for an empty
   /// window.
@@ -82,11 +106,24 @@ class F0EstimatorSW {
   size_t copies() const { return copies_; }
   size_t repetitions() const { return repetitions_; }
 
+  /// Read access to one underlying sampler copy (introspection for
+  /// tests). Requires a drained pipeline.
+  const RobustL0SamplerSW& copy_sampler(size_t i) const {
+    return samplers_[i];
+  }
+
  private:
   F0EstimatorSW(std::vector<RobustL0SamplerSW> samplers, size_t copies,
                 size_t repetitions, F0SwCombiner combiner, double phi);
 
   double CombineRepetition(size_t rep, int64_t now);
+
+  /// Starts the per-copy pipeline workers on the first Feed (estimators
+  /// that only ever Insert never spawn threads). Guarded by pipeline_mu_.
+  /// The pipeline's index base continues after any serial inserts, so
+  /// stamps stay globally consistent. Sink addresses stay valid across
+  /// moves: samplers_ never resizes and its heap buffer moves along.
+  IngestPool* EnsurePipeline();
 
   std::vector<RobustL0SamplerSW> samplers_;  // repetitions × copies
   size_t copies_;
@@ -95,6 +132,9 @@ class F0EstimatorSW {
   double phi_;
   int64_t latest_stamp_ = 0;
   uint64_t points_processed_ = 0;
+  /// Heap-allocated so the estimator stays movable.
+  std::unique_ptr<std::mutex> pipeline_mu_;
+  std::unique_ptr<IngestPool> pipeline_;
 };
 
 }  // namespace rl0

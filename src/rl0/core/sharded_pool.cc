@@ -5,6 +5,18 @@
 
 namespace rl0 {
 
+namespace {
+
+/// First position i inside a chunk with (index_base + i) % shards == s —
+/// the global-residue partition both pools' sinks are built on. One copy
+/// of this arithmetic: it is what makes per-shard streams invariant
+/// under re-chunking (the determinism contract of the pipeline tests).
+size_t StrideStart(size_t s, size_t shards, uint64_t index_base) {
+  return (s + shards - static_cast<size_t>(index_base % shards)) % shards;
+}
+
+}  // namespace
+
 Result<ShardedSamplerPool> ShardedSamplerPool::Create(
     const SamplerOptions& options, size_t shards,
     const IngestPool::Options& pipeline_options) {
@@ -39,13 +51,10 @@ void ShardedSamplerPool::StartPipeline() {
     sinks.push_back([shard, s, shards](Span<const Point> chunk,
                                        uint64_t index_base) {
       // Global-residue partition: this shard owns the points at global
-      // stream positions ≡ s (mod shards). The first such position inside
-      // the chunk is the smallest i with (index_base + i) % shards == s,
-      // so per-shard input streams — and decisions — are invariant under
-      // re-chunking of the feed.
-      const size_t start = static_cast<size_t>(
-          (s + shards - static_cast<size_t>(index_base % shards)) % shards);
-      shard->InsertStrided(chunk, start, shards, index_base);
+      // stream positions ≡ s (mod shards), so per-shard input streams —
+      // and decisions — are invariant under re-chunking of the feed.
+      shard->InsertStrided(chunk, StrideStart(s, shards, index_base),
+                           shards, index_base);
     });
   }
   pipeline_ = std::make_unique<IngestPool>(std::move(sinks),
@@ -120,6 +129,176 @@ uint64_t ShardedSamplerPool::points_fed() const {
 size_t ShardedSamplerPool::SpaceWords() const {
   size_t total = 0;
   for (const RobustL0SamplerIW& sampler : shards_) {
+    total += sampler.SpaceWords();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------- windowed mode
+
+Result<ShardedSwSamplerPool> ShardedSwSamplerPool::Create(
+    const SamplerOptions& options, int64_t window, size_t shards,
+    const IngestPool::Options& pipeline_options) {
+  if (shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  std::vector<RobustL0SamplerSW> samplers;
+  samplers.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    // Identical options (and seed!): the shards must share one grid and
+    // one nested cell hash for their window samples to be mergeable.
+    Result<RobustL0SamplerSW> sampler =
+        RobustL0SamplerSW::Create(options, window);
+    if (!sampler.ok()) return sampler.status();
+    samplers.push_back(std::move(sampler).value());
+  }
+  return ShardedSwSamplerPool(std::move(samplers), window, pipeline_options);
+}
+
+ShardedSwSamplerPool::ShardedSwSamplerPool(
+    std::vector<RobustL0SamplerSW> shards, int64_t window,
+    const IngestPool::Options& pipeline_options)
+    : shards_(std::move(shards)), window_(window),
+      pipeline_options_(pipeline_options) {
+  StartPipeline();
+}
+
+void ShardedSwSamplerPool::StartPipeline() {
+  const size_t shards = shards_.size();
+  std::vector<IngestPool::Sink> sinks;
+  sinks.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    RobustL0SamplerSW* shard = &shards_[s];
+    sinks.push_back([shard, s, shards](Span<const Point> chunk,
+                                       uint64_t index_base) {
+      // Global-residue partition with stamps derived from the chunk's
+      // index base: point i of the chunk has global position (and stamp)
+      // index_base + i, so the shard's input subsequence — including its
+      // window-expiry schedule — is invariant under re-chunking.
+      shard->InsertStrided(chunk, StrideStart(s, shards, index_base),
+                           shards, index_base);
+    });
+  }
+  pipeline_ = std::make_unique<IngestPool>(std::move(sinks),
+                                           pipeline_options_);
+}
+
+void ShardedSwSamplerPool::Feed(Span<const Point> points) {
+  pipeline_->Feed(points);
+}
+
+void ShardedSwSamplerPool::FeedOwned(std::vector<Point> points) {
+  pipeline_->FeedOwned(std::move(points));
+}
+
+void ShardedSwSamplerPool::FeedBorrowed(Span<const Point> points) {
+  pipeline_->FeedBorrowed(points);
+}
+
+void ShardedSwSamplerPool::Drain() { pipeline_->Drain(); }
+
+void ShardedSwSamplerPool::ConsumeParallel(Span<const Point> points) {
+  FeedBorrowed(points);
+  Drain();
+}
+
+int64_t ShardedSwSamplerPool::now() const {
+  return static_cast<int64_t>(pipeline_->points_fed()) - 1;
+}
+
+void ShardedSwSamplerPool::DedupeLatestWins(
+    std::vector<SampleItem>* items) const {
+  const SamplerOptions& opts = shards_[0].options();
+  std::vector<SampleItem>& v = *items;
+  size_t kept = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    bool merged = false;
+    for (size_t j = 0; j < kept; ++j) {
+      if (MetricWithinDistance(v[j].point, v[i].point, opts.alpha,
+                               opts.metric)) {
+        // Same underlying group reported by two shards: keep the view
+        // with the later stream position (the union's freshest point).
+        if (v[i].stream_index > v[j].stream_index) v[j] = std::move(v[i]);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      if (kept != i) v[kept] = std::move(v[i]);
+      ++kept;
+    }
+  }
+  v.resize(kept);
+}
+
+std::vector<SampleItem> ShardedSwSamplerPool::MergedWindowItems(
+    int64_t query_now) {
+  std::vector<SampleItem> items;
+  for (RobustL0SamplerSW& shard : shards_) {
+    shard.AcceptedWindowItems(query_now, &items);
+  }
+  // A single shard's accepted groups are already distinct (one accepted
+  // record per group across the hierarchy) — pass through untouched so
+  // the one-lane pool matches the pointwise sampler bit-for-bit.
+  if (shards_.size() > 1) DedupeLatestWins(&items);
+  return items;
+}
+
+std::optional<SampleItem> ShardedSwSamplerPool::Sample(int64_t query_now,
+                                                       Xoshiro256pp* rng) {
+  std::vector<SampleItem> pool;
+  for (RobustL0SamplerSW& shard : shards_) {
+    std::vector<SampleItem> shard_pool = shard.WindowQueryPool(query_now, rng);
+    pool.insert(pool.end(), shard_pool.begin(), shard_pool.end());
+  }
+  if (shards_.size() > 1) DedupeLatestWins(&pool);
+  if (pool.empty()) return std::nullopt;
+  return pool[rng->NextBounded(pool.size())];
+}
+
+std::optional<SampleItem> ShardedSwSamplerPool::SampleLatest(
+    Xoshiro256pp* rng) {
+  return Sample(now(), rng);
+}
+
+std::optional<SampleItem> ShardedSwSamplerPool::SampleQuiesced(
+    Xoshiro256pp* rng) {
+  std::optional<SampleItem> sample;
+  pipeline_->QuiescedRun([this, rng, &sample] {
+    // Each shard is queried at its own processed prefix: expiring at the
+    // shard's latest stamp repeats work its own inserts already did, so
+    // the peek never disturbs the lane's deterministic trajectory.
+    std::vector<SampleItem> pool;
+    for (RobustL0SamplerSW& shard : shards_) {
+      std::vector<SampleItem> shard_pool =
+          shard.WindowQueryPool(shard.latest_stamp(), rng);
+      pool.insert(pool.end(), shard_pool.begin(), shard_pool.end());
+    }
+    if (shards_.size() > 1) DedupeLatestWins(&pool);
+    if (!pool.empty()) sample = pool[rng->NextBounded(pool.size())];
+  });
+  return sample;
+}
+
+void ShardedSwSamplerPool::QuiescedRun(const std::function<void()>& fn) {
+  pipeline_->QuiescedRun(fn);
+}
+
+uint64_t ShardedSwSamplerPool::points_processed() const {
+  uint64_t total = 0;
+  for (const RobustL0SamplerSW& sampler : shards_) {
+    total += sampler.points_processed();
+  }
+  return total;
+}
+
+uint64_t ShardedSwSamplerPool::points_fed() const {
+  return pipeline_->points_fed();
+}
+
+size_t ShardedSwSamplerPool::SpaceWords() const {
+  size_t total = 0;
+  for (const RobustL0SamplerSW& sampler : shards_) {
     total += sampler.SpaceWords();
   }
   return total;

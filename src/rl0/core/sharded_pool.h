@@ -32,8 +32,11 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+
 #include "rl0/core/ingest_pool.h"
 #include "rl0/core/iw_sampler.h"
+#include "rl0/core/sw_sampler.h"
 #include "rl0/util/span.h"
 #include "rl0/util/status.h"
 
@@ -120,6 +123,117 @@ class ShardedSamplerPool {
   void StartPipeline();
 
   std::vector<RobustL0SamplerIW> shards_;
+  IngestPool::Options pipeline_options_;
+  std::unique_ptr<IngestPool> pipeline_;
+};
+
+/// The windowed mode of the sharded pool: S sliding-window hierarchies
+/// (RobustL0SamplerSW) fed as persistent IngestPool lanes.
+///
+/// Partition and stamps: shard s consumes the points at *global* stream
+/// positions ≡ s (mod S), and every point is stamped with its global
+/// position (sequence-based windows over the shared stream). The stamp of
+/// chunk[0] is carried by the chunk's index base, so per-shard input —
+/// stamps included — is invariant under re-chunking of the feed, even
+/// when a chunk straddles a window-expiry boundary. Lanes therefore make
+/// bit-identical decisions for any chunking and any number of producers
+/// (pinned by tests/sw_pipeline_determinism_test.cc).
+///
+/// Queries merge the per-shard window samples. Two shards may both track
+/// one underlying group (each saw a sub-view of its points); the merge
+/// dedupes reports within distance α of each other, keeping the report
+/// with the latest stream index — exact for well-separated streams, the
+/// same contract as RobustL0SamplerIW::AbsorbFrom. The concurrency
+/// contract (Feed*/Drain/QuiescedRun) matches ShardedSamplerPool.
+class ShardedSwSamplerPool {
+ public:
+  /// Creates `shards` identically-seeded windowed samplers and starts the
+  /// persistent worker threads (idle until fed). Requires shards ≥ 1.
+  static Result<ShardedSwSamplerPool> Create(
+      const SamplerOptions& options, int64_t window, size_t shards,
+      const IngestPool::Options& pipeline_options = IngestPool::Options());
+
+  size_t num_shards() const { return shards_.size(); }
+  int64_t window() const { return window_; }
+
+  /// Direct access to a shard. Requires a quiescent pipeline.
+  RobustL0SamplerSW& shard(size_t i) { return shards_[i]; }
+  const RobustL0SamplerSW& shard(size_t i) const { return shards_[i]; }
+
+  /// Streams `points` into the pipeline as one chunk (copied). Returns as
+  /// soon as the chunk is queued on every shard — Drain() before querying.
+  void Feed(Span<const Point> points);
+  /// As Feed but adopts the vector — no copy.
+  void FeedOwned(std::vector<Point> points);
+  /// As Feed but zero-copy: `points` must stay valid until the next
+  /// Drain() returns.
+  void FeedBorrowed(Span<const Point> points);
+
+  /// Blocks until everything fed before this call is consumed by every
+  /// shard. Safe from any thread, also concurrently with feeding.
+  void Drain();
+
+  /// Feeds `points` and drains (the blocking convenience call).
+  void ConsumeParallel(Span<const Point> points);
+
+  /// The stamp of the most recently fed point (global position of the
+  /// stream's last point); -1 before any feeding.
+  int64_t now() const;
+
+  /// Deterministic merged window view: the union of all shards' accepted
+  /// groups across levels (no rate unification), deduped latest-wins.
+  /// Requires a quiescent pipeline. At rate 1 every reported item is the
+  /// true latest window point of a live group of the union stream.
+  std::vector<SampleItem> MergedWindowItems(int64_t now);
+
+  /// A robust ℓ0-sample of the union window at time `query_now`: unifies
+  /// each shard's per-level rates (Algorithm 3 query), dedupes across
+  /// shards, draws uniformly. Requires a quiescent pipeline. nullopt iff
+  /// the window is empty.
+  ///
+  /// Uniformity caveat: below rate 1 a group's chance of entering the
+  /// merged pool is its chance of surviving *some* shard's rate, so a
+  /// group whose window points span many residue classes is up to S
+  /// times more likely to be drawn than a single-shard group — the same
+  /// graceful Θ(1)-per-group degradation regime as Theorem 3.1 and
+  /// RobustL0SamplerIW::AbsorbFrom. Exact at rate 1; with one lane this
+  /// is exactly the pointwise sampler's draw.
+  std::optional<SampleItem> Sample(int64_t query_now, Xoshiro256pp* rng);
+
+  /// Sample at the stamp of the most recently fed point.
+  std::optional<SampleItem> SampleLatest(Xoshiro256pp* rng);
+
+  /// As Sample, but safe concurrently with ongoing feeding: pauses the
+  /// workers between chunks and queries each shard at its own processed
+  /// prefix (shard-local latest stamp), so no shard's state is disturbed
+  /// ahead of its stream position. See IngestPool::QuiescedRun's caveat:
+  /// do not call the feed-side APIs from the same thread while it runs.
+  std::optional<SampleItem> SampleQuiesced(Xoshiro256pp* rng);
+
+  /// Runs `fn` with every worker paused between chunks (checkpointing a
+  /// shard with SnapshotSamplerSW while the stream flows). `fn` must not
+  /// call this pool's feed-side APIs (deadlock caveat above).
+  void QuiescedRun(const std::function<void()>& fn);
+
+  /// Total points across shards. Requires a quiescent pipeline.
+  uint64_t points_processed() const;
+  /// Points handed to the pool so far (any thread).
+  uint64_t points_fed() const;
+  /// Total space across shards. Requires a quiescent pipeline.
+  size_t SpaceWords() const;
+
+ private:
+  ShardedSwSamplerPool(std::vector<RobustL0SamplerSW> shards, int64_t window,
+                       const IngestPool::Options& pipeline_options);
+
+  void StartPipeline();
+  /// In-place α-proximity dedup, keeping the item with the larger stream
+  /// index per group; preserves first-seen order (single-shard pools pass
+  /// through untouched, matching the pointwise sampler bit-for-bit).
+  void DedupeLatestWins(std::vector<SampleItem>* items) const;
+
+  std::vector<RobustL0SamplerSW> shards_;
+  int64_t window_;
   IngestPool::Options pipeline_options_;
   std::unique_ptr<IngestPool> pipeline_;
 };

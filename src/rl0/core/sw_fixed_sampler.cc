@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "rl0/util/check.h"
 
 namespace rl0 {
-
-namespace {
-constexpr uint64_t kNoGroup = std::numeric_limits<uint64_t>::max();
-}  // namespace
 
 SwFixedRateSampler::SwFixedRateSampler(const SamplerContext* ctx,
                                        uint32_t level, int64_t window,
@@ -25,6 +22,7 @@ SwFixedRateSampler::SwFixedRateSampler(const SamplerContext* ctx,
     owned_store_ = std::make_unique<PointStore>(ctx_->options.dim);
     store_ = owned_store_.get();
   }
+  table_.Bind(store_);
 }
 
 Result<std::unique_ptr<SwFixedRateSampler>>
@@ -44,56 +42,34 @@ SwFixedRateSampler::CreateStandalone(const SamplerOptions& options,
 }
 
 size_t SwFixedRateSampler::GroupWords() const {
-  // Arena layout: two flat points + StoredGroup header + the three index
-  // entries (see GroupArenaWords in util/space.h).
+  // Arena layout: two flat points + group columns + the index entries
+  // (see GroupArenaWords in util/space.h).
   return GroupArenaWords(ctx_->options.dim);
 }
 
-void SwFixedRateSampler::IndexGroup(const StoredGroup& g) {
-  cell_to_group_.emplace(g.rep_cell, g.id);
-  by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
-}
-
-void SwFixedRateSampler::UnindexGroup(const StoredGroup& g) {
-  auto [it, end] = cell_to_group_.equal_range(g.rep_cell);
-  for (; it != end; ++it) {
-    if (it->second == g.id) {
-      cell_to_group_.erase(it);
-      break;
-    }
-  }
-  by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
-}
-
-void SwFixedRateSampler::ReleaseGroup(StoredGroup* g) {
-  store_->Release(g->rep);
-  store_->Release(g->latest);
-  g->reservoir.ReleaseAll();
-}
-
-GroupRecord SwFixedRateSampler::Materialize(const StoredGroup& g) const {
+GroupRecord SwFixedRateSampler::Materialize(uint32_t slot) const {
   GroupRecord out;
-  out.id = g.id;
-  out.rep = store_->View(g.rep).Materialize();
-  out.rep_index = g.rep_index;
-  out.rep_cell = g.rep_cell;
-  out.accepted = g.accepted;
-  out.latest = store_->View(g.latest).Materialize();
-  out.latest_stamp = g.latest_stamp;
-  out.latest_index = g.latest_index;
+  out.id = table_.id(slot);
+  out.rep = store_->View(table_.rep_ref(slot)).Materialize();
+  out.rep_index = table_.rep_index(slot);
+  out.rep_cell = table_.rep_cell(slot);
+  out.accepted = table_.accepted(slot);
+  out.latest = store_->View(table_.latest_ref(slot)).Materialize();
+  out.latest_stamp = table_.latest_stamp(slot);
+  out.latest_index = table_.latest_index(slot);
   if (ctx_->options.random_representative) {
-    out.reservoir.reserve(g.reservoir.size());
-    for (const WindowedReservoir::Candidate& c : g.reservoir.candidates()) {
+    const WindowedReservoir& reservoir = table_.reservoir(slot);
+    out.reservoir.reserve(reservoir.size());
+    for (const WindowedReservoir::Candidate& c : reservoir.candidates()) {
       out.reservoir.push_back(WindowedReservoir::RestoredCandidate{
-          c.priority, c.stamp, g.reservoir.CandidatePoint(c),
-          c.stream_index});
+          c.priority, c.stamp, reservoir.CandidatePoint(c), c.stream_index});
     }
   }
   return out;
 }
 
 void SwFixedRateSampler::Adopt(GroupRecord&& in) {
-  StoredGroup g;
+  SwGroupTable::MovedGroup g;
   g.id = in.id;
   g.rep = store_->Add(in.rep);
   g.rep_index = in.rep_index;
@@ -103,7 +79,7 @@ void SwFixedRateSampler::Adopt(GroupRecord&& in) {
   g.latest_stamp = in.latest_stamp;
   g.latest_index = in.latest_index;
   if (ctx_->options.random_representative) {
-    // Fresh coin stream, salted per adoption so a group promoted several
+    // Fresh coin stream, salted per adoption so a group restored several
     // times never replays a prior priority sequence (statistically
     // equivalent; see core/snapshot.h).
     const uint64_t reseed =
@@ -112,44 +88,37 @@ void SwFixedRateSampler::Adopt(GroupRecord&& in) {
     g.reservoir.RestoreState(window_, reseed, store_, in.reservoir);
   }
   if (g.accepted) ++accept_size_;
-  IndexGroup(g);
-  const uint64_t id = g.id;
-  groups_.emplace(id, std::move(g));
+  table_.AdoptMoved(std::move(g));
 }
 
-uint64_t SwFixedRateSampler::FindCandidate(
+uint32_t SwFixedRateSampler::FindCandidate(
     PointView p, const std::vector<uint64_t>& adj_keys) const {
   // A representative u with d(u, p) ≤ α has cell(u) ∈ adj(p).
   for (uint64_t key : adj_keys) {
-    auto [it, end] = cell_to_group_.equal_range(key);
-    for (; it != end; ++it) {
-      const StoredGroup& g = groups_.at(it->second);
-      if (MetricWithinDistance(store_->View(g.rep), p, ctx_->options.alpha,
-                               ctx_->options.metric)) {
-        return it->second;
+    for (uint32_t slot = table_.CellHead(key); slot != SwGroupTable::kNpos;
+         slot = table_.NextInCell(slot)) {
+      if (MetricWithinDistance(store_->View(table_.rep_ref(slot)), p,
+                               ctx_->options.alpha, ctx_->options.metric)) {
+        return slot;
       }
     }
   }
-  return kNoGroup;
+  return SwGroupTable::kNpos;
 }
 
 InsertOutcome SwFixedRateSampler::InsertPrepared(const PreparedPoint& p) {
   Expire(p.stamp);
 
-  const uint64_t candidate = FindCandidate(*p.point, *p.adj_keys);
-  if (candidate != kNoGroup) {
+  const uint32_t candidate = FindCandidate(*p.point, *p.adj_keys);
+  if (candidate != SwGroupTable::kNpos) {
     // Same group as a tracked representative: refresh its latest point
     // (Algorithm 2 line 6: A ← (u,p) ∪ A \ (u,·)).
-    StoredGroup& g = groups_.at(candidate);
-    by_stamp_.erase(std::make_pair(g.latest_stamp, g.id));
-    store_->Write(g.latest, *p.point);
-    g.latest_stamp = p.stamp;
-    g.latest_index = p.stream_index;
-    by_stamp_.emplace(std::make_pair(g.latest_stamp, g.id), g.id);
+    table_.Touch(candidate, *p.point, p.stamp, p.stream_index);
     if (ctx_->options.random_representative) {
-      g.reservoir.Insert(*p.point, p.stamp, p.stream_index);
+      table_.reservoir(candidate).Insert(*p.point, p.stamp, p.stream_index);
     }
-    return g.accepted ? InsertOutcome::kAccepted : InsertOutcome::kRejected;
+    return table_.accepted(candidate) ? InsertOutcome::kAccepted
+                                      : InsertOutcome::kRejected;
   }
 
   // First point of a group in this window: judge it by its own cell first
@@ -166,24 +135,15 @@ InsertOutcome SwFixedRateSampler::InsertPrepared(const PreparedPoint& p) {
     if (!rejected) return InsertOutcome::kIgnored;
   }
 
-  StoredGroup g;
-  g.id = (*id_counter_)++;
-  g.rep = store_->Add(*p.point);
-  g.rep_index = p.stream_index;
-  g.rep_cell = p.cell_key;
-  g.accepted = accepted;
-  g.latest = store_->Add(*p.point);
-  g.latest_stamp = p.stamp;
-  g.latest_index = p.stream_index;
+  const uint64_t id = (*id_counter_)++;
+  const uint32_t slot = table_.Add(id, *p.point, p.stream_index, p.cell_key,
+                                   accepted, p.stamp);
   if (ctx_->options.random_representative) {
-    g.reservoir =
-        WindowedReservoir(window_, ctx_->options.seed ^ g.id, store_);
-    g.reservoir.Insert(*p.point, p.stamp, p.stream_index);
+    table_.reservoir(slot) =
+        WindowedReservoir(window_, ctx_->options.seed ^ id, store_);
+    table_.reservoir(slot).Insert(*p.point, p.stamp, p.stream_index);
   }
   if (accepted) ++accept_size_;
-  IndexGroup(g);
-  const uint64_t id = g.id;
-  groups_.emplace(id, std::move(g));
   return accepted ? InsertOutcome::kAccepted : InsertOutcome::kRejected;
 }
 
@@ -201,24 +161,16 @@ bool SwFixedRateSampler::Insert(const Point& p, int64_t stamp) {
 
 void SwFixedRateSampler::Expire(int64_t now) {
   const int64_t horizon = now - window_;
-  while (!by_stamp_.empty()) {
-    const auto it = by_stamp_.begin();
-    if (it->first.first > horizon) break;
-    const uint64_t id = it->second;
-    auto git = groups_.find(id);
-    RL0_DCHECK(git != groups_.end());
-    if (git->second.accepted) --accept_size_;
-    UnindexGroup(git->second);
-    ReleaseGroup(&git->second);
-    groups_.erase(git);
+  uint32_t slot;
+  while ((slot = table_.OldestSlot()) != SwGroupTable::kNpos) {
+    if (table_.latest_stamp(slot) > horizon) break;
+    if (table_.accepted(slot)) --accept_size_;
+    table_.Remove(slot);
   }
 }
 
 void SwFixedRateSampler::Reset() {
-  for (auto& [id, g] : groups_) ReleaseGroup(&g);
-  groups_.clear();
-  cell_to_group_.clear();
-  by_stamp_.clear();
+  table_.Clear();
   accept_size_ = 0;
 }
 
@@ -227,18 +179,18 @@ std::optional<SampleItem> SwFixedRateSampler::Sample(int64_t now,
   Expire(now);
   if (accept_size_ == 0) return std::nullopt;
   uint64_t target = rng->NextBounded(accept_size_);
-  for (auto& [id, g] : groups_) {
-    if (!g.accepted) continue;
+  for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+    if (!table_.IsLive(slot) || !table_.accepted(slot)) continue;
     if (target == 0) {
       if (ctx_->options.random_representative) {
         // Reservoir holds ≥ 1 unexpired item: the group's latest point is
         // alive (otherwise Expire would have dropped the group).
-        const auto item = g.reservoir.Sample(now);
+        const auto item = table_.reservoir(slot).Sample(now);
         RL0_DCHECK(item.has_value());
         if (item.has_value()) return item;
       }
-      return SampleItem{store_->View(g.latest).Materialize(),
-                        g.latest_index};
+      return SampleItem{store_->View(table_.latest_ref(slot)).Materialize(),
+                        table_.latest_index(slot)};
     }
     --target;
   }
@@ -248,66 +200,68 @@ std::optional<SampleItem> SwFixedRateSampler::Sample(int64_t now,
 
 void SwFixedRateSampler::AcceptedGroupSamples(int64_t now,
                                               std::vector<SampleItem>* out) {
-  for (auto& [id, g] : groups_) {
-    if (!g.accepted) continue;
+  for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+    if (!table_.IsLive(slot) || !table_.accepted(slot)) continue;
     if (ctx_->options.random_representative) {
-      const auto item = g.reservoir.Sample(now);
+      const auto item = table_.reservoir(slot).Sample(now);
       if (item.has_value()) {
         out->push_back(*item);
         continue;
       }
     }
     out->push_back(
-        SampleItem{store_->View(g.latest).Materialize(), g.latest_index});
+        SampleItem{store_->View(table_.latest_ref(slot)).Materialize(),
+                   table_.latest_index(slot)});
   }
 }
 
 void SwFixedRateSampler::AcceptedLatestPoints(
     std::vector<SampleItem>* out) const {
-  for (const auto& [id, g] : groups_) {
-    if (g.accepted) {
-      out->push_back(
-          SampleItem{store_->View(g.latest).Materialize(), g.latest_index});
-    }
+  for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+    if (!table_.IsLive(slot) || !table_.accepted(slot)) continue;
+    out->push_back(
+        SampleItem{store_->View(table_.latest_ref(slot)).Materialize(),
+                   table_.latest_index(slot)});
   }
 }
 
 void SwFixedRateSampler::SnapshotGroups(std::vector<GroupRecord>* out) const {
-  for (const auto& [id, g] : groups_) out->push_back(Materialize(g));
+  for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+    if (table_.IsLive(slot)) out->push_back(Materialize(slot));
+  }
 }
 
-bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
-  promoted->clear();
+SwFixedRateSampler::SplitPlan SwFixedRateSampler::PlanSplit() {
+  SplitPlan plan;
   // t = the arrival index of the last accepted representative whose cell
   // is sampled at level ℓ+1 (Algorithm 4 line 2).
   uint64_t t = 0;
-  bool found = false;
-  for (const auto& [id, g] : groups_) {
-    if (!g.accepted) continue;
-    if (!ctx_->hasher.SampledAtLevel(g.rep_cell, level_ + 1)) continue;
-    if (!found || g.rep_index > t) {
-      t = g.rep_index;
-      found = true;
+  for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+    if (!table_.IsLive(slot) || !table_.accepted(slot)) continue;
+    if (!ctx_->hasher.SampledAtLevel(table_.rep_cell(slot), level_ + 1)) {
+      continue;
+    }
+    if (!plan.found || table_.rep_index(slot) > t) {
+      t = table_.rep_index(slot);
+      plan.found = true;
     }
   }
-  if (!found) return false;
+  if (!plan.found) return plan;
 
   // Partition groups: representatives arriving ≤ t are promoted (re-judged
   // at level ℓ+1 per Definition 2.2), the rest stay at level ℓ.
-  std::vector<uint64_t> to_remove;
   std::vector<uint64_t> adj;
-  for (auto& [id, g] : groups_) {
-    if (g.rep_index > t) continue;
-    to_remove.push_back(id);
-    if (ctx_->hasher.SampledAtLevel(g.rep_cell, level_ + 1)) {
-      GroupRecord moved = Materialize(g);
-      moved.accepted = true;  // nestedness: it was accepted at ℓ already
-      promoted->push_back(std::move(moved));
+  for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+    if (!table_.IsLive(slot) || table_.rep_index(slot) > t) continue;
+    if (ctx_->hasher.SampledAtLevel(table_.rep_cell(slot), level_ + 1)) {
+      // Nestedness: it was accepted at ℓ already.
+      plan.promote_accepted.push_back(slot);
       continue;
     }
     // Own cell unsampled at ℓ+1: rejected if a nearby cell is sampled,
     // dropped otherwise.
-    ctx_->grid.AdjacentCells(store_->View(g.rep), ctx_->options.alpha, &adj);
+    ctx_->grid.AdjacentCells(store_->View(table_.rep_ref(slot)),
+                             ctx_->options.alpha, &adj);
     bool near_sampled = false;
     for (uint64_t key : adj) {
       if (ctx_->hasher.SampledAtLevel(key, level_ + 1)) {
@@ -316,18 +270,56 @@ bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
       }
     }
     if (near_sampled) {
-      GroupRecord moved = Materialize(g);
-      moved.accepted = false;
-      promoted->push_back(std::move(moved));
+      plan.promote_rejected.push_back(slot);
+    } else {
+      // The group is dropped entirely at the higher level.
+      plan.drop.push_back(slot);
     }
-    // else: the group is dropped entirely at the higher level.
   }
-  for (uint64_t id : to_remove) {
-    auto it = groups_.find(id);
-    if (it->second.accepted) --accept_size_;
-    UnindexGroup(it->second);
-    ReleaseGroup(&it->second);
-    groups_.erase(it);
+  return plan;
+}
+
+bool SwFixedRateSampler::SplitPromote(std::vector<GroupRecord>* promoted) {
+  promoted->clear();
+  SplitPlan plan = PlanSplit();
+  if (!plan.found) return false;
+  for (uint32_t slot : plan.promote_accepted) {
+    GroupRecord moved = Materialize(slot);
+    moved.accepted = true;
+    promoted->push_back(std::move(moved));
+  }
+  for (uint32_t slot : plan.promote_rejected) {
+    GroupRecord moved = Materialize(slot);
+    moved.accepted = false;
+    promoted->push_back(std::move(moved));
+  }
+  const auto remove = [this](uint32_t slot) {
+    if (table_.accepted(slot)) --accept_size_;
+    table_.Remove(slot);
+  };
+  for (uint32_t slot : plan.promote_accepted) remove(slot);
+  for (uint32_t slot : plan.promote_rejected) remove(slot);
+  for (uint32_t slot : plan.drop) remove(slot);
+  return true;
+}
+
+bool SwFixedRateSampler::PromoteInto(SwFixedRateSampler* upper) {
+  RL0_CHECK(upper != nullptr && upper->store_ == store_);
+  RL0_CHECK(upper->level_ == level_ + 1);
+  SplitPlan plan = PlanSplit();
+  if (!plan.found) return false;
+  const auto move = [this, upper](uint32_t slot, bool accepted) {
+    if (table_.accepted(slot)) --accept_size_;
+    SwGroupTable::MovedGroup g = table_.Extract(slot);
+    g.accepted = accepted;
+    if (accepted) ++upper->accept_size_;
+    upper->table_.AdoptMoved(std::move(g));
+  };
+  for (uint32_t slot : plan.promote_accepted) move(slot, true);
+  for (uint32_t slot : plan.promote_rejected) move(slot, false);
+  for (uint32_t slot : plan.drop) {
+    if (table_.accepted(slot)) --accept_size_;
+    table_.Remove(slot);
   }
   return true;
 }
@@ -337,10 +329,11 @@ void SwFixedRateSampler::MergeFrom(std::vector<GroupRecord>&& incoming) {
 }
 
 size_t SwFixedRateSampler::SpaceWords() const {
-  size_t words = groups_.size() * GroupWords() + 4 /* scalars */;
+  size_t words = table_.live() * GroupWords() + 4 /* scalars */;
   if (ctx_->options.random_representative) {
-    for (const auto& [id, g] : groups_) {
-      words += g.reservoir.SpaceWords(ctx_->options.dim);
+    for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+      if (!table_.IsLive(slot)) continue;
+      words += table_.reservoir(slot).SpaceWords(ctx_->options.dim);
     }
   }
   return words;

@@ -15,12 +15,17 @@
 // index) and time-based windows (stamp = arrival time); only the meaning
 // of the stamp differs.
 //
-// Storage: group coordinates (representative, latest point, reservoir
-// candidates) live in a PointStore arena shared across all levels of a
-// hierarchy — one flat buffer per sampler family instead of a heap
-// vector per stored point. GroupRecord is the *materialized* exchange
-// format (owning Points) used by SplitPromote/MergeFrom/SnapshotGroups;
-// the in-table representation is arena-backed and private.
+// Storage: groups live in a SwGroupTable — coordinates in a PointStore
+// arena shared across all levels of a hierarchy, scalar fields in flat
+// slot-indexed columns, cell membership in an open-addressing CellIndex,
+// and expiry order in an intrusive stamp-sorted list (see
+// core/sw_group_table.h). No node-based containers remain on the insert
+// path. GroupRecord is the *materialized* exchange format (owning
+// Points) used by SplitPromote/MergeFrom/SnapshotGroups; inside one
+// hierarchy, split promotion instead moves groups arena-internally
+// (PromoteInto), which also keeps reservoir coin streams intact across
+// splits. The pre-refactor node-based implementation is preserved as
+// baseline/legacy_sw_sampler.h for differential pinning.
 //
 // Used standalone (with a fixed rate it stores up to Θ(w/R) groups) and as
 // the per-level building block of the space-efficient Algorithm 3, which
@@ -31,14 +36,13 @@
 #define RL0_CORE_SW_FIXED_SAMPLER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "rl0/core/context.h"
 #include "rl0/core/sample.h"
+#include "rl0/core/sw_group_table.h"
 #include "rl0/core/windowed_reservoir.h"
 #include "rl0/geom/point_store.h"
 #include "rl0/util/space.h"
@@ -124,17 +128,20 @@ class SwFixedRateSampler {
   /// Number of accepted groups |Sacc|.
   size_t accept_size() const { return accept_size_; }
   /// Number of rejected groups |Srej|.
-  size_t reject_size() const { return groups_.size() - accept_size_; }
+  size_t reject_size() const { return table_.live() - accept_size_; }
   /// Total tracked groups (|A|).
-  size_t group_count() const { return groups_.size(); }
+  size_t group_count() const { return table_.live(); }
   /// This instance's level ℓ (rate 1/2^ℓ).
   uint32_t level() const { return level_; }
   /// The window width.
   int64_t window() const { return window_; }
   /// The shared context (introspection for tests).
   const SamplerContext& context() const { return *ctx_; }
+  /// The flat group table (introspection for tests).
+  const SwGroupTable& table() const { return table_; }
 
-  /// Appends the latest points of accepted groups to `out` (A(Sacc)).
+  /// Appends the latest points of accepted groups to `out` (A(Sacc)), in
+  /// slot order (deterministic for a fixed insertion history).
   void AcceptedLatestPoints(std::vector<SampleItem>* out) const;
 
   /// Appends one sample item per accepted group: the group's windowed-
@@ -155,6 +162,14 @@ class SwFixedRateSampler {
   /// abandon the cascade (see DESIGN.md §3).
   bool SplitPromote(std::vector<GroupRecord>* promoted);
 
+  /// As SplitPromote, but moves the promoted groups arena-internally into
+  /// `upper` (the level-ℓ+1 sibling of the same hierarchy; both samplers
+  /// must share one PointStore). No GroupRecord is materialized and the
+  /// promoted groups' reservoirs move with their coin streams intact —
+  /// unlike the MergeFrom path, a promoted group's future reservoir
+  /// priorities are exactly those of an unsplit run.
+  bool PromoteInto(SwFixedRateSampler* upper);
+
   /// Algorithm 5 (Merge): adopts `groups` (already at this level's rate).
   /// Reservoir coin streams restart from a derived seed (see
   /// core/snapshot.h for the statistical-equivalence contract).
@@ -164,27 +179,20 @@ class SwFixedRateSampler {
   size_t SpaceWords() const;
 
  private:
-  /// In-table group state: all coordinates arena-backed.
-  struct StoredGroup {
-    uint64_t id = 0;
-    PointRef rep;
-    uint64_t rep_index = 0;
-    uint64_t rep_cell = 0;
-    bool accepted = false;
-    PointRef latest;
-    int64_t latest_stamp = 0;
-    uint64_t latest_index = 0;
-    WindowedReservoir reservoir;
+  /// The split decision for this level (Algorithm 4 lines 1-2): the
+  /// promotion threshold t and the partition of live slots.
+  struct SplitPlan {
+    bool found = false;
+    std::vector<uint32_t> promote_accepted;
+    std::vector<uint32_t> promote_rejected;
+    std::vector<uint32_t> drop;
   };
+  SplitPlan PlanSplit();
 
-  void IndexGroup(const StoredGroup& g);
-  void UnindexGroup(const StoredGroup& g);
-  /// Frees the group's arena slots (call before dropping the record).
-  void ReleaseGroup(StoredGroup* g);
-  GroupRecord Materialize(const StoredGroup& g) const;
+  GroupRecord Materialize(uint32_t slot) const;
   /// Installs a materialized record (allocating arena slots).
   void Adopt(GroupRecord&& g);
-  uint64_t FindCandidate(PointView p,
+  uint32_t FindCandidate(PointView p,
                          const std::vector<uint64_t>& adj_keys) const;
   size_t GroupWords() const;
 
@@ -199,14 +207,9 @@ class SwFixedRateSampler {
   uint64_t reseed_epoch_ = 0;      // salts reservoir reseeds on adoption
 
   size_t accept_size_ = 0;
-  std::unordered_map<uint64_t, StoredGroup> groups_;
-  std::unordered_multimap<uint64_t, uint64_t> cell_to_group_;
-  /// Groups ordered by latest stamp for O(log) expiry.
-  std::map<std::pair<int64_t, uint64_t>, uint64_t> by_stamp_;
+  SwGroupTable table_;
 
   mutable std::vector<uint64_t> adj_scratch_;
-
-  friend class RobustL0SamplerSW;
 };
 
 }  // namespace rl0

@@ -1,0 +1,215 @@
+#include "rl0/core/sw_group_table.h"
+
+#include <utility>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+uint32_t SwGroupTable::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  RL0_CHECK(flags_.size() < kNpos);
+  const uint32_t slot = static_cast<uint32_t>(flags_.size());
+  id_.push_back(0);
+  rep_.push_back(PointRef{});
+  rep_index_.push_back(0);
+  rep_cell_.push_back(0);
+  latest_.push_back(PointRef{});
+  latest_stamp_.push_back(0);
+  latest_index_.push_back(0);
+  reservoir_.emplace_back();
+  flags_.push_back(0);
+  next_in_cell_.push_back(kNpos);
+  stamp_prev_.push_back(kNpos);
+  stamp_next_.push_back(kNpos);
+  return slot;
+}
+
+void SwGroupTable::LinkCell(uint32_t slot) {
+  next_in_cell_[slot] = cell_index_.Upsert(rep_cell_[slot], slot);
+}
+
+void SwGroupTable::UnlinkCell(uint32_t slot) {
+  const uint64_t key = rep_cell_[slot];
+  const uint32_t head = cell_index_.Find(key);
+  RL0_DCHECK(head != kNpos);
+  if (head == slot) {
+    const uint32_t next = next_in_cell_[slot];
+    if (next == kNpos) {
+      cell_index_.Erase(key);
+    } else {
+      cell_index_.SetHead(key, next);
+    }
+  } else {
+    uint32_t prev = head;
+    while (next_in_cell_[prev] != slot) {
+      prev = next_in_cell_[prev];
+      RL0_DCHECK(prev != kNpos);
+    }
+    next_in_cell_[prev] = next_in_cell_[slot];
+  }
+  next_in_cell_[slot] = kNpos;
+}
+
+void SwGroupTable::AppendStampTail(uint32_t slot) {
+  RL0_DCHECK(stamp_tail_ == kNpos ||
+             latest_stamp_[stamp_tail_] <= latest_stamp_[slot]);
+  stamp_prev_[slot] = stamp_tail_;
+  stamp_next_[slot] = kNpos;
+  if (stamp_tail_ == kNpos) {
+    stamp_head_ = slot;
+  } else {
+    stamp_next_[stamp_tail_] = slot;
+  }
+  stamp_tail_ = slot;
+}
+
+void SwGroupTable::InsertStampSorted(uint32_t slot) {
+  // Walk back from the tail to the first entry not newer than `slot`;
+  // ties insert after existing equals (expiry drops whole stamp classes,
+  // so intra-tie order is immaterial).
+  uint32_t after = stamp_tail_;
+  while (after != kNpos && latest_stamp_[after] > latest_stamp_[slot]) {
+    after = stamp_prev_[after];
+  }
+  if (after == stamp_tail_) {
+    AppendStampTail(slot);
+    return;
+  }
+  const uint32_t before =
+      after == kNpos ? stamp_head_ : stamp_next_[after];
+  stamp_prev_[slot] = after;
+  stamp_next_[slot] = before;
+  if (after == kNpos) {
+    stamp_head_ = slot;
+  } else {
+    stamp_next_[after] = slot;
+  }
+  stamp_prev_[before] = slot;  // `before` exists: slot is not the tail
+}
+
+void SwGroupTable::UnlinkStamp(uint32_t slot) {
+  const uint32_t prev = stamp_prev_[slot];
+  const uint32_t next = stamp_next_[slot];
+  if (prev == kNpos) {
+    stamp_head_ = next;
+  } else {
+    stamp_next_[prev] = next;
+  }
+  if (next == kNpos) {
+    stamp_tail_ = prev;
+  } else {
+    stamp_prev_[next] = prev;
+  }
+  stamp_prev_[slot] = kNpos;
+  stamp_next_[slot] = kNpos;
+}
+
+uint32_t SwGroupTable::Add(uint64_t id, PointView point,
+                           uint64_t stream_index, uint64_t cell_key,
+                           bool accepted, int64_t stamp) {
+  RL0_DCHECK(store_ != nullptr);
+  const uint32_t slot = AllocateSlot();
+  id_[slot] = id;
+  rep_[slot] = store_->Add(point);
+  rep_index_[slot] = stream_index;
+  rep_cell_[slot] = cell_key;
+  latest_[slot] = store_->Add(point);
+  latest_stamp_[slot] = stamp;
+  latest_index_[slot] = stream_index;
+  flags_[slot] = kLiveFlag | (accepted ? kAcceptedFlag : 0);
+  LinkCell(slot);
+  AppendStampTail(slot);
+  ++live_;
+  return slot;
+}
+
+void SwGroupTable::Touch(uint32_t slot, PointView latest, int64_t stamp,
+                         uint64_t stream_index) {
+  RL0_DCHECK(IsLive(slot));
+  store_->Write(latest_[slot], latest);
+  UnlinkStamp(slot);
+  latest_stamp_[slot] = stamp;
+  latest_index_[slot] = stream_index;
+  AppendStampTail(slot);
+}
+
+void SwGroupTable::Remove(uint32_t slot) {
+  RL0_DCHECK(IsLive(slot));
+  UnlinkCell(slot);
+  UnlinkStamp(slot);
+  store_->Release(rep_[slot]);
+  store_->Release(latest_[slot]);
+  reservoir_[slot].ReleaseAll();
+  flags_[slot] = 0;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+SwGroupTable::MovedGroup SwGroupTable::Extract(uint32_t slot) {
+  RL0_DCHECK(IsLive(slot));
+  UnlinkCell(slot);
+  UnlinkStamp(slot);
+  MovedGroup g;
+  g.id = id_[slot];
+  g.rep = rep_[slot];
+  g.rep_index = rep_index_[slot];
+  g.rep_cell = rep_cell_[slot];
+  g.accepted = accepted(slot);
+  g.latest = latest_[slot];
+  g.latest_stamp = latest_stamp_[slot];
+  g.latest_index = latest_index_[slot];
+  g.reservoir = std::move(reservoir_[slot]);
+  flags_[slot] = 0;
+  free_slots_.push_back(slot);
+  --live_;
+  return g;
+}
+
+uint32_t SwGroupTable::AdoptMoved(MovedGroup&& g) {
+  RL0_DCHECK(store_ != nullptr);
+  const uint32_t slot = AllocateSlot();
+  id_[slot] = g.id;
+  rep_[slot] = g.rep;
+  rep_index_[slot] = g.rep_index;
+  rep_cell_[slot] = g.rep_cell;
+  latest_[slot] = g.latest;
+  latest_stamp_[slot] = g.latest_stamp;
+  latest_index_[slot] = g.latest_index;
+  reservoir_[slot] = std::move(g.reservoir);
+  flags_[slot] = kLiveFlag | (g.accepted ? kAcceptedFlag : 0);
+  LinkCell(slot);
+  InsertStampSorted(slot);
+  ++live_;
+  return slot;
+}
+
+void SwGroupTable::Clear() {
+  for (uint32_t slot = 0; slot < flags_.size(); ++slot) {
+    if (!IsLive(slot)) continue;
+    store_->Release(rep_[slot]);
+    store_->Release(latest_[slot]);
+    reservoir_[slot].ReleaseAll();
+    flags_[slot] = 0;
+    next_in_cell_[slot] = kNpos;
+    stamp_prev_[slot] = kNpos;
+    stamp_next_[slot] = kNpos;
+  }
+  cell_index_ = CellIndex();
+  stamp_head_ = kNpos;
+  stamp_tail_ = kNpos;
+  free_slots_.clear();
+  live_ = 0;
+  // Dead slots stay allocated (capacity tracks the peak population, the
+  // accounting model of util/space.h); reset the free list to reuse them
+  // in slot order.
+  for (uint32_t slot = 0; slot < flags_.size(); ++slot) {
+    free_slots_.push_back(static_cast<uint32_t>(flags_.size()) - 1 - slot);
+  }
+}
+
+}  // namespace rl0

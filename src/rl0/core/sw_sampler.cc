@@ -37,14 +37,32 @@ RobustL0SamplerSW::RobustL0SamplerSW(const SamplerOptions& options,
 }
 
 void RobustL0SamplerSW::Insert(const Point& p, int64_t stamp) {
+  InsertStamped(p, stamp, points_processed_);
+}
+
+void RobustL0SamplerSW::InsertGlobal(const Point& p, uint64_t global_index) {
+  InsertStamped(p, static_cast<int64_t>(global_index), global_index);
+}
+
+void RobustL0SamplerSW::InsertStrided(Span<const Point> points, size_t start,
+                                      size_t stride, uint64_t index_base) {
+  RL0_DCHECK(stride > 0);
+  for (size_t i = start; i < points.size(); i += stride) {
+    InsertGlobal(points[i], index_base + i);
+  }
+}
+
+void RobustL0SamplerSW::InsertStamped(const Point& p, int64_t stamp,
+                                      uint64_t stream_index) {
   RL0_DCHECK(p.dim() == ctx_->options.dim);
   RL0_DCHECK(points_processed_ == 0 || stamp >= latest_stamp_);
   latest_stamp_ = stamp;
+  ++points_processed_;
 
   PreparedPoint prep;
   prep.point = &p;
   prep.stamp = stamp;
-  prep.stream_index = points_processed_++;
+  prep.stream_index = stream_index;
   prep.cell_key = ctx_->grid.CellKeyOf(p);
   ctx_->grid.AdjacentCells(p, ctx_->options.alpha, &adj_scratch_);
   prep.adj_keys = &adj_scratch_;
@@ -90,15 +108,16 @@ void RobustL0SamplerSW::Cascade(size_t start_level) {
       ++error_count_;
       return;
     }
-    std::vector<GroupRecord> promoted;
-    if (!levels_[j]->SplitPromote(&promoted)) {
+    // Arena-internal promotion: the groups move between the two levels'
+    // tables without materializing GroupRecords (both levels share one
+    // PointStore), and their reservoir coin streams survive the split.
+    if (!levels_[j]->PromoteInto(levels_[j + 1].get())) {
       // No accepted representative survives the next rate: nothing can be
       // promoted this round (DESIGN.md §3). The cap is restored on a later
       // arrival with fresh representatives.
       ++stuck_split_count_;
       return;
     }
-    levels_[j + 1]->MergeFrom(std::move(promoted));
     ++j;
   }
 }
@@ -170,6 +189,12 @@ Result<std::vector<SampleItem>> RobustL0SamplerSW::SampleK(
 
 std::optional<SampleItem> RobustL0SamplerSW::SampleLatest(Xoshiro256pp* rng) {
   return Sample(latest_stamp_, rng);
+}
+
+void RobustL0SamplerSW::AcceptedWindowItems(int64_t now,
+                                            std::vector<SampleItem>* out) {
+  ExpireAll(now);
+  for (auto& level : levels_) level->AcceptedGroupSamples(now, out);
 }
 
 std::optional<uint32_t> RobustL0SamplerSW::DeepestNonEmptyLevel(int64_t now) {

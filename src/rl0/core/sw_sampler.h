@@ -68,6 +68,21 @@ class RobustL0SamplerSW {
   /// with its arrival index. Equivalent to calling Insert per point.
   void InsertBatch(Span<const Point> points);
 
+  /// Feeds a point at *global* stream position `global_index` of a shared
+  /// stream, using the position as both the stamp and the stream index
+  /// (sequence-based windows over the shared stream). This is the sharded
+  /// ingestion primitive: lanes of a windowed pool see interleaved
+  /// substreams but agree on global window boundaries. Global indices
+  /// must be non-decreasing across calls.
+  void InsertGlobal(const Point& p, uint64_t global_index);
+
+  /// Processes the strided subsequence points[start], points[start+stride],
+  /// ... of a shared stream through InsertGlobal with global positions
+  /// `index_base + i` — the windowed analogue of
+  /// RobustL0SamplerIW::InsertStrided (see ShardedSwSamplerPool).
+  void InsertStrided(Span<const Point> points, size_t start, size_t stride,
+                     uint64_t index_base = 0);
+
   /// Returns a robust ℓ0-sample of the window at time `now`: a group alive
   /// in (now-window, now] chosen uniformly, represented by its latest
   /// point — or, with options.random_representative, by a uniformly
@@ -94,6 +109,20 @@ class RobustL0SamplerSW {
   /// statistic used by the sliding-window F0 estimator, Section 5).
   /// nullopt iff the window is empty.
   std::optional<uint32_t> DeepestNonEmptyLevel(int64_t now);
+
+  /// Appends one item per accepted group across all levels (no rate
+  /// unification): the group's latest point, or its reservoir sample in
+  /// reservoir mode. Expires at `now` first. Deterministic order (levels
+  /// bottom-up, table slot order) — the merge surface of the windowed
+  /// sharded pool and of the rate-1 determinism tests.
+  void AcceptedWindowItems(int64_t now, std::vector<SampleItem>* out);
+
+  /// The rate-unified query pool (Algorithm 3 lines 19-22): every group
+  /// alive in the window enters with equal probability 1/R_c. Exposed so
+  /// a sharded pool can unify per-shard pools before the uniform draw.
+  std::vector<SampleItem> WindowQueryPool(int64_t now, Xoshiro256pp* rng) {
+    return BuildQueryPool(now, rng);
+  }
 
   /// Number of levels (L+1 with L = ⌈log2 window⌉).
   size_t num_levels() const { return levels_.size(); }
@@ -128,6 +157,9 @@ class RobustL0SamplerSW {
       const std::string& snapshot);
 
   RobustL0SamplerSW(const SamplerOptions& options, int64_t window);
+
+  /// Core of every insert path: explicit stamp and stream index.
+  void InsertStamped(const Point& p, int64_t stamp, uint64_t stream_index);
 
   void Cascade(size_t start_level);
   void ExpireAll(int64_t now);

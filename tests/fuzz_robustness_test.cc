@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "rl0/baseline/legacy_sw_sampler.h"
 #include "rl0/core/iw_sampler.h"
 #include "rl0/core/snapshot.h"
+#include "rl0/core/sw_sampler.h"
 #include "rl0/stream/csv.h"
 #include "rl0/util/rng.h"
 
@@ -104,6 +108,154 @@ TEST(FuzzTest, SnapshotRestoreNeverCrashesOnTruncations) {
   ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
   for (size_t len = 0; len < blob.size(); ++len) {
     EXPECT_FALSE(RestoreSampler(blob.substr(0, len)).ok()) << len;
+  }
+}
+
+TEST(FuzzTest, SwSnapshotRestoreNeverCrashesOnRandomBytes) {
+  Xoshiro256pp rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string garbage = RandomBytes(rng.NextBounded(400), &rng);
+    EXPECT_FALSE(RestoreSamplerSW(garbage).ok());
+  }
+}
+
+TEST(FuzzTest, SwSnapshotRestoreNeverCrashesOnMutationsOrTruncations) {
+  SamplerOptions opts;
+  opts.dim = 2;
+  opts.alpha = 1.0;
+  opts.seed = 32;
+  opts.random_representative = true;
+  auto sampler = RobustL0SamplerSW::Create(opts, 64).value();
+  for (int i = 0; i < 120; ++i) {
+    sampler.Insert(Point{10.0 * (i % 25), -5.0 * (i % 25)}, i);
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSamplerSW(sampler, &blob).ok());
+
+  Xoshiro256pp rng(33);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = blob;
+    const size_t mutations = 1 + rng.NextBounded(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng() & 0xFF);
+    }
+    // Either the checksum/structural checks reject it, or the mutation
+    // was payload-neutral — never a crash or corrupt sampler.
+    auto restored = RestoreSamplerSW(mutated);
+    if (restored.ok()) {
+      Xoshiro256pp qrng(34);
+      (void)restored.value().SampleLatest(&qrng);
+    }
+  }
+  for (size_t len = 0; len < blob.size(); len += 7) {
+    EXPECT_FALSE(RestoreSamplerSW(blob.substr(0, len)).ok()) << len;
+  }
+}
+
+/// Random SW stream: random group revisits with random stamp gaps (gaps
+/// regularly exceed the window, straddling expiry) — the fuzz surface of
+/// the window-semantics battery.
+struct SwFuzzStream {
+  std::vector<Point> points;
+  std::vector<int64_t> stamps;
+};
+
+SwFuzzStream RandomSwStream(size_t n, size_t groups, Xoshiro256pp* rng) {
+  SwFuzzStream stream;
+  int64_t stamp = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t g = rng->NextBounded(groups);
+    stream.points.push_back(
+        Point{10.0 * static_cast<double>(g) + 0.3 * (rng->NextDouble() - 0.5)});
+    // Mostly dense stamps, occasionally a jump past several windows.
+    stamp += rng->NextBounded(50) == 0
+                 ? static_cast<int64_t>(rng->NextBounded(400))
+                 : static_cast<int64_t>(rng->NextBounded(3));
+    stream.stamps.push_back(stamp);
+  }
+  return stream;
+}
+
+TEST(FuzzTest, SwRandomStreamsLegacyDifferentialAtRateOne) {
+  // The flat-index refactor against the node-based legacy hierarchy on
+  // random streams, windows and group counts — bit-identical state at
+  // rate 1, including streams whose stamp jumps empty whole windows.
+  Xoshiro256pp rng(35);
+  for (int trial = 0; trial < 25; ++trial) {
+    SamplerOptions opts;
+    opts.dim = 1;
+    opts.alpha = 1.0;
+    opts.seed = 3500 + trial;
+    opts.accept_cap = 1 << 20;  // rate 1
+    opts.expected_stream_length = 1 << 12;
+    const int64_t window = 8 + static_cast<int64_t>(rng.NextBounded(120));
+    const SwFuzzStream stream =
+        RandomSwStream(300, 5 + rng.NextBounded(40), &rng);
+
+    auto flat = RobustL0SamplerSW::Create(opts, window).value();
+    auto legacy = LegacySwSampler::Create(opts, window).value();
+    for (size_t i = 0; i < stream.points.size(); ++i) {
+      flat.Insert(stream.points[i], stream.stamps[i]);
+      legacy.Insert(stream.points[i], stream.stamps[i]);
+    }
+    ASSERT_EQ(flat.num_levels(), legacy.num_levels());
+    for (size_t l = 0; l < flat.num_levels(); ++l) {
+      std::vector<GroupRecord> a, b;
+      flat.level(l).SnapshotGroups(&a);
+      legacy.level(l).SnapshotGroups(&b);
+      const auto by_id = [](const GroupRecord& x, const GroupRecord& y) {
+        return x.id < y.id;
+      };
+      std::sort(a.begin(), a.end(), by_id);
+      std::sort(b.begin(), b.end(), by_id);
+      ASSERT_EQ(a.size(), b.size()) << "trial " << trial << " level " << l;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].id, b[i].id);
+        ASSERT_EQ(a[i].rep_index, b[i].rep_index);
+        ASSERT_EQ(a[i].accepted, b[i].accepted);
+        ASSERT_EQ(a[i].latest_stamp, b[i].latest_stamp);
+        ASSERT_EQ(a[i].latest_index, b[i].latest_index);
+        ASSERT_EQ(a[i].rep, b[i].rep);
+        ASSERT_EQ(a[i].latest, b[i].latest);
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, SwRandomStreamsKeepWindowInvariants) {
+  // At any cap and window, every tracked group's latest stamp stays
+  // inside the window and a sample (when one exists) is a window point.
+  Xoshiro256pp rng(36);
+  for (int trial = 0; trial < 25; ++trial) {
+    SamplerOptions opts;
+    opts.dim = 1;
+    opts.alpha = 1.0;
+    opts.seed = 3600 + trial;
+    opts.accept_cap = 4 + rng.NextBounded(16);
+    opts.expected_stream_length = 1 << 12;
+    const int64_t window = 8 + static_cast<int64_t>(rng.NextBounded(120));
+    const SwFuzzStream stream =
+        RandomSwStream(400, 5 + rng.NextBounded(60), &rng);
+
+    auto sampler = RobustL0SamplerSW::Create(opts, window).value();
+    Xoshiro256pp qrng(37);
+    for (size_t i = 0; i < stream.points.size(); ++i) {
+      sampler.Insert(stream.points[i], stream.stamps[i]);
+      if (i % 16 != 15) continue;
+      const int64_t now = stream.stamps[i];
+      for (size_t l = 0; l < sampler.num_levels(); ++l) {
+        std::vector<GroupRecord> groups;
+        sampler.level(l).SnapshotGroups(&groups);
+        for (const GroupRecord& g : groups) {
+          ASSERT_GT(g.latest_stamp, now - window);
+          ASSERT_LE(g.latest_stamp, now);
+          ASSERT_LE(g.rep_index, g.latest_index);
+        }
+      }
+      const auto sample = sampler.Sample(now, &qrng);
+      ASSERT_TRUE(sample.has_value());  // the newest point is in-window
+    }
   }
 }
 

@@ -136,6 +136,80 @@ TEST(PipelineStressTest, ConcurrentDrainAndQuiescedSnapshot) {
   EXPECT_EQ(pool.points_processed(), data.points.size());
 }
 
+TEST(PipelineStressTest, SwPoolConcurrentDrainAndQuiescedSnapshot) {
+  // The windowed pool under the same contention pattern: multi-producer
+  // feeding, concurrent Drain barriers, and a snapshotter that samples
+  // the live window and checkpoints a shard (SnapshotSamplerSW) while
+  // the workers are paused between chunks. Stamps are global stream
+  // positions, so totals — and each lane's trajectory — must come out
+  // scheduler-independent. Runs under TSan in CI.
+  const NoisyDataset data = StressData(91, 60);
+  SamplerOptions opts = StressOptions(data, 92);
+  const int64_t window = static_cast<int64_t>(data.size() / 3);
+  IngestPool::Options pipeline;
+  pipeline.queue_capacity = 2;  // exercise backpressure
+  auto pool = ShardedSwSamplerPool::Create(opts, window, 3, pipeline).value();
+
+  std::atomic<bool> feeding{true};
+  const Span<const Point> all(data.points);
+
+  std::vector<std::thread> feeders;
+  for (size_t t = 0; t < 2; ++t) {
+    const size_t begin = t * (all.size() / 2);
+    const size_t count = t == 0 ? all.size() / 2 : all.size() - begin;
+    feeders.emplace_back([&pool, all, begin, count] {
+      const size_t chunk = 53;
+      for (size_t offset = 0; offset < count; offset += chunk) {
+        const size_t n = offset + chunk > count ? count - offset : chunk;
+        pool.Feed(all.subspan(begin + offset, n));
+      }
+    });
+  }
+
+  std::vector<std::thread> drainers;
+  for (int t = 0; t < 2; ++t) {
+    drainers.emplace_back([&pool, &feeding] {
+      while (feeding.load(std::memory_order_relaxed)) {
+        pool.Drain();
+      }
+    });
+  }
+
+  std::thread snapshotter([&pool, &feeding] {
+    int round_trips = 0;
+    Xoshiro256pp rng(93);
+    while (feeding.load(std::memory_order_relaxed) || round_trips == 0) {
+      // A quiesced live-window sample (each shard at its own prefix)...
+      (void)pool.SampleQuiesced(&rng);
+      // ...and a quiesced checkpoint of shard 0 that must round-trip.
+      std::string blob;
+      Status status = Status::OK();
+      uint64_t processed_at_pause = 0;
+      pool.QuiescedRun([&pool, &blob, &status, &processed_at_pause] {
+        processed_at_pause = pool.shard(0).points_processed();
+        status = SnapshotSamplerSW(pool.shard(0), &blob);
+      });
+      ASSERT_TRUE(status.ok());
+      auto restored = RestoreSamplerSW(blob);
+      ASSERT_TRUE(restored.ok());
+      EXPECT_EQ(restored.value().points_processed(), processed_at_pause);
+      ++round_trips;
+    }
+    EXPECT_GT(round_trips, 0);
+  });
+
+  for (std::thread& f : feeders) f.join();
+  feeding.store(false, std::memory_order_relaxed);
+  for (std::thread& d : drainers) d.join();
+  snapshotter.join();
+
+  pool.Drain();
+  EXPECT_EQ(pool.points_fed(), data.points.size());
+  EXPECT_EQ(pool.points_processed(), data.points.size());
+  // After the barrier the merged window view is live and non-empty.
+  EXPECT_FALSE(pool.MergedWindowItems(pool.now()).empty());
+}
+
 TEST(PipelineStressTest, StopWithBacklogProcessesEverything) {
   // Destroying the pool (Stop) must consume the queued backlog, not drop
   // it: feeding then immediately destructing loses nothing.

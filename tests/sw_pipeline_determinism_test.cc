@@ -1,0 +1,354 @@
+// Window-semantics test battery for the sliding-window pipeline (the
+// SW analogue of pipeline_determinism_test.cc).
+//
+// Three layers of bit-for-bit contracts:
+//
+//   1. Per-lane invariance: lane s of a windowed pool consumes the points
+//      at *global* stream positions ≡ s (mod S), stamped with their
+//      global position. Its input — including its window-expiry schedule
+//      — depends only on (stream, S), never on how the feed was chunked,
+//      how chunks straddle expiry boundaries, or how many producers fed.
+//      Every lane must equal a pointwise reference sampler fed the same
+//      substream in one call, field-for-field across all levels,
+//      reservoirs included. This holds at every rate (split cascades
+//      through the arena-internal PromoteInto are deterministic).
+//
+//   2. One-lane == pointwise: a single-lane pool is the pointwise
+//      RobustL0SamplerSW, so any chunking must reproduce the pointwise
+//      sampler bit-for-bit, query draws included.
+//
+//   3. Merged window view at rate 1: every merged item is the true latest
+//      window point of a live group of the union stream (checked against
+//      the exact windowed partition baseline), at most one item per
+//      group, the newest arrival's group is always covered, and the
+//      merged vector is invariant under re-chunking.
+//
+// Plus the refactor pin: the flat-index sampler (core/sw_group_table.h,
+// PromoteInto) against the node-based LegacySwSampler, and the exact
+// window-tracking guarantee of Algorithm 2 at rate 1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "rl0/baseline/exact_partition.h"
+#include "rl0/baseline/legacy_sw_sampler.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/core/sw_fixed_sampler.h"
+#include "rl0/core/sw_sampler.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+SamplerOptions BaseOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = seed;
+  opts.expected_stream_length = 1 << 14;
+  return opts;
+}
+
+/// A revisit stream with genuine expiry: `groups` centers 10 apart; after
+/// `die_off · n` points only the upper half of the groups keeps arriving,
+/// so the lower half expires out of any window ending near the stream's
+/// end. Stamps are the stream indices.
+std::vector<Point> RevisitStream(size_t n, size_t groups, uint64_t seed,
+                                 double die_off = 0.5) {
+  std::vector<Point> points;
+  points.reserve(n);
+  Xoshiro256pp rng(SplitMix64(seed));
+  const size_t cutoff = static_cast<size_t>(die_off * static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i < cutoff ? 0 : groups / 2;
+    const size_t g = lo + static_cast<size_t>(rng.NextBounded(groups - lo));
+    points.push_back(
+        Point{10.0 * static_cast<double>(g) + 0.3 * (rng.NextDouble() - 0.5)});
+  }
+  return points;
+}
+
+bool SameRecord(const GroupRecord& a, const GroupRecord& b) {
+  if (a.id != b.id || a.rep_index != b.rep_index ||
+      a.rep_cell != b.rep_cell || a.accepted != b.accepted ||
+      a.latest_stamp != b.latest_stamp || a.latest_index != b.latest_index) {
+    return false;
+  }
+  if (a.rep != b.rep || a.latest != b.latest) return false;
+  if (a.reservoir.size() != b.reservoir.size()) return false;
+  for (size_t i = 0; i < a.reservoir.size(); ++i) {
+    const auto& ca = a.reservoir[i];
+    const auto& cb = b.reservoir[i];
+    if (ca.priority != cb.priority || ca.stamp != cb.stamp ||
+        ca.stream_index != cb.stream_index || ca.point != cb.point) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-level group records sorted by id (canonical: storage order is an
+/// implementation detail of both layouts).
+template <typename Sampler>
+std::vector<std::vector<GroupRecord>> LevelSnapshots(const Sampler& s) {
+  std::vector<std::vector<GroupRecord>> out(s.num_levels());
+  for (size_t l = 0; l < s.num_levels(); ++l) {
+    s.level(l).SnapshotGroups(&out[l]);
+    std::sort(out[l].begin(), out[l].end(),
+              [](const GroupRecord& a, const GroupRecord& b) {
+                return a.id < b.id;
+              });
+  }
+  return out;
+}
+
+template <typename SamplerA, typename SamplerB>
+void ExpectSameLevelState(const SamplerA& a, const SamplerB& b) {
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  const auto snap_a = LevelSnapshots(a);
+  const auto snap_b = LevelSnapshots(b);
+  for (size_t l = 0; l < snap_a.size(); ++l) {
+    SCOPED_TRACE("level " + std::to_string(l));
+    ASSERT_EQ(snap_a[l].size(), snap_b[l].size());
+    for (size_t i = 0; i < snap_a[l].size(); ++i) {
+      EXPECT_TRUE(SameRecord(snap_a[l][i], snap_b[l][i]))
+          << "group " << i << " (id " << snap_a[l][i].id << " vs "
+          << snap_b[l][i].id << ") differs";
+    }
+  }
+}
+
+/// Feeds `points` in randomized chunk sizes (deterministic per seed);
+/// optionally drains after every chunk.
+void FeedRandomChunks(ShardedSwSamplerPool* pool, Span<const Point> points,
+                      uint64_t chunk_seed, size_t max_chunk,
+                      bool drain_between = false) {
+  Xoshiro256pp rng(chunk_seed);
+  size_t offset = 0;
+  while (offset < points.size()) {
+    const size_t chunk = 1 + static_cast<size_t>(rng.NextBounded(max_chunk));
+    pool->Feed(points.subspan(offset, chunk));
+    offset += chunk;
+    if (drain_between) pool->Drain();
+  }
+  pool->Drain();
+}
+
+TEST(SwPipelineDeterminismTest, OneLaneMatchesPointwiseAcrossChunkings) {
+  const std::vector<Point> points = RevisitStream(3000, 120, 41);
+  const int64_t window = 257;
+  const SamplerOptions opts = BaseOptions(901);  // natural cap: splits run
+
+  auto pointwise = RobustL0SamplerSW::Create(opts, window).value();
+  for (const Point& p : points) pointwise.Insert(p);
+
+  struct Chunking {
+    uint64_t seed;
+    size_t max_chunk;
+    bool drain_between;
+  };
+  // max_chunk 1024 >> window: single chunks straddle several expiry
+  // horizons; max_chunk 7: expiry boundaries straddle many chunks.
+  for (const Chunking c : {Chunking{11, 7, false}, Chunking{12, 97, true},
+                           Chunking{13, 1024, false}}) {
+    SCOPED_TRACE(c.seed);
+    auto pool = ShardedSwSamplerPool::Create(opts, window, 1).value();
+    FeedRandomChunks(&pool, points, c.seed, c.max_chunk, c.drain_between);
+    EXPECT_EQ(pool.points_processed(), points.size());
+    EXPECT_EQ(pool.now(), static_cast<int64_t>(points.size()) - 1);
+    ExpectSameLevelState(pool.shard(0), pointwise);
+    EXPECT_EQ(pool.SpaceWords(), pointwise.SpaceWords());
+
+    // Query parity: same state, same query randomness, same draw.
+    Xoshiro256pp rng_pool(777), rng_ref(777);
+    const auto from_pool = pool.SampleLatest(&rng_pool);
+    const auto from_ref = pointwise.SampleLatest(&rng_ref);
+    ASSERT_EQ(from_pool.has_value(), from_ref.has_value());
+    if (from_pool.has_value()) {
+      EXPECT_EQ(from_pool->stream_index, from_ref->stream_index);
+      EXPECT_EQ(from_pool->point, from_ref->point);
+    }
+  }
+}
+
+TEST(SwPipelineDeterminismTest, PerLaneStateInvariantUnderRechunking) {
+  const std::vector<Point> points = RevisitStream(3000, 120, 42);
+  const int64_t window = 311;
+  const SamplerOptions opts = BaseOptions(902);  // natural cap
+
+  for (const size_t lanes : {2, 8}) {
+    SCOPED_TRACE(lanes);
+    // Reference per lane: the strided substream in one pointwise call.
+    std::vector<RobustL0SamplerSW> refs;
+    for (size_t s = 0; s < lanes; ++s) {
+      refs.push_back(RobustL0SamplerSW::Create(opts, window).value());
+      refs.back().InsertStrided(points, s, lanes, 0);
+    }
+
+    auto tiny = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunks(&tiny, points, 21, /*max_chunk=*/13);
+    auto big = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunks(&big, points, 22, /*max_chunk=*/900,
+                     /*drain_between=*/true);
+
+    for (size_t s = 0; s < lanes; ++s) {
+      SCOPED_TRACE(s);
+      EXPECT_EQ(tiny.shard(s).points_processed(),
+                refs[s].points_processed());
+      ExpectSameLevelState(tiny.shard(s), refs[s]);
+      ExpectSameLevelState(big.shard(s), refs[s]);
+    }
+  }
+}
+
+TEST(SwPipelineDeterminismTest, MergedWindowItemsExactAndRechunkInvariant) {
+  const std::vector<Point> points = RevisitStream(4000, 100, 43);
+  const int64_t window = 701;
+  SamplerOptions opts = BaseOptions(903);
+  opts.accept_cap = 1 << 20;  // rate 1: no cascades anywhere
+  const int64_t now = static_cast<int64_t>(points.size()) - 1;
+  const WindowedGroupTruth truth =
+      ExactWindowGroups(points, opts.alpha, window, now);
+  ASSERT_GT(truth.live_groups.size(), 0u);
+  ASSERT_LT(truth.live_groups.size(), truth.num_groups);  // some expired
+
+  auto pointwise = RobustL0SamplerSW::Create(opts, window).value();
+  for (const Point& p : points) pointwise.Insert(p);
+
+  for (const size_t lanes : {1, 2, 8}) {
+    SCOPED_TRACE(lanes);
+    auto pool = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunks(&pool, points, 31, /*max_chunk=*/257);
+    std::vector<SampleItem> merged = pool.MergedWindowItems(now);
+    ASSERT_FALSE(merged.empty());
+
+    std::set<uint32_t> reported;
+    for (const SampleItem& item : merged) {
+      // Every reported item is a genuine window point, bit-for-bit.
+      ASSERT_LT(item.stream_index, points.size());
+      const int64_t stamp = static_cast<int64_t>(item.stream_index);
+      EXPECT_GT(stamp, now - window);
+      EXPECT_EQ(item.point, points[item.stream_index]);
+      // ... of a live group, at most one report per group. A lane
+      // reports its *sub-view's* latest point of the group, which can
+      // trail the union's latest when the lane owning the newest point
+      // no longer tracks the group (Algorithm 3's lower-level pruning);
+      // with one lane the view is the union and the latest is exact.
+      const uint32_t group = truth.group_of[item.stream_index];
+      EXPECT_TRUE(truth.IsLive(group));
+      EXPECT_TRUE(reported.insert(group).second)
+          << "group " << group << " reported twice";
+      EXPECT_LE(item.stream_index, truth.latest_in_window[group]);
+      if (lanes == 1) {
+        EXPECT_EQ(item.stream_index, truth.latest_in_window[group]);
+      }
+    }
+    // Lemma 2.10: the newest arrival's group is always tracked — by the
+    // lane that owns the newest point, at that point — so the merged
+    // latest-wins view reports it with the exact union latest.
+    const uint32_t newest_group = truth.group_of[points.size() - 1];
+    ASSERT_TRUE(reported.count(newest_group));
+    for (const SampleItem& item : merged) {
+      if (truth.group_of[item.stream_index] == newest_group) {
+        EXPECT_EQ(item.stream_index, points.size() - 1);
+      }
+    }
+
+    // Invariance under re-chunking (order included).
+    auto pool2 = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunks(&pool2, points, 32, /*max_chunk=*/19,
+                     /*drain_between=*/true);
+    const std::vector<SampleItem> merged2 = pool2.MergedWindowItems(now);
+    ASSERT_EQ(merged2.size(), merged.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged2[i].stream_index, merged[i].stream_index);
+      EXPECT_EQ(merged2[i].point, merged[i].point);
+    }
+
+    // One lane is the pointwise sampler: the merged view must equal the
+    // pointwise accepted-group union exactly.
+    if (lanes == 1) {
+      std::vector<SampleItem> reference;
+      pointwise.AcceptedWindowItems(now, &reference);
+      ASSERT_EQ(merged.size(), reference.size());
+      for (size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].stream_index, reference[i].stream_index);
+        EXPECT_EQ(merged[i].point, reference[i].point);
+      }
+    }
+  }
+}
+
+TEST(SwPipelineDeterminismTest, LegacyDifferentialPinsTheRefactor) {
+  const std::vector<Point> points = RevisitStream(2500, 90, 44);
+  const int64_t window = 199;
+
+  struct Config {
+    const char* name;
+    size_t accept_cap;  // 0 = natural cap
+    bool reservoir;
+  };
+  // Reservoir mode is pinned at rate 1 (no splits): across splits the
+  // refactored hierarchy intentionally preserves reservoir coin streams
+  // (PromoteInto) where the legacy path reseeds — decisions still match,
+  // reservoir priorities legitimately do not.
+  for (const Config c : {Config{"rate1", 1 << 20, false},
+                         Config{"rate1+reservoir", 1 << 20, true},
+                         Config{"natural-cap", 0, false}}) {
+    SCOPED_TRACE(c.name);
+    SamplerOptions opts = BaseOptions(904);
+    opts.accept_cap = c.accept_cap;
+    opts.random_representative = c.reservoir;
+
+    auto flat = RobustL0SamplerSW::Create(opts, window).value();
+    auto legacy = LegacySwSampler::Create(opts, window).value();
+    for (const Point& p : points) {
+      flat.Insert(p);
+      legacy.Insert(p);
+    }
+    EXPECT_EQ(flat.error_count(), legacy.error_count());
+    EXPECT_EQ(flat.stuck_split_count(), legacy.stuck_split_count());
+    EXPECT_EQ(flat.SpaceWords(), legacy.SpaceWords());
+    ExpectSameLevelState(flat, legacy);
+  }
+}
+
+TEST(SwPipelineDeterminismTest, FixedRateLevelZeroTracksExactWindowGroups) {
+  // Algorithm 2 at level 0 (rate 1) tracks *exactly* the live window
+  // groups, each with its true latest point — the crisp rate-1 window
+  // contract the flat group table must preserve, checked against the
+  // exact windowed partition baseline at several cut points.
+  const std::vector<Point> points = RevisitStream(1500, 60, 45);
+  const int64_t window = 167;
+  auto sampler =
+      SwFixedRateSampler::CreateStandalone(BaseOptions(905), 0, window)
+          .value();
+  size_t next = 0;
+  for (const int64_t cut : {400, 900, 1499}) {
+    for (; next <= static_cast<size_t>(cut); ++next) {
+      sampler->Insert(points[next], static_cast<int64_t>(next));
+    }
+    const WindowedGroupTruth truth =
+        ExactWindowGroups(points, 1.0, window, cut);
+    std::vector<GroupRecord> groups;
+    sampler->SnapshotGroups(&groups);
+    std::set<std::pair<uint32_t, uint64_t>> tracked;
+    for (const GroupRecord& g : groups) {
+      EXPECT_TRUE(g.accepted);  // level 0 samples every cell
+      tracked.insert({truth.group_of[g.latest_index], g.latest_index});
+    }
+    std::set<std::pair<uint32_t, uint64_t>> expected;
+    for (uint32_t g : truth.live_groups) {
+      expected.insert({g, truth.latest_in_window[g]});
+    }
+    EXPECT_EQ(tracked, expected) << "at cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace rl0

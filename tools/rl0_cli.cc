@@ -40,7 +40,9 @@ commands:
             Draw Q robust l0-samples (default 1). With --window W, sample
             from the last W points instead of the whole stream. With
             --shards S > 1, ingest through the persistent S-worker
-            pipeline and sample from the merged shards.
+            pipeline and sample from the merged shards (works with and
+            without --window; the windowed pool stamps points with their
+            global stream position).
   count     --alpha A [--epsilon E] [--seed S] [--parallel]
             (1+E)-approximate the number of distinct entities. With
             --parallel, the estimator copies ingest on pipeline workers.
@@ -199,8 +201,34 @@ int RunSample(const Args& args) {
   rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
   if (args.window > 0) {
     if (args.shards > 1) {
-      return Fail("--shards is not supported with --window (the sliding-"
-                  "window sampler has no sharded pipeline yet)");
+      // Windowed sharded pipeline: S persistent worker lanes, global-
+      // residue partition, stamps = global stream positions.
+      auto pool = rl0::ShardedSwSamplerPool::Create(opts, args.window,
+                                                    args.shards);
+      if (!pool.ok()) return Fail(pool.status().ToString());
+      rl0::ShardedSwSamplerPool sw_pool = std::move(pool).value();
+      const rl0::Span<const Point> all(points.value());
+      const size_t chunk = 4096;
+      for (size_t offset = 0; offset < all.size(); offset += chunk) {
+        sw_pool.FeedBorrowed(all.subspan(offset, chunk));
+      }
+      sw_pool.Drain();
+      for (int q = 0; q < args.queries; ++q) {
+        const auto sample = sw_pool.SampleLatest(&rng);
+        if (!sample.has_value()) return Fail("window is empty");
+        std::printf("%s  # stream position %llu\n",
+                    sample->point.ToString().c_str(),
+                    static_cast<unsigned long long>(sample->stream_index));
+      }
+      std::fprintf(stderr,
+                   "[windowed pipeline: %zu shards, %llu points, "
+                   "window=%lld, space=%zu words]\n",
+                   sw_pool.num_shards(),
+                   static_cast<unsigned long long>(
+                       sw_pool.points_processed()),
+                   static_cast<long long>(args.window),
+                   sw_pool.SpaceWords());
+      return 0;
     }
     auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
     if (!sampler.ok()) return Fail(sampler.status().ToString());
