@@ -29,12 +29,14 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness.h"
 #include "rl0/baseline/legacy_iw_sampler.h"
 #include "rl0/core/iw_sampler.h"
 #include "rl0/core/sharded_pool.h"
+#include "rl0/geom/distance_kernels.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
 
@@ -89,8 +91,15 @@ int main() {
   const int repeats = rl0::bench::EnvRepeats(3);
   const uint64_t seed = 20180618;  // the paper's PODS year + month + day
 
+  // Machine facts ride with the numbers so BENCH_ingest.json
+  // trajectories are comparable across machines: the distance-kernel
+  // dispatch path (avx2 vs scalar) changes single-thread throughput, the
+  // core count bounds what the pool rows can show (see docs/BENCHMARKS.md).
   std::printf("{\n  \"bench\": \"ingest\",\n  \"repeats\": %d,\n"
-              "  \"workloads\": [\n", repeats);
+              "  \"dispatch\": \"%s\",\n  \"cores\": %u,\n"
+              "  \"workloads\": [\n",
+              repeats, rl0::DistanceKernelDispatch(),
+              std::thread::hardware_concurrency());
   std::fprintf(stderr,
                "%-10s %8s %9s | %12s %12s %12s %12s %12s | %8s %8s %8s\n",
                "workload", "dim", "points", "legacy p/s", "arena p/s",

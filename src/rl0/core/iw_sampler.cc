@@ -43,14 +43,35 @@ uint32_t RobustL0SamplerIW::FindCandidate(PointView p,
                                           const AdjKeyVec& adj_keys) const {
   // A representative u with d(u, p) ≤ α satisfies d(p, cell(u)) ≤ α, so
   // cell(u) is one of the adj(p) keys: the scan below is complete.
+  // Per bucket, the chain is gathered into a flat slot list first and the
+  // batched kernel probes it four lanes at a time (geom/
+  // distance_kernels.h): the pointer-chasing touches only the slot
+  // columns, the arithmetic streams over the arena. Buckets holding a
+  // single rep — the common case at low dimension — keep the direct
+  // scalar check. Probe order, and with it every decision, matches the
+  // original per-rep walk exactly.
   for (uint64_t key : adj_keys) {
-    for (uint32_t slot = reps_.CellHead(key); slot != RepTable::kNpos;
-         slot = reps_.NextInCell(slot)) {
-      if (MetricWithinDistance(reps_.point(slot), p, options_.alpha,
+    const uint32_t head = reps_.CellHead(key);
+    if (head == RepTable::kNpos) continue;
+    const uint32_t second = reps_.NextInCell(head);
+    if (second == RepTable::kNpos) {
+      if (MetricWithinDistance(reps_.point(head), p, options_.alpha,
                                options_.metric)) {
-        return slot;
+        return head;
       }
+      continue;
     }
+    cand_slots_.clear();
+    cand_arena_.clear();
+    for (uint32_t slot = head; slot != RepTable::kNpos;
+         slot = reps_.NextInCell(slot)) {
+      cand_slots_.push_back(slot);
+      cand_arena_.push_back(reps_.point_arena_slot(slot));
+    }
+    const size_t hit =
+        FindFirstWithin(reps_.store(), p, cand_arena_.data(),
+                        cand_arena_.size(), options_.metric, options_.alpha);
+    if (hit != Bitmask::npos) return cand_slots_[hit];
   }
   return RepTable::kNpos;
 }
@@ -61,6 +82,22 @@ void RobustL0SamplerIW::Insert(const Point& p) {
 }
 
 void RobustL0SamplerIW::InsertBatch(Span<const Point> points) {
+  const size_t n = points.size();
+  // Decided once per chunk, outside the loop: issuing the prefetch costs
+  // a CellKeyOf per element, which only pays once the index has outgrown
+  // cache (PrefetchPays) — and keeping the hint out of the common loop
+  // keeps that loop's code identical to the plain path.
+  if (reps_.PrefetchPays()) {
+    for (size_t i = 0; i < n; ++i) {
+      // Overlap the next element's CellIndex bucket load with this
+      // element's distance work (the probe's first dependent memory
+      // read).
+      if (i + 1 < n) reps_.PrefetchCell(grid_.CellKeyOf(points[i + 1]));
+      InsertView(points[i], points_processed_);
+      ++points_processed_;
+    }
+    return;
+  }
   for (const Point& p : points) {
     InsertView(p, points_processed_);
     ++points_processed_;
@@ -70,7 +107,18 @@ void RobustL0SamplerIW::InsertBatch(Span<const Point> points) {
 void RobustL0SamplerIW::InsertStrided(Span<const Point> points, size_t start,
                                       size_t stride, uint64_t index_base) {
   RL0_CHECK(stride >= 1);
-  for (size_t i = start; i < points.size(); i += stride) {
+  const size_t n = points.size();
+  if (reps_.PrefetchPays()) {
+    for (size_t i = start; i < n; i += stride) {
+      if (i + stride < n) {
+        reps_.PrefetchCell(grid_.CellKeyOf(points[i + stride]));
+      }
+      InsertView(points[i], index_base + static_cast<uint64_t>(i));
+      ++points_processed_;
+    }
+    return;
+  }
+  for (size_t i = start; i < n; i += stride) {
     InsertView(points[i], index_base + static_cast<uint64_t>(i));
     ++points_processed_;
   }
@@ -79,7 +127,11 @@ void RobustL0SamplerIW::InsertStrided(Span<const Point> points, size_t start,
 void RobustL0SamplerIW::InsertView(PointView p, uint64_t stream_index) {
   RL0_DCHECK(p.dim() == options_.dim);
 
-  grid_.AdjacentCells(p, options_.alpha, &adj_scratch_);
+  // One fused pass: the adjacency search also yields cell(p)'s key (the
+  // zero-offset fold), sparing the separate CellKeyOf quantize-and-fold
+  // on the new-representative path.
+  const uint64_t cell_key =
+      grid_.AdjacentCellsWithBase(p, options_.alpha, &adj_scratch_);
   const uint32_t candidate = FindCandidate(p, adj_scratch_);
   if (candidate != RepTable::kNpos) {
     // p is not the first point of its (candidate) group: skip it, but keep
@@ -96,7 +148,6 @@ void RobustL0SamplerIW::InsertView(PointView p, uint64_t stream_index) {
   }
 
   // p is the first point of a group not yet judged.
-  const uint64_t cell_key = grid_.CellKeyOf(p);
   const bool accepted = hasher_.SampledAtLevel(cell_key, level_);
   bool rejected = false;
   if (!accepted) {
@@ -158,6 +209,11 @@ void RobustL0SamplerIW::Refilter() {
     reps_.Remove(slot);
     meter_.Remove(RepWords());
   }
+  // A halving typically kills about half the representatives; when it
+  // does, repack the slot columns and the arena so the batched kernel
+  // keeps streaming over dense coordinates. No caller holds slot indices
+  // across Refilter (compaction renumbers them).
+  reps_.MaybeCompact();
 }
 
 std::vector<uint32_t> RobustL0SamplerIW::SortedAcceptedSlots() const {

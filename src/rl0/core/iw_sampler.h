@@ -40,6 +40,7 @@
 #include "rl0/core/options.h"
 #include "rl0/core/rep_table.h"
 #include "rl0/core/sample.h"
+#include "rl0/geom/distance_kernels.h"
 #include "rl0/geom/point.h"
 #include "rl0/grid/random_grid.h"
 #include "rl0/hashing/cell_hasher.h"
@@ -158,6 +159,10 @@ class RobustL0SamplerIW {
   void InsertView(PointView p, uint64_t stream_index);
 
   /// Finds a stored representative within α of p, or RepTable::kNpos.
+  /// Gathers the candidate slots of the whole adjacency neighborhood and
+  /// runs the batched one-to-many kernel over the arena, returning the
+  /// first match in probe order — the same representative (and the same
+  /// per-candidate booleans) as the scalar chain walk it replaced.
   uint32_t FindCandidate(PointView p, const AdjKeyVec& adj_keys) const;
 
   /// Live slots of accepted representatives ordered by rep id (ascending
@@ -185,6 +190,12 @@ class RobustL0SamplerIW {
   // Adjacency scratch with inline capacity: the per-point key buffer
   // lives on the sampler itself, never the heap (ROADMAP item).
   mutable AdjKeyVec adj_scratch_;
+  // FindCandidate gather scratch: table slots and their arena slot
+  // indices for one multi-rep cell bucket. Inline capacity keeps typical
+  // probes allocation-free without bloating the sampler's cache
+  // footprint (longer chains spill to the heap transparently).
+  mutable SmallVector<uint32_t, 16> cand_slots_;
+  mutable SmallVector<uint32_t, 16> cand_arena_;
 };
 
 }  // namespace rl0

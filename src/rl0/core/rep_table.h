@@ -55,6 +55,24 @@ class CellIndex {
   /// Removes `key` (no-op if absent).
   void Erase(uint64_t key);
 
+  /// Prefetches the probe bucket for `key` into cache. The batch
+  /// ingestion paths issue this one stream element ahead, overlapping the
+  /// bucket's memory latency with the current element's distance work.
+  void Prefetch(uint64_t key) const {
+#if defined(__GNUC__)
+    __builtin_prefetch(&buckets_[BucketFor(key)]);
+#endif
+  }
+
+  /// Calls fn(key, head) for every present key, in unspecified order
+  /// (compaction rebuild support).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Bucket& b : buckets_) {
+      if (b.state == kFull) fn(b.key, b.head);
+    }
+  }
+
   /// Number of distinct keys present.
   size_t live() const { return live_; }
 
@@ -99,6 +117,45 @@ class RepTable {
   /// slots, recycles the slot).
   void Remove(uint32_t slot);
 
+  /// \brief Compacts the table: live reps move down to slots [0, live()),
+  /// the arena is repacked in the new slot order, and the CellIndex is
+  /// rebuilt.
+  ///
+  /// Contract (what makes this safe to run mid-stream):
+  ///   * Slot renumbering is monotone — live slots keep their relative
+  ///     order — so every slot-order iteration (queries, snapshots,
+  ///     Refilter scans) visits the same representatives in the same
+  ///     sequence before and after.
+  ///   * Per-cell chain order is preserved link by link: FindCandidate's
+  ///     first-match scan, and with it every sampling decision, is
+  ///     bit-identical to the uncompacted table's.
+  ///   * All externally held slot indices and PointViews are invalidated;
+  ///     callers must not hold either across a call.
+  ///
+  /// Called after refilters/expiry waves that kill many slots: repacking
+  /// restores the arena density the batched distance kernels
+  /// (geom/distance_kernels.h) rely on, and drops the dead slot columns'
+  /// footprint. tests/rep_table_compact_test.cc pins the invariants.
+  void Compact();
+
+  /// Compacts when at least half of the slot columns are dead (and the
+  /// table is big enough for churn to matter). Returns whether it ran.
+  /// The ≥50% trigger means compaction work is amortized O(1) per
+  /// removal. Refilter() calls this after its removal sweep.
+  bool MaybeCompact();
+
+  /// Prefetches the CellIndex bucket of `key` (see CellIndex::Prefetch).
+  void PrefetchCell(uint64_t key) const { index_.Prefetch(key); }
+
+  /// True when the cell index is populated enough that a cold bucket
+  /// load is plausible (cache-resident small tables gain nothing, and
+  /// the batch paths pay a CellKeyOf per issued prefetch).
+  bool PrefetchPays() const { return index_.live() >= kPrefetchMinCells; }
+
+  /// Cell-count gate for PrefetchPays: ~4k live cells ≈ the index plus
+  /// its rep columns no longer fit in a typical L2.
+  static constexpr size_t kPrefetchMinCells = 4096;
+
   /// Number of live representatives.
   size_t live() const { return live_; }
 
@@ -120,6 +177,13 @@ class RepTable {
   PointView point(uint32_t slot) const { return store_.View(point_[slot]); }
   /// Overwrites the rep's coordinates in place (same dimension).
   void set_point(uint32_t slot, PointView p) { store_.Write(point_[slot], p); }
+
+  /// The rep point's *arena* slot index — the coordinate handle the
+  /// batched distance kernels take (kept as a column so the gather loop
+  /// never divides by dim).
+  uint32_t point_arena_slot(uint32_t slot) const {
+    return point_arena_[slot];
+  }
 
   /// Moves the rep to a different cell chain (AbsorbFrom's
   /// earlier-representative-wins rewrite).
@@ -164,6 +228,7 @@ class RepTable {
   std::vector<uint64_t> stream_index_;
   std::vector<uint64_t> cell_key_;
   std::vector<PointRef> point_;
+  std::vector<uint32_t> point_arena_;  // point_'s arena slot index
   std::vector<uint8_t> flags_;
   std::vector<uint32_t> next_in_cell_;
 

@@ -93,15 +93,34 @@ void SwFixedRateSampler::Adopt(GroupRecord&& in) {
 
 uint32_t SwFixedRateSampler::FindCandidate(
     PointView p, const std::vector<uint64_t>& adj_keys) const {
-  // A representative u with d(u, p) ≤ α has cell(u) ∈ adj(p).
+  // A representative u with d(u, p) ≤ α has cell(u) ∈ adj(p). Each
+  // bucket's chain is gathered into a flat slot list and probed with the
+  // batched kernel (single-rep buckets keep the direct scalar check);
+  // probe order, hence every decision, matches the per-rep walk exactly
+  // — see RobustL0SamplerIW::FindCandidate for the full rationale.
   for (uint64_t key : adj_keys) {
-    for (uint32_t slot = table_.CellHead(key); slot != SwGroupTable::kNpos;
-         slot = table_.NextInCell(slot)) {
-      if (MetricWithinDistance(store_->View(table_.rep_ref(slot)), p,
+    const uint32_t head = table_.CellHead(key);
+    if (head == SwGroupTable::kNpos) continue;
+    const uint32_t second = table_.NextInCell(head);
+    if (second == SwGroupTable::kNpos) {
+      if (MetricWithinDistance(store_->View(table_.rep_ref(head)), p,
                                ctx_->options.alpha, ctx_->options.metric)) {
-        return slot;
+        return head;
       }
+      continue;
     }
+    cand_slots_.clear();
+    cand_arena_.clear();
+    for (uint32_t slot = head; slot != SwGroupTable::kNpos;
+         slot = table_.NextInCell(slot)) {
+      cand_slots_.push_back(slot);
+      cand_arena_.push_back(table_.rep_arena_slot(slot));
+    }
+    const size_t hit = FindFirstWithin(*store_, p, cand_arena_.data(),
+                                       cand_arena_.size(),
+                                       ctx_->options.metric,
+                                       ctx_->options.alpha);
+    if (hit != Bitmask::npos) return cand_slots_[hit];
   }
   return SwGroupTable::kNpos;
 }
@@ -149,12 +168,12 @@ InsertOutcome SwFixedRateSampler::InsertPrepared(const PreparedPoint& p) {
 
 bool SwFixedRateSampler::Insert(const Point& p, int64_t stamp) {
   RL0_DCHECK(p.dim() == ctx_->options.dim);
-  ctx_->grid.AdjacentCells(p, ctx_->options.alpha, &adj_scratch_);
   PreparedPoint prep;
   prep.point = &p;
   prep.stamp = stamp;
   prep.stream_index = static_cast<uint64_t>(stamp);
-  prep.cell_key = ctx_->grid.CellKeyOf(p);
+  prep.cell_key = ctx_->grid.AdjacentCellsWithBase(p, ctx_->options.alpha,
+                                                   &adj_scratch_);
   prep.adj_keys = &adj_scratch_;
   return Insert(prep);
 }
@@ -167,6 +186,10 @@ void SwFixedRateSampler::Expire(int64_t now) {
     if (table_.accepted(slot)) --accept_size_;
     table_.Remove(slot);
   }
+  // Repack after big die-offs so the batched probe keeps walking dense
+  // columns (no-op unless ≥50% of the slots are dead; callers never hold
+  // slot indices across Expire).
+  table_.MaybeCompact();
 }
 
 void SwFixedRateSampler::Reset() {

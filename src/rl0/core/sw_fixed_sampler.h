@@ -44,6 +44,7 @@
 #include "rl0/core/sample.h"
 #include "rl0/core/sw_group_table.h"
 #include "rl0/core/windowed_reservoir.h"
+#include "rl0/geom/distance_kernels.h"
 #include "rl0/geom/point_store.h"
 #include "rl0/util/space.h"
 #include "rl0/util/status.h"
@@ -113,8 +114,18 @@ class SwFixedRateSampler {
   bool Insert(const Point& p, int64_t stamp);
 
   /// Drops groups whose latest point left the window at time `now`
-  /// (latest_stamp ≤ now − window).
+  /// (latest_stamp ≤ now − window). Big expiry waves (a stream gap wider
+  /// than the window, a post-promotion Reset) leave mostly-dead slot
+  /// columns behind; those compact via SwGroupTable::MaybeCompact.
   void Expire(int64_t now);
+
+  /// Prefetches the cell bucket of `key` in this level's group table
+  /// (the hierarchy's batch paths issue this one stream element ahead).
+  void PrefetchCell(uint64_t key) const { table_.PrefetchCell(key); }
+
+  /// Whether the prefetch is worth its CellKeyOf cost at this level (see
+  /// SwGroupTable::PrefetchPays).
+  bool PrefetchPays() const { return table_.PrefetchPays(); }
 
   /// Clears all tracked groups (the hierarchy's pruning step).
   void Reset();
@@ -210,6 +221,10 @@ class SwFixedRateSampler {
   SwGroupTable table_;
 
   mutable std::vector<uint64_t> adj_scratch_;
+  // FindCandidate gather scratch (see RobustL0SamplerIW): table slots
+  // and arena slot indices for one multi-rep cell bucket.
+  mutable SmallVector<uint32_t, 16> cand_slots_;
+  mutable SmallVector<uint32_t, 16> cand_arena_;
 };
 
 }  // namespace rl0

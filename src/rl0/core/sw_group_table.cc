@@ -6,6 +6,12 @@
 
 namespace rl0 {
 
+namespace {
+// Mirrors RepTable's threshold (rep_table.cc): below this many slot
+// columns compaction churn outweighs the win.
+constexpr size_t kCompactMinSlots = 64;
+}  // namespace
+
 uint32_t SwGroupTable::AllocateSlot() {
   if (!free_slots_.empty()) {
     const uint32_t slot = free_slots_.back();
@@ -16,6 +22,7 @@ uint32_t SwGroupTable::AllocateSlot() {
   const uint32_t slot = static_cast<uint32_t>(flags_.size());
   id_.push_back(0);
   rep_.push_back(PointRef{});
+  rep_arena_.push_back(0);
   rep_index_.push_back(0);
   rep_cell_.push_back(0);
   latest_.push_back(PointRef{});
@@ -116,6 +123,7 @@ uint32_t SwGroupTable::Add(uint64_t id, PointView point,
   const uint32_t slot = AllocateSlot();
   id_[slot] = id;
   rep_[slot] = store_->Add(point);
+  rep_arena_[slot] = store_->SlotIndexOf(rep_[slot]);
   rep_index_[slot] = stream_index;
   rep_cell_[slot] = cell_key;
   latest_[slot] = store_->Add(point);
@@ -175,6 +183,7 @@ uint32_t SwGroupTable::AdoptMoved(MovedGroup&& g) {
   const uint32_t slot = AllocateSlot();
   id_[slot] = g.id;
   rep_[slot] = g.rep;
+  rep_arena_[slot] = store_->SlotIndexOf(g.rep);
   rep_index_[slot] = g.rep_index;
   rep_cell_[slot] = g.rep_cell;
   latest_[slot] = g.latest;
@@ -186,6 +195,79 @@ uint32_t SwGroupTable::AdoptMoved(MovedGroup&& g) {
   InsertStampSorted(slot);
   ++live_;
   return slot;
+}
+
+bool SwGroupTable::MaybeCompact() {
+  if (flags_.size() < kCompactMinSlots) return false;
+  if (live_ * 2 > flags_.size()) return false;
+  Compact();
+  return true;
+}
+
+void SwGroupTable::Compact() {
+  const size_t slots = flags_.size();
+  if (live_ == slots) return;
+
+  // Monotone old→new map (see RepTable::Compact): relative slot order is
+  // preserved, so slot-order iterations (Sample's target scan,
+  // SnapshotGroups, the split planner) are invariant.
+  std::vector<uint32_t> map(slots, kNpos);
+  uint32_t packed_count = 0;
+  for (uint32_t old = 0; old < slots; ++old) {
+    if (IsLive(old)) map[old] = packed_count++;
+  }
+  const auto remap = [&map](uint32_t slot) {
+    return slot == kNpos ? kNpos : map[slot];
+  };
+
+  std::vector<std::pair<uint64_t, uint32_t>> heads;
+  heads.reserve(cell_index_.live());
+  cell_index_.ForEach([&](uint64_t key, uint32_t head) {
+    heads.emplace_back(key, map[head]);
+  });
+
+  // The arena is shared with the sibling levels of the hierarchy (and the
+  // reservoirs' candidate refs), so only the columns move; every PointRef
+  // stays valid. map[old] ≤ old, so ascending in-place moves are safe.
+  for (uint32_t old = 0; old < slots; ++old) {
+    if (!IsLive(old)) continue;
+    const uint32_t slot = map[old];
+    id_[slot] = id_[old];
+    rep_[slot] = rep_[old];
+    rep_arena_[slot] = rep_arena_[old];
+    rep_index_[slot] = rep_index_[old];
+    rep_cell_[slot] = rep_cell_[old];
+    latest_[slot] = latest_[old];
+    latest_stamp_[slot] = latest_stamp_[old];
+    latest_index_[slot] = latest_index_[old];
+    flags_[slot] = flags_[old];
+    next_in_cell_[slot] = remap(next_in_cell_[old]);
+    stamp_prev_[slot] = remap(stamp_prev_[old]);
+    stamp_next_[slot] = remap(stamp_next_[old]);
+    if (slot != old) reservoir_[slot] = std::move(reservoir_[old]);
+  }
+  stamp_head_ = remap(stamp_head_);
+  stamp_tail_ = remap(stamp_tail_);
+
+  id_.resize(packed_count);
+  rep_.resize(packed_count);
+  rep_arena_.resize(packed_count);
+  rep_index_.resize(packed_count);
+  rep_cell_.resize(packed_count);
+  latest_.resize(packed_count);
+  latest_stamp_.resize(packed_count);
+  latest_index_.resize(packed_count);
+  reservoir_.resize(packed_count);
+  flags_.resize(packed_count);
+  next_in_cell_.resize(packed_count);
+  stamp_prev_.resize(packed_count);
+  stamp_next_.resize(packed_count);
+  free_slots_.clear();
+
+  cell_index_ = CellIndex();
+  for (const auto& entry : heads) {
+    cell_index_.SetHead(entry.first, entry.second);
+  }
 }
 
 void SwGroupTable::Clear() {

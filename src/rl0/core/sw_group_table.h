@@ -107,6 +107,32 @@ class SwGroupTable {
   /// step). Keeps column capacity.
   void Clear();
 
+  /// Compacts the slot columns: live groups move down to [0, live()),
+  /// both intrusive structures (cell chains, stamp list) are remapped
+  /// link by link, and the CellIndex is rebuilt. Same contract as
+  /// RepTable::Compact — the renumbering is monotone, so slot-order
+  /// iteration and per-cell chain order are invariant — EXCEPT that the
+  /// shared arena is NOT repacked: the PointStore is owned by the whole
+  /// hierarchy (all levels plus their reservoirs hold refs into it), so a
+  /// single level's table must not move arena slots. Externally held slot
+  /// indices are invalidated.
+  void Compact();
+
+  /// Compacts when ≥50% of the slot columns are dead and the table is
+  /// big enough to matter (expiry waves after a stream gap are the usual
+  /// trigger). Returns whether it ran.
+  bool MaybeCompact();
+
+  /// Prefetches the CellIndex bucket of `key` (batch-ingestion paths
+  /// issue this one stream element ahead).
+  void PrefetchCell(uint64_t key) const { cell_index_.Prefetch(key); }
+
+  /// True when the cell index is populated enough for a cold bucket load
+  /// to be plausible (same gate as RepTable::PrefetchPays).
+  bool PrefetchPays() const {
+    return cell_index_.live() >= RepTable::kPrefetchMinCells;
+  }
+
   // ------------------------------------------------------------- queries
 
   size_t live() const { return live_; }
@@ -116,6 +142,9 @@ class SwGroupTable {
 
   uint64_t id(uint32_t slot) const { return id_[slot]; }
   PointRef rep_ref(uint32_t slot) const { return rep_[slot]; }
+  /// The representative's arena slot index — the handle the batched
+  /// distance kernels take (column-cached; no division on the gather).
+  uint32_t rep_arena_slot(uint32_t slot) const { return rep_arena_[slot]; }
   uint64_t rep_index(uint32_t slot) const { return rep_index_[slot]; }
   uint64_t rep_cell(uint32_t slot) const { return rep_cell_[slot]; }
   bool accepted(uint32_t slot) const {
@@ -156,6 +185,7 @@ class SwGroupTable {
 
   std::vector<uint64_t> id_;
   std::vector<PointRef> rep_;
+  std::vector<uint32_t> rep_arena_;  // rep_'s arena slot index
   std::vector<uint64_t> rep_index_;
   std::vector<uint64_t> rep_cell_;
   std::vector<PointRef> latest_;

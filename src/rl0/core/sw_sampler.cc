@@ -47,7 +47,23 @@ void RobustL0SamplerSW::InsertGlobal(const Point& p, uint64_t global_index) {
 void RobustL0SamplerSW::InsertStrided(Span<const Point> points, size_t start,
                                       size_t stride, uint64_t index_base) {
   RL0_DCHECK(stride > 0);
-  for (size_t i = start; i < points.size(); i += stride) {
+  const size_t n = points.size();
+  // Gate decided once per chunk (the prefetch costs a CellKeyOf per
+  // element and only pays on out-of-cache indexes); the common loop
+  // stays free of the hint entirely.
+  if (levels_.back()->PrefetchPays()) {
+    for (size_t i = start; i < n; i += stride) {
+      if (i + stride < n) {
+        // Warm the first bucket the next element will probe (the top
+        // level is fed first in the Algorithm 3 descent).
+        levels_.back()->PrefetchCell(
+            ctx_->grid.CellKeyOf(points[i + stride]));
+      }
+      InsertGlobal(points[i], index_base + i);
+    }
+    return;
+  }
+  for (size_t i = start; i < n; i += stride) {
     InsertGlobal(points[i], index_base + i);
   }
 }
@@ -63,8 +79,9 @@ void RobustL0SamplerSW::InsertStamped(const Point& p, int64_t stamp,
   prep.point = &p;
   prep.stamp = stamp;
   prep.stream_index = stream_index;
-  prep.cell_key = ctx_->grid.CellKeyOf(p);
-  ctx_->grid.AdjacentCells(p, ctx_->options.alpha, &adj_scratch_);
+  // Fused pass: the adjacency search also yields cell(p)'s key.
+  prep.cell_key = ctx_->grid.AdjacentCellsWithBase(p, ctx_->options.alpha,
+                                                   &adj_scratch_);
   prep.adj_keys = &adj_scratch_;
 
   // Algorithm 3 lines 5-18: feed top-down and stop at the highest level
@@ -92,6 +109,16 @@ void RobustL0SamplerSW::Insert(const Point& p) {
 }
 
 void RobustL0SamplerSW::InsertBatch(Span<const Point> points) {
+  const size_t n = points.size();
+  if (levels_.back()->PrefetchPays()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i + 1 < n) {
+        levels_.back()->PrefetchCell(ctx_->grid.CellKeyOf(points[i + 1]));
+      }
+      Insert(points[i], static_cast<int64_t>(points_processed_));
+    }
+    return;
+  }
   for (const Point& p : points) {
     Insert(p, static_cast<int64_t>(points_processed_));
   }

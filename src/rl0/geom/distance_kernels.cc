@@ -1,0 +1,232 @@
+#include "rl0/geom/distance_kernels.h"
+
+#include <cmath>
+
+#include "rl0/util/check.h"
+
+// The vector body is compiled per-function via the target attribute, so
+// the library keeps its portable baseline ISA; RL0_NO_SIMD removes the
+// body entirely (the compile-time escape hatch, exercised in CI).
+#if !defined(RL0_NO_SIMD) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define RL0_DISTANCE_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace rl0 {
+
+void DistanceOneToManyScalar(const PointStore& store, PointView q,
+                             const uint32_t* slots, size_t n, Metric metric,
+                             double radius, Bitmask* out) {
+  RL0_DCHECK(q.dim() == store.dim());
+  out->Reset(n);
+  const double* base = store.raw();
+  const size_t dim = store.dim();
+  for (size_t i = 0; i < n; ++i) {
+    const PointView c(base + size_t{slots[i]} * dim, dim);
+    if (MetricWithinDistance(c, q, radius, metric)) out->Set(i);
+  }
+}
+
+#if RL0_DISTANCE_KERNELS_X86
+
+namespace {
+
+bool Avx2Supported() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+// The ≤-bound lane mask (bits 0..3) for one block of four candidates.
+// One lane per candidate, axes swept sequentially: each lane performs the
+// scalar loop's operations in the scalar loop's order, so the lane result
+// is bit-identical to MetricWithinDistance (header contract). Explicit
+// multiply-then-add — do not replace with _mm256_fmadd_pd unless the
+// scalar path in geom/point.cc is fused in the same change.
+//
+// `bound` is radius² for L2 (exactly as WithinDistance compares), the
+// radius itself for L1/L∞. Per-axis contributions are non-negative, so
+// once every lane's accumulator exceeds the bound the block's verdict is
+// final: the early-out (checked every 8 axes, amortizing the movemask)
+// can only skip work, never flip a decision.
+__attribute__((target("avx2"))) inline int BlockMask4(
+    const double* base, size_t dim, const double* q, const uint32_t* slots,
+    Metric metric, __m256d vbound) {
+  const double* c0 = base + size_t{slots[0]} * dim;
+  const double* c1 = base + size_t{slots[1]} * dim;
+  const double* c2 = base + size_t{slots[2]} * dim;
+  const double* c3 = base + size_t{slots[3]} * dim;
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d acc = _mm256_setzero_pd();
+  if (metric == Metric::kL2) {
+    for (size_t k = 0; k < dim; ++k) {
+      const __m256d qk = _mm256_broadcast_sd(q + k);
+      const __m256d ck = _mm256_set_pd(c3[k], c2[k], c1[k], c0[k]);
+      const __m256d diff = _mm256_sub_pd(ck, qk);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+      if ((k & 7) == 7 && k + 1 < dim &&
+          _mm256_movemask_pd(_mm256_cmp_pd(acc, vbound, _CMP_GT_OQ)) == 0xF) {
+        return 0;
+      }
+    }
+  } else if (metric == Metric::kL1) {
+    for (size_t k = 0; k < dim; ++k) {
+      const __m256d qk = _mm256_broadcast_sd(q + k);
+      const __m256d ck = _mm256_set_pd(c3[k], c2[k], c1[k], c0[k]);
+      const __m256d diff = _mm256_sub_pd(ck, qk);
+      acc = _mm256_add_pd(acc, _mm256_andnot_pd(sign, diff));
+      if ((k & 7) == 7 && k + 1 < dim &&
+          _mm256_movemask_pd(_mm256_cmp_pd(acc, vbound, _CMP_GT_OQ)) == 0xF) {
+        return 0;
+      }
+    }
+  } else {  // kLinf: running max instead of a sum, same early-out logic.
+    for (size_t k = 0; k < dim; ++k) {
+      const __m256d qk = _mm256_broadcast_sd(q + k);
+      const __m256d ck = _mm256_set_pd(c3[k], c2[k], c1[k], c0[k]);
+      const __m256d diff = _mm256_sub_pd(ck, qk);
+      acc = _mm256_max_pd(acc, _mm256_andnot_pd(sign, diff));
+      if ((k & 7) == 7 && k + 1 < dim &&
+          _mm256_movemask_pd(_mm256_cmp_pd(acc, vbound, _CMP_GT_OQ)) == 0xF) {
+        return 0;
+      }
+    }
+  }
+  // Ordered compare: NaN lanes report "outside", as scalar <= does.
+  return _mm256_movemask_pd(_mm256_cmp_pd(acc, vbound, _CMP_LE_OQ));
+}
+
+__attribute__((target("avx2"))) void OneToManyAvx2(
+    const double* base, size_t dim, const double* q, const uint32_t* slots,
+    size_t n, Metric metric, double radius, Bitmask* out) {
+  const double bound = metric == Metric::kL2 ? radius * radius : radius;
+  const __m256d vbound = _mm256_set1_pd(bound);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = BlockMask4(base, dim, q, slots + i, metric, vbound);
+    if (mask & 1) out->Set(i + 0);
+    if (mask & 2) out->Set(i + 1);
+    if (mask & 4) out->Set(i + 2);
+    if (mask & 8) out->Set(i + 3);
+  }
+  // Remainder lanes (n mod 4): the scalar loop itself.
+  const PointView qv(q, dim);
+  for (; i < n; ++i) {
+    const PointView c(base + size_t{slots[i]} * dim, dim);
+    if (MetricWithinDistance(c, qv, radius, metric)) out->Set(i);
+  }
+}
+
+__attribute__((target("avx2"))) size_t FindFirstAvx2(
+    const double* base, size_t dim, const double* q, const uint32_t* slots,
+    size_t n, Metric metric, double radius) {
+  const double bound = metric == Metric::kL2 ? radius * radius : radius;
+  const __m256d vbound = _mm256_set1_pd(bound);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = BlockMask4(base, dim, q, slots + i, metric, vbound);
+    if (mask != 0) return i + static_cast<size_t>(__builtin_ctz(mask));
+  }
+  const PointView qv(q, dim);
+  for (; i < n; ++i) {
+    const PointView c(base + size_t{slots[i]} * dim, dim);
+    if (MetricWithinDistance(c, qv, radius, metric)) return i;
+  }
+  return Bitmask::npos;
+}
+
+// Four axes per iteration; lane ops (sub, div, floor, mul, add) are each
+// exactly rounded, so every lane reproduces the scalar axis bit for bit.
+// int64 conversion happens on the stored (integral) floor results — the
+// same double→int64 cast the scalar loop performs.
+__attribute__((target("avx2"))) void QuantizeAxesAvx2(
+    const double* p, const double* offset, size_t dim, double side,
+    int64_t* base, double* scaled) {
+  const __m256d vside = _mm256_set1_pd(side);
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d vp = _mm256_loadu_pd(p + i);
+    const __m256d vo = _mm256_loadu_pd(offset + i);
+    const __m256d f =
+        _mm256_floor_pd(_mm256_div_pd(_mm256_sub_pd(vp, vo), vside));
+    const __m256d lo = _mm256_add_pd(vo, _mm256_mul_pd(f, vside));
+    _mm256_storeu_pd(scaled + i, _mm256_sub_pd(vp, lo));
+    alignas(32) double fd[4];
+    _mm256_store_pd(fd, f);
+    base[i + 0] = static_cast<int64_t>(fd[0]);
+    base[i + 1] = static_cast<int64_t>(fd[1]);
+    base[i + 2] = static_cast<int64_t>(fd[2]);
+    base[i + 3] = static_cast<int64_t>(fd[3]);
+  }
+  for (; i < dim; ++i) {
+    const int64_t b =
+        static_cast<int64_t>(std::floor((p[i] - offset[i]) / side));
+    base[i] = b;
+    scaled[i] = p[i] - (offset[i] + static_cast<double>(b) * side);
+  }
+}
+
+}  // namespace
+
+#endif  // RL0_DISTANCE_KERNELS_X86
+
+const char* DistanceKernelDispatch() {
+#if RL0_DISTANCE_KERNELS_X86
+  return Avx2Supported() ? "avx2" : "scalar";
+#else
+  return "scalar";
+#endif
+}
+
+void DistanceOneToMany(const PointStore& store, PointView q,
+                       const uint32_t* slots, size_t n, Metric metric,
+                       double radius, Bitmask* out) {
+#if RL0_DISTANCE_KERNELS_X86
+  if (Avx2Supported()) {
+    RL0_DCHECK(q.dim() == store.dim());
+    out->Reset(n);
+    OneToManyAvx2(store.raw(), store.dim(), q.data(), slots, n, metric,
+                  radius, out);
+    return;
+  }
+#endif
+  DistanceOneToManyScalar(store, q, slots, n, metric, radius, out);
+}
+
+void QuantizeAxes(const double* p, const double* offset, size_t dim,
+                  double side, int64_t* base, double* scaled) {
+#if RL0_DISTANCE_KERNELS_X86
+  if (Avx2Supported()) {
+    QuantizeAxesAvx2(p, offset, dim, side, base, scaled);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < dim; ++i) {
+    const int64_t b =
+        static_cast<int64_t>(std::floor((p[i] - offset[i]) / side));
+    base[i] = b;
+    scaled[i] = p[i] - (offset[i] + static_cast<double>(b) * side);
+  }
+}
+
+size_t FindFirstWithin(const PointStore& store, PointView q,
+                       const uint32_t* slots, size_t n, Metric metric,
+                       double radius) {
+  RL0_DCHECK(q.dim() == store.dim());
+#if RL0_DISTANCE_KERNELS_X86
+  if (Avx2Supported()) {
+    return FindFirstAvx2(store.raw(), store.dim(), q.data(), slots, n,
+                         metric, radius);
+  }
+#endif
+  // Scalar body: the samplers' original early-exit chain walk.
+  const double* base = store.raw();
+  const size_t dim = store.dim();
+  for (size_t i = 0; i < n; ++i) {
+    const PointView c(base + size_t{slots[i]} * dim, dim);
+    if (MetricWithinDistance(c, q, radius, metric)) return i;
+  }
+  return Bitmask::npos;
+}
+
+}  // namespace rl0

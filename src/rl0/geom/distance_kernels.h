@@ -1,0 +1,196 @@
+// Batched, SIMD-friendly distance evaluation over the PointStore arena.
+//
+// Algorithm 1's per-point cost is dominated by the FindCandidate probe:
+// adjacent-cell lookups followed by exact distance checks against stored
+// representatives (the (α,β)-robustness gap forces real distance
+// evaluations — unlike classic L0 samplers, hashing alone cannot decide
+// group membership). The samplers used to walk each cell chain calling
+// MetricWithinDistance once per representative: one pointer resolve, one
+// scalar distance loop, one compare, per candidate.
+//
+// This header batches that: the caller gathers the candidate arena slots
+// of a whole adjacency neighborhood into a flat uint32_t list and calls
+// DistanceOneToMany once. Because every stored point of a sampler family
+// lives in one PointStore (fixed-size slots in a single flat double
+// buffer, see point_store.h), candidate i's coordinates are simply
+//
+//   store.raw() + slots[i] * store.dim()
+//
+// and the kernel can process four candidates per AVX2 vector — one lane
+// per candidate, sweeping the axes sequentially — with a squared-distance
+// early-out once every lane of a block has already exceeded the radius.
+//
+// ## The bit-identical-decisions contract
+//
+// The batched kernel is REQUIRED to return, for every candidate, exactly
+// the boolean MetricWithinDistance(store.View(slot), q, radius, metric)
+// would return — not an approximation of it. The differential tests pin
+// the samplers' accept/reject trajectories against the legacy map-based
+// implementations, and those trajectories flow through these comparisons.
+// The contract is kept by construction:
+//
+//   * Lane-per-candidate layout: each lane accumulates its candidate's
+//     distance over the axes in the same order, with the same operations
+//     (subtract, multiply, add — or abs/max for L1/L∞), as the scalar
+//     loop in geom/point.cc. No cross-lane or in-lane reassociation.
+//   * No FMA contraction: the kernel uses explicit multiply-then-add, and
+//     the build compiles the library with -ffp-contract=off (see
+//     CMakeLists.txt) so the scalar path cannot be contracted either.
+//     The loops are laid out FMA-friendly; switching both paths to fused
+//     ops together would preserve the contract, fusing one side alone
+//     would not.
+//   * The early-out never changes a decision: per-axis contributions are
+//     non-negative, so a partial sum (or running max) that already
+//     exceeds the radius bound can only grow.
+//   * (x−y)² , |x−y| and max-folds are sign-symmetric, so operand order
+//     per axis is immaterial at the bit level.
+//
+// tests/distance_kernel_test.cc verifies the contract over randomized
+// batches (dims 1/2/5/20/64, exact-boundary radii) for both dispatch
+// paths.
+//
+// ## Dispatch rules
+//
+//   * Default build: DistanceOneToMany dispatches at runtime — AVX2 lanes
+//     when __builtin_cpu_supports("avx2") says so (checked once), the
+//     scalar loop otherwise. No -mavx2 global flag is needed: the vector
+//     body is compiled per-function via the GCC/Clang target attribute.
+//   * -DRL0_NO_SIMD=ON (compile-time escape hatch): the vector body is
+//     not built at all and DistanceOneToMany aliases the scalar loop.
+//     CI keeps this configuration green.
+//   * Non-x86 or non-GNU toolchains: scalar loop, same as RL0_NO_SIMD.
+//
+// DistanceKernelDispatch() reports which path DistanceOneToMany resolves
+// to ("avx2" or "scalar"); benchmarks record it so throughput
+// trajectories are comparable across machines (docs/BENCHMARKS.md).
+
+#ifndef RL0_GEOM_DISTANCE_KERNELS_H_
+#define RL0_GEOM_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rl0/geom/metric.h"
+#include "rl0/geom/point.h"
+#include "rl0/geom/point_store.h"
+#include "rl0/util/small_vector.h"
+
+namespace rl0 {
+
+/// Per-candidate result bits of a batched distance evaluation. Bit i is
+/// set iff candidate i passed the threshold test. Inline storage covers
+/// 256 candidates (far beyond any adjacency neighborhood the samplers
+/// probe); larger batches spill to the heap transparently.
+class Bitmask {
+ public:
+  static constexpr size_t npos = ~size_t{0};
+
+  /// Clears and resizes to `bits` bits, all zero.
+  void Reset(size_t bits) {
+    bits_ = bits;
+    words_.clear();
+    const size_t words = (bits + 63) / 64;
+    words_.reserve(words);
+    for (size_t i = 0; i < words; ++i) words_.push_back(0);
+  }
+
+  size_t size() const { return bits_; }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Index of the first set bit, or npos. Candidates are gathered in
+  /// probe order (adjacent keys outer, cell chain inner), so this is
+  /// exactly the representative the scalar first-match scan would pick.
+  size_t FindFirst() const {
+    const size_t words = words_.size();
+    for (size_t w = 0; w < words; ++w) {
+      if (words_[w] != 0) {
+        const size_t bit = w * 64 + CountTrailingZeros(words_[w]);
+        return bit < bits_ ? bit : npos;
+      }
+    }
+    return npos;
+  }
+
+  /// Number of set bits (tests / introspection).
+  size_t Count() const {
+    size_t n = 0;
+    for (size_t i = 0; i < bits_; ++i) n += Test(i);
+    return n;
+  }
+
+ private:
+  static size_t CountTrailingZeros(uint64_t w) {
+#if defined(__GNUC__)
+    return static_cast<size_t>(__builtin_ctzll(w));
+#else
+    size_t n = 0;
+    while ((w & 1) == 0) {
+      w >>= 1;
+      ++n;
+    }
+    return n;
+#endif
+  }
+
+  SmallVector<uint64_t, 4> words_;
+  size_t bits_ = 0;
+};
+
+/// Batched threshold test: sets out bit i iff the `metric` distance
+/// between q and the stored point in arena slot slots[i] is ≤ radius —
+/// bit-for-bit the result of MetricWithinDistance(store.View(ref), q,
+/// radius, metric) for each candidate (see the contract above). `out` is
+/// Reset to n bits first. Requires q.dim() == store.dim() and every
+/// slots[i] < store.capacity_slots() referring to a live slot.
+///
+/// Dispatches to the AVX2 body when available (see the dispatch rules
+/// above); equivalent to DistanceOneToManyScalar in all cases.
+void DistanceOneToMany(const PointStore& store, PointView q,
+                       const uint32_t* slots, size_t n, Metric metric,
+                       double radius, Bitmask* out);
+
+/// The portable reference body: one MetricWithinDistance call per
+/// candidate. Always available; public so the equivalence test (and any
+/// caller that wants deterministic code identity across machines) can
+/// invoke it directly.
+void DistanceOneToManyScalar(const PointStore& store, PointView q,
+                             const uint32_t* slots, size_t n, Metric metric,
+                             double radius, Bitmask* out);
+
+/// Index (in gather order) of the first candidate within `radius` of q,
+/// or Bitmask::npos — the batched form of the samplers' first-match
+/// probe. Lanes are tested four at a time in gather order and the scan
+/// returns at the first block containing a hit, so at most three
+/// candidates past the match are evaluated; distance checks are pure, so
+/// the overshoot is unobservable and the returned index — hence every
+/// sampling decision — equals the scalar early-exit walk's. Dispatch
+/// rules as DistanceOneToMany; the scalar body IS the early-exit walk.
+size_t FindFirstWithin(const PointStore& store, PointView q,
+                       const uint32_t* slots, size_t n, Metric metric,
+                       double radius);
+
+/// Vectorized grid quantization: per axis i,
+///   base[i]   = floor((p[i] - offset[i]) / side)   (as int64), and
+///   scaled[i] = p[i] - (offset[i] + double(base[i]) * side).
+/// This is the per-point prologue of every cell assignment and adjacency
+/// search (grid/random_grid.cc) — dim divisions that the samplers pay per
+/// stream element. Axes are independent lanes, and every lane operation
+/// (subtract, divide, floor, multiply, add) is exactly rounded IEEE, so
+/// the vector path is bit-identical to the scalar loop by construction —
+/// no contract subtleties, unlike the accumulating distance loops above.
+/// Dispatch rules as DistanceOneToMany.
+void QuantizeAxes(const double* p, const double* offset, size_t dim,
+                  double side, int64_t* base, double* scaled);
+
+/// The path DistanceOneToMany resolves to on this machine and build:
+/// "avx2" or "scalar". Stable strings — recorded in bench JSON.
+const char* DistanceKernelDispatch();
+
+}  // namespace rl0
+
+#endif  // RL0_GEOM_DISTANCE_KERNELS_H_

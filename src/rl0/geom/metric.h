@@ -27,9 +27,21 @@ const char* MetricName(Metric metric);
 /// Distance between a and b under `metric`. Requires equal dimensions.
 /// View-based: owning Points convert implicitly, arena-backed points pass
 /// their PointStore views straight through (no materialization).
+///
+/// \note These scalar loops are the *reference semantics* for the batched
+/// kernels in geom/distance_kernels.h: contributions are accumulated in
+/// axis order with plain multiply-then-add (the build pins
+/// -ffp-contract=off so the compiler cannot fuse them), and the vector
+/// paths replicate that operation sequence lane by lane. Changing the
+/// accumulation here without changing the kernels in lockstep breaks the
+/// bit-identical-decisions contract the differential tests pin.
 double MetricDistance(PointView a, PointView b, Metric metric);
 
 /// True iff the `metric` distance between a and b is ≤ radius.
+/// For kL2 the comparison is squared-distance ≤ radius² (no square root);
+/// the batched kernels compare against the identical bound, so a batched
+/// verdict equals this predicate bit for bit (see the contract in
+/// geom/distance_kernels.h).
 bool MetricWithinDistance(PointView a, PointView b, double radius,
                           Metric metric);
 

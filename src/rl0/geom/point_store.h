@@ -68,6 +68,18 @@ class PointStore {
     return PointView(coords_.data() + ref.offset, ref.dim);
   }
 
+  /// The flat coordinate buffer. Slot i's coordinates start at
+  /// raw() + i * dim(); the batched distance kernels
+  /// (geom/distance_kernels.h) address candidates this way. Invalidated
+  /// by Add/Allocate like any view.
+  const double* raw() const { return coords_.data(); }
+
+  /// The arena slot index of `ref` (offsets are always slot-aligned:
+  /// every slot in a store spans exactly dim() doubles).
+  uint32_t SlotIndexOf(PointRef ref) const {
+    return static_cast<uint32_t>(ref.offset / dim_);
+  }
+
   /// Returns the slot at `ref` to the free list. The ref (and any copies
   /// of it) must not be used afterwards.
   void Release(PointRef ref);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rl0/geom/distance_kernels.h"
 #include "rl0/util/check.h"
 #include "rl0/util/rng.h"
 
@@ -10,6 +11,24 @@ namespace rl0 {
 
 namespace {
 thread_local uint64_t g_dfs_nodes = 0;
+
+// Per-point adjacency scratch, one struct so the hot path pays a single
+// thread-local address computation instead of four.
+struct AdjScratch {
+  std::vector<int64_t> base;
+  std::vector<double> scaled;
+  std::vector<uint64_t> mix0;
+  std::vector<uint8_t> free_axis;
+  void Resize(size_t dim, bool screened) {
+    base.resize(dim);
+    scaled.resize(dim);
+    if (screened) {
+      mix0.resize(dim);
+      free_axis.resize(dim);
+    }
+  }
+};
+thread_local AdjScratch g_adj_scratch;
 }  // namespace
 
 RandomGrid::RandomGrid(size_t dim, double side, uint64_t seed, Metric metric)
@@ -134,68 +153,131 @@ void RandomGrid::AdjacentCellCoords(PointView p, double alpha,
 
 // Hot-path adjacency: identical output to the coordinate DFS (the same
 // per-axis moves and pruning), but no CellCoord materialization — the
-// per-axis scratch lives in thread-local buffers and the cell keys are
-// folded incrementally along the search path (DfsKeys).
+// per-axis scratch lives in thread-local buffers, quantization runs
+// through the vectorized QuantizeAxes kernel (bit-identical to the scalar
+// loop, see geom/distance_kernels.h), and the cell keys are folded
+// incrementally along the search path (DfsKeys). The prologue also marks
+// which axes can branch at all (free_axis): an axis whose ±1 moves
+// already exceed the budget at zero accumulated distance can never
+// deviate on any path (accumulators are monotone), so the DFS folds it
+// inline — at high dimension that is nearly every axis.
 template <typename KeyVec>
-void RandomGrid::AdjacentCellsImpl(PointView p, double alpha,
-                                   KeyVec* out) const {
+uint64_t RandomGrid::AdjacentCellsImpl(PointView p, double alpha,
+                                       KeyVec* out) const {
   RL0_DCHECK(p.dim() == dim_);
   RL0_DCHECK(alpha > 0.0);
   out->clear();
   g_dfs_nodes = 0;
-  thread_local std::vector<int64_t> base;
-  thread_local std::vector<double> scaled;
-  base.resize(dim_);
-  scaled.resize(dim_);
-  for (size_t i = 0; i < dim_; ++i) {
-    base[i] = static_cast<int64_t>(std::floor((p[i] - offset_[i]) / side_));
-    const double lo = offset_[i] + static_cast<double>(base[i]) * side_;
-    scaled[i] = p[i] - lo;  // in [0, side)
+  const bool screened = dim_ >= kScreenMinDim;
+  AdjScratch& scratch = g_adj_scratch;
+  scratch.Resize(dim_, screened);
+  int64_t* base = scratch.base.data();
+  double* scaled = scratch.scaled.data();
+  uint64_t* mix0 = scratch.mix0.data();
+  uint8_t* free_axis = scratch.free_axis.data();
+  if (dim_ >= 4) {
+    QuantizeAxes(p.data(), offset_.data(), dim_, side_, base, scaled);
+  } else {
+    // Below a vector's width the dispatch call costs more than it saves.
+    for (size_t i = 0; i < dim_; ++i) {
+      base[i] = static_cast<int64_t>(std::floor((p[i] - offset_[i]) / side_));
+      scaled[i] = p[i] - (offset_[i] + static_cast<double>(base[i]) * side_);
+    }
   }
   const double budget = metric_ == Metric::kL2 ? alpha * alpha : alpha;
-  DfsKeys(base.data(), scaled.data(), budget, 0, 0.0, CellKeySeed(dim_),
-          out);
+  const DfsCtx<KeyVec> ctx{base, mix0, free_axis, scaled, budget, out};
+  if (screened) {
+    for (size_t i = 0; i < dim_; ++i) {
+      mix0[i] = SplitMix64(static_cast<uint64_t>(base[i]));
+      // The o = ±1 first-step distances, written exactly as the DFS loop
+      // entries compute them (o = -1 and o = +1 below) so the feasibility
+      // screen matches the in-search pruning bit for bit at acc = 0.
+      const double dneg = scaled[i] + (1.0 - 1.0) * side_;
+      const double dpos = 1.0 * side_ - scaled[i];
+      free_axis[i] = Accumulate(0.0, dneg) <= budget ||
+                     Accumulate(0.0, dpos) <= budget;
+    }
+    DfsKeys<true>(ctx, 0, 0.0, CellKeySeed(dim_));
+  } else {
+    // Low dimension with side ≤ d·α: nearly every axis can branch (at
+    // d = 2, provably every axis), so the screen, the memoized mix and
+    // the per-node check would be pure overhead — this instantiation is
+    // the plain recursion, untouched.
+    DfsKeys<false>(ctx, 0, 0.0, CellKeySeed(dim_));
+  }
+  // The zero-offset path is unprunable and explored first: (*out)[0] is
+  // the key of cell(p) itself, before the deterministic sort.
+  const uint64_t base_key = (*out)[0];
   std::sort(out->begin(), out->end());
+  return base_key;
 }
 
 void RandomGrid::AdjacentCells(PointView p, double alpha,
                                std::vector<uint64_t>* out) const {
-  AdjacentCellsImpl(p, alpha, out);
+  (void)AdjacentCellsImpl(p, alpha, out);
 }
 
 void RandomGrid::AdjacentCells(PointView p, double alpha,
                                AdjKeyVec* out) const {
-  AdjacentCellsImpl(p, alpha, out);
+  (void)AdjacentCellsImpl(p, alpha, out);
 }
 
-template <typename KeyVec>
-void RandomGrid::DfsKeys(const int64_t* base, const double* scaled,
-                         double budget, size_t axis, double acc,
-                         uint64_t hash, KeyVec* out) const {
-  ++g_dfs_nodes;
+uint64_t RandomGrid::AdjacentCellsWithBase(PointView p, double alpha,
+                                           AdjKeyVec* out) const {
+  return AdjacentCellsImpl(p, alpha, out);
+}
+
+uint64_t RandomGrid::AdjacentCellsWithBase(PointView p, double alpha,
+                                           std::vector<uint64_t>* out) const {
+  return AdjacentCellsImpl(p, alpha, out);
+}
+
+template <bool kScreened, typename KeyVec>
+void RandomGrid::DfsKeys(const DfsCtx<KeyVec>& ctx, size_t axis, double acc,
+                         uint64_t hash) const {
+  // Fixed axes cannot branch on any path (their ±1 moves bust the budget
+  // even from acc = 0, and accumulators only grow): fold them inline.
+  // Node accounting matches the plain recursion one-to-one — one node
+  // per axis step plus one per emitted key.
+  if (kScreened) {
+    while (axis < dim_ && !ctx.free_axis[axis]) {
+      ++g_dfs_nodes;
+      hash = SplitMix64(hash ^ ctx.mix0[axis]);  // == CellKeyCombine(·, base)
+      ++axis;
+    }
+  }
   if (axis == dim_) {
-    out->push_back(hash);
+    ++g_dfs_nodes;
+    ctx.out->push_back(hash);
     return;
   }
-  const double frac = scaled[axis];
-  // Offset 0 first: zero added distance.
-  DfsKeys(base, scaled, budget, axis + 1, acc,
-          CellKeyCombine(hash, base[axis]), out);
+  ++g_dfs_nodes;
+  const double frac = ctx.scaled[axis];
+  // Offset 0 first: zero added distance. The screened build reuses the
+  // memoized inner mix (== CellKeyCombine(hash, base[axis]) bit for bit);
+  // the unscreened build has no mix0 column and folds directly.
+  if constexpr (kScreened) {
+    DfsKeys<kScreened>(ctx, axis + 1, acc,
+                       SplitMix64(hash ^ ctx.mix0[axis]));
+  } else {
+    DfsKeys<kScreened>(ctx, axis + 1, acc,
+                       CellKeyCombine(hash, ctx.base[axis]));
+  }
   // Negative offsets: distance grows with |o|; stop at the first prune.
   for (int64_t o = -1;; --o) {
     const double d = frac + (static_cast<double>(-o) - 1.0) * side_;
     const double next = Accumulate(acc, d);
-    if (next > budget) break;
-    DfsKeys(base, scaled, budget, axis + 1, next,
-            CellKeyCombine(hash, base[axis] + o), out);
+    if (next > ctx.budget) break;
+    DfsKeys<kScreened>(ctx, axis + 1, next,
+            CellKeyCombine(hash, ctx.base[axis] + o));
   }
   // Positive offsets.
   for (int64_t o = 1;; ++o) {
     const double d = static_cast<double>(o) * side_ - frac;
     const double next = Accumulate(acc, d);
-    if (next > budget) break;
-    DfsKeys(base, scaled, budget, axis + 1, next,
-            CellKeyCombine(hash, base[axis] + o), out);
+    if (next > ctx.budget) break;
+    DfsKeys<kScreened>(ctx, axis + 1, next,
+            CellKeyCombine(hash, ctx.base[axis] + o));
   }
 }
 

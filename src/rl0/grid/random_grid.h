@@ -80,6 +80,15 @@ class RandomGrid {
   /// the sampler hot paths use. Identical keys and order.
   void AdjacentCells(PointView p, double alpha, AdjKeyVec* out) const;
 
+  /// As AdjacentCells, and additionally returns the key of cell(p) itself
+  /// — bitwise CellKeyOf(p), read off the search's zero-offset path for
+  /// free. The samplers' insert paths need both every element; fusing the
+  /// two saves a full per-axis quantize-and-fold pass per point.
+  uint64_t AdjacentCellsWithBase(PointView p, double alpha,
+                                 AdjKeyVec* out) const;
+  uint64_t AdjacentCellsWithBase(PointView p, double alpha,
+                                 std::vector<uint64_t>* out) const;
+
   /// As AdjacentCells but returns coordinates (used by tests/baselines).
   void AdjacentCellCoords(PointView p, double alpha,
                           std::vector<CellCoord>* out) const;
@@ -110,15 +119,44 @@ class RandomGrid {
   /// instead of materializing CellCoord vectors it threads the partial
   /// cell-key hash (CellKeySeed/CellKeyCombine fold) down the search tree
   /// and emits finished 64-bit keys directly. Produces exactly the keys
-  /// of DfsSearch + CellKeyOf. KeyVec is std::vector<uint64_t> or
-  /// AdjKeyVec (both instantiated in random_grid.cc).
+  /// of DfsSearch + CellKeyOf. Two hot-path refinements over the literal
+  /// recursion (bit-identical key set, same visited-node accounting):
+  ///   * runs of *fixed* axes — axes whose ±1 moves already exceed the
+  ///     budget at zero accumulated distance (`free_axis[i] == 0`), so no
+  ///     path can ever branch there — fold inline instead of recursing;
+  ///     at high dimension nearly every axis is fixed, which turns the
+  ///     recursion into a short loop over the few branchable axes;
+  ///   * `mix0[i]` memoizes the inner coordinate mix of the zero-offset
+  ///     fold (CellKeyCombine's SplitMix64(base[i]) half), the fold every
+  ///     path performs for every fixed axis.
+  /// KeyVec is std::vector<uint64_t> or AdjKeyVec (both instantiated in
+  /// random_grid.cc). The per-point invariants travel in one context
+  /// struct so the recursion's live arguments (axis, acc, hash) stay in
+  /// registers. `kScreened` selects the fixed-run collapse: only
+  /// dimensions ≥ kScreenMinDim build the free-axis screen (below that,
+  /// nearly every axis can branch and the screen plus its per-node check
+  /// cost more than the collapsed calls) — both instantiations emit the
+  /// identical key set.
   template <typename KeyVec>
-  void DfsKeys(const int64_t* base, const double* scaled, double budget,
-               size_t axis, double acc, uint64_t hash, KeyVec* out) const;
+  struct DfsCtx {
+    const int64_t* base;
+    const uint64_t* mix0;
+    const uint8_t* free_axis;
+    const double* scaled;
+    double budget;
+    KeyVec* out;
+  };
+  template <bool kScreened, typename KeyVec>
+  void DfsKeys(const DfsCtx<KeyVec>& ctx, size_t axis, double acc,
+               uint64_t hash) const;
 
-  /// Shared body of the two AdjacentCells overloads.
+  /// Dimension at which the free-axis screen starts paying for itself.
+  static constexpr size_t kScreenMinDim = 8;
+
+  /// Shared body of the AdjacentCells overloads. Returns the key of
+  /// cell(p) (the zero-offset path's fold, always emitted first).
   template <typename KeyVec>
-  void AdjacentCellsImpl(PointView p, double alpha, KeyVec* out) const;
+  uint64_t AdjacentCellsImpl(PointView p, double alpha, KeyVec* out) const;
 
   /// Folds one per-axis box distance into the running accumulator
   /// (L2: sum of squares; L1: sum; L∞: max).

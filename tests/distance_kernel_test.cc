@@ -1,0 +1,258 @@
+// Kernel-equivalence battery for geom/distance_kernels.h: the batched
+// paths must return, per candidate, bit-for-bit the boolean the scalar
+// MetricWithinDistance predicate returns — over randomized batches, all
+// three metrics, dims {1, 2, 5, 20, 64}, radii including exact-boundary
+// ties, and both dispatch paths (the runtime-dispatched entry point and
+// the explicit scalar reference; CI additionally builds the whole suite
+// with -DRL0_NO_SIMD=ON so the escape hatch stays green).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rl0/geom/distance_kernels.h"
+#include "rl0/geom/metric.h"
+#include "rl0/geom/point.h"
+#include "rl0/geom/point_store.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+Point RandomPoint(size_t dim, Xoshiro256pp* rng, double scale) {
+  Point p(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    p[i] = (rng->NextDouble() * 2.0 - 1.0) * scale;
+  }
+  return p;
+}
+
+struct Batch {
+  PointStore store{1};
+  std::vector<uint32_t> slots;
+  std::vector<PointRef> refs;
+
+  explicit Batch(size_t dim) : store(dim) {}
+
+  void Add(const Point& p) {
+    const PointRef ref = store.Add(p);
+    refs.push_back(ref);
+    slots.push_back(store.SlotIndexOf(ref));
+  }
+};
+
+// The ground truth the kernels must reproduce bit for bit.
+std::vector<bool> ScalarTruth(const Batch& b, PointView q, Metric metric,
+                              double radius) {
+  std::vector<bool> truth;
+  truth.reserve(b.refs.size());
+  for (PointRef ref : b.refs) {
+    truth.push_back(MetricWithinDistance(b.store.View(ref), q, radius,
+                                         metric));
+  }
+  return truth;
+}
+
+void ExpectAllPathsMatch(const Batch& b, PointView q, Metric metric,
+                         double radius, const std::string& what) {
+  const std::vector<bool> truth = ScalarTruth(b, q, metric, radius);
+  const size_t n = b.slots.size();
+
+  Bitmask dispatched;
+  DistanceOneToMany(b.store, q, b.slots.data(), n, metric, radius,
+                    &dispatched);
+  Bitmask scalar;
+  DistanceOneToManyScalar(b.store, q, b.slots.data(), n, metric, radius,
+                          &scalar);
+  ASSERT_EQ(dispatched.size(), n);
+  ASSERT_EQ(scalar.size(), n);
+  size_t first_true = Bitmask::npos;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(dispatched.Test(i), truth[i])
+        << what << ": dispatched (" << DistanceKernelDispatch()
+        << ") disagrees with MetricWithinDistance at candidate " << i;
+    EXPECT_EQ(scalar.Test(i), truth[i])
+        << what << ": scalar kernel disagrees at candidate " << i;
+    if (first_true == Bitmask::npos && truth[i]) first_true = i;
+  }
+  EXPECT_EQ(dispatched.FindFirst(), first_true) << what;
+
+  // The first-match probe must agree with the scalar early-exit walk.
+  EXPECT_EQ(FindFirstWithin(b.store, q, b.slots.data(), n, metric, radius),
+            first_true)
+      << what << ": FindFirstWithin diverged from the scalar walk";
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelEquivalence, RandomBatchesMatchScalarPredicate) {
+  const size_t dim = GetParam();
+  Xoshiro256pp rng(0xD15 + dim);
+  for (Metric metric : {Metric::kL2, Metric::kL1, Metric::kLinf}) {
+    for (int round = 0; round < 30; ++round) {
+      const size_t n = rng.NextBounded(23);  // covers n<4 remainders too
+      Batch b(dim);
+      const Point q = RandomPoint(dim, &rng, 1.0);
+      for (size_t i = 0; i < n; ++i) {
+        // Half the candidates land near q so both verdicts occur.
+        Point c = RandomPoint(dim, &rng, (i % 2) ? 0.05 : 1.0);
+        if (i % 2) {
+          for (size_t k = 0; k < dim; ++k) c[k] += q[k];
+        }
+        b.Add(c);
+      }
+      // A radius sweep bracketing the typical near-duplicate scale.
+      for (double radius : {0.05, 0.2, 0.7}) {
+        ExpectAllPathsMatch(b, q, metric, radius,
+                            "dim=" + std::to_string(dim) + " metric=" +
+                                MetricName(metric) + " r=" +
+                                std::to_string(radius));
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, ExactBoundaryTies) {
+  // Integer coordinates make the distance arithmetic exact, so these
+  // candidates sit *precisely* on the threshold: d² == radius² (L2),
+  // Σ|Δ| == radius (L1), max|Δ| == radius (L∞). The ≤ predicate must
+  // report them inside, and the next-representable-smaller radius must
+  // flip every one of them outside — on every dispatch path.
+  const size_t dim = GetParam();
+  Batch b(dim);
+  const Point q(dim);  // origin
+  Point tie(dim);
+  tie[0] = 3.0;
+  if (dim > 1) tie[dim - 1] = 4.0;
+  b.Add(tie);          // the boundary candidate
+  Point inside(dim);
+  inside[0] = 1.0;
+  b.Add(inside);
+  Point outside(dim);
+  outside[0] = 1000.0;
+  b.Add(outside);
+
+  const double l2_tie = dim > 1 ? 5.0 : 3.0;   // √(9+16) or √9
+  const double l1_tie = dim > 1 ? 7.0 : 3.0;   // 3+4 or 3
+  const double linf_tie = dim > 1 ? 4.0 : 3.0;
+  const struct {
+    Metric metric;
+    double tie_radius;
+  } cases[] = {{Metric::kL2, l2_tie},
+               {Metric::kL1, l1_tie},
+               {Metric::kLinf, linf_tie}};
+  for (const auto& c : cases) {
+    ExpectAllPathsMatch(b, q, c.metric, c.tie_radius, "tie");
+    // On the tie the candidate is within…
+    Bitmask out;
+    DistanceOneToMany(b.store, q, b.slots.data(), b.slots.size(), c.metric,
+                      c.tie_radius, &out);
+    EXPECT_TRUE(out.Test(0)) << MetricName(c.metric);
+    EXPECT_TRUE(out.Test(1));
+    EXPECT_FALSE(out.Test(2));
+    // …and one ulp below it is out.
+    const double below = std::nextafter(c.tie_radius, 0.0);
+    ExpectAllPathsMatch(b, q, c.metric, below, "below-tie");
+    DistanceOneToMany(b.store, q, b.slots.data(), b.slots.size(), c.metric,
+                      below, &out);
+    EXPECT_FALSE(out.Test(0)) << MetricName(c.metric);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KernelEquivalence,
+                         ::testing::Values(1, 2, 5, 20, 64));
+
+TEST(KernelDispatch, NameMatchesBuildConfiguration) {
+  const std::string name = DistanceKernelDispatch();
+#ifdef RL0_NO_SIMD
+  EXPECT_EQ(name, "scalar");
+#else
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+#endif
+}
+
+TEST(KernelEquivalenceTest, RecycledArenaSlotsAddressCorrectPoints) {
+  // Slot indices must address points correctly after free-list churn
+  // (the sampler tables recycle arena slots through refilters/expiry).
+  const size_t dim = 5;
+  PointStore store(dim);
+  Xoshiro256pp rng(77);
+  std::vector<PointRef> refs;
+  for (int i = 0; i < 32; ++i) refs.push_back(store.Add(RandomPoint(dim, &rng, 1.0)));
+  for (int i = 0; i < 32; i += 2) store.Release(refs[i]);  // holes
+  std::vector<PointRef> live;
+  for (int i = 1; i < 32; i += 2) live.push_back(refs[i]);
+  for (int i = 0; i < 8; ++i) live.push_back(store.Add(RandomPoint(dim, &rng, 1.0)));
+
+  std::vector<uint32_t> slots;
+  for (PointRef r : live) slots.push_back(store.SlotIndexOf(r));
+  const Point q = RandomPoint(dim, &rng, 1.0);
+  Bitmask out;
+  DistanceOneToMany(store, q, slots.data(), slots.size(), Metric::kL2, 0.8,
+                    &out);
+  for (size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(out.Test(i),
+              MetricWithinDistance(store.View(live[i]), q, 0.8, Metric::kL2));
+  }
+}
+
+TEST(QuantizeAxesTest, MatchesScalarFormulaBitForBit) {
+  Xoshiro256pp rng(0x9A37);
+  for (size_t dim : {1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 20ul, 64ul}) {
+    for (int round = 0; round < 50; ++round) {
+      const double side = 0.01 + rng.NextDouble() * 10.0;
+      std::vector<double> p(dim), offset(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        p[i] = (rng.NextDouble() * 2.0 - 1.0) * 1000.0;
+        offset[i] = rng.NextDouble() * side;
+        if (round % 5 == 0) p[i] = offset[i];  // boundary: exact cell edge
+      }
+      std::vector<int64_t> base(dim);
+      std::vector<double> scaled(dim);
+      QuantizeAxes(p.data(), offset.data(), dim, side, base.data(),
+                   scaled.data());
+      for (size_t i = 0; i < dim; ++i) {
+        const int64_t b =
+            static_cast<int64_t>(std::floor((p[i] - offset[i]) / side));
+        const double expect_scaled =
+            p[i] - (offset[i] + static_cast<double>(b) * side);
+        EXPECT_EQ(base[i], b) << "dim=" << dim << " axis=" << i;
+        // Bitwise comparison: the contract is exact, not approximate.
+        EXPECT_EQ(std::memcmp(&scaled[i], &expect_scaled, sizeof(double)),
+                  0)
+            << "dim=" << dim << " axis=" << i;
+      }
+    }
+  }
+}
+
+TEST(BitmaskTest, BasicOperations) {
+  Bitmask m;
+  m.Reset(0);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.FindFirst(), Bitmask::npos);
+  m.Reset(200);  // spans multiple words (and the inline capacity)
+  EXPECT_EQ(m.size(), 200u);
+  EXPECT_EQ(m.Count(), 0u);
+  m.Set(0);
+  m.Set(63);
+  m.Set(64);
+  m.Set(199);
+  EXPECT_TRUE(m.Test(0));
+  EXPECT_TRUE(m.Test(63));
+  EXPECT_TRUE(m.Test(64));
+  EXPECT_TRUE(m.Test(199));
+  EXPECT_FALSE(m.Test(1));
+  EXPECT_EQ(m.Count(), 4u);
+  EXPECT_EQ(m.FindFirst(), 0u);
+  m.Reset(130);
+  EXPECT_EQ(m.Count(), 0u);  // Reset clears prior bits
+  m.Set(129);
+  EXPECT_EQ(m.FindFirst(), 129u);
+}
+
+}  // namespace
+}  // namespace rl0

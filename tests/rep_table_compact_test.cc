@@ -1,0 +1,282 @@
+// Invariants for RepTable::Compact / SwGroupTable::Compact: compaction
+// must be invisible — same live representatives with the same columns,
+// the same per-cell chain order (what FindCandidate's first-match probe
+// walks), the same slot-relative order (what queries and snapshots
+// iterate) — while packing the slots dense. Fuzzed against interleaved
+// inserts/removes, and pinned end-to-end by a legacy differential on a
+// stream that forces refilter-triggered compactions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "rl0/baseline/legacy_iw_sampler.h"
+#include "rl0/core/iw_sampler.h"
+#include "rl0/core/rep_table.h"
+#include "rl0/core/sw_group_table.h"
+#include "rl0/geom/point.h"
+#include "rl0/geom/point_store.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+constexpr size_t kDim = 3;
+
+Point MakePoint(uint64_t id) {
+  Point p(kDim);
+  p[0] = static_cast<double>(id);
+  p[1] = static_cast<double>(id % 7);
+  p[2] = -1.5 * static_cast<double>(id % 3);
+  return p;
+}
+
+// Everything observable about one rep, keyed independently of slots.
+struct RepState {
+  uint64_t stream_index;
+  uint64_t cell_key;
+  bool accepted;
+  Point point;
+  bool operator==(const RepState& o) const {
+    return stream_index == o.stream_index && cell_key == o.cell_key &&
+           accepted == o.accepted && point == o.point;
+  }
+};
+
+// Visible state: id → fields, slot-order id sequence, and per-cell chain
+// id sequences (probe order).
+struct TableView {
+  std::map<uint64_t, RepState> reps;
+  std::vector<uint64_t> slot_order;
+  std::map<uint64_t, std::vector<uint64_t>> chains;
+};
+
+TableView Capture(const RepTable& t) {
+  TableView v;
+  for (uint32_t slot = 0; slot < t.slot_count(); ++slot) {
+    if (!t.IsLive(slot)) continue;
+    v.reps[t.id(slot)] =
+        RepState{t.stream_index(slot), t.cell_key(slot), t.accepted(slot),
+                 t.point(slot).Materialize()};
+    v.slot_order.push_back(t.id(slot));
+  }
+  for (const auto& entry : v.reps) {
+    const uint64_t key = entry.second.cell_key;
+    if (v.chains.count(key)) continue;
+    std::vector<uint64_t>& chain = v.chains[key];
+    for (uint32_t s = t.CellHead(key); s != RepTable::kNpos;
+         s = t.NextInCell(s)) {
+      chain.push_back(t.id(s));
+    }
+  }
+  return v;
+}
+
+void ExpectSameView(const TableView& before, const TableView& after) {
+  EXPECT_EQ(before.reps.size(), after.reps.size());
+  for (const auto& entry : before.reps) {
+    auto it = after.reps.find(entry.first);
+    ASSERT_NE(it, after.reps.end()) << "rep " << entry.first << " vanished";
+    EXPECT_TRUE(entry.second == it->second) << "rep " << entry.first;
+  }
+  // Relative slot order is part of the contract (queries, snapshots and
+  // Refilter scans iterate slots).
+  EXPECT_EQ(before.slot_order, after.slot_order);
+  // Chain order is what the first-match probe walks.
+  EXPECT_EQ(before.chains, after.chains);
+}
+
+TEST(RepTableCompact, PreservesVisibleStateAndPacksSlots) {
+  for (const bool with_reservoir : {false, true}) {
+    RepTable t(kDim, with_reservoir);
+    Xoshiro256pp rng(42);
+    std::vector<uint32_t> slots;
+    for (uint64_t id = 0; id < 200; ++id) {
+      // ~25 distinct cells → chains several reps deep.
+      slots.push_back(t.Add(MakePoint(id), id, 1000 + id, id % 25,
+                            (id % 3) == 0));
+    }
+    // Kill a scattered 60%.
+    for (uint64_t id = 0; id < 200; ++id) {
+      if (rng.NextBounded(5) < 3) t.Remove(slots[id]);
+    }
+    const TableView before = Capture(t);
+    const size_t live = t.live();
+    t.Compact();
+    EXPECT_EQ(t.live(), live);
+    EXPECT_EQ(t.slot_count(), live);  // dense
+    for (uint32_t s = 0; s < t.slot_count(); ++s) EXPECT_TRUE(t.IsLive(s));
+    ExpectSameView(before, Capture(t));
+
+    // The table stays fully functional: add/remove after compaction.
+    const uint32_t s = t.Add(MakePoint(999), 999, 9999, 3, true);
+    EXPECT_TRUE(t.IsLive(s));
+    EXPECT_EQ(t.CellHead(3), s);  // push-front semantics intact
+    t.Remove(s);
+    ExpectSameView(before, Capture(t));
+  }
+}
+
+TEST(RepTableCompact, FuzzedInterleavingWithInserts) {
+  RepTable t(kDim, true);
+  Xoshiro256pp rng(0xF022);
+  std::map<uint64_t, uint32_t> live_slots;  // id → slot (refreshed on compact)
+  uint64_t next_id = 0;
+  for (int round = 0; round < 400; ++round) {
+    const uint32_t action = rng.NextBounded(10);
+    if (action < 6 || live_slots.empty()) {
+      const uint64_t id = next_id++;
+      live_slots[id] = t.Add(MakePoint(id), id, id, rng.NextBounded(12),
+                             rng.NextBounded(2) == 0);
+    } else if (action < 9) {
+      auto it = live_slots.begin();
+      std::advance(it, rng.NextBounded(live_slots.size()));
+      t.Remove(it->second);
+      live_slots.erase(it);
+    } else {
+      const TableView before = Capture(t);
+      t.Compact();
+      EXPECT_EQ(t.slot_count(), t.live());
+      ExpectSameView(before, Capture(t));
+      // Slots were renumbered: refresh the handle map from ids.
+      live_slots.clear();
+      for (uint32_t s = 0; s < t.slot_count(); ++s) {
+        live_slots[t.id(s)] = s;
+      }
+    }
+    EXPECT_EQ(t.live(), live_slots.size());
+  }
+}
+
+TEST(RepTableCompact, MaybeCompactTriggersAtHalfDead) {
+  RepTable t(kDim, false);
+  std::vector<uint32_t> slots;
+  for (uint64_t id = 0; id < 100; ++id) {
+    slots.push_back(t.Add(MakePoint(id), id, id, id % 10, true));
+  }
+  EXPECT_FALSE(t.MaybeCompact());  // fully live: nothing to do
+  for (uint64_t id = 0; id < 40; ++id) t.Remove(slots[id]);
+  EXPECT_FALSE(t.MaybeCompact());  // 60% live: below the trigger
+  EXPECT_EQ(t.slot_count(), 100u);
+  for (uint64_t id = 40; id < 50; ++id) t.Remove(slots[id]);
+  EXPECT_TRUE(t.MaybeCompact());  // 50% dead: compacts
+  EXPECT_EQ(t.slot_count(), 50u);
+  EXPECT_EQ(t.live(), 50u);
+
+  // Small tables never compact (churn would outweigh the win).
+  RepTable small(kDim, false);
+  std::vector<uint32_t> ss;
+  for (uint64_t id = 0; id < 20; ++id) {
+    ss.push_back(small.Add(MakePoint(id), id, id, 0, true));
+  }
+  for (uint64_t id = 0; id < 18; ++id) small.Remove(ss[id]);
+  EXPECT_FALSE(small.MaybeCompact());
+}
+
+// Two identically fed tables — one compacted mid-way — must drain their
+// expiry lists identically and keep identical cell chains: SwGroupTable
+// compaction preserves the stamp list and the shared arena refs.
+TEST(SwGroupTableCompact, PreservesExpiryOrderChainsAndSharedArena) {
+  PointStore store_a(kDim);
+  PointStore store_b(kDim);
+  SwGroupTable a;
+  SwGroupTable b;
+  a.Bind(&store_a);
+  b.Bind(&store_b);
+  Xoshiro256pp rng(7);
+  std::vector<uint32_t> slots_a;
+  std::vector<uint32_t> slots_b;
+  for (uint64_t id = 0; id < 120; ++id) {
+    const Point p = MakePoint(id);
+    const int64_t stamp = static_cast<int64_t>(id * 3);
+    slots_a.push_back(a.Add(id, p, id, id % 9, (id % 2) == 0, stamp));
+    slots_b.push_back(b.Add(id, p, id, id % 9, (id % 2) == 0, stamp));
+  }
+  for (uint64_t id = 0; id < 120; ++id) {
+    if (id % 3 != 1) continue;  // remove a third, scattered
+    a.Remove(slots_a[id]);
+    b.Remove(slots_b[id]);
+  }
+  b.Compact();
+  ASSERT_EQ(b.slot_count(), b.live());
+  ASSERT_EQ(a.live(), b.live());
+
+  // Same cell chains (probe order), fields, and arena-backed points.
+  for (uint64_t key = 0; key < 9; ++key) {
+    uint32_t sa = a.CellHead(key);
+    uint32_t sb = b.CellHead(key);
+    while (sa != SwGroupTable::kNpos && sb != SwGroupTable::kNpos) {
+      EXPECT_EQ(a.id(sa), b.id(sb));
+      EXPECT_EQ(a.rep_index(sa), b.rep_index(sb));
+      EXPECT_EQ(a.accepted(sa), b.accepted(sb));
+      EXPECT_TRUE(store_a.View(a.rep_ref(sa)) ==
+                  store_b.View(b.rep_ref(sb)));
+      EXPECT_EQ(b.rep_arena_slot(sb), store_b.SlotIndexOf(b.rep_ref(sb)));
+      sa = a.NextInCell(sa);
+      sb = b.NextInCell(sb);
+    }
+    EXPECT_EQ(sa, SwGroupTable::kNpos);
+    EXPECT_EQ(sb, SwGroupTable::kNpos);
+  }
+
+  // Same expiry drain sequence.
+  while (a.OldestSlot() != SwGroupTable::kNpos) {
+    const uint32_t oa = a.OldestSlot();
+    const uint32_t ob = b.OldestSlot();
+    ASSERT_NE(ob, SwGroupTable::kNpos);
+    EXPECT_EQ(a.id(oa), b.id(ob));
+    EXPECT_EQ(a.latest_stamp(oa), b.latest_stamp(ob));
+    a.Remove(oa);
+    b.Remove(ob);
+  }
+  EXPECT_EQ(b.OldestSlot(), SwGroupTable::kNpos);
+}
+
+// End-to-end pin: a stream sized to push the sampler through several
+// rate halvings (each Refilter kills about half the reps and trips
+// MaybeCompact) must keep the arena sampler bit-identical to the legacy
+// map-based implementation — compaction changes nothing observable.
+TEST(RepTableCompact, RefilterCompactionKeepsLegacyDifferentialExact) {
+  const BaseDataset base = RandomUniform(600, kDim, 191);
+  NearDupOptions nd;
+  nd.max_dups = 3;
+  nd.seed = 192;
+  const NoisyDataset data = MakeNearDuplicates(base, nd);
+  SamplerOptions opts;
+  opts.dim = kDim;
+  opts.alpha = data.alpha;
+  opts.seed = 193;
+  opts.accept_cap = 16;  // several refilters over 600 groups
+  opts.expected_stream_length = data.points.size();
+
+  auto arena = RobustL0SamplerIW::Create(opts).value();
+  auto legacy = LegacyL0SamplerIW::Create(opts).value();
+  size_t prev_slots = 0;
+  size_t compactions = 0;  // a slot-count shrink can only be a Compact
+  for (const Point& p : data.points) {
+    arena.Insert(p);
+    legacy.Insert(p);
+    const size_t slots = arena.rep_table().slot_count();
+    if (slots < prev_slots) ++compactions;
+    prev_slots = slots;
+  }
+  EXPECT_GE(compactions, 1u)
+      << "stream did not exercise refilter-triggered compaction";
+  EXPECT_EQ(arena.level(), legacy.level());
+  ASSERT_EQ(arena.accept_size(), legacy.accept_size());
+  ASSERT_EQ(arena.reject_size(), legacy.reject_size());
+  const auto arena_acc = arena.AcceptedRepresentatives();
+  const auto legacy_acc = legacy.AcceptedRepresentatives();
+  for (size_t i = 0; i < arena_acc.size(); ++i) {
+    EXPECT_EQ(arena_acc[i].stream_index, legacy_acc[i].stream_index);
+    EXPECT_TRUE(arena_acc[i].point == legacy_acc[i].point);
+  }
+  EXPECT_GE(arena.level(), 1u);
+}
+
+}  // namespace
+}  // namespace rl0

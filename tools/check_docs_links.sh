@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Docs cross-link check: fails if any relative markdown link in the
+# root-level markdown files (README.md, ROADMAP.md, ...) or docs/*.md
+# points at a file that does not exist. Run from anywhere; CI runs it as
+# its own step (see .github/workflows/ci.yml).
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+for f in *.md docs/*.md; do
+  [ -e "$f" ] || continue
+  dir="$(dirname "$f")"
+  # Extract the (target) half of every [text](target) link.
+  while IFS= read -r target; do
+    target="${target%%#*}"          # drop in-page anchors
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # external links
+    esac
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK: $f -> $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "docs link check FAILED" >&2
+else
+  echo "docs link check OK"
+fi
+exit "$status"
