@@ -1,7 +1,8 @@
 // Sliding-window ingestion throughput: flat group index vs the legacy
-// node-based index, and windowed pipeline scaling.
+// node-based index, windowed pipeline scaling, and the time-based
+// (explicit-stamp) paths.
 //
-// Three ingestion paths over a paper-style ~50k-point noisy stream with
+// Sequence-based paths over a paper-style ~50k-point noisy stream with
 // a window of 8192 positions:
 //
 //   legacy — LegacySwSampler: the pre-refactor hierarchy (unordered_map
@@ -12,11 +13,22 @@
 //            columns, open-addressing cell index, intrusive stamp list,
 //            arena-internal PromoteInto), point-at-a-time;
 //   pool S — ShardedSwSamplerPool with S ∈ {1, 2, 4, 8} persistent lanes
-//            fed 2048-point borrowed chunks + one final Drain.
+//            fed 2048-point borrowed chunks + one final Drain;
+//   adapt4 — the 4-lane pool fed through FeedAdaptive (queue-depth-driven
+//            chunk sizing, core/chunk_policy.h) instead of fixed chunks.
+//
+// Time-based paths over the same stream carrying explicit stamps
+// (inter-arrival gaps uniform in {1..3}; window scaled by the mean gap
+// so both models cover a comparable point population):
+//
+//   tflat   — RobustL0SamplerSW::Insert(p, stamp), point-at-a-time;
+//   tpool S — the pool fed 2048-point borrowed stamped chunks
+//             (FeedBorrowedStamped), S ∈ {1, 4}.
 //
 // legacy and flat make bit-identical sampling decisions (pinned by
 // tests/sw_pipeline_determinism_test.cc), so that column pair is pure
-// layout; the pool rows show windowed pipeline scaling.
+// layout; the pool rows show windowed pipeline scaling, and the tpool
+// rows price the stamp arrays riding the chunks.
 //
 // Output: a human-readable table on stderr and ONE LINE of JSON on
 // stdout. Append per PR:   ./build/bench_window >> BENCH_window.json
@@ -36,6 +48,7 @@
 #include "rl0/core/sw_sampler.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
+#include "rl0/stream/window_stream.h"
 
 namespace {
 
@@ -89,10 +102,12 @@ int main() {
               repeats, static_cast<long long>(kWindow),
               std::thread::hardware_concurrency());
   std::fprintf(stderr,
-               "%-10s %4s %8s | %12s %12s %8s | %10s %10s %10s %10s\n",
+               "%-10s %4s %8s | %12s %12s %8s | %10s %10s %10s %10s %10s "
+               "| %10s %10s %10s\n",
                "workload", "dim", "points", "legacy p/s", "flat p/s",
                "flat x", "pool1 p/s", "pool2 p/s", "pool4 p/s",
-               "pool8 p/s");
+               "pool8 p/s", "adapt4 p/s", "tflat p/s", "tpool1 p/s",
+               "tpool4 p/s");
 
   bool first = true;
   for (size_t dim : {2, 5}) {
@@ -129,21 +144,75 @@ int main() {
         return pool.SpaceWords();
       });
     }
+    // Adaptive chunk sizing on the 4-lane pool: same stream, chunk sizes
+    // driven by queue depth instead of fixed 2048. FeedAdaptive copies
+    // each chunk, so this row also carries the copy the fixed rows skip.
+    const double adapt4 = BestOf(repeats, data.size(), [&](int rep) {
+      SamplerOptions o = opts;
+      o.seed = seed + rep;
+      auto pool = ShardedSwSamplerPool::Create(o, kWindow, 4).value();
+      pool.FeedAdaptive(Span<const Point>(data.points));
+      pool.Drain();
+      return pool.SpaceWords();
+    });
+
+    // Time-based rows: explicit stamps with mean gap 2 (uniform {1..3});
+    // the window spans the same expected point population as kWindow.
+    const std::vector<rl0::StampedPoint> stamped =
+        rl0::TimeStampedBursty(data, 3, 0, 0, seed + dim);
+    std::vector<Point> tpoints;
+    std::vector<int64_t> tstamps;
+    rl0::SplitStamped(stamped, &tpoints, &tstamps);
+    const int64_t time_window = kWindow * 2;
+    const double tflat = BestOf(repeats, data.size(), [&](int rep) {
+      SamplerOptions o = opts;
+      o.seed = seed + rep;
+      auto sampler = RobustL0SamplerSW::Create(o, time_window).value();
+      for (size_t i = 0; i < tpoints.size(); ++i) {
+        sampler.Insert(tpoints[i], tstamps[i]);
+      }
+      return sampler.SpaceWords();
+    });
+    double tpool_rate[2] = {0, 0};
+    const size_t tlane_counts[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+      tpool_rate[i] = BestOf(repeats, data.size(), [&](int rep) {
+        SamplerOptions o = opts;
+        o.seed = seed + rep;
+        auto pool =
+            ShardedSwSamplerPool::Create(o, time_window, tlane_counts[i])
+                .value();
+        const Span<const Point> all(tpoints);
+        const Span<const int64_t> stamps(tstamps);
+        for (size_t off = 0; off < all.size(); off += 2048) {
+          pool.FeedBorrowedStamped(all.subspan(off, 2048),
+                                   stamps.subspan(off, 2048));
+        }
+        pool.Drain();
+        return pool.SpaceWords();
+      });
+    }
 
     const double flat_x = flat / legacy;
     std::fprintf(stderr,
                  "%-10s %4zu %8zu | %12.0f %12.0f %7.2fx | %10.0f %10.0f "
-                 "%10.0f %10.0f\n",
+                 "%10.0f %10.0f %10.0f | %10.0f %10.0f %10.0f\n",
                  data.name.c_str(), dim, data.size(), legacy, flat, flat_x,
-                 pool_rate[0], pool_rate[1], pool_rate[2], pool_rate[3]);
+                 pool_rate[0], pool_rate[1], pool_rate[2], pool_rate[3],
+                 adapt4, tflat, tpool_rate[0], tpool_rate[1]);
     std::printf(
         "%s{\"workload\": \"%s\", \"dim\": %zu, \"points\": %zu, "
         "\"legacy_points_per_sec\": %.0f, \"flat_points_per_sec\": %.0f, "
         "\"flat_speedup\": %.3f, \"pool1_points_per_sec\": %.0f, "
         "\"pool2_points_per_sec\": %.0f, \"pool4_points_per_sec\": %.0f, "
-        "\"pool8_points_per_sec\": %.0f}",
+        "\"pool8_points_per_sec\": %.0f, "
+        "\"adaptive4_points_per_sec\": %.0f, "
+        "\"time_flat_points_per_sec\": %.0f, "
+        "\"time_pool1_points_per_sec\": %.0f, "
+        "\"time_pool4_points_per_sec\": %.0f}",
         first ? "" : ", ", data.name.c_str(), dim, data.size(), legacy, flat,
-        flat_x, pool_rate[0], pool_rate[1], pool_rate[2], pool_rate[3]);
+        flat_x, pool_rate[0], pool_rate[1], pool_rate[2], pool_rate[3],
+        adapt4, tflat, tpool_rate[0], tpool_rate[1]);
     first = false;
   }
   std::printf("]}\n");

@@ -1,0 +1,96 @@
+// Adaptive chunk sizing for the persistent ingestion pipeline.
+//
+// The pipeline's unit of work is a chunk: every Feed broadcasts one chunk
+// to each lane's bounded queue, paying a fixed per-chunk cost (the feed
+// lock, S queue pushes, S wakeups) regardless of chunk size. The right
+// chunk size therefore depends on who is the bottleneck:
+//
+//   * queues backing up  — the lanes are the bottleneck; bigger chunks
+//     amortize the per-chunk overhead across more points (throughput);
+//   * queues empty       — the producer is the bottleneck and the lanes
+//     starve between chunks; smaller chunks hand work over sooner
+//     (pipelining/latency), at a per-chunk cost the idle lanes can absorb.
+//
+// AdaptiveChunkPolicy packages that feedback loop behind one object used
+// by both sharded pools (ShardedSamplerPool::FeedAdaptive,
+// ShardedSwSamplerPool::FeedAdaptive/FeedStampedAdaptive): after each
+// chunk the producer reports the deepest lane queue
+// (IngestPool::MaxQueueDepth) and the policy doubles or halves the next
+// chunk within [min_chunk, max_chunk]. Chunk boundaries never affect
+// results — the pipeline determinism contract (global-residue partition,
+// atomic index bases and stamp arrays riding the chunks) makes per-lane
+// state chunking-invariant — so the policy is free to chase throughput.
+//
+// Not thread-safe: one policy belongs to one producer loop. Concurrent
+// producers each chop their own stream; the pipeline interleaves chunks,
+// not points.
+
+#ifndef RL0_CORE_CHUNK_POLICY_H_
+#define RL0_CORE_CHUNK_POLICY_H_
+
+#include <cstddef>
+
+namespace rl0 {
+
+/// Tuning knobs for AdaptiveChunkPolicy.
+struct AdaptiveChunkOptions {
+  /// Smallest chunk the policy will recommend.
+  size_t min_chunk = 256;
+  /// Largest chunk the policy will recommend.
+  size_t max_chunk = 32768;
+  /// First recommendation, before any feedback.
+  size_t initial_chunk = 2048;
+  /// Queue fill fraction (deepest lane / capacity) at or above which the
+  /// chunk grows. Below it, an *empty* deepest queue shrinks the chunk;
+  /// anything in between leaves it unchanged (hysteresis band).
+  double backlog_threshold = 0.5;
+};
+
+/// Queue-depth-driven chunk sizing (grow on backlog, shrink on
+/// starvation, hysteresis in between).
+class AdaptiveChunkPolicy {
+ public:
+  AdaptiveChunkPolicy() : AdaptiveChunkPolicy(AdaptiveChunkOptions()) {}
+  explicit AdaptiveChunkPolicy(const AdaptiveChunkOptions& options)
+      : options_(Sanitize(options)), chunk_(Clamp(options_.initial_chunk)) {}
+
+  /// The recommended size for the next chunk.
+  size_t chunk() const { return chunk_; }
+
+  /// Feedback after a chunk was enqueued: `max_queue_depth` is the
+  /// deepest lane queue (IngestPool::MaxQueueDepth()), `queue_capacity`
+  /// the per-lane capacity (IngestPool::queue_capacity()).
+  void Observe(size_t max_queue_depth, size_t queue_capacity) {
+    if (queue_capacity == 0) return;
+    const double fill = static_cast<double>(max_queue_depth) /
+                        static_cast<double>(queue_capacity);
+    if (fill >= options_.backlog_threshold) {
+      chunk_ = Clamp(chunk_ * 2);
+    } else if (max_queue_depth == 0) {
+      chunk_ = Clamp(chunk_ / 2);
+    }
+  }
+
+  /// The (sanitized) options in force.
+  const AdaptiveChunkOptions& options() const { return options_; }
+
+ private:
+  static AdaptiveChunkOptions Sanitize(AdaptiveChunkOptions o) {
+    if (o.min_chunk < 1) o.min_chunk = 1;
+    if (o.max_chunk < o.min_chunk) o.max_chunk = o.min_chunk;
+    if (o.backlog_threshold <= 0.0) o.backlog_threshold = 0.5;
+    return o;
+  }
+  size_t Clamp(size_t chunk) const {
+    if (chunk < options_.min_chunk) return options_.min_chunk;
+    if (chunk > options_.max_chunk) return options_.max_chunk;
+    return chunk;
+  }
+
+  AdaptiveChunkOptions options_;
+  size_t chunk_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_CORE_CHUNK_POLICY_H_

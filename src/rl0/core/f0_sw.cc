@@ -51,10 +51,15 @@ void F0EstimatorSW::Insert(const Point& p, int64_t stamp) {
   latest_stamp_ = stamp;
   ++points_processed_;
   {
-    // Keep the pipeline's index space in step with serially inserted
-    // points, so a later Feed never reuses a stream position.
+    // Keep the pipeline's index space — and its stamp watermark — in
+    // step with serially inserted points, so a later Feed never reuses a
+    // stream position and a later FeedStamped never regresses the stamp
+    // sequence.
     std::lock_guard<std::mutex> lock(*pipeline_mu_);
-    if (pipeline_) pipeline_->AdvanceIndexBase(1);
+    if (pipeline_) {
+      pipeline_->AdvanceIndexBase(1);
+      pipeline_->NoteStamp(stamp);
+    }
   }
   for (RobustL0SamplerSW& sampler : samplers_) sampler.Insert(p, stamp);
 }
@@ -66,37 +71,75 @@ void F0EstimatorSW::Insert(const Point& p) {
 IngestPool* F0EstimatorSW::EnsurePipeline() {
   std::lock_guard<std::mutex> lock(*pipeline_mu_);
   if (pipeline_) return pipeline_.get();
-  // The feed path derives stamps from global stream positions, so it
-  // only composes with sequence-stamped serial inserts (stamp = arrival
-  // index). A time-based estimator (explicit stamps) must stay on the
-  // serial Insert path — fail loudly instead of silently regressing the
-  // stamp sequence.
-  RL0_CHECK(points_processed_ == 0 ||
-            latest_stamp_ + 1 == static_cast<int64_t>(points_processed_));
   std::vector<IngestPool::Sink> sinks;
+  std::vector<IngestPool::StampedSink> stamped_sinks;
   sinks.reserve(samplers_.size());
+  stamped_sinks.reserve(samplers_.size());
   for (RobustL0SamplerSW& sampler : samplers_) {
     RobustL0SamplerSW* copy = &sampler;
     // Every copy consumes the whole stream (the copies differ by seed,
-    // not by partition), with stamps derived from the chunk's global
-    // index base — the same stamps the serial Insert path assigns.
+    // not by partition). Plain chunks derive stamps from the chunk's
+    // global index base — the same stamps the sequence-stamped serial
+    // Insert path assigns; stamped chunks carry their explicit stamps.
     sinks.push_back([copy](Span<const Point> chunk, uint64_t base) {
       copy->InsertStrided(chunk, 0, 1, base);
     });
+    stamped_sinks.push_back([copy](Span<const Point> chunk,
+                                   Span<const int64_t> stamps,
+                                   uint64_t base) {
+      copy->InsertStridedStamped(chunk, stamps, 0, 1, base);
+    });
   }
   IngestPool::Options options;
-  // Continue the stamp sequence where serial inserts left off.
+  // Continue the index (and stamp) sequence where serial inserts left
+  // off.
   options.index_base = points_processed_;
-  pipeline_ = std::make_unique<IngestPool>(std::move(sinks), options);
+  pipeline_ = std::make_unique<IngestPool>(std::move(sinks),
+                                           std::move(stamped_sinks), options);
+  if (points_processed_ > 0) pipeline_->NoteStamp(latest_stamp_);
   return pipeline_.get();
 }
 
+void F0EstimatorSW::LatchFeedMode(FeedMode mode) {
+  // One estimator streams through exactly one feed family: plain Feed
+  // derives sequence stamps that never reach the pipeline's stamp
+  // watermark, so a stamped feed after plain feeds (or vice versa)
+  // would silently regress the samplers' stamp sequence in release
+  // builds — the same mix ShardedSwSamplerPool::LatchMode rejects.
+  // Serial Insert composes with either family (subject to the stamp
+  // checks below). Under pipeline_mu_: Drain writes the watermark
+  // fields under the same lock.
+  std::lock_guard<std::mutex> lock(*pipeline_mu_);
+  RL0_CHECK(feed_mode_ == FeedMode::kUnset || feed_mode_ == mode);
+  if (mode == FeedMode::kSequence) {
+    // Plain feeds derive stamps from stream positions, so they also
+    // require sequence-stamped serial history (stamp = arrival index).
+    RL0_CHECK(points_processed_ == 0 ||
+              latest_stamp_ + 1 == static_cast<int64_t>(points_processed_));
+  }
+  feed_mode_ = mode;
+}
+
 void F0EstimatorSW::Feed(Span<const Point> points) {
+  LatchFeedMode(FeedMode::kSequence);
   EnsurePipeline()->Feed(points);
 }
 
 void F0EstimatorSW::FeedOwned(std::vector<Point> points) {
+  LatchFeedMode(FeedMode::kSequence);
   EnsurePipeline()->FeedOwned(std::move(points));
+}
+
+void F0EstimatorSW::FeedStamped(Span<const Point> points,
+                                Span<const int64_t> stamps) {
+  LatchFeedMode(FeedMode::kStamped);
+  EnsurePipeline()->FeedStamped(points, stamps);
+}
+
+void F0EstimatorSW::FeedOwnedStamped(std::vector<Point> points,
+                                     std::vector<int64_t> stamps) {
+  LatchFeedMode(FeedMode::kStamped);
+  EnsurePipeline()->FeedOwnedStamped(std::move(points), std::move(stamps));
 }
 
 void F0EstimatorSW::Drain() {
@@ -107,9 +150,16 @@ void F0EstimatorSW::Drain() {
   }
   if (pipeline == nullptr) return;
   pipeline->Drain();
-  // Sync the watermark so EstimateLatest() sees the fed stream's end.
+  // Sync the watermark so EstimateLatest() sees the fed stream's end:
+  // the last explicit stamp on the stamped path (which also folds in any
+  // serial inserts via NoteStamp), the last stream position otherwise.
+  // Under pipeline_mu_: concurrent Feeds read these fields through
+  // LatchFeedMode.
+  std::lock_guard<std::mutex> lock(*pipeline_mu_);
   points_processed_ = pipeline->points_fed();
-  latest_stamp_ = static_cast<int64_t>(points_processed_) - 1;
+  latest_stamp_ = feed_mode_ == FeedMode::kStamped
+                      ? pipeline->latest_stamp()
+                      : static_cast<int64_t>(points_processed_) - 1;
 }
 
 double F0EstimatorSW::CombineRepetition(size_t rep, int64_t now) {

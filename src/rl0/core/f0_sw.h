@@ -77,18 +77,36 @@ class F0EstimatorSW {
   /// index base (bit-identical to the serial Insert path). Copies the
   /// chunk once (shared across lanes); safe from any number of threads.
   /// Workers start lazily on the first Feed, continuing the stamp
-  /// sequence after any serial inserts (sequence-stamped estimators
-  /// only: the first Feed of a time-based estimator — explicit stamps —
-  /// CHECK-fails rather than regress the stamp sequence). Do not mix
-  /// with the serial Insert calls without an intervening Drain().
+  /// sequence after any serial inserts. Sequence-stamped estimators
+  /// only — Feed cannot invent stamps for a time-based estimator
+  /// (explicit stamps that diverged from arrival indices); those stream
+  /// through FeedStamped instead (CHECK enforces it). Do not mix with
+  /// the serial Insert calls without an intervening Drain().
   void Feed(Span<const Point> points);
 
   /// As Feed but adopts the vector — no copy.
   void FeedOwned(std::vector<Point> points);
 
+  /// The explicit-stamp (time-based) pipeline path: streams a chunk with
+  /// its parallel stamp array to every copy. Stamps must align with the
+  /// points and be non-decreasing across everything inserted or fed so
+  /// far (serial explicit-stamp inserts raise the pipeline's stamp
+  /// watermark, so mixed serial/Feed ingestion keeps one monotone stamp
+  /// sequence — pinned in tests/f0_test.cc). Cannot follow plain Feeds:
+  /// one estimator streams through exactly one feed family (plain chunks
+  /// bypass the stamp watermark; a mix CHECK-fails). Safe from any
+  /// number of threads as long as the stamp order is externally
+  /// coherent.
+  void FeedStamped(Span<const Point> points, Span<const int64_t> stamps);
+
+  /// As FeedStamped but adopts both vectors — no copy.
+  void FeedOwnedStamped(std::vector<Point> points,
+                        std::vector<int64_t> stamps);
+
   /// Blocks until everything fed before this call is consumed by every
-  /// copy, then syncs the stamp watermark. Required before
-  /// Estimate()/EstimateLatest() after feeding.
+  /// copy, then syncs the stamp watermark (the last fed explicit stamp
+  /// on the stamped path, the last stream position otherwise). Required
+  /// before Estimate()/EstimateLatest() after feeding.
   void Drain();
 
   /// Estimates the number of groups alive in the window at `now`.
@@ -118,6 +136,15 @@ class F0EstimatorSW {
 
   double CombineRepetition(size_t rep, int64_t now);
 
+  /// Which feed family the estimator streams through. Latched by the
+  /// first Feed*/FeedStamped* call; the families cannot mix (plain
+  /// chunks derive sequence stamps that bypass the stamp watermark).
+  enum class FeedMode : uint8_t { kUnset = 0, kSequence = 1, kStamped = 2 };
+
+  /// Latches the feed family and validates its stamp preconditions;
+  /// CHECK-fails on a mix. Takes pipeline_mu_.
+  void LatchFeedMode(FeedMode mode);
+
   /// Starts the per-copy pipeline workers on the first Feed (estimators
   /// that only ever Insert never spawn threads). Guarded by pipeline_mu_.
   /// The pipeline's index base continues after any serial inserts, so
@@ -135,6 +162,9 @@ class F0EstimatorSW {
   /// Heap-allocated so the estimator stays movable.
   std::unique_ptr<std::mutex> pipeline_mu_;
   std::unique_ptr<IngestPool> pipeline_;
+  /// The latched feed family (guarded by pipeline_mu_); decides how
+  /// Drain syncs the stamp watermark and rejects feed-family mixes.
+  FeedMode feed_mode_ = FeedMode::kUnset;
 };
 
 }  // namespace rl0

@@ -6,20 +6,29 @@
 
 namespace rl0 {
 
-IngestPool::IngestPool(std::vector<Sink> sinks, const Options& options)
+IngestPool::IngestPool(std::vector<Sink> sinks,
+                       std::vector<StampedSink> stamped_sinks,
+                       const Options& options)
     : queue_capacity_(options.queue_capacity < 1 ? 1
                                                  : options.queue_capacity),
       fed_(options.index_base) {
   RL0_CHECK(!sinks.empty());
+  RL0_CHECK(stamped_sinks.empty() || stamped_sinks.size() == sinks.size());
   lanes_.reserve(sinks.size());
-  for (Sink& sink : sinks) {
+  for (size_t i = 0; i < sinks.size(); ++i) {
+    StampedSink stamped =
+        stamped_sinks.empty() ? StampedSink() : std::move(stamped_sinks[i]);
     lanes_.push_back(std::make_unique<Lane>(queue_capacity_,
-                                            std::move(sink)));
+                                            std::move(sinks[i]),
+                                            std::move(stamped)));
   }
   for (std::unique_ptr<Lane>& lane : lanes_) {
     lane->worker = std::thread([this, raw = lane.get()] { WorkerLoop(raw); });
   }
 }
+
+IngestPool::IngestPool(std::vector<Sink> sinks, const Options& options)
+    : IngestPool(std::move(sinks), std::vector<StampedSink>(), options) {}
 
 IngestPool::IngestPool(std::vector<Sink> sinks)
     : IngestPool(std::move(sinks), Options()) {}
@@ -31,10 +40,17 @@ void IngestPool::WorkerLoop(Lane* lane) {
   while (lane->queue.Pop(&chunk)) {
     {
       std::lock_guard<std::mutex> proc(lane->proc_mu);
-      lane->sink(Span<const Point>(chunk.data, chunk.size),
-                 chunk.index_base);
+      if (chunk.stamps != nullptr) {
+        lane->stamped_sink(Span<const Point>(chunk.data, chunk.size),
+                           Span<const int64_t>(chunk.stamps, chunk.size),
+                           chunk.index_base);
+      } else {
+        lane->sink(Span<const Point>(chunk.data, chunk.size),
+                   chunk.index_base);
+      }
     }
     chunk.owner.reset();  // release chunk storage before signalling
+    chunk.stamp_owner.reset();
     {
       std::lock_guard<std::mutex> done(lane->done_mu);
       ++lane->completed;
@@ -53,6 +69,18 @@ void IngestPool::FeedChunk(Chunk chunk) {
   // always makes progress.
   std::lock_guard<std::mutex> lock(feed_mu_);
   if (stopped_) return;
+  if (chunk.stamps != nullptr) {
+    // Stamped chunks ride the same critical section, so the stamp
+    // sequence is monotone in enqueue order — the time-based analogue of
+    // the index-base contract. A violation means the producer handed the
+    // pool out-of-order time; fail loudly rather than corrupt every
+    // lane's expiry schedule. (Intra-chunk monotonicity was already
+    // scanned outside this lock, so only the O(1) cross-chunk check and
+    // watermark update serialize the producers.)
+    RL0_CHECK(!stamp_watermark_set_ || chunk.stamps[0] >= latest_stamp_);
+    latest_stamp_ = chunk.stamps[chunk.size - 1];
+    stamp_watermark_set_ = true;
+  }
   chunk.index_base = fed_;
   fed_ += chunk.size;
   ++chunks_fed_;
@@ -88,6 +116,59 @@ void IngestPool::FeedBorrowed(Span<const Point> points) {
   Chunk chunk;
   chunk.data = points.data();
   chunk.size = points.size();
+  FeedChunk(std::move(chunk));
+}
+
+namespace {
+
+/// Intra-chunk stamp validation, run before the feed lock is taken (the
+/// scan is O(chunk); only the cross-chunk watermark check needs the
+/// serializing critical section).
+void CheckStampsNonDecreasing(Span<const int64_t> stamps) {
+  for (size_t i = 1; i < stamps.size(); ++i) {
+    RL0_CHECK(stamps[i] >= stamps[i - 1]);
+  }
+}
+
+}  // namespace
+
+void IngestPool::FeedStamped(Span<const Point> points,
+                             Span<const int64_t> stamps) {
+  if (points.empty()) return;
+  RL0_CHECK(stamps.size() == points.size());
+  FeedOwnedStamped(std::vector<Point>(points.begin(), points.end()),
+                   std::vector<int64_t>(stamps.begin(), stamps.end()));
+}
+
+void IngestPool::FeedOwnedStamped(std::vector<Point> points,
+                                  std::vector<int64_t> stamps) {
+  if (points.empty()) return;
+  RL0_CHECK(stamps.size() == points.size());
+  RL0_CHECK(lanes_[0]->stamped_sink != nullptr);
+  CheckStampsNonDecreasing(Span<const int64_t>(stamps.data(), stamps.size()));
+  auto storage =
+      std::make_shared<const std::vector<Point>>(std::move(points));
+  auto stamp_storage =
+      std::make_shared<const std::vector<int64_t>>(std::move(stamps));
+  Chunk chunk;
+  chunk.data = storage->data();
+  chunk.size = storage->size();
+  chunk.owner = std::move(storage);
+  chunk.stamps = stamp_storage->data();
+  chunk.stamp_owner = std::move(stamp_storage);
+  FeedChunk(std::move(chunk));
+}
+
+void IngestPool::FeedBorrowedStamped(Span<const Point> points,
+                                     Span<const int64_t> stamps) {
+  if (points.empty()) return;
+  RL0_CHECK(stamps.size() == points.size());
+  RL0_CHECK(lanes_[0]->stamped_sink != nullptr);
+  CheckStampsNonDecreasing(stamps);
+  Chunk chunk;
+  chunk.data = points.data();
+  chunk.size = points.size();
+  chunk.stamps = stamps.data();
   FeedChunk(std::move(chunk));
 }
 
@@ -139,9 +220,31 @@ uint64_t IngestPool::AdvanceIndexBase(uint64_t n) {
   return base;
 }
 
+void IngestPool::NoteStamp(int64_t stamp) {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  if (!stamp_watermark_set_ || stamp > latest_stamp_) {
+    latest_stamp_ = stamp;
+  }
+  stamp_watermark_set_ = true;
+}
+
+int64_t IngestPool::latest_stamp() const {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  return stamp_watermark_set_ ? latest_stamp_ : -1;
+}
+
 uint64_t IngestPool::points_fed() const {
   std::lock_guard<std::mutex> lock(feed_mu_);
   return fed_;
+}
+
+size_t IngestPool::MaxQueueDepth() const {
+  size_t depth = 0;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    const size_t lane_depth = lane->queue.size();
+    if (lane_depth > depth) depth = lane_depth;
+  }
+  return depth;
 }
 
 }  // namespace rl0

@@ -29,6 +29,17 @@
 // feeders), lane state may be read directly. QuiescedRun(fn) runs fn
 // while every worker is paused between chunks, which is what makes
 // merge/snapshot safe *concurrently* with ongoing feeding.
+//
+// Stamped chunks (time-based windows): FeedStamped carries an explicit
+// per-point stamp array alongside the chunk. The stamp array rides the
+// same atomic index-base assignment — every lane sees identical
+// (points, stamps, index_base) triples in identical order — so per-lane
+// state stays chunking-invariant exactly as in the sequence-stamped
+// mode. Stamps must be non-decreasing within a chunk (scanned before
+// the feed lock is taken) and across chunks in enqueue order (the O(1)
+// watermark check under the feed lock); a violation is a programming
+// error and CHECK-fails. Lanes consume stamped chunks through their
+// StampedSink; pools that never feed stamps never need one.
 
 #ifndef RL0_CORE_INGEST_POOL_H_
 #define RL0_CORE_INGEST_POOL_H_
@@ -56,6 +67,13 @@ class IngestPool {
   using Sink = std::function<void(Span<const Point> chunk,
                                   uint64_t index_base)>;
 
+  /// Consumes one explicitly stamped chunk (time-based windows):
+  /// `stamps[i]` is the stamp of `chunk[i]`, `index_base + i` its global
+  /// stream position.
+  using StampedSink = std::function<void(Span<const Point> chunk,
+                                         Span<const int64_t> stamps,
+                                         uint64_t index_base)>;
+
   struct Options {
     /// Chunks buffered per lane before Feed blocks (backpressure window).
     size_t queue_capacity = 4;
@@ -67,6 +85,12 @@ class IngestPool {
   /// Starts one worker thread per sink. Requires at least one sink.
   IngestPool(std::vector<Sink> sinks, const Options& options);
   explicit IngestPool(std::vector<Sink> sinks);
+
+  /// As above, with a stamped sink per lane (same order as `sinks`; must
+  /// be empty or match `sinks` in size). Lanes without stamped sinks
+  /// reject FeedStamped.
+  IngestPool(std::vector<Sink> sinks, std::vector<StampedSink> stamped_sinks,
+             const Options& options);
 
   /// Stops the pipeline (drains queued chunks, joins workers).
   ~IngestPool();
@@ -84,6 +108,20 @@ class IngestPool {
   /// As Feed but zero-copy: the caller guarantees `points` stays valid
   /// until the next Drain() (or Stop()) returns.
   void FeedBorrowed(Span<const Point> points);
+
+  /// Enqueues a copy of the explicitly stamped chunk for every lane
+  /// (requires stamped sinks). `stamps` must align with `points`, be
+  /// non-decreasing, and start at or after the pool's stamp watermark.
+  void FeedStamped(Span<const Point> points, Span<const int64_t> stamps);
+
+  /// As FeedStamped but adopts both vectors — no copy.
+  void FeedOwnedStamped(std::vector<Point> points,
+                        std::vector<int64_t> stamps);
+
+  /// As FeedStamped but zero-copy: both arrays must stay valid until the
+  /// next Drain() (or Stop()) returns.
+  void FeedBorrowedStamped(Span<const Point> points,
+                           Span<const int64_t> stamps);
 
   /// Blocks until every chunk fed before this call has been consumed by
   /// every lane. Safe from any thread, including concurrently with Feed
@@ -110,8 +148,22 @@ class IngestPool {
   /// Returns the base of the reserved range.
   uint64_t AdvanceIndexBase(uint64_t n);
 
+  /// Raises the stamp watermark to `stamp` (no-op if already past it) —
+  /// lets serial explicit-stamp inserts interleave with stamped feeding
+  /// under one monotone stamp sequence (see F0EstimatorSW::Insert).
+  void NoteStamp(int64_t stamp);
+
+  /// The stamp of the most recently fed stamped point (or noted via
+  /// NoteStamp); -1 before any stamped feeding.
+  int64_t latest_stamp() const;
+
   /// Points fed (or index-reserved) so far.
   uint64_t points_fed() const;
+
+  /// The deepest lane queue right now (chunks queued on the most
+  /// backlogged lane) — the adaptive chunk-sizing signal (see
+  /// core/chunk_policy.h). Safe from any thread; a racy snapshot.
+  size_t MaxQueueDepth() const;
 
   /// Number of lanes.
   size_t num_lanes() const { return lanes_.size(); }
@@ -126,14 +178,20 @@ class IngestPool {
     const Point* data = nullptr;
     size_t size = 0;
     uint64_t index_base = 0;
+    /// Explicit stamps (stamped chunks only; null = sequence-stamped).
+    std::shared_ptr<const std::vector<int64_t>> stamp_owner;
+    const int64_t* stamps = nullptr;
   };
 
   struct Lane {
-    explicit Lane(size_t queue_capacity, Sink lane_sink)
-        : queue(queue_capacity), sink(std::move(lane_sink)) {}
+    Lane(size_t queue_capacity, Sink lane_sink, StampedSink lane_stamped)
+        : queue(queue_capacity),
+          sink(std::move(lane_sink)),
+          stamped_sink(std::move(lane_stamped)) {}
 
     BoundedQueue<Chunk> queue;
     Sink sink;
+    StampedSink stamped_sink;
     std::thread worker;
     /// Held by the worker while a chunk is inside the sink (QuiescedRun
     /// acquires all lanes' mutexes to pause the pool between chunks).
@@ -149,10 +207,15 @@ class IngestPool {
 
   const size_t queue_capacity_;
   /// Serializes index-base assignment with enqueue order (the determinism
-  /// contract) and guards fed_/chunks_fed_.
+  /// contract) and guards fed_/chunks_fed_/latest_stamp_.
   mutable std::mutex feed_mu_;
   uint64_t fed_ = 0;
   uint64_t chunks_fed_ = 0;
+  /// Stamp watermark for stamped chunks; -1 until the first stamped feed
+  /// (or NoteStamp). Monotonicity across chunks is only enforced once
+  /// the watermark exists, so negative initial stamps stay legal.
+  int64_t latest_stamp_ = -1;
+  bool stamp_watermark_set_ = false;
   bool stopped_ = false;
   /// Stable addresses: workers hold Lane* across the pool's lifetime.
   std::vector<std::unique_ptr<Lane>> lanes_;

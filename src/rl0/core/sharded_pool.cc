@@ -1,7 +1,10 @@
 #include "rl0/core/sharded_pool.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
+
+#include "rl0/util/check.h"
 
 namespace rl0 {
 
@@ -13,6 +16,21 @@ namespace {
 /// under re-chunking (the determinism contract of the pipeline tests).
 size_t StrideStart(size_t s, size_t shards, uint64_t index_base) {
   return (s + shards - static_cast<size_t>(index_base % shards)) % shards;
+}
+
+/// The adaptive-chunk feed loop shared by both pools: chop `total`
+/// points into policy-sized chunks, report the pipeline's queue depth
+/// after each one. `feed(offset, n)` feeds the [offset, offset+n) slice.
+template <typename FeedFn>
+void FeedChunked(size_t total, AdaptiveChunkPolicy* policy,
+                 IngestPool* pipeline, FeedFn feed) {
+  size_t offset = 0;
+  while (offset < total) {
+    const size_t n = std::min(policy->chunk(), total - offset);
+    feed(offset, n);
+    offset += n;
+    policy->Observe(pipeline->MaxQueueDepth(), pipeline->queue_capacity());
+  }
 }
 
 }  // namespace
@@ -71,6 +89,13 @@ void ShardedSamplerPool::FeedOwned(std::vector<Point> points) {
 
 void ShardedSamplerPool::FeedBorrowed(Span<const Point> points) {
   pipeline_->FeedBorrowed(points);
+}
+
+void ShardedSamplerPool::FeedAdaptive(Span<const Point> points) {
+  FeedChunked(points.size(), &chunk_policy_, pipeline_.get(),
+              [&](size_t offset, size_t n) {
+                pipeline_->Feed(points.subspan(offset, n));
+              });
 }
 
 void ShardedSamplerPool::Drain() { pipeline_->Drain(); }
@@ -159,14 +184,17 @@ ShardedSwSamplerPool::ShardedSwSamplerPool(
     std::vector<RobustL0SamplerSW> shards, int64_t window,
     const IngestPool::Options& pipeline_options)
     : shards_(std::move(shards)), window_(window),
-      pipeline_options_(pipeline_options) {
+      pipeline_options_(pipeline_options),
+      mode_(std::make_unique<std::atomic<uint8_t>>(0)) {
   StartPipeline();
 }
 
 void ShardedSwSamplerPool::StartPipeline() {
   const size_t shards = shards_.size();
   std::vector<IngestPool::Sink> sinks;
+  std::vector<IngestPool::StampedSink> stamped_sinks;
   sinks.reserve(shards);
+  stamped_sinks.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     RobustL0SamplerSW* shard = &shards_[s];
     sinks.push_back([shard, s, shards](Span<const Point> chunk,
@@ -178,21 +206,80 @@ void ShardedSwSamplerPool::StartPipeline() {
       shard->InsertStrided(chunk, StrideStart(s, shards, index_base),
                            shards, index_base);
     });
+    stamped_sinks.push_back([shard, s, shards](Span<const Point> chunk,
+                                               Span<const int64_t> stamps,
+                                               uint64_t index_base) {
+      // Time-based variant: the stamp array rides the chunk, global
+      // positions still come from the index base — the shard's input
+      // (points, stamps, indices) is invariant under re-chunking.
+      shard->InsertStridedStamped(chunk, stamps,
+                                  StrideStart(s, shards, index_base),
+                                  shards, index_base);
+    });
   }
-  pipeline_ = std::make_unique<IngestPool>(std::move(sinks),
-                                           pipeline_options_);
+  pipeline_ = std::make_unique<IngestPool>(
+      std::move(sinks), std::move(stamped_sinks), pipeline_options_);
+}
+
+void ShardedSwSamplerPool::LatchMode(StampMode mode) {
+  uint8_t expected = static_cast<uint8_t>(StampMode::kUnset);
+  const uint8_t wanted = static_cast<uint8_t>(mode);
+  if (!mode_->compare_exchange_strong(expected, wanted,
+                                      std::memory_order_relaxed)) {
+    // Mixing sequence- and time-stamped feeds would interleave two
+    // incompatible stamp semantics on every lane; fail loudly.
+    RL0_CHECK(expected == wanted);
+  }
 }
 
 void ShardedSwSamplerPool::Feed(Span<const Point> points) {
+  LatchMode(StampMode::kSequence);
   pipeline_->Feed(points);
 }
 
 void ShardedSwSamplerPool::FeedOwned(std::vector<Point> points) {
+  LatchMode(StampMode::kSequence);
   pipeline_->FeedOwned(std::move(points));
 }
 
 void ShardedSwSamplerPool::FeedBorrowed(Span<const Point> points) {
+  LatchMode(StampMode::kSequence);
   pipeline_->FeedBorrowed(points);
+}
+
+void ShardedSwSamplerPool::FeedStamped(Span<const Point> points,
+                                       Span<const int64_t> stamps) {
+  LatchMode(StampMode::kTime);
+  pipeline_->FeedStamped(points, stamps);
+}
+
+void ShardedSwSamplerPool::FeedOwnedStamped(std::vector<Point> points,
+                                            std::vector<int64_t> stamps) {
+  LatchMode(StampMode::kTime);
+  pipeline_->FeedOwnedStamped(std::move(points), std::move(stamps));
+}
+
+void ShardedSwSamplerPool::FeedBorrowedStamped(Span<const Point> points,
+                                               Span<const int64_t> stamps) {
+  LatchMode(StampMode::kTime);
+  pipeline_->FeedBorrowedStamped(points, stamps);
+}
+
+void ShardedSwSamplerPool::FeedAdaptive(Span<const Point> points) {
+  FeedChunked(points.size(), &chunk_policy_, pipeline_.get(),
+              [&](size_t offset, size_t n) {
+                Feed(points.subspan(offset, n));
+              });
+}
+
+void ShardedSwSamplerPool::FeedStampedAdaptive(Span<const Point> points,
+                                               Span<const int64_t> stamps) {
+  RL0_CHECK(stamps.size() == points.size());
+  FeedChunked(points.size(), &chunk_policy_, pipeline_.get(),
+              [&](size_t offset, size_t n) {
+                FeedStamped(points.subspan(offset, n),
+                            stamps.subspan(offset, n));
+              });
 }
 
 void ShardedSwSamplerPool::Drain() { pipeline_->Drain(); }
@@ -203,6 +290,10 @@ void ShardedSwSamplerPool::ConsumeParallel(Span<const Point> points) {
 }
 
 int64_t ShardedSwSamplerPool::now() const {
+  if (mode_->load(std::memory_order_relaxed) ==
+      static_cast<uint8_t>(StampMode::kTime)) {
+    return pipeline_->latest_stamp();
+  }
   return static_cast<int64_t>(pipeline_->points_fed()) - 1;
 }
 
@@ -244,14 +335,45 @@ std::vector<SampleItem> ShardedSwSamplerPool::MergedWindowItems(
   return items;
 }
 
-std::optional<SampleItem> ShardedSwSamplerPool::Sample(int64_t query_now,
-                                                       Xoshiro256pp* rng) {
+template <typename NowOf>
+std::vector<SampleItem> ShardedSwSamplerPool::BuildUnifiedPool(
+    NowOf now_of, Xoshiro256pp* rng) {
+  // Pass 1 (no query randomness consumed): the global deepest non-empty
+  // level across shards. Each shard's pool is then unified to that one
+  // rate 1/R_c_global, so no shard over-contributes just because its own
+  // hierarchy settled shallower — the PR 3 multi-shard over-inclusion
+  // caveat. With one shard this degenerates to the shard's own deepest
+  // level and the rng consumption of the plain pointwise query.
+  int c_global = -1;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::optional<uint32_t> deepest =
+        shards_[s].DeepestNonEmptyLevel(now_of(s));
+    if (deepest.has_value()) {
+      c_global = std::max(c_global, static_cast<int>(*deepest));
+    }
+  }
   std::vector<SampleItem> pool;
-  for (RobustL0SamplerSW& shard : shards_) {
-    std::vector<SampleItem> shard_pool = shard.WindowQueryPool(query_now, rng);
+  if (c_global < 0) return pool;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::vector<SampleItem> shard_pool =
+        shards_[s].WindowQueryPool(now_of(s), rng, c_global);
     pool.insert(pool.end(), shard_pool.begin(), shard_pool.end());
   }
+  // Cross-shard α-proximity dedupe: at most one entry per underlying
+  // group survives, so a group tracked by several shards cannot occupy
+  // several slots of the uniform draw.
   if (shards_.size() > 1) DedupeLatestWins(&pool);
+  return pool;
+}
+
+std::vector<SampleItem> ShardedSwSamplerPool::UnifiedQueryPool(
+    int64_t query_now, Xoshiro256pp* rng) {
+  return BuildUnifiedPool([query_now](size_t) { return query_now; }, rng);
+}
+
+std::optional<SampleItem> ShardedSwSamplerPool::Sample(int64_t query_now,
+                                                       Xoshiro256pp* rng) {
+  const std::vector<SampleItem> pool = UnifiedQueryPool(query_now, rng);
   if (pool.empty()) return std::nullopt;
   return pool[rng->NextBounded(pool.size())];
 }
@@ -268,13 +390,8 @@ std::optional<SampleItem> ShardedSwSamplerPool::SampleQuiesced(
     // Each shard is queried at its own processed prefix: expiring at the
     // shard's latest stamp repeats work its own inserts already did, so
     // the peek never disturbs the lane's deterministic trajectory.
-    std::vector<SampleItem> pool;
-    for (RobustL0SamplerSW& shard : shards_) {
-      std::vector<SampleItem> shard_pool =
-          shard.WindowQueryPool(shard.latest_stamp(), rng);
-      pool.insert(pool.end(), shard_pool.begin(), shard_pool.end());
-    }
-    if (shards_.size() > 1) DedupeLatestWins(&pool);
+    const std::vector<SampleItem> pool = BuildUnifiedPool(
+        [this](size_t s) { return shards_[s].latest_stamp(); }, rng);
     if (!pool.empty()) sample = pool[rng->NextBounded(pool.size())];
   });
   return sample;

@@ -28,12 +28,14 @@
 #ifndef RL0_CORE_SHARDED_POOL_H_
 #define RL0_CORE_SHARDED_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include <optional>
 
+#include "rl0/core/chunk_policy.h"
 #include "rl0/core/ingest_pool.h"
 #include "rl0/core/iw_sampler.h"
 #include "rl0/core/sw_sampler.h"
@@ -72,6 +74,17 @@ class ShardedSamplerPool {
   /// As Feed but zero-copy: `points` must stay valid until the next
   /// Drain() returns.
   void FeedBorrowed(Span<const Point> points);
+
+  /// Chops `points` into chunks sized by the shared adaptive policy
+  /// (core/chunk_policy.h): queue depth grows the chunks, lane
+  /// starvation shrinks them. Chunk boundaries never affect shard state
+  /// (the determinism contract), so this is pure throughput tuning.
+  /// Copies each chunk; single producer per policy (see chunk_policy()).
+  void FeedAdaptive(Span<const Point> points);
+
+  /// The adaptive chunk-sizing policy used by FeedAdaptive (mutable: the
+  /// producer may reconfigure or share it across feeds).
+  AdaptiveChunkPolicy& chunk_policy() { return chunk_policy_; }
 
   /// Blocks until everything fed before this call is consumed by every
   /// shard. Safe from any thread, also concurrently with feeding.
@@ -125,19 +138,30 @@ class ShardedSamplerPool {
   std::vector<RobustL0SamplerIW> shards_;
   IngestPool::Options pipeline_options_;
   std::unique_ptr<IngestPool> pipeline_;
+  AdaptiveChunkPolicy chunk_policy_;
 };
 
 /// The windowed mode of the sharded pool: S sliding-window hierarchies
 /// (RobustL0SamplerSW) fed as persistent IngestPool lanes.
 ///
 /// Partition and stamps: shard s consumes the points at *global* stream
-/// positions ≡ s (mod S), and every point is stamped with its global
-/// position (sequence-based windows over the shared stream). The stamp of
-/// chunk[0] is carried by the chunk's index base, so per-shard input —
-/// stamps included — is invariant under re-chunking of the feed, even
-/// when a chunk straddles a window-expiry boundary. Lanes therefore make
-/// bit-identical decisions for any chunking and any number of producers
-/// (pinned by tests/sw_pipeline_determinism_test.cc).
+/// positions ≡ s (mod S). The pool supports both of the paper's window
+/// models, chosen by which feed API is used first (modes cannot mix):
+///
+///   * sequence-based (Feed/FeedOwned/FeedBorrowed) — every point is
+///     stamped with its global position; the stamp of chunk[0] is
+///     carried by the chunk's index base;
+///   * time-based (FeedStamped/FeedOwnedStamped/FeedBorrowedStamped) —
+///     every point carries an explicit stamp from a parallel stamp
+///     array that rides the chunk through the pipeline; stamps must be
+///     non-decreasing in feed order (a point is live at query time
+///     `now` iff its stamp lies in (now − w, now]).
+///
+/// In both modes per-shard input — stamps included — is invariant under
+/// re-chunking of the feed, even when a chunk straddles a window-expiry
+/// boundary (or a stamp gap jumps past whole windows). Lanes therefore
+/// make bit-identical decisions for any chunking and any number of
+/// producers (pinned by tests/sw_pipeline_determinism_test.cc).
 ///
 /// Queries merge the per-shard window samples. Two shards may both track
 /// one underlying group (each saw a sub-view of its points); the merge
@@ -162,12 +186,38 @@ class ShardedSwSamplerPool {
 
   /// Streams `points` into the pipeline as one chunk (copied). Returns as
   /// soon as the chunk is queued on every shard — Drain() before querying.
+  /// Sequence mode: stamps are global stream positions.
   void Feed(Span<const Point> points);
   /// As Feed but adopts the vector — no copy.
   void FeedOwned(std::vector<Point> points);
   /// As Feed but zero-copy: `points` must stay valid until the next
   /// Drain() returns.
   void FeedBorrowed(Span<const Point> points);
+
+  /// Streams one explicitly stamped chunk (time-based windows; copied):
+  /// `stamps[i]` is the stamp of `points[i]`. Stamps must align with the
+  /// points, be non-decreasing within the chunk and across feeds, and the
+  /// pool must not have been fed through the sequence-stamped APIs
+  /// (modes cannot mix; checked). Lanes route their residue class
+  /// through RobustL0SamplerSW::InsertStamped, so per-shard state —
+  /// expiry schedule included — is invariant under re-chunking.
+  void FeedStamped(Span<const Point> points, Span<const int64_t> stamps);
+  /// As FeedStamped but adopts both vectors — no copy.
+  void FeedOwnedStamped(std::vector<Point> points,
+                        std::vector<int64_t> stamps);
+  /// As FeedStamped but zero-copy: both arrays must stay valid until the
+  /// next Drain() returns.
+  void FeedBorrowedStamped(Span<const Point> points,
+                           Span<const int64_t> stamps);
+
+  /// Adaptive-chunked feeding (see ShardedSamplerPool::FeedAdaptive and
+  /// core/chunk_policy.h); sequence mode.
+  void FeedAdaptive(Span<const Point> points);
+  /// Adaptive-chunked stamped feeding (time mode).
+  void FeedStampedAdaptive(Span<const Point> points,
+                           Span<const int64_t> stamps);
+  /// The adaptive chunk-sizing policy used by the adaptive feeds.
+  AdaptiveChunkPolicy& chunk_policy() { return chunk_policy_; }
 
   /// Blocks until everything fed before this call is consumed by every
   /// shard. Safe from any thread, also concurrently with feeding.
@@ -176,8 +226,9 @@ class ShardedSwSamplerPool {
   /// Feeds `points` and drains (the blocking convenience call).
   void ConsumeParallel(Span<const Point> points);
 
-  /// The stamp of the most recently fed point (global position of the
-  /// stream's last point); -1 before any feeding.
+  /// The stamp of the most recently fed point — the global position of
+  /// the stream's last point in sequence mode, the last explicit stamp in
+  /// time mode; -1 before any feeding.
   int64_t now() const;
 
   /// Deterministic merged window view: the union of all shards' accepted
@@ -186,16 +237,27 @@ class ShardedSwSamplerPool {
   /// true latest window point of a live group of the union stream.
   std::vector<SampleItem> MergedWindowItems(int64_t now);
 
-  /// A robust ℓ0-sample of the union window at time `query_now`: unifies
-  /// each shard's per-level rates (Algorithm 3 query), dedupes across
-  /// shards, draws uniformly. Requires a quiescent pipeline. nullopt iff
-  /// the window is empty.
+  /// The merged rate-unified candidate pool behind Sample: every shard's
+  /// query pool unified to the *global* deepest non-empty level across
+  /// shards (each shard's groups then enter at one common rate
+  /// 1/R_c_global; without the cross-shard unification a shard whose own
+  /// hierarchy is shallower would over-contribute by its rate gap), then
+  /// deduped α-proximity latest-wins so each underlying group keeps at
+  /// most one entry. Requires a quiescent pipeline. Exposed for tests
+  /// and for callers that want the pool rather than one draw.
+  std::vector<SampleItem> UnifiedQueryPool(int64_t query_now,
+                                           Xoshiro256pp* rng);
+
+  /// A robust ℓ0-sample of the union window at time `query_now`: a
+  /// uniform draw from UnifiedQueryPool. Requires a quiescent pipeline.
+  /// nullopt iff the window is empty.
   ///
-  /// Uniformity caveat: below rate 1 a group's chance of entering the
-  /// merged pool is its chance of surviving *some* shard's rate, so a
-  /// group whose window points span many residue classes is up to S
-  /// times more likely to be drawn than a single-shard group — the same
-  /// graceful Θ(1)-per-group degradation regime as Theorem 3.1 and
+  /// Uniformity caveat: the cross-shard dedupe keeps one entry per
+  /// group, and the global-level unification gives every shard's groups
+  /// one common selection rate — but below rate 1 a group whose window
+  /// points span k residue classes still gets k independent chances to
+  /// enter the pool (up to S-fold over-inclusion *in probability*), the
+  /// same graceful Θ(1)-per-group degradation regime as Theorem 3.1 and
   /// RobustL0SamplerIW::AbsorbFrom. Exact at rate 1; with one lane this
   /// is exactly the pointwise sampler's draw.
   std::optional<SampleItem> Sample(int64_t query_now, Xoshiro256pp* rng);
@@ -223,19 +285,33 @@ class ShardedSwSamplerPool {
   size_t SpaceWords() const;
 
  private:
+  /// Which stamp semantics the pool has been fed with. Latched by the
+  /// first feed; mixing modes is a programming error (CHECK-fails).
+  enum class StampMode : uint8_t { kUnset = 0, kSequence = 1, kTime = 2 };
+
   ShardedSwSamplerPool(std::vector<RobustL0SamplerSW> shards, int64_t window,
                        const IngestPool::Options& pipeline_options);
 
   void StartPipeline();
+  /// Latches the pool's stamp mode (atomic; safe from concurrent
+  /// producers) and CHECK-fails on a mode mix.
+  void LatchMode(StampMode mode);
   /// In-place α-proximity dedup, keeping the item with the larger stream
   /// index per group; preserves first-seen order (single-shard pools pass
   /// through untouched, matching the pointwise sampler bit-for-bit).
   void DedupeLatestWins(std::vector<SampleItem>* items) const;
+  /// Shared body of UnifiedQueryPool/SampleQuiesced: pools every shard at
+  /// `now_of(shard)` unified to the global deepest level, then dedupes.
+  template <typename NowOf>
+  std::vector<SampleItem> BuildUnifiedPool(NowOf now_of, Xoshiro256pp* rng);
 
   std::vector<RobustL0SamplerSW> shards_;
   int64_t window_;
   IngestPool::Options pipeline_options_;
   std::unique_ptr<IngestPool> pipeline_;
+  /// Heap-allocated so the pool stays movable.
+  std::unique_ptr<std::atomic<uint8_t>> mode_;
+  AdaptiveChunkPolicy chunk_policy_;
 };
 
 }  // namespace rl0

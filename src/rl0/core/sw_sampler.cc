@@ -68,6 +68,30 @@ void RobustL0SamplerSW::InsertStrided(Span<const Point> points, size_t start,
   }
 }
 
+void RobustL0SamplerSW::InsertStridedStamped(Span<const Point> points,
+                                             Span<const int64_t> stamps,
+                                             size_t start, size_t stride,
+                                             uint64_t index_base) {
+  RL0_DCHECK(stride > 0);
+  RL0_DCHECK(stamps.size() == points.size());
+  const size_t n = points.size();
+  // Same chunk-level prefetch gate as InsertStrided: warm the next
+  // element's top-level cell bucket while this one inserts.
+  if (levels_.back()->PrefetchPays()) {
+    for (size_t i = start; i < n; i += stride) {
+      if (i + stride < n) {
+        levels_.back()->PrefetchCell(
+            ctx_->grid.CellKeyOf(points[i + stride]));
+      }
+      InsertStamped(points[i], stamps[i], index_base + i);
+    }
+    return;
+  }
+  for (size_t i = start; i < n; i += stride) {
+    InsertStamped(points[i], stamps[i], index_base + i);
+  }
+}
+
 void RobustL0SamplerSW::InsertStamped(const Point& p, int64_t stamp,
                                       uint64_t stream_index) {
   RL0_DCHECK(p.dim() == ctx_->options.dim);
@@ -154,7 +178,8 @@ void RobustL0SamplerSW::ExpireAll(int64_t now) {
 }
 
 std::vector<SampleItem> RobustL0SamplerSW::BuildQueryPool(int64_t now,
-                                                          Xoshiro256pp* rng) {
+                                                          Xoshiro256pp* rng,
+                                                          int min_level) {
   ExpireAll(now);
   // c = deepest level with a non-empty accept set (Algorithm 3 line 20).
   int c = -1;
@@ -166,37 +191,43 @@ std::vector<SampleItem> RobustL0SamplerSW::BuildQueryPool(int64_t now,
   }
   std::vector<SampleItem> pool;
   if (c < 0) return pool;
+  // A sharded pool may unify deeper than this sampler's own hierarchy
+  // reaches (the global deepest level across shards); the own deepest
+  // level then gets thinned too, and the pool may legitimately come out
+  // empty.
+  const int unify = min_level > c ? min_level : c;
 
   // Unify the per-level rates: keep a level-ℓ group with probability
-  // R_ℓ/R_c = 2^(ℓ-c), so that every surviving group was selected with
-  // probability exactly 1/R_c (Algorithm 3 lines 21-22).
+  // R_ℓ/R_unify = 2^(ℓ-unify), so that every surviving group was selected
+  // with probability exactly 1/R_unify (Algorithm 3 lines 21-22).
   std::vector<SampleItem> level_points;
   for (int l = 0; l <= c; ++l) {
     level_points.clear();
     levels_[l]->AcceptedGroupSamples(now, &level_points);
-    if (l == c) {
+    if (l == unify) {
       pool.insert(pool.end(), level_points.begin(), level_points.end());
       continue;
     }
-    const double keep = std::pow(2.0, static_cast<double>(l - c));
+    const double keep = std::pow(2.0, static_cast<double>(l - unify));
     for (const SampleItem& item : level_points) {
       if (rng->NextBernoulli(keep)) pool.push_back(item);
     }
   }
-  RL0_DCHECK(!pool.empty());  // level c contributes with probability 1
+  // Level c contributes with probability 1 when unify == c.
+  RL0_DCHECK(unify > c || !pool.empty());
   return pool;
 }
 
 std::optional<SampleItem> RobustL0SamplerSW::Sample(int64_t now,
                                                     Xoshiro256pp* rng) {
-  const std::vector<SampleItem> pool = BuildQueryPool(now, rng);
+  const std::vector<SampleItem> pool = BuildQueryPool(now, rng, -1);
   if (pool.empty()) return std::nullopt;
   return pool[rng->NextBounded(pool.size())];
 }
 
 Result<std::vector<SampleItem>> RobustL0SamplerSW::SampleK(
     size_t count, int64_t now, Xoshiro256pp* rng) {
-  std::vector<SampleItem> pool = BuildQueryPool(now, rng);
+  std::vector<SampleItem> pool = BuildQueryPool(now, rng, -1);
   if (pool.size() < count) {
     return Status::FailedPrecondition(
         "fewer unified window groups than requested samples");

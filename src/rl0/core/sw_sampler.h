@@ -64,6 +64,13 @@ class RobustL0SamplerSW {
   /// Feeds a point stamped with its arrival index (sequence-based windows).
   void Insert(const Point& p);
 
+  /// Core of every insert path: explicit stamp and explicit *global*
+  /// stream position. This is the time-based sharded-ingestion primitive
+  /// — lanes of a stamped windowed pool feed their residue class through
+  /// it, so stamps and stream indices both survive re-chunking. Stamps
+  /// must be non-decreasing; stream indices identify arrival order.
+  void InsertStamped(const Point& p, int64_t stamp, uint64_t stream_index);
+
   /// Feeds a contiguous chunk of points in arrival order, each stamped
   /// with its arrival index. Equivalent to calling Insert per point.
   void InsertBatch(Span<const Point> points);
@@ -82,6 +89,14 @@ class RobustL0SamplerSW {
   /// RobustL0SamplerIW::InsertStrided (see ShardedSwSamplerPool).
   void InsertStrided(Span<const Point> points, size_t start, size_t stride,
                      uint64_t index_base = 0);
+
+  /// The time-based analogue of InsertStrided: processes the strided
+  /// subsequence through InsertStamped with stamp `stamps[i]` and global
+  /// position `index_base + i`. `stamps` must align with `points` and be
+  /// non-decreasing.
+  void InsertStridedStamped(Span<const Point> points,
+                            Span<const int64_t> stamps, size_t start,
+                            size_t stride, uint64_t index_base = 0);
 
   /// Returns a robust ℓ0-sample of the window at time `now`: a group alive
   /// in (now-window, now] chosen uniformly, represented by its latest
@@ -121,7 +136,19 @@ class RobustL0SamplerSW {
   /// alive in the window enters with equal probability 1/R_c. Exposed so
   /// a sharded pool can unify per-shard pools before the uniform draw.
   std::vector<SampleItem> WindowQueryPool(int64_t now, Xoshiro256pp* rng) {
-    return BuildQueryPool(now, rng);
+    return BuildQueryPool(now, rng, /*min_level=*/-1);
+  }
+
+  /// As WindowQueryPool, but unified to `unify_level` when that is deeper
+  /// than this sampler's own deepest non-empty level: every group then
+  /// enters the pool with probability 1/2^max(c, unify_level). A sharded
+  /// pool passes the *global* deepest level across shards, so every
+  /// shard's groups are selected at one common rate — without it a shard
+  /// whose hierarchy is shallower would over-contribute by the rate gap
+  /// (see ShardedSwSamplerPool::Sample).
+  std::vector<SampleItem> WindowQueryPool(int64_t now, Xoshiro256pp* rng,
+                                          int unify_level) {
+    return BuildQueryPool(now, rng, unify_level);
   }
 
   /// Number of levels (L+1 with L = ⌈log2 window⌉).
@@ -158,13 +185,13 @@ class RobustL0SamplerSW {
 
   RobustL0SamplerSW(const SamplerOptions& options, int64_t window);
 
-  /// Core of every insert path: explicit stamp and stream index.
-  void InsertStamped(const Point& p, int64_t stamp, uint64_t stream_index);
-
   void Cascade(size_t start_level);
   void ExpireAll(int64_t now);
-  /// Collects the rate-unified candidate pool (Algorithm 3 lines 19-22).
-  std::vector<SampleItem> BuildQueryPool(int64_t now, Xoshiro256pp* rng);
+  /// Collects the rate-unified candidate pool (Algorithm 3 lines 19-22),
+  /// unified to max(own deepest level, min_level); min_level < 0 means
+  /// the sampler's own deepest level.
+  std::vector<SampleItem> BuildQueryPool(int64_t now, Xoshiro256pp* rng,
+                                         int min_level);
 
   std::unique_ptr<SamplerContext> ctx_;
   std::unique_ptr<uint64_t> id_counter_;

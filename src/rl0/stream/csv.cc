@@ -1,43 +1,88 @@
 #include "rl0/stream/csv.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "rl0/util/check.h"
+
 namespace rl0 {
 
 namespace {
 
+/// Advances past separators and extracts the next token of `line`
+/// starting at `*pos`; returns false when the line is exhausted. The
+/// single definition of the separator set (',', ' ', '\t', '\r' — CRLF
+/// rides in as a trailing separator) shared by every CSV scanner here.
+bool NextToken(const std::string& line, size_t* pos, std::string* token) {
+  size_t p = *pos;
+  while (p < line.size() &&
+         (line[p] == ',' || line[p] == ' ' || line[p] == '\t' ||
+          line[p] == '\r')) {
+    ++p;
+  }
+  if (p >= line.size()) {
+    *pos = p;
+    return false;
+  }
+  size_t end = p;
+  while (end < line.size() && line[end] != ',' && line[end] != ' ' &&
+         line[end] != '\t' && line[end] != '\r') {
+    ++end;
+  }
+  *token = line.substr(p, end - p);
+  *pos = end;
+  return true;
+}
+
 /// Splits a CSV line on commas and/or whitespace into coordinate tokens.
+/// Rejects malformed numbers AND out-of-range values: strtod signals
+/// overflow by returning ±HUGE_VAL with errno == ERANGE while still
+/// consuming the whole token, so a pure parse-end check would silently
+/// accept "1e999" as +inf (gradual underflow to denormals/zero is fine
+/// and accepted). Explicit "inf"/"nan" tokens parse but are non-finite,
+/// so the same std::isfinite gate rejects them too.
 Status ParseLine(const std::string& line, size_t line_number,
                  std::vector<double>* coords) {
   coords->clear();
   size_t pos = 0;
-  while (pos < line.size()) {
-    // Skip separators.
-    while (pos < line.size() &&
-           (line[pos] == ',' || line[pos] == ' ' || line[pos] == '\t' ||
-            line[pos] == '\r')) {
-      ++pos;
-    }
-    if (pos >= line.size()) break;
-    size_t end = pos;
-    while (end < line.size() && line[end] != ',' && line[end] != ' ' &&
-           line[end] != '\t' && line[end] != '\r') {
-      ++end;
-    }
-    const std::string token = line.substr(pos, end - pos);
+  std::string token;
+  while (NextToken(line, &pos, &token)) {
     char* parse_end = nullptr;
+    errno = 0;
     const double value = std::strtod(token.c_str(), &parse_end);
     if (parse_end == token.c_str() || *parse_end != '\0') {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
                                      ": bad number '" + token + "'");
     }
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": coordinate out of range '" + token + "'");
+    }
     coords->push_back(value);
-    pos = end;
   }
+  return Status::OK();
+}
+
+/// One consistency-checked point from a coordinate row. `dim` latches on
+/// the first row.
+Status AppendPoint(std::vector<double>&& coords, size_t line_number,
+                   size_t* dim, std::vector<Point>* points) {
+  if (*dim == 0) {
+    *dim = coords.size();
+  } else if (coords.size() != *dim) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(line_number) + ": expected " +
+        std::to_string(*dim) + " coordinates, got " +
+        std::to_string(coords.size()));
+  }
+  points->push_back(Point(coords));
   return Status::OK();
 }
 
@@ -55,15 +100,8 @@ Result<std::vector<Point>> ParseCsvPoints(std::istream& in) {
     Status s = ParseLine(line, line_number, &coords);
     if (!s.ok()) return s;
     if (coords.empty()) continue;
-    if (dim == 0) {
-      dim = coords.size();
-    } else if (coords.size() != dim) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_number) + ": expected " +
-          std::to_string(dim) + " coordinates, got " +
-          std::to_string(coords.size()));
-    }
-    points.push_back(Point(coords));
+    s = AppendPoint(std::move(coords), line_number, &dim, &points);
+    if (!s.ok()) return s;
   }
   return points;
 }
@@ -83,6 +121,76 @@ void WriteCsvPoints(const std::vector<Point>& points, std::ostream& out) {
       std::snprintf(buf, sizeof(buf), "%.17g", p[i]);
       if (i) out << ',';
       out << buf;
+    }
+    out << '\n';
+  }
+}
+
+Result<StampedCsv> ParseCsvStampedPoints(std::istream& in) {
+  StampedCsv out;
+  std::string line;
+  std::vector<double> coords;
+  size_t line_number = 0;
+  size_t dim = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    Status s = ParseLine(line, line_number, &coords);
+    if (!s.ok()) return s;
+    if (coords.empty()) continue;
+    if (coords.size() < 2) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": stamped rows need a stamp and at least one coordinate");
+    }
+    // The stamp column must be an exact integer: re-parsing the double is
+    // lossy past 2^53, and a fractional stamp is a format error, so the
+    // first token is parsed again as an integer from the raw line (same
+    // tokenizer, same boundaries).
+    size_t pos = 0;
+    std::string token;
+    NextToken(line, &pos, &token);  // non-empty: coords was non-empty
+    char* parse_end = nullptr;
+    errno = 0;
+    const long long stamp = std::strtoll(token.c_str(), &parse_end, 10);
+    if (parse_end == token.c_str() || *parse_end != '\0' ||
+        errno == ERANGE) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": bad stamp '" + token + "'");
+    }
+    if (!out.stamps.empty() && stamp < out.stamps.back()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": stamp " + token +
+          " decreases (stamps must be non-decreasing)");
+    }
+    coords.erase(coords.begin());
+    Status sp = AppendPoint(std::move(coords), line_number, &dim,
+                            &out.points);
+    if (!sp.ok()) return sp;
+    out.stamps.push_back(static_cast<int64_t>(stamp));
+  }
+  return out;
+}
+
+Result<StampedCsv> ReadCsvStampedPoints(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return ParseCsvStampedPoints(in);
+}
+
+void WriteCsvStampedPoints(const std::vector<Point>& points,
+                           const std::vector<int64_t>& stamps,
+                           std::ostream& out) {
+  RL0_CHECK(points.size() == stamps.size());
+  char buf[40];
+  for (size_t i = 0; i < points.size(); ++i) {
+    out << static_cast<long long>(stamps[i]);
+    const Point& p = points[i];
+    for (size_t d = 0; d < p.dim(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%.17g", p[d]);
+      out << ',' << buf;
     }
     out << '\n';
   }

@@ -1,13 +1,22 @@
 // CSV point streams: the interchange format of the command-line tool.
 //
 // One point per line, coordinates separated by commas (or whitespace);
-// blank lines and lines starting with '#' are skipped. All points must
-// share one dimension. Parsing is strict and reports 1-based line numbers
-// in error messages.
+// blank lines and lines starting with '#' are skipped; CRLF line endings
+// are accepted. All points must share one dimension. Parsing is strict
+// and reports 1-based line numbers in error messages: malformed tokens,
+// inconsistent dimensions and out-of-range coordinates (overflow to
+// ±inf, explicit inf/nan) are all rejected — a non-finite coordinate
+// would silently poison every grid/distance computation downstream.
+//
+// Stamped variant (time-based windows): the first column is an integer
+// stamp (arrival time), the remaining columns the coordinates. Stamps
+// must be non-decreasing down the file, mirroring the stream contract of
+// RobustL0SamplerSW::InsertStamped.
 
 #ifndef RL0_STREAM_CSV_H_
 #define RL0_STREAM_CSV_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -25,6 +34,28 @@ Result<std::vector<Point>> ReadCsvPoints(const std::string& path);
 
 /// Writes points as CSV ("%.17g" coordinates, comma-separated).
 void WriteCsvPoints(const std::vector<Point>& points, std::ostream& out);
+
+/// A parsed stamped stream: stamps[i] is the arrival time of points[i] —
+/// the parallel-array feed format of the time-based pipeline
+/// (ShardedSwSamplerPool::FeedStamped).
+struct StampedCsv {
+  std::vector<Point> points;
+  std::vector<int64_t> stamps;
+};
+
+/// Parses a stamped stream from CSV text: leading integer stamp column,
+/// then the coordinates. Rejects non-integer or decreasing stamps with a
+/// line-numbered error.
+Result<StampedCsv> ParseCsvStampedPoints(std::istream& in);
+
+/// Reads a stamped stream from a CSV file.
+Result<StampedCsv> ReadCsvStampedPoints(const std::string& path);
+
+/// Writes a stamped stream as CSV (stamp first, then "%.17g"
+/// coordinates, comma-separated). Requires aligned arrays.
+void WriteCsvStampedPoints(const std::vector<Point>& points,
+                           const std::vector<int64_t>& stamps,
+                           std::ostream& out);
 
 }  // namespace rl0
 

@@ -16,18 +16,59 @@ std::vector<StampedPoint> SequenceStamped(const NoisyDataset& dataset) {
   return out;
 }
 
-std::vector<StampedPoint> TimeStamped(const NoisyDataset& dataset,
-                                      uint32_t max_gap, uint64_t seed) {
+namespace {
+
+/// The shared stamping loop: uniform jitter gaps in {1..max_gap}, with
+/// every `burst_every`-th gap replaced by `burst_gap` (0 = no bursts).
+/// `mixed_seed` is the caller's already-mixed rng seed — each public
+/// generator keeps its own mix constant, so existing streams are
+/// byte-stable.
+std::vector<StampedPoint> StampWithGaps(const NoisyDataset& dataset,
+                                        uint32_t max_gap, size_t burst_every,
+                                        int64_t burst_gap,
+                                        uint64_t mixed_seed) {
   std::vector<StampedPoint> out;
   out.reserve(dataset.points.size());
-  Xoshiro256pp rng(SplitMix64(seed ^ 0x54696D65ULL));
+  Xoshiro256pp rng(SplitMix64(mixed_seed));
   int64_t now = 0;
   for (size_t i = 0; i < dataset.points.size(); ++i) {
-    now += 1 + static_cast<int64_t>(rng.NextBounded(std::max(1u, max_gap)));
+    if (burst_every != 0 && i != 0 && i % burst_every == 0) {
+      now += burst_gap;  // the whole previous window expires at once
+    } else {
+      now += 1 + static_cast<int64_t>(rng.NextBounded(std::max(1u, max_gap)));
+    }
     out.push_back(
         StampedPoint{dataset.points[i], now, dataset.group_of[i], i});
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<StampedPoint> TimeStamped(const NoisyDataset& dataset,
+                                      uint32_t max_gap, uint64_t seed) {
+  return StampWithGaps(dataset, max_gap, 0, 0, seed ^ 0x54696D65ULL);
+}
+
+std::vector<StampedPoint> TimeStampedBursty(const NoisyDataset& dataset,
+                                            uint32_t max_gap,
+                                            size_t burst_every,
+                                            int64_t burst_gap,
+                                            uint64_t seed) {
+  return StampWithGaps(dataset, max_gap, burst_every, burst_gap,
+                       seed ^ 0x42757273ULL);
+}
+
+void SplitStamped(const std::vector<StampedPoint>& stream,
+                  std::vector<Point>* points, std::vector<int64_t>* stamps) {
+  points->clear();
+  stamps->clear();
+  points->reserve(stream.size());
+  stamps->reserve(stream.size());
+  for (const StampedPoint& sp : stream) {
+    points->push_back(sp.point);
+    stamps->push_back(sp.stamp);
+  }
 }
 
 std::vector<uint32_t> GroupsInWindow(const std::vector<StampedPoint>& stream,

@@ -35,6 +35,22 @@ std::vector<StampedPoint> SequenceStamped(const NoisyDataset& dataset);
 std::vector<StampedPoint> TimeStamped(const NoisyDataset& dataset,
                                       uint32_t max_gap, uint64_t seed);
 
+/// As TimeStamped, but every `burst_every`-th gap jumps by
+/// `burst_gap` instead — stamps that leap past whole windows, the
+/// expiry-wave workload of the time-based pipeline tests. burst_every=0
+/// disables bursts (plain TimeStamped).
+std::vector<StampedPoint> TimeStampedBursty(const NoisyDataset& dataset,
+                                            uint32_t max_gap,
+                                            size_t burst_every,
+                                            int64_t burst_gap,
+                                            uint64_t seed);
+
+/// Splits a stamped stream into the parallel point/stamp arrays the
+/// stamped pipeline feeds on (ShardedSwSamplerPool::FeedStamped,
+/// F0EstimatorSW::FeedStamped). Output vectors are cleared first.
+void SplitStamped(const std::vector<StampedPoint>& stream,
+                  std::vector<Point>* points, std::vector<int64_t>* stamps);
+
 /// Ground truth for a window: the set of distinct groups with at least one
 /// point alive in (now - w, now] ... i.e. stamps in [now - w + 1, now].
 /// Returns the sorted group ids.

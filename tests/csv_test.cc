@@ -84,5 +84,91 @@ TEST(CsvTest, HandlesCrLf) {
   EXPECT_EQ(points.value()[0], Point({1.0, 2.0}));
 }
 
+TEST(CsvTest, RejectsOverflowWithLineInfo) {
+  // strtod parses "1e999" to +inf with errno == ERANGE while consuming
+  // the whole token — the silent-acceptance bug this pin guards against.
+  std::istringstream in("1,2\n3,1e999\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_FALSE(points.ok());
+  EXPECT_NE(points.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(points.status().message().find("out of range"),
+            std::string::npos);
+
+  std::istringstream neg("-1e999,0\n");
+  EXPECT_FALSE(ParseCsvPoints(neg).ok());
+}
+
+TEST(CsvTest, RejectsExplicitInfAndNan) {
+  std::istringstream inf_in("1,inf\n");
+  EXPECT_FALSE(ParseCsvPoints(inf_in).ok());
+  std::istringstream nan_in("nan,2\n");
+  EXPECT_FALSE(ParseCsvPoints(nan_in).ok());
+}
+
+TEST(CsvTest, AcceptsUnderflowToDenormalOrZero) {
+  // Gradual underflow also raises ERANGE but yields a finite value —
+  // keep accepting it (only genuine overflow is an input error).
+  std::istringstream in("1e-320,1e-999\n");
+  const auto points = ParseCsvPoints(in);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points.value().size(), 1u);
+  EXPECT_GT(points.value()[0][0], 0.0);
+  EXPECT_EQ(points.value()[0][1], 0.0);
+}
+
+TEST(CsvStampedTest, ParsesLeadingStampColumn) {
+  std::istringstream in("# t,x,y\n0,1.5,2.5\n4,-3,4e2\n4,0,0\n");
+  const auto parsed = ParseCsvStampedPoints(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().points.size(), 3u);
+  ASSERT_EQ(parsed.value().stamps.size(), 3u);
+  EXPECT_EQ(parsed.value().points[0], Point({1.5, 2.5}));
+  EXPECT_EQ(parsed.value().stamps[0], 0);
+  EXPECT_EQ(parsed.value().stamps[1], 4);
+  EXPECT_EQ(parsed.value().stamps[2], 4);  // ties are legal
+}
+
+TEST(CsvStampedTest, RejectsDecreasingStamps) {
+  std::istringstream in("5,1,2\n3,3,4\n");
+  const auto parsed = ParseCsvStampedPoints(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("decreases"), std::string::npos);
+}
+
+TEST(CsvStampedTest, RejectsNonIntegerOrOverflowingStamps) {
+  std::istringstream frac("1.5,1,2\n");
+  EXPECT_FALSE(ParseCsvStampedPoints(frac).ok());
+  std::istringstream huge("99999999999999999999999,1,2\n");
+  EXPECT_FALSE(ParseCsvStampedPoints(huge).ok());
+  std::istringstream lone("7\n");  // stamp with no coordinates
+  EXPECT_FALSE(ParseCsvStampedPoints(lone).ok());
+}
+
+TEST(CsvStampedTest, HandlesCrLfAndWhitespace) {
+  std::istringstream in("0 1 2\r\n3\t4\t5\r\n");
+  const auto parsed = ParseCsvStampedPoints(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().points.size(), 2u);
+  EXPECT_EQ(parsed.value().points[1], Point({4.0, 5.0}));
+  EXPECT_EQ(parsed.value().stamps[1], 3);
+}
+
+TEST(CsvStampedTest, WriteReadRoundTripIsExact) {
+  std::vector<Point> points{Point{0.1, -2.000000000000004},
+                            Point{1e-300, 12345.6789}};
+  std::vector<int64_t> stamps{-5, 123456789012345678LL};
+  std::ostringstream out;
+  WriteCsvStampedPoints(points, stamps, out);
+  std::istringstream in(out.str());
+  const auto parsed = ParseCsvStampedPoints(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().points.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(parsed.value().points[i], points[i]) << i;
+    EXPECT_EQ(parsed.value().stamps[i], stamps[i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace rl0

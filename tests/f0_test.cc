@@ -284,6 +284,117 @@ TEST(F0SwTest, SerialInsertsComposeWithPipelineFeed) {
   }
 }
 
+TEST(F0SwTest, StampedFeedMatchesSerialExplicitStamps) {
+  // The PR 3 limitation this pins the fix for: the first Feed of a
+  // time-based estimator (explicit stamps diverged from arrival indices)
+  // used to CHECK-fail outright. FeedStamped is the working path: the
+  // stamp arrays ride the pipeline chunks, so any chunking must leave
+  // every copy bit-identical to the pure serial explicit-stamp run.
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 17);
+  opts.window = 128;
+  opts.copies = 4;
+  std::vector<Point> points;
+  std::vector<int64_t> stamps;
+  int64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back(Isolated(i % 60));
+    t += 1 + (i % 7);
+    if (i % 90 == 89) t += 3 * 128;  // stamp jump past whole windows
+    stamps.push_back(t);
+  }
+
+  auto serial = F0EstimatorSW::Create(opts).value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    serial.Insert(points[i], stamps[i]);
+  }
+
+  auto fed = F0EstimatorSW::Create(opts).value();
+  const Span<const Point> all(points);
+  const Span<const int64_t> all_stamps(stamps);
+  for (size_t offset = 0; offset < points.size(); offset += 77) {
+    fed.FeedStamped(all.subspan(offset, 77), all_stamps.subspan(offset, 77));
+  }
+  fed.Drain();
+
+  EXPECT_DOUBLE_EQ(fed.EstimateLatest(), serial.EstimateLatest());
+  for (size_t c = 0; c < fed.copies(); ++c) {
+    const RobustL0SamplerSW& a = fed.copy_sampler(c);
+    const RobustL0SamplerSW& b = serial.copy_sampler(c);
+    ASSERT_EQ(a.points_processed(), b.points_processed());
+    ASSERT_EQ(a.latest_stamp(), b.latest_stamp());
+    for (size_t l = 0; l < a.num_levels(); ++l) {
+      std::vector<GroupRecord> ga, gb;
+      a.level(l).SnapshotGroups(&ga);
+      b.level(l).SnapshotGroups(&gb);
+      ASSERT_EQ(ga.size(), gb.size()) << "copy " << c << " level " << l;
+      for (size_t i = 0; i < ga.size(); ++i) {
+        ASSERT_EQ(ga[i].id, gb[i].id);
+        ASSERT_EQ(ga[i].latest_stamp, gb[i].latest_stamp);
+        ASSERT_EQ(ga[i].latest_index, gb[i].latest_index);
+        ASSERT_EQ(ga[i].rep, gb[i].rep);
+        ASSERT_EQ(ga[i].latest, gb[i].latest);
+      }
+    }
+  }
+}
+
+TEST(F0SwTest, SerialExplicitStampsComposeWithStampedFeed) {
+  // Mixed serial Insert(p, stamp) and FeedStamped ingestion (with a
+  // Drain between mode switches) keeps one monotone stamp sequence —
+  // serial inserts raise the pipeline's stamp watermark — and stays
+  // bit-identical to the pure serial run.
+  F0SwOptions opts;
+  opts.sampler = BaseOptions(1, 1.0, 18);
+  opts.window = 256;
+  opts.copies = 3;
+  std::vector<Point> points;
+  std::vector<int64_t> stamps;
+  int64_t t = 100;  // non-zero start: stamps never equal arrival indices
+  for (int i = 0; i < 240; ++i) {
+    points.push_back(Isolated(i % 40));
+    t += 2 + (i % 5);
+    stamps.push_back(t);
+  }
+
+  auto serial = F0EstimatorSW::Create(opts).value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    serial.Insert(points[i], stamps[i]);
+  }
+
+  auto mixed = F0EstimatorSW::Create(opts).value();
+  const Span<const Point> all(points);
+  const Span<const int64_t> all_stamps(stamps);
+  for (size_t i = 0; i < 60; ++i) mixed.Insert(points[i], stamps[i]);
+  mixed.FeedStamped(all.subspan(60, 100), all_stamps.subspan(60, 100));
+  mixed.Drain();
+  EXPECT_EQ(mixed.copy_sampler(0).latest_stamp(), stamps[159]);
+  mixed.Insert(points[160], stamps[160]);
+  mixed.FeedOwnedStamped(
+      std::vector<Point>(points.begin() + 161, points.end()),
+      std::vector<int64_t>(stamps.begin() + 161, stamps.end()));
+  mixed.Drain();
+
+  EXPECT_DOUBLE_EQ(mixed.EstimateLatest(), serial.EstimateLatest());
+  for (size_t c = 0; c < mixed.copies(); ++c) {
+    const RobustL0SamplerSW& a = mixed.copy_sampler(c);
+    const RobustL0SamplerSW& b = serial.copy_sampler(c);
+    ASSERT_EQ(a.points_processed(), b.points_processed());
+    ASSERT_EQ(a.latest_stamp(), b.latest_stamp());
+    for (size_t l = 0; l < a.num_levels(); ++l) {
+      std::vector<GroupRecord> ga, gb;
+      a.level(l).SnapshotGroups(&ga);
+      b.level(l).SnapshotGroups(&gb);
+      ASSERT_EQ(ga.size(), gb.size()) << "copy " << c << " level " << l;
+      for (size_t i = 0; i < ga.size(); ++i) {
+        ASSERT_EQ(ga[i].id, gb[i].id);
+        ASSERT_EQ(ga[i].latest_stamp, gb[i].latest_stamp);
+        ASSERT_EQ(ga[i].latest_index, gb[i].latest_index);
+      }
+    }
+  }
+}
+
 TEST(F0SwTest, RepetitionMedianIsExposed) {
   F0SwOptions opts;
   opts.sampler = BaseOptions(1, 1.0, 15);

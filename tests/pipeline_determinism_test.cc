@@ -200,6 +200,63 @@ TEST(PipelineDeterminismTest, FeedVariantsAgree) {
   }
 }
 
+TEST(PipelineDeterminismTest, AdaptiveChunkPolicyGrowsShrinksAndClamps) {
+  AdaptiveChunkOptions opts;
+  opts.min_chunk = 64;
+  opts.max_chunk = 1024;
+  opts.initial_chunk = 256;
+  AdaptiveChunkPolicy policy(opts);
+  EXPECT_EQ(policy.chunk(), 256u);
+  // Backlog at/above the threshold doubles, up to the cap.
+  policy.Observe(/*max_queue_depth=*/2, /*queue_capacity=*/4);
+  EXPECT_EQ(policy.chunk(), 512u);
+  policy.Observe(4, 4);
+  EXPECT_EQ(policy.chunk(), 1024u);
+  policy.Observe(4, 4);
+  EXPECT_EQ(policy.chunk(), 1024u);  // clamped at max
+  // Hysteresis band: shallow-but-nonempty queues leave the chunk alone.
+  policy.Observe(1, 4);
+  EXPECT_EQ(policy.chunk(), 1024u);
+  // Starvation halves, down to the floor.
+  policy.Observe(0, 4);
+  EXPECT_EQ(policy.chunk(), 512u);
+  for (int i = 0; i < 10; ++i) policy.Observe(0, 4);
+  EXPECT_EQ(policy.chunk(), 64u);  // clamped at min
+  // Degenerate options are sanitized rather than trusted.
+  AdaptiveChunkOptions bad;
+  bad.min_chunk = 0;
+  bad.max_chunk = 0;
+  bad.initial_chunk = 7;
+  AdaptiveChunkPolicy sane(bad);
+  EXPECT_GE(sane.chunk(), 1u);
+  sane.Observe(0, 0);  // zero capacity must not divide by zero
+}
+
+TEST(PipelineDeterminismTest, AdaptiveFeedMatchesPointwiseAtRateOne) {
+  // FeedAdaptive's chunk boundaries depend on live queue depths, so this
+  // is the determinism contract applied to the policy: whatever chunking
+  // it produces, merged state at rate 1 equals the pointwise sampler.
+  const Workload w = Workloads()[0];
+  SamplerOptions opts = BaseOptions(w.data, 507);
+  opts.accept_cap = 1 << 20;
+  auto pointwise = RobustL0SamplerIW::Create(opts).value();
+  for (const Point& p : w.data.points) pointwise.Insert(p);
+
+  auto pool = ShardedSamplerPool::Create(opts, 3).value();
+  AdaptiveChunkOptions chunk_opts;
+  chunk_opts.min_chunk = 32;
+  chunk_opts.initial_chunk = 128;
+  pool.chunk_policy() = AdaptiveChunkPolicy(chunk_opts);
+  pool.FeedAdaptive(w.data.points);
+  pool.Drain();
+  EXPECT_EQ(pool.points_processed(), w.data.points.size());
+  auto merged = pool.Merged().value();
+  ExpectSameItems(merged.AcceptedRepresentatives(),
+                  pointwise.AcceptedRepresentatives());
+  ExpectSameItems(merged.RejectedRepresentatives(),
+                  pointwise.RejectedRepresentatives());
+}
+
 TEST(PipelineDeterminismTest, MergedQuiescedAfterDrainEqualsMerged) {
   const Workload w = Workloads()[0];
   SamplerOptions opts = BaseOptions(w.data, 505);

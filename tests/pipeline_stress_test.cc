@@ -210,6 +210,90 @@ TEST(PipelineStressTest, SwPoolConcurrentDrainAndQuiescedSnapshot) {
   EXPECT_FALSE(pool.MergedWindowItems(pool.now()).empty());
 }
 
+TEST(PipelineStressTest, SwPoolConcurrentStampedFeedAndQuiescedSnapshot) {
+  // The stamped-chunk (time-based) pipeline under contention: one
+  // time-ordered producer (explicit stamps must be monotone in enqueue
+  // order, so a single source feeds — the realistic shape of an
+  // event-time stream), concurrent Drain barriers, and a snapshotter
+  // that samples the live window (SampleQuiesced) and checkpoints a
+  // shard (SnapshotSamplerSW) while the workers are paused between
+  // chunks. The stamp arrays ride the chunks, so totals — and each
+  // lane's trajectory — must come out scheduler-independent. Runs under
+  // TSan in CI (job `tsan` matches pipeline_stress).
+  const NoisyDataset data = StressData(101, 60);
+  SamplerOptions opts = StressOptions(data, 102);
+  std::vector<int64_t> stamps;
+  stamps.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    stamps.push_back(static_cast<int64_t>(3 * i + (i % 2)));
+  }
+  const int64_t window = static_cast<int64_t>(data.size());  // time units
+  IngestPool::Options pipeline;
+  pipeline.queue_capacity = 2;  // exercise backpressure
+  auto pool = ShardedSwSamplerPool::Create(opts, window, 3, pipeline).value();
+
+  std::atomic<bool> feeding{true};
+  const Span<const Point> all(data.points);
+  const Span<const int64_t> all_stamps(stamps);
+
+  std::thread feeder([&pool, all, all_stamps] {
+    const size_t chunk = 53;
+    for (size_t offset = 0; offset < all.size(); offset += chunk) {
+      const size_t n =
+          offset + chunk > all.size() ? all.size() - offset : chunk;
+      pool.FeedStamped(all.subspan(offset, n), all_stamps.subspan(offset, n));
+    }
+  });
+
+  std::vector<std::thread> drainers;
+  for (int t = 0; t < 2; ++t) {
+    drainers.emplace_back([&pool, &feeding] {
+      while (feeding.load(std::memory_order_relaxed)) {
+        pool.Drain();
+      }
+    });
+  }
+
+  std::thread snapshotter([&pool, &feeding] {
+    int round_trips = 0;
+    Xoshiro256pp rng(103);
+    while (feeding.load(std::memory_order_relaxed) || round_trips == 0) {
+      (void)pool.SampleQuiesced(&rng);
+      std::string blob;
+      Status status = Status::OK();
+      uint64_t processed_at_pause = 0;
+      pool.QuiescedRun([&pool, &blob, &status, &processed_at_pause] {
+        processed_at_pause = pool.shard(0).points_processed();
+        status = SnapshotSamplerSW(pool.shard(0), &blob);
+      });
+      ASSERT_TRUE(status.ok());
+      auto restored = RestoreSamplerSW(blob);
+      ASSERT_TRUE(restored.ok());
+      EXPECT_EQ(restored.value().points_processed(), processed_at_pause);
+      ++round_trips;
+    }
+    EXPECT_GT(round_trips, 0);
+  });
+
+  feeder.join();
+  feeding.store(false, std::memory_order_relaxed);
+  for (std::thread& d : drainers) d.join();
+  snapshotter.join();
+
+  pool.Drain();
+  EXPECT_EQ(pool.points_fed(), data.points.size());
+  EXPECT_EQ(pool.points_processed(), data.points.size());
+  EXPECT_EQ(pool.now(), stamps.back());
+  // After the barrier the merged window view is live and non-empty, and
+  // no reported member's stamp has expired.
+  const std::vector<SampleItem> merged = pool.MergedWindowItems(pool.now());
+  ASSERT_FALSE(merged.empty());
+  for (const SampleItem& item : merged) {
+    ASSERT_LT(item.stream_index, stamps.size());
+    EXPECT_GT(stamps[item.stream_index], pool.now() - window);
+  }
+}
+
 TEST(PipelineStressTest, StopWithBacklogProcessesEverything) {
   // Destroying the pool (Stop) must consume the queued backlog, not drop
   // it: feeding then immediately destructing loses nothing.

@@ -258,6 +258,47 @@ TEST(WindowStreamTest, TimeStampsNonDecreasingWithBoundedGaps) {
   }
 }
 
+TEST(WindowStreamTest, BurstyStampsJumpPastWindows) {
+  const BaseDataset base = RandomUniform(10, 2, 43);
+  NearDupOptions opts;
+  opts.seed = 44;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  const int64_t burst = 1000;
+  const auto stream = TimeStampedBursty(noisy, 5, /*burst_every=*/7, burst, 45);
+  ASSERT_GT(stream.size(), 14u);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    const int64_t gap = stream[i].stamp - stream[i - 1].stamp;
+    if (i % 7 == 0) {
+      EXPECT_EQ(gap, burst) << i;  // the whole previous window expires
+    } else {
+      EXPECT_GE(gap, 1);
+      EXPECT_LE(gap, 5);
+    }
+  }
+  // burst_every = 0 disables bursts entirely.
+  const auto plain = TimeStampedBursty(noisy, 5, 0, burst, 45);
+  for (size_t i = 1; i < plain.size(); ++i) {
+    EXPECT_LE(plain[i].stamp - plain[i - 1].stamp, 5);
+  }
+}
+
+TEST(WindowStreamTest, SplitStampedPreservesOrderAndAlignment) {
+  const BaseDataset base = RandomUniform(8, 3, 46);
+  NearDupOptions opts;
+  opts.seed = 47;
+  const NoisyDataset noisy = MakeNearDuplicates(base, opts);
+  const auto stream = TimeStamped(noisy, 4, 48);
+  std::vector<Point> points{Point{99.0}};  // pre-filled: must be cleared
+  std::vector<int64_t> stamps{-1};
+  SplitStamped(stream, &points, &stamps);
+  ASSERT_EQ(points.size(), stream.size());
+  ASSERT_EQ(stamps.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(points[i], stream[i].point);
+    EXPECT_EQ(stamps[i], stream[i].stamp);
+  }
+}
+
 TEST(WindowStreamTest, GroupsInWindowGroundTruth) {
   NoisyDataset tiny;
   tiny.dim = 1;

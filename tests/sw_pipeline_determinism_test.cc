@@ -284,6 +284,250 @@ TEST(SwPipelineDeterminismTest, MergedWindowItemsExactAndRechunkInvariant) {
   }
 }
 
+/// Non-decreasing stamps with jitter gaps in {1..5} and, every
+/// `burst_every` points, a jump past `burst` whole stamp units (set
+/// burst > window to expire entire windows at once).
+std::vector<int64_t> JitterStamps(size_t n, uint64_t seed,
+                                  size_t burst_every, int64_t burst) {
+  std::vector<int64_t> stamps;
+  stamps.reserve(n);
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x5354414DULL));
+  int64_t t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (burst_every != 0 && i != 0 && i % burst_every == 0) {
+      t += burst;
+    } else {
+      t += 1 + static_cast<int64_t>(rng.NextBounded(5));
+    }
+    stamps.push_back(t);
+  }
+  return stamps;
+}
+
+/// Feeds a stamped stream in randomized chunk sizes (deterministic per
+/// seed), alternating the copy and the owned feed variants.
+void FeedRandomChunksStamped(ShardedSwSamplerPool* pool,
+                             Span<const Point> points,
+                             Span<const int64_t> stamps, uint64_t chunk_seed,
+                             size_t max_chunk, bool drain_between = false) {
+  Xoshiro256pp rng(chunk_seed);
+  size_t offset = 0;
+  bool owned = false;
+  while (offset < points.size()) {
+    const size_t chunk = 1 + static_cast<size_t>(rng.NextBounded(max_chunk));
+    const Span<const Point> p = points.subspan(offset, chunk);
+    const Span<const int64_t> s = stamps.subspan(offset, chunk);
+    if (owned) {
+      pool->FeedOwnedStamped(std::vector<Point>(p.begin(), p.end()),
+                             std::vector<int64_t>(s.begin(), s.end()));
+    } else {
+      pool->FeedStamped(p, s);
+    }
+    owned = !owned;
+    offset += chunk;
+    if (drain_between) pool->Drain();
+  }
+  pool->Drain();
+}
+
+TEST(SwPipelineDeterminismTest, TimeStampedOneLaneMatchesPointwise) {
+  // The time-based pipeline's core contract: a one-lane pool fed stamped
+  // chunks of any size — including chunks straddling stamp bursts that
+  // expire whole windows — reproduces the pointwise explicit-stamp
+  // sampler bit-for-bit, query draws included.
+  const std::vector<Point> points = RevisitStream(3000, 120, 46);
+  const int64_t window = 257;
+  // Bursts of 3 windows every 500 points: whole windows expire inside a
+  // single chunk.
+  const std::vector<int64_t> stamps =
+      JitterStamps(points.size(), 77, 500, 3 * window);
+  const SamplerOptions opts = BaseOptions(906);  // natural cap: splits run
+
+  auto pointwise = RobustL0SamplerSW::Create(opts, window).value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    pointwise.Insert(points[i], stamps[i]);
+  }
+
+  struct Chunking {
+    uint64_t seed;
+    size_t max_chunk;
+    bool drain_between;
+  };
+  for (const Chunking c : {Chunking{14, 7, false}, Chunking{15, 97, true},
+                           Chunking{16, 1024, false}}) {
+    SCOPED_TRACE(c.seed);
+    auto pool = ShardedSwSamplerPool::Create(opts, window, 1).value();
+    FeedRandomChunksStamped(&pool, points, stamps, c.seed, c.max_chunk,
+                            c.drain_between);
+    EXPECT_EQ(pool.points_processed(), points.size());
+    EXPECT_EQ(pool.now(), stamps.back());  // time mode: now = last stamp
+    ExpectSameLevelState(pool.shard(0), pointwise);
+    EXPECT_EQ(pool.SpaceWords(), pointwise.SpaceWords());
+
+    Xoshiro256pp rng_pool(778), rng_ref(778);
+    const auto from_pool = pool.SampleLatest(&rng_pool);
+    const auto from_ref = pointwise.SampleLatest(&rng_ref);
+    ASSERT_EQ(from_pool.has_value(), from_ref.has_value());
+    if (from_pool.has_value()) {
+      EXPECT_EQ(from_pool->stream_index, from_ref->stream_index);
+      EXPECT_EQ(from_pool->point, from_ref->point);
+    }
+  }
+}
+
+TEST(SwPipelineDeterminismTest, TimeStampedPerLaneInvariantUnderRechunking) {
+  // Lane s of a stamped pool consumes the global residue class s (mod S)
+  // with its explicit stamps; its state must equal a pointwise reference
+  // fed the same stamped substream in one call, for any chunking.
+  const std::vector<Point> points = RevisitStream(3000, 120, 47);
+  const int64_t window = 311;
+  const std::vector<int64_t> stamps =
+      JitterStamps(points.size(), 78, 650, 2 * window + 11);
+  const SamplerOptions opts = BaseOptions(907);  // natural cap
+
+  for (const size_t lanes : {2, 8}) {
+    SCOPED_TRACE(lanes);
+    std::vector<RobustL0SamplerSW> refs;
+    for (size_t s = 0; s < lanes; ++s) {
+      refs.push_back(RobustL0SamplerSW::Create(opts, window).value());
+      refs.back().InsertStridedStamped(points, stamps, s, lanes, 0);
+    }
+
+    auto tiny = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunksStamped(&tiny, points, stamps, 23, /*max_chunk=*/13);
+    auto big = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunksStamped(&big, points, stamps, 24, /*max_chunk=*/900,
+                            /*drain_between=*/true);
+
+    for (size_t s = 0; s < lanes; ++s) {
+      SCOPED_TRACE(s);
+      EXPECT_EQ(tiny.shard(s).points_processed(),
+                refs[s].points_processed());
+      EXPECT_EQ(tiny.shard(s).latest_stamp(), refs[s].latest_stamp());
+      ExpectSameLevelState(tiny.shard(s), refs[s]);
+      ExpectSameLevelState(big.shard(s), refs[s]);
+    }
+  }
+}
+
+TEST(SwPipelineDeterminismTest, TimeStampedMergedViewNeverReportsExpired) {
+  // Merged-query window semantics in time mode: no reported item's stamp
+  // may have left the window, at any lane count, and the merged view is
+  // invariant under re-chunking of the stamped feed.
+  const std::vector<Point> points = RevisitStream(4000, 100, 48);
+  const int64_t window = 701;
+  const std::vector<int64_t> stamps =
+      JitterStamps(points.size(), 79, 900, 2 * window);
+  SamplerOptions opts = BaseOptions(908);
+  opts.accept_cap = 1 << 20;  // rate 1
+  const int64_t now = stamps.back();
+
+  for (const size_t lanes : {1, 2, 8}) {
+    SCOPED_TRACE(lanes);
+    auto pool = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunksStamped(&pool, points, stamps, 33, /*max_chunk=*/257);
+    const std::vector<SampleItem> merged = pool.MergedWindowItems(now);
+    ASSERT_FALSE(merged.empty());
+    for (const SampleItem& item : merged) {
+      ASSERT_LT(item.stream_index, points.size());
+      EXPECT_GT(stamps[item.stream_index], now - window);
+      EXPECT_LE(stamps[item.stream_index], now);
+      EXPECT_EQ(item.point, points[item.stream_index]);
+    }
+
+    auto pool2 = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunksStamped(&pool2, points, stamps, 34, /*max_chunk=*/19,
+                            /*drain_between=*/true);
+    const std::vector<SampleItem> merged2 = pool2.MergedWindowItems(now);
+    ASSERT_EQ(merged2.size(), merged.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged2[i].stream_index, merged[i].stream_index);
+    }
+  }
+}
+
+TEST(SwPipelineDeterminismTest, UnifiedQueryPoolDedupesAndPassesThrough) {
+  // The cross-shard query-pool fixes of this PR: (a) one lane consumes
+  // no extra randomness and reproduces the pointwise WindowQueryPool
+  // bit-for-bit; (b) with several lanes the merged pool holds at most
+  // one entry per underlying group (α-proximity dedupe) and every entry
+  // is a live window member; (c) the pool is invariant under re-chunking
+  // for identical query randomness.
+  const std::vector<Point> points = RevisitStream(3000, 120, 49);
+  const int64_t window = 401;
+  const SamplerOptions opts = BaseOptions(909);  // natural cap: deep levels
+  const int64_t now = static_cast<int64_t>(points.size()) - 1;
+  const WindowedGroupTruth truth =
+      ExactWindowGroups(points, opts.alpha, window, now);
+
+  auto pointwise = RobustL0SamplerSW::Create(opts, window).value();
+  for (const Point& p : points) pointwise.Insert(p);
+
+  for (const size_t lanes : {1, 2, 8}) {
+    SCOPED_TRACE(lanes);
+    auto pool = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunks(&pool, points, 35, /*max_chunk=*/300);
+
+    Xoshiro256pp rng_a(4242);
+    const std::vector<SampleItem> unified = pool.UnifiedQueryPool(now, &rng_a);
+    ASSERT_FALSE(unified.empty());
+    std::set<uint32_t> groups;
+    for (const SampleItem& item : unified) {
+      ASSERT_LT(item.stream_index, points.size());
+      const uint32_t group = truth.group_of[item.stream_index];
+      EXPECT_TRUE(truth.IsLive(group));
+      EXPECT_TRUE(groups.insert(group).second)
+          << "group " << group << " entered the unified pool twice";
+    }
+
+    if (lanes == 1) {
+      Xoshiro256pp rng_b(4242);
+      const std::vector<SampleItem> reference =
+          pointwise.WindowQueryPool(now, &rng_b);
+      ASSERT_EQ(unified.size(), reference.size());
+      for (size_t i = 0; i < unified.size(); ++i) {
+        EXPECT_EQ(unified[i].stream_index, reference[i].stream_index);
+      }
+      // ... and the draw after the pool build stays in lockstep too.
+      EXPECT_EQ(rng_a(), rng_b());
+    }
+
+    // Re-chunk invariance with identical query randomness.
+    auto pool2 = ShardedSwSamplerPool::Create(opts, window, lanes).value();
+    FeedRandomChunks(&pool2, points, 36, /*max_chunk=*/23,
+                     /*drain_between=*/true);
+    Xoshiro256pp rng_c(4242);
+    const std::vector<SampleItem> unified2 =
+        pool2.UnifiedQueryPool(now, &rng_c);
+    ASSERT_EQ(unified2.size(), unified.size());
+    for (size_t i = 0; i < unified.size(); ++i) {
+      EXPECT_EQ(unified2[i].stream_index, unified[i].stream_index);
+    }
+  }
+}
+
+TEST(SwPipelineDeterminismTest, AdaptiveFeedMatchesPointwise) {
+  // FeedAdaptive's chunk sizes depend on live queue depths (timing), so
+  // this pin is exactly the determinism contract: whatever chunking the
+  // policy produces, the one-lane pool equals the pointwise sampler.
+  const std::vector<Point> points = RevisitStream(2000, 80, 50);
+  const int64_t window = 199;
+  const SamplerOptions opts = BaseOptions(910);
+
+  auto pointwise = RobustL0SamplerSW::Create(opts, window).value();
+  for (const Point& p : points) pointwise.Insert(p);
+
+  auto pool = ShardedSwSamplerPool::Create(opts, window, 1).value();
+  AdaptiveChunkOptions chunk_opts;
+  chunk_opts.min_chunk = 16;
+  chunk_opts.initial_chunk = 64;
+  pool.chunk_policy() = AdaptiveChunkPolicy(chunk_opts);
+  pool.FeedAdaptive(points);
+  pool.Drain();
+  EXPECT_EQ(pool.points_processed(), points.size());
+  ExpectSameLevelState(pool.shard(0), pointwise);
+}
+
 TEST(SwPipelineDeterminismTest, LegacyDifferentialPinsTheRefactor) {
   const std::vector<Point> points = RevisitStream(2500, 90, 44);
   const int64_t window = 199;

@@ -216,6 +216,86 @@ TEST(SwStatisticalTest, LiveWindowGroupsUniformExpiredNeverReported) {
   EXPECT_LT(stat, 25000.0) << "chi-squared " << stat;
 }
 
+TEST(SwStatisticalTest, TimeBasedExpiredNeverReported) {
+  // The time-based variant of the hard window-semantics pin: the same
+  // two-phase workload carries explicit stamps (jitter gaps in {1..3}),
+  // the pool ingests them through the stamped pipeline chunks, and
+  // across every draw from every instance no sample's stamp may lie
+  // outside the query window (t - W, t]. Sliding the checkpoints across
+  // the phase boundary sweeps the expiry horizon over the die-off, so a
+  // leak of any phase-1-only group would surface here.
+  const Workload& w = SharedWorkload();
+
+  // Deterministic jitter stamps shared by all instances.
+  std::vector<int64_t> stamps;
+  stamps.reserve(kStreamLen);
+  {
+    Xoshiro256pp rng(SplitMix64(kDataSeed ^ 0x54696D65ULL));
+    int64_t t = 0;
+    for (size_t i = 0; i < kStreamLen; ++i) {
+      t += 1 + static_cast<int64_t>(rng.NextBounded(3));
+      stamps.push_back(t);
+    }
+  }
+  // Mean gap 2: a window of 2·kWindow time units covers roughly the same
+  // point population as the sequence test's kWindow positions.
+  const int64_t time_window = 2 * kWindow;
+
+  // Live set per checkpoint index: group -> has a point with stamp in
+  // (stamps[t_idx] - time_window, stamps[t_idx]].
+  const auto live_at = [&](size_t t_idx) {
+    std::vector<char> live(kGroups, 0);
+    const int64_t t = stamps[t_idx];
+    for (size_t i = 0; i <= t_idx; ++i) {
+      if (stamps[i] > t - time_window && stamps[i] <= t) {
+        live[w.group_of[i]] = 1;
+      }
+    }
+    return live;
+  };
+
+  constexpr size_t kInstances = 6;
+  constexpr size_t kFirstCheckpoint = 40000;
+  constexpr size_t kCheckpointStep = 521;
+  constexpr size_t kDrawsPerCheckpoint = 5;
+
+  size_t live_group_draws = 0;
+  for (size_t inst = 0; inst < kInstances; ++inst) {
+    auto pool = ShardedSwSamplerPool::Create(StatOptions(3000 + inst),
+                                             time_window, 3)
+                    .value();
+    Xoshiro256pp rng(SplitMix64(60000 + inst));
+    const Span<const Point> all(w.points);
+    const Span<const int64_t> all_stamps(stamps);
+    size_t offset = 0;
+    for (size_t t_idx = kFirstCheckpoint; t_idx < kStreamLen;
+         t_idx += kCheckpointStep) {
+      pool.FeedStamped(all.subspan(offset, t_idx + 1 - offset),
+                       all_stamps.subspan(offset, t_idx + 1 - offset));
+      offset = t_idx + 1;
+      pool.Drain();
+      ASSERT_EQ(pool.now(), stamps[t_idx]);  // time mode: now = last stamp
+      const std::vector<char> live = live_at(t_idx);
+      for (size_t q = 0; q < kDrawsPerCheckpoint; ++q) {
+        const auto sample = pool.SampleLatest(&rng);
+        ASSERT_TRUE(sample.has_value());
+        ASSERT_LT(sample->stream_index, kStreamLen);
+        const int64_t stamp = stamps[sample->stream_index];
+        // Hard pin: the reported point's stamp lies inside the window...
+        ASSERT_GT(stamp, stamps[t_idx] - time_window)
+            << "expired stamp " << stamp << " sampled at t="
+            << stamps[t_idx];
+        ASSERT_LE(stamp, stamps[t_idx]);
+        // ... and its group is live by the exact stamp-window truth.
+        ASSERT_NE(live[w.group_of[sample->stream_index]], 0)
+            << "expired group sampled at t=" << stamps[t_idx];
+        ++live_group_draws;
+      }
+    }
+  }
+  EXPECT_GT(live_group_draws, 500u);
+}
+
 TEST(SwStatisticalTest, WindowedF0WithinEnvelopeThroughPipeline) {
   const Workload& w = SharedWorkload();
   F0SwOptions opts;

@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# Docs cross-link check: fails if any relative markdown link in the
-# root-level markdown files (README.md, ROADMAP.md, ...) or docs/*.md
-# points at a file that does not exist. Run from anywhere; CI runs it as
-# its own step (see .github/workflows/ci.yml).
+# Docs cross-reference check, two passes:
+#
+#   1. Markdown links: fails if any relative [text](target) link in the
+#      root-level markdown files (README.md, ROADMAP.md, ...) or
+#      docs/*.md points at a file that does not exist.
+#   2. Source-path references: fails if a backtick-quoted repo path in
+#      docs/*.md or README.md (`src/...`, `tests/...`, `tools/...`,
+#      `bench/...`, `docs/...`, `examples/...`, or a bare
+#      `core/...`-style path under src/rl0/) names a file that does not
+#      exist — stale references are how architecture docs rot.
+#
+# Run from anywhere; CI runs it as its own step (see
+# .github/workflows/ci.yml).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -22,6 +31,36 @@ for f in *.md docs/*.md; do
       status=1
     fi
   done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+
+# Pass 2: backtick-quoted source paths in the docs. A reference resolves
+# if it exists relative to the repo root or under src/rl0/ (the docs
+# abbreviate `core/foo.h` for `src/rl0/core/foo.h`). `a/b.{h,cc}` pairs
+# are expanded. Only multi-segment paths with a file extension are
+# checked — prose like `--window` or `jq` never matches.
+for f in README.md docs/*.md; do
+  [ -e "$f" ] || continue
+  while IFS= read -r ref; do
+    [ -z "$ref" ] && continue
+    # Expand `path.{h,cc}` into both members.
+    expanded="$ref"
+    if printf '%s' "$ref" | grep -qE '\.\{[a-z,]+\}$'; then
+      base="${ref%%.\{*}"
+      exts="$(printf '%s' "$ref" | sed -e 's/^.*\.{//' -e 's/}$//' \
+              | tr ',' ' ')"
+      expanded=""
+      for e in $exts; do expanded="$expanded $base.$e"; done
+    fi
+    for path in $expanded; do
+      if [ ! -e "$path" ] && [ ! -e "src/rl0/$path" ]; then
+        echo "STALE SOURCE REFERENCE: $f -> $path" >&2
+        status=1
+      fi
+    done
+  done < <(grep -oE '`[A-Za-z0-9_./{},-]+`' "$f" | tr -d '`' \
+           | grep -E '^[A-Za-z0-9_-]+(/[A-Za-z0-9_.{},-]+)+$' \
+           | grep -E '\.(h|cc|cpp|md|sh|txt|yml|json)(\{[a-z,]+\})?$|\.\{[a-z,]+\}$' \
+           | sort -u)
 done
 
 if [ "$status" -ne 0 ]; then

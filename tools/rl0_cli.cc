@@ -25,6 +25,7 @@
 #include "rl0/stream/csv.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
+#include "rl0/stream/window_stream.h"
 
 namespace {
 
@@ -35,21 +36,29 @@ constexpr const char* kUsage = R"(rl0_cli — robust distinct sampling on noisy 
 usage: rl0_cli <command> [options] [file.csv | -]
 
 commands:
-  sample    --alpha A [--k N] [--window W] [--metric l2|l1|linf]
+  sample    --alpha A [--k N] [--window W] [--time] [--metric l2|l1|linf]
             [--reservoir] [--seed S] [--queries Q] [--shards S]
             Draw Q robust l0-samples (default 1). With --window W, sample
             from the last W points instead of the whole stream. With
             --shards S > 1, ingest through the persistent S-worker
             pipeline and sample from the merged shards (works with and
             without --window; the windowed pool stamps points with their
-            global stream position).
+            global stream position). With --window W --time, the window
+            is time-based: the CSV gains a leading integer stamp column
+            (non-decreasing arrival times) and W counts time units, not
+            points; sharded ingestion routes the stamps through the
+            pipeline's stamped chunks.
   count     --alpha A [--epsilon E] [--seed S] [--parallel]
             (1+E)-approximate the number of distinct entities. With
             --parallel, the estimator copies ingest on pipeline workers.
   stats     --alpha A
             Exact group partition statistics (quadratic; small inputs).
   generate  --dataset rand5|rand20|yacht|seeds [--powerlaw] [--seed S]
+            [--time [--max-gap G]]
             Print one of the paper's noisy evaluation streams as CSV.
+            With --time, prefix each row with a non-decreasing integer
+            stamp (inter-arrival gaps uniform in {1..G}, default G=4) —
+            the input format of `sample --window --time`.
   help      Show this message.
 
 Input '-' (or no file) reads CSV points from stdin: one point per line,
@@ -66,6 +75,8 @@ struct Args {
   bool powerlaw = false;
   bool reservoir = false;
   bool parallel = false;
+  bool time = false;
+  uint32_t max_gap = 4;
   uint64_t seed = 0;
   size_t k = 1;
   size_t shards = 1;
@@ -151,6 +162,19 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
         return false;
       }
       args->shards = static_cast<size_t>(v);
+    } else if (arg == "--max-gap") {
+      double v;
+      if (!next(&v)) {
+        *error = "--max-gap needs a value";
+        return false;
+      }
+      if (!(v >= 1.0 && v <= 1e9)) {  // cast of a negative/huge double is UB
+        *error = "--max-gap must be in [1, 1e9]";
+        return false;
+      }
+      args->max_gap = static_cast<uint32_t>(v);
+    } else if (arg == "--time") {
+      args->time = true;
     } else if (arg == "--parallel") {
       args->parallel = true;
     } else if (arg == "--powerlaw") {
@@ -181,10 +205,93 @@ rl0::Result<rl0::Metric> ParseMetric(const std::string& name) {
   return rl0::Status::InvalidArgument("unknown metric '" + name + "'");
 }
 
+/// `sample --window W --time`: time-based windows over a stamped CSV
+/// stream (leading integer stamp column). Pointwise for one shard; the
+/// stamped pipeline chunks (adaptively sized) for several.
+int RunSampleTime(const Args& args, rl0::Metric metric) {
+  if (args.window <= 0) return Fail("--time requires --window W > 0");
+  rl0::Result<rl0::StampedCsv> stream =
+      args.file == "-" ? rl0::ParseCsvStampedPoints(std::cin)
+                       : rl0::ReadCsvStampedPoints(args.file);
+  if (!stream.ok()) return Fail(stream.status().ToString());
+  const std::vector<Point>& points = stream.value().points;
+  const std::vector<int64_t>& stamps = stream.value().stamps;
+  if (points.empty()) return Fail("no points in input");
+
+  rl0::SamplerOptions opts;
+  opts.dim = points[0].dim();
+  opts.alpha = args.alpha;
+  opts.metric = metric;
+  opts.seed = args.seed;
+  opts.k = args.k;
+  opts.random_representative = args.reservoir;
+  opts.expected_stream_length = points.size();
+
+  rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
+  const int64_t query_now = stamps.back();
+  const auto report = [&](const rl0::SampleItem& item) -> int {
+    const int64_t stamp = stamps[item.stream_index];
+    if (stamp <= query_now - args.window) {
+      // Window semantics are a hard guarantee; surfacing an expired
+      // member would mean the sampler (not the data) is broken.
+      return Fail("internal error: expired stamp sampled");
+    }
+    std::printf("%s  # stream position %llu stamp %lld\n",
+                item.point.ToString().c_str(),
+                static_cast<unsigned long long>(item.stream_index),
+                static_cast<long long>(stamp));
+    return 0;
+  };
+
+  if (args.shards > 1) {
+    auto pool = rl0::ShardedSwSamplerPool::Create(opts, args.window,
+                                                  args.shards);
+    if (!pool.ok()) return Fail(pool.status().ToString());
+    rl0::ShardedSwSamplerPool sw_pool = std::move(pool).value();
+    sw_pool.FeedStampedAdaptive(points, stamps);
+    sw_pool.Drain();
+    for (int q = 0; q < args.queries; ++q) {
+      const auto sample = sw_pool.SampleLatest(&rng);
+      if (!sample.has_value()) return Fail("window is empty");
+      const int rc = report(*sample);
+      if (rc != 0) return rc;
+    }
+    std::fprintf(stderr,
+                 "[time-based windowed pipeline: %zu shards, %llu points, "
+                 "window=%lld time units, now=%lld, space=%zu words]\n",
+                 sw_pool.num_shards(),
+                 static_cast<unsigned long long>(sw_pool.points_processed()),
+                 static_cast<long long>(args.window),
+                 static_cast<long long>(sw_pool.now()),
+                 sw_pool.SpaceWords());
+    return 0;
+  }
+
+  auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
+  if (!sampler.ok()) return Fail(sampler.status().ToString());
+  rl0::RobustL0SamplerSW sw = std::move(sampler).value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    sw.Insert(points[i], stamps[i]);
+  }
+  for (int q = 0; q < args.queries; ++q) {
+    const auto sample = sw.SampleLatest(&rng);
+    if (!sample.has_value()) return Fail("window is empty");
+    const int rc = report(*sample);
+    if (rc != 0) return rc;
+  }
+  std::fprintf(stderr,
+               "[time-based window=%lld time units, now=%lld, "
+               "space=%zu words]\n",
+               static_cast<long long>(args.window),
+               static_cast<long long>(sw.latest_stamp()), sw.SpaceWords());
+  return 0;
+}
+
 int RunSample(const Args& args) {
   if (args.alpha <= 0.0) return Fail("sample requires --alpha > 0");
   const auto metric = ParseMetric(args.metric);
   if (!metric.ok()) return Fail(metric.status().ToString());
+  if (args.time) return RunSampleTime(args, metric.value());
   const auto points = LoadPoints(args);
   if (!points.ok()) return Fail(points.status().ToString());
   if (points.value().empty()) return Fail("no points in input");
@@ -377,6 +484,16 @@ int RunGenerate(const Args& args) {
   std::printf("# %s: %zu points, %zu groups, alpha=%.17g\n",
               noisy.name.c_str(), noisy.size(), noisy.num_groups,
               noisy.alpha);
+  if (args.time) {
+    // Leading stamp column: the input format of sample --window --time.
+    const std::vector<rl0::StampedPoint> stamped =
+        rl0::TimeStamped(noisy, args.max_gap, args.seed);
+    std::vector<Point> points;
+    std::vector<int64_t> stamps;
+    rl0::SplitStamped(stamped, &points, &stamps);
+    rl0::WriteCsvStampedPoints(points, stamps, std::cout);
+    return 0;
+  }
   rl0::WriteCsvPoints(noisy.points, std::cout);
   return 0;
 }
