@@ -90,6 +90,7 @@ NoisyDataset IngestStream(size_t dim, uint64_t seed) {
 int main() {
   const int repeats = rl0::bench::EnvRepeats(3);
   const uint64_t seed = 20180618;  // the paper's PODS year + month + day
+  const unsigned cores = std::thread::hardware_concurrency();
 
   // Machine facts ride with the numbers so BENCH_ingest.json
   // trajectories are comparable across machines: the distance-kernel
@@ -98,8 +99,7 @@ int main() {
   std::printf("{\n  \"bench\": \"ingest\",\n  \"repeats\": %d,\n"
               "  \"dispatch\": \"%s\",\n  \"cores\": %u,\n"
               "  \"workloads\": [\n",
-              repeats, rl0::DistanceKernelDispatch(),
-              std::thread::hardware_concurrency());
+              repeats, rl0::DistanceKernelDispatch(), cores);
   std::fprintf(stderr,
                "%-10s %8s %9s | %12s %12s %12s %12s %12s | %8s %8s %8s\n",
                "workload", "dim", "points", "legacy p/s", "arena p/s",
@@ -201,11 +201,15 @@ int main() {
         "     \"pool_points_per_sec\": %.0f,\n"
         "     \"sw_pool_points_per_sec\": %.0f,\n"
         "     \"arena_speedup\": %.3f, \"batch_speedup\": %.3f, "
-        "\"pool_speedup\": %.3f}",
+        "\"pool_speedup\": %.3f%s}",
         first ? "" : ",\n", data.name.c_str(), dim, data.size(),
         legacy.points_per_sec, arena.points_per_sec, batch.points_per_sec,
         pool.points_per_sec, swpool.points_per_sec, arena_x, batch_x,
-        pool_x);
+        pool_x,
+        // One core starves the pool lanes: pool_speedup then measures
+        // pipeline overhead, not parallelism, and comparison summaries
+        // must skip the row (see docs/BENCHMARKS.md).
+        cores == 1 ? ", \"overhead_only\": true" : "");
     first = false;
   }
   std::printf("\n  ]\n}\n");

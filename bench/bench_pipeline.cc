@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness.h"
@@ -79,9 +80,12 @@ int main() {
   std::fprintf(stderr, "%6s %7s %9s | %14s %14s | %8s\n", "shards",
                "chunk", "points", "spawnjoin p/s", "pipeline p/s",
                "speedup");
+  // The core count rides with the rows: on one core both paths are
+  // serialized, so the speedup measures thread-churn overhead only.
+  const unsigned cores = std::thread::hardware_concurrency();
   std::printf("{\"bench\": \"pipeline\", \"repeats\": %d, \"points\": %zu, "
-              "\"dim\": 5, \"rows\": [",
-              repeats, data.size());
+              "\"dim\": 5, \"cores\": %u, \"rows\": [",
+              repeats, data.size(), cores);
 
   bool first = true;
   for (size_t shards : {2, 4, 8}) {
@@ -121,9 +125,10 @@ int main() {
       std::printf("%s{\"shards\": %zu, \"chunk\": %zu, "
                   "\"spawnjoin_points_per_sec\": %.0f, "
                   "\"pipeline_points_per_sec\": %.0f, "
-                  "\"pipeline_speedup\": %.3f}",
+                  "\"pipeline_speedup\": %.3f%s}",
                   first ? "" : ", ", shards, chunk, spawnjoin, pipeline,
-                  speedup);
+                  speedup,
+                  cores == 1 ? ", \"overhead_only\": true" : "");
       first = false;
     }
   }

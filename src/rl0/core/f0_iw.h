@@ -84,6 +84,14 @@ class F0EstimatorIW {
   /// Total space in words across copies.
   size_t SpaceWords() const;
 
+  /// Summed duplicate-suppression counters over the per-copy samplers
+  /// (core/dup_filter.h). Requires a drained pipeline.
+  DupFilterStats FilterStats() const {
+    DupFilterStats stats;
+    for (const RobustL0SamplerIW& s : samplers_) stats += s.filter_stats();
+    return stats;
+  }
+
  private:
   explicit F0EstimatorIW(std::vector<RobustL0SamplerIW> samplers);
 

@@ -33,8 +33,20 @@
 
 namespace rl0 {
 
+/// Active CellIndex probe kernel: "avx2" or "scalar". Mirrors
+/// DistanceKernelDispatch(); benches record it next to machine facts.
+const char* CellIndexDispatch();
+
 /// Open-addressing hash table: cell key → head slot of the cell's rep
 /// chain. Linear probing with tombstones; grows at 70% occupancy.
+///
+/// Storage is structure-of-arrays (keys / heads / states in parallel
+/// vectors) so the probe loop can compare several buckets per step: the
+/// AVX2 path fingerprints four consecutive keys at once and resolves the
+/// first empty-or-matching position with a ctz, visiting positions in
+/// exactly the scalar probe order — decisions and probe order are
+/// unchanged, only the stride over memory differs. Runtime dispatch and
+/// the -DRL0_NO_SIMD escape hatch follow geom/distance_kernels.h.
 class CellIndex {
  public:
   static constexpr uint32_t kNpos = ~uint32_t{0};
@@ -60,7 +72,9 @@ class CellIndex {
   /// bucket's memory latency with the current element's distance work.
   void Prefetch(uint64_t key) const {
 #if defined(__GNUC__)
-    __builtin_prefetch(&buckets_[BucketFor(key)]);
+    const size_t i = BucketFor(key);
+    __builtin_prefetch(&keys_[i]);
+    __builtin_prefetch(&states_[i]);
 #endif
   }
 
@@ -68,8 +82,8 @@ class CellIndex {
   /// (compaction rebuild support).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const Bucket& b : buckets_) {
-      if (b.state == kFull) fn(b.key, b.head);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (states_[i] == kFull) fn(keys_[i], heads_[i]);
     }
   }
 
@@ -78,11 +92,6 @@ class CellIndex {
 
  private:
   enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
-  struct Bucket {
-    uint64_t key = 0;
-    uint32_t head = kNpos;
-    uint8_t state = kEmpty;
-  };
 
   size_t BucketFor(uint64_t key) const {
     // Keys are already mixed (grid/cell.h); a multiplicative spread keeps
@@ -90,9 +99,13 @@ class CellIndex {
     return static_cast<size_t>((key * 0x9E3779B97F4A7C15ULL) >> shift_);
   }
   void Grow();
+  uint32_t FindScalar(uint64_t key) const;
+  uint32_t FindAvx2(uint64_t key) const;  // defined only on the x86 build
 
-  std::vector<Bucket> buckets_;
-  uint32_t shift_;   // 64 - log2(buckets_.size())
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> heads_;
+  std::vector<uint8_t> states_;
+  uint32_t shift_;   // 64 - log2(keys_.size())
   size_t live_ = 0;  // kFull buckets
   size_t used_ = 0;  // kFull + kTombstone buckets
 };
@@ -176,7 +189,10 @@ class RepTable {
 
   PointView point(uint32_t slot) const { return store_.View(point_[slot]); }
   /// Overwrites the rep's coordinates in place (same dimension).
-  void set_point(uint32_t slot, PointView p) { store_.Write(point_[slot], p); }
+  void set_point(uint32_t slot, PointView p) {
+    store_.Write(point_[slot], p);
+    ++generation_;
+  }
 
   /// The rep point's *arena* slot index — the coordinate handle the
   /// batched distance kernels take (kept as a column so the gather loop
@@ -213,6 +229,19 @@ class RepTable {
   /// The underlying arena (introspection / space accounting).
   const PointStore& store() const { return store_; }
 
+  /// \brief Structure generation: bumped by every mutation that can change
+  /// what a probe over the table observes — Add, Remove, RekeyCell,
+  /// Compact, set_point.
+  ///
+  /// The duplicate-suppression front-end (core/dup_filter.h) records this
+  /// value with each cached (cell key → slot) entry and replays only when
+  /// it still matches, so cached slots never dangle across refilters or
+  /// compaction repacks. Reservoir-column setters (set_sample_point etc.)
+  /// deliberately do NOT bump: probes never read those columns, and the
+  /// replayed duplicate-loss path re-draws the reservoir coin itself.
+  /// Monotone (never reset), so stale entries can never collide back.
+  uint64_t generation() const { return generation_; }
+
  private:
   enum : uint8_t { kLiveFlag = 1, kAcceptedFlag = 2 };
 
@@ -238,6 +267,7 @@ class RepTable {
 
   std::vector<uint32_t> free_slots_;
   size_t live_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace rl0

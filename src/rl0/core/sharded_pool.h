@@ -124,6 +124,15 @@ class ShardedSamplerPool {
   /// Total space across shards. Requires a quiescent pipeline.
   size_t SpaceWords() const;
 
+  /// Summed duplicate-suppression counters over the per-lane filters
+  /// (each shard owns its own front-end; see core/dup_filter.h).
+  /// Requires a quiescent pipeline.
+  DupFilterStats FilterStats() const {
+    DupFilterStats stats;
+    for (const RobustL0SamplerIW& s : shards_) stats += s.filter_stats();
+    return stats;
+  }
+
  private:
   ShardedSamplerPool(std::vector<RobustL0SamplerIW> shards,
                      const IngestPool::Options& pipeline_options);
@@ -283,6 +292,15 @@ class ShardedSwSamplerPool {
   uint64_t points_fed() const;
   /// Total space across shards. Requires a quiescent pipeline.
   size_t SpaceWords() const;
+
+  /// Summed duplicate-suppression counters over the per-lane filters
+  /// (each shard owns its own front-end; see core/dup_filter.h).
+  /// Requires a quiescent pipeline.
+  DupFilterStats FilterStats() const {
+    DupFilterStats stats;
+    for (const RobustL0SamplerSW& s : shards_) stats += s.filter_stats();
+    return stats;
+  }
 
  private:
   /// Which stamp semantics the pool has been fed with. Latched by the

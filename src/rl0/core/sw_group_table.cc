@@ -133,6 +133,7 @@ uint32_t SwGroupTable::Add(uint64_t id, PointView point,
   LinkCell(slot);
   AppendStampTail(slot);
   ++live_;
+  ++generation_;
   return slot;
 }
 
@@ -156,6 +157,7 @@ void SwGroupTable::Remove(uint32_t slot) {
   flags_[slot] = 0;
   free_slots_.push_back(slot);
   --live_;
+  ++generation_;
 }
 
 SwGroupTable::MovedGroup SwGroupTable::Extract(uint32_t slot) {
@@ -175,6 +177,7 @@ SwGroupTable::MovedGroup SwGroupTable::Extract(uint32_t slot) {
   flags_[slot] = 0;
   free_slots_.push_back(slot);
   --live_;
+  ++generation_;
   return g;
 }
 
@@ -194,6 +197,7 @@ uint32_t SwGroupTable::AdoptMoved(MovedGroup&& g) {
   LinkCell(slot);
   InsertStampSorted(slot);
   ++live_;
+  ++generation_;
   return slot;
 }
 
@@ -268,9 +272,13 @@ void SwGroupTable::Compact() {
   for (const auto& entry : heads) {
     cell_index_.SetHead(entry.first, entry.second);
   }
+  ++generation_;
 }
 
 void SwGroupTable::Clear() {
+  // An empty Clear (the common per-arrival Reset of already-empty lower
+  // levels) observes nothing and so must not invalidate filter epochs.
+  if (live_ > 0) ++generation_;
   for (uint32_t slot = 0; slot < flags_.size(); ++slot) {
     if (!IsLive(slot)) continue;
     store_->Release(rep_[slot]);

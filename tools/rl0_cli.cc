@@ -38,6 +38,7 @@ usage: rl0_cli <command> [options] [file.csv | -]
 commands:
   sample    --alpha A [--k N] [--window W] [--time] [--metric l2|l1|linf]
             [--reservoir] [--seed S] [--queries Q] [--shards S]
+            [--no-filter]
             Draw Q robust l0-samples (default 1). With --window W, sample
             from the last W points instead of the whole stream. With
             --shards S > 1, ingest through the persistent S-worker
@@ -48,7 +49,7 @@ commands:
             (non-decreasing arrival times) and W counts time units, not
             points; sharded ingestion routes the stamps through the
             pipeline's stamped chunks.
-  count     --alpha A [--epsilon E] [--seed S] [--parallel]
+  count     --alpha A [--epsilon E] [--seed S] [--parallel] [--no-filter]
             (1+E)-approximate the number of distinct entities. With
             --parallel, the estimator copies ingest on pipeline workers.
   stats     --alpha A
@@ -63,6 +64,10 @@ commands:
 
 Input '-' (or no file) reads CSV points from stdin: one point per line,
 coordinates separated by commas or whitespace; '#' starts a comment.
+
+--no-filter disables the duplicate-suppression front-end (identical
+output either way — the front-end never changes decisions; the summary
+lines report its hit/miss/bypass counters).
 )";
 
 struct Args {
@@ -76,6 +81,7 @@ struct Args {
   bool reservoir = false;
   bool parallel = false;
   bool time = false;
+  bool no_filter = false;
   uint32_t max_gap = 4;
   uint64_t seed = 0;
   size_t k = 1;
@@ -175,6 +181,8 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       args->max_gap = static_cast<uint32_t>(v);
     } else if (arg == "--time") {
       args->time = true;
+    } else if (arg == "--no-filter") {
+      args->no_filter = true;
     } else if (arg == "--parallel") {
       args->parallel = true;
     } else if (arg == "--powerlaw") {
@@ -196,6 +204,18 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
 rl0::Result<std::vector<Point>> LoadPoints(const Args& args) {
   if (args.file == "-") return rl0::ParseCsvPoints(std::cin);
   return rl0::ReadCsvPoints(args.file);
+}
+
+/// Renders duplicate-suppression counters for the summary lines
+/// (core/dup_filter.h; bypass counts points the front-end never saw —
+/// filter disabled or absorbed from another sampler).
+std::string FilterNote(const rl0::DupFilterStats& stats) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " filter hit=%llu miss=%llu bypass=%llu",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.bypassed));
+  return buf;
 }
 
 rl0::Result<rl0::Metric> ParseMetric(const std::string& name) {
@@ -226,6 +246,7 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
   opts.k = args.k;
   opts.random_representative = args.reservoir;
   opts.expected_stream_length = points.size();
+  opts.dup_filter = !args.no_filter;
 
   rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
   const int64_t query_now = stamps.back();
@@ -258,12 +279,13 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
     }
     std::fprintf(stderr,
                  "[time-based windowed pipeline: %zu shards, %llu points, "
-                 "window=%lld time units, now=%lld, space=%zu words]\n",
+                 "window=%lld time units, now=%lld, space=%zu words%s]\n",
                  sw_pool.num_shards(),
                  static_cast<unsigned long long>(sw_pool.points_processed()),
                  static_cast<long long>(args.window),
                  static_cast<long long>(sw_pool.now()),
-                 sw_pool.SpaceWords());
+                 sw_pool.SpaceWords(),
+                 FilterNote(sw_pool.FilterStats()).c_str());
     return 0;
   }
 
@@ -281,9 +303,10 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
   }
   std::fprintf(stderr,
                "[time-based window=%lld time units, now=%lld, "
-               "space=%zu words]\n",
+               "space=%zu words%s]\n",
                static_cast<long long>(args.window),
-               static_cast<long long>(sw.latest_stamp()), sw.SpaceWords());
+               static_cast<long long>(sw.latest_stamp()), sw.SpaceWords(),
+               FilterNote(sw.filter_stats()).c_str());
   return 0;
 }
 
@@ -304,6 +327,7 @@ int RunSample(const Args& args) {
   opts.k = args.k;
   opts.random_representative = args.reservoir;
   opts.expected_stream_length = points.value().size();
+  opts.dup_filter = !args.no_filter;
 
   rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
   if (args.window > 0) {
@@ -329,12 +353,13 @@ int RunSample(const Args& args) {
       }
       std::fprintf(stderr,
                    "[windowed pipeline: %zu shards, %llu points, "
-                   "window=%lld, space=%zu words]\n",
+                   "window=%lld, space=%zu words%s]\n",
                    sw_pool.num_shards(),
                    static_cast<unsigned long long>(
                        sw_pool.points_processed()),
                    static_cast<long long>(args.window),
-                   sw_pool.SpaceWords());
+                   sw_pool.SpaceWords(),
+                   FilterNote(sw_pool.FilterStats()).c_str());
       return 0;
     }
     auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
@@ -348,8 +373,9 @@ int RunSample(const Args& args) {
                   sample->point.ToString().c_str(),
                   static_cast<unsigned long long>(sample->stream_index));
     }
-    std::fprintf(stderr, "[window=%lld, space=%zu words]\n",
-                 static_cast<long long>(args.window), sw.SpaceWords());
+    std::fprintf(stderr, "[window=%lld, space=%zu words%s]\n",
+                 static_cast<long long>(args.window), sw.SpaceWords(),
+                 FilterNote(sw.filter_stats()).c_str());
     return 0;
   }
 
@@ -369,10 +395,13 @@ int RunSample(const Args& args) {
     pipeline.Drain();
     sampler = pipeline.Merged();
     if (sampler.ok()) {
-      std::fprintf(stderr, "[pipeline: %zu shards, %llu points]\n",
+      // Per-lane front-end counters; the merged sampler's own counters
+      // would list every absorbed point as bypassed.
+      std::fprintf(stderr, "[pipeline: %zu shards, %llu points%s]\n",
                    pipeline.num_shards(),
                    static_cast<unsigned long long>(
-                       pipeline.points_processed()));
+                       pipeline.points_processed()),
+                   FilterNote(pipeline.FilterStats()).c_str());
     }
   } else {
     sampler = rl0::RobustL0SamplerIW::Create(opts);
@@ -397,11 +426,14 @@ int RunSample(const Args& args) {
                   static_cast<unsigned long long>(sample->stream_index));
     }
   }
+  // The pool branch already reported its per-lane counters above.
+  const std::string fnote =
+      args.shards > 1 ? std::string() : FilterNote(iw.filter_stats());
   std::fprintf(stderr, "[groups accepted=%zu rejected=%zu R=%llu "
-               "space=%zu words]\n",
+               "space=%zu words%s]\n",
                iw.accept_size(), iw.reject_size(),
                static_cast<unsigned long long>(iw.rate_reciprocal()),
-               iw.SpaceWords());
+               iw.SpaceWords(), fnote.c_str());
   return 0;
 }
 
@@ -416,6 +448,7 @@ int RunCount(const Args& args) {
   opts.sampler.alpha = args.alpha;
   opts.sampler.seed = args.seed;
   opts.sampler.expected_stream_length = points.value().size();
+  opts.sampler.dup_filter = !args.no_filter;
   opts.epsilon = args.epsilon;
   auto est = rl0::F0EstimatorIW::Create(opts);
   if (!est.ok()) return Fail(est.status().ToString());
@@ -434,8 +467,9 @@ int RunCount(const Args& args) {
   std::printf("%.0f\n", estimator.Estimate());
   std::fprintf(stderr,
                "[distinct entities, (1+%.2f)-approx; %zu points scanned; "
-               "space=%zu words]\n",
-               args.epsilon, points.value().size(), estimator.SpaceWords());
+               "space=%zu words%s]\n",
+               args.epsilon, points.value().size(), estimator.SpaceWords(),
+               FilterNote(estimator.FilterStats()).c_str());
   return 0;
 }
 
