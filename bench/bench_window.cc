@@ -25,6 +25,20 @@
 //   tpool S — the pool fed 2048-point borrowed stamped chunks
 //             (FeedBorrowedStamped), S ∈ {1, 4}.
 //
+// Bounded-lateness scenario rows (core/reorder_buffer.h) price the
+// reorder front-end: the same stamped stream disordered within a
+// lateness bound, fed through InsertStampedLate / FeedStampedLate,
+// against the canonically sorted stream fed strict (sorted p/s — the
+// work the reorder stage saves the caller):
+//
+//   late-jitter — uniform jitter disorder within bound 128 (clock skew
+//                 across sources), serial;
+//   late-skew   — heavy-tailed disorder within bound 1024 (rare
+//                 stragglers near the bound), serial;
+//   late-bursty — a bursty stream (whole-window stamp leaps) disordered
+//                 within bound 128, 4-lane pool with watermark
+//                 broadcasts.
+//
 // legacy and flat make bit-identical sampling decisions (pinned by
 // tests/sw_pipeline_determinism_test.cc), so that column pair is pure
 // layout; the pool rows show windowed pipeline scaling, and the tpool
@@ -44,6 +58,7 @@
 
 #include "harness.h"
 #include "rl0/baseline/legacy_sw_sampler.h"
+#include "rl0/core/reorder_buffer.h"
 #include "rl0/core/sharded_pool.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/stream/generators.h"
@@ -193,6 +208,94 @@ int main() {
       });
     }
 
+    // Bounded-lateness scenarios (see file comment). Each measures the
+    // disordered stream through the reorder front-end against the
+    // canonically sorted stream fed strict — same points, same window.
+    struct LateScenario {
+      const char* name;
+      std::vector<rl0::StampedPoint> stream;
+      int64_t bound;
+      size_t lanes;  // 0 = serial InsertStampedLate
+    };
+    const std::vector<rl0::StampedPoint> bursty =
+        rl0::TimeStampedBursty(data, 3, 2048, time_window / 2, seed + dim);
+    const LateScenario scenarios[3] = {
+        {"late-jitter", rl0::DisorderWithinBound(stamped, 128, seed + dim),
+         128, 0},
+        {"late-skew", rl0::DisorderSkewed(stamped, 1024, seed + dim), 1024,
+         0},
+        {"late-bursty", rl0::DisorderWithinBound(bursty, 128, seed + dim + 1),
+         128, 4},
+    };
+    struct LateResult {
+      double sorted_rate = 0.0;
+      double late_rate = 0.0;
+      rl0::ReorderStats stats;
+    };
+    LateResult late_results[3];
+    for (int s = 0; s < 3; ++s) {
+      const LateScenario& sc = scenarios[s];
+      std::vector<Point> lpoints;
+      std::vector<int64_t> lstamps;
+      rl0::SplitStamped(sc.stream, &lpoints, &lstamps);
+      std::vector<Point> spoints = lpoints;
+      std::vector<int64_t> sstamps = lstamps;
+      rl0::ReorderStage::SortCanonical(&spoints, &sstamps);
+      late_results[s].sorted_rate =
+          BestOf(repeats, data.size(), [&](int rep) -> size_t {
+            SamplerOptions o = opts;
+            o.seed = seed + rep;
+            if (sc.lanes == 0) {
+              auto sampler =
+                  RobustL0SamplerSW::Create(o, time_window).value();
+              for (size_t i = 0; i < spoints.size(); ++i) {
+                sampler.Insert(spoints[i], sstamps[i]);
+              }
+              return sampler.SpaceWords();
+            }
+            auto pool =
+                ShardedSwSamplerPool::Create(o, time_window, sc.lanes)
+                    .value();
+            const Span<const Point> all(spoints);
+            const Span<const int64_t> stamps(sstamps);
+            for (size_t off = 0; off < all.size(); off += 2048) {
+              pool.FeedBorrowedStamped(all.subspan(off, 2048),
+                                       stamps.subspan(off, 2048));
+            }
+            pool.Drain();
+            return pool.SpaceWords();
+          });
+      late_results[s].late_rate =
+          BestOf(repeats, data.size(), [&](int rep) -> size_t {
+            SamplerOptions o = opts;
+            o.seed = seed + rep;
+            o.allowed_lateness = sc.bound;
+            if (sc.lanes == 0) {
+              auto sampler =
+                  RobustL0SamplerSW::Create(o, time_window).value();
+              for (size_t i = 0; i < lpoints.size(); ++i) {
+                sampler.InsertStampedLate(lpoints[i], lstamps[i]);
+              }
+              sampler.FlushLate();
+              late_results[s].stats = sampler.late_stats();
+              return sampler.SpaceWords();
+            }
+            auto pool =
+                ShardedSwSamplerPool::Create(o, time_window, sc.lanes)
+                    .value();
+            const Span<const Point> all(lpoints);
+            const Span<const int64_t> stamps(lstamps);
+            for (size_t off = 0; off < all.size(); off += 2048) {
+              pool.FeedStampedLate(all.subspan(off, 2048),
+                                   stamps.subspan(off, 2048));
+            }
+            pool.FlushLate();
+            pool.Drain();
+            late_results[s].stats = pool.late_stats();
+            return pool.SpaceWords();
+          });
+    }
+
     const double flat_x = flat / legacy;
     std::fprintf(stderr,
                  "%-10s %4zu %8zu | %12.0f %12.0f %7.2fx | %10.0f %10.0f "
@@ -217,6 +320,29 @@ int main() {
         // and stays comparable on any core count.
         cores == 1 ? ", \"overhead_only\": true" : "");
     first = false;
+    for (int s = 0; s < 3; ++s) {
+      const LateScenario& sc = scenarios[s];
+      const LateResult& lr = late_results[s];
+      std::fprintf(stderr,
+                   "  %-12s lateness=%-5lld lanes=%zu | sorted %10.0f p/s | "
+                   "late %10.0f p/s (%.2fx) dropped=%llu\n",
+                   sc.name, static_cast<long long>(sc.bound), sc.lanes,
+                   lr.sorted_rate, lr.late_rate,
+                   lr.late_rate / lr.sorted_rate,
+                   static_cast<unsigned long long>(lr.stats.late_dropped));
+      std::printf(
+          ", {\"workload\": \"%s\", \"scenario\": \"%s\", \"dim\": %zu, "
+          "\"points\": %zu, \"lateness\": %lld, \"lanes\": %zu, "
+          "\"sorted_points_per_sec\": %.0f, \"late_points_per_sec\": %.0f, "
+          "\"late_relative\": %.3f, \"late_dropped\": %llu%s}",
+          data.name.c_str(), sc.name, dim, sc.stream.size(),
+          static_cast<long long>(sc.bound), sc.lanes, lr.sorted_rate,
+          lr.late_rate, lr.late_rate / lr.sorted_rate,
+          static_cast<unsigned long long>(lr.stats.late_dropped),
+          // The lanes > 0 scenario is a pool row; on one core it only
+          // prices pipeline + reorder overhead.
+          sc.lanes > 0 && cores == 1 ? ", \"overhead_only\": true" : "");
+    }
   }
   std::printf("]}\n");
   return 0;

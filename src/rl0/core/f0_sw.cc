@@ -45,7 +45,8 @@ F0EstimatorSW::F0EstimatorSW(std::vector<RobustL0SamplerSW> samplers,
       repetitions_(repetitions),
       combiner_(combiner),
       phi_(phi),
-      pipeline_mu_(std::make_unique<std::mutex>()) {}
+      pipeline_mu_(std::make_unique<std::mutex>()),
+      reorder_mu_(std::make_unique<std::mutex>()) {}
 
 void F0EstimatorSW::Insert(const Point& p, int64_t stamp) {
   latest_stamp_ = stamp;
@@ -73,8 +74,10 @@ IngestPool* F0EstimatorSW::EnsurePipeline() {
   if (pipeline_) return pipeline_.get();
   std::vector<IngestPool::Sink> sinks;
   std::vector<IngestPool::StampedSink> stamped_sinks;
+  std::vector<IngestPool::WatermarkSink> watermark_sinks;
   sinks.reserve(samplers_.size());
   stamped_sinks.reserve(samplers_.size());
+  watermark_sinks.reserve(samplers_.size());
   for (RobustL0SamplerSW& sampler : samplers_) {
     RobustL0SamplerSW* copy = &sampler;
     // Every copy consumes the whole stream (the copies differ by seed,
@@ -89,13 +92,18 @@ IngestPool* F0EstimatorSW::EnsurePipeline() {
                                    uint64_t base) {
       copy->InsertStridedStamped(chunk, stamps, 0, 1, base);
     });
+    watermark_sinks.push_back([copy](int64_t watermark) {
+      copy->NoteWatermark(watermark);
+    });
   }
   IngestPool::Options options;
   // Continue the index (and stamp) sequence where serial inserts left
   // off.
   options.index_base = points_processed_;
   pipeline_ = std::make_unique<IngestPool>(std::move(sinks),
-                                           std::move(stamped_sinks), options);
+                                           std::move(stamped_sinks),
+                                           std::move(watermark_sinks),
+                                           options);
   if (points_processed_ > 0) pipeline_->NoteStamp(latest_stamp_);
   return pipeline_.get();
 }
@@ -140,6 +148,50 @@ void F0EstimatorSW::FeedOwnedStamped(std::vector<Point> points,
                                      std::vector<int64_t> stamps) {
   LatchFeedMode(FeedMode::kStamped);
   EnsurePipeline()->FeedOwnedStamped(std::move(points), std::move(stamps));
+}
+
+void F0EstimatorSW::FeedStampedLate(Span<const Point> points,
+                                    Span<const int64_t> stamps) {
+  RL0_CHECK(stamps.size() == points.size());
+  LatchFeedMode(FeedMode::kStamped);
+  IngestPool* pipeline = EnsurePipeline();
+  std::lock_guard<std::mutex> lock(*reorder_mu_);
+  if (!reorder_) {
+    const SamplerOptions& opts = samplers_[0].options();
+    reorder_ = std::make_unique<ReorderStage>(opts.allowed_lateness,
+                                              opts.late_policy);
+  }
+  reorder_->OfferBatch(points, stamps);
+  std::vector<Point> released_points;
+  std::vector<int64_t> released_stamps;
+  if (reorder_->TakeReleased(&released_points, &released_stamps)) {
+    pipeline->FeedOwnedStamped(std::move(released_points),
+                               std::move(released_stamps));
+  }
+  if (reorder_->has_watermark()) {
+    const int64_t watermark = reorder_->watermark();
+    if (!watermark_sent_ || watermark > last_watermark_) {
+      pipeline->FeedWatermark(watermark);
+      watermark_sent_ = true;
+      last_watermark_ = watermark;
+    }
+  }
+}
+
+void F0EstimatorSW::FlushLate() {
+  {
+    std::lock_guard<std::mutex> lock(*reorder_mu_);
+    if (!reorder_) return;
+    reorder_->Flush();
+  }
+  // Re-enter the shared pump via a zero-point late feed: the flush
+  // staged its releases, and an empty OfferBatch is a no-op on top.
+  FeedStampedLate(Span<const Point>(), Span<const int64_t>());
+}
+
+ReorderStats F0EstimatorSW::late_stats() const {
+  std::lock_guard<std::mutex> lock(*reorder_mu_);
+  return reorder_ ? reorder_->stats() : ReorderStats();
 }
 
 void F0EstimatorSW::Drain() {

@@ -22,6 +22,7 @@
 
 #include "rl0/core/ingest_pool.h"
 #include "rl0/core/options.h"
+#include "rl0/core/reorder_buffer.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/util/span.h"
 #include "rl0/util/status.h"
@@ -103,6 +104,27 @@ class F0EstimatorSW {
   void FeedOwnedStamped(std::vector<Point> points,
                         std::vector<int64_t> stamps);
 
+  /// Bounded-lateness explicit-stamp feeding (core/reorder_buffer.h):
+  /// stamps may run backwards by up to options.sampler.allowed_lateness
+  /// behind the maximum stamp seen across late feeds; an estimator-level
+  /// ReorderStage restores sorted order, streams the released prefix to
+  /// every copy, and broadcasts watermarks so copies advance event time
+  /// even between releases. Beyond-bound points follow
+  /// options.sampler.late_policy (late_stats() accounts for every one).
+  /// Same feed-family latch as FeedStamped (counts as the stamped
+  /// family); do not mix with the strict FeedStamped* calls. Call
+  /// FlushLate() + Drain() before estimating at end of stream.
+  void FeedStampedLate(Span<const Point> points, Span<const int64_t> stamps);
+
+  /// Releases everything the reorder stage still buffers and broadcasts
+  /// the final watermark. Drain() afterwards for the usual barrier.
+  /// No-op before any FeedStampedLate.
+  void FlushLate();
+
+  /// Counters of the estimator's reorder stage (all-zero before any
+  /// FeedStampedLate).
+  ReorderStats late_stats() const;
+
   /// Blocks until everything fed before this call is consumed by every
   /// copy, then syncs the stamp watermark (the last fed explicit stamp
   /// on the stamped path, the last stream position otherwise). Required
@@ -165,6 +187,14 @@ class F0EstimatorSW {
   /// The latched feed family (guarded by pipeline_mu_); decides how
   /// Drain syncs the stamp watermark and rejects feed-family mixes.
   FeedMode feed_mode_ = FeedMode::kUnset;
+  /// Bounded-lateness front-end of FeedStampedLate (lazy) and the last
+  /// watermark broadcast; guarded by reorder_mu_ (separate from
+  /// pipeline_mu_: the pump can block on backpressure and must not hold
+  /// the pipeline lock Insert/Drain need).
+  std::unique_ptr<std::mutex> reorder_mu_;
+  std::unique_ptr<ReorderStage> reorder_;
+  bool watermark_sent_ = false;
+  int64_t last_watermark_ = 0;
 };
 
 }  // namespace rl0

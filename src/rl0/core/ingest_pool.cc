@@ -8,24 +8,37 @@ namespace rl0 {
 
 IngestPool::IngestPool(std::vector<Sink> sinks,
                        std::vector<StampedSink> stamped_sinks,
+                       std::vector<WatermarkSink> watermark_sinks,
                        const Options& options)
     : queue_capacity_(options.queue_capacity < 1 ? 1
                                                  : options.queue_capacity),
       fed_(options.index_base) {
   RL0_CHECK(!sinks.empty());
   RL0_CHECK(stamped_sinks.empty() || stamped_sinks.size() == sinks.size());
+  RL0_CHECK(watermark_sinks.empty() ||
+            watermark_sinks.size() == sinks.size());
   lanes_.reserve(sinks.size());
   for (size_t i = 0; i < sinks.size(); ++i) {
     StampedSink stamped =
         stamped_sinks.empty() ? StampedSink() : std::move(stamped_sinks[i]);
+    WatermarkSink watermark = watermark_sinks.empty()
+                                  ? WatermarkSink()
+                                  : std::move(watermark_sinks[i]);
     lanes_.push_back(std::make_unique<Lane>(queue_capacity_,
                                             std::move(sinks[i]),
-                                            std::move(stamped)));
+                                            std::move(stamped),
+                                            std::move(watermark)));
   }
   for (std::unique_ptr<Lane>& lane : lanes_) {
     lane->worker = std::thread([this, raw = lane.get()] { WorkerLoop(raw); });
   }
 }
+
+IngestPool::IngestPool(std::vector<Sink> sinks,
+                       std::vector<StampedSink> stamped_sinks,
+                       const Options& options)
+    : IngestPool(std::move(sinks), std::move(stamped_sinks),
+                 std::vector<WatermarkSink>(), options) {}
 
 IngestPool::IngestPool(std::vector<Sink> sinks, const Options& options)
     : IngestPool(std::move(sinks), std::vector<StampedSink>(), options) {}
@@ -40,7 +53,9 @@ void IngestPool::WorkerLoop(Lane* lane) {
   while (lane->queue.Pop(&chunk)) {
     {
       std::lock_guard<std::mutex> proc(lane->proc_mu);
-      if (chunk.stamps != nullptr) {
+      if (chunk.watermark_only) {
+        lane->watermark_sink(chunk.watermark);
+      } else if (chunk.stamps != nullptr) {
         lane->stamped_sink(Span<const Point>(chunk.data, chunk.size),
                            Span<const int64_t>(chunk.stamps, chunk.size),
                            chunk.index_base);
@@ -60,7 +75,7 @@ void IngestPool::WorkerLoop(Lane* lane) {
 }
 
 void IngestPool::FeedChunk(Chunk chunk) {
-  if (chunk.size == 0) return;
+  if (chunk.size == 0 && !chunk.watermark_only) return;
   // One critical section assigns the index base AND enqueues everywhere:
   // every lane sees the same chunk order, and bases are dense and unique
   // even under concurrent producers. Push may block here (backpressure);
@@ -69,7 +84,14 @@ void IngestPool::FeedChunk(Chunk chunk) {
   // always makes progress.
   std::lock_guard<std::mutex> lock(feed_mu_);
   if (stopped_) return;
-  if (chunk.stamps != nullptr) {
+  if (chunk.watermark_only) {
+    // A watermark announces "no stamped point below this will ever be
+    // fed" — regressing the pool's stamp watermark would falsify the
+    // announcements already broadcast.
+    RL0_CHECK(!stamp_watermark_set_ || chunk.watermark >= latest_stamp_);
+    latest_stamp_ = chunk.watermark;
+    stamp_watermark_set_ = true;
+  } else if (chunk.stamps != nullptr) {
     // Stamped chunks ride the same critical section, so the stamp
     // sequence is monotone in enqueue order — the time-based analogue of
     // the index-base contract. A violation means the producer handed the
@@ -169,6 +191,14 @@ void IngestPool::FeedBorrowedStamped(Span<const Point> points,
   chunk.data = points.data();
   chunk.size = points.size();
   chunk.stamps = stamps.data();
+  FeedChunk(std::move(chunk));
+}
+
+void IngestPool::FeedWatermark(int64_t watermark) {
+  RL0_CHECK(lanes_[0]->watermark_sink != nullptr);
+  Chunk chunk;
+  chunk.watermark_only = true;
+  chunk.watermark = watermark;
   FeedChunk(std::move(chunk));
 }
 

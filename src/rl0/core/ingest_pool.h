@@ -40,6 +40,16 @@
 // watermark check under the feed lock); a violation is a programming
 // error and CHECK-fails. Lanes consume stamped chunks through their
 // StampedSink; pools that never feed stamps never need one.
+//
+// Watermark chunks (bounded-lateness ingestion): FeedWatermark
+// broadcasts a point-free control chunk announcing that event time has
+// progressed to `watermark` — no stamped point below it will ever be
+// fed again. Lanes consume it through their WatermarkSink (typically
+// RobustL0SamplerSW::NoteWatermark), letting a lane whose residue class
+// saw no recent points still advance its notion of event time (the
+// empty-lane watermark stall). Watermark chunks ride the ordinary chunk
+// sequence: they raise the pool's stamp watermark, count toward Drain's
+// completion target, and never consume stream indices.
 
 #ifndef RL0_CORE_INGEST_POOL_H_
 #define RL0_CORE_INGEST_POOL_H_
@@ -74,6 +84,10 @@ class IngestPool {
                                          Span<const int64_t> stamps,
                                          uint64_t index_base)>;
 
+  /// Consumes one watermark announcement (see FeedWatermark) on a lane's
+  /// worker thread.
+  using WatermarkSink = std::function<void(int64_t watermark)>;
+
   struct Options {
     /// Chunks buffered per lane before Feed blocks (backpressure window).
     size_t queue_capacity = 4;
@@ -90,6 +104,12 @@ class IngestPool {
   /// be empty or match `sinks` in size). Lanes without stamped sinks
   /// reject FeedStamped.
   IngestPool(std::vector<Sink> sinks, std::vector<StampedSink> stamped_sinks,
+             const Options& options);
+
+  /// As above, with a watermark sink per lane (empty or matching `sinks`
+  /// in size). Lanes without watermark sinks reject FeedWatermark.
+  IngestPool(std::vector<Sink> sinks, std::vector<StampedSink> stamped_sinks,
+             std::vector<WatermarkSink> watermark_sinks,
              const Options& options);
 
   /// Stops the pipeline (drains queued chunks, joins workers).
@@ -122,6 +142,14 @@ class IngestPool {
   /// next Drain() (or Stop()) returns.
   void FeedBorrowedStamped(Span<const Point> points,
                            Span<const int64_t> stamps);
+
+  /// Broadcasts a watermark control chunk (requires watermark sinks):
+  /// every lane's WatermarkSink observes `watermark` after the chunks
+  /// fed before this call. Must not regress the pool's stamp watermark,
+  /// and stamped chunks fed afterwards must start at or after it (the
+  /// standard cross-chunk stamp check covers this). Raises the pool's
+  /// stamp watermark like NoteStamp; consumes no stream indices.
+  void FeedWatermark(int64_t watermark);
 
   /// Blocks until every chunk fed before this call has been consumed by
   /// every lane. Safe from any thread, including concurrently with Feed
@@ -181,17 +209,23 @@ class IngestPool {
     /// Explicit stamps (stamped chunks only; null = sequence-stamped).
     std::shared_ptr<const std::vector<int64_t>> stamp_owner;
     const int64_t* stamps = nullptr;
+    /// Watermark control chunk (size == 0; `watermark` is the payload).
+    bool watermark_only = false;
+    int64_t watermark = 0;
   };
 
   struct Lane {
-    Lane(size_t queue_capacity, Sink lane_sink, StampedSink lane_stamped)
+    Lane(size_t queue_capacity, Sink lane_sink, StampedSink lane_stamped,
+         WatermarkSink lane_watermark)
         : queue(queue_capacity),
           sink(std::move(lane_sink)),
-          stamped_sink(std::move(lane_stamped)) {}
+          stamped_sink(std::move(lane_stamped)),
+          watermark_sink(std::move(lane_watermark)) {}
 
     BoundedQueue<Chunk> queue;
     Sink sink;
     StampedSink stamped_sink;
+    WatermarkSink watermark_sink;
     std::thread worker;
     /// Held by the worker while a chunk is inside the sink (QuiescedRun
     /// acquires all lanes' mutexes to pause the pool between chunks).

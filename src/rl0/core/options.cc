@@ -50,6 +50,9 @@ Status SamplerOptions::Validate() const {
   if (expected_stream_length < 1) {
     return Status::InvalidArgument("expected_stream_length must be >= 1");
   }
+  if (allowed_lateness < 0) {
+    return Status::InvalidArgument("allowed_lateness must be >= 0");
+  }
   return Status::OK();
 }
 

@@ -24,6 +24,22 @@ enum class GridSideMode {
   kCustom,
 };
 
+/// What happens to a stamped arrival that is *late beyond the lateness
+/// bound* — its stamp is below the release frontier (max stamp seen −
+/// allowed_lateness), so the reordering stage has already released the
+/// sorted prefix it belongs to (core/reorder_buffer.h).
+enum class LatePolicy {
+  /// Drop the point, counting it (ReorderStats::late_dropped). Nothing
+  /// is ever silently lost: offered == released + dropped + redirected
+  /// (+ buffered, zero after a flush) holds exactly.
+  kDrop,
+  /// Redirect the point (with its stamp) to a side channel — the
+  /// caller's late sink, or an internal buffer drained via
+  /// ReorderStage::TakeLate when no sink is set. Counted as
+  /// ReorderStats::late_redirected.
+  kSideChannel,
+};
+
 /// Configuration for RobustL0SamplerIW / SwFixedRateSampler /
 /// RobustL0SamplerSW. Plain aggregate; validate with Validate().
 struct SamplerOptions {
@@ -82,6 +98,20 @@ struct SamplerOptions {
   /// probe path (bench_filter) or shave scratch memory. Compiled out
   /// entirely by -DRL0_NO_DUP_FILTER.
   bool dup_filter = true;
+
+  /// Bounded-lateness ingestion (core/reorder_buffer.h): the late feed
+  /// paths (RobustL0SamplerSW::InsertStampedLate,
+  /// ShardedSwSamplerPool::FeedStampedLate, F0EstimatorSW::
+  /// FeedStampedLate) accept stamps that run backwards by at most this
+  /// many time units behind the maximum stamp seen, reordering them into
+  /// the strict non-decreasing sequence the samplers require. Must be
+  /// ≥ 0; 0 still tolerates equal-stamp ties arriving in any order. The
+  /// strict FeedStamped/InsertStamped paths ignore it.
+  int64_t allowed_lateness = 0;
+
+  /// Policy for arrivals later than allowed_lateness on the late feed
+  /// paths (see LatePolicy).
+  LatePolicy late_policy = LatePolicy::kDrop;
 
   /// The grid cell side implied by the options.
   double GridSide() const;

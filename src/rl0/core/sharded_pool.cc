@@ -185,7 +185,8 @@ ShardedSwSamplerPool::ShardedSwSamplerPool(
     const IngestPool::Options& pipeline_options)
     : shards_(std::move(shards)), window_(window),
       pipeline_options_(pipeline_options),
-      mode_(std::make_unique<std::atomic<uint8_t>>(0)) {
+      mode_(std::make_unique<std::atomic<uint8_t>>(0)),
+      reorder_mu_(std::make_unique<std::mutex>()) {
   StartPipeline();
 }
 
@@ -193,8 +194,10 @@ void ShardedSwSamplerPool::StartPipeline() {
   const size_t shards = shards_.size();
   std::vector<IngestPool::Sink> sinks;
   std::vector<IngestPool::StampedSink> stamped_sinks;
+  std::vector<IngestPool::WatermarkSink> watermark_sinks;
   sinks.reserve(shards);
   stamped_sinks.reserve(shards);
+  watermark_sinks.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     RobustL0SamplerSW* shard = &shards_[s];
     sinks.push_back([shard, s, shards](Span<const Point> chunk,
@@ -216,9 +219,17 @@ void ShardedSwSamplerPool::StartPipeline() {
                                   StrideStart(s, shards, index_base),
                                   shards, index_base);
     });
+    watermark_sinks.push_back([shard](int64_t watermark) {
+      // Event-time advance without points: a lane whose residue class
+      // saw nothing recent still learns how far time has progressed
+      // (scratch state only — snapshots stay byte-identical to the
+      // strict sorted feed).
+      shard->NoteWatermark(watermark);
+    });
   }
   pipeline_ = std::make_unique<IngestPool>(
-      std::move(sinks), std::move(stamped_sinks), pipeline_options_);
+      std::move(sinks), std::move(stamped_sinks), std::move(watermark_sinks),
+      pipeline_options_);
 }
 
 void ShardedSwSamplerPool::LatchMode(StampMode mode) {
@@ -263,6 +274,71 @@ void ShardedSwSamplerPool::FeedBorrowedStamped(Span<const Point> points,
                                                Span<const int64_t> stamps) {
   LatchMode(StampMode::kTime);
   pipeline_->FeedBorrowedStamped(points, stamps);
+}
+
+void ShardedSwSamplerPool::FeedStampedLate(Span<const Point> points,
+                                           Span<const int64_t> stamps) {
+  RL0_CHECK(stamps.size() == points.size());
+  LatchMode(StampMode::kTime);
+  std::lock_guard<std::mutex> lock(*reorder_mu_);
+  if (!reorder_) {
+    reorder_ = std::make_unique<ReorderStage>(
+        shards_[0].options().allowed_lateness,
+        shards_[0].options().late_policy);
+  }
+  reorder_->OfferBatch(points, stamps);
+  PumpReorderLocked();
+}
+
+void ShardedSwSamplerPool::FlushLate() {
+  std::lock_guard<std::mutex> lock(*reorder_mu_);
+  if (!reorder_) return;
+  reorder_->Flush();
+  PumpReorderLocked();
+}
+
+void ShardedSwSamplerPool::PumpReorderLocked() {
+  std::vector<Point> points;
+  std::vector<int64_t> stamps;
+  if (reorder_->TakeReleased(&points, &stamps)) {
+    // Released order is the canonically sorted order, so the pipeline
+    // sees exactly the chunk stream a strict sorted feed would (modulo
+    // chunk boundaries, which the determinism contract absorbs).
+    pipeline_->FeedOwnedStamped(std::move(points), std::move(stamps));
+  }
+  if (reorder_->has_watermark()) {
+    const int64_t watermark = reorder_->watermark();
+    if (!watermark_sent_ || watermark > last_watermark_) {
+      // After the release above: released stamps are below the new
+      // watermark, and every future release is at or above it, so the
+      // pipeline's stamp monotonicity check holds on both sides.
+      pipeline_->FeedWatermark(watermark);
+      watermark_sent_ = true;
+      last_watermark_ = watermark;
+    }
+  }
+}
+
+ReorderStats ShardedSwSamplerPool::late_stats() const {
+  std::lock_guard<std::mutex> lock(*reorder_mu_);
+  return reorder_ ? reorder_->stats() : ReorderStats();
+}
+
+void ShardedSwSamplerPool::set_late_sink(ReorderStage::LateSink sink) {
+  std::lock_guard<std::mutex> lock(*reorder_mu_);
+  if (!reorder_) {
+    reorder_ = std::make_unique<ReorderStage>(
+        shards_[0].options().allowed_lateness,
+        shards_[0].options().late_policy);
+  }
+  reorder_->set_late_sink(std::move(sink));
+}
+
+std::vector<std::pair<Point, int64_t>>
+ShardedSwSamplerPool::TakeLateSideChannel() {
+  std::lock_guard<std::mutex> lock(*reorder_mu_);
+  if (!reorder_) return {};
+  return reorder_->TakeLate();
 }
 
 void ShardedSwSamplerPool::FeedAdaptive(Span<const Point> points) {
@@ -387,11 +463,14 @@ std::optional<SampleItem> ShardedSwSamplerPool::SampleQuiesced(
     Xoshiro256pp* rng) {
   std::optional<SampleItem> sample;
   pipeline_->QuiescedRun([this, rng, &sample] {
-    // Each shard is queried at its own processed prefix: expiring at the
-    // shard's latest stamp repeats work its own inserts already did, so
-    // the peek never disturbs the lane's deterministic trajectory.
+    // Each shard is queried at its own processed prefix: its event time
+    // (watermark() — the latest stamp unless a broadcast watermark moved
+    // past it on the bounded-lateness path). Expiring at a stamp the
+    // lane is promised never to see undercut repeats or front-runs work
+    // its own inserts do, so the peek never disturbs the lane's
+    // deterministic trajectory.
     const std::vector<SampleItem> pool = BuildUnifiedPool(
-        [this](size_t s) { return shards_[s].latest_stamp(); }, rng);
+        [this](size_t s) { return shards_[s].watermark(); }, rng);
     if (!pool.empty()) sample = pool[rng->NextBounded(pool.size())];
   });
   return sample;

@@ -31,6 +31,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include <optional>
@@ -38,6 +40,7 @@
 #include "rl0/core/chunk_policy.h"
 #include "rl0/core/ingest_pool.h"
 #include "rl0/core/iw_sampler.h"
+#include "rl0/core/reorder_buffer.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/util/span.h"
 #include "rl0/util/status.h"
@@ -219,6 +222,45 @@ class ShardedSwSamplerPool {
   void FeedBorrowedStamped(Span<const Point> points,
                            Span<const int64_t> stamps);
 
+  /// Bounded-lateness time-based feeding (core/reorder_buffer.h): the
+  /// stamps may run backwards by up to options().allowed_lateness behind
+  /// the maximum stamp seen across all late feeds. A pool-level
+  /// ReorderStage restores sorted order and streams the released prefix
+  /// through the ordinary stamped pipeline, followed by a watermark
+  /// chunk that advances every lane's event time (so a lane whose
+  /// residue class went quiet still expires on schedule). For ANY
+  /// arrival order within the bound, per-lane state — coin streams and
+  /// snapshot bytes included — is bit-identical to FeedStamped of the
+  /// canonically sorted stream (ties broken by
+  /// ReorderStage::CanonicalLess). Beyond-bound points follow
+  /// options().late_policy and are fully accounted in late_stats().
+  /// Safe from any number of threads (serialized internally); do not mix
+  /// with the strict FeedStamped* calls. Call FlushLate() + Drain()
+  /// before end-of-stream queries.
+  void FeedStampedLate(Span<const Point> points, Span<const int64_t> stamps);
+
+  /// Releases everything the reorder stage still buffers into the
+  /// pipeline and broadcasts the final watermark (the maximum stamp
+  /// seen). Drain() afterwards for the usual barrier. No-op before any
+  /// FeedStampedLate.
+  void FlushLate();
+
+  /// Counters of the pool's reorder stage (all-zero before any
+  /// FeedStampedLate). The identity offered == released + late_dropped +
+  /// late_redirected + buffered holds at every quiescent point.
+  ReorderStats late_stats() const;
+
+  /// Side-channel sink for beyond-bound arrivals under
+  /// LatePolicy::kSideChannel; without one they buffer inside the stage
+  /// (TakeLateSideChannel). The sink runs on the feeding thread, under
+  /// the pool's reorder lock — keep it cheap and do not call back into
+  /// the pool.
+  void set_late_sink(ReorderStage::LateSink sink);
+
+  /// Drains the internally buffered side-channel deliveries (kSideChannel
+  /// with no sink set), in arrival order.
+  std::vector<std::pair<Point, int64_t>> TakeLateSideChannel();
+
   /// Adaptive-chunked feeding (see ShardedSamplerPool::FeedAdaptive and
   /// core/chunk_policy.h); sequence mode.
   void FeedAdaptive(Span<const Point> points);
@@ -314,6 +356,9 @@ class ShardedSwSamplerPool {
   /// Latches the pool's stamp mode (atomic; safe from concurrent
   /// producers) and CHECK-fails on a mode mix.
   void LatchMode(StampMode mode);
+  /// Streams the reorder stage's staged releases into the pipeline and
+  /// broadcasts its advanced watermark. Requires reorder_mu_ held.
+  void PumpReorderLocked();
   /// In-place α-proximity dedup, keeping the item with the larger stream
   /// index per group; preserves first-seen order (single-shard pools pass
   /// through untouched, matching the pointwise sampler bit-for-bit).
@@ -330,6 +375,17 @@ class ShardedSwSamplerPool {
   /// Heap-allocated so the pool stays movable.
   std::unique_ptr<std::atomic<uint8_t>> mode_;
   AdaptiveChunkPolicy chunk_policy_;
+  /// Serializes the late feed path: the Offer → release → watermark
+  /// sequence must hit the pipeline in one piece per producer, or two
+  /// producers could interleave a release with a stale watermark.
+  std::unique_ptr<std::mutex> reorder_mu_;
+  /// Bounded-lateness front-end of FeedStampedLate (lazy; guarded by
+  /// reorder_mu_).
+  std::unique_ptr<ReorderStage> reorder_;
+  /// Last watermark broadcast to the lanes (guarded by reorder_mu_);
+  /// duplicates are skipped so quiet feeds don't flood control chunks.
+  bool watermark_sent_ = false;
+  int64_t last_watermark_ = 0;
 };
 
 }  // namespace rl0

@@ -378,7 +378,53 @@ Result<std::vector<SampleItem>> RobustL0SamplerSW::SampleK(
 }
 
 std::optional<SampleItem> RobustL0SamplerSW::SampleLatest(Xoshiro256pp* rng) {
-  return Sample(latest_stamp_, rng);
+  return Sample(watermark(), rng);
+}
+
+void RobustL0SamplerSW::InsertStampedLate(const Point& p, int64_t stamp) {
+  if (!reorder_) {
+    reorder_ = std::make_unique<ReorderStage>(ctx_->options.allowed_lateness,
+                                              ctx_->options.late_policy);
+  }
+  reorder_->Offer(p, stamp);
+  DrainLateReleases();
+}
+
+void RobustL0SamplerSW::FlushLate() {
+  if (!reorder_) return;
+  reorder_->Flush();
+  DrainLateReleases();
+}
+
+void RobustL0SamplerSW::DrainLateReleases() {
+  if (reorder_->TakeReleased(&late_points_scratch_, &late_stamps_scratch_)) {
+    for (size_t i = 0; i < late_points_scratch_.size(); ++i) {
+      // Insert assigns the dense stream index the sorted feed would —
+      // released order IS the canonically sorted order, so indices,
+      // coin streams and snapshot bytes match the strict path exactly.
+      Insert(late_points_scratch_[i], late_stamps_scratch_[i]);
+    }
+  }
+  if (reorder_->has_watermark()) NoteWatermark(reorder_->watermark());
+}
+
+ReorderStats RobustL0SamplerSW::late_stats() const {
+  return reorder_ ? reorder_->stats() : ReorderStats();
+}
+
+void RobustL0SamplerSW::set_late_sink(ReorderStage::LateSink sink) {
+  if (!reorder_) {
+    reorder_ = std::make_unique<ReorderStage>(ctx_->options.allowed_lateness,
+                                              ctx_->options.late_policy);
+  }
+  reorder_->set_late_sink(std::move(sink));
+}
+
+void RobustL0SamplerSW::NoteWatermark(int64_t watermark) {
+  if (!has_event_watermark_ || watermark > event_watermark_) {
+    has_event_watermark_ = true;
+    event_watermark_ = watermark;
+  }
 }
 
 void RobustL0SamplerSW::AcceptedWindowItems(int64_t now,
@@ -398,6 +444,9 @@ std::optional<uint32_t> RobustL0SamplerSW::DeepestNonEmptyLevel(int64_t now) {
 size_t RobustL0SamplerSW::SpaceWords() const {
   size_t words = 8;  // scalars
   for (const auto& level : levels_) words += level->SpaceWords();
+  // The bounded-lateness buffer is real Θ(lateness · rate) state; after
+  // a FlushLate it holds nothing and contributes nothing.
+  if (reorder_) words += reorder_->SpaceWords();
   return words;
 }
 

@@ -37,6 +37,7 @@
 
 #include "rl0/core/context.h"
 #include "rl0/core/dup_filter.h"
+#include "rl0/core/reorder_buffer.h"
 #include "rl0/core/sample.h"
 #include "rl0/core/sw_fixed_sampler.h"
 #include "rl0/geom/point_store.h"
@@ -99,6 +100,49 @@ class RobustL0SamplerSW {
                             Span<const int64_t> stamps, size_t start,
                             size_t stride, uint64_t index_base = 0);
 
+  /// Bounded-lateness serial ingestion (core/reorder_buffer.h): accepts
+  /// stamps up to options().allowed_lateness behind the maximum stamp
+  /// seen, reorders them, and feeds the released sorted prefix through
+  /// the strict InsertStamped core — so for ANY arrival order within the
+  /// bound, sampler state (coin streams and snapshot bytes included) is
+  /// bit-identical to inserting the canonically sorted stream directly.
+  /// Beyond-bound arrivals follow options().late_policy (late_stats()
+  /// accounts for every one). Call FlushLate() before end-of-stream
+  /// queries; do not mix with the strict insert paths.
+  void InsertStampedLate(const Point& p, int64_t stamp);
+
+  /// Releases everything the late path still buffers (end of stream or a
+  /// checkpoint) and advances the event-time watermark to the maximum
+  /// stamp seen. Arrivals offered afterwards resume with everything at
+  /// or below that watermark judged late. No-op before any
+  /// InsertStampedLate.
+  void FlushLate();
+
+  /// Counters of the late path's reorder stage (all-zero before any
+  /// InsertStampedLate).
+  ReorderStats late_stats() const;
+
+  /// Side-channel sink for beyond-bound arrivals under
+  /// LatePolicy::kSideChannel; without one they buffer inside the stage
+  /// (ReorderStage::TakeLate). The sink runs on the inserting thread.
+  void set_late_sink(ReorderStage::LateSink sink);
+
+  /// Raises the event-time watermark: a promise that no future stamp
+  /// will be below `watermark`. Scratch state — never serialized by
+  /// SnapshotSamplerSW (a restored sampler resumes at its latest stamp),
+  /// so noting watermarks keeps snapshot bytes bit-identical to the
+  /// strict sorted feed. Queries read it through watermark().
+  void NoteWatermark(int64_t watermark);
+
+  /// Event time: the later of the latest inserted stamp and any noted
+  /// watermark. Equals latest_stamp() on the strict paths (which never
+  /// note watermarks).
+  int64_t watermark() const {
+    return has_event_watermark_ && event_watermark_ > latest_stamp_
+               ? event_watermark_
+               : latest_stamp_;
+  }
+
   /// Returns a robust ℓ0-sample of the window at time `now`: a group alive
   /// in (now-window, now] chosen uniformly, represented by its latest
   /// point — or, with options.random_representative, by a uniformly
@@ -109,7 +153,9 @@ class RobustL0SamplerSW {
   /// nullopt iff the window is empty. Expires state, hence non-const.
   std::optional<SampleItem> Sample(int64_t now, Xoshiro256pp* rng);
 
-  /// Sample at the stamp of the most recent insertion.
+  /// Sample at the current event time — watermark(), which is the stamp
+  /// of the most recent insertion unless a later watermark was noted
+  /// (bounded-lateness ingestion).
   std::optional<SampleItem> SampleLatest(Xoshiro256pp* rng);
 
   /// Samples `count` distinct window groups without replacement
@@ -241,6 +287,22 @@ class RobustL0SamplerSW {
   // Per-level touch targets of the descent in flight (kNpos = level
   // ignored or arrival not recordable).
   std::vector<uint32_t> touch_scratch_;
+
+  /// Drains the reorder stage's staged releases through the strict
+  /// insert core and folds its low watermark into the event watermark.
+  void DrainLateReleases();
+
+  // Bounded-lateness front-end of InsertStampedLate (lazy; serial-path
+  // twin of the pool's reorder stage). Like the dup filter, scratch
+  // state: never snapshotted.
+  std::unique_ptr<ReorderStage> reorder_;
+  std::vector<Point> late_points_scratch_;
+  std::vector<int64_t> late_stamps_scratch_;
+  // Event-time watermark from NoteWatermark — scratch, not serialized
+  // (restore resumes at the latest stamp), so watermark propagation
+  // cannot perturb snapshot byte-identity with the strict sorted feed.
+  bool has_event_watermark_ = false;
+  int64_t event_watermark_ = 0;
 };
 
 }  // namespace rl0

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -126,12 +127,17 @@ void WriteCsvPoints(const std::vector<Point>& points, std::ostream& out) {
   }
 }
 
-Result<StampedCsv> ParseCsvStampedPoints(std::istream& in) {
+Result<StampedCsv> ParseCsvStampedPoints(std::istream& in,
+                                         int64_t allowed_lateness) {
+  if (allowed_lateness < 0) {
+    return Status::InvalidArgument("allowed_lateness must be >= 0");
+  }
   StampedCsv out;
   std::string line;
   std::vector<double> coords;
   size_t line_number = 0;
   size_t dim = 0;
+  int64_t max_stamp = 0;  // running maximum; meaningful once stamps exist
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
@@ -158,11 +164,28 @@ Result<StampedCsv> ParseCsvStampedPoints(std::istream& in) {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
                                      ": bad stamp '" + token + "'");
     }
-    if (!out.stamps.empty() && stamp < out.stamps.back()) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_number) + ": stamp " + token +
-          " decreases (stamps must be non-decreasing)");
+    if (!out.stamps.empty()) {
+      // Admission bound: the running maximum minus the lateness budget
+      // (clamped against signed underflow for extreme stamps). With a
+      // zero budget this is exactly the non-decreasing contract.
+      const int64_t floor = std::numeric_limits<int64_t>::min();
+      const int64_t bound = max_stamp >= floor + allowed_lateness
+                                ? max_stamp - allowed_lateness
+                                : floor;
+      if (stamp < bound) {
+        if (allowed_lateness == 0) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) + ": stamp " + token +
+              " decreases (stamps must be non-decreasing)");
+        }
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": stamp " + token +
+            " is more than " + std::to_string(allowed_lateness) +
+            " behind the maximum stamp " + std::to_string(max_stamp) +
+            " (allowed lateness exceeded)");
+      }
     }
+    if (out.stamps.empty() || stamp > max_stamp) max_stamp = stamp;
     coords.erase(coords.begin());
     Status sp = AppendPoint(std::move(coords), line_number, &dim,
                             &out.points);
@@ -172,12 +195,13 @@ Result<StampedCsv> ParseCsvStampedPoints(std::istream& in) {
   return out;
 }
 
-Result<StampedCsv> ReadCsvStampedPoints(const std::string& path) {
+Result<StampedCsv> ReadCsvStampedPoints(const std::string& path,
+                                        int64_t allowed_lateness) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("cannot open '" + path + "'");
   }
-  return ParseCsvStampedPoints(in);
+  return ParseCsvStampedPoints(in, allowed_lateness);
 }
 
 void WriteCsvStampedPoints(const std::vector<Point>& points,

@@ -11,7 +11,11 @@
 // Stamped variant (time-based windows): the first column is an integer
 // stamp (arrival time), the remaining columns the coordinates. Stamps
 // must be non-decreasing down the file, mirroring the stream contract of
-// RobustL0SamplerSW::InsertStamped.
+// RobustL0SamplerSW::InsertStamped — unless the caller passes a
+// positive `allowed_lateness`, in which case a stamp may run up to that
+// many time units behind the file's running maximum (the bounded-
+// lateness ingestion contract of core/reorder_buffer.h; rows beyond the
+// bound are rejected with a line-numbered error).
 
 #ifndef RL0_STREAM_CSV_H_
 #define RL0_STREAM_CSV_H_
@@ -44,12 +48,18 @@ struct StampedCsv {
 };
 
 /// Parses a stamped stream from CSV text: leading integer stamp column,
-/// then the coordinates. Rejects non-integer or decreasing stamps with a
-/// line-numbered error.
-Result<StampedCsv> ParseCsvStampedPoints(std::istream& in);
+/// then the coordinates. Rejects non-integer stamps with a line-numbered
+/// error. `allowed_lateness` bounds how far a stamp may run behind the
+/// file's running maximum: 0 (the default) demands non-decreasing
+/// stamps; a positive bound admits disordered rows for the
+/// bounded-lateness feed paths (FeedStampedLate) and rejects rows beyond
+/// the bound with a line-numbered error naming it.
+Result<StampedCsv> ParseCsvStampedPoints(std::istream& in,
+                                         int64_t allowed_lateness = 0);
 
 /// Reads a stamped stream from a CSV file.
-Result<StampedCsv> ReadCsvStampedPoints(const std::string& path);
+Result<StampedCsv> ReadCsvStampedPoints(const std::string& path,
+                                        int64_t allowed_lateness = 0);
 
 /// Writes a stamped stream as CSV (stamp first, then "%.17g"
 /// coordinates, comma-separated). Requires aligned arrays.

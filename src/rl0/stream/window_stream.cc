@@ -59,6 +59,50 @@ std::vector<StampedPoint> TimeStampedBursty(const NoisyDataset& dataset,
                        seed ^ 0x42757273ULL);
 }
 
+namespace {
+
+/// The shared disorder loop: jitter keys drawn by `next_jitter`, stable
+/// sort by key (ties keep the sorted order, so zero-jitter runs stay
+/// put).
+template <typename JitterFn>
+std::vector<StampedPoint> DisorderByJitter(
+    const std::vector<StampedPoint>& stream, int64_t bound,
+    JitterFn next_jitter) {
+  if (bound <= 0 || stream.size() < 2) return stream;
+  std::vector<int64_t> keys;
+  keys.reserve(stream.size());
+  for (const StampedPoint& sp : stream) keys.push_back(sp.stamp + next_jitter());
+  std::vector<size_t> order(stream.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
+  std::vector<StampedPoint> out;
+  out.reserve(stream.size());
+  for (size_t i : order) out.push_back(stream[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<StampedPoint> DisorderWithinBound(
+    const std::vector<StampedPoint>& stream, int64_t bound, uint64_t seed) {
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x4C617465ULL));
+  return DisorderByJitter(stream, bound, [&rng, bound]() {
+    return static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(bound) + 1));
+  });
+}
+
+std::vector<StampedPoint> DisorderSkewed(
+    const std::vector<StampedPoint>& stream, int64_t bound, uint64_t seed) {
+  Xoshiro256pp rng(SplitMix64(seed ^ 0x536B6577ULL));
+  return DisorderByJitter(stream, bound, [&rng, bound]() {
+    const int64_t cap = rng.NextBounded(16) == 0 ? bound : bound / 8;
+    return static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(cap) + 1));
+  });
+}
+
 void SplitStamped(const std::vector<StampedPoint>& stream,
                   std::vector<Point>* points, std::vector<int64_t>* stamps) {
   points->clear();

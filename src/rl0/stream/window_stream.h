@@ -45,6 +45,26 @@ std::vector<StampedPoint> TimeStampedBursty(const NoisyDataset& dataset,
                                             int64_t burst_gap,
                                             uint64_t seed);
 
+/// Reorders a stamp-sorted stream into a bounded-disorder arrival order:
+/// each element is keyed by stamp + jitter with jitter uniform in
+/// [0, bound], then the stream is stable-sorted by key. Any element then
+/// runs at most `bound` behind the running maximum stamp at its arrival
+/// (if a precedes b in the output, key_a <= key_b, so
+/// stamp_a >= stamp_b - bound) — the exact admission contract of
+/// ReorderStage with allowed_lateness = bound. bound = 0 returns the
+/// stream unchanged. Stamps, groups and stream indices ride along
+/// untouched.
+std::vector<StampedPoint> DisorderWithinBound(
+    const std::vector<StampedPoint>& stream, int64_t bound, uint64_t seed);
+
+/// As DisorderWithinBound but with heavy-tailed jitter: most elements
+/// jitter only within bound/8, a ~1/16 minority draws from the full
+/// [0, bound] range — a skewed-lateness workload (rare stragglers near
+/// the bound) that stresses watermark stalls without violating the
+/// bound.
+std::vector<StampedPoint> DisorderSkewed(
+    const std::vector<StampedPoint>& stream, int64_t bound, uint64_t seed);
+
 /// Splits a stamped stream into the parallel point/stamp arrays the
 /// stamped pipeline feeds on (ShardedSwSamplerPool::FeedStamped,
 /// F0EstimatorSW::FeedStamped). Output vectors are cleared first.

@@ -154,6 +154,50 @@ TEST(CsvStampedTest, HandlesCrLfAndWhitespace) {
   EXPECT_EQ(parsed.value().stamps[1], 3);
 }
 
+TEST(CsvStampedTest, LatenessBoundAdmitsBoundedDisorder) {
+  // Stamps may run up to the bound behind the running maximum: 8 is 2
+  // behind max 10, 7 exactly 3 behind — both admitted at bound 3; a new
+  // maximum afterwards is always fine.
+  std::istringstream in("5,1,2\n10,3,4\n8,5,6\n7,7,8\n12,9,10\n");
+  const auto parsed = ParseCsvStampedPoints(in, 3);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().stamps.size(), 5u);
+  EXPECT_EQ(parsed.value().stamps[2], 8);
+  EXPECT_EQ(parsed.value().stamps[3], 7);
+}
+
+TEST(CsvStampedTest, LatenessBoundRejectsBeyondBoundWithLineInfo) {
+  // 6 is 4 behind the maximum 10 — beyond a bound of 3; the error names
+  // the offending line and the bound.
+  std::istringstream in("5,1,2\n10,3,4\n6,5,6\n");
+  const auto parsed = ParseCsvStampedPoints(in, 3);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("more than 3"),
+            std::string::npos);
+}
+
+TEST(CsvStampedTest, LatenessBoundComparesAgainstMaxNotLast) {
+  // The admission bound tracks the running *maximum*, not the previous
+  // row: after 10, 8, the stamp 6 is 4 behind the max 10 even though it
+  // is only 2 behind its predecessor.
+  std::istringstream in("10,1,2\n8,3,4\n6,5,6\n");
+  EXPECT_FALSE(ParseCsvStampedPoints(in, 3).ok());
+  std::istringstream ok_in("10,1,2\n8,3,4\n7,5,6\n");
+  EXPECT_TRUE(ParseCsvStampedPoints(ok_in, 3).ok());
+}
+
+TEST(CsvStampedTest, ZeroLatenessKeepsTheStrictContractAndWording) {
+  // The default bound is the historical non-decreasing contract, error
+  // wording included.
+  std::istringstream in("5,1,2\n3,3,4\n");
+  const auto parsed = ParseCsvStampedPoints(in, 0);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("decreases"), std::string::npos);
+  std::istringstream negative("1,1,2\n");
+  EXPECT_FALSE(ParseCsvStampedPoints(negative, -1).ok());
+}
+
 TEST(CsvStampedTest, WriteReadRoundTripIsExact) {
   std::vector<Point> points{Point{0.1, -2.000000000000004},
                             Point{1e-300, 12345.6789}};

@@ -7,15 +7,20 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "rl0/core/iw_sampler.h"
+#include "rl0/core/reorder_buffer.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/core/snapshot.h"
 #include "rl0/core/sw_fixed_sampler.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/stream/dataset.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
+#include "rl0/stream/window_stream.h"
 
 namespace rl0 {
 namespace {
@@ -300,6 +305,188 @@ TEST(MetamorphicTest, SeedChangesDecisionsButNotUniverse) {
   EXPECT_EQ(a.accept_size(), 30u);
   EXPECT_EQ(b.accept_size(), 30u);
   EXPECT_EQ(AcceptedSet(a), AcceptedSet(b));
+}
+
+// ---------------------------------------------------------------------
+// Bounded-lateness arrival-order invariance (core/reorder_buffer.h).
+//
+// The reorder stage's contract: for ANY arrival order in which every
+// stamp runs at most `allowed_lateness` behind the running maximum, the
+// released sequence — and hence all downstream per-lane state, coin
+// streams, and snapshot bytes — is bit-identical to feeding the
+// canonically sorted stream through the strict path. The in-bound
+// arrival orders are generated by DisorderWithinBound/DisorderSkewed
+// (provably bounded; pinned in tests/reorder_test.cc) under varying
+// seeds.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// A time-stamped revisit stream over near-duplicate groups.
+std::vector<StampedPoint> LatenessStream(size_t n, uint64_t seed) {
+  const NoisyDataset data = MakeData(seed, 40);
+  std::vector<StampedPoint> out;
+  Xoshiro256pp rng(SplitMix64(seed + 100));
+  int64_t now = 0;
+  for (size_t i = 0; i < n; ++i) {
+    now += 1 + static_cast<int64_t>(rng.NextBounded(3));
+    StampedPoint sp;
+    sp.point = data.points[rng.NextBounded(data.points.size())];
+    sp.stamp = now;
+    out.push_back(sp);
+  }
+  return out;
+}
+
+SamplerOptions LatenessOptions(uint64_t seed, int64_t lateness) {
+  SamplerOptions opts = BaseOptions(seed);
+  opts.allowed_lateness = lateness;
+  return opts;
+}
+
+}  // namespace
+
+TEST(MetamorphicTest, SwArrivalOrderWithinBoundIsInvariantSerial) {
+  constexpr int64_t kLateness = 32;
+  constexpr int64_t kWindow = 64;
+  const std::vector<StampedPoint> stream = LatenessStream(1200, 41);
+  std::vector<Point> sorted_points;
+  std::vector<int64_t> sorted_stamps;
+  SplitStamped(stream, &sorted_points, &sorted_stamps);
+  ReorderStage::SortCanonical(&sorted_points, &sorted_stamps);
+
+  // Strict reference: the canonically sorted stream, strict inserts.
+  auto reference =
+      RobustL0SamplerSW::Create(LatenessOptions(43, kLateness), kWindow)
+          .value();
+  for (size_t i = 0; i < sorted_points.size(); ++i) {
+    reference.Insert(sorted_points[i], sorted_stamps[i]);
+  }
+  std::string reference_blob;
+  ASSERT_TRUE(SnapshotSamplerSW(reference, &reference_blob).ok());
+  std::vector<SampleItem> reference_accepted;
+  reference.AcceptedWindowItems(reference.latest_stamp(),
+                                &reference_accepted);
+
+  for (int perm = 0; perm < 5; ++perm) {
+    SCOPED_TRACE("permutation " + std::to_string(perm));
+    const std::vector<StampedPoint> arrival =
+        perm % 2 == 0 ? DisorderWithinBound(stream, kLateness, 500 + perm)
+                      : DisorderSkewed(stream, kLateness, 500 + perm);
+    std::vector<Point> points;
+    std::vector<int64_t> stamps;
+    SplitStamped(arrival, &points, &stamps);
+
+    auto late_fed =
+        RobustL0SamplerSW::Create(LatenessOptions(43, kLateness), kWindow)
+            .value();
+    for (size_t i = 0; i < points.size(); ++i) {
+      late_fed.InsertStampedLate(points[i], stamps[i]);
+    }
+    late_fed.FlushLate();
+    EXPECT_EQ(late_fed.late_stats().late_dropped, 0u);
+
+    // Snapshot bytes: bit-identical state (reservoirs, coin streams,
+    // stamp lists — everything serialized).
+    std::string blob;
+    ASSERT_TRUE(SnapshotSamplerSW(late_fed, &blob).ok());
+    EXPECT_EQ(blob, reference_blob);
+
+    // Accepted window set and reservoir-backed draws.
+    std::vector<SampleItem> accepted;
+    late_fed.AcceptedWindowItems(late_fed.watermark(), &accepted);
+    ASSERT_EQ(accepted.size(), reference_accepted.size());
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      EXPECT_EQ(accepted[i].point, reference_accepted[i].point);
+      EXPECT_EQ(accepted[i].stream_index,
+                reference_accepted[i].stream_index);
+    }
+    Xoshiro256pp rng_a(SplitMix64(7));
+    Xoshiro256pp rng_b(SplitMix64(7));
+    for (int q = 0; q < 8; ++q) {
+      const auto a = late_fed.SampleLatest(&rng_a);
+      const auto b = reference.SampleLatest(&rng_b);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a.has_value()) {
+        EXPECT_EQ(a->point, b->point);
+        EXPECT_EQ(a->stream_index, b->stream_index);
+      }
+    }
+  }
+}
+
+TEST(MetamorphicTest, SwArrivalOrderWithinBoundIsInvariantSharded) {
+  constexpr int64_t kLateness = 24;
+  constexpr int64_t kWindow = 96;
+  const std::vector<StampedPoint> stream = LatenessStream(900, 47);
+  std::vector<Point> sorted_points;
+  std::vector<int64_t> sorted_stamps;
+  SplitStamped(stream, &sorted_points, &sorted_stamps);
+  ReorderStage::SortCanonical(&sorted_points, &sorted_stamps);
+
+  Xoshiro256pp chunk_rng(SplitMix64(321));
+  for (const size_t lanes : {1u, 2u, 8u}) {
+    SCOPED_TRACE(std::to_string(lanes) + " lanes");
+    // Strict reference pool: the sorted stream in one stamped feed.
+    auto reference =
+        ShardedSwSamplerPool::Create(LatenessOptions(49, kLateness), kWindow,
+                                     lanes)
+            .value();
+    reference.FeedStamped(Span<const Point>(sorted_points),
+                          Span<const int64_t>(sorted_stamps));
+    reference.Drain();
+    std::vector<std::string> reference_blobs(lanes);
+    for (size_t s = 0; s < lanes; ++s) {
+      ASSERT_TRUE(
+          SnapshotSamplerSW(reference.shard(s), &reference_blobs[s]).ok());
+    }
+
+    for (int perm = 0; perm < 3; ++perm) {
+      SCOPED_TRACE("permutation " + std::to_string(perm));
+      const std::vector<StampedPoint> arrival =
+          DisorderWithinBound(stream, kLateness, 900 + perm);
+      std::vector<Point> points;
+      std::vector<int64_t> stamps;
+      SplitStamped(arrival, &points, &stamps);
+
+      auto pool = ShardedSwSamplerPool::Create(LatenessOptions(49, kLateness),
+                                               kWindow, lanes)
+                      .value();
+      // Random chunking of the late feed: chunk boundaries must not
+      // matter either.
+      const Span<const Point> all_points(points);
+      const Span<const int64_t> all_stamps(stamps);
+      size_t offset = 0;
+      while (offset < points.size()) {
+        const size_t len = 1 + chunk_rng.NextBounded(257);
+        pool.FeedStampedLate(all_points.subspan(offset, len),
+                             all_stamps.subspan(offset, len));
+        offset += len;
+      }
+      pool.FlushLate();
+      pool.Drain();
+      EXPECT_EQ(pool.late_stats().late_dropped, 0u);
+      EXPECT_EQ(pool.late_stats().released, points.size());
+
+      for (size_t s = 0; s < lanes; ++s) {
+        SCOPED_TRACE("shard " + std::to_string(s));
+        std::string blob;
+        ASSERT_TRUE(SnapshotSamplerSW(pool.shard(s), &blob).ok());
+        EXPECT_EQ(blob, reference_blobs[s]);
+      }
+      Xoshiro256pp rng_a(SplitMix64(11));
+      Xoshiro256pp rng_b(SplitMix64(11));
+      for (int q = 0; q < 8; ++q) {
+        const auto a = pool.SampleLatest(&rng_a);
+        const auto b = reference.SampleLatest(&rng_b);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a.has_value()) {
+          EXPECT_EQ(a->point, b->point);
+          EXPECT_EQ(a->stream_index, b->stream_index);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

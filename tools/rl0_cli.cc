@@ -20,6 +20,7 @@
 #include "rl0/baseline/exact_partition.h"
 #include "rl0/core/f0_iw.h"
 #include "rl0/core/iw_sampler.h"
+#include "rl0/core/reorder_buffer.h"
 #include "rl0/core/sharded_pool.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/stream/csv.h"
@@ -38,7 +39,7 @@ usage: rl0_cli <command> [options] [file.csv | -]
 commands:
   sample    --alpha A [--k N] [--window W] [--time] [--metric l2|l1|linf]
             [--reservoir] [--seed S] [--queries Q] [--shards S]
-            [--no-filter]
+            [--no-filter] [--lateness L]
             Draw Q robust l0-samples (default 1). With --window W, sample
             from the last W points instead of the whole stream. With
             --shards S > 1, ingest through the persistent S-worker
@@ -48,18 +49,26 @@ commands:
             is time-based: the CSV gains a leading integer stamp column
             (non-decreasing arrival times) and W counts time units, not
             points; sharded ingestion routes the stamps through the
-            pipeline's stamped chunks.
+            pipeline's stamped chunks. With --time --lateness L > 0, the
+            stamp column may instead run up to L time units behind its
+            running maximum: a bounded-lateness reorder stage restores
+            sorted order (and propagates watermarks) before feeding, so
+            the output is identical to sampling the stamp-sorted file.
+            Rows beyond the bound are a line-numbered parse error.
   count     --alpha A [--epsilon E] [--seed S] [--parallel] [--no-filter]
             (1+E)-approximate the number of distinct entities. With
             --parallel, the estimator copies ingest on pipeline workers.
   stats     --alpha A
             Exact group partition statistics (quadratic; small inputs).
   generate  --dataset rand5|rand20|yacht|seeds [--powerlaw] [--seed S]
-            [--time [--max-gap G]]
+            [--time [--max-gap G] [--lateness L]]
             Print one of the paper's noisy evaluation streams as CSV.
             With --time, prefix each row with a non-decreasing integer
             stamp (inter-arrival gaps uniform in {1..G}, default G=4) —
-            the input format of `sample --window --time`.
+            the input format of `sample --window --time`. Adding
+            --lateness L > 0 disorders the rows within the bound L
+            (stamps run at most L behind their running maximum) — the
+            input format of `sample --window --time --lateness L`.
   help      Show this message.
 
 Input '-' (or no file) reads CSV points from stdin: one point per line,
@@ -87,6 +96,7 @@ struct Args {
   size_t k = 1;
   size_t shards = 1;
   int64_t window = 0;
+  int64_t lateness = 0;
   int queries = 1;
 };
 
@@ -168,6 +178,17 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
         return false;
       }
       args->shards = static_cast<size_t>(v);
+    } else if (arg == "--lateness") {
+      double v;
+      if (!next(&v)) {
+        *error = "--lateness needs a value";
+        return false;
+      }
+      if (!(v >= 0.0 && v <= 9e18)) {  // cast of a negative/huge double is UB
+        *error = "--lateness must be in [0, 9e18]";
+        return false;
+      }
+      args->lateness = static_cast<int64_t>(v);
     } else if (arg == "--max-gap") {
       double v;
       if (!next(&v)) {
@@ -218,6 +239,20 @@ std::string FilterNote(const rl0::DupFilterStats& stats) {
   return buf;
 }
 
+/// Renders reorder-stage counters for the summary lines of the
+/// bounded-lateness paths (core/reorder_buffer.h). Empty when the stage
+/// was never engaged.
+std::string LateNote(const rl0::ReorderStats& stats) {
+  if (stats.offered == 0) return std::string();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                " late offered=%llu released=%llu dropped=%llu",
+                static_cast<unsigned long long>(stats.offered),
+                static_cast<unsigned long long>(stats.released),
+                static_cast<unsigned long long>(stats.late_dropped));
+  return buf;
+}
+
 rl0::Result<rl0::Metric> ParseMetric(const std::string& name) {
   if (name == "l2") return rl0::Metric::kL2;
   if (name == "l1") return rl0::Metric::kL1;
@@ -231,8 +266,8 @@ rl0::Result<rl0::Metric> ParseMetric(const std::string& name) {
 int RunSampleTime(const Args& args, rl0::Metric metric) {
   if (args.window <= 0) return Fail("--time requires --window W > 0");
   rl0::Result<rl0::StampedCsv> stream =
-      args.file == "-" ? rl0::ParseCsvStampedPoints(std::cin)
-                       : rl0::ReadCsvStampedPoints(args.file);
+      args.file == "-" ? rl0::ParseCsvStampedPoints(std::cin, args.lateness)
+                       : rl0::ReadCsvStampedPoints(args.file, args.lateness);
   if (!stream.ok()) return Fail(stream.status().ToString());
   const std::vector<Point>& points = stream.value().points;
   const std::vector<int64_t>& stamps = stream.value().stamps;
@@ -247,11 +282,28 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
   opts.random_representative = args.reservoir;
   opts.expected_stream_length = points.size();
   opts.dup_filter = !args.no_filter;
+  opts.allowed_lateness = args.lateness;
+
+  // On the bounded-lateness path the samplers see the reorder stage's
+  // released sequence, so a sampled stream_index addresses the
+  // canonically sorted stream, not the file order — and the parse bound
+  // guarantees nothing is beyond-bound, so the released sequence is
+  // exactly the canonical sort of the whole file. Report (and run the
+  // expiry self-check) against that sequence.
+  std::vector<Point> sorted_points;
+  std::vector<int64_t> sorted_stamps;
+  if (args.lateness > 0) {
+    sorted_points = points;
+    sorted_stamps = stamps;
+    rl0::ReorderStage::SortCanonical(&sorted_points, &sorted_stamps);
+  }
+  const std::vector<int64_t>& fed_stamps =
+      args.lateness > 0 ? sorted_stamps : stamps;
 
   rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
-  const int64_t query_now = stamps.back();
+  const int64_t query_now = fed_stamps.back();
   const auto report = [&](const rl0::SampleItem& item) -> int {
-    const int64_t stamp = stamps[item.stream_index];
+    const int64_t stamp = fed_stamps[item.stream_index];
     if (stamp <= query_now - args.window) {
       // Window semantics are a hard guarantee; surfacing an expired
       // member would mean the sampler (not the data) is broken.
@@ -269,7 +321,20 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
                                                   args.shards);
     if (!pool.ok()) return Fail(pool.status().ToString());
     rl0::ShardedSwSamplerPool sw_pool = std::move(pool).value();
-    sw_pool.FeedStampedAdaptive(points, stamps);
+    if (args.lateness > 0) {
+      // Bounded-lateness ingestion: the pool's reorder stage restores
+      // sorted order and broadcasts watermarks chunk by chunk.
+      const rl0::Span<const Point> all_points(points);
+      const rl0::Span<const int64_t> all_stamps(stamps);
+      const size_t chunk = 4096;
+      for (size_t offset = 0; offset < all_points.size(); offset += chunk) {
+        sw_pool.FeedStampedLate(all_points.subspan(offset, chunk),
+                                all_stamps.subspan(offset, chunk));
+      }
+      sw_pool.FlushLate();
+    } else {
+      sw_pool.FeedStampedAdaptive(points, stamps);
+    }
     sw_pool.Drain();
     for (int q = 0; q < args.queries; ++q) {
       const auto sample = sw_pool.SampleLatest(&rng);
@@ -285,15 +350,24 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
                  static_cast<long long>(args.window),
                  static_cast<long long>(sw_pool.now()),
                  sw_pool.SpaceWords(),
-                 FilterNote(sw_pool.FilterStats()).c_str());
+                 (FilterNote(sw_pool.FilterStats()) +
+                  LateNote(sw_pool.late_stats()))
+                     .c_str());
     return 0;
   }
 
   auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
   if (!sampler.ok()) return Fail(sampler.status().ToString());
   rl0::RobustL0SamplerSW sw = std::move(sampler).value();
-  for (size_t i = 0; i < points.size(); ++i) {
-    sw.Insert(points[i], stamps[i]);
+  if (args.lateness > 0) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      sw.InsertStampedLate(points[i], stamps[i]);
+    }
+    sw.FlushLate();
+  } else {
+    for (size_t i = 0; i < points.size(); ++i) {
+      sw.Insert(points[i], stamps[i]);
+    }
   }
   for (int q = 0; q < args.queries; ++q) {
     const auto sample = sw.SampleLatest(&rng);
@@ -305,8 +379,9 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
                "[time-based window=%lld time units, now=%lld, "
                "space=%zu words%s]\n",
                static_cast<long long>(args.window),
-               static_cast<long long>(sw.latest_stamp()), sw.SpaceWords(),
-               FilterNote(sw.filter_stats()).c_str());
+               static_cast<long long>(sw.watermark()), sw.SpaceWords(),
+               (FilterNote(sw.filter_stats()) + LateNote(sw.late_stats()))
+                   .c_str());
   return 0;
 }
 
@@ -520,8 +595,12 @@ int RunGenerate(const Args& args) {
               noisy.alpha);
   if (args.time) {
     // Leading stamp column: the input format of sample --window --time.
-    const std::vector<rl0::StampedPoint> stamped =
+    std::vector<rl0::StampedPoint> stamped =
         rl0::TimeStamped(noisy, args.max_gap, args.seed);
+    if (args.lateness > 0) {
+      // Bounded disorder: the input format of the --lateness sample path.
+      stamped = rl0::DisorderWithinBound(stamped, args.lateness, args.seed);
+    }
     std::vector<Point> points;
     std::vector<int64_t> stamps;
     rl0::SplitStamped(stamped, &points, &stamps);
