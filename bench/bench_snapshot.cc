@@ -1,0 +1,224 @@
+// Checkpoint/journal benchmark for the crash-recovery layer
+// (core/checkpoint.h).
+//
+// Sweeps the cut gap G (points fed between checkpoint cuts) over a
+// paper-style noisy stream ingested by a 4-lane windowed pool and
+// measures, per gap:
+//
+//   full    — CheckpointPool: full cut bytes and cut time;
+//   delta   — CheckpointPoolDelta: incremental cut bytes and cut time
+//             (the ratio against full is the payoff of dirty-epoch
+//             tracking: quiet windows shrink the cut, churn grows it);
+//   fold    — FoldPoolDelta: folding a delta onto its base (the
+//             recovery-side cost of each incremental cut);
+//   quiet   — CheckpointPoolDelta after a 64-point trickle past the
+//             last cut: the quiet-window payoff the steady-churn means
+//             above hide;
+//   restore — RecoverPool from the end-of-run cut with an empty journal
+//             (pure deserialization);
+//   replay  — RecoverPool from an empty pre-feed cut plus the whole
+//             journal: recovery throughput in replayed points/sec, the
+//             number that sizes how far apart checkpoints can be for a
+//             given restart-time budget.
+//
+// Output: a human-readable table on stderr and one JSON document per
+// line on stdout (append to BENCH_snapshot.json to track the
+// trajectory across PRs). RL0_REPEATS overrides the per-phase repeat
+// count (default 3).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "rl0/core/checkpoint.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/geom/distance_kernels.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace {
+
+using rl0::JournalWriter;
+using rl0::NoisyDataset;
+using rl0::Point;
+using rl0::SamplerOptions;
+using rl0::ShardedSwSamplerPool;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+NoisyDataset SnapshotStream(uint64_t seed) {
+  const rl0::BaseDataset base =
+      rl0::RandomUniform(1000, 5, seed, "Snapshot5");
+  rl0::NearDupOptions nd;
+  nd.max_dups = 100;  // paper-scale duplication: ~50k-point stream
+  nd.seed = seed + 1;
+  return rl0::MakeNearDuplicates(base, nd);
+}
+
+struct GapResult {
+  size_t cuts = 0;
+  double full_bytes = 0.0;       // mean per cut
+  double delta_bytes = 0.0;      // mean per cut
+  double full_cut_us = 0.0;      // mean per cut
+  double delta_cut_us = 0.0;     // mean per cut
+  double fold_us = 0.0;          // mean per fold
+  size_t quiet_delta_bytes = 0;  // delta after a 64-point trickle
+  double restore_ms = 0.0;       // best-of, end cut + empty journal
+  double replay_points_per_sec = 0.0;  // best-of, empty cut + journal
+  size_t journal_bytes = 0;
+};
+
+GapResult RunGap(const NoisyDataset& data, const SamplerOptions& opts,
+                 size_t gap, int repeats) {
+  GapResult result;
+  auto pool = ShardedSwSamplerPool::Create(opts, 8192, 4).value();
+  std::string journal;
+  JournalWriter writer(&journal, opts.dim);
+  rl0::AttachJournal(&pool, &writer);
+
+  // The replay restore point: an empty cut before any feeding, so the
+  // replay phase below covers the entire journal at every gap.
+  std::string empty_cut;
+  if (!rl0::CheckpointPool(&pool, writer.next_seq(), &empty_cut).ok()) {
+    return result;
+  }
+
+  const rl0::Span<const Point> all(data.points);
+  std::string chain = empty_cut;  // folded full the next delta chains on
+  double full_bytes = 0.0, delta_bytes = 0.0;
+  double full_us = 0.0, delta_us = 0.0, fold_us = 0.0;
+  size_t cuts = 0;
+
+  for (size_t offset = 0; offset < all.size(); offset += gap) {
+    const size_t chunk = 4096;
+    const size_t end = std::min(offset + gap, all.size());
+    for (size_t off = offset; off < end; off += chunk) {
+      pool.FeedBorrowed(all.subspan(off, std::min(chunk, end - off)));
+    }
+    pool.Drain();
+    const uint64_t seq = writer.next_seq();
+
+    std::string delta, fold;
+    auto start = std::chrono::steady_clock::now();
+    if (!rl0::CheckpointPoolDelta(&pool, chain, seq, &delta).ok()) break;
+    delta_us += 1e6 * SecondsSince(start);
+    start = std::chrono::steady_clock::now();
+    if (!rl0::FoldPoolDelta(chain, delta, &fold).ok()) break;
+    fold_us += 1e6 * SecondsSince(start);
+    delta_bytes += static_cast<double>(delta.size());
+    // The contemporaneous full cut (byte-identical to the fold; pinned
+    // by tests/checkpoint_test.cc) prices what the delta replaces.
+    std::string full;
+    start = std::chrono::steady_clock::now();
+    if (!rl0::CheckpointPool(&pool, seq, &full).ok()) break;
+    full_us += 1e6 * SecondsSince(start);
+    full_bytes += static_cast<double>(full.size());
+    chain = std::move(full);
+    ++cuts;
+  }
+
+  result.cuts = cuts;
+  result.journal_bytes = journal.size();
+  result.full_bytes = full_bytes / static_cast<double>(cuts);
+  result.full_cut_us = full_us / static_cast<double>(cuts);
+  result.delta_bytes = delta_bytes / static_cast<double>(cuts);
+  result.delta_cut_us = delta_us / static_cast<double>(cuts);
+  result.fold_us = fold_us / static_cast<double>(cuts);
+
+  // The quiet-window payoff: a 64-point trickle past the last cut
+  // dirties only the touched groups, so the delta collapses to the
+  // live-id order list plus a handful of records.
+  pool.FeedBorrowed(all.subspan(0, 64));
+  pool.Drain();
+  std::string quiet_delta;
+  if (rl0::CheckpointPoolDelta(&pool, chain, writer.next_seq(), &quiet_delta)
+          .ok()) {
+    result.quiet_delta_bytes = quiet_delta.size();
+    std::string fold;
+    if (rl0::FoldPoolDelta(chain, quiet_delta, &fold).ok()) {
+      chain = std::move(fold);
+    }
+  }
+  const uint64_t total_fed = pool.points_fed();
+
+  // Pure deserialization: the end-of-run cut, nothing to replay.
+  double restore_s = 1e30;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    auto restored = rl0::RecoverPool(chain, "");
+    restore_s = std::min(restore_s, SecondsSince(start));
+    if (!restored.ok() ||
+        restored.value().points_processed() != total_fed) {
+      std::fprintf(stderr, "(restore mismatch)\n");
+    }
+  }
+  result.restore_ms = 1e3 * restore_s;
+
+  // Replay: the empty cut + the whole journal = the worst-case restart.
+  double replay_s = 1e30;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    auto recovered = rl0::RecoverPool(empty_cut, journal);
+    replay_s = std::min(replay_s, SecondsSince(start));
+    if (!recovered.ok() ||
+        recovered.value().points_processed() != total_fed) {
+      std::fprintf(stderr, "(replay mismatch)\n");
+    }
+  }
+  result.replay_points_per_sec = static_cast<double>(total_fed) / replay_s;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = rl0::bench::EnvRepeats(3);
+  const uint64_t seed = 20180618;  // the paper's PODS year + month + day
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  const NoisyDataset data = SnapshotStream(91);
+  const SamplerOptions opts = rl0::bench::PaperSamplerOptions(data, seed);
+
+  std::printf("{\"bench\": \"snapshot\", \"repeats\": %d, "
+              "\"dispatch\": \"%s\", \"cores\": %u, \"points\": %zu, "
+              "\"gaps\": [",
+              repeats, rl0::DistanceKernelDispatch(), cores, data.size());
+  std::fprintf(stderr,
+               "%8s %5s | %9s %9s %7s %8s | %9s %9s %8s | %10s %12s\n",
+               "gap", "cuts", "full B", "delta B", "ratio", "quiet B",
+               "full us", "delta us", "fold us", "restore ms", "replay p/s");
+
+  bool first = true;
+  for (const size_t gap : {1024, 8192, 32768}) {
+    const GapResult r = RunGap(data, opts, gap, repeats);
+    const double ratio = r.delta_bytes > 0 ? r.delta_bytes / r.full_bytes
+                                           : 0.0;
+    std::fprintf(stderr,
+                 "%8zu %5zu | %9.0f %9.0f %6.1f%% %8zu | %9.1f %9.1f %8.1f "
+                 "| %10.2f %12.0f\n",
+                 gap, r.cuts, r.full_bytes, r.delta_bytes, 100.0 * ratio,
+                 r.quiet_delta_bytes, r.full_cut_us, r.delta_cut_us,
+                 r.fold_us, r.restore_ms, r.replay_points_per_sec);
+    std::printf(
+        "%s{\"gap\": %zu, \"cuts\": %zu, "
+        "\"full_bytes\": %.0f, \"delta_bytes\": %.0f, "
+        "\"delta_ratio\": %.4f, \"quiet_delta_bytes\": %zu, "
+        "\"full_cut_us\": %.1f, \"delta_cut_us\": %.1f, \"fold_us\": %.1f, "
+        "\"restore_ms\": %.3f, \"journal_bytes\": %zu, "
+        "\"replay_points_per_sec\": %.0f}",
+        first ? "" : ", ", gap, r.cuts, r.full_bytes, r.delta_bytes, ratio,
+        r.quiet_delta_bytes, r.full_cut_us, r.delta_cut_us, r.fold_us,
+        r.restore_ms, r.journal_bytes, r.replay_points_per_sec);
+    first = false;
+  }
+  std::printf("]}\n");
+  return 0;
+}

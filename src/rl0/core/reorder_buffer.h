@@ -129,6 +129,23 @@ class ReorderStage {
   /// with no sink set), in arrival order.
   std::vector<std::pair<Point, int64_t>> TakeLate();
 
+  /// Re-arms a fresh stage at a recovered release frontier (crash
+  /// recovery, core/checkpoint.h): arrivals with stamp < `frontier` are
+  /// judged late exactly as the pre-crash stage judged them, so a
+  /// restored pipeline cannot re-admit stamps that were already released
+  /// or late-dropped. Monotone — a frontier behind the current one is a
+  /// no-op. The empty heap stays empty (points the crashed stage still
+  /// buffered were never durable; see the recovery contract).
+  void NoteFrontier(int64_t frontier) {
+    has_watermark_ = true;
+    if (frontier > max_stamp_) max_stamp_ = frontier;
+    if (frontier > released_bound_) released_bound_ = frontier;
+  }
+
+  /// The release frontier itself (≥ watermark(); checkpoint headers carry
+  /// this so recovery can re-arm lateness judgment via NoteFrontier).
+  int64_t release_bound() const { return released_bound_; }
+
   /// False until the first offer.
   bool has_watermark() const { return has_watermark_; }
   /// High watermark: maximum stamp seen. Requires has_watermark().

@@ -186,8 +186,28 @@ ShardedSwSamplerPool::ShardedSwSamplerPool(
     : shards_(std::move(shards)), window_(window),
       pipeline_options_(pipeline_options),
       mode_(std::make_unique<std::atomic<uint8_t>>(0)),
-      reorder_mu_(std::make_unique<std::mutex>()) {
+      reorder_mu_(std::make_unique<std::mutex>()),
+      journal_mu_(std::make_unique<std::mutex>()) {
   StartPipeline();
+}
+
+template <typename FeedCall>
+void ShardedSwSamplerPool::FeedJournaled(Span<const Point> points,
+                                         Span<const int64_t> stamps,
+                                         FeedCall feed) {
+  if (!journal_ || points.size() == 0) {
+    // Empty chunks are pipeline no-ops; journaling them would only add
+    // mode-ambiguous records with nothing to replay.
+    feed();
+    return;
+  }
+  // The lock spans the counter read AND the enqueue: a second producer
+  // cannot slip a chunk between them, so the journal's record order is
+  // the pipeline's index-base assignment order and recovery can verify
+  // index continuity record by record.
+  std::lock_guard<std::mutex> lock(*journal_mu_);
+  journal_(points, stamps, pipeline_->points_fed(), nullptr);
+  feed();
 }
 
 void ShardedSwSamplerPool::StartPipeline() {
@@ -245,35 +265,43 @@ void ShardedSwSamplerPool::LatchMode(StampMode mode) {
 
 void ShardedSwSamplerPool::Feed(Span<const Point> points) {
   LatchMode(StampMode::kSequence);
-  pipeline_->Feed(points);
+  FeedJournaled(points, Span<const int64_t>(),
+                [&] { pipeline_->Feed(points); });
 }
 
 void ShardedSwSamplerPool::FeedOwned(std::vector<Point> points) {
   LatchMode(StampMode::kSequence);
-  pipeline_->FeedOwned(std::move(points));
+  // The journal span is consumed before the move below runs.
+  FeedJournaled(points, Span<const int64_t>(),
+                [&] { pipeline_->FeedOwned(std::move(points)); });
 }
 
 void ShardedSwSamplerPool::FeedBorrowed(Span<const Point> points) {
   LatchMode(StampMode::kSequence);
-  pipeline_->FeedBorrowed(points);
+  FeedJournaled(points, Span<const int64_t>(),
+                [&] { pipeline_->FeedBorrowed(points); });
 }
 
 void ShardedSwSamplerPool::FeedStamped(Span<const Point> points,
                                        Span<const int64_t> stamps) {
   LatchMode(StampMode::kTime);
-  pipeline_->FeedStamped(points, stamps);
+  FeedJournaled(points, stamps,
+                [&] { pipeline_->FeedStamped(points, stamps); });
 }
 
 void ShardedSwSamplerPool::FeedOwnedStamped(std::vector<Point> points,
                                             std::vector<int64_t> stamps) {
   LatchMode(StampMode::kTime);
-  pipeline_->FeedOwnedStamped(std::move(points), std::move(stamps));
+  FeedJournaled(points, stamps, [&] {
+    pipeline_->FeedOwnedStamped(std::move(points), std::move(stamps));
+  });
 }
 
 void ShardedSwSamplerPool::FeedBorrowedStamped(Span<const Point> points,
                                                Span<const int64_t> stamps) {
   LatchMode(StampMode::kTime);
-  pipeline_->FeedBorrowedStamped(points, stamps);
+  FeedJournaled(points, stamps,
+                [&] { pipeline_->FeedBorrowedStamped(points, stamps); });
 }
 
 void ShardedSwSamplerPool::FeedStampedLate(Span<const Point> points,
@@ -303,8 +331,13 @@ void ShardedSwSamplerPool::PumpReorderLocked() {
   if (reorder_->TakeReleased(&points, &stamps)) {
     // Released order is the canonically sorted order, so the pipeline
     // sees exactly the chunk stream a strict sorted feed would (modulo
-    // chunk boundaries, which the determinism contract absorbs).
-    pipeline_->FeedOwnedStamped(std::move(points), std::move(stamps));
+    // chunk boundaries, which the determinism contract absorbs). Only
+    // the *released* prefix is journaled — points still buffered in the
+    // reorder heap at a crash were never durable (the recovery contract
+    // in core/checkpoint.h).
+    FeedJournaled(points, stamps, [&] {
+      pipeline_->FeedOwnedStamped(std::move(points), std::move(stamps));
+    });
   }
   if (reorder_->has_watermark()) {
     const int64_t watermark = reorder_->watermark();
@@ -312,7 +345,14 @@ void ShardedSwSamplerPool::PumpReorderLocked() {
       // After the release above: released stamps are below the new
       // watermark, and every future release is at or above it, so the
       // pipeline's stamp monotonicity check holds on both sides.
-      pipeline_->FeedWatermark(watermark);
+      if (journal_) {
+        std::lock_guard<std::mutex> lock(*journal_mu_);
+        journal_(Span<const Point>(), Span<const int64_t>(),
+                 pipeline_->points_fed(), &watermark);
+        pipeline_->FeedWatermark(watermark);
+      } else {
+        pipeline_->FeedWatermark(watermark);
+      }
       watermark_sent_ = true;
       last_watermark_ = watermark;
     }

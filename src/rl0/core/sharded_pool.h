@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -344,7 +345,37 @@ class ShardedSwSamplerPool {
     return stats;
   }
 
+  /// Durability tap on the feed path (core/checkpoint.h). When set, every
+  /// fed chunk is reported to the sink *before* it enters the pipeline,
+  /// together with the global index of its first point; watermark
+  /// broadcasts are reported as empty chunks with `watermark` non-null.
+  /// The reporting order equals the pipeline's index-base assignment
+  /// order (both happen under one internal lock), so the journal is a
+  /// faithful prefix-closed record of the fed stream. Sequence-mode
+  /// chunks arrive with an empty `stamps` span. The sink runs on the
+  /// feeding thread — keep it cheap and do not call back into the pool.
+  using JournalSink = std::function<void(
+      Span<const Point> points, Span<const int64_t> stamps,
+      uint64_t index_base, const int64_t* watermark)>;
+
+  /// Installs (or clears, with nullptr) the journal sink. Call before
+  /// feeding or at a quiescent point — the installation itself is not
+  /// synchronized against in-flight feeds.
+  void SetJournalSink(JournalSink sink) { journal_ = std::move(sink); }
+
  private:
+  // Checkpoint/recovery (core/checkpoint.h) reads the private header
+  // fields (mode, counters, reorder frontier) and rebuilds a pool around
+  // restored shards via the private constructor.
+  friend Status CheckpointPool(ShardedSwSamplerPool* pool,
+                               uint64_t journal_seq, std::string* out);
+  friend Status CheckpointPoolDelta(ShardedSwSamplerPool* pool,
+                                    const std::string& base,
+                                    uint64_t journal_seq, std::string* out);
+  friend Result<ShardedSwSamplerPool> RecoverPool(
+      const std::string& checkpoint, const std::string& journal,
+      const IngestPool::Options& pipeline_options);
+
   /// Which stamp semantics the pool has been fed with. Latched by the
   /// first feed; mixing modes is a programming error (CHECK-fails).
   enum class StampMode : uint8_t { kUnset = 0, kSequence = 1, kTime = 2 };
@@ -367,6 +398,13 @@ class ShardedSwSamplerPool {
   /// `now_of(shard)` unified to the global deepest level, then dedupes.
   template <typename NowOf>
   std::vector<SampleItem> BuildUnifiedPool(NowOf now_of, Xoshiro256pp* rng);
+  /// Journal-then-feed: reports (points, stamps) to the sink and runs
+  /// `feed` (which must enqueue exactly points.size() points) with
+  /// journal_mu_ held across both, so journal order equals the pipeline's
+  /// index-base assignment order. With no sink, just runs `feed`.
+  template <typename FeedCall>
+  void FeedJournaled(Span<const Point> points, Span<const int64_t> stamps,
+                     FeedCall feed);
 
   std::vector<RobustL0SamplerSW> shards_;
   int64_t window_;
@@ -386,6 +424,14 @@ class ShardedSwSamplerPool {
   /// duplicates are skipped so quiet feeds don't flood control chunks.
   bool watermark_sent_ = false;
   int64_t last_watermark_ = 0;
+  /// Serializes journal emission with index-base assignment: held across
+  /// {points_fed() read, sink call, pipeline feed} so the journal records
+  /// chunks in exactly the order the pipeline indexes them. Taken after
+  /// reorder_mu_ on the late path (strict feeds never take reorder_mu_,
+  /// so the order is acyclic).
+  std::unique_ptr<std::mutex> journal_mu_;
+  /// The installed durability tap, empty by default (see SetJournalSink).
+  JournalSink journal_;
 };
 
 }  // namespace rl0

@@ -9,7 +9,9 @@ namespace rl0 {
 namespace {
 constexpr char kMagic[8] = {'R', 'L', '0', 'S', 'N', 'A', 'P', '\0'};
 constexpr char kMagicSW[8] = {'R', 'L', '0', 'S', 'N', 'P', 'W', '\0'};
-constexpr uint32_t kVersion = 1;
+// Version 2 appends the space meter's peak watermark to both formats;
+// version-1 blobs are still restorable (peak restarts at current size).
+constexpr uint32_t kVersion = 2;
 
 /// FNV-1a over the payload, finalized with SplitMix64 — detects any
 /// corruption of the blob, not just fields covered by structural checks.
@@ -118,6 +120,7 @@ Status SnapshotSampler(const RobustL0SamplerIW& sampler, std::string* out) {
   writer.PutU32(sampler.level_);
   writer.PutU64(sampler.points_processed_);
   writer.PutU64(sampler.next_rep_id_);
+  writer.PutU64(sampler.meter_.peak());
 
   const RepTable& reps = sampler.reps_;
   const bool reservoir_mode = sampler.options_.random_representative;
@@ -155,7 +158,7 @@ Result<RobustL0SamplerIW> RestoreSampler(const std::string& snapshot) {
   }
   uint32_t version = 0;
   if (Status st = reader.GetU32(&version); !st.ok()) return st;
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
 
@@ -176,12 +179,18 @@ Result<RobustL0SamplerIW> RestoreSampler(const std::string& snapshot) {
     return st;
   }
   if (Status st = reader.GetU64(&sampler.next_rep_id_); !st.ok()) return st;
+  uint64_t peak_words = 0;
+  if (version >= 2) {
+    if (Status st = reader.GetU64(&peak_words); !st.ok()) return st;
+  }
 
   uint64_t rep_count = 0;
   if (Status st = reader.GetU64(&rep_count); !st.ok()) return st;
-  // Defensive bound: a snapshot cannot legitimately hold more
-  // representatives than bytes.
-  if (rep_count > snapshot.size()) {
+  // Defensive bound before any reserve: every representative record costs
+  // at least its fixed fields plus two points, so a count the remaining
+  // bytes cannot possibly hold is malformed.
+  const size_t min_rep_bytes = 41 + 16 * opts.dim;
+  if (rep_count > reader.remaining() / min_rep_bytes) {
     return Status::InvalidArgument("bad representative count in snapshot");
   }
   size_t accept_size = 0;
@@ -216,6 +225,9 @@ Result<RobustL0SamplerIW> RestoreSampler(const std::string& snapshot) {
   }
   sampler.accept_size_ = accept_size;
   if (Status st = reader.ExpectEnd(); !st.ok()) return st;
+  // v2 blobs carry the original peak watermark; v1 blobs predate it and
+  // keep the legacy behaviour (peak restarts at the restored size).
+  if (version >= 2) sampler.meter_.RestorePeak(peak_words);
 
   // Reservoir coin stream restarts from a seed derived from the restore
   // point (see header: statistically equivalent, not bit-identical).
@@ -237,6 +249,10 @@ Status SnapshotSamplerSW(const RobustL0SamplerSW& sampler, std::string* out) {
   writer.PutI64(sampler.latest_stamp_);
   writer.PutU64(sampler.error_count_);
   writer.PutU64(sampler.stuck_split_count_);
+  // The core peak only: the reorder buffer is scratch, so late-path
+  // buffering must not leak into snapshot bytes (bit-identity with the
+  // strict sorted feed).
+  writer.PutU64(sampler.core_meter_.peak());
 
   writer.PutU64(sampler.levels_.size());
   std::vector<GroupRecord> groups;
@@ -278,7 +294,7 @@ Result<RobustL0SamplerSW> RestoreSamplerSW(const std::string& snapshot) {
   }
   uint32_t version = 0;
   if (Status st = reader.GetU32(&version); !st.ok()) return st;
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
 
@@ -302,6 +318,10 @@ Result<RobustL0SamplerSW> RestoreSamplerSW(const std::string& snapshot) {
   if (Status st = reader.GetU64(&sampler.stuck_split_count_); !st.ok()) {
     return st;
   }
+  uint64_t peak_words = 0;
+  if (version >= 2) {
+    if (Status st = reader.GetU64(&peak_words); !st.ok()) return st;
+  }
 
   uint64_t level_count = 0;
   if (Status st = reader.GetU64(&level_count); !st.ok()) return st;
@@ -311,7 +331,10 @@ Result<RobustL0SamplerSW> RestoreSamplerSW(const std::string& snapshot) {
   for (size_t l = 0; l < level_count; ++l) {
     uint64_t group_count = 0;
     if (Status st = reader.GetU64(&group_count); !st.ok()) return st;
-    if (group_count > snapshot.size()) {
+    // Minimum bytes per group record (fixed fields + two points + an
+    // empty reservoir): bound the count before reserving anything.
+    const size_t min_group_bytes = 49 + 16 * opts.dim;
+    if (group_count > reader.remaining() / min_group_bytes) {
       return Status::InvalidArgument("bad group count in snapshot");
     }
     std::vector<GroupRecord> groups;
@@ -344,7 +367,10 @@ Result<RobustL0SamplerSW> RestoreSamplerSW(const std::string& snapshot) {
       }
       uint64_t candidate_count = 0;
       if (Status st = reader.GetU64(&candidate_count); !st.ok()) return st;
-      if (candidate_count > snapshot.size()) {
+      // Same per-record bound for reservoir candidates (three scalars
+      // plus a point each).
+      const size_t min_candidate_bytes = 24 + 8 * opts.dim;
+      if (candidate_count > reader.remaining() / min_candidate_bytes) {
         return Status::InvalidArgument("bad reservoir size in snapshot");
       }
       g.reservoir.reserve(candidate_count);
@@ -368,7 +394,12 @@ Result<RobustL0SamplerSW> RestoreSamplerSW(const std::string& snapshot) {
     sampler.levels_[l]->MergeFrom(std::move(groups));
   }
   if (Status st = reader.ExpectEnd(); !st.ok()) return st;
-  sampler.meter_.Set(sampler.SpaceWords());
+  sampler.UpdateMeters();
+  // v2 blobs carry the original core peak watermark (v1: legacy restart).
+  if (version >= 2) {
+    sampler.core_meter_.RestorePeak(peak_words);
+    sampler.meter_.RestorePeak(peak_words);
+  }
   return sampler;
 }
 

@@ -13,7 +13,11 @@
 // exposed); the per-group reservoirs remain valid uniform samplers —
 // future coins are still independent and fresh — but the exact sequence
 // of reservoir replacements after restore differs from an uninterrupted
-// run. Peak-space accounting restarts at the restored current size.
+// run. Peak-space accounting round-trips: format version 2 serializes the
+// space meter's peak watermark and the restore path re-arms it, so a
+// restored sampler reports the same lifetime peak as the original.
+// Version-1 blobs (which predate the field) are still accepted with the
+// legacy behaviour — their peak restarts at the restored current size.
 //
 // The sliding-window hierarchy is checkpointable too (SnapshotSamplerSW /
 // RestoreSamplerSW): every level's group records — including the

@@ -215,7 +215,10 @@ std::optional<SampleItem> SwFixedRateSampler::Sample(int64_t now,
     if (target == 0) {
       if (ctx_->options.random_representative) {
         // Reservoir holds ≥ 1 unexpired item: the group's latest point is
-        // alive (otherwise Expire would have dropped the group).
+        // alive (otherwise Expire would have dropped the group). The
+        // query-time reservoir expiry mutates the slot's record, so the
+        // checkpoint epoch must see it.
+        table_.MarkSlotDirty(slot);
         const auto item = table_.reservoir(slot).Sample(now);
         RL0_DCHECK(item.has_value());
         if (item.has_value()) return item;
@@ -234,6 +237,8 @@ void SwFixedRateSampler::AcceptedGroupSamples(int64_t now,
   for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
     if (!table_.IsLive(slot) || !table_.accepted(slot)) continue;
     if (ctx_->options.random_representative) {
+      // Query-time reservoir expiry mutates the record (checkpointing).
+      table_.MarkSlotDirty(slot);
       const auto item = table_.reservoir(slot).Sample(now);
       if (item.has_value()) {
         out->push_back(*item);
@@ -259,6 +264,15 @@ void SwFixedRateSampler::AcceptedLatestPoints(
 void SwFixedRateSampler::SnapshotGroups(std::vector<GroupRecord>* out) const {
   for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
     if (table_.IsLive(slot)) out->push_back(Materialize(slot));
+  }
+}
+
+void SwFixedRateSampler::SnapshotDirtyGroups(
+    std::vector<GroupRecord>* dirty, std::vector<uint64_t>* live_ids) const {
+  for (uint32_t slot = 0; slot < table_.slot_count(); ++slot) {
+    if (!table_.IsLive(slot)) continue;
+    live_ids->push_back(table_.id(slot));
+    if (table_.SlotDirty(slot)) dirty->push_back(Materialize(slot));
   }
 }
 

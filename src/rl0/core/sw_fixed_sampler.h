@@ -187,6 +187,17 @@ class SwFixedRateSampler {
   /// (introspection, checkpointing).
   void SnapshotGroups(std::vector<GroupRecord>* out) const;
 
+  /// Starts a new dirty-tracking epoch on the group table; subsequent
+  /// SnapshotDirtyGroups calls report only groups touched after this
+  /// point (delta snapshots, core/checkpoint.h). O(1).
+  void MarkCheckpoint() { table_.MarkCheckpoint(); }
+
+  /// Appends materialized records of the groups touched since the last
+  /// MarkCheckpoint() to `dirty`, and the id of every live group — in
+  /// slot order, the order SnapshotGroups serializes — to `live_ids`.
+  void SnapshotDirtyGroups(std::vector<GroupRecord>* dirty,
+                           std::vector<uint64_t>* live_ids) const;
+
   /// Algorithm 4 (Split), promotion half. Finds the last accepted
   /// representative sampled at level ℓ+1; moves every group whose
   /// representative arrived before or at it into `promoted`, re-judged at

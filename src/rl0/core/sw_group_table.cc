@@ -33,6 +33,7 @@ uint32_t SwGroupTable::AllocateSlot() {
   next_in_cell_.push_back(kNpos);
   stamp_prev_.push_back(kNpos);
   stamp_next_.push_back(kNpos);
+  dirty_epoch_.push_back(0);
   return slot;
 }
 
@@ -130,6 +131,7 @@ uint32_t SwGroupTable::Add(uint64_t id, PointView point,
   latest_stamp_[slot] = stamp;
   latest_index_[slot] = stream_index;
   flags_[slot] = kLiveFlag | (accepted ? kAcceptedFlag : 0);
+  dirty_epoch_[slot] = ckpt_seq_;
   LinkCell(slot);
   AppendStampTail(slot);
   ++live_;
@@ -144,6 +146,7 @@ void SwGroupTable::Touch(uint32_t slot, PointView latest, int64_t stamp,
   UnlinkStamp(slot);
   latest_stamp_[slot] = stamp;
   latest_index_[slot] = stream_index;
+  dirty_epoch_[slot] = ckpt_seq_;
   AppendStampTail(slot);
 }
 
@@ -194,6 +197,7 @@ uint32_t SwGroupTable::AdoptMoved(MovedGroup&& g) {
   latest_index_[slot] = g.latest_index;
   reservoir_[slot] = std::move(g.reservoir);
   flags_[slot] = kLiveFlag | (g.accepted ? kAcceptedFlag : 0);
+  dirty_epoch_[slot] = ckpt_seq_;
   LinkCell(slot);
   InsertStampSorted(slot);
   ++live_;
@@ -248,6 +252,7 @@ void SwGroupTable::Compact() {
     next_in_cell_[slot] = remap(next_in_cell_[old]);
     stamp_prev_[slot] = remap(stamp_prev_[old]);
     stamp_next_[slot] = remap(stamp_next_[old]);
+    dirty_epoch_[slot] = dirty_epoch_[old];
     if (slot != old) reservoir_[slot] = std::move(reservoir_[old]);
   }
   stamp_head_ = remap(stamp_head_);
@@ -266,6 +271,7 @@ void SwGroupTable::Compact() {
   next_in_cell_.resize(packed_count);
   stamp_prev_.resize(packed_count);
   stamp_next_.resize(packed_count);
+  dirty_epoch_.resize(packed_count);
   free_slots_.clear();
 
   cell_index_ = CellIndex();

@@ -182,6 +182,22 @@ class SwGroupTable {
   /// counters over the probed levels as its epoch. Monotone.
   uint64_t generation() const { return generation_; }
 
+  // -------------------------------------------------- checkpoint support
+
+  /// Starts a new checkpoint epoch (see RepTable::MarkCheckpoint): a slot
+  /// reports SlotDirty() only for record mutations after this call.
+  void MarkCheckpoint() { ++ckpt_seq_; }
+
+  /// Whether `slot`'s record content changed since MarkCheckpoint().
+  bool SlotDirty(uint32_t slot) const {
+    return dirty_epoch_[slot] == ckpt_seq_;
+  }
+
+  /// Stamps `slot` into the current checkpoint epoch — the table stamps
+  /// its own mutations; the owning sampler stamps reservoir mutations the
+  /// table cannot observe (query-time expiry, candidate insertion).
+  void MarkSlotDirty(uint32_t slot) { dirty_epoch_[slot] = ckpt_seq_; }
+
  private:
   enum : uint8_t { kLiveFlag = 1, kAcceptedFlag = 2 };
 
@@ -208,6 +224,11 @@ class SwGroupTable {
   std::vector<uint32_t> next_in_cell_;
   std::vector<uint32_t> stamp_prev_;
   std::vector<uint32_t> stamp_next_;
+
+  // Checkpoint-epoch stamp per slot (dirty ⇔ stamp == ckpt_seq_); epochs
+  // travel with their slots under Compact.
+  std::vector<uint64_t> dirty_epoch_;
+  uint64_t ckpt_seq_ = 0;
 
   uint32_t stamp_head_ = kNpos;
   uint32_t stamp_tail_ = kNpos;

@@ -35,7 +35,7 @@ RobustL0SamplerSW::RobustL0SamplerSW(const SamplerOptions& options,
   }
   dup_filter_ = DupFilter(options.dim, /*payload_len=*/1 + levels_.size(),
                           options.dup_filter);
-  meter_.Set(SpaceWords());
+  UpdateMeters();
 }
 
 void RobustL0SamplerSW::Insert(const Point& p, int64_t stamp) {
@@ -105,7 +105,7 @@ void RobustL0SamplerSW::InsertStamped(const Point& p, int64_t stamp,
   // exact repeat arrival when the probed levels are structurally
   // unchanged; otherwise fall through to the full descent.
   if (dup_filter_.enabled() && TryReplayDuplicate(p, stamp, stream_index)) {
-    meter_.Set(SpaceWords());
+    UpdateMeters();
     return;
   }
 
@@ -160,7 +160,7 @@ void RobustL0SamplerSW::InsertStamped(const Point& p, int64_t stamp,
     // the loop always accepts somewhere.
   }
   if (pure_touch) RecordDuplicate(prep, accept_level);
-  meter_.Set(SpaceWords());
+  UpdateMeters();
 }
 
 uint64_t RobustL0SamplerSW::SuffixEpoch(size_t from_level) const {
@@ -441,13 +441,22 @@ std::optional<uint32_t> RobustL0SamplerSW::DeepestNonEmptyLevel(int64_t now) {
   return std::nullopt;
 }
 
-size_t RobustL0SamplerSW::SpaceWords() const {
+size_t RobustL0SamplerSW::CoreSpaceWords() const {
   size_t words = 8;  // scalars
   for (const auto& level : levels_) words += level->SpaceWords();
+  return words;
+}
+
+size_t RobustL0SamplerSW::SpaceWords() const {
   // The bounded-lateness buffer is real Θ(lateness · rate) state; after
   // a FlushLate it holds nothing and contributes nothing.
-  if (reorder_) words += reorder_->SpaceWords();
-  return words;
+  return CoreSpaceWords() + (reorder_ ? reorder_->SpaceWords() : 0);
+}
+
+void RobustL0SamplerSW::UpdateMeters() {
+  const size_t core = CoreSpaceWords();
+  core_meter_.Set(core);
+  meter_.Set(core + (reorder_ ? reorder_->SpaceWords() : 0));
 }
 
 }  // namespace rl0

@@ -216,9 +216,10 @@ class RobustL0SamplerSW {
   /// The accept cap κ0·k·log m in force.
   size_t accept_cap() const { return accept_cap_; }
 
-  /// Current space in words (sum over levels plus scalars).
+  /// Current space in words (sum over levels plus scalars, including the
+  /// bounded-lateness reorder buffer while it holds points).
   size_t SpaceWords() const;
-  /// Peak space in words since construction.
+  /// Peak space in words since construction (reorder buffer included).
   size_t PeakSpaceWords() const { return meter_.peak(); }
 
   /// Duplicate-suppression front-end counters (core/dup_filter.h).
@@ -234,6 +235,13 @@ class RobustL0SamplerSW {
                                   std::string* out);
   friend Result<RobustL0SamplerSW> RestoreSamplerSW(
       const std::string& snapshot);
+  // Incremental checkpoints (core/checkpoint.h): the full cut marks the
+  // dirty-tracking epoch, the delta cut serializes only touched slots.
+  friend Status SnapshotSamplerFullSW(RobustL0SamplerSW* sampler,
+                                      std::string* out);
+  friend Status SnapshotSamplerDeltaSW(RobustL0SamplerSW* sampler,
+                                       uint64_t base_checksum,
+                                       std::string* out);
 
   RobustL0SamplerSW(const SamplerOptions& options, int64_t window);
 
@@ -247,6 +255,11 @@ class RobustL0SamplerSW {
   /// level generation is monotone, so the sum is too and stale entries
   /// can never collide back to a valid epoch.
   uint64_t SuffixEpoch(size_t from_level) const;
+
+  /// SpaceWords() minus the reorder buffer: the durable sampler state.
+  size_t CoreSpaceWords() const;
+  /// Refreshes both space meters after a state change.
+  void UpdateMeters();
 
   /// Attempts to replay a recorded descent for an exact repeat arrival.
   /// Returns true when the arrival was fully handled (bit-identically to
@@ -277,6 +290,11 @@ class RobustL0SamplerSW {
   uint64_t error_count_ = 0;
   uint64_t stuck_split_count_ = 0;
   SpaceMeter meter_;
+  /// Peak of CoreSpaceWords() only. Snapshots serialize THIS peak: the
+  /// reorder buffer is scratch (like the dup filter), so its transient
+  /// occupancy must not leak into snapshot bytes — late-path and strict
+  /// sorted feeds stay bit-identical (the PR 7 contract).
+  SpaceMeter core_meter_;
   std::vector<uint64_t> adj_scratch_;
 
   // Duplicate-suppression front-end (core/dup_filter.h). Payload layout:

@@ -93,6 +93,13 @@ class SpaceMeter {
   /// Resets the peak to the current usage.
   void ResetPeak() { peak_ = current_; }
 
+  /// Restores a checkpointed peak watermark: the peak becomes the larger
+  /// of the current usage and `words`. Used by the snapshot restore path
+  /// so peak accounting survives a checkpoint/restore cycle.
+  void RestorePeak(size_t words) {
+    if (words > peak_) peak_ = words;
+  }
+
  private:
   size_t current_ = 0;
   size_t peak_ = 0;

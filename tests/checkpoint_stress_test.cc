@@ -1,0 +1,293 @@
+// Concurrency stress for the checkpoint/journal layer. Run under
+// ThreadSanitizer in CI (see .github/workflows/ci.yml, job `tsan`): the
+// assertions here check journal framing and exactly-once accounting;
+// TSan checks the journal tap's serialization under multi-producer
+// feeding and the happens-before edges between feeder joins, the Drain
+// barrier, and checkpoint cuts taken on a different thread.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rl0/core/checkpoint.h"
+#include "rl0/core/ingest_pool.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/core/snapshot.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+#include "rl0/util/rng.h"
+
+namespace rl0 {
+namespace {
+
+NoisyDataset StressData(uint64_t seed, size_t groups) {
+  const BaseDataset base = RandomUniform(groups, 3, seed, "CkptStress");
+  NearDupOptions nd;
+  nd.max_dups = 12;
+  nd.seed = seed + 1;
+  return MakeNearDuplicates(base, nd);
+}
+
+SamplerOptions StressOptions(const NoisyDataset& data, uint64_t seed) {
+  SamplerOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.seed = seed;
+  opts.side_mode = GridSideMode::kHighDim;
+  opts.expected_stream_length = data.size();
+  return opts;
+}
+
+std::vector<std::string> ShardBlobs(const ShardedSwSamplerPool& pool) {
+  std::vector<std::string> blobs(pool.num_shards());
+  for (size_t s = 0; s < pool.num_shards(); ++s) {
+    EXPECT_TRUE(SnapshotSamplerSW(pool.shard(s), &blobs[s]).ok());
+  }
+  return blobs;
+}
+
+/// Every record's index_base must continue exactly where the previous
+/// one left off (watermarks consume no indices). Returns the total
+/// point count framed in the journal.
+uint64_t ExpectContiguousIndexBases(const JournalContents& contents) {
+  uint64_t expected_index = 0;
+  uint64_t total = 0;
+  for (const JournalRecord& rec : contents.records) {
+    EXPECT_EQ(rec.index_base, expected_index) << "record seq " << rec.seq;
+    if (rec.type != JournalRecordType::kWatermark) {
+      expected_index += rec.points.size();
+      total += rec.points.size();
+    }
+  }
+  return total;
+}
+
+TEST(CheckpointStressTest, MultiProducerJournalTapAndCheckpointCycles) {
+  // Rounds of multi-producer feeding (the journal tap serializes chunk
+  // framing against the global position counter), concurrent Drain
+  // barriers throughout, and a full-then-delta checkpoint chain cut on
+  // a fresh thread after each round's drain. At the end the journal
+  // must frame every point exactly once with contiguous index bases,
+  // the folded chain plus the journal must replay to the full stream,
+  // and an end-of-run cut must restore byte-identically.
+  const NoisyDataset data = StressData(201, 70);
+  const SamplerOptions opts = StressOptions(data, 202);
+  const int64_t window = static_cast<int64_t>(data.size() / 2);
+  IngestPool::Options pipeline;
+  pipeline.queue_capacity = 2;  // exercise backpressure
+  auto pool = ShardedSwSamplerPool::Create(opts, window, 3, pipeline).value();
+
+  std::string journal;
+  JournalWriter writer(&journal, opts.dim);
+  AttachJournal(&pool, &writer);
+
+  std::atomic<bool> feeding{true};
+  std::vector<std::thread> drainers;
+  for (int t = 0; t < 2; ++t) {
+    drainers.emplace_back([&pool, &feeding] {
+      while (feeding.load(std::memory_order_relaxed)) {
+        pool.Drain();
+      }
+    });
+  }
+
+  const Span<const Point> all(data.points);
+  const size_t rounds = 5;
+  const size_t producers = 3;
+  const size_t round_size = all.size() / rounds;
+  std::string chain;  // folded full checkpoint, updated every round
+  uint64_t chain_seq = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    const size_t begin = round * round_size;
+    const size_t count =
+        round + 1 == rounds ? all.size() - begin : round_size;
+    const size_t slice = count / producers;
+    std::vector<std::thread> feeders;
+    for (size_t t = 0; t < producers; ++t) {
+      const size_t fbegin = begin + t * slice;
+      const size_t fcount = t + 1 == producers ? count - t * slice : slice;
+      feeders.emplace_back([&pool, all, fbegin, fcount] {
+        const size_t chunk = 37;
+        for (size_t offset = 0; offset < fcount; offset += chunk) {
+          const size_t n = std::min(chunk, fcount - offset);
+          pool.Feed(all.subspan(fbegin + offset, n));
+        }
+      });
+    }
+    for (std::thread& f : feeders) f.join();
+    pool.Drain();
+
+    // Cut on a fresh thread: the cut must see the drained state through
+    // the join/Drain happens-before edges alone (drainers still spin).
+    std::thread cutter([&pool, &writer, &chain, &chain_seq] {
+      const uint64_t seq = writer.next_seq();
+      std::string cut;
+      if (chain.empty()) {
+        ASSERT_TRUE(CheckpointPool(&pool, seq, &cut).ok());
+      } else {
+        std::string delta;
+        ASSERT_TRUE(CheckpointPoolDelta(&pool, chain, seq, &delta).ok());
+        ASSERT_TRUE(FoldPoolDelta(chain, delta, &cut).ok());
+      }
+      chain = std::move(cut);
+      chain_seq = seq;
+    });
+    cutter.join();
+    ASSERT_FALSE(chain.empty());
+  }
+  feeding.store(false, std::memory_order_relaxed);
+  for (std::thread& d : drainers) d.join();
+  pool.Drain();
+
+  // The journal framed every point exactly once, in global order.
+  JournalContents contents;
+  ASSERT_TRUE(ReadJournal(journal, &contents).ok());
+  EXPECT_EQ(contents.valid_bytes, journal.size());
+  EXPECT_EQ(ExpectContiguousIndexBases(contents), data.size());
+  EXPECT_EQ(pool.points_fed(), data.size());
+  EXPECT_EQ(pool.points_processed(), data.size());
+
+  // An end-of-run cut restores byte-identically (no feeding after it,
+  // so no slot-layout skew).
+  std::string end_cut;
+  ASSERT_TRUE(CheckpointPool(&pool, writer.next_seq(), &end_cut).ok());
+  auto restored = RecoverPool(end_cut, "");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(ShardBlobs(restored.value()), ShardBlobs(pool));
+
+  // The folded chain (cut one round before the end) plus the journal
+  // replays the remainder: full-stream accounting must reconcile.
+  auto replayed = RecoverPool(chain, journal);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed.value().points_processed(), data.size());
+}
+
+TEST(CheckpointStressTest, StampedLateFeedJournalsReleasesAndWatermarks) {
+  // The bounded-lateness path under the same pattern: the journal tap
+  // sees only *released* chunks plus watermark broadcasts, both pumped
+  // out of the reorder stage while Drain barriers run concurrently.
+  // Checkpoint cuts land between bursts while the reorder heap still
+  // buffers points (the durability boundary), so the replay at the end
+  // must still account for every point once the flush releases them.
+  const NoisyDataset data = StressData(211, 60);
+  SamplerOptions opts = StressOptions(data, 212);
+  opts.allowed_lateness = 48;
+  std::vector<int64_t> stamps;
+  stamps.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    // Jitter stays well inside the lateness bound: nothing is dropped.
+    stamps.push_back(static_cast<int64_t>(2 * i) -
+                     static_cast<int64_t>(SplitMix64(i) % 17));
+  }
+  const int64_t window = static_cast<int64_t>(2 * data.size());
+  IngestPool::Options pipeline;
+  pipeline.queue_capacity = 2;
+  auto pool = ShardedSwSamplerPool::Create(opts, window, 3, pipeline).value();
+
+  std::string journal;
+  JournalWriter writer(&journal, opts.dim);
+  AttachJournal(&pool, &writer);
+
+  std::atomic<bool> feeding{true};
+  std::vector<std::thread> drainers;
+  for (int t = 0; t < 2; ++t) {
+    drainers.emplace_back([&pool, &feeding] {
+      while (feeding.load(std::memory_order_relaxed)) {
+        pool.Drain();
+      }
+    });
+  }
+
+  const Span<const Point> all(data.points);
+  const Span<const int64_t> all_stamps(stamps);
+  const size_t rounds = 4;
+  const size_t round_size = all.size() / rounds;
+  std::string chain;
+  for (size_t round = 0; round < rounds; ++round) {
+    const size_t begin = round * round_size;
+    const size_t count =
+        round + 1 == rounds ? all.size() - begin : round_size;
+    // Explicit stamps must be monotone in offer order: one producer.
+    std::thread feeder([&pool, all, all_stamps, begin, count] {
+      const size_t chunk = 41;
+      for (size_t offset = 0; offset < count; offset += chunk) {
+        const size_t n = std::min(chunk, count - offset);
+        pool.FeedStampedLate(all.subspan(begin + offset, n),
+                             all_stamps.subspan(begin + offset, n));
+      }
+    });
+    feeder.join();
+    pool.Drain();
+    std::thread cutter([&pool, &writer, &chain] {
+      const uint64_t seq = writer.next_seq();
+      std::string cut;
+      if (chain.empty()) {
+        ASSERT_TRUE(CheckpointPool(&pool, seq, &cut).ok());
+      } else {
+        std::string delta;
+        ASSERT_TRUE(CheckpointPoolDelta(&pool, chain, seq, &delta).ok());
+        ASSERT_TRUE(FoldPoolDelta(chain, delta, &cut).ok());
+      }
+      chain = std::move(cut);
+    });
+    cutter.join();
+  }
+  feeding.store(false, std::memory_order_relaxed);
+  for (std::thread& d : drainers) d.join();
+  pool.FlushLate();
+  pool.Drain();
+
+  const ReorderStats stats = pool.late_stats();
+  EXPECT_EQ(stats.offered, data.size());
+  EXPECT_EQ(stats.late_dropped, 0u);
+  EXPECT_EQ(stats.buffered, 0u);
+  EXPECT_EQ(stats.released, data.size());
+  EXPECT_EQ(pool.points_processed(), data.size());
+
+  // The journal holds the released chunks (contiguous, every point
+  // exactly once) and at least one watermark broadcast, with stamps
+  // non-decreasing across the whole record sequence.
+  JournalContents contents;
+  ASSERT_TRUE(ReadJournal(journal, &contents).ok());
+  EXPECT_EQ(contents.valid_bytes, journal.size());
+  EXPECT_EQ(ExpectContiguousIndexBases(contents), data.size());
+  size_t watermarks = 0;
+  int64_t last_stamp = stamps[0];
+  for (const JournalRecord& rec : contents.records) {
+    if (rec.type == JournalRecordType::kWatermark) {
+      ++watermarks;
+      continue;
+    }
+    ASSERT_EQ(rec.type, JournalRecordType::kStamped);
+    for (const int64_t s : rec.stamps) {
+      EXPECT_GE(s, last_stamp);
+      last_stamp = s;
+    }
+  }
+  EXPECT_GT(watermarks, 0u);
+
+  // End-of-run cut restores byte-identically, watermark re-armed.
+  std::string end_cut;
+  ASSERT_TRUE(CheckpointPool(&pool, writer.next_seq(), &end_cut).ok());
+  auto restored = RecoverPool(end_cut, "");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(ShardBlobs(restored.value()), ShardBlobs(pool));
+  for (size_t s = 0; s < pool.num_shards(); ++s) {
+    EXPECT_EQ(restored.value().shard(s).watermark(),
+              pool.shard(s).watermark());
+  }
+
+  // The mid-run chain plus the journal replays to full accounting even
+  // though the chain was cut with points still buffered in the heap.
+  auto replayed = RecoverPool(chain, journal);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed.value().points_processed(), data.size());
+}
+
+}  // namespace
+}  // namespace rl0

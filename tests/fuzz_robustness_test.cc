@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "rl0/baseline/legacy_sw_sampler.h"
+#include "rl0/core/checkpoint.h"
 #include "rl0/core/iw_sampler.h"
+#include "rl0/core/sharded_pool.h"
 #include "rl0/core/snapshot.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/stream/csv.h"
@@ -368,6 +370,215 @@ TEST(FuzzTest, SwDupFilterStaysIdenticalThroughExpiryAndSplitWaves) {
         }
       }
     }
+  }
+}
+
+TEST(FuzzTest, DeltaFoldNeverCrashesOnMalformedInputs) {
+  // ApplySamplerDelta / ApplySamplerDeltaSW over random bytes, byte
+  // mutations of both operands, and truncations: a clean Status every
+  // time, and an accepted fold must itself restore.
+  SamplerOptions opts;
+  opts.dim = 2;
+  opts.alpha = 1.0;
+  opts.seed = 51;
+  opts.accept_cap = 8;
+  opts.expected_stream_length = 2048;
+
+  auto iw = RobustL0SamplerIW::Create(opts).value();
+  for (int i = 0; i < 150; ++i) iw.Insert(Point{9.0 * (i % 20), 1.0 * i});
+  std::string iw_base;
+  ASSERT_TRUE(SnapshotSamplerFull(&iw, &iw_base).ok());
+  for (int i = 0; i < 150; ++i) iw.Insert(Point{9.0 * (i % 31), -2.0 * i});
+  std::string iw_delta;
+  ASSERT_TRUE(
+      SnapshotSamplerDelta(&iw, SnapshotChainChecksum(iw_base), &iw_delta)
+          .ok());
+
+  auto sw = RobustL0SamplerSW::Create(opts, 64).value();
+  for (int i = 0; i < 150; ++i) sw.Insert(Point{9.0 * (i % 20), 1.0 * i}, i);
+  std::string sw_base;
+  ASSERT_TRUE(SnapshotSamplerFullSW(&sw, &sw_base).ok());
+  for (int i = 150; i < 300; ++i) {
+    sw.Insert(Point{9.0 * (i % 31), -2.0 * i}, i);
+  }
+  std::string sw_delta;
+  ASSERT_TRUE(
+      SnapshotSamplerDeltaSW(&sw, SnapshotChainChecksum(sw_base), &sw_delta)
+          .ok());
+
+  Xoshiro256pp rng(52);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string out;
+    (void)ApplySamplerDelta(iw_base, RandomBytes(rng.NextBounded(300), &rng),
+                            &out);
+    (void)ApplySamplerDeltaSW(sw_base, RandomBytes(rng.NextBounded(300), &rng),
+                              &out);
+  }
+  const auto fuzz_pair = [&rng](const std::string& base,
+                                const std::string& delta, bool sliding) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string mut_base = base;
+      std::string mut_delta = delta;
+      std::string& victim = trial % 2 == 0 ? mut_delta : mut_base;
+      const size_t mutations = 1 + rng.NextBounded(4);
+      for (size_t m = 0; m < mutations; ++m) {
+        victim[rng.NextBounded(victim.size())] =
+            static_cast<char>(rng() & 0xFF);
+      }
+      std::string out;
+      const Status status = sliding
+                                ? ApplySamplerDeltaSW(mut_base, mut_delta, &out)
+                                : ApplySamplerDelta(mut_base, mut_delta, &out);
+      if (status.ok()) {
+        // Mutation-neutral (or checksum-consistent): the fold must be a
+        // restorable full blob.
+        EXPECT_TRUE(sliding ? RestoreSamplerSW(out).ok()
+                            : RestoreSampler(out).ok());
+      }
+    }
+    for (size_t len = 0; len < delta.size(); len += 5) {
+      std::string out;
+      const std::string cut = delta.substr(0, len);
+      EXPECT_FALSE((sliding ? ApplySamplerDeltaSW(base, cut, &out)
+                            : ApplySamplerDelta(base, cut, &out))
+                       .ok())
+          << len;
+    }
+  };
+  fuzz_pair(iw_base, iw_delta, /*sliding=*/false);
+  fuzz_pair(sw_base, sw_delta, /*sliding=*/true);
+}
+
+TEST(FuzzTest, JournalReaderNeverCrashesAndPrefixIsIdempotent) {
+  // ReadJournal over random bytes, mutations and every truncation: a
+  // clean Status, valid_bytes never past the input, and re-reading the
+  // reported valid prefix must reproduce it exactly.
+  std::string journal;
+  JournalWriter writer(&journal, 2);
+  Xoshiro256pp rng(53);
+  uint64_t index = 0;
+  for (int r = 0; r < 12; ++r) {
+    std::vector<Point> points;
+    std::vector<int64_t> stamps;
+    for (size_t i = 0; i < 1 + rng.NextBounded(9); ++i) {
+      points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+      stamps.push_back(static_cast<int64_t>(3 * index + i));
+    }
+    switch (r % 3) {
+      case 0:
+        writer.AppendPoints(points, index);
+        index += points.size();
+        break;
+      case 1:
+        writer.AppendStamped(points, stamps, index);
+        index += points.size();
+        break;
+      default:
+        writer.AppendWatermark(static_cast<int64_t>(3 * index), index);
+        break;
+    }
+  }
+
+  for (int trial = 0; trial < 400; ++trial) {
+    JournalContents contents;
+    (void)ReadJournal(RandomBytes(rng.NextBounded(400), &rng), &contents);
+  }
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = journal;
+    const size_t mutations = 1 + rng.NextBounded(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng() & 0xFF);
+    }
+    JournalContents contents;
+    const Status status = ReadJournal(mutated, &contents);
+    if (!status.ok()) continue;  // header mutation: clean reject
+    ASSERT_LE(contents.valid_bytes, mutated.size());
+    JournalContents reread;
+    ASSERT_TRUE(
+        ReadJournal(mutated.substr(0, contents.valid_bytes), &reread).ok());
+    EXPECT_EQ(reread.valid_bytes, contents.valid_bytes);
+    EXPECT_EQ(reread.records.size(), contents.records.size());
+  }
+  for (size_t len = 0; len <= journal.size(); ++len) {
+    JournalContents contents;
+    const Status status = ReadJournal(journal.substr(0, len), &contents);
+    if (len >= 20) {
+      ASSERT_TRUE(status.ok()) << len;  // torn tails are never errors
+      ASSERT_LE(contents.valid_bytes, len);
+    }
+  }
+}
+
+TEST(FuzzTest, PoolRecoveryNeverCrashesOnMalformedInputs) {
+  // FoldPoolDelta / RecoverPool over random bytes and mutated
+  // checkpoints and journals: a clean Status or a usable pool, never a
+  // crash. Journal mutations in particular must degrade to a shorter
+  // replay (torn-tail semantics), not corruption.
+  SamplerOptions opts;
+  opts.dim = 1;
+  opts.alpha = 1.0;
+  opts.seed = 54;
+  opts.accept_cap = 8;
+  opts.expected_stream_length = 2048;
+  auto pool = ShardedSwSamplerPool::Create(opts, 97, 2).value();
+  std::string journal;
+  JournalWriter writer(&journal, opts.dim);
+  AttachJournal(&pool, &writer);
+
+  Xoshiro256pp rng(55);
+  std::vector<Point> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(Point{10.0 * static_cast<double>(rng.NextBounded(25))});
+  }
+  pool.Feed(Span<const Point>(points.data(), 250));
+  pool.Drain();
+  std::string base;
+  ASSERT_TRUE(CheckpointPool(&pool, writer.next_seq(), &base).ok());
+  pool.Feed(Span<const Point>(points.data() + 250, 250));
+  pool.Drain();
+  std::string delta;
+  ASSERT_TRUE(CheckpointPoolDelta(&pool, base, writer.next_seq(), &delta).ok());
+  std::string folded;
+  ASSERT_TRUE(FoldPoolDelta(base, delta, &folded).ok());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string garbage = RandomBytes(rng.NextBounded(400), &rng);
+    std::string out;
+    (void)FoldPoolDelta(base, garbage, &out);
+    EXPECT_FALSE(RecoverPool(garbage, journal).ok());
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = folded;
+    const size_t mutations = 1 + rng.NextBounded(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng() & 0xFF);
+    }
+    auto recovered = RecoverPool(mutated, journal);
+    if (mutated == folded) {
+      EXPECT_TRUE(recovered.ok());
+    } else {
+      EXPECT_FALSE(recovered.ok());
+    }
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = journal;
+    const size_t mutations = 1 + rng.NextBounded(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng() & 0xFF);
+    }
+    auto recovered = RecoverPool(folded, mutated);
+    if (recovered.ok()) {
+      Xoshiro256pp qrng(56);
+      (void)recovered.value().SampleLatest(&qrng);
+      EXPECT_LE(recovered.value().points_processed(), points.size());
+    }
+  }
+  for (size_t len = 0; len <= journal.size(); len += 3) {
+    auto recovered = RecoverPool(folded, journal.substr(0, len));
+    ASSERT_TRUE(recovered.ok()) << len;  // torn tails always recover
   }
 }
 

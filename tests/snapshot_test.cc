@@ -3,12 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "rl0/core/snapshot.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
+#include "rl0/util/rng.h"
 #include "rl0/util/serialize.h"
 
 namespace rl0 {
@@ -318,6 +320,103 @@ TEST(SwSnapshotTest, RejectsTruncationsAndMutations) {
   std::string mutated = blob;
   mutated[blob.size() / 3] ^= 0x5A;
   EXPECT_FALSE(RestoreSamplerSW(mutated).ok());
+}
+
+// ------------------------------------------------ format versioning
+
+/// Same checksum as core/snapshot.cc: FNV-1a finalized with SplitMix64.
+uint64_t BlobChecksum(const std::string& data, size_t length) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < length; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(h);
+}
+
+/// Downgrades a v2 blob to the v1 wire format: excise the 8-byte peak
+/// watermark at `peak_offset`, patch the version word, reseal the
+/// trailing checksum.
+std::string DowngradeToV1(const std::string& v2, size_t peak_offset) {
+  std::string v1 = v2.substr(0, v2.size() - 8);  // drop the checksum
+  v1.erase(peak_offset, 8);
+  const uint32_t version = 1;
+  std::memcpy(&v1[8], &version, sizeof(version));
+  std::string sealed = v1;
+  BinaryWriter writer(&sealed);
+  writer.PutU64(BlobChecksum(v1, v1.size()));
+  return sealed;
+}
+
+TEST(SnapshotTest, PeakWatermarkSurvivesRestore) {
+  // A tiny cap over many groups forces refilter waves, so the live
+  // accept set ends well below its historical peak — the v2 field must
+  // carry that watermark across the round trip.
+  SamplerOptions opts = SnapOptions(61);
+  opts.accept_cap = 6;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  for (int i = 0; i < 800; ++i) {
+    sampler.Insert(Point{9.0 * (i % 97), 5.0 * (i % 89), 2.0 * (i % 83)});
+  }
+  std::string blob;
+  ASSERT_TRUE(SnapshotSampler(sampler, &blob).ok());
+  auto restored = RestoreSampler(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().PeakSpaceWords(), sampler.PeakSpaceWords());
+
+  auto sw = RobustL0SamplerSW::Create(SwSnapOptions(62), 64).value();
+  for (int i = 0; i < 800; ++i) {
+    // Stamp jumps past whole windows: expiry shrinks the tables below
+    // their peak occupancy.
+    sw.Insert(Point{10.0 * (i % 37)}, 3 * i);
+  }
+  std::string sw_blob;
+  ASSERT_TRUE(SnapshotSamplerSW(sw, &sw_blob).ok());
+  auto sw_restored = RestoreSamplerSW(sw_blob);
+  ASSERT_TRUE(sw_restored.ok());
+  EXPECT_EQ(sw_restored.value().PeakSpaceWords(), sw.PeakSpaceWords());
+}
+
+TEST(SnapshotTest, LegacyV1BlobsStillRestore) {
+  // v1 predates the peak watermark. A downgraded blob (field excised,
+  // version patched, checksum resealed) must restore with identical
+  // sampler state; only the peak restarts at the restored size.
+  SamplerOptions opts = SnapOptions(63);
+  opts.accept_cap = 6;
+  auto sampler = RobustL0SamplerIW::Create(opts).value();
+  for (int i = 0; i < 800; ++i) {
+    sampler.Insert(Point{9.0 * (i % 97), 5.0 * (i % 89), 2.0 * (i % 83)});
+  }
+  std::string v2;
+  ASSERT_TRUE(SnapshotSampler(sampler, &v2).ok());
+  // IW header: magic 8 + version 4 + options 72 + level 4 + processed 8
+  // + next id 8 = 104; the peak watermark sits right after.
+  auto restored = RestoreSampler(DowngradeToV1(v2, 104));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().points_processed(), sampler.points_processed());
+  EXPECT_EQ(restored.value().accept_size(), sampler.accept_size());
+  EXPECT_EQ(restored.value().level(), sampler.level());
+  EXPECT_LT(restored.value().PeakSpaceWords(), sampler.PeakSpaceWords());
+  // Re-snapshotting a v1 restore produces a v2 blob again.
+  std::string resealed;
+  ASSERT_TRUE(SnapshotSampler(restored.value(), &resealed).ok());
+  uint32_t version = 0;
+  std::memcpy(&version, resealed.data() + 8, sizeof(version));
+  EXPECT_EQ(version, 2u);
+
+  auto sw = RobustL0SamplerSW::Create(SwSnapOptions(64), 64).value();
+  for (int i = 0; i < 800; ++i) {
+    sw.Insert(Point{10.0 * (i % 37)}, 3 * i);
+  }
+  std::string sw_v2;
+  ASSERT_TRUE(SnapshotSamplerSW(sw, &sw_v2).ok());
+  // SW header: magic 8 + version 4 + options 72 + window 8 + id counter
+  // 8 + processed 8 + latest stamp 8 + errors 8 + stuck splits 8 = 132.
+  auto sw_restored = RestoreSamplerSW(DowngradeToV1(sw_v2, 132));
+  ASSERT_TRUE(sw_restored.ok()) << sw_restored.status().ToString();
+  EXPECT_EQ(sw_restored.value().points_processed(), sw.points_processed());
+  EXPECT_EQ(sw_restored.value().error_count(), sw.error_count());
+  EXPECT_LT(sw_restored.value().PeakSpaceWords(), sw.PeakSpaceWords());
 }
 
 }  // namespace

@@ -13,11 +13,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "rl0/baseline/exact_partition.h"
+#include "rl0/core/checkpoint.h"
 #include "rl0/core/f0_iw.h"
 #include "rl0/core/iw_sampler.h"
 #include "rl0/core/reorder_buffer.h"
@@ -40,6 +44,7 @@ commands:
   sample    --alpha A [--k N] [--window W] [--time] [--metric l2|l1|linf]
             [--reservoir] [--seed S] [--queries Q] [--shards S]
             [--no-filter] [--lateness L]
+            [--checkpoint-dir D [--checkpoint-every N]]
             Draw Q robust l0-samples (default 1). With --window W, sample
             from the last W points instead of the whole stream. With
             --shards S > 1, ingest through the persistent S-worker
@@ -55,6 +60,18 @@ commands:
             sorted order (and propagates watermarks) before feeding, so
             the output is identical to sampling the stamp-sorted file.
             Rows beyond the bound are a line-numbered parse error.
+            With --checkpoint-dir D (pool paths: --window with
+            --shards > 1), every fed chunk is journaled to D/journal.log
+            and a checkpoint chain is cut into D — ckpt-000000.full,
+            then incremental ckpt-NNNNNN.delta files every N points
+            (--checkpoint-every; default: one final cut at end of
+            stream). `recover` rebuilds the pool from those files.
+  recover   --checkpoint-dir D [--queries Q] [--seed S]
+            Rebuild a pool from D: fold the delta chain onto the full
+            checkpoint, replay the journal's surviving suffix (torn
+            tails from a crash are fine), and draw Q samples from the
+            recovered window — bit-identical to a run that never went
+            down (see core/checkpoint.h for the exact contract).
   count     --alpha A [--epsilon E] [--seed S] [--parallel] [--no-filter]
             (1+E)-approximate the number of distinct entities. With
             --parallel, the estimator copies ingest on pipeline workers.
@@ -86,6 +103,8 @@ struct Args {
   double epsilon = 0.2;
   std::string metric = "l2";
   std::string dataset;
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every = 0;
   bool powerlaw = false;
   bool reservoir = false;
   bool parallel = false;
@@ -171,6 +190,22 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
         *error = "--dataset needs a value";
         return false;
       }
+    } else if (arg == "--checkpoint-dir") {
+      if (!next_str(&args->checkpoint_dir)) {
+        *error = "--checkpoint-dir needs a directory";
+        return false;
+      }
+    } else if (arg == "--checkpoint-every") {
+      double v;
+      if (!next(&v)) {
+        *error = "--checkpoint-every needs a value";
+        return false;
+      }
+      if (!(v >= 1.0 && v <= 9e18)) {  // cast of a negative/huge double is UB
+        *error = "--checkpoint-every must be in [1, 9e18]";
+        return false;
+      }
+      args->checkpoint_every = static_cast<uint64_t>(v);
     } else if (arg == "--shards") {
       double v;
       if (!next(&v)) {
@@ -225,6 +260,113 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
 rl0::Result<std::vector<Point>> LoadPoints(const Args& args) {
   if (args.file == "-") return rl0::ParseCsvPoints(std::cin);
   return rl0::ReadCsvPoints(args.file);
+}
+
+// ------------------------------------------- checkpointing (pool paths)
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+rl0::Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return rl0::Status::InvalidArgument("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return rl0::Status::Internal("read failed: " + path);
+  return bytes;
+}
+
+std::string CheckpointName(const std::string& dir, size_t index, bool full) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "ckpt-%06zu.%s", index,
+                full ? "full" : "delta");
+  return dir + "/" + name;
+}
+
+/// Journals every fed chunk and cuts an incremental checkpoint chain
+/// under --checkpoint-dir: ckpt-000000.full, then ckpt-NNNNNN.delta
+/// every --checkpoint-every points (plus a final cut at end of stream).
+/// The journal buffer is flushed to D/journal.log at every cut, so a
+/// crash between cuts loses at most the unflushed journal tail — never
+/// an acknowledged checkpoint.
+class PoolCheckpointer {
+ public:
+  PoolCheckpointer(rl0::ShardedSwSamplerPool* pool, const Args& args,
+                   size_t dim)
+      : pool_(pool),
+        dir_(args.checkpoint_dir),
+        every_(args.checkpoint_every),
+        writer_(&journal_, dim),
+        next_cut_(args.checkpoint_every) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);  // best-effort; the
+    rl0::AttachJournal(pool, &writer_);  // first Cut reports a bad dir
+  }
+
+  /// Call after each fed chunk; cuts when the fed count crosses the
+  /// next --checkpoint-every boundary. No-op without --checkpoint-every.
+  bool MaybeCut() {
+    if (every_ == 0 || pool_->points_fed() < next_cut_) return true;
+    while (pool_->points_fed() >= next_cut_) next_cut_ += every_;
+    return Cut();
+  }
+
+  /// Final cut after the stream is fully fed (and flushed/drained).
+  bool Finish() { return Cut(); }
+
+  size_t cuts() const { return cuts_; }
+  size_t journal_bytes() const { return journal_.size(); }
+
+ private:
+  bool Cut() {
+    pool_->Drain();
+    const uint64_t seq = writer_.next_seq();
+    std::string blob;
+    const bool full = chain_.empty();
+    rl0::Status status =
+        full ? rl0::CheckpointPool(pool_, seq, &blob)
+             : rl0::CheckpointPoolDelta(pool_, chain_, seq, &blob);
+    if (status.ok() && !full) {
+      std::string folded;
+      status = rl0::FoldPoolDelta(chain_, blob, &folded);
+      if (status.ok()) chain_ = std::move(folded);
+    } else if (status.ok()) {
+      chain_ = blob;
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "rl0_cli: checkpoint failed: %s\n",
+                   status.ToString().c_str());
+      return false;
+    }
+    if (!WriteFileBytes(CheckpointName(dir_, cuts_, full), blob) ||
+        !WriteFileBytes(dir_ + "/journal.log", journal_)) {
+      std::fprintf(stderr, "rl0_cli: cannot write checkpoint files in '%s'\n",
+                   dir_.c_str());
+      return false;
+    }
+    ++cuts_;
+    return true;
+  }
+
+  rl0::ShardedSwSamplerPool* pool_;
+  std::string dir_;
+  uint64_t every_;
+  std::string journal_;
+  rl0::JournalWriter writer_;
+  std::string chain_;  // folded full checkpoint the next delta chains on
+  uint64_t next_cut_;
+  size_t cuts_ = 0;
+};
+
+std::string CheckpointNote(const PoolCheckpointer* ckpt) {
+  if (ckpt == nullptr) return std::string();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " checkpoints=%zu journal=%zuB",
+                ckpt->cuts(), ckpt->journal_bytes());
+  return buf;
 }
 
 /// Renders duplicate-suppression counters for the summary lines
@@ -321,21 +463,34 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
                                                   args.shards);
     if (!pool.ok()) return Fail(pool.status().ToString());
     rl0::ShardedSwSamplerPool sw_pool = std::move(pool).value();
+    std::unique_ptr<PoolCheckpointer> ckpt;
+    if (!args.checkpoint_dir.empty()) {
+      ckpt = std::make_unique<PoolCheckpointer>(&sw_pool, args, opts.dim);
+    }
+    const rl0::Span<const Point> all_points(points);
+    const rl0::Span<const int64_t> all_stamps(stamps);
+    const size_t chunk = 4096;
     if (args.lateness > 0) {
       // Bounded-lateness ingestion: the pool's reorder stage restores
       // sorted order and broadcasts watermarks chunk by chunk.
-      const rl0::Span<const Point> all_points(points);
-      const rl0::Span<const int64_t> all_stamps(stamps);
-      const size_t chunk = 4096;
       for (size_t offset = 0; offset < all_points.size(); offset += chunk) {
         sw_pool.FeedStampedLate(all_points.subspan(offset, chunk),
                                 all_stamps.subspan(offset, chunk));
+        if (ckpt && !ckpt->MaybeCut()) return 2;
       }
       sw_pool.FlushLate();
+    } else if (ckpt) {
+      // Fixed chunks so checkpoint cuts land between feeds.
+      for (size_t offset = 0; offset < all_points.size(); offset += chunk) {
+        sw_pool.FeedStamped(all_points.subspan(offset, chunk),
+                            all_stamps.subspan(offset, chunk));
+        if (!ckpt->MaybeCut()) return 2;
+      }
     } else {
       sw_pool.FeedStampedAdaptive(points, stamps);
     }
     sw_pool.Drain();
+    if (ckpt && !ckpt->Finish()) return 2;
     for (int q = 0; q < args.queries; ++q) {
       const auto sample = sw_pool.SampleLatest(&rng);
       if (!sample.has_value()) return Fail("window is empty");
@@ -351,7 +506,7 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
                  static_cast<long long>(sw_pool.now()),
                  sw_pool.SpaceWords(),
                  (FilterNote(sw_pool.FilterStats()) +
-                  LateNote(sw_pool.late_stats()))
+                  LateNote(sw_pool.late_stats()) + CheckpointNote(ckpt.get()))
                      .c_str());
     return 0;
   }
@@ -387,6 +542,15 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
 
 int RunSample(const Args& args) {
   if (args.alpha <= 0.0) return Fail("sample requires --alpha > 0");
+  if (args.checkpoint_every > 0 && args.checkpoint_dir.empty()) {
+    return Fail("--checkpoint-every requires --checkpoint-dir");
+  }
+  if (!args.checkpoint_dir.empty() &&
+      (args.window <= 0 || args.shards <= 1)) {
+    return Fail(
+        "--checkpoint-dir needs a pool path: --window W > 0 and "
+        "--shards > 1");
+  }
   const auto metric = ParseMetric(args.metric);
   if (!metric.ok()) return Fail(metric.status().ToString());
   if (args.time) return RunSampleTime(args, metric.value());
@@ -413,12 +577,18 @@ int RunSample(const Args& args) {
                                                     args.shards);
       if (!pool.ok()) return Fail(pool.status().ToString());
       rl0::ShardedSwSamplerPool sw_pool = std::move(pool).value();
+      std::unique_ptr<PoolCheckpointer> ckpt;
+      if (!args.checkpoint_dir.empty()) {
+        ckpt = std::make_unique<PoolCheckpointer>(&sw_pool, args, opts.dim);
+      }
       const rl0::Span<const Point> all(points.value());
       const size_t chunk = 4096;
       for (size_t offset = 0; offset < all.size(); offset += chunk) {
         sw_pool.FeedBorrowed(all.subspan(offset, chunk));
+        if (ckpt && !ckpt->MaybeCut()) return 2;
       }
       sw_pool.Drain();
+      if (ckpt && !ckpt->Finish()) return 2;
       for (int q = 0; q < args.queries; ++q) {
         const auto sample = sw_pool.SampleLatest(&rng);
         if (!sample.has_value()) return Fail("window is empty");
@@ -434,7 +604,9 @@ int RunSample(const Args& args) {
                        sw_pool.points_processed()),
                    static_cast<long long>(args.window),
                    sw_pool.SpaceWords(),
-                   FilterNote(sw_pool.FilterStats()).c_str());
+                   (FilterNote(sw_pool.FilterStats()) +
+                    CheckpointNote(ckpt.get()))
+                       .c_str());
       return 0;
     }
     auto sampler = rl0::RobustL0SamplerSW::Create(opts, args.window);
@@ -509,6 +681,54 @@ int RunSample(const Args& args) {
                iw.accept_size(), iw.reject_size(),
                static_cast<unsigned long long>(iw.rate_reciprocal()),
                iw.SpaceWords(), fnote.c_str());
+  return 0;
+}
+
+int RunRecover(const Args& args) {
+  if (args.checkpoint_dir.empty()) {
+    return Fail("recover requires --checkpoint-dir DIR");
+  }
+  const std::string& dir = args.checkpoint_dir;
+  auto chain = ReadFileBytes(CheckpointName(dir, 0, /*full=*/true));
+  if (!chain.ok()) return Fail(chain.status().ToString());
+  std::string checkpoint = std::move(chain).value();
+  size_t deltas = 0;
+  for (size_t i = 1;; ++i) {
+    auto delta = ReadFileBytes(CheckpointName(dir, i, /*full=*/false));
+    if (!delta.ok()) break;  // end of the chain
+    std::string folded;
+    const rl0::Status status =
+        rl0::FoldPoolDelta(checkpoint, delta.value(), &folded);
+    if (!status.ok()) {
+      return Fail("folding " + CheckpointName(dir, i, false) + ": " +
+                  status.ToString());
+    }
+    checkpoint = std::move(folded);
+    ++deltas;
+  }
+  // A missing journal means the run checkpointed but never flushed a
+  // record past the last cut — recovery from the cut alone is exact.
+  auto journal = ReadFileBytes(dir + "/journal.log");
+  auto recovered =
+      rl0::RecoverPool(checkpoint, journal.ok() ? journal.value() : "");
+  if (!recovered.ok()) return Fail(recovered.status().ToString());
+  rl0::ShardedSwSamplerPool pool = std::move(recovered).value();
+
+  rl0::Xoshiro256pp rng(rl0::SplitMix64(args.seed ^ 0x5175657279ULL));
+  for (int q = 0; q < args.queries; ++q) {
+    const auto sample = pool.SampleLatest(&rng);
+    if (!sample.has_value()) return Fail("window is empty");
+    std::printf("%s  # stream position %llu\n",
+                sample->point.ToString().c_str(),
+                static_cast<unsigned long long>(sample->stream_index));
+  }
+  std::fprintf(stderr,
+               "[recovered pool: %zu shards, %llu points, now=%lld, "
+               "space=%zu words; chain=1 full + %zu deltas, journal=%zuB]\n",
+               pool.num_shards(),
+               static_cast<unsigned long long>(pool.points_processed()),
+               static_cast<long long>(pool.now()), pool.SpaceWords(), deltas,
+               journal.ok() ? journal.value().size() : 0);
   return 0;
 }
 
@@ -622,6 +842,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.command == "sample") return RunSample(args);
+  if (args.command == "recover") return RunRecover(args);
   if (args.command == "count") return RunCount(args);
   if (args.command == "stats") return RunStats(args);
   if (args.command == "generate") return RunGenerate(args);
