@@ -1,0 +1,269 @@
+// Serving-path overhead: what the rl0_serve line protocol costs on top
+// of feeding a windowed sharded pool directly.
+//
+// One paper-style noisy stream (~50k points, dim 5) is fed three ways,
+// same sampler options, window and shard count each time:
+//
+//   direct   — ShardedSwSamplerPool::FeedBorrowed in 512-point chunks +
+//              one final Drain (the in-process ceiling);
+//   served   — an in-process Server on a unix socket, one client
+//              sending the same chunks as FEED commands (%.17g coords)
+//              and awaiting each "OK fed=" — prices text encode/decode,
+//              socket hops, registry locking and the CVM companion;
+//   served+q — as served, with a digest standing query (every=1000)
+//              firing into a second, draining subscriber connection —
+//              adds trigger-boundary chunk splitting and EVENT pushes.
+//
+// Output: a human-readable table on stderr and ONE LINE of JSON on
+// stdout. Append per PR:   ./build/bench_serve >> BENCH_serve.json
+// (one JSON document per line, newest last). RL0_REPEATS overrides the
+// per-path repeat count (default 3, best-of). Rows are marked
+// overhead_only on a single-core host, where the server's session and
+// fleet threads only price their own overhead.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/serve/protocol.h"
+#include "rl0/serve/server.h"
+#include "rl0/stream/generators.h"
+#include "rl0/stream/neardup.h"
+
+namespace {
+
+using rl0::NoisyDataset;
+using rl0::Point;
+using rl0::SamplerOptions;
+using rl0::ShardedSwSamplerPool;
+using rl0::Span;
+
+constexpr int64_t kWindow = 8192;
+constexpr size_t kShards = 4;
+constexpr size_t kChunk = 512;
+
+NoisyDataset ServeStream(uint64_t seed) {
+  const rl0::BaseDataset base = rl0::RandomUniform(1000, 5, seed, "Serve5");
+  rl0::NearDupOptions nd;
+  nd.max_dups = 100;
+  nd.seed = seed + 1;
+  return rl0::MakeNearDuplicates(base, nd);
+}
+
+SamplerOptions ServeOptions(const NoisyDataset& data) {
+  SamplerOptions opts;
+  opts.dim = data.dim;
+  opts.alpha = data.alpha;
+  opts.seed = 2018;
+  opts.expected_stream_length = data.size();
+  return opts;
+}
+
+// ------------------------------------------------- tiny blocking client
+
+int ConnectUnix(const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until one non-EVENT OK/ERR terminator; returns true on OK.
+bool AwaitOk(int fd, rl0::serve::LineDecoder* decoder) {
+  char buf[4096];
+  std::string line;
+  bool in_event = false;
+  for (;;) {
+    for (;;) {
+      const auto event = decoder->Next(&line);
+      if (event == rl0::serve::LineDecoder::Event::kNone) break;
+      if (event == rl0::serve::LineDecoder::Event::kOversized) continue;
+      if (in_event) {
+        if (line == "END") in_event = false;
+        continue;
+      }
+      if (line.rfind("EVENT", 0) == 0) {
+        in_event = true;
+        continue;
+      }
+      if (line.rfind("OK", 0) == 0) return true;
+      if (line.rfind("ERR", 0) == 0) return false;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    decoder->Append(buf, static_cast<size_t>(n));
+  }
+}
+
+std::string FeedCommand(const std::string& tenant,
+                        Span<const Point> points) {
+  std::string cmd = "FEED " + tenant;
+  char num[40];
+  for (size_t i = 0; i < points.size(); ++i) {
+    cmd += ' ';
+    for (size_t d = 0; d < points[i].dim(); ++d) {
+      std::snprintf(num, sizeof(num), "%.17g", points[i][d]);
+      if (d > 0) cmd += ',';
+      cmd += num;
+    }
+  }
+  cmd += '\n';
+  return cmd;
+}
+
+template <typename Run>
+double BestRate(int repeats, size_t points, Run run) {
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    run(rep);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+  }
+  return static_cast<double>(points) / best_seconds;
+}
+
+}  // namespace
+
+int main() {
+  int repeats = 3;
+  if (const char* env = std::getenv("RL0_REPEATS")) {
+    repeats = std::max(1, std::atoi(env));
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  const NoisyDataset data = ServeStream(2018);
+  const SamplerOptions opts = ServeOptions(data);
+  const Span<const Point> all(data.points.data(), data.points.size());
+
+  // Direct ceiling.
+  const double direct =
+      BestRate(repeats, data.size(), [&](int) {
+        auto pool = ShardedSwSamplerPool::Create(opts, kWindow, kShards)
+                        .value();
+        for (size_t off = 0; off < all.size(); off += kChunk) {
+          pool.FeedBorrowed(all.subspan(off, kChunk));
+        }
+        pool.Drain();
+      });
+
+  // One server hosts every repeat; each repeat is a fresh tenant.
+  rl0::serve::Server::Options server_options;
+  server_options.unix_path =
+      "/tmp/rl0-bench-" + std::to_string(::getpid()) + ".sock";
+  server_options.fleet_threads = kShards;
+  auto server = rl0::serve::Server::Start(server_options).value();
+
+  char create_tail[160];
+  std::snprintf(create_tail, sizeof(create_tail),
+                " dim=%zu alpha=%.17g window=%lld shards=%zu seed=2018 "
+                "m=%zu\n",
+                opts.dim, opts.alpha, static_cast<long long>(kWindow),
+                kShards, data.size());
+
+  int tenant_counter = 0;
+  const auto serve_run = [&](bool subscribe) {
+    const std::string tenant = "b" + std::to_string(tenant_counter++);
+    const int fd = ConnectUnix(server_options.unix_path);
+    if (fd < 0) std::abort();
+    rl0::serve::LineDecoder decoder(1 << 20);
+    if (!SendAll(fd, "CREATE " + tenant + create_tail) ||
+        !AwaitOk(fd, &decoder)) {
+      std::abort();
+    }
+    int sub_fd = -1;
+    std::thread drainer;
+    if (subscribe) {
+      sub_fd = ConnectUnix(server_options.unix_path);
+      rl0::serve::LineDecoder sub_decoder(1 << 20);
+      if (sub_fd < 0 ||
+          !SendAll(sub_fd, "SUBSCRIBE " + tenant + " digest every=1000\n") ||
+          !AwaitOk(sub_fd, &sub_decoder)) {
+        std::abort();
+      }
+      drainer = std::thread([sub_fd] {
+        char buf[4096];
+        while (::recv(sub_fd, buf, sizeof(buf), 0) > 0) {
+        }
+      });
+    }
+    for (size_t off = 0; off < all.size(); off += kChunk) {
+      if (!SendAll(fd, FeedCommand(tenant, all.subspan(off, kChunk))) ||
+          !AwaitOk(fd, &decoder)) {
+        std::abort();
+      }
+    }
+    if (!SendAll(fd, "CLOSE " + tenant + "\n") || !AwaitOk(fd, &decoder)) {
+      std::abort();
+    }
+    ::close(fd);
+    if (subscribe) {
+      ::shutdown(sub_fd, SHUT_RDWR);
+      drainer.join();
+      ::close(sub_fd);
+    }
+  };
+
+  const double served =
+      BestRate(repeats, data.size(), [&](int) { serve_run(false); });
+  const double served_sub =
+      BestRate(repeats, data.size(), [&](int) { serve_run(true); });
+  server->Shutdown();
+
+  std::fprintf(stderr,
+               "bench_serve: %zu points dim=%zu shards=%zu window=%lld\n"
+               "  direct   %12.0f points/sec\n"
+               "  served   %12.0f points/sec (%.2fx of direct)\n"
+               "  served+q %12.0f points/sec (%.2fx of direct)\n",
+               data.size(), opts.dim, kShards,
+               static_cast<long long>(kWindow), direct, served,
+               served / direct, served_sub, served_sub / direct);
+  std::printf(
+      "{\"bench\": \"serve\", \"points\": %zu, \"dim\": %zu, "
+      "\"shards\": %zu, \"window\": %lld, "
+      "\"direct_points_per_sec\": %.0f, "
+      "\"served_points_per_sec\": %.0f, \"served_relative\": %.3f, "
+      "\"served_subscribed_points_per_sec\": %.0f, "
+      "\"served_subscribed_relative\": %.3f%s}\n",
+      data.size(), opts.dim, kShards, static_cast<long long>(kWindow),
+      direct, served, served / direct, served_sub, served_sub / direct,
+      // The server adds session + fleet threads; on one core the
+      // comparison only prices their overhead.
+      cores == 1 ? ", \"overhead_only\": true" : "");
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "rl0/core/worker_fleet.h"
 #include "rl0/util/check.h"
 
 namespace rl0 {
@@ -10,7 +11,8 @@ IngestPool::IngestPool(std::vector<Sink> sinks,
                        std::vector<StampedSink> stamped_sinks,
                        std::vector<WatermarkSink> watermark_sinks,
                        const Options& options)
-    : queue_capacity_(options.queue_capacity < 1 ? 1
+    : fleet_(options.fleet),
+      queue_capacity_(options.queue_capacity < 1 ? 1
                                                  : options.queue_capacity),
       fed_(options.index_base) {
   RL0_CHECK(!sinks.empty());
@@ -29,8 +31,16 @@ IngestPool::IngestPool(std::vector<Sink> sinks,
                                             std::move(stamped),
                                             std::move(watermark)));
   }
-  for (std::unique_ptr<Lane>& lane : lanes_) {
-    lane->worker = std::thread([this, raw = lane.get()] { WorkerLoop(raw); });
+  if (fleet_ != nullptr) {
+    for (std::unique_ptr<Lane>& lane : lanes_) {
+      lane->fleet_id = fleet_->Register(
+          [this, raw = lane.get()] { return RunLaneOnce(raw); });
+    }
+  } else {
+    for (std::unique_ptr<Lane>& lane : lanes_) {
+      lane->worker =
+          std::thread([this, raw = lane.get()] { WorkerLoop(raw); });
+    }
   }
 }
 
@@ -48,30 +58,41 @@ IngestPool::IngestPool(std::vector<Sink> sinks)
 
 IngestPool::~IngestPool() { Stop(); }
 
+void IngestPool::ProcessChunk(Lane* lane, Chunk chunk) {
+  {
+    std::lock_guard<std::mutex> proc(lane->proc_mu);
+    if (chunk.watermark_only) {
+      lane->watermark_sink(chunk.watermark);
+    } else if (chunk.stamps != nullptr) {
+      lane->stamped_sink(Span<const Point>(chunk.data, chunk.size),
+                         Span<const int64_t>(chunk.stamps, chunk.size),
+                         chunk.index_base);
+    } else {
+      lane->sink(Span<const Point>(chunk.data, chunk.size),
+                 chunk.index_base);
+    }
+  }
+  chunk.owner.reset();  // release chunk storage before signalling
+  chunk.stamp_owner.reset();
+  {
+    std::lock_guard<std::mutex> done(lane->done_mu);
+    ++lane->completed;
+  }
+  lane->done_cv.notify_all();
+}
+
 void IngestPool::WorkerLoop(Lane* lane) {
   Chunk chunk;
   while (lane->queue.Pop(&chunk)) {
-    {
-      std::lock_guard<std::mutex> proc(lane->proc_mu);
-      if (chunk.watermark_only) {
-        lane->watermark_sink(chunk.watermark);
-      } else if (chunk.stamps != nullptr) {
-        lane->stamped_sink(Span<const Point>(chunk.data, chunk.size),
-                           Span<const int64_t>(chunk.stamps, chunk.size),
-                           chunk.index_base);
-      } else {
-        lane->sink(Span<const Point>(chunk.data, chunk.size),
-                   chunk.index_base);
-      }
-    }
-    chunk.owner.reset();  // release chunk storage before signalling
-    chunk.stamp_owner.reset();
-    {
-      std::lock_guard<std::mutex> done(lane->done_mu);
-      ++lane->completed;
-    }
-    lane->done_cv.notify_all();
+    ProcessChunk(lane, std::move(chunk));
   }
+}
+
+bool IngestPool::RunLaneOnce(Lane* lane) {
+  Chunk chunk;
+  if (!lane->queue.TryPop(&chunk)) return false;
+  ProcessChunk(lane, std::move(chunk));
+  return true;
 }
 
 void IngestPool::FeedChunk(Chunk chunk) {
@@ -108,6 +129,10 @@ void IngestPool::FeedChunk(Chunk chunk) {
   ++chunks_fed_;
   for (std::unique_ptr<Lane>& lane : lanes_) {
     lane->queue.Push(chunk);
+    // Fleet mode: wake a shared worker for this lane right after its
+    // push, so an earlier lane progresses even while a later lane's
+    // full queue blocks the loop.
+    if (fleet_ != nullptr) fleet_->Notify(lane->fleet_id);
   }
 }
 
@@ -237,6 +262,17 @@ void IngestPool::Stop() {
   // then their Pop returns false and the loop exits.
   for (std::unique_ptr<Lane>& lane : lanes_) {
     lane->queue.Close();
+  }
+  if (fleet_ != nullptr) {
+    // Fleet mode: finish the backlog (every queued chunk was Notify'd,
+    // so the fleet drains it), then withdraw the lanes. Deregister
+    // blocks until a lane's in-flight run ends, so after this loop the
+    // fleet never touches this pool again.
+    Drain();
+    for (std::unique_ptr<Lane>& lane : lanes_) {
+      fleet_->Deregister(lane->fleet_id);
+    }
+    return;
   }
   for (std::unique_ptr<Lane>& lane : lanes_) {
     if (lane->worker.joinable()) lane->worker.join();

@@ -50,6 +50,14 @@
 // empty-lane watermark stall). Watermark chunks ride the ordinary chunk
 // sequence: they raise the pool's stamp watermark, count toward Drain's
 // completion target, and never consume stream indices.
+//
+// Fleet mode (multi-tenant hosting): Options::fleet replaces the
+// dedicated per-lane threads with membership in a shared WorkerFleet
+// (core/worker_fleet.h) — many pools, one fixed thread set, fair
+// round-robin service across every registered lane. All contracts above
+// (index-base determinism, backpressure, Drain, QuiescedRun) hold
+// identically; a lane is still consumed in order by one worker at a
+// time. The fleet must outlive the pool (Stop deregisters the lanes).
 
 #ifndef RL0_CORE_INGEST_POOL_H_
 #define RL0_CORE_INGEST_POOL_H_
@@ -67,6 +75,8 @@
 #include "rl0/util/span.h"
 
 namespace rl0 {
+
+class WorkerFleet;
 
 /// A pool of persistent worker threads feeding per-lane samplers from a
 /// shared chunked stream.
@@ -94,6 +104,10 @@ class IngestPool {
     /// Global index of the first point fed through this pool (continues a
     /// stream that was partially consumed through another path).
     uint64_t index_base = 0;
+    /// When non-null, lanes are serviced by this shared fleet instead of
+    /// dedicated per-lane threads (multi-tenant hosting; see the file
+    /// comment). The fleet must outlive the pool.
+    WorkerFleet* fleet = nullptr;
   };
 
   /// Starts one worker thread per sink. Requires at least one sink.
@@ -226,7 +240,10 @@ class IngestPool {
     Sink sink;
     StampedSink stamped_sink;
     WatermarkSink watermark_sink;
+    /// Dedicated worker (default mode; unused in fleet mode).
     std::thread worker;
+    /// Fleet membership id (fleet mode; 0 in dedicated mode).
+    uint64_t fleet_id = 0;
     /// Held by the worker while a chunk is inside the sink (QuiescedRun
     /// acquires all lanes' mutexes to pause the pool between chunks).
     std::mutex proc_mu;
@@ -238,7 +255,14 @@ class IngestPool {
 
   void FeedChunk(Chunk chunk);
   void WorkerLoop(Lane* lane);
+  /// Runs one queued chunk through `lane`'s sink (shared by both worker
+  /// modes; holds proc_mu across the sink and signals done_cv).
+  void ProcessChunk(Lane* lane, Chunk chunk);
+  /// Fleet-mode work callback: consume at most one queued chunk.
+  bool RunLaneOnce(Lane* lane);
 
+  /// The shared fleet servicing the lanes (null = dedicated threads).
+  WorkerFleet* fleet_ = nullptr;
   const size_t queue_capacity_;
   /// Serializes index-base assignment with enqueue order (the determinism
   /// contract) and guards fed_/chunks_fed_/latest_stamp_.

@@ -1,0 +1,121 @@
+#include "rl0/core/worker_fleet.h"
+
+#include <utility>
+
+#include "rl0/util/check.h"
+
+namespace rl0 {
+
+WorkerFleet::WorkerFleet(size_t threads) {
+  if (threads < 1) threads = 1;
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerFleet::~WorkerFleet() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Pools must be stopped (and their lanes deregistered) before the
+    // fleet goes away — a member outliving its fleet would lose its
+    // worker silently.
+    RL0_CHECK(members_.empty());
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+uint64_t WorkerFleet::Register(LaneFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  auto member = std::make_unique<Member>();
+  member->fn = std::move(fn);
+  members_.emplace(id, std::move(member));
+  return id;
+}
+
+void WorkerFleet::Deregister(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = members_.find(id);
+  if (it == members_.end()) return;
+  Member* m = it->second.get();
+  m->dead = true;
+  if (m->enlisted) {
+    for (auto ring = ready_.begin(); ring != ready_.end(); ++ring) {
+      if (*ring == id) {
+        ready_.erase(ring);
+        break;
+      }
+    }
+    m->enlisted = false;
+  }
+  idle_cv_.wait(lock, [m] { return !m->running; });
+  members_.erase(it);
+}
+
+void WorkerFleet::Notify(uint64_t id) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = members_.find(id);
+    if (it == members_.end()) return;
+    Member* m = it->second.get();
+    if (m->dead) return;
+    if (m->running) {
+      // The run in flight may have already drained the queue before this
+      // notification's chunk landed; latch so the member re-enters the
+      // ring when the run ends.
+      m->renotify = true;
+    } else if (!m->enlisted) {
+      m->enlisted = true;
+      ready_.push_back(id);
+      wake = true;
+    }
+  }
+  if (wake) work_cv_.notify_one();
+}
+
+void WorkerFleet::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const uint64_t id = ready_.front();
+    ready_.pop_front();
+    auto it = members_.find(id);
+    if (it == members_.end()) continue;  // raced a Deregister
+    Member* m = it->second.get();
+    m->enlisted = false;
+    m->running = true;
+    m->renotify = false;
+    lock.unlock();
+    const bool did_work = m->fn();
+    lock.lock();
+    m->running = false;
+    // did_work: the queue may hold more chunks (we only ran one) — take
+    // another turn after everyone else. renotify: a producer pushed
+    // while we ran. Either way re-enlist; a spurious extra run settles
+    // by returning false.
+    if (!m->dead && (did_work || m->renotify)) {
+      m->enlisted = true;
+      ready_.push_back(id);
+      work_cv_.notify_one();
+    }
+    m->renotify = false;
+    idle_cv_.notify_all();
+  }
+}
+
+size_t WorkerFleet::lanes_registered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return members_.size();
+}
+
+}  // namespace rl0

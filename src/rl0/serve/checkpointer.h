@@ -1,0 +1,125 @@
+// Durability plumbing shared by rl0_cli and the rl0_serve registry.
+//
+// Wraps core/checkpoint.h's journal + incremental-checkpoint primitives
+// into the on-disk layout both front-ends speak:
+//
+//   <dir>/ckpt-000000.full     the base full checkpoint
+//   <dir>/ckpt-NNNNNN.delta    incremental cuts, NNNNNN = 1, 2, ...
+//   <dir>/journal.log          the fed-chunk journal (flushed at cuts)
+//
+// PoolCheckpointer journals every fed chunk and cuts the chain at a
+// configurable point cadence; LoadCheckpointChain folds a directory back
+// into {full checkpoint, journal valid-prefix} for RecoverPool. In the
+// server each tenant created with ckpt=1 owns one PoolCheckpointer
+// rooted at <checkpoint-root>/<tenant>.
+//
+// Recovery rebase: a delta can only be cut against the dirty-tracking
+// epoch a *full* cut marked on the live shard tables
+// (core/checkpoint.h). A freshly recovered pool has no epoch, and the
+// journal has moved past the on-disk chain — so Rebase() cuts a new
+// ckpt-000000.full (with the continuing journal sequence) and deletes
+// the stale delta files. Skipping the rebase and cutting a delta first
+// would chain it to a base the recovered state no longer matches.
+
+#ifndef RL0_SERVE_CHECKPOINTER_H_
+#define RL0_SERVE_CHECKPOINTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "rl0/core/checkpoint.h"
+#include "rl0/core/sharded_pool.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+namespace serve {
+
+/// Writes `bytes` to `path` (binary, truncating). Returns false on any
+/// I/O failure.
+bool WriteFileBytes(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file as bytes.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// "<dir>/ckpt-NNNNNN.full" / ".delta".
+std::string CheckpointFileName(const std::string& dir, size_t index,
+                               bool full);
+
+/// A checkpoint directory folded back to recovery inputs.
+struct LoadedChain {
+  /// ckpt-000000.full with every on-disk delta folded in — feed to
+  /// RecoverPool.
+  std::string checkpoint;
+  /// The journal's valid prefix (already truncated at the first torn
+  /// record; empty when no journal was flushed).
+  std::string journal;
+  /// Records in `journal` — the next_seq a continuing JournalWriter
+  /// must start from.
+  uint64_t journal_records = 0;
+  /// Delta files folded (introspection / status lines).
+  size_t deltas = 0;
+};
+
+/// Loads and folds <dir>'s chain. Fails when ckpt-000000.full is
+/// missing/corrupt or a delta refuses to fold; a missing journal is not
+/// an error (recovery from the last cut alone is exact).
+Result<LoadedChain> LoadCheckpointChain(const std::string& dir);
+
+/// Journals every chunk fed to `pool` and cuts the checkpoint chain
+/// under `dir`: a full cut first, then deltas every `every` points
+/// (plus explicit Finish() cuts). The journal buffer is flushed to
+/// journal.log at every cut, so a crash between cuts loses at most the
+/// unflushed journal tail — never an acknowledged checkpoint.
+class PoolCheckpointer {
+ public:
+  /// Fresh tenant: empty journal, first cut writes ckpt-000000.full.
+  /// Attaches the journal tap to `pool`; `dim` is the point
+  /// dimensionality the journal frames. `every` == 0 means only
+  /// explicit Finish() cuts.
+  PoolCheckpointer(ShardedSwSamplerPool* pool, std::string dir,
+                   uint64_t every, size_t dim);
+
+  /// Recovered tenant: continue `chain.journal` at sequence
+  /// `chain.journal_records`. Call Rebase() before feeding.
+  PoolCheckpointer(ShardedSwSamplerPool* pool, std::string dir,
+                   uint64_t every, size_t dim, LoadedChain chain);
+
+  /// Detaches the journal tap.
+  ~PoolCheckpointer();
+
+  PoolCheckpointer(const PoolCheckpointer&) = delete;
+  PoolCheckpointer& operator=(const PoolCheckpointer&) = delete;
+
+  /// Post-recovery rebase: delete stale delta files, cut a fresh full
+  /// base at the continuing journal sequence (see file comment).
+  Status Rebase();
+
+  /// Call after feeding; cuts when the fed count crossed the next
+  /// `every` boundary. No-op at cadence 0.
+  Status MaybeCut();
+
+  /// An explicit cut (end of stream, FLUSH, tenant CLOSE).
+  Status Finish() { return Cut(); }
+
+  size_t cuts() const { return cuts_; }
+  size_t journal_bytes() const { return journal_.size(); }
+
+ private:
+  Status Cut();
+
+  ShardedSwSamplerPool* pool_;
+  std::string dir_;
+  uint64_t every_;
+  std::string journal_;  // declared before writer_ (writer appends here)
+  JournalWriter writer_;
+  std::string chain_;  // folded full checkpoint the next delta chains on
+  uint64_t next_cut_;
+  size_t cuts_ = 0;
+};
+
+}  // namespace serve
+}  // namespace rl0
+
+#endif  // RL0_SERVE_CHECKPOINTER_H_

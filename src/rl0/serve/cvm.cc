@@ -1,0 +1,52 @@
+#include "rl0/serve/cvm.h"
+
+#include <cstring>
+
+namespace rl0 {
+namespace serve {
+
+uint64_t PointKey(PointView point) {
+  // Chain the SplitMix64 finalizer over the coordinate bit patterns.
+  // memcpy (not a cast) keeps this well-defined; identical coordinate
+  // bytes — and only those — collide by construction.
+  uint64_t h = SplitMix64(0x463045F6ULL + point.dim());
+  for (size_t i = 0; i < point.dim(); ++i) {
+    uint64_t bits;
+    const double c = point[i];
+    std::memcpy(&bits, &c, sizeof(bits));
+    h = SplitMix64(h ^ bits);
+  }
+  return h;
+}
+
+CvmEstimator::CvmEstimator(size_t capacity, uint64_t seed)
+    : capacity_(capacity < 16 ? 16 : capacity),
+      rng_(SplitMix64(seed ^ 0x43564DULL)) {}  // "CVM"
+
+void CvmEstimator::Add(uint64_t key) {
+  ++observed_;
+  // CVM round: forget any prior decision for this key, then keep it
+  // with the current probability. When the buffer fills, thin it by a
+  // fair coin per key and halve p.
+  kept_.erase(key);
+  if (rng_.NextDouble() < p_) kept_.insert(key);
+  while (kept_.size() >= capacity_) {
+    for (auto it = kept_.begin(); it != kept_.end();) {
+      if (rng_.NextDouble() < 0.5) {
+        it = kept_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    p_ *= 0.5;
+    // (The loop repeats in the astronomically unlikely event no key was
+    // evicted; p halves again, so it terminates with probability 1.)
+  }
+}
+
+double CvmEstimator::Estimate() const {
+  return static_cast<double>(kept_.size()) / p_;
+}
+
+}  // namespace serve
+}  // namespace rl0

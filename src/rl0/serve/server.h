@@ -1,0 +1,145 @@
+// Connection layer of rl0_serve: sockets in, registry calls out.
+//
+// A Server listens on a unix socket and/or a loopback TCP port and runs
+// one session per accepted connection. Each session is two threads and
+// one bounded queue:
+//
+//   reader thread --> LineDecoder --> ParseCommand --> TenantRegistry
+//        |                                                  |
+//        |   responses (one string per command, in order)   |
+//        +-------------------> out queue <------------------+
+//                         (BoundedQueue<string>)   EVENT blocks from
+//                               |                  standing queries
+//                         writer thread --> socket
+//
+// Every queue item is one complete protocol unit — a full response
+// (data lines + status line) or a full EVENT block — so the single
+// writer can never interleave units, and responses stay in command
+// order because only the reader pushes them.
+//
+// Backpressure is end-to-end and allocation-bounded by construction: a
+// consumer that stops reading blocks its writer in send(), the out
+// queue fills to its fixed capacity, and the next producer — the
+// session's own reader, or a tenant feeder firing a standing query into
+// this session — blocks in Push. The feeder's stall propagates to ITS
+// client through TCP; nothing buffers unboundedly. A peer that stays
+// unwritable past the stall budget is dropped (queue closed, pending
+// sinks return false, subscriptions unsubscribed), so one dead consumer
+// cannot wedge a tenant forever.
+//
+// Shutdown order: stop accepting; raise the shutdown flag (readers exit
+// their poll loops and stall budgets shrink); CloseAll tenants — final
+// checkpoint cuts and FLUSH-driven trigger fires deliver to still-live
+// subscribers; then join every session. Deadlock-free because a stalled
+// delivery trips the shrunken budget instead of blocking CloseAll.
+
+#ifndef RL0_SERVE_SERVER_H_
+#define RL0_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rl0/serve/registry.h"
+#include "rl0/util/bounded_queue.h"
+#include "rl0/util/status.h"
+
+namespace rl0 {
+namespace serve {
+
+class Server {
+ public:
+  struct Options {
+    /// Unix-domain socket path (empty = no unix listener).
+    std::string unix_path;
+    /// Loopback TCP port (0 = no TCP listener; pass -1 for an ephemeral
+    /// port, then read tcp_port()).
+    int tcp_port = 0;
+    /// TenantRegistry knobs.
+    size_t fleet_threads = 4;
+    std::string checkpoint_root;
+    /// Longest accepted protocol line (FEED batches bound this).
+    size_t max_line_bytes = 1 << 20;
+    /// Per-session out-queue capacity, in protocol units (responses /
+    /// EVENT blocks). The backpressure bound.
+    size_t event_queue_depth = 64;
+  };
+
+  /// Binds the listeners and starts the accept loop. At least one of
+  /// unix_path / tcp_port must be set.
+  static Result<std::unique_ptr<Server>> Start(const Options& options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Idempotent orderly shutdown (see file comment).
+  void Shutdown();
+
+  /// The TCP port actually bound (ephemeral requests resolve here); 0
+  /// without a TCP listener.
+  int tcp_port() const { return tcp_port_; }
+
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  TenantRegistry* registry() { return registry_.get(); }
+
+  /// High-water mark of any session's out queue since start — the
+  /// concurrency tests pin this ≤ event_queue_depth.
+  size_t MaxEventQueueDepth() const { return max_queue_depth_.load(); }
+
+  /// Sessions accepted over the server's lifetime.
+  size_t sessions_accepted() const { return sessions_accepted_.load(); }
+
+ private:
+  struct Session {
+    int fd = -1;
+    uint64_t id = 0;
+    BoundedQueue<std::string> out;
+    std::thread reader;
+    std::thread writer;
+    std::atomic<bool> done{false};
+
+    explicit Session(size_t queue_depth) : out(queue_depth) {}
+  };
+
+  explicit Server(const Options& options);
+
+  Status Bind();
+  void AcceptLoop();
+  void StartSession(int fd);
+  void ReaderLoop(const std::shared_ptr<Session>& session);
+  void WriterLoop(const std::shared_ptr<Session>& session);
+  /// Handles one line; returns false on QUIT.
+  bool HandleLine(const std::shared_ptr<Session>& session,
+                  const std::string& line);
+  void Respond(const std::shared_ptr<Session>& session, std::string block);
+  void NoteQueueDepth(size_t depth);
+  /// Joins sessions whose threads have finished (accept-loop hygiene).
+  void ReapDone();
+
+  Options options_;
+  std::unique_ptr<TenantRegistry> registry_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = 0;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> shut_down_done_{false};
+  std::thread accept_thread_;
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  std::atomic<size_t> max_queue_depth_{0};
+  std::atomic<size_t> sessions_accepted_{0};
+};
+
+}  // namespace serve
+}  // namespace rl0
+
+#endif  // RL0_SERVE_SERVER_H_

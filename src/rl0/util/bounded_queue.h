@@ -58,6 +58,20 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking Pop. Returns false when the queue is empty (closed or
+  /// not) — the shared-fleet consumers poll with this and park on the
+  /// fleet's own condition variable instead of the queue's.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
   /// Dequeues into `*out`, blocking while the queue is empty and open.
   /// Returns false iff the queue is closed and fully drained.
   bool Pop(T* out) {

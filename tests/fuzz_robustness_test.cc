@@ -16,6 +16,7 @@
 #include "rl0/core/sharded_pool.h"
 #include "rl0/core/snapshot.h"
 #include "rl0/core/sw_sampler.h"
+#include "rl0/serve/protocol.h"
 #include "rl0/stream/csv.h"
 #include "rl0/util/rng.h"
 
@@ -640,6 +641,164 @@ TEST(FuzzTest, RandomStreamsNeverViolateDefinition22) {
       }
       ASSERT_TRUE(near);
     }
+  }
+}
+
+// ------------------------- rl0_serve line protocol (serve/protocol.h)
+
+/// Runs arbitrary bytes through the server's decode→parse path exactly
+/// as a session reader would: every byte sequence must yield lines and
+/// oversize notices, every line a Command or a clean error — never a
+/// crash. Returns the number of complete lines seen.
+size_t DecodeAndParseAll(const std::string& wire, size_t max_line,
+                         Xoshiro256pp* rng) {
+  serve::LineDecoder decoder(max_line);
+  // Random split points exercise partial-arrival reassembly.
+  size_t offset = 0;
+  while (offset < wire.size()) {
+    const size_t n = std::min<size_t>(wire.size() - offset,
+                                      1 + rng->NextBounded(97));
+    decoder.Append(wire.data() + offset, n);
+    offset += n;
+  }
+  size_t lines = 0;
+  std::string line;
+  for (;;) {
+    const auto event = decoder.Next(&line);
+    if (event == serve::LineDecoder::Event::kNone) break;
+    if (event == serve::LineDecoder::Event::kOversized) continue;
+    ++lines;
+    const auto parsed = serve::ParseCommand(line);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty()) << line;
+    }
+  }
+  return lines;
+}
+
+TEST(FuzzTest, ServeProtocolNeverCrashesOnRandomBytes) {
+  Xoshiro256pp rng(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string wire = RandomBytes(rng.NextBounded(400), &rng);
+    DecodeAndParseAll(wire, 64, &rng);
+  }
+}
+
+TEST(FuzzTest, ServeProtocolNeverCrashesOnProtocolShapedGarbage) {
+  // Garbage built from real protocol vocabulary: verbs, key=value
+  // fragments, stamps, numbers — far likelier to reach deep parser
+  // branches than raw bytes.
+  Xoshiro256pp rng(43);
+  const char* words[] = {
+      "CREATE",   "FEED",      "FEEDSTAMPED", "SAMPLE",  "SUBSCRIBE",
+      "STATS",    "FLUSH",     "CLOSE",       "QUIT",    "PING",
+      "t1",       "dim=",      "alpha=",      "window=", "mode=",
+      "seq",      "time",      "late",        "every=",  "q=",
+      "seed=",    "threshold=", "1,2",        "3.5,4.5", "10@1,2",
+      "@",        "=",         "1e308",       "-1e309",  "nan",
+      "inf",      "0x10",      "18446744073709551616",   ",,",
+      "1,",       ",1",        "@@",          "-",       "digest",
+      "f0",       "churn",     "\r",          "lateness=",
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string wire;
+    const size_t tokens = 1 + rng.NextBounded(40);
+    for (size_t i = 0; i < tokens; ++i) {
+      wire += words[rng.NextBounded(sizeof(words) / sizeof(words[0]))];
+      wire += rng.NextBernoulli(0.3) ? "\n" : " ";
+    }
+    wire += "\n";
+    DecodeAndParseAll(wire, 256, &rng);
+  }
+}
+
+TEST(FuzzTest, ServeProtocolSurvivesTruncatedAndMutatedValidCommands) {
+  Xoshiro256pp rng(47);
+  const std::string valid[] = {
+      "CREATE t dim=3 alpha=0.5 window=100 mode=late lateness=10 "
+      "shards=2 seed=9 metric=l1 m=1000 k=2 reservoir=1 filter=0",
+      "FEED t 1.5,2.5,3 4,5,6 7,8,9",
+      "FEEDSTAMPED t 10@1,2,3 12@4,5,6 15@7,8,9",
+      "SAMPLE t q=3 seed=17",
+      "SUBSCRIBE t churn every=25 threshold=0.125",
+      "UNSUBSCRIBE t 7",
+  };
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string line = valid[rng.NextBounded(6)];
+    // Truncate, splice or flip a few bytes.
+    if (rng.NextBernoulli(0.5)) {
+      line.resize(rng.NextBounded(line.size() + 1));
+    }
+    const size_t flips = rng.NextBounded(4);
+    for (size_t f = 0; f < flips && !line.empty(); ++f) {
+      line[rng.NextBounded(line.size())] =
+          static_cast<char>(rng() & 0x7F);
+    }
+    const auto parsed = serve::ParseCommand(line);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty()) << line;
+    }
+  }
+}
+
+TEST(FuzzTest, ServeDecoderGiantTokensStayBounded) {
+  // Multi-megabyte single "lines" against a small cap: memory stays
+  // bounded at the cap and the stream recovers at the next newline.
+  Xoshiro256pp rng(53);
+  serve::LineDecoder decoder(1024);
+  std::string chunk(64 * 1024, 'a');
+  for (int i = 0; i < 64; ++i) {
+    decoder.Append(chunk.data(), chunk.size());
+    ASSERT_LE(decoder.buffered_bytes(), 1025u);
+  }
+  decoder.Append("\nPING\n", 6);
+  std::string line;
+  size_t notices = 0;
+  size_t lines = 0;
+  for (;;) {
+    const auto event = decoder.Next(&line);
+    if (event == serve::LineDecoder::Event::kNone) break;
+    if (event == serve::LineDecoder::Event::kOversized) {
+      ++notices;
+    } else {
+      ++lines;
+      EXPECT_EQ(line, "PING");
+    }
+  }
+  EXPECT_EQ(notices, 1u);  // one notice for the whole 4MB run
+  EXPECT_EQ(lines, 1u);
+}
+
+TEST(FuzzTest, ServeDecoderPipelinedRoundTripUnderRandomSplits) {
+  // A long pipelined script of valid commands must survive any
+  // re-chunking bit-for-bit: same lines, same order.
+  Xoshiro256pp rng(59);
+  std::vector<std::string> script;
+  for (int i = 0; i < 200; ++i) {
+    script.push_back("FEED t" + std::to_string(i % 7) + " " +
+                     std::to_string(i) + "," + std::to_string(i + 1));
+  }
+  std::string wire;
+  for (const std::string& s : script) wire += s + "\n";
+
+  for (int trial = 0; trial < 20; ++trial) {
+    serve::LineDecoder decoder(1 << 16);
+    size_t offset = 0;
+    while (offset < wire.size()) {
+      const size_t n = std::min<size_t>(wire.size() - offset,
+                                        1 + rng.NextBounded(31));
+      decoder.Append(wire.data() + offset, n);
+      offset += n;
+    }
+    std::string line;
+    size_t index = 0;
+    while (decoder.Next(&line) == serve::LineDecoder::Event::kLine) {
+      ASSERT_LT(index, script.size());
+      EXPECT_EQ(line, script[index]);
+      ASSERT_TRUE(serve::ParseCommand(line).ok()) << line;
+      ++index;
+    }
+    EXPECT_EQ(index, script.size());
   }
 }
 

@@ -1,0 +1,189 @@
+// In-process harness for the rl0_serve test battery: starts a real
+// Server on a unix socket and speaks the wire protocol through plain
+// blocking sockets, so the tests cover the exact byte path a client
+// sees — LineDecoder framing, command dispatch, response ordering and
+// push-style EVENT delivery included.
+//
+// TestClient::Command sends one line and collects the response unit
+// (data lines + the terminating OK/ERR). EVENT blocks that arrive
+// in between — standing queries fire on the feeder's thread but are
+// delivered to the subscriber's queue — are diverted whole into
+// events() for separate inspection.
+
+#ifndef RL0_TESTS_SERVE_TEST_UTIL_H_
+#define RL0_TESTS_SERVE_TEST_UTIL_H_
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rl0/serve/protocol.h"
+#include "rl0/serve/server.h"
+
+namespace rl0 {
+namespace serve {
+
+/// A unique, short (sun_path-safe) socket path for this test process.
+inline std::string TestSocketPath(const char* tag) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/tmp/rl0s-%d-%s.sock",
+                static_cast<int>(::getpid()), tag);
+  return buf;
+}
+
+class TestClient {
+ public:
+  explicit TestClient(const std::string& unix_path) : decoder_(1 << 20) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() { Close(); }
+
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Sends raw bytes exactly as given (no newline appended) — partial
+  /// and pipelined framing tests build lines by hand.
+  bool SendRaw(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Sends `line` and returns its response unit: every data line plus
+  /// the final OK/ERR line. EVENT blocks arriving first or in between
+  /// are diverted to events(). On I/O failure or timeout the returned
+  /// vector ends with "<io error>" so expectations fail loudly.
+  std::vector<std::string> Command(const std::string& line,
+                                   int timeout_ms = 10000) {
+    if (!SendLine(line)) return {"<io error>"};
+    return ReadUnit(timeout_ms);
+  }
+
+  /// Reads one response unit without sending anything.
+  std::vector<std::string> ReadUnit(int timeout_ms = 10000) {
+    std::vector<std::string> unit;
+    std::string text;
+    bool in_event = false;
+    std::vector<std::string> event;
+    for (;;) {
+      if (!NextLine(&text, timeout_ms)) {
+        unit.push_back("<io error>");
+        return unit;
+      }
+      if (in_event) {
+        event.push_back(text);
+        if (text == "END") {
+          events_.push_back(std::move(event));
+          event.clear();
+          in_event = false;
+        }
+        continue;
+      }
+      if (text.rfind("EVENT", 0) == 0) {
+        in_event = true;
+        event.assign(1, text);
+        continue;
+      }
+      unit.push_back(text);
+      if (text.rfind("OK", 0) == 0 || text.rfind("ERR", 0) == 0) {
+        return unit;
+      }
+    }
+  }
+
+  /// Blocks until at least `count` EVENT blocks have been collected
+  /// (draining the socket) or the timeout passes.
+  bool WaitForEvents(size_t count, int timeout_ms = 10000) {
+    std::string text;
+    std::vector<std::string> event;
+    bool in_event = false;
+    while (events_.size() < count) {
+      if (!NextLine(&text, timeout_ms)) return false;
+      if (in_event) {
+        event.push_back(text);
+        if (text == "END") {
+          events_.push_back(std::move(event));
+          event.clear();
+          in_event = false;
+        }
+        continue;
+      }
+      if (text.rfind("EVENT", 0) == 0) {
+        in_event = true;
+        event.assign(1, text);
+      }
+      // Stray non-event lines during a pure wait would be a framing bug;
+      // drop them so the wait times out and the test fails visibly.
+    }
+    return true;
+  }
+
+  /// EVENT blocks collected so far, one inner vector per block
+  /// ("EVENT ..." through "END").
+  const std::vector<std::vector<std::string>>& events() const {
+    return events_;
+  }
+
+ private:
+  /// One decoded line, reading more bytes as needed.
+  bool NextLine(std::string* out, int timeout_ms) {
+    for (;;) {
+      const auto event = decoder_.Next(out);
+      if (event == LineDecoder::Event::kLine) return true;
+      if (event == LineDecoder::Event::kOversized) continue;
+      pollfd pfd = {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) return false;
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      decoder_.Append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  LineDecoder decoder_;
+  std::vector<std::vector<std::string>> events_;
+};
+
+}  // namespace serve
+}  // namespace rl0
+
+#endif  // RL0_TESTS_SERVE_TEST_UTIL_H_

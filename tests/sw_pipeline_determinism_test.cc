@@ -40,6 +40,7 @@
 #include "rl0/core/dup_filter.h"
 #include "rl0/core/sharded_pool.h"
 #include "rl0/core/snapshot.h"
+#include "rl0/core/worker_fleet.h"
 #include "rl0/core/sw_fixed_sampler.h"
 #include "rl0/core/sw_sampler.h"
 #include "rl0/util/rng.h"
@@ -694,6 +695,66 @@ TEST(SwPipelineDeterminismTest, FixedRateLevelZeroTracksExactWindowGroups) {
       expected.insert({g, truth.latest_in_window[g]});
     }
     EXPECT_EQ(tracked, expected) << "at cut " << cut;
+  }
+}
+
+TEST(SwPipelineDeterminismTest, FleetModeBitIdenticalToDedicatedThreads) {
+  // Lanes serviced by a shared WorkerFleet (the rl0_serve hosting mode)
+  // must be observationally identical to dedicated per-lane threads:
+  // which thread runs a lane's callback can never reach sampler state.
+  // Two pools share one 2-thread fleet while a third runs dedicated
+  // threads; same stream, different chunkings — per-shard level state,
+  // snapshot bytes and query draws must all match.
+  const auto points = RevisitStream(6000, 40, 404);
+  SamplerOptions opts = BaseOptions(21);
+  const int64_t window = 900;
+  const size_t shards = 3;
+
+  WorkerFleet fleet(2);
+  IngestPool::Options fleet_pipe;
+  fleet_pipe.fleet = &fleet;
+
+  auto fleet_a =
+      ShardedSwSamplerPool::Create(opts, window, shards, fleet_pipe);
+  auto fleet_b =
+      ShardedSwSamplerPool::Create(opts, window, shards, fleet_pipe);
+  auto dedicated = ShardedSwSamplerPool::Create(opts, window, shards);
+  ASSERT_TRUE(fleet_a.ok());
+  ASSERT_TRUE(fleet_b.ok());
+  ASSERT_TRUE(dedicated.ok());
+
+  Span<const Point> span(points.data(), points.size());
+  FeedRandomChunks(&fleet_a.value(), span, /*chunk_seed=*/7,
+                   /*max_chunk=*/512);
+  FeedRandomChunks(&fleet_b.value(), span, /*chunk_seed=*/1234,
+                   /*max_chunk=*/63, /*drain_between=*/true);
+  FeedRandomChunks(&dedicated.value(), span, /*chunk_seed=*/99,
+                   /*max_chunk=*/2048);
+
+  for (size_t s = 0; s < shards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    ExpectSameLevelState(fleet_a.value().shard(s),
+                         dedicated.value().shard(s));
+    ExpectSameLevelState(fleet_b.value().shard(s),
+                         dedicated.value().shard(s));
+    std::string fleet_bytes, dedicated_bytes;
+    ASSERT_TRUE(
+        SnapshotSamplerSW(fleet_a.value().shard(s), &fleet_bytes).ok());
+    ASSERT_TRUE(
+        SnapshotSamplerSW(dedicated.value().shard(s), &dedicated_bytes)
+            .ok());
+    EXPECT_EQ(fleet_bytes, dedicated_bytes);
+  }
+
+  Xoshiro256pp rng_fleet(5), rng_dedicated(5);
+  for (int q = 0; q < 8; ++q) {
+    const auto a = fleet_a.value().SampleLatest(&rng_fleet);
+    const auto b = dedicated.value().SampleLatest(&rng_dedicated);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->point, b->point);
+      EXPECT_EQ(a->stream_index, b->stream_index);
+    }
   }
 }
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Differential smoke for the standing-query server: rl0_serve driven
+# through rl0_client must return samples BYTE-IDENTICAL to the offline
+# `rl0_cli sample` pipeline in all three windowing modes (sequence,
+# time, bounded-lateness), given the same sampler options, window,
+# shard count, seed and expected stream length (m=...).
+#
+# The only permitted divergence: the CLI's time-mode output appends
+# " stamp N" (it keeps the full stamp array; the server does not), so
+# that suffix is stripped from the CLI side before diffing.
+#
+# Usage: tools/ci_serve_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+for bin in rl0_cli rl0_serve rl0_client; do
+  [[ -x "$BUILD/$bin" ]] || { echo "missing $BUILD/$bin" >&2; exit 1; }
+done
+
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "$SERVER_PID" ]] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# One dataset per mode, shared seed so m is identical.
+"$BUILD/rl0_cli" generate --dataset rand5 --seed 7 > "$TMP/seq.csv"
+"$BUILD/rl0_cli" generate --dataset rand5 --seed 7 --time > "$TMP/time.csv"
+"$BUILD/rl0_cli" generate --dataset rand5 --seed 7 --time --lateness 50 \
+  > "$TMP/late.csv"
+M=$(grep -vc '^#' "$TMP/seq.csv")
+echo "smoke: $M points per stream"
+
+"$BUILD/rl0_serve" --unix "$TMP/sock" --threads 4 \
+  --checkpoint-dir "$TMP/ck" > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 100); do
+  grep -q listening "$TMP/server.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q listening "$TMP/server.log" || {
+  echo "server never came up:" >&2; cat "$TMP/server.log" >&2; exit 1;
+}
+
+client() { "$BUILD/rl0_client" --unix "$TMP/sock" "$@"; }
+
+client \
+  "CREATE s dim=5 alpha=0.5 window=2000 shards=4 seed=42 m=$M" \
+  "CREATE t dim=5 alpha=0.5 window=4000 mode=time shards=4 seed=42 m=$M" \
+  "CREATE l dim=5 alpha=0.5 window=4000 mode=late lateness=50 shards=4 seed=42 m=$M"
+client --feed-csv "$TMP/seq.csv" --tenant s --chunk 1000
+client --feed-csv "$TMP/time.csv" --tenant t --stamped --chunk 1000
+client --feed-csv "$TMP/late.csv" --tenant l --stamped --lateness 50 \
+  --chunk 1000
+client "FLUSH l" > /dev/null
+
+client "SAMPLE s q=3 seed=42" | sed -n 's/^ITEM //p' > "$TMP/s.server"
+client "SAMPLE t q=3 seed=42" | sed -n 's/^ITEM //p' > "$TMP/t.server"
+client "SAMPLE l q=3 seed=42" | sed -n 's/^ITEM //p' > "$TMP/l.server"
+
+"$BUILD/rl0_cli" sample --alpha 0.5 --window 2000 --shards 4 --seed 42 \
+  --queries 3 "$TMP/seq.csv" 2> /dev/null > "$TMP/s.cli"
+"$BUILD/rl0_cli" sample --alpha 0.5 --window 4000 --time --shards 4 \
+  --seed 42 --queries 3 "$TMP/time.csv" 2> /dev/null \
+  | sed 's/ stamp -\{0,1\}[0-9]*$//' > "$TMP/t.cli"
+"$BUILD/rl0_cli" sample --alpha 0.5 --window 4000 --time --lateness 50 \
+  --shards 4 --seed 42 --queries 3 "$TMP/late.csv" 2> /dev/null \
+  | sed 's/ stamp -\{0,1\}[0-9]*$//' > "$TMP/l.cli"
+
+for mode in s t l; do
+  [[ -s "$TMP/$mode.server" ]] || {
+    echo "smoke: mode $mode produced no samples" >&2; exit 1;
+  }
+  diff -u "$TMP/$mode.cli" "$TMP/$mode.server" || {
+    echo "smoke: mode $mode diverged from rl0_cli" >&2; exit 1;
+  }
+done
+
+# Checkpointed tenant round-trip: CLOSE then recover must return the
+# same samples as before the restart of the tenant.
+client \
+  "CREATE ck dim=5 alpha=0.5 window=2000 shards=4 seed=42 m=$M ckpt=1 every=512" \
+  > /dev/null
+client --feed-csv "$TMP/seq.csv" --tenant ck --chunk 1000
+client "SAMPLE ck q=3 seed=42" | sed -n 's/^ITEM //p' > "$TMP/ck.before"
+client "CLOSE ck" > /dev/null
+client \
+  "CREATE ck dim=5 alpha=0.5 window=2000 shards=4 seed=42 m=$M ckpt=1 recover=1" \
+  > /dev/null
+client "SAMPLE ck q=3 seed=42" | sed -n 's/^ITEM //p' > "$TMP/ck.after"
+diff -u "$TMP/ck.before" "$TMP/ck.after" || {
+  echo "smoke: checkpoint recover diverged" >&2; exit 1;
+}
+diff -u "$TMP/s.cli" "$TMP/ck.after" > /dev/null || {
+  echo "smoke: recovered tenant diverged from rl0_cli" >&2; exit 1;
+}
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q "shutting down" "$TMP/server.log" || {
+  echo "smoke: server did not shut down cleanly" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+}
+echo "smoke: all three modes byte-identical to rl0_cli; recover OK"

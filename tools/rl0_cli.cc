@@ -27,6 +27,7 @@
 #include "rl0/core/reorder_buffer.h"
 #include "rl0/core/sharded_pool.h"
 #include "rl0/core/sw_sampler.h"
+#include "rl0/serve/checkpointer.h"
 #include "rl0/stream/csv.h"
 #include "rl0/stream/generators.h"
 #include "rl0/stream/neardup.h"
@@ -264,102 +265,18 @@ rl0::Result<std::vector<Point>> LoadPoints(const Args& args) {
 
 // ------------------------------------------- checkpointing (pool paths)
 
-bool WriteFileBytes(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  return static_cast<bool>(out);
+/// The journal + incremental-chain machinery lives in
+/// rl0/serve/checkpointer.h so the standing-query server shares the
+/// exact on-disk layout with this tool.
+using PoolCheckpointer = rl0::serve::PoolCheckpointer;
+
+/// Runs one checkpointer call that the CLI treats as fatal (exit 2).
+bool CheckpointOk(const rl0::Status& status) {
+  if (status.ok()) return true;
+  std::fprintf(stderr, "rl0_cli: checkpoint failed: %s\n",
+               status.ToString().c_str());
+  return false;
 }
-
-rl0::Result<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return rl0::Status::InvalidArgument("cannot open " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) return rl0::Status::Internal("read failed: " + path);
-  return bytes;
-}
-
-std::string CheckpointName(const std::string& dir, size_t index, bool full) {
-  char name[48];
-  std::snprintf(name, sizeof(name), "ckpt-%06zu.%s", index,
-                full ? "full" : "delta");
-  return dir + "/" + name;
-}
-
-/// Journals every fed chunk and cuts an incremental checkpoint chain
-/// under --checkpoint-dir: ckpt-000000.full, then ckpt-NNNNNN.delta
-/// every --checkpoint-every points (plus a final cut at end of stream).
-/// The journal buffer is flushed to D/journal.log at every cut, so a
-/// crash between cuts loses at most the unflushed journal tail — never
-/// an acknowledged checkpoint.
-class PoolCheckpointer {
- public:
-  PoolCheckpointer(rl0::ShardedSwSamplerPool* pool, const Args& args,
-                   size_t dim)
-      : pool_(pool),
-        dir_(args.checkpoint_dir),
-        every_(args.checkpoint_every),
-        writer_(&journal_, dim),
-        next_cut_(args.checkpoint_every) {
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);  // best-effort; the
-    rl0::AttachJournal(pool, &writer_);  // first Cut reports a bad dir
-  }
-
-  /// Call after each fed chunk; cuts when the fed count crosses the
-  /// next --checkpoint-every boundary. No-op without --checkpoint-every.
-  bool MaybeCut() {
-    if (every_ == 0 || pool_->points_fed() < next_cut_) return true;
-    while (pool_->points_fed() >= next_cut_) next_cut_ += every_;
-    return Cut();
-  }
-
-  /// Final cut after the stream is fully fed (and flushed/drained).
-  bool Finish() { return Cut(); }
-
-  size_t cuts() const { return cuts_; }
-  size_t journal_bytes() const { return journal_.size(); }
-
- private:
-  bool Cut() {
-    pool_->Drain();
-    const uint64_t seq = writer_.next_seq();
-    std::string blob;
-    const bool full = chain_.empty();
-    rl0::Status status =
-        full ? rl0::CheckpointPool(pool_, seq, &blob)
-             : rl0::CheckpointPoolDelta(pool_, chain_, seq, &blob);
-    if (status.ok() && !full) {
-      std::string folded;
-      status = rl0::FoldPoolDelta(chain_, blob, &folded);
-      if (status.ok()) chain_ = std::move(folded);
-    } else if (status.ok()) {
-      chain_ = blob;
-    }
-    if (!status.ok()) {
-      std::fprintf(stderr, "rl0_cli: checkpoint failed: %s\n",
-                   status.ToString().c_str());
-      return false;
-    }
-    if (!WriteFileBytes(CheckpointName(dir_, cuts_, full), blob) ||
-        !WriteFileBytes(dir_ + "/journal.log", journal_)) {
-      std::fprintf(stderr, "rl0_cli: cannot write checkpoint files in '%s'\n",
-                   dir_.c_str());
-      return false;
-    }
-    ++cuts_;
-    return true;
-  }
-
-  rl0::ShardedSwSamplerPool* pool_;
-  std::string dir_;
-  uint64_t every_;
-  std::string journal_;
-  rl0::JournalWriter writer_;
-  std::string chain_;  // folded full checkpoint the next delta chains on
-  uint64_t next_cut_;
-  size_t cuts_ = 0;
-};
 
 std::string CheckpointNote(const PoolCheckpointer* ckpt) {
   if (ckpt == nullptr) return std::string();
@@ -465,7 +382,9 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
     rl0::ShardedSwSamplerPool sw_pool = std::move(pool).value();
     std::unique_ptr<PoolCheckpointer> ckpt;
     if (!args.checkpoint_dir.empty()) {
-      ckpt = std::make_unique<PoolCheckpointer>(&sw_pool, args, opts.dim);
+      ckpt = std::make_unique<PoolCheckpointer>(&sw_pool, args.checkpoint_dir,
+                                                args.checkpoint_every,
+                                                opts.dim);
     }
     const rl0::Span<const Point> all_points(points);
     const rl0::Span<const int64_t> all_stamps(stamps);
@@ -476,7 +395,7 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
       for (size_t offset = 0; offset < all_points.size(); offset += chunk) {
         sw_pool.FeedStampedLate(all_points.subspan(offset, chunk),
                                 all_stamps.subspan(offset, chunk));
-        if (ckpt && !ckpt->MaybeCut()) return 2;
+        if (ckpt && !CheckpointOk(ckpt->MaybeCut())) return 2;
       }
       sw_pool.FlushLate();
     } else if (ckpt) {
@@ -484,13 +403,13 @@ int RunSampleTime(const Args& args, rl0::Metric metric) {
       for (size_t offset = 0; offset < all_points.size(); offset += chunk) {
         sw_pool.FeedStamped(all_points.subspan(offset, chunk),
                             all_stamps.subspan(offset, chunk));
-        if (!ckpt->MaybeCut()) return 2;
+        if (!CheckpointOk(ckpt->MaybeCut())) return 2;
       }
     } else {
       sw_pool.FeedStampedAdaptive(points, stamps);
     }
     sw_pool.Drain();
-    if (ckpt && !ckpt->Finish()) return 2;
+    if (ckpt && !CheckpointOk(ckpt->Finish())) return 2;
     for (int q = 0; q < args.queries; ++q) {
       const auto sample = sw_pool.SampleLatest(&rng);
       if (!sample.has_value()) return Fail("window is empty");
@@ -579,16 +498,17 @@ int RunSample(const Args& args) {
       rl0::ShardedSwSamplerPool sw_pool = std::move(pool).value();
       std::unique_ptr<PoolCheckpointer> ckpt;
       if (!args.checkpoint_dir.empty()) {
-        ckpt = std::make_unique<PoolCheckpointer>(&sw_pool, args, opts.dim);
+        ckpt = std::make_unique<PoolCheckpointer>(
+            &sw_pool, args.checkpoint_dir, args.checkpoint_every, opts.dim);
       }
       const rl0::Span<const Point> all(points.value());
       const size_t chunk = 4096;
       for (size_t offset = 0; offset < all.size(); offset += chunk) {
         sw_pool.FeedBorrowed(all.subspan(offset, chunk));
-        if (ckpt && !ckpt->MaybeCut()) return 2;
+        if (ckpt && !CheckpointOk(ckpt->MaybeCut())) return 2;
       }
       sw_pool.Drain();
-      if (ckpt && !ckpt->Finish()) return 2;
+      if (ckpt && !CheckpointOk(ckpt->Finish())) return 2;
       for (int q = 0; q < args.queries; ++q) {
         const auto sample = sw_pool.SampleLatest(&rng);
         if (!sample.has_value()) return Fail("window is empty");
@@ -688,29 +608,13 @@ int RunRecover(const Args& args) {
   if (args.checkpoint_dir.empty()) {
     return Fail("recover requires --checkpoint-dir DIR");
   }
-  const std::string& dir = args.checkpoint_dir;
-  auto chain = ReadFileBytes(CheckpointName(dir, 0, /*full=*/true));
+  // Fold the on-disk chain (a missing journal means the run checkpointed
+  // but never flushed a record past the last cut — recovery from the cut
+  // alone is exact).
+  auto chain = rl0::serve::LoadCheckpointChain(args.checkpoint_dir);
   if (!chain.ok()) return Fail(chain.status().ToString());
-  std::string checkpoint = std::move(chain).value();
-  size_t deltas = 0;
-  for (size_t i = 1;; ++i) {
-    auto delta = ReadFileBytes(CheckpointName(dir, i, /*full=*/false));
-    if (!delta.ok()) break;  // end of the chain
-    std::string folded;
-    const rl0::Status status =
-        rl0::FoldPoolDelta(checkpoint, delta.value(), &folded);
-    if (!status.ok()) {
-      return Fail("folding " + CheckpointName(dir, i, false) + ": " +
-                  status.ToString());
-    }
-    checkpoint = std::move(folded);
-    ++deltas;
-  }
-  // A missing journal means the run checkpointed but never flushed a
-  // record past the last cut — recovery from the cut alone is exact.
-  auto journal = ReadFileBytes(dir + "/journal.log");
   auto recovered =
-      rl0::RecoverPool(checkpoint, journal.ok() ? journal.value() : "");
+      rl0::RecoverPool(chain.value().checkpoint, chain.value().journal);
   if (!recovered.ok()) return Fail(recovered.status().ToString());
   rl0::ShardedSwSamplerPool pool = std::move(recovered).value();
 
@@ -722,13 +626,18 @@ int RunRecover(const Args& args) {
                 sample->point.ToString().c_str(),
                 static_cast<unsigned long long>(sample->stream_index));
   }
+  // Replay rebuilt the duplicate filter and reorder stage too — report
+  // their counters just like the sample paths do, so a recovered run's
+  // summary is directly comparable to the original's.
   std::fprintf(stderr,
                "[recovered pool: %zu shards, %llu points, now=%lld, "
-               "space=%zu words; chain=1 full + %zu deltas, journal=%zuB]\n",
+               "space=%zu words; chain=1 full + %zu deltas, journal=%zuB%s]\n",
                pool.num_shards(),
                static_cast<unsigned long long>(pool.points_processed()),
-               static_cast<long long>(pool.now()), pool.SpaceWords(), deltas,
-               journal.ok() ? journal.value().size() : 0);
+               static_cast<long long>(pool.now()), pool.SpaceWords(),
+               chain.value().deltas, chain.value().journal.size(),
+               (FilterNote(pool.FilterStats()) + LateNote(pool.late_stats()))
+                   .c_str());
   return 0;
 }
 

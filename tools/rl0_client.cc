@@ -1,0 +1,324 @@
+// rl0_client — command-line client for rl0_serve.
+//
+// Connects to a running server over its unix socket or loopback TCP
+// port and speaks the line protocol (rl0/serve/protocol.h).
+//
+// Usage:
+//   rl0_client (--unix PATH | --port N) [mode]
+//
+// Modes (exactly one):
+//   <command> [<command> ...]   send each protocol command in order,
+//                               print every response line; exits
+//                               non-zero if any command got an ERR.
+//   --feed-csv FILE             stream a CSV point file to a tenant as
+//       --tenant T              FEED (or FEEDSTAMPED with --stamped,
+//       [--chunk N]             for CSVs with a leading stamp column)
+//       [--stamped]             commands of N points each (default 512),
+//       [--lateness L]          then print the final "OK fed=" tally;
+//                               --lateness admits stamps up to L behind
+//                               the file's running maximum (late-mode
+//                               tenants).
+//   --raw                       forward stdin lines verbatim, print
+//                               everything the server sends until EOF.
+//   --listen SECONDS            print whatever arrives (EVENT blocks
+//                               from standing queries) for N seconds.
+//
+// Coordinates are re-printed with %.17g on the feed path, so the double
+// values the server parses are bit-identical to the ones rl0_cli parses
+// from the same CSV — the CI smoke test relies on this to diff server
+// samples against one-shot CLI samples.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rl0/serve/protocol.h"
+#include "rl0/stream/csv.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rl0_client: %s\n", message.c_str());
+  return 1;
+}
+
+int Connect(const std::string& unix_path, int port) {
+  if (!unix_path.empty()) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (unix_path.size() >= sizeof(addr.sun_path)) return -1;
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads protocol lines; hands each to `line_fn`, which returns true to
+/// keep reading. Returns false on EOF/error before line_fn stopped.
+template <typename LineFn>
+bool ReadLines(int fd, LineFn line_fn) {
+  rl0::serve::LineDecoder decoder(1 << 20);
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    decoder.Append(buf, static_cast<size_t>(n));
+    std::string line;
+    for (;;) {
+      const auto event = decoder.Next(&line);
+      if (event == rl0::serve::LineDecoder::Event::kNone) break;
+      if (event == rl0::serve::LineDecoder::Event::kOversized) continue;
+      if (!line_fn(line)) return true;
+    }
+  }
+}
+
+/// Reads and prints one command's response: data lines, then the OK/ERR
+/// status line. EVENT blocks riding between responses are printed and
+/// skipped (they never end a response). Returns 0 on OK, 1 on ERR, 2 on
+/// a dropped connection.
+int ReadResponse(int fd) {
+  bool in_event = false;
+  int result = 2;
+  const bool clean = ReadLines(fd, [&](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    if (in_event) {
+      if (line == "END") in_event = false;
+      return true;
+    }
+    if (line.rfind("EVENT", 0) == 0) {
+      in_event = true;
+      return true;
+    }
+    if (line.rfind("OK", 0) == 0) {
+      result = 0;
+      return false;
+    }
+    if (line.rfind("ERR", 0) == 0) {
+      result = 1;
+      return false;
+    }
+    return true;  // a data line (ITEM/DATA/STAT)
+  });
+  std::fflush(stdout);
+  return clean ? result : 2;
+}
+
+int RunCommands(int fd, const std::vector<std::string>& commands) {
+  int rc = 0;
+  for (const std::string& command : commands) {
+    if (!SendAll(fd, command + "\n")) return Fail("connection lost");
+    const int one = ReadResponse(fd);
+    if (one == 2) return Fail("connection closed mid-response");
+    if (one != 0) rc = 1;
+  }
+  return rc;
+}
+
+int RunFeedCsv(int fd, const std::string& file, const std::string& tenant,
+               size_t chunk, bool stamped, int64_t lateness) {
+  std::vector<rl0::Point> points;
+  std::vector<int64_t> stamps;
+  if (stamped) {
+    auto csv = rl0::ReadCsvStampedPoints(file, lateness);
+    if (!csv.ok()) return Fail(csv.status().ToString());
+    points = std::move(csv.value().points);
+    stamps = std::move(csv.value().stamps);
+  } else {
+    auto csv = rl0::ReadCsvPoints(file);
+    if (!csv.ok()) return Fail(csv.status().ToString());
+    points = std::move(csv).value();
+  }
+  if (points.empty()) return Fail("no points in " + file);
+
+  uint64_t fed = 0;
+  char num[40];
+  for (size_t offset = 0; offset < points.size(); offset += chunk) {
+    const size_t end = std::min(points.size(), offset + chunk);
+    std::string command =
+        (stamped ? "FEEDSTAMPED " : "FEED ") + tenant;
+    for (size_t i = offset; i < end; ++i) {
+      command += ' ';
+      if (stamped) {
+        std::snprintf(num, sizeof(num), "%lld@",
+                      static_cast<long long>(stamps[i]));
+        command += num;
+      }
+      for (size_t d = 0; d < points[i].dim(); ++d) {
+        // %.17g round-trips doubles exactly through the server's strtod.
+        std::snprintf(num, sizeof(num), "%.17g", points[i][d]);
+        if (d > 0) command += ',';
+        command += num;
+      }
+    }
+    if (!SendAll(fd, command + "\n")) return Fail("connection lost");
+    // Swallow this batch's response quietly; report the final tally.
+    bool ok = false;
+    const bool clean = ReadLines(fd, [&](const std::string& line) {
+      if (line.rfind("EVENT", 0) == 0 || line.rfind("ITEM", 0) == 0 ||
+          line.rfind("DATA", 0) == 0 || line == "END") {
+        return true;
+      }
+      ok = line.rfind("OK", 0) == 0;
+      if (!ok) std::fprintf(stderr, "rl0_client: %s\n", line.c_str());
+      return false;
+    });
+    if (!clean || !ok) return Fail("feed rejected");
+    fed += end - offset;
+  }
+  std::printf("fed %llu points to %s\n",
+              static_cast<unsigned long long>(fed), tenant.c_str());
+  return 0;
+}
+
+int RunRaw(int fd) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!SendAll(fd, line + "\n")) return Fail("connection lost");
+    if (ReadResponse(fd) == 2) return Fail("connection closed");
+  }
+  return 0;
+}
+
+int RunListen(int fd, int seconds) {
+  rl0::serve::LineDecoder decoder(1 << 20);
+  char buf[4096];
+  const int deadline_ms = seconds * 1000;
+  int waited = 0;
+  while (waited < deadline_ms) {
+    pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) {
+      waited += 100;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    decoder.Append(buf, static_cast<size_t>(n));
+    std::string line;
+    while (decoder.Next(&line) == rl0::serve::LineDecoder::Event::kLine) {
+      std::printf("%s\n", line.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int port = 0;
+  std::string feed_csv;
+  std::string tenant;
+  size_t chunk = 512;
+  bool stamped = false;
+  long long lateness = 0;
+  bool raw = false;
+  int listen_seconds = 0;
+  std::vector<std::string> commands;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      unix_path = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--feed-csv" && has_value) {
+      feed_csv = argv[++i];
+    } else if (arg == "--tenant" && has_value) {
+      tenant = argv[++i];
+    } else if (arg == "--chunk" && has_value) {
+      const int value = std::atoi(argv[++i]);
+      if (value < 1) return Fail("bad --chunk");
+      chunk = static_cast<size_t>(value);
+    } else if (arg == "--stamped") {
+      stamped = true;
+    } else if (arg == "--lateness" && has_value) {
+      lateness = std::atoll(argv[++i]);
+      if (lateness < 0) return Fail("bad --lateness");
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg == "--listen" && has_value) {
+      listen_seconds = std::atoi(argv[++i]);
+      if (listen_seconds < 1) return Fail("bad --listen");
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown or incomplete option '" + arg + "'");
+    } else {
+      commands.push_back(arg);
+    }
+  }
+  if (unix_path.empty() && port == 0) {
+    return Fail("need --unix PATH or --port N");
+  }
+  if (!feed_csv.empty() && tenant.empty()) {
+    return Fail("--feed-csv requires --tenant T");
+  }
+
+  const int fd = Connect(unix_path, port);
+  if (fd < 0) return Fail("cannot connect");
+  int rc;
+  if (!feed_csv.empty()) {
+    rc = RunFeedCsv(fd, feed_csv, tenant, chunk, stamped, lateness);
+  } else if (raw) {
+    rc = RunRaw(fd);
+  } else if (listen_seconds > 0) {
+    rc = RunListen(fd, listen_seconds);
+  } else if (!commands.empty()) {
+    rc = RunCommands(fd, commands);
+  } else {
+    ::close(fd);
+    return Fail("nothing to do (give commands, --feed-csv, --raw or "
+                "--listen)");
+  }
+  ::close(fd);
+  return rc;
+}
