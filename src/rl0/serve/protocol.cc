@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 namespace rl0 {
@@ -369,7 +370,11 @@ Result<Command> ParseSubscribe(const std::vector<std::string>& tokens) {
     uint64_t u = 0;
     double d = 0.0;
     if (key == "every") {
-      if (!ParseU64Token(value, &u) || u == 0) {
+      // The registry stores fire cadences as int64 stream positions;
+      // every > INT64_MAX would wrap negative and break trigger math.
+      if (!ParseU64Token(value, &u) || u == 0 ||
+          u > static_cast<uint64_t>(
+                  std::numeric_limits<int64_t>::max())) {
         return Err("SUBSCRIBE: bad every");
       }
       cmd.every = u;

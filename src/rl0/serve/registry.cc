@@ -42,6 +42,22 @@ std::string F0Data(const CvmEstimator& cvm) {
   return buf;
 }
 
+/// Smallest multiple of `every` (> 0) strictly greater than `position`,
+/// computed arithmetically so a stream that leaps far ahead (epoch-ns
+/// stamps with a small cadence) costs O(1), not O(gap/every). Saturates
+/// at INT64_MAX instead of overflowing: a saturated trigger simply
+/// never fires again.
+int64_t NextFireAfter(int64_t position, int64_t every) {
+  int64_t k = position / every;
+  // Truncating division rounds toward zero; for negative non-multiples
+  // that already lands one multiple past `position`.
+  if (position >= 0 || position % every == 0) ++k;
+  if (k > 0 && k > std::numeric_limits<int64_t>::max() / every) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return k * every;
+}
+
 }  // namespace
 
 TenantRegistry::Tenant::Tenant(std::string tenant_name,
@@ -76,12 +92,19 @@ Status TenantRegistry::Create(const std::string& name,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (tenants_.count(name) != 0) {
+    if (tenants_.count(name) != 0 || !creating_.insert(name).second) {
       return Status::FailedPrecondition("tenant '" + name +
                                         "' already exists");
     }
   }
+  const Status status = BuildAndRegister(name, params);
+  std::lock_guard<std::mutex> lock(mu_);
+  creating_.erase(name);
+  return status;
+}
 
+Status TenantRegistry::BuildAndRegister(const std::string& name,
+                                        const CreateParams& params) {
   SamplerOptions opts;
   opts.dim = params.dim;
   opts.alpha = params.alpha;
@@ -130,10 +153,8 @@ Status TenantRegistry::Create(const std::string& name,
   }
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (!tenants_.emplace(name, std::move(tenant)).second) {
-    return Status::FailedPrecondition("tenant '" + name +
-                                      "' already exists");
-  }
+  // The creating_ reservation guarantees no rival insert of this name.
+  tenants_.emplace(name, std::move(tenant));
   return Status::OK();
 }
 
@@ -233,9 +254,9 @@ void TenantRegistry::FireDue(Tenant* t, int64_t position) {
     // clock, which at this point is the crossing point's position stamp
     // in every mode.
     FireSubscription(t, sub.get(), t->pool->now());
-    // One fire per crossing: skip every boundary the stream jumped
-    // over in a single batch.
-    while (sub->next_fire <= position) sub->next_fire += sub->every;
+    // One fire per crossing: jump straight past every boundary the
+    // stream skipped in a single batch.
+    sub->next_fire = NextFireAfter(position, sub->every);
   }
   t->subs.erase(
       std::remove_if(t->subs.begin(), t->subs.end(),
@@ -408,7 +429,7 @@ Result<uint64_t> TenantRegistry::Subscribe(const std::string& name,
       t->params.mode == TenantMode::kSequence
           ? static_cast<int64_t>(t->pool->points_fed())
           : std::max<int64_t>(t->pool->now(), 0);
-  sub->next_fire = (clock / sub->every + 1) * sub->every;
+  sub->next_fire = NextFireAfter(clock, sub->every);
   const uint64_t id = sub->id;
   t->subs.push_back(std::move(sub));
   return id;

@@ -52,6 +52,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -194,6 +195,10 @@ class TenantRegistry {
   };
 
   std::shared_ptr<Tenant> Find(const std::string& name);
+  /// Create's body after the name reservation: builds (or recovers) the
+  /// tenant and registers it. The caller holds `name` in creating_.
+  Status BuildAndRegister(const std::string& name,
+                          const CreateParams& params);
   /// Feeds [begin, end) of `points` (+stamps) through the right pool
   /// path for the tenant's mode.
   void FeedSlice(Tenant* t, const std::vector<Point>& points,
@@ -216,6 +221,11 @@ class TenantRegistry {
   size_t cvm_capacity_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+  /// Names with a Create in flight. Reserving here before building
+  /// keeps two concurrent CREATEs of one name from both running
+  /// recovery (Rebase rewrites the checkpoint chain) against the same
+  /// directory.
+  std::set<std::string> creating_;
 };
 
 }  // namespace serve

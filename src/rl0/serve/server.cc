@@ -30,12 +30,10 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
 }
 
-int ListenOn(int fd) {
-  if (!SetNonBlocking(fd) || ::listen(fd, 64) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
+/// Never closes `fd` — ownership stays with the caller, so the failure
+/// path has exactly one close.
+bool ListenOn(int fd) {
+  return SetNonBlocking(fd) && ::listen(fd, 64) == 0;
 }
 
 }  // namespace
@@ -75,12 +73,13 @@ Status Server::Bind() {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0 ||
         ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        (unix_fd_ = ListenOn(fd)) < 0) {
-      if (fd >= 0 && unix_fd_ < 0) ::close(fd);
+        !ListenOn(fd)) {
+      if (fd >= 0) ::close(fd);
       return Status::Internal("cannot listen on unix socket '" +
                               options_.unix_path + "': " +
                               std::strerror(errno));
     }
+    unix_fd_ = fd;
   }
   if (options_.tcp_port != 0) {
     sockaddr_in addr;
@@ -96,11 +95,12 @@ Status Server::Bind() {
     if (fd < 0 ||
         ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0 ||
         ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        (tcp_fd_ = ListenOn(fd)) < 0) {
-      if (fd >= 0 && tcp_fd_ < 0) ::close(fd);
+        !ListenOn(fd)) {
+      if (fd >= 0) ::close(fd);
       return Status::Internal(std::string("cannot listen on TCP: ") +
                               std::strerror(errno));
     }
+    tcp_fd_ = fd;
     sockaddr_in bound;
     socklen_t len = sizeof(bound);
     if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==

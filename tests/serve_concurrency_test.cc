@@ -20,6 +20,7 @@
 
 #include "rl0/core/sharded_pool.h"
 #include "rl0/serve/protocol.h"
+#include "rl0/serve/registry.h"
 #include "rl0/serve/server.h"
 #include "rl0/util/rng.h"
 #include "serve_test_util.h"
@@ -137,6 +138,32 @@ TEST(ServeConcurrencyTest, DisjointTenantsFromConcurrentClients) {
     EXPECT_EQ(server_samples[c], expected) << "tenant t" << c;
   }
   started.value()->Shutdown();
+}
+
+TEST(ServeConcurrencyTest, ConcurrentCreatesOfOneNameAdmitExactlyOne) {
+  // Regression: Create used to check-then-build-then-insert, so two
+  // racing CREATEs of one name could both run the build (and, with
+  // recover=1, both rebase the same on-disk checkpoint chain). The name
+  // is now reserved under the registry lock before any work: exactly
+  // one racer wins, every other gets FailedPrecondition.
+  TenantRegistry registry(TenantRegistry::Options{});
+  constexpr int kRacers = 8;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    threads.emplace_back([&] {
+      CreateParams params;
+      params.dim = 1;
+      params.alpha = 0.5;
+      params.window = 100;
+      params.expected_m = 1 << 12;
+      if (registry.Create("shared", params).ok()) ++ok_count;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), 1);
+  EXPECT_EQ(registry.tenant_count(), 1u);
 }
 
 TEST(ServeConcurrencyTest, ConcurrentFeedersToOneTenantSerialize) {

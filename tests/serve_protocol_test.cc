@@ -176,6 +176,8 @@ TEST(ParseCommandTest, RejectsMalformedLinesWithMessages) {
       "SUBSCRIBE t1",
       "SUBSCRIBE t1 digest",                     // missing every
       "SUBSCRIBE t1 digest every=0",
+      // 2^63: would wrap negative in the registry's int64 trigger math.
+      "SUBSCRIBE t1 digest every=9223372036854775808",
       "SUBSCRIBE t1 churn every=10",             // missing threshold
       "SUBSCRIBE t1 nosuchkind every=10",
       "UNSUBSCRIBE t1",

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -167,6 +168,89 @@ TEST(StandingQueryTest, TimeModeFiresAtStampCrossings) {
   EXPECT_EQ(fired[1], 220);
   EXPECT_EQ(fired[2], 390);
   EXPECT_EQ(fired[3], 640);
+}
+
+TEST(StandingQueryTest, TimeModeHugeStampJumpIsCheapAndStaysAligned) {
+  // Regression: trigger catch-up used to advance next_fire by `every`
+  // one multiple at a time, so an epoch-nanosecond jump over a small
+  // cadence spun ~1e16 iterations under the tenant mutex. The jump must
+  // cost O(1) and land on the next absolute multiple of `every`.
+  TenantRegistry registry(TenantRegistry::Options{});
+  CreateParams params = SeqParams(1, 1000, 5);
+  params.mode = TenantMode::kTime;
+  ASSERT_TRUE(registry.Create("t", params).ok());
+
+  std::vector<int64_t> fired;
+  ASSERT_TRUE(registry
+                  .Subscribe("t", SubscribeCmd(QueryKind::kDigest, 100), 1,
+                             [&](const std::string& block) {
+                               fired.push_back(EventAt(block));
+                               return true;
+                             })
+                  .ok());
+
+  constexpr int64_t kEpochNs = 1'700'000'000'000'000'000;
+  ASSERT_TRUE(registry.FeedStamped("t", Ramp(1), {10}).ok());
+  ASSERT_TRUE(registry.FeedStamped("t", Ramp(1), {kEpochNs}).ok());
+  // One fire per crossing batch, at the jump stamp.
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], kEpochNs);
+  // next_fire realigned to the next absolute multiple after the jump:
+  // kEpochNs + 50 stays below it, kEpochNs + 100 crosses.
+  ASSERT_TRUE(registry.FeedStamped("t", Ramp(1), {kEpochNs + 50}).ok());
+  ASSERT_EQ(fired.size(), 1u);
+  ASSERT_TRUE(registry.FeedStamped("t", Ramp(1), {kEpochNs + 100}).ok());
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], kEpochNs + 100);
+}
+
+TEST(StandingQueryTest, TriggerArithmeticSaturatesNearInt64Max) {
+  // Regression: next-fire computation could signed-overflow (UB) when
+  // the tenant clock and `every` were both large-but-valid; it must
+  // saturate instead — a trigger past INT64_MAX simply never fires.
+  TenantRegistry registry(TenantRegistry::Options{});
+  CreateParams params = SeqParams(1, 1000, 5);
+  params.mode = TenantMode::kTime;
+  ASSERT_TRUE(registry.Create("t", params).ok());
+
+  constexpr int64_t kBig = int64_t{6'000'000'000'000'000'000};  // 6e18
+  ASSERT_TRUE(registry.FeedStamped("t", Ramp(1), {kBig}).ok());
+
+  std::vector<int64_t> fired;
+  // clock/every + 1 == 2 and 2 * 5e18 overflows int64: Subscribe must
+  // park this trigger at INT64_MAX, not wrap it negative.
+  ASSERT_TRUE(
+      registry
+          .Subscribe("t",
+                     SubscribeCmd(QueryKind::kDigest,
+                                  uint64_t{5'000'000'000'000'000'000}),
+                     1,
+                     [&](const std::string& block) {
+                       fired.push_back(EventAt(block));
+                       return true;
+                     })
+          .ok());
+  ASSERT_TRUE(registry.FeedStamped("t", Ramp(1), {kBig + 10}).ok());
+  EXPECT_TRUE(fired.empty());
+
+  // FireDue's catch-up saturates too: a small cadence crossed within
+  // `every` of INT64_MAX fires at the crossing, then parks forever.
+  ASSERT_TRUE(registry
+                  .Subscribe("t", SubscribeCmd(QueryKind::kDigest, 100), 1,
+                             [&](const std::string& block) {
+                               fired.push_back(EventAt(block));
+                               return true;
+                             })
+                  .ok());
+  const int64_t near_max = std::numeric_limits<int64_t>::max() - 5;
+  ASSERT_TRUE(registry.FeedStamped("t", Ramp(1), {near_max}).ok());
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], near_max);
+  ASSERT_TRUE(registry
+                  .FeedStamped("t", Ramp(1),
+                               {std::numeric_limits<int64_t>::max() - 1})
+                  .ok());
+  EXPECT_EQ(fired.size(), 1u);
 }
 
 TEST(StandingQueryTest, LateModeTriggersFollowReleaseFrontierAndFlush) {
