@@ -813,12 +813,13 @@ Status CheckpointPool(ShardedSwSamplerPool* pool, uint64_t journal_seq,
   hdr.latest_stamp = pool->pipeline_->latest_stamp();
   hdr.journal_seq = journal_seq;
   {
-    std::lock_guard<std::mutex> lock(*pool->reorder_mu_);
-    hdr.watermark_sent = pool->watermark_sent_;
-    hdr.last_watermark = pool->last_watermark_;
-    if (pool->reorder_ && pool->reorder_->has_watermark()) {
+    ReorderFrontEnd* fe = pool->reorder_fe_.get();
+    MutexLock lock(&fe->mu);
+    hdr.watermark_sent = fe->watermark_sent;
+    hdr.last_watermark = fe->last_watermark;
+    if (fe->stage && fe->stage->has_watermark()) {
       hdr.has_frontier = true;
-      hdr.frontier = pool->reorder_->release_bound();
+      hdr.frontier = fe->stage->release_bound();
     }
   }
   PutPoolHeader(&writer, hdr);
@@ -864,12 +865,13 @@ Status CheckpointPoolDelta(ShardedSwSamplerPool* pool,
   hdr.latest_stamp = pool->pipeline_->latest_stamp();
   hdr.journal_seq = journal_seq;
   {
-    std::lock_guard<std::mutex> lock(*pool->reorder_mu_);
-    hdr.watermark_sent = pool->watermark_sent_;
-    hdr.last_watermark = pool->last_watermark_;
-    if (pool->reorder_ && pool->reorder_->has_watermark()) {
+    ReorderFrontEnd* fe = pool->reorder_fe_.get();
+    MutexLock lock(&fe->mu);
+    hdr.watermark_sent = fe->watermark_sent;
+    hdr.last_watermark = fe->last_watermark;
+    if (fe->stage && fe->stage->has_watermark()) {
       hdr.has_frontier = true;
-      hdr.frontier = pool->reorder_->release_bound();
+      hdr.frontier = fe->stage->release_bound();
     }
   }
   PutPoolHeader(&writer, hdr);
@@ -1013,24 +1015,31 @@ Result<ShardedSwSamplerPool> RecoverPool(
     stamp_set = true;
     stamp_watermark = hdr.latest_stamp;
   }
-  if (hdr.watermark_sent) {
-    pool.watermark_sent_ = true;
-    pool.last_watermark_ = hdr.last_watermark;
-    // Re-arm each shard's event-time watermark (scratch state the shard
-    // snapshots deliberately exclude): without it, a restored quiet lane
-    // would fall back to its latest stamp and expire too little.
-    for (RobustL0SamplerSW& shard : pool.shards_) {
-      shard.NoteWatermark(hdr.last_watermark);
+  {
+    // Construction-time writes: the pool is not visible to any other
+    // thread yet, but the fields are lock-guarded, so take the (free)
+    // lock rather than carve an analysis escape.
+    ReorderFrontEnd* fe = pool.reorder_fe_.get();
+    MutexLock lock(&fe->mu);
+    if (hdr.watermark_sent) {
+      fe->watermark_sent = true;
+      fe->last_watermark = hdr.last_watermark;
+      // Re-arm each shard's event-time watermark (scratch state the shard
+      // snapshots deliberately exclude): without it, a restored quiet lane
+      // would fall back to its latest stamp and expire too little.
+      for (RobustL0SamplerSW& shard : pool.shards_) {
+        shard.NoteWatermark(hdr.last_watermark);
+      }
     }
-  }
-  if (hdr.has_frontier) {
-    // Re-arm the reorder stage's lateness judgment at the crashed
-    // frontier so nothing already released (or late-dropped) can be
-    // re-admitted by post-recovery offers.
-    const SamplerOptions& options = pool.shards_[0].options();
-    pool.reorder_ = std::make_unique<ReorderStage>(options.allowed_lateness,
-                                                   options.late_policy);
-    pool.reorder_->NoteFrontier(hdr.frontier);
+    if (hdr.has_frontier) {
+      // Re-arm the reorder stage's lateness judgment at the crashed
+      // frontier so nothing already released (or late-dropped) can be
+      // re-admitted by post-recovery offers.
+      const SamplerOptions& options = pool.shards_[0].options();
+      fe->stage = std::make_unique<ReorderStage>(options.allowed_lateness,
+                                                 options.late_policy);
+      fe->stage->NoteFrontier(hdr.frontier);
+    }
   }
 
   JournalContents contents;
@@ -1093,9 +1102,13 @@ Result<ShardedSwSamplerPool> RecoverPool(
         pool.pipeline_->FeedWatermark(record.watermark);
         stamp_set = true;
         stamp_watermark = record.watermark;
-        pool.watermark_sent_ = true;
-        pool.last_watermark_ = record.watermark;
-        if (pool.reorder_) pool.reorder_->NoteFrontier(record.watermark);
+        {
+          ReorderFrontEnd* fe = pool.reorder_fe_.get();
+          MutexLock lock(&fe->mu);
+          fe->watermark_sent = true;
+          fe->last_watermark = record.watermark;
+          if (fe->stage) fe->stage->NoteFrontier(record.watermark);
+        }
         break;
     }
   }

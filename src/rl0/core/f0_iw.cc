@@ -47,7 +47,7 @@ Result<F0EstimatorIW> F0EstimatorIW::Create(const F0Options& options) {
 
 F0EstimatorIW::F0EstimatorIW(std::vector<RobustL0SamplerIW> samplers)
     : samplers_(std::move(samplers)),
-      pipeline_mu_(std::make_unique<std::mutex>()) {}
+      pipe_(std::make_unique<PipelineFront>()) {}
 
 void F0EstimatorIW::Insert(const Point& p) {
   for (RobustL0SamplerIW& sampler : samplers_) sampler.Insert(p);
@@ -58,8 +58,8 @@ void F0EstimatorIW::InsertBatch(Span<const Point> points) {
 }
 
 IngestPool* F0EstimatorIW::EnsurePipeline() {
-  std::lock_guard<std::mutex> lock(*pipeline_mu_);
-  if (pipeline_) return pipeline_.get();
+  MutexLock lock(&pipe_->mu);
+  if (pipe_->pipeline) return pipe_->pipeline.get();
   std::vector<IngestPool::Sink> sinks;
   sinks.reserve(samplers_.size());
   for (RobustL0SamplerIW& sampler : samplers_) {
@@ -70,8 +70,8 @@ IngestPool* F0EstimatorIW::EnsurePipeline() {
       copy->InsertBatch(chunk);
     });
   }
-  pipeline_ = std::make_unique<IngestPool>(std::move(sinks));
-  return pipeline_.get();
+  pipe_->pipeline = std::make_unique<IngestPool>(std::move(sinks));
+  return pipe_->pipeline.get();
 }
 
 void F0EstimatorIW::Feed(Span<const Point> points) {
@@ -85,8 +85,8 @@ void F0EstimatorIW::FeedOwned(std::vector<Point> points) {
 void F0EstimatorIW::Drain() {
   IngestPool* pipeline;
   {
-    std::lock_guard<std::mutex> lock(*pipeline_mu_);
-    pipeline = pipeline_.get();
+    MutexLock lock(&pipe_->mu);
+    pipeline = pipe_->pipeline.get();
   }
   if (pipeline != nullptr) pipeline->Drain();
 }

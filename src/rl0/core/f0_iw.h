@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "rl0/core/ingest_pool.h"
@@ -21,6 +20,8 @@
 #include "rl0/core/options.h"
 #include "rl0/util/span.h"
 #include "rl0/util/status.h"
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 
@@ -95,17 +96,23 @@ class F0EstimatorIW {
  private:
   explicit F0EstimatorIW(std::vector<RobustL0SamplerIW> samplers);
 
+  /// The lazily created pipeline grouped with the mutex that guards its
+  /// creation (sibling RL0_GUARDED_BY); heap-allocated through the
+  /// unique_ptr below so the estimator stays movable.
+  struct PipelineFront {
+    Mutex mu;
+    std::unique_ptr<IngestPool> pipeline RL0_GUARDED_BY(mu);
+  };
+
   /// Starts the per-copy pipeline workers on the first Feed (estimators
-  /// that only ever InsertBatch never spawn threads). Guarded by
-  /// pipeline_mu_, so concurrent first Feeds are safe. Sink addresses
-  /// stay valid across moves of the estimator: samplers_ never resizes,
-  /// and its heap buffer moves with the object.
+  /// that only ever InsertBatch never spawn threads). Takes pipe_->mu,
+  /// so concurrent first Feeds are safe. Sink addresses stay valid
+  /// across moves of the estimator: samplers_ never resizes, and its
+  /// heap buffer moves with the object.
   IngestPool* EnsurePipeline();
 
   std::vector<RobustL0SamplerIW> samplers_;
-  /// Heap-allocated so the estimator stays movable.
-  std::unique_ptr<std::mutex> pipeline_mu_;
-  std::unique_ptr<IngestPool> pipeline_;
+  std::unique_ptr<PipelineFront> pipe_;
 };
 
 }  // namespace rl0

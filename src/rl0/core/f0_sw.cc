@@ -45,33 +45,40 @@ F0EstimatorSW::F0EstimatorSW(std::vector<RobustL0SamplerSW> samplers,
       repetitions_(repetitions),
       combiner_(combiner),
       phi_(phi),
-      pipeline_mu_(std::make_unique<std::mutex>()),
-      reorder_mu_(std::make_unique<std::mutex>()) {}
+      pipe_(std::make_unique<PipelineFront>()),
+      reorder_fe_(std::make_unique<ReorderFrontEnd>()) {}
 
 void F0EstimatorSW::Insert(const Point& p, int64_t stamp) {
-  latest_stamp_ = stamp;
-  ++points_processed_;
   {
     // Keep the pipeline's index space — and its stamp watermark — in
     // step with serially inserted points, so a later Feed never reuses a
     // stream position and a later FeedStamped never regresses the stamp
-    // sequence.
-    std::lock_guard<std::mutex> lock(*pipeline_mu_);
-    if (pipeline_) {
-      pipeline_->AdvanceIndexBase(1);
-      pipeline_->NoteStamp(stamp);
+    // sequence. The counter writes happen under the same lock: Drain
+    // writes them and LatchFeedMode reads them under pipe_->mu, so an
+    // unguarded update here would race a concurrent first Feed.
+    MutexLock lock(&pipe_->mu);
+    pipe_->latest_stamp = stamp;
+    ++pipe_->points_processed;
+    if (pipe_->pipeline) {
+      pipe_->pipeline->AdvanceIndexBase(1);
+      pipe_->pipeline->NoteStamp(stamp);
     }
   }
   for (RobustL0SamplerSW& sampler : samplers_) sampler.Insert(p, stamp);
 }
 
 void F0EstimatorSW::Insert(const Point& p) {
-  Insert(p, static_cast<int64_t>(points_processed_));
+  int64_t next_stamp;
+  {
+    MutexLock lock(&pipe_->mu);
+    next_stamp = static_cast<int64_t>(pipe_->points_processed);
+  }
+  Insert(p, next_stamp);
 }
 
 IngestPool* F0EstimatorSW::EnsurePipeline() {
-  std::lock_guard<std::mutex> lock(*pipeline_mu_);
-  if (pipeline_) return pipeline_.get();
+  MutexLock lock(&pipe_->mu);
+  if (pipe_->pipeline) return pipe_->pipeline.get();
   std::vector<IngestPool::Sink> sinks;
   std::vector<IngestPool::StampedSink> stamped_sinks;
   std::vector<IngestPool::WatermarkSink> watermark_sinks;
@@ -99,13 +106,15 @@ IngestPool* F0EstimatorSW::EnsurePipeline() {
   IngestPool::Options options;
   // Continue the index (and stamp) sequence where serial inserts left
   // off.
-  options.index_base = points_processed_;
-  pipeline_ = std::make_unique<IngestPool>(std::move(sinks),
-                                           std::move(stamped_sinks),
-                                           std::move(watermark_sinks),
-                                           options);
-  if (points_processed_ > 0) pipeline_->NoteStamp(latest_stamp_);
-  return pipeline_.get();
+  options.index_base = pipe_->points_processed;
+  pipe_->pipeline = std::make_unique<IngestPool>(std::move(sinks),
+                                                 std::move(stamped_sinks),
+                                                 std::move(watermark_sinks),
+                                                 options);
+  if (pipe_->points_processed > 0) {
+    pipe_->pipeline->NoteStamp(pipe_->latest_stamp);
+  }
+  return pipe_->pipeline.get();
 }
 
 void F0EstimatorSW::LatchFeedMode(FeedMode mode) {
@@ -115,17 +124,18 @@ void F0EstimatorSW::LatchFeedMode(FeedMode mode) {
   // would silently regress the samplers' stamp sequence in release
   // builds — the same mix ShardedSwSamplerPool::LatchMode rejects.
   // Serial Insert composes with either family (subject to the stamp
-  // checks below). Under pipeline_mu_: Drain writes the watermark
+  // checks below). Under pipe_->mu: Drain writes the watermark
   // fields under the same lock.
-  std::lock_guard<std::mutex> lock(*pipeline_mu_);
-  RL0_CHECK(feed_mode_ == FeedMode::kUnset || feed_mode_ == mode);
+  MutexLock lock(&pipe_->mu);
+  RL0_CHECK(pipe_->feed_mode == FeedMode::kUnset || pipe_->feed_mode == mode);
   if (mode == FeedMode::kSequence) {
     // Plain feeds derive stamps from stream positions, so they also
     // require sequence-stamped serial history (stamp = arrival index).
-    RL0_CHECK(points_processed_ == 0 ||
-              latest_stamp_ + 1 == static_cast<int64_t>(points_processed_));
+    RL0_CHECK(pipe_->points_processed == 0 ||
+              pipe_->latest_stamp + 1 ==
+                  static_cast<int64_t>(pipe_->points_processed));
   }
-  feed_mode_ = mode;
+  pipe_->feed_mode = mode;
 }
 
 void F0EstimatorSW::Feed(Span<const Point> points) {
@@ -155,34 +165,36 @@ void F0EstimatorSW::FeedStampedLate(Span<const Point> points,
   RL0_CHECK(stamps.size() == points.size());
   LatchFeedMode(FeedMode::kStamped);
   IngestPool* pipeline = EnsurePipeline();
-  std::lock_guard<std::mutex> lock(*reorder_mu_);
-  if (!reorder_) {
+  ReorderFrontEnd* fe = reorder_fe_.get();
+  MutexLock lock(&fe->mu);
+  if (!fe->stage) {
     const SamplerOptions& opts = samplers_[0].options();
-    reorder_ = std::make_unique<ReorderStage>(opts.allowed_lateness,
-                                              opts.late_policy);
+    fe->stage = std::make_unique<ReorderStage>(opts.allowed_lateness,
+                                               opts.late_policy);
   }
-  reorder_->OfferBatch(points, stamps);
+  fe->stage->OfferBatch(points, stamps);
   std::vector<Point> released_points;
   std::vector<int64_t> released_stamps;
-  if (reorder_->TakeReleased(&released_points, &released_stamps)) {
+  if (fe->stage->TakeReleased(&released_points, &released_stamps)) {
     pipeline->FeedOwnedStamped(std::move(released_points),
                                std::move(released_stamps));
   }
-  if (reorder_->has_watermark()) {
-    const int64_t watermark = reorder_->watermark();
-    if (!watermark_sent_ || watermark > last_watermark_) {
+  if (fe->stage->has_watermark()) {
+    const int64_t watermark = fe->stage->watermark();
+    if (!fe->watermark_sent || watermark > fe->last_watermark) {
       pipeline->FeedWatermark(watermark);
-      watermark_sent_ = true;
-      last_watermark_ = watermark;
+      fe->watermark_sent = true;
+      fe->last_watermark = watermark;
     }
   }
 }
 
 void F0EstimatorSW::FlushLate() {
   {
-    std::lock_guard<std::mutex> lock(*reorder_mu_);
-    if (!reorder_) return;
-    reorder_->Flush();
+    ReorderFrontEnd* fe = reorder_fe_.get();
+    MutexLock lock(&fe->mu);
+    if (!fe->stage) return;
+    fe->stage->Flush();
   }
   // Re-enter the shared pump via a zero-point late feed: the flush
   // staged its releases, and an empty OfferBatch is a no-op on top.
@@ -190,28 +202,30 @@ void F0EstimatorSW::FlushLate() {
 }
 
 ReorderStats F0EstimatorSW::late_stats() const {
-  std::lock_guard<std::mutex> lock(*reorder_mu_);
-  return reorder_ ? reorder_->stats() : ReorderStats();
+  ReorderFrontEnd* fe = reorder_fe_.get();
+  MutexLock lock(&fe->mu);
+  return fe->stage ? fe->stage->stats() : ReorderStats();
 }
 
 void F0EstimatorSW::Drain() {
   IngestPool* pipeline;
   {
-    std::lock_guard<std::mutex> lock(*pipeline_mu_);
-    pipeline = pipeline_.get();
+    MutexLock lock(&pipe_->mu);
+    pipeline = pipe_->pipeline.get();
   }
   if (pipeline == nullptr) return;
   pipeline->Drain();
   // Sync the watermark so EstimateLatest() sees the fed stream's end:
   // the last explicit stamp on the stamped path (which also folds in any
   // serial inserts via NoteStamp), the last stream position otherwise.
-  // Under pipeline_mu_: concurrent Feeds read these fields through
+  // Under pipe_->mu: concurrent Feeds read these fields through
   // LatchFeedMode.
-  std::lock_guard<std::mutex> lock(*pipeline_mu_);
-  points_processed_ = pipeline->points_fed();
-  latest_stamp_ = feed_mode_ == FeedMode::kStamped
-                      ? pipeline->latest_stamp()
-                      : static_cast<int64_t>(points_processed_) - 1;
+  MutexLock lock(&pipe_->mu);
+  pipe_->points_processed = pipeline->points_fed();
+  pipe_->latest_stamp =
+      pipe_->feed_mode == FeedMode::kStamped
+          ? pipeline->latest_stamp()
+          : static_cast<int64_t>(pipe_->points_processed) - 1;
 }
 
 double F0EstimatorSW::CombineRepetition(size_t rep, int64_t now) {
@@ -255,7 +269,14 @@ double F0EstimatorSW::Estimate(int64_t now) {
   return estimates[estimates.size() / 2];
 }
 
-double F0EstimatorSW::EstimateLatest() { return Estimate(latest_stamp_); }
+double F0EstimatorSW::EstimateLatest() {
+  int64_t now;
+  {
+    MutexLock lock(&pipe_->mu);
+    now = pipe_->latest_stamp;
+  }
+  return Estimate(now);
+}
 
 size_t F0EstimatorSW::SpaceWords() const {
   size_t words = 0;

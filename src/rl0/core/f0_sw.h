@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "rl0/core/ingest_pool.h"
@@ -26,6 +25,8 @@
 #include "rl0/core/sw_sampler.h"
 #include "rl0/util/span.h"
 #include "rl0/util/status.h"
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 
@@ -163,12 +164,28 @@ class F0EstimatorSW {
   /// chunks derive sequence stamps that bypass the stamp watermark).
   enum class FeedMode : uint8_t { kUnset = 0, kSequence = 1, kStamped = 2 };
 
+  /// Pipeline-side mutable state grouped with the mutex that guards it
+  /// (sibling RL0_GUARDED_BY keeps the guard expressible); the estimator
+  /// holds it through a unique_ptr so it stays movable.
+  struct PipelineFront {
+    Mutex mu;
+    /// Created lazily by the first Feed (see EnsurePipeline).
+    std::unique_ptr<IngestPool> pipeline RL0_GUARDED_BY(mu);
+    /// The latched feed family; decides how Drain syncs the stamp
+    /// watermark and rejects feed-family mixes.
+    FeedMode feed_mode RL0_GUARDED_BY(mu) = FeedMode::kUnset;
+    /// Stamp/position of the most recent insertion (serial inserts
+    /// update it inline; Drain syncs it from the pipeline).
+    int64_t latest_stamp RL0_GUARDED_BY(mu) = 0;
+    uint64_t points_processed RL0_GUARDED_BY(mu) = 0;
+  };
+
   /// Latches the feed family and validates its stamp preconditions;
-  /// CHECK-fails on a mix. Takes pipeline_mu_.
+  /// CHECK-fails on a mix. Takes pipe_->mu.
   void LatchFeedMode(FeedMode mode);
 
   /// Starts the per-copy pipeline workers on the first Feed (estimators
-  /// that only ever Insert never spawn threads). Guarded by pipeline_mu_.
+  /// that only ever Insert never spawn threads). Takes pipe_->mu.
   /// The pipeline's index base continues after any serial inserts, so
   /// stamps stay globally consistent. Sink addresses stay valid across
   /// moves: samplers_ never resizes and its heap buffer moves along.
@@ -179,22 +196,14 @@ class F0EstimatorSW {
   size_t repetitions_;
   F0SwCombiner combiner_;
   double phi_;
-  int64_t latest_stamp_ = 0;
-  uint64_t points_processed_ = 0;
-  /// Heap-allocated so the estimator stays movable.
-  std::unique_ptr<std::mutex> pipeline_mu_;
-  std::unique_ptr<IngestPool> pipeline_;
-  /// The latched feed family (guarded by pipeline_mu_); decides how
-  /// Drain syncs the stamp watermark and rejects feed-family mixes.
-  FeedMode feed_mode_ = FeedMode::kUnset;
-  /// Bounded-lateness front-end of FeedStampedLate (lazy) and the last
-  /// watermark broadcast; guarded by reorder_mu_ (separate from
-  /// pipeline_mu_: the pump can block on backpressure and must not hold
-  /// the pipeline lock Insert/Drain need).
-  std::unique_ptr<std::mutex> reorder_mu_;
-  std::unique_ptr<ReorderStage> reorder_;
-  bool watermark_sent_ = false;
-  int64_t last_watermark_ = 0;
+  /// Pipeline state, feed-family latch and insertion counters (see
+  /// PipelineFront).
+  std::unique_ptr<PipelineFront> pipe_;
+  /// Bounded-lateness front end of FeedStampedLate (lazy stage plus the
+  /// last watermark broadcast; core/reorder_buffer.h). Its mutex is
+  /// separate from pipe_->mu: the pump can block on backpressure and
+  /// must not hold the pipeline lock Insert/Drain need.
+  std::unique_ptr<ReorderFrontEnd> reorder_fe_;
 };
 
 }  // namespace rl0

@@ -60,7 +60,7 @@ IngestPool::~IngestPool() { Stop(); }
 
 void IngestPool::ProcessChunk(Lane* lane, Chunk chunk) {
   {
-    std::lock_guard<std::mutex> proc(lane->proc_mu);
+    MutexLock proc(&lane->proc_mu);
     if (chunk.watermark_only) {
       lane->watermark_sink(chunk.watermark);
     } else if (chunk.stamps != nullptr) {
@@ -75,10 +75,10 @@ void IngestPool::ProcessChunk(Lane* lane, Chunk chunk) {
   chunk.owner.reset();  // release chunk storage before signalling
   chunk.stamp_owner.reset();
   {
-    std::lock_guard<std::mutex> done(lane->done_mu);
+    MutexLock done(&lane->done_mu);
     ++lane->completed;
   }
-  lane->done_cv.notify_all();
+  lane->done_cv.NotifyAll();
 }
 
 void IngestPool::WorkerLoop(Lane* lane) {
@@ -103,7 +103,7 @@ void IngestPool::FeedChunk(Chunk chunk) {
   // that also throttles other producers, which is the intent — the
   // workers drain the queues without ever taking feed_mu_, so the pool
   // always makes progress.
-  std::lock_guard<std::mutex> lock(feed_mu_);
+  MutexLock lock(&feed_mu_);
   if (stopped_) return;
   if (chunk.watermark_only) {
     // A watermark announces "no stamped point below this will ever be
@@ -230,31 +230,31 @@ void IngestPool::FeedWatermark(int64_t watermark) {
 void IngestPool::Drain() {
   uint64_t target;
   {
-    std::lock_guard<std::mutex> lock(feed_mu_);
+    MutexLock lock(&feed_mu_);
     target = chunks_fed_;
   }
   for (std::unique_ptr<Lane>& lane : lanes_) {
-    std::unique_lock<std::mutex> done(lane->done_mu);
-    lane->done_cv.wait(done,
-                       [&] { return lane->completed >= target; });
+    MutexLock done(&lane->done_mu);
+    while (lane->completed < target) lane->done_cv.Wait(&lane->done_mu);
   }
 }
 
 void IngestPool::QuiescedRun(const std::function<void()>& fn) {
   // Lock every lane's processing mutex, always in lane order (workers
   // only ever hold their own, so this cannot deadlock). With all of them
-  // held, every worker sits between chunks and lane state is stable.
-  std::vector<std::unique_lock<std::mutex>> paused;
-  paused.reserve(lanes_.size());
+  // held, every worker sits between chunks and lane state is stable. The
+  // lock set's size is only known at runtime, so this is the one place
+  // that needs MutexLockSet's analysis escape (see util/sync.h).
+  MutexLockSet paused;
   for (std::unique_ptr<Lane>& lane : lanes_) {
-    paused.emplace_back(lane->proc_mu);
+    paused.Lock(&lane->proc_mu);
   }
   fn();
 }
 
 void IngestPool::Stop() {
   {
-    std::lock_guard<std::mutex> lock(feed_mu_);
+    MutexLock lock(&feed_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -280,14 +280,14 @@ void IngestPool::Stop() {
 }
 
 uint64_t IngestPool::AdvanceIndexBase(uint64_t n) {
-  std::lock_guard<std::mutex> lock(feed_mu_);
+  MutexLock lock(&feed_mu_);
   const uint64_t base = fed_;
   fed_ += n;
   return base;
 }
 
 void IngestPool::NoteStamp(int64_t stamp) {
-  std::lock_guard<std::mutex> lock(feed_mu_);
+  MutexLock lock(&feed_mu_);
   if (!stamp_watermark_set_ || stamp > latest_stamp_) {
     latest_stamp_ = stamp;
   }
@@ -295,12 +295,12 @@ void IngestPool::NoteStamp(int64_t stamp) {
 }
 
 int64_t IngestPool::latest_stamp() const {
-  std::lock_guard<std::mutex> lock(feed_mu_);
+  MutexLock lock(&feed_mu_);
   return stamp_watermark_set_ ? latest_stamp_ : -1;
 }
 
 uint64_t IngestPool::points_fed() const {
-  std::lock_guard<std::mutex> lock(feed_mu_);
+  MutexLock lock(&feed_mu_);
   return fed_;
 }
 

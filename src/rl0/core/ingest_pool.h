@@ -62,17 +62,17 @@
 #ifndef RL0_CORE_INGEST_POOL_H_
 #define RL0_CORE_INGEST_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "rl0/geom/point.h"
 #include "rl0/util/bounded_queue.h"
 #include "rl0/util/span.h"
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 
@@ -245,15 +245,16 @@ class IngestPool {
     /// Fleet membership id (fleet mode; 0 in dedicated mode).
     uint64_t fleet_id = 0;
     /// Held by the worker while a chunk is inside the sink (QuiescedRun
-    /// acquires all lanes' mutexes to pause the pool between chunks).
-    std::mutex proc_mu;
+    /// acquires all lanes' mutexes — via MutexLockSet — to pause the
+    /// pool between chunks).
+    Mutex proc_mu;
     /// Guards `completed`; signalled after every consumed chunk.
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    uint64_t completed = 0;
+    Mutex done_mu;
+    CondVar done_cv;
+    uint64_t completed RL0_GUARDED_BY(done_mu) = 0;
   };
 
-  void FeedChunk(Chunk chunk);
+  void FeedChunk(Chunk chunk) RL0_EXCLUDES(feed_mu_);
   void WorkerLoop(Lane* lane);
   /// Runs one queued chunk through `lane`'s sink (shared by both worker
   /// modes; holds proc_mu across the sink and signals done_cv).
@@ -265,16 +266,16 @@ class IngestPool {
   WorkerFleet* fleet_ = nullptr;
   const size_t queue_capacity_;
   /// Serializes index-base assignment with enqueue order (the determinism
-  /// contract) and guards fed_/chunks_fed_/latest_stamp_.
-  mutable std::mutex feed_mu_;
-  uint64_t fed_ = 0;
-  uint64_t chunks_fed_ = 0;
+  /// contract) and guards the feed-side counters below.
+  mutable Mutex feed_mu_;
+  uint64_t fed_ RL0_GUARDED_BY(feed_mu_) = 0;
+  uint64_t chunks_fed_ RL0_GUARDED_BY(feed_mu_) = 0;
   /// Stamp watermark for stamped chunks; -1 until the first stamped feed
   /// (or NoteStamp). Monotonicity across chunks is only enforced once
   /// the watermark exists, so negative initial stamps stay legal.
-  int64_t latest_stamp_ = -1;
-  bool stamp_watermark_set_ = false;
-  bool stopped_ = false;
+  int64_t latest_stamp_ RL0_GUARDED_BY(feed_mu_) = -1;
+  bool stamp_watermark_set_ RL0_GUARDED_BY(feed_mu_) = false;
+  bool stopped_ RL0_GUARDED_BY(feed_mu_) = false;
   /// Stable addresses: workers hold Lane* across the pool's lifetime.
   std::vector<std::unique_ptr<Lane>> lanes_;
 };

@@ -52,12 +52,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "rl0/core/options.h"
 #include "rl0/geom/point.h"
 #include "rl0/util/span.h"
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 
@@ -211,6 +214,22 @@ class ReorderStage {
   uint64_t released_ = 0;
   uint64_t late_dropped_ = 0;
   uint64_t late_redirected_ = 0;
+};
+
+/// The serialized bounded-lateness front end shared by the wiring layers
+/// (ShardedSwSamplerPool, F0EstimatorSW): a lazily created ReorderStage
+/// plus the watermark-broadcast memory, grouped with the mutex that
+/// guards them so the discipline is a compile-time fact (sibling
+/// RL0_GUARDED_BY) while the owner — which holds this struct through a
+/// unique_ptr — stays movable.
+struct ReorderFrontEnd {
+  Mutex mu;
+  /// Created by the first late feed (or set_late_sink); null until then.
+  std::unique_ptr<ReorderStage> stage RL0_GUARDED_BY(mu);
+  /// Last watermark broadcast downstream; duplicates are skipped so
+  /// quiet feeds don't flood control chunks.
+  bool watermark_sent RL0_GUARDED_BY(mu) = false;
+  int64_t last_watermark RL0_GUARDED_BY(mu) = 0;
 };
 
 }  // namespace rl0

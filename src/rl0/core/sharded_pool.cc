@@ -186,8 +186,8 @@ ShardedSwSamplerPool::ShardedSwSamplerPool(
     : shards_(std::move(shards)), window_(window),
       pipeline_options_(pipeline_options),
       mode_(std::make_unique<std::atomic<uint8_t>>(0)),
-      reorder_mu_(std::make_unique<std::mutex>()),
-      journal_mu_(std::make_unique<std::mutex>()) {
+      reorder_fe_(std::make_unique<ReorderFrontEnd>()),
+      journal_mu_(std::make_unique<Mutex>()) {
   StartPipeline();
 }
 
@@ -205,7 +205,7 @@ void ShardedSwSamplerPool::FeedJournaled(Span<const Point> points,
   // cannot slip a chunk between them, so the journal's record order is
   // the pipeline's index-base assignment order and recovery can verify
   // index continuity record by record.
-  std::lock_guard<std::mutex> lock(*journal_mu_);
+  MutexLock lock(journal_mu_.get());
   journal_(points, stamps, pipeline_->points_fed(), nullptr);
   feed();
 }
@@ -308,27 +308,29 @@ void ShardedSwSamplerPool::FeedStampedLate(Span<const Point> points,
                                            Span<const int64_t> stamps) {
   RL0_CHECK(stamps.size() == points.size());
   LatchMode(StampMode::kTime);
-  std::lock_guard<std::mutex> lock(*reorder_mu_);
-  if (!reorder_) {
-    reorder_ = std::make_unique<ReorderStage>(
+  ReorderFrontEnd* fe = reorder_fe_.get();
+  MutexLock lock(&fe->mu);
+  if (!fe->stage) {
+    fe->stage = std::make_unique<ReorderStage>(
         shards_[0].options().allowed_lateness,
         shards_[0].options().late_policy);
   }
-  reorder_->OfferBatch(points, stamps);
-  PumpReorderLocked();
+  fe->stage->OfferBatch(points, stamps);
+  PumpReorderLocked(fe);
 }
 
 void ShardedSwSamplerPool::FlushLate() {
-  std::lock_guard<std::mutex> lock(*reorder_mu_);
-  if (!reorder_) return;
-  reorder_->Flush();
-  PumpReorderLocked();
+  ReorderFrontEnd* fe = reorder_fe_.get();
+  MutexLock lock(&fe->mu);
+  if (!fe->stage) return;
+  fe->stage->Flush();
+  PumpReorderLocked(fe);
 }
 
-void ShardedSwSamplerPool::PumpReorderLocked() {
+void ShardedSwSamplerPool::PumpReorderLocked(ReorderFrontEnd* fe) {
   std::vector<Point> points;
   std::vector<int64_t> stamps;
-  if (reorder_->TakeReleased(&points, &stamps)) {
+  if (fe->stage->TakeReleased(&points, &stamps)) {
     // Released order is the canonically sorted order, so the pipeline
     // sees exactly the chunk stream a strict sorted feed would (modulo
     // chunk boundaries, which the determinism contract absorbs). Only
@@ -339,46 +341,49 @@ void ShardedSwSamplerPool::PumpReorderLocked() {
       pipeline_->FeedOwnedStamped(std::move(points), std::move(stamps));
     });
   }
-  if (reorder_->has_watermark()) {
-    const int64_t watermark = reorder_->watermark();
-    if (!watermark_sent_ || watermark > last_watermark_) {
+  if (fe->stage->has_watermark()) {
+    const int64_t watermark = fe->stage->watermark();
+    if (!fe->watermark_sent || watermark > fe->last_watermark) {
       // After the release above: released stamps are below the new
       // watermark, and every future release is at or above it, so the
       // pipeline's stamp monotonicity check holds on both sides.
       if (journal_) {
-        std::lock_guard<std::mutex> lock(*journal_mu_);
+        MutexLock lock(journal_mu_.get());
         journal_(Span<const Point>(), Span<const int64_t>(),
                  pipeline_->points_fed(), &watermark);
         pipeline_->FeedWatermark(watermark);
       } else {
         pipeline_->FeedWatermark(watermark);
       }
-      watermark_sent_ = true;
-      last_watermark_ = watermark;
+      fe->watermark_sent = true;
+      fe->last_watermark = watermark;
     }
   }
 }
 
 ReorderStats ShardedSwSamplerPool::late_stats() const {
-  std::lock_guard<std::mutex> lock(*reorder_mu_);
-  return reorder_ ? reorder_->stats() : ReorderStats();
+  ReorderFrontEnd* fe = reorder_fe_.get();
+  MutexLock lock(&fe->mu);
+  return fe->stage ? fe->stage->stats() : ReorderStats();
 }
 
 void ShardedSwSamplerPool::set_late_sink(ReorderStage::LateSink sink) {
-  std::lock_guard<std::mutex> lock(*reorder_mu_);
-  if (!reorder_) {
-    reorder_ = std::make_unique<ReorderStage>(
+  ReorderFrontEnd* fe = reorder_fe_.get();
+  MutexLock lock(&fe->mu);
+  if (!fe->stage) {
+    fe->stage = std::make_unique<ReorderStage>(
         shards_[0].options().allowed_lateness,
         shards_[0].options().late_policy);
   }
-  reorder_->set_late_sink(std::move(sink));
+  fe->stage->set_late_sink(std::move(sink));
 }
 
 std::vector<std::pair<Point, int64_t>>
 ShardedSwSamplerPool::TakeLateSideChannel() {
-  std::lock_guard<std::mutex> lock(*reorder_mu_);
-  if (!reorder_) return {};
-  return reorder_->TakeLate();
+  ReorderFrontEnd* fe = reorder_fe_.get();
+  MutexLock lock(&fe->mu);
+  if (!fe->stage) return {};
+  return fe->stage->TakeLate();
 }
 
 void ShardedSwSamplerPool::FeedAdaptive(Span<const Point> points) {

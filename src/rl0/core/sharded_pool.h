@@ -32,7 +32,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -45,6 +44,8 @@
 #include "rl0/core/sw_sampler.h"
 #include "rl0/util/span.h"
 #include "rl0/util/status.h"
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 
@@ -388,8 +389,9 @@ class ShardedSwSamplerPool {
   /// producers) and CHECK-fails on a mode mix.
   void LatchMode(StampMode mode);
   /// Streams the reorder stage's staged releases into the pipeline and
-  /// broadcasts its advanced watermark. Requires reorder_mu_ held.
-  void PumpReorderLocked();
+  /// broadcasts its advanced watermark. The caller holds the front end's
+  /// mutex (compiler-checked via the parameter-based capability).
+  void PumpReorderLocked(ReorderFrontEnd* fe) RL0_REQUIRES(fe->mu);
   /// In-place α-proximity dedup, keeping the item with the larger stream
   /// index per group; preserves first-seen order (single-shard pools pass
   /// through untouched, matching the pointwise sampler bit-for-bit).
@@ -413,23 +415,20 @@ class ShardedSwSamplerPool {
   /// Heap-allocated so the pool stays movable.
   std::unique_ptr<std::atomic<uint8_t>> mode_;
   AdaptiveChunkPolicy chunk_policy_;
-  /// Serializes the late feed path: the Offer → release → watermark
-  /// sequence must hit the pipeline in one piece per producer, or two
-  /// producers could interleave a release with a stale watermark.
-  std::unique_ptr<std::mutex> reorder_mu_;
-  /// Bounded-lateness front-end of FeedStampedLate (lazy; guarded by
-  /// reorder_mu_).
-  std::unique_ptr<ReorderStage> reorder_;
-  /// Last watermark broadcast to the lanes (guarded by reorder_mu_);
-  /// duplicates are skipped so quiet feeds don't flood control chunks.
-  bool watermark_sent_ = false;
-  int64_t last_watermark_ = 0;
+  /// Bounded-lateness front end of FeedStampedLate: the reorder stage
+  /// and watermark memory grouped with the mutex that serializes the
+  /// late path — the Offer → release → watermark sequence must hit the
+  /// pipeline in one piece per producer, or two producers could
+  /// interleave a release with a stale watermark. Heap-allocated so the
+  /// pool stays movable.
+  std::unique_ptr<ReorderFrontEnd> reorder_fe_;
   /// Serializes journal emission with index-base assignment: held across
   /// {points_fed() read, sink call, pipeline feed} so the journal records
-  /// chunks in exactly the order the pipeline indexes them. Taken after
-  /// reorder_mu_ on the late path (strict feeds never take reorder_mu_,
-  /// so the order is acyclic).
-  std::unique_ptr<std::mutex> journal_mu_;
+  /// chunks in exactly the order the pipeline indexes them. An ordering
+  /// lock, not a data guard (journal_ itself is installed at quiescent
+  /// points by contract). Taken after reorder_fe_->mu on the late path
+  /// (strict feeds never take reorder_fe_->mu, so the order is acyclic).
+  std::unique_ptr<Mutex> journal_mu_;
   /// The installed durability tap, empty by default (see SetJournalSink).
   JournalSink journal_;
 };

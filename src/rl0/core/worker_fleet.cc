@@ -16,21 +16,21 @@ WorkerFleet::WorkerFleet(size_t threads) {
 
 WorkerFleet::~WorkerFleet() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Pools must be stopped (and their lanes deregistered) before the
     // fleet goes away — a member outliving its fleet would lose its
     // worker silently.
     RL0_CHECK(members_.empty());
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
 uint64_t WorkerFleet::Register(LaneFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t id = next_id_++;
   auto member = std::make_unique<Member>();
   member->fn = std::move(fn);
@@ -39,7 +39,7 @@ uint64_t WorkerFleet::Register(LaneFn fn) {
 }
 
 void WorkerFleet::Deregister(uint64_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = members_.find(id);
   if (it == members_.end()) return;
   Member* m = it->second.get();
@@ -53,14 +53,14 @@ void WorkerFleet::Deregister(uint64_t id) {
     }
     m->enlisted = false;
   }
-  idle_cv_.wait(lock, [m] { return !m->running; });
+  while (m->running) idle_cv_.Wait(&mu_);
   members_.erase(it);
 }
 
 void WorkerFleet::Notify(uint64_t id) {
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = members_.find(id);
     if (it == members_.end()) return;
     Member* m = it->second.get();
@@ -76,15 +76,21 @@ void WorkerFleet::Notify(uint64_t id) {
       wake = true;
     }
   }
-  if (wake) work_cv_.notify_one();
+  if (wake) work_cv_.NotifyOne();
 }
 
 void WorkerFleet::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Manual Lock/Unlock (not MutexLock) because the lock is dropped
+  // around the member callback and reacquired after; the analysis
+  // checks that the lock state is balanced at every join point.
+  mu_.Lock();
   for (;;) {
-    work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    while (!stopping_ && ready_.empty()) work_cv_.Wait(&mu_);
     if (ready_.empty()) {
-      if (stopping_) return;
+      if (stopping_) {
+        mu_.Unlock();
+        return;
+      }
       continue;
     }
     const uint64_t id = ready_.front();
@@ -95,9 +101,9 @@ void WorkerFleet::WorkerLoop() {
     m->enlisted = false;
     m->running = true;
     m->renotify = false;
-    lock.unlock();
+    mu_.Unlock();
     const bool did_work = m->fn();
-    lock.lock();
+    mu_.Lock();
     m->running = false;
     // did_work: the queue may hold more chunks (we only ran one) — take
     // another turn after everyone else. renotify: a producer pushed
@@ -106,15 +112,15 @@ void WorkerFleet::WorkerLoop() {
     if (!m->dead && (did_work || m->renotify)) {
       m->enlisted = true;
       ready_.push_back(id);
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
     }
     m->renotify = false;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
 size_t WorkerFleet::lanes_registered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return members_.size();
 }
 

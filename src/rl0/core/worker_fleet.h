@@ -29,16 +29,17 @@
 #ifndef RL0_CORE_WORKER_FLEET_H_
 #define RL0_CORE_WORKER_FLEET_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 
@@ -81,6 +82,10 @@ class WorkerFleet {
   size_t lanes_registered() const;
 
  private:
+  /// All flag members are guarded by the fleet's mu_ (a nested struct
+  /// cannot name the enclosing class's mutex in RL0_GUARDED_BY, so the
+  /// contract lives here); `fn` is immutable after Register and is the
+  /// only field touched without the lock (invoked with mu_ released).
   struct Member {
     LaneFn fn;
     /// In the ready ring (set ⇒ exactly one ring entry).
@@ -95,14 +100,15 @@ class WorkerFleet {
 
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
+  mutable Mutex mu_;
+  CondVar work_cv_;
   /// Signalled when a member's run ends (Deregister waits on it).
-  std::condition_variable idle_cv_;
-  std::deque<uint64_t> ready_;
-  std::unordered_map<uint64_t, std::unique_ptr<Member>> members_;
-  uint64_t next_id_ = 1;
-  bool stopping_ = false;
+  CondVar idle_cv_;
+  std::deque<uint64_t> ready_ RL0_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::unique_ptr<Member>> members_
+      RL0_GUARDED_BY(mu_);
+  uint64_t next_id_ RL0_GUARDED_BY(mu_) = 1;
+  bool stopping_ RL0_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -76,7 +76,7 @@ TenantRegistry::~TenantRegistry() { CloseAll(); }
 
 std::shared_ptr<TenantRegistry::Tenant> TenantRegistry::Find(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(name);
   return it == tenants_.end() ? nullptr : it->second;
 }
@@ -91,14 +91,14 @@ Status TenantRegistry::Create(const std::string& name,
         "server started without a checkpoint root (ckpt=1 unavailable)");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (tenants_.count(name) != 0 || !creating_.insert(name).second) {
       return Status::FailedPrecondition("tenant '" + name +
                                         "' already exists");
     }
   }
   const Status status = BuildAndRegister(name, params);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   creating_.erase(name);
   return status;
 }
@@ -152,7 +152,7 @@ Status TenantRegistry::BuildAndRegister(const std::string& name,
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // The creating_ reservation guarantees no rival insert of this name.
   tenants_.emplace(name, std::move(tenant));
   return Status::OK();
@@ -273,7 +273,7 @@ Status TenantRegistry::Feed(const std::string& name,
     return Status::NotFound("no tenant '" + name + "'");
   }
   Tenant* t = tenant.get();
-  std::lock_guard<std::mutex> lock(t->mu);
+  MutexLock lock(&t->mu);
   if (t->params.mode != TenantMode::kSequence) {
     return Status::FailedPrecondition("tenant '" + name +
                                       "' is stamped; use FEEDSTAMPED");
@@ -311,7 +311,7 @@ Status TenantRegistry::FeedStamped(const std::string& name,
     return Status::NotFound("no tenant '" + name + "'");
   }
   Tenant* t = tenant.get();
-  std::lock_guard<std::mutex> lock(t->mu);
+  MutexLock lock(&t->mu);
   if (t->params.mode == TenantMode::kSequence) {
     return Status::FailedPrecondition("tenant '" + name +
                                       "' is sequence-mode; use FEED");
@@ -378,7 +378,7 @@ Result<std::vector<std::string>> TenantRegistry::Sample(
     return Status::NotFound("no tenant '" + name + "'");
   }
   Tenant* t = tenant.get();
-  std::lock_guard<std::mutex> lock(t->mu);
+  MutexLock lock(&t->mu);
   t->pool->Drain();
   const uint64_t effective = seed_set ? seed : t->params.seed;
   Xoshiro256pp rng(SplitMix64(effective ^ kQuerySeedSalt));
@@ -399,7 +399,7 @@ Result<std::string> TenantRegistry::F0Line(const std::string& name) {
   if (tenant == nullptr) {
     return Status::NotFound("no tenant '" + name + "'");
   }
-  std::lock_guard<std::mutex> lock(tenant->mu);
+  MutexLock lock(&tenant->mu);
   return F0Data(tenant->cvm);
 }
 
@@ -411,7 +411,7 @@ Result<uint64_t> TenantRegistry::Subscribe(const std::string& name,
     return Status::NotFound("no tenant '" + name + "'");
   }
   Tenant* t = tenant.get();
-  std::lock_guard<std::mutex> lock(t->mu);
+  MutexLock lock(&t->mu);
   auto sub = std::make_unique<Subscription>();
   sub->id = t->next_sub_id++;
   sub->kind = cmd.query;
@@ -442,7 +442,7 @@ Status TenantRegistry::Unsubscribe(const std::string& name,
     return Status::NotFound("no tenant '" + name + "'");
   }
   Tenant* t = tenant.get();
-  std::lock_guard<std::mutex> lock(t->mu);
+  MutexLock lock(&t->mu);
   for (auto it = t->subs.begin(); it != t->subs.end(); ++it) {
     if ((*it)->id == sub_id) {
       t->subs.erase(it);
@@ -469,14 +469,14 @@ Status TenantRegistry::Flush(const std::string& name) {
   if (tenant == nullptr) {
     return Status::NotFound("no tenant '" + name + "'");
   }
-  std::lock_guard<std::mutex> lock(tenant->mu);
+  MutexLock lock(&tenant->mu);
   return FlushLocked(tenant.get());
 }
 
 Status TenantRegistry::Close(const std::string& name) {
   std::shared_ptr<Tenant> tenant;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = tenants_.find(name);
     if (it == tenants_.end()) {
       return Status::NotFound("no tenant '" + name + "'");
@@ -486,7 +486,7 @@ Status TenantRegistry::Close(const std::string& name) {
   }
   // The map no longer reaches the tenant; in-flight operations holding
   // the shared_ptr finish under t->mu before the state is torn down.
-  std::lock_guard<std::mutex> lock(tenant->mu);
+  MutexLock lock(&tenant->mu);
   const Status status = FlushLocked(tenant.get());
   tenant->subs.clear();
   return status;
@@ -496,7 +496,7 @@ Result<std::vector<std::string>> TenantRegistry::StatsLines(
     const std::string& name) {
   std::vector<std::string> lines;
   if (name.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     char buf[128];
     std::snprintf(buf, sizeof(buf),
                   "STAT tenants=%zu fleet_threads=%zu fleet_lanes=%zu",
@@ -510,7 +510,7 @@ Result<std::vector<std::string>> TenantRegistry::StatsLines(
     return Status::NotFound("no tenant '" + name + "'");
   }
   Tenant* t = tenant.get();
-  std::lock_guard<std::mutex> lock(t->mu);
+  MutexLock lock(&t->mu);
   t->pool->Drain();
   const DupFilterStats filter = t->pool->FilterStats();
   const ReorderStats late = t->pool->late_stats();
@@ -545,11 +545,11 @@ Result<std::vector<std::string>> TenantRegistry::StatsLines(
 void TenantRegistry::DropOwner(uint64_t owner) {
   std::vector<std::shared_ptr<Tenant>> all;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& entry : tenants_) all.push_back(entry.second);
   }
   for (auto& tenant : all) {
-    std::lock_guard<std::mutex> lock(tenant->mu);
+    MutexLock lock(&tenant->mu);
     tenant->subs.erase(
         std::remove_if(tenant->subs.begin(), tenant->subs.end(),
                        [owner](const std::unique_ptr<Subscription>& sub) {
@@ -563,7 +563,7 @@ void TenantRegistry::CloseAll() {
   for (;;) {
     std::string name;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (tenants_.empty()) return;
       name = tenants_.begin()->first;
     }
@@ -572,7 +572,7 @@ void TenantRegistry::CloseAll() {
 }
 
 size_t TenantRegistry::tenant_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenants_.size();
 }
 

@@ -51,7 +51,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -64,6 +63,8 @@
 #include "rl0/serve/protocol.h"
 #include "rl0/util/rng.h"
 #include "rl0/util/status.h"
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 namespace serve {
@@ -152,6 +153,9 @@ class TenantRegistry {
   WorkerFleet* fleet() { return &fleet_; }
 
  private:
+  /// All fields are guarded by the owning Tenant's mu (a separate struct
+  /// cannot name it in RL0_GUARDED_BY, so the contract lives here):
+  /// subscriptions are only created, fired, and erased under that lock.
   struct Subscription {
     uint64_t id = 0;
     QueryKind kind = QueryKind::kDigest;
@@ -175,20 +179,21 @@ class TenantRegistry {
     CreateParams params;
     /// Serializes every operation on this tenant (feeding, queries,
     /// subscription management). Held while sinks run — backpressure on
-    /// a slow subscriber intentionally stalls the tenant.
-    std::mutex mu;
-    std::unique_ptr<ShardedSwSamplerPool> pool;
+    /// a slow subscriber intentionally stalls the tenant. Ordered AFTER
+    /// the registry's mu_ (never take mu_ while holding a tenant's mu).
+    Mutex mu;
+    std::unique_ptr<ShardedSwSamplerPool> pool RL0_GUARDED_BY(mu);
     /// Declared after pool: destroyed first, detaching the journal tap
     /// before the pool's pipeline stops.
-    std::unique_ptr<PoolCheckpointer> ckpt;
-    CvmEstimator cvm;
-    std::vector<std::unique_ptr<Subscription>> subs;
-    uint64_t next_sub_id = 1;
+    std::unique_ptr<PoolCheckpointer> ckpt RL0_GUARDED_BY(mu);
+    CvmEstimator cvm RL0_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<Subscription>> subs RL0_GUARDED_BY(mu);
+    uint64_t next_sub_id RL0_GUARDED_BY(mu) = 1;
     /// Last stamp accepted from a FEEDSTAMPED batch (time mode's
     /// cross-batch monotonicity guard; the pool CHECK-fails on
     /// regression, so the registry must reject first).
-    int64_t last_stamp = 0;
-    bool last_stamp_set = false;
+    int64_t last_stamp RL0_GUARDED_BY(mu) = 0;
+    bool last_stamp_set RL0_GUARDED_BY(mu) = false;
 
     Tenant(std::string name, const CreateParams& params,
            size_t cvm_capacity);
@@ -203,29 +208,33 @@ class TenantRegistry {
   /// path for the tenant's mode.
   void FeedSlice(Tenant* t, const std::vector<Point>& points,
                  const std::vector<int64_t>& stamps, size_t begin,
-                 size_t end);
+                 size_t end) RL0_REQUIRES(t->mu);
   /// Fires every subscription whose next_fire ≤ `position` (a count in
   /// sequence mode, a stamp otherwise), advancing each past it. Call
-  /// with t->mu held and the position actually reached by the pool.
-  void FireDue(Tenant* t, int64_t position);
-  void FireSubscription(Tenant* t, Subscription* sub, int64_t position);
+  /// with the position actually reached by the pool.
+  void FireDue(Tenant* t, int64_t position) RL0_REQUIRES(t->mu);
+  void FireSubscription(Tenant* t, Subscription* sub, int64_t position)
+      RL0_REQUIRES(t->mu);
   /// The earliest pending next_fire among live subscriptions, or
   /// INT64_MAX.
-  static int64_t NextTrigger(const Tenant* t);
-  Status FlushLocked(Tenant* t);
+  static int64_t NextTrigger(const Tenant* t) RL0_REQUIRES(t->mu);
+  Status FlushLocked(Tenant* t) RL0_REQUIRES(t->mu);
 
   /// Declared before tenants_: destroyed last, after every tenant's
   /// pool has deregistered its lanes.
   WorkerFleet fleet_;
   std::string checkpoint_root_;
   size_t cvm_capacity_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+  /// Registry-level lock: first in the lock hierarchy (taken before any
+  /// tenant's mu, never after one — see docs/ARCHITECTURE.md).
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_
+      RL0_GUARDED_BY(mu_);
   /// Names with a Create in flight. Reserving here before building
   /// keeps two concurrent CREATEs of one name from both running
   /// recovery (Rebase rewrites the checkpoint chain) against the same
   /// directory.
-  std::set<std::string> creating_;
+  std::set<std::string> creating_ RL0_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

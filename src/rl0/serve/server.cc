@@ -132,7 +132,7 @@ void Server::Shutdown() {
   registry_->CloseAll();
   std::vector<std::shared_ptr<Session>> sessions;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     sessions.swap(sessions_);
   }
   for (auto& session : sessions) {
@@ -142,7 +142,7 @@ void Server::Shutdown() {
 }
 
 void Server::ReapDone() {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if ((*it)->done.load()) {
       if ((*it)->reader.joinable()) (*it)->reader.join();
@@ -184,7 +184,7 @@ void Server::StartSession(int fd) {
   auto session = std::make_shared<Session>(options_.event_queue_depth);
   session->fd = fd;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     session->id = next_session_id_++;
     sessions_.push_back(session);
   }

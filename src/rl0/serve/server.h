@@ -40,7 +40,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +47,8 @@
 #include "rl0/serve/registry.h"
 #include "rl0/util/bounded_queue.h"
 #include "rl0/util/status.h"
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 namespace serve {
@@ -132,9 +133,10 @@ class Server {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> shut_down_done_{false};
   std::thread accept_thread_;
-  std::mutex sessions_mu_;
-  std::vector<std::shared_ptr<Session>> sessions_;
-  uint64_t next_session_id_ = 1;
+  Mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_
+      RL0_GUARDED_BY(sessions_mu_);
+  uint64_t next_session_id_ RL0_GUARDED_BY(sessions_mu_) = 1;
   std::atomic<size_t> max_queue_depth_{0};
   std::atomic<size_t> sessions_accepted_{0};
 };

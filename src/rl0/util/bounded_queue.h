@@ -11,16 +11,18 @@
 // whole chunks (thousands of points), so per-operation overhead is
 // irrelevant next to the work a chunk represents, and the lock gives the
 // pipeline's Drain/snapshot barriers simple happens-before edges that
-// ThreadSanitizer can verify.
+// ThreadSanitizer can verify. The annotated util/sync.h wrappers make
+// the same discipline a compile-time check under Clang.
 
 #ifndef RL0_UTIL_BOUNDED_QUEUE_H_
 #define RL0_UTIL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
 
 namespace rl0 {
 
@@ -37,24 +39,24 @@ class BoundedQueue {
   /// Enqueues `item`, blocking while the queue is full. Returns false iff
   /// the queue was closed (the item is dropped).
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking Push. Returns false when full or closed.
   bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -63,45 +65,46 @@ class BoundedQueue {
   /// fleet's own condition variable instead of the queue's.
   bool TryPop(T* out) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Dequeues into `*out`, blocking while the queue is empty and open.
   /// Returns false iff the queue is closed and fully drained.
   bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // closed and drained
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return false;  // closed and drained
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Closes the queue: wakes all waiters; queued items remain poppable.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -109,11 +112,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ RL0_GUARDED_BY(mu_);
+  bool closed_ RL0_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rl0

@@ -1,0 +1,127 @@
+// Annotated synchronization primitives: the only place raw std mutex
+// types may appear (tools/check_sync_lint.sh enforces it).
+//
+// `Mutex` is std::mutex wearing Clang's capability attributes
+// (util/thread_annotations.h), `MutexLock` the scoped-lockable RAII
+// guard, `CondVar` a condition variable whose Wait statically requires
+// the mutex it atomically releases. Together they let every concurrent
+// component declare its lock discipline in the type system:
+//
+//   Mutex mu_;
+//   std::deque<T> items_ RL0_GUARDED_BY(mu_);
+//   ...
+//   MutexLock lock(&mu_);
+//   while (items_.empty()) not_empty_.Wait(&mu_);   // explicit loop
+//
+// Wait deliberately has no predicate overload: a predicate lambda is a
+// separate function to the analysis and cannot carry RL0_REQUIRES, so
+// guarded reads inside it would need escape hatches. An explicit while
+// loop in the (annotated) caller is checked for free.
+//
+// `MutexLockSet` locks a runtime-sized set of mutexes — the shape of
+// IngestPool::QuiescedRun's pause-every-lane barrier. A dynamic lock
+// set is inexpressible in the static capability model, so its two
+// methods are this repo's only sanctioned RL0_NO_THREAD_SAFETY_ANALYSIS
+// sites; everything layered on top stays fully analyzed.
+
+#ifndef RL0_UTIL_SYNC_H_
+#define RL0_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "rl0/util/thread_annotations.h"
+
+namespace rl0 {
+
+class CondVar;
+
+/// A std::mutex that is a Clang capability: functions and members can
+/// name it in RL0_GUARDED_BY / RL0_REQUIRES / RL0_ACQUIRE annotations.
+class RL0_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RL0_ACQUIRE() { mu_.lock(); }
+  void Unlock() RL0_RELEASE() { mu_.unlock(); }
+  bool TryLock() RL0_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // Wait adopts the raw handle to release-and-wait
+  std::mutex mu_;
+};
+
+/// RAII lock for one Mutex (scoped capability: the analysis knows the
+/// mutex is held exactly for this object's lifetime).
+class RL0_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RL0_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RL0_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable over Mutex. Wait atomically releases the (held)
+/// mutex and reacquires it before returning, so from the caller's
+/// static point of view the capability is held throughout — hence
+/// RL0_REQUIRES. Use an explicit `while (!cond) cv.Wait(&mu);` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) RL0_REQUIRES(mu) {
+    std::unique_lock<std::mutex> handle(mu->mu_, std::adopt_lock);
+    cv_.wait(handle);
+    handle.release();  // ownership returns to the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Locks a runtime-sized set of mutexes in the caller's Lock() order
+/// and unlocks in reverse order at scope exit (exception-safe, unlike a
+/// bare Lock loop). Callers must present the mutexes in a globally
+/// consistent order — IngestPool::QuiescedRun's lane order qualifies
+/// because lane workers only ever hold their own lane's mutex.
+///
+/// The two methods are this repo's only sanctioned
+/// RL0_NO_THREAD_SAFETY_ANALYSIS sites (dynamic lock sets are
+/// inexpressible statically); keep it that way.
+class MutexLockSet {
+ public:
+  MutexLockSet() = default;
+  MutexLockSet(const MutexLockSet&) = delete;
+  MutexLockSet& operator=(const MutexLockSet&) = delete;
+
+  ~MutexLockSet() RL0_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+      (*it)->Unlock();
+    }
+  }
+
+  void Lock(Mutex* mu) RL0_NO_THREAD_SAFETY_ANALYSIS {
+    held_.reserve(held_.size() + 1);  // push_back below cannot throw
+    mu->Lock();
+    held_.push_back(mu);
+  }
+
+ private:
+  std::vector<Mutex*> held_;
+};
+
+}  // namespace rl0
+
+#endif  // RL0_UTIL_SYNC_H_

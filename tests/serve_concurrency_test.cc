@@ -263,7 +263,9 @@ TEST(ServeConcurrencyTest, SlowSubscriberBackpressureBoundsTheQueue) {
     ASSERT_TRUE(subscriber.WaitForEvents(seen + 2, 30000))
         << "stalled at " << seen;
     seen = subscriber.events().size();
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Pacing only — WaitForEvents above is the actual synchronization.
+    std::this_thread::sleep_for(  // sync-lint: allow(sleep)
+        std::chrono::milliseconds(2));
   }
   feeder.join();
 

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "rl0/baseline/exact_partition.h"
@@ -316,6 +317,66 @@ TEST(SwStatisticalTest, WindowedF0WithinEnvelopeThroughPipeline) {
   // the repo-wide envelope is [truth/3, truth*3] (see f0_test.cc).
   EXPECT_GT(estimate, truth / 3.0);
   EXPECT_LT(estimate, truth * 3.0);
+}
+
+// Regression pin: F0EstimatorSW::Insert once updated its insertion
+// counters (latest_stamp / points_processed) OUTSIDE the pipeline lock,
+// while EnsurePipeline captures them as the pipeline's index base and
+// LatchFeedMode validates them — so a first Feed racing the tail of a
+// serial-insert phase could latch a torn index base and shift every
+// subsequent stamp. The counters are now written under pipe_->mu
+// (pinned by the clang thread-safety annotations at compile time); this
+// test pins the runtime contract the lock protects: a serial prefix
+// followed by concurrent pipeline Feeds continues the index/stamp
+// sequence exactly — EstimateLatest evaluates at stamp kStreamLen-1,
+// and with a stream-covering window the estimate lands in the envelope
+// regardless of chunk interleaving. Runs under TSan in CI (this file is
+// in the tsan job's battery).
+TEST(SwStatisticalTest, SerialInsertThenConcurrentFeedContinuesStamps) {
+  const Workload& w = SharedWorkload();
+  F0SwOptions opts;
+  opts.sampler = StatOptions(78);
+  // Window covers the whole stream: the estimate then depends only on
+  // the point set, not on the (interleaving-dependent) stamp each point
+  // receives, so the check is deterministic under real concurrency.
+  opts.window = static_cast<int64_t>(kStreamLen) + 1;
+  opts.copies = 16;
+  auto est = F0EstimatorSW::Create(opts).value();
+
+  // Serial prefix: sequence-stamped inserts 0..399.
+  constexpr size_t kPrefix = 400;
+  for (size_t i = 0; i < kPrefix; ++i) est.Insert(w.points[i]);
+
+  // Concurrent continuation: 4 threads feed the remaining 50000 points
+  // in 2500-point chunks. The first Feed latches the index base at
+  // kPrefix under the pipeline lock.
+  constexpr size_t kChunk = 2500;
+  constexpr size_t kThreads = 4;
+  const Span<const Point> all(w.points);
+  std::vector<std::thread> feeders;
+  feeders.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    feeders.emplace_back([&, t] {
+      for (size_t offset = kPrefix + t * kChunk; offset < all.size();
+           offset += kThreads * kChunk) {
+        est.Feed(all.subspan(offset, kChunk));
+      }
+    });
+  }
+  for (std::thread& th : feeders) th.join();
+  est.Drain();
+
+  // The stamp sequence continued across the serial/pipeline boundary:
+  // the latest stamp is the last stream position, so EstimateLatest and
+  // an explicit end-of-stream Estimate agree exactly.
+  const double latest = est.EstimateLatest();
+  const double at_end = est.Estimate(static_cast<int64_t>(kStreamLen) - 1);
+  EXPECT_EQ(latest, at_end);
+
+  // Everything is in-window: truth is the full group count.
+  const double truth = static_cast<double>(kGroups);
+  EXPECT_GT(latest, truth / 3.0);
+  EXPECT_LT(latest, truth * 3.0);
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+// Negative-compile case (a): reading an RL0_GUARDED_BY field without
+// holding its mutex MUST fail under -Werror=thread-safety. The
+// try_compile block in CMakeLists.txt asserts this file does NOT
+// compile on Clang; if it ever does, the annotations have stopped
+// enforcing anything and the configure step fails loudly.
+
+#include <cstdint>
+
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int64_t UnguardedRead() const {
+    return value_;  // read of value_ requires holding mu_
+  }
+
+ private:
+  mutable rl0::Mutex mu_;
+  int64_t value_ RL0_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return static_cast<int>(counter.UnguardedRead());
+}

@@ -1,0 +1,41 @@
+// Baseline for the negative-compile battery: correct lock usage that
+// MUST compile cleanly under -Werror=thread-safety. If this file fails,
+// the two *_violation.cc rejections prove nothing (they could be failing
+// for an unrelated reason — a broken include path, a macro typo).
+//
+// Driven by the try_compile block in CMakeLists.txt (Clang configures
+// only); never part of the normal build.
+
+#include <cstdint>
+
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    rl0::MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+
+  int64_t value() const {
+    rl0::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() RL0_REQUIRES(mu_) { ++value_; }
+
+  mutable rl0::Mutex mu_;
+  int64_t value_ RL0_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.value() == 1 ? 0 : 1;
+}

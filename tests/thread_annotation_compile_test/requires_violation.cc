@@ -1,0 +1,32 @@
+// Negative-compile case (b): calling an RL0_REQUIRES method without
+// holding the mutex MUST fail under -Werror=thread-safety. The
+// try_compile block in CMakeLists.txt asserts this file does NOT
+// compile on Clang.
+
+#include <cstdint>
+
+#include "rl0/util/sync.h"
+#include "rl0/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementWithoutLock() {
+    IncrementLocked();  // calling requires mu_ held
+  }
+
+ private:
+  void IncrementLocked() RL0_REQUIRES(mu_) { ++value_; }
+
+  rl0::Mutex mu_;
+  int64_t value_ RL0_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.IncrementWithoutLock();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Synchronization-primitive lint, three rules (comments are stripped
+# before matching, so docs can still name the banned spellings):
+#
+#   1. Raw primitives: std::mutex / std::lock_guard / std::scoped_lock /
+#      std::condition_variable / std::unique_lock are banned outside
+#      src/rl0/util/sync.h. Everything concurrent goes through the
+#      annotated rl0::Mutex / MutexLock / CondVar wrappers so Clang's
+#      thread-safety analysis sees every lock operation — one raw
+#      std::lock_guard is an invisible critical section.
+#   2. std::thread::detach() is banned everywhere: a detached thread
+#      outlives scope tracking and is unjoinable at shutdown.
+#   3. sleep_for in tests/ is banned as a synchronization device —
+#      sleeping until "the other thread is probably done" is the classic
+#      flaky test. Real waiting uses CondVar / Drain / queue pops.
+#      Deliberate pacing sleeps (throttling a consumer, not ordering an
+#      outcome) carry `sync-lint: allow(sleep)` in a comment on the same
+#      line with a reason. bench/ is exempt from all three rules
+#      (benchmarks legitimately pace and pin threads).
+#
+# Run from anywhere; CI runs it next to check_docs_links.sh.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+
+# Strip // and /* */ comments well enough for a lint (string literals
+# containing the banned spellings do not occur in this codebase).
+strip_comments() {
+  sed -e 's://.*$::' -e 's:/\*.*\*/::g' "$1"
+}
+
+# Rule 1+2 scope: all first-party C++ outside bench/.
+cpp_files="$(find src tools tests examples \
+             \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) | sort)"
+
+for f in $cpp_files; do
+  [ "$f" = "src/rl0/util/sync.h" ] && continue
+  hits="$(strip_comments "$f" \
+          | grep -nE 'std::(mutex|lock_guard|scoped_lock|condition_variable|unique_lock)\b' \
+          || true)"
+  if [ -n "$hits" ]; then
+    echo "RAW SYNC PRIMITIVE (use rl0/util/sync.h): $f" >&2
+    echo "$hits" | sed 's/^/    /' >&2
+    status=1
+  fi
+done
+
+for f in $cpp_files; do
+  hits="$(strip_comments "$f" | grep -nE '\.detach\(\)' || true)"
+  if [ -n "$hits" ]; then
+    echo "THREAD DETACH (threads must be joined): $f" >&2
+    echo "$hits" | sed 's/^/    /' >&2
+    status=1
+  fi
+done
+
+# Rule 3: sleep_for in tests/, minus allow-marked lines.
+for f in $(find tests \( -name '*.cc' -o -name '*.h' \) | sort); do
+  hits="$(grep -nE 'sleep_for' "$f" | grep -v 'sync-lint: allow(sleep)' \
+          || true)"
+  if [ -n "$hits" ]; then
+    echo "SLEEP-BASED SYNC IN TEST (wait on a CondVar/queue, or mark" >&2
+    echo "a deliberate pacing sleep with 'sync-lint: allow(sleep)'): $f" >&2
+    echo "$hits" | sed 's/^/    /' >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "sync lint FAILED" >&2
+else
+  echo "sync lint OK"
+fi
+exit "$status"

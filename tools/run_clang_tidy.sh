@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the curated .clang-tidy profile over the library, tools, tests
+# and benches. Usage:
+#
+#   ./tools/run_clang_tidy.sh [build-dir]
+#
+# The build dir must hold a compile_commands.json (the top-level
+# CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS, so any configured
+# build dir works; default: build). Exits 0 with a notice when
+# clang-tidy is not installed — local GCC-only environments skip, the
+# clang-tidy CI job enforces.
+set -u
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+  echo "clang-tidy not found; skipping (the clang-tidy CI job enforces)"
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "no $build_dir/compile_commands.json — configure first:" >&2
+  echo "  cmake -B $build_dir -S ." >&2
+  exit 1
+fi
+
+# Everything we compile ourselves; third-party (_deps) is excluded by
+# construction since we list files, not the compilation database. The
+# negative-compile battery is excluded too: its violation files are
+# never built, so they have no compile command (and two of them must
+# not even compile).
+files="$(find src tools tests bench examples \
+         \( -name '*.cc' -o -name '*.cpp' \) \
+         -not -path 'tests/thread_annotation_compile_test/*' | sort)"
+
+# run-clang-tidy parallelizes when available; fall back to a serial loop.
+runner="$(command -v run-clang-tidy || true)"
+if [ -n "$runner" ]; then
+  # shellcheck disable=SC2086
+  "$runner" -p "$build_dir" -quiet $files
+  exit $?
+fi
+
+status=0
+for f in $files; do
+  "$tidy" -p "$build_dir" --quiet "$f" || status=1
+done
+exit "$status"
